@@ -1,0 +1,98 @@
+//! # asym-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ISCA 2005 asymmetry paper. One binary per figure (`fig1` … `fig10`,
+//! `table1`, plus the extra text experiments); `cargo bench` runs the
+//! whole set through `benches/figures.rs`.
+//!
+//! Absolute values are simulator-scale (see EXPERIMENTS.md for the
+//! scaling table); the claims under test are the *shapes*: which
+//! configurations are unstable, who wins, and by roughly what factor.
+
+use asym_core::{
+    run_experiment, AsymConfig, Experiment, ExperimentOptions, Stability, TextTable, Workload,
+};
+use asym_kernel::SchedPolicy;
+
+/// Runs `workload` across the standard nine configurations and returns
+/// the experiment.
+pub fn nine_config_experiment(
+    workload: &dyn Workload,
+    policy: SchedPolicy,
+    runs: usize,
+    base_seed: u64,
+) -> Experiment {
+    run_experiment(
+        workload,
+        &AsymConfig::standard_nine(),
+        policy,
+        &ExperimentOptions::new(runs).base_seed(base_seed),
+    )
+}
+
+/// Renders an experiment as the standard per-configuration table:
+/// mean, min, max, CoV, and stability verdict.
+pub fn render_experiment(exp: &Experiment) -> String {
+    let mut t = TextTable::new(vec![
+        "config", "power", "mean", "min", "max", "cov%", "verdict",
+    ]);
+    for o in &exp.outcomes {
+        t.row(vec![
+            o.config.to_string(),
+            format!("{:.3}", o.config.compute_power()),
+            format!("{:.1}", o.samples.mean()),
+            format!("{:.1}", o.samples.min()),
+            format!("{:.1}", o.samples.max()),
+            format!("{:.2}", o.samples.cov() * 100.0),
+            o.stability().to_string(),
+        ]);
+    }
+    format!(
+        "{} [{}] under {} ({} runs/config)\n{}",
+        exp.workload,
+        exp.unit,
+        exp.policy,
+        exp.outcomes.first().map(|o| o.samples.len()).unwrap_or(0),
+        t.render()
+    )
+}
+
+/// Renders per-run values for a handful of configurations (the
+/// "vertical scatter" view of the paper's run-dot figures).
+pub fn render_runs(exp: &Experiment, configs: &[AsymConfig]) -> String {
+    let mut t = TextTable::new(vec!["config", "runs"]);
+    for c in configs {
+        if let Some(o) = exp.outcome(*c) {
+            let runs: Vec<String> = o
+                .samples
+                .values()
+                .iter()
+                .map(|v| format!("{v:.1}"))
+                .collect();
+            t.row(vec![c.to_string(), runs.join("  ")]);
+        }
+    }
+    t.render()
+}
+
+/// One-line qualitative summary of an experiment's stability.
+pub fn stability_line(exp: &Experiment) -> String {
+    format!(
+        "{}: symmetric worst CoV {:.2}%, asymmetric worst CoV {:.2}% -> {}",
+        exp.workload,
+        exp.worst_symmetric_cov() * 100.0,
+        exp.worst_asymmetric_cov() * 100.0,
+        match Stability::from_cov(exp.worst_asymmetric_cov()) {
+            Stability::Stable => "stable",
+            Stability::Marginal => "marginal",
+            Stability::Unstable => "UNSTABLE",
+        }
+    )
+}
+
+/// Prints a figure header.
+pub fn figure_header(id: &str, caption: &str) {
+    println!("==================================================================");
+    println!("{id}: {caption}");
+    println!("==================================================================");
+}

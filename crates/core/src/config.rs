@@ -1,0 +1,250 @@
+//! The paper's machine configurations: `nf-ms/scale`.
+//!
+//! An `nf-ms/scale` label means *n* fast cores and *m* slow cores running
+//! at `1/scale` the speed of the fast cores; total compute power is
+//! `n + m/scale` (§3). The paper studies nine four-core configurations:
+//! three symmetric (`4f-0s`, `0f-4s/4`, `0f-4s/8`) and six asymmetric.
+
+use asym_sim::{MachineSpec, Speed};
+use std::fmt;
+use std::str::FromStr;
+
+/// A performance-asymmetry machine configuration in the paper's
+/// `nf-ms/scale` notation.
+///
+/// # Examples
+///
+/// ```
+/// use asym_core::AsymConfig;
+///
+/// let c: AsymConfig = "2f-2s/8".parse()?;
+/// assert_eq!(c.fast(), 2);
+/// assert_eq!(c.slow(), 2);
+/// assert_eq!(c.scale(), 8);
+/// assert_eq!(c.compute_power(), 2.25);
+/// assert_eq!(c.to_string(), "2f-2s/8");
+/// # Ok::<(), asym_core::ParseConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsymConfig {
+    fast: u32,
+    slow: u32,
+    scale: u32,
+}
+
+impl AsymConfig {
+    /// Creates a configuration of `fast` full-speed cores and `slow` cores
+    /// at `1/scale` speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine would have no cores, or if `slow > 0` with
+    /// `scale < 2` (a "slow" core at full speed is not a configuration the
+    /// notation can express).
+    pub fn new(fast: u32, slow: u32, scale: u32) -> Self {
+        assert!(fast + slow > 0, "configuration needs at least one core");
+        assert!(
+            slow == 0 || scale >= 2,
+            "slow cores need a scale of at least 2"
+        );
+        // With no slow cores the scale is meaningless; normalize it so
+        // equality and Display/parse round-trips behave.
+        let scale = if slow == 0 { 1 } else { scale };
+        AsymConfig { fast, slow, scale }
+    }
+
+    /// The nine configurations of the paper, fastest first: `4f-0s`,
+    /// `3f-1s/4`, `3f-1s/8`, `2f-2s/4`, `2f-2s/8`, `1f-3s/4`, `1f-3s/8`,
+    /// `0f-4s/4`, `0f-4s/8`.
+    pub fn standard_nine() -> Vec<AsymConfig> {
+        let mut v = vec![AsymConfig::new(4, 0, 1)];
+        for fast in (0..=3).rev() {
+            for scale in [4, 8] {
+                v.push(AsymConfig::new(fast, 4 - fast, scale));
+            }
+        }
+        v
+    }
+
+    /// The three symmetric members of the standard nine.
+    pub fn symmetric_three() -> Vec<AsymConfig> {
+        vec![
+            AsymConfig::new(4, 0, 1),
+            AsymConfig::new(0, 4, 4),
+            AsymConfig::new(0, 4, 8),
+        ]
+    }
+
+    /// The six asymmetric members of the standard nine.
+    pub fn asymmetric_six() -> Vec<AsymConfig> {
+        AsymConfig::standard_nine()
+            .into_iter()
+            .filter(|c| !c.is_symmetric())
+            .collect()
+    }
+
+    /// Number of fast (full-speed) cores.
+    pub fn fast(&self) -> u32 {
+        self.fast
+    }
+
+    /// Number of slow cores.
+    pub fn slow(&self) -> u32 {
+        self.slow
+    }
+
+    /// The slow cores' speed denominator.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// Total core count.
+    pub fn num_cores(&self) -> u32 {
+        self.fast + self.slow
+    }
+
+    /// The paper's total compute power, `n + m/scale`.
+    pub fn compute_power(&self) -> f64 {
+        f64::from(self.fast) + f64::from(self.slow) / f64::from(self.scale)
+    }
+
+    /// Returns `true` when every core runs at the same speed.
+    pub fn is_symmetric(&self) -> bool {
+        self.fast == 0 || self.slow == 0
+    }
+
+    /// The corresponding simulated machine (fast cores first).
+    pub fn machine(&self) -> MachineSpec {
+        if self.slow == 0 {
+            MachineSpec::symmetric(self.fast as usize, Speed::FULL)
+        } else {
+            MachineSpec::asymmetric(
+                self.fast as usize,
+                self.slow as usize,
+                Speed::fraction_of_full(self.scale),
+            )
+        }
+    }
+}
+
+impl fmt::Display for AsymConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.slow == 0 {
+            write!(f, "{}f-0s", self.fast)
+        } else {
+            write!(f, "{}f-{}s/{}", self.fast, self.slow, self.scale)
+        }
+    }
+}
+
+impl FromStr for AsymConfig {
+    type Err = ParseConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseConfigError {
+            input: s.to_string(),
+        };
+        let (fast_part, rest) = s.split_once("f-").ok_or_else(err)?;
+        let fast: u32 = fast_part.parse().map_err(|_| err())?;
+        let (slow_part, scale) = match rest.split_once('/') {
+            Some((sp, sc)) => (sp, sc.parse().map_err(|_| err())?),
+            None => (rest, 1),
+        };
+        let slow_part = slow_part.strip_suffix('s').ok_or_else(err)?;
+        let slow: u32 = slow_part.parse().map_err(|_| err())?;
+        if fast + slow == 0 || (slow > 0 && scale < 2) {
+            return Err(err());
+        }
+        Ok(AsymConfig { fast, slow, scale })
+    }
+}
+
+/// Error returned when parsing an `nf-ms/scale` label fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError {
+    input: String,
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid configuration label {:?} (expected e.g. \"2f-2s/8\")",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_nine_matches_paper() {
+        let labels: Vec<String> = AsymConfig::standard_nine()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "4f-0s", "3f-1s/4", "3f-1s/8", "2f-2s/4", "2f-2s/8", "1f-3s/4", "1f-3s/8",
+                "0f-4s/4", "0f-4s/8",
+            ]
+        );
+    }
+
+    #[test]
+    fn compute_power_decreases_monotonically() {
+        let nine = AsymConfig::standard_nine();
+        for w in nine.windows(2) {
+            assert!(
+                w[0].compute_power() >= w[1].compute_power(),
+                "{} < {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(nine[0].compute_power(), 4.0);
+        assert_eq!(nine.last().unwrap().compute_power(), 0.5);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for c in AsymConfig::standard_nine() {
+            let parsed: AsymConfig = c.to_string().parse().unwrap();
+            assert_eq!(parsed, c);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "2f2s", "xf-ys/4", "2f-2s/1", "2f-2s/0"] {
+            assert!(bad.parse::<AsymConfig>().is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn machine_shape_matches() {
+        let c = AsymConfig::new(1, 3, 8);
+        let m = c.machine();
+        assert_eq!(m.num_cores(), 4);
+        assert_eq!(m.total_compute_power(), c.compute_power());
+        assert_eq!(m.speeds()[0], Speed::FULL);
+        assert_eq!(m.speeds()[3], Speed::fraction_of_full(8));
+    }
+
+    #[test]
+    fn symmetric_partition() {
+        assert_eq!(AsymConfig::symmetric_three().len(), 3);
+        assert_eq!(AsymConfig::asymmetric_six().len(), 6);
+        assert!(AsymConfig::symmetric_three()
+            .iter()
+            .all(AsymConfig::is_symmetric));
+        assert!(!AsymConfig::asymmetric_six()
+            .iter()
+            .any(AsymConfig::is_symmetric));
+    }
+}

@@ -1,0 +1,443 @@
+//! The experiment runner: repeated runs across configurations, exactly as
+//! the paper's methodology prescribes — run the same workload several
+//! times per configuration, then examine run-to-run variance (stability)
+//! and the trend against compute power (scalability).
+
+use crate::config::AsymConfig;
+use crate::metrics::{Direction, Samples, Scalability, Stability};
+use crate::workload::{RunResult, RunSetup, Workload};
+use asym_kernel::SchedPolicy;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-configuration outcome of an experiment: all runs plus their
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigOutcome {
+    /// The configuration.
+    pub config: AsymConfig,
+    /// Primary metric of each run, in seed order.
+    pub samples: Samples,
+    /// Mean of each named secondary metric across runs.
+    pub extras_mean: BTreeMap<String, f64>,
+}
+
+impl ConfigOutcome {
+    /// The stability verdict for this configuration.
+    pub fn stability(&self) -> Stability {
+        Stability::from_cov(self.samples.cov())
+    }
+}
+
+/// The full outcome of an experiment over several configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Workload name.
+    pub workload: String,
+    /// Metric unit.
+    pub unit: String,
+    /// Metric direction.
+    pub direction: Direction,
+    /// Policy the runs used.
+    pub policy: SchedPolicy,
+    /// Per-configuration outcomes, in the order configurations were given.
+    pub outcomes: Vec<ConfigOutcome>,
+}
+
+impl Experiment {
+    /// The outcome for `config`, if it was part of the experiment.
+    pub fn outcome(&self, config: AsymConfig) -> Option<&ConfigOutcome> {
+        self.outcomes.iter().find(|o| o.config == config)
+    }
+
+    /// The worst (largest) CoV across asymmetric configurations — the
+    /// paper's instability indicator.
+    pub fn worst_asymmetric_cov(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.config.is_symmetric())
+            .map(|o| o.samples.cov())
+            .fold(0.0, f64::max)
+    }
+
+    /// The worst CoV across symmetric configurations (the baseline noise
+    /// level; near zero in the paper).
+    pub fn worst_symmetric_cov(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .filter(|o| o.config.is_symmetric())
+            .map(|o| o.samples.cov())
+            .fold(0.0, f64::max)
+    }
+
+    /// Overall stability verdict: the worst configuration's verdict.
+    pub fn stability(&self) -> Stability {
+        Stability::from_cov(self.worst_asymmetric_cov().max(self.worst_symmetric_cov()))
+    }
+
+    /// Scalability across the experiment's configurations (mean
+    /// performance vs compute power).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment covers fewer than two configurations.
+    pub fn scalability(&self) -> Scalability {
+        let points: Vec<(f64, f64)> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.config.compute_power(),
+                    self.direction.performance(o.samples.mean()),
+                )
+            })
+            .collect();
+        Scalability::from_points(&points)
+    }
+
+    /// Scalability computed from each configuration's *best* run — the
+    /// achievable performance envelope. Instability lowers means; whether
+    /// the envelope tracks compute power is the separate scalability
+    /// question, exactly as the paper treats the two metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the experiment covers fewer than two configurations.
+    pub fn scalability_best(&self) -> Scalability {
+        let points: Vec<(f64, f64)> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let best = match self.direction {
+                    Direction::HigherIsBetter => o.samples.max(),
+                    Direction::LowerIsBetter => o.samples.min(),
+                };
+                (o.config.compute_power(), self.direction.performance(best))
+            })
+            .collect();
+        Scalability::from_points(&points)
+    }
+
+    /// Serializes the experiment as CSV: one row per (configuration,
+    /// run), with the compute power and run index — ready for plotting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use asym_core::{run_experiment, AsymConfig, Direction, ExperimentOptions,
+    /// #                 RunResult, RunSetup, Workload};
+    /// # use asym_kernel::SchedPolicy;
+    /// # struct W;
+    /// # impl Workload for W {
+    /// #     fn name(&self) -> &str { "w" }
+    /// #     fn unit(&self) -> &str { "ops" }
+    /// #     fn direction(&self) -> Direction { Direction::HigherIsBetter }
+    /// #     fn run(&self, s: &RunSetup) -> RunResult {
+    /// #         RunResult::new(s.config.compute_power())
+    /// #     }
+    /// # }
+    /// let exp = run_experiment(
+    ///     &W,
+    ///     &[AsymConfig::new(2, 2, 8)],
+    ///     SchedPolicy::os_default(),
+    ///     &ExperimentOptions::new(2),
+    /// );
+    /// let csv = exp.to_csv();
+    /// assert!(csv.starts_with("workload,unit,policy,config,compute_power,run,value"));
+    /// assert_eq!(csv.lines().count(), 3); // header + 2 runs
+    /// ```
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,unit,policy,config,compute_power,run,value\n");
+        for o in &self.outcomes {
+            for (i, v) in o.samples.values().iter().enumerate() {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{}\n",
+                    self.workload,
+                    self.unit,
+                    self.policy,
+                    o.config,
+                    o.config.compute_power(),
+                    i,
+                    v
+                ));
+            }
+        }
+        out
+    }
+
+    /// Speedup of each configuration's mean performance over `baseline`'s
+    /// (the paper's Figure 10 normalization, baseline `0f-4s/8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` was not part of the experiment.
+    pub fn speedups_over(&self, baseline: AsymConfig) -> Vec<(AsymConfig, f64)> {
+        let base = self
+            .outcome(baseline)
+            .unwrap_or_else(|| panic!("baseline {baseline} not in experiment"));
+        let base_perf = self.direction.performance(base.samples.mean());
+        self.outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.config,
+                    self.direction.performance(o.samples.mean()) / base_perf,
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] under {} ({} configs)",
+            self.workload,
+            self.unit,
+            self.policy,
+            self.outcomes.len()
+        )?;
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "  {:>8}: mean {:.3} cov {:.2}% [{}]",
+                o.config.to_string(),
+                o.samples.mean(),
+                o.samples.cov() * 100.0,
+                o.stability()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Options for [`run_experiment`].
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Number of repeated runs per configuration.
+    pub runs: usize,
+    /// Base seed; run *i* of configuration *j* uses
+    /// `base_seed + j * 1000 + i`.
+    pub base_seed: u64,
+    /// Execute independent runs on parallel OS threads.
+    pub parallel: bool,
+}
+
+impl ExperimentOptions {
+    /// `runs` repetitions, parallel execution, base seed 0.
+    pub fn new(runs: usize) -> Self {
+        ExperimentOptions {
+            runs,
+            base_seed: 0,
+            parallel: true,
+        }
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Disables parallel execution (useful inside Criterion benches).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// Runs `workload` `options.runs` times on every configuration in
+/// `configs` under `policy` and collects the statistics.
+///
+/// Independent runs execute on parallel OS threads when
+/// `options.parallel` is set; results are deterministic either way
+/// because each run's seed is fixed by its position.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or `options.runs` is zero.
+pub fn run_experiment(
+    workload: &dyn Workload,
+    configs: &[AsymConfig],
+    policy: SchedPolicy,
+    options: &ExperimentOptions,
+) -> Experiment {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    assert!(options.runs > 0, "need at least one run");
+
+    let setups: Vec<RunSetup> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(j, &config)| {
+            (0..options.runs).map(move |i| {
+                RunSetup::new(
+                    config,
+                    policy,
+                    options.base_seed + j as u64 * 1000 + i as u64,
+                )
+            })
+        })
+        .collect();
+
+    let results: Vec<RunResult> = if options.parallel {
+        run_parallel(workload, &setups)
+    } else {
+        setups.iter().map(|s| workload.run(s)).collect()
+    };
+
+    let outcomes = configs
+        .iter()
+        .enumerate()
+        .map(|(j, &config)| {
+            let slice = &results[j * options.runs..(j + 1) * options.runs];
+            let samples = Samples::new(slice.iter().map(|r| r.value).collect());
+            let mut extras_mean = BTreeMap::new();
+            for r in slice {
+                for (k, v) in &r.extras {
+                    *extras_mean.entry(k.clone()).or_insert(0.0) += v / options.runs as f64;
+                }
+            }
+            ConfigOutcome {
+                config,
+                samples,
+                extras_mean,
+            }
+        })
+        .collect();
+
+    Experiment {
+        workload: workload.name().to_string(),
+        unit: workload.unit().to_string(),
+        direction: workload.direction(),
+        policy,
+        outcomes,
+    }
+}
+
+/// Fans runs out over `available_parallelism` OS threads, preserving
+/// result order.
+fn run_parallel(workload: &dyn Workload, setups: &[RunSetup]) -> Vec<RunResult> {
+    let nthreads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(setups.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<RunResult>>> =
+        setups.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..nthreads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= setups.len() {
+                    break;
+                }
+                let result = workload.run(&setups[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every run completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Direction;
+
+    /// Performance proportional to power, with seed-dependent noise on
+    /// asymmetric configs only.
+    struct Synthetic;
+    impl Workload for Synthetic {
+        fn name(&self) -> &str {
+            "synthetic"
+        }
+        fn unit(&self) -> &str {
+            "ops/s"
+        }
+        fn direction(&self) -> Direction {
+            Direction::HigherIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            let base = setup.config.compute_power() * 1000.0;
+            let noise = if setup.config.is_symmetric() {
+                0.0
+            } else {
+                (setup.seed % 7) as f64 * 0.03 * base
+            };
+            RunResult::new(base + noise)
+        }
+    }
+
+    #[test]
+    fn experiment_shape() {
+        let configs = AsymConfig::standard_nine();
+        let exp = run_experiment(
+            &Synthetic,
+            &configs,
+            SchedPolicy::os_default(),
+            &ExperimentOptions::new(4),
+        );
+        assert_eq!(exp.outcomes.len(), 9);
+        assert!(exp.outcomes.iter().all(|o| o.samples.len() == 4));
+        // Symmetric configs are noise-free, asymmetric ones vary.
+        assert!(exp.worst_symmetric_cov() < 1e-12);
+        assert!(exp.worst_asymmetric_cov() > 0.01);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let configs = AsymConfig::standard_nine();
+        let par = run_experiment(
+            &Synthetic,
+            &configs,
+            SchedPolicy::os_default(),
+            &ExperimentOptions::new(3),
+        );
+        let seq = run_experiment(
+            &Synthetic,
+            &configs,
+            SchedPolicy::os_default(),
+            &ExperimentOptions::new(3).sequential(),
+        );
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn speedups_normalize_to_baseline() {
+        let configs = AsymConfig::standard_nine();
+        let exp = run_experiment(
+            &Synthetic,
+            &configs,
+            SchedPolicy::os_default(),
+            &ExperimentOptions::new(1),
+        );
+        let baseline = AsymConfig::new(0, 4, 8);
+        let speedups = exp.speedups_over(baseline);
+        let base = speedups.iter().find(|(c, _)| *c == baseline).unwrap();
+        assert!((base.1 - 1.0).abs() < 1e-12);
+        let fast = speedups.iter().find(|(c, _)| c.to_string() == "4f-0s").unwrap();
+        assert!((fast.1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalability_of_proportional_workload() {
+        let configs = AsymConfig::standard_nine();
+        let exp = run_experiment(
+            &Synthetic,
+            &configs,
+            SchedPolicy::os_default(),
+            &ExperimentOptions::new(1),
+        );
+        // Noise of up to 18% on asymmetric configs still leaves the
+        // workload predictably scalable at a loose efficiency bound.
+        assert!(exp.scalability().is_predictable(0.8));
+    }
+}

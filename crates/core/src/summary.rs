@@ -1,0 +1,200 @@
+//! Table-1-style qualitative summaries: per-workload verdicts on
+//! predictability and scalability, with and without remedies.
+
+use crate::experiment::Experiment;
+use crate::metrics::Stability;
+use std::fmt;
+
+/// The workload classes of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Managed-runtime servers (SPECjbb, SPECjAppServer).
+    ManagedRuntime,
+    /// Database servers (TPC-H on DB2).
+    Database,
+    /// Web servers (Apache, Zeus).
+    WebServer,
+    /// Tightly-coupled scientific codes (SPEC OMP).
+    Scientific,
+    /// Media processing (H.264).
+    Multimedia,
+    /// Development tools (PMAKE).
+    Development,
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadClass::ManagedRuntime => "MRTE",
+            WorkloadClass::Database => "Database",
+            WorkloadClass::WebServer => "Web server",
+            WorkloadClass::Scientific => "Scientific",
+            WorkloadClass::Multimedia => "Multimedia",
+            WorkloadClass::Development => "Development",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A yes/no verdict with an optional remedy that flips it to yes — the
+/// shape of the paper's Table 1 cells ("No (Yes with asymmetry aware
+/// kernel)").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Predictable as-is.
+    Yes,
+    /// Not predictable, and no studied remedy fixed it.
+    No,
+    /// Not predictable as-is, but the named remedy fixes it.
+    YesWith(String),
+}
+
+impl Verdict {
+    /// Builds a verdict from the baseline stability and an optional
+    /// (remedy-name, fixed?) pair.
+    pub fn from_stability(base: Stability, remedy: Option<(&str, Stability)>) -> Verdict {
+        if base != Stability::Unstable {
+            return Verdict::Yes;
+        }
+        match remedy {
+            Some((name, fixed)) if fixed != Stability::Unstable => {
+                Verdict::YesWith(name.to_string())
+            }
+            _ => Verdict::No,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Yes => write!(f, "Yes"),
+            Verdict::No => write!(f, "No"),
+            Verdict::YesWith(remedy) => write!(f, "No (Yes with {remedy})"),
+        }
+    }
+}
+
+/// One row of the Table-1-style summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Workload name.
+    pub application: String,
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Is performance predictable (stable across runs)?
+    pub predictable: Verdict,
+    /// Is scalability predictable (tracks compute power)?
+    pub scalable: Verdict,
+    /// Measured worst asymmetric-configuration CoV, for the record.
+    pub worst_cov: f64,
+    /// Measured worst scaling efficiency.
+    pub worst_efficiency: f64,
+}
+
+impl SummaryRow {
+    /// Derives a row from a baseline experiment and optional remedy
+    /// experiments.
+    ///
+    /// `kernel_fix` and `app_fix` are experiments re-run with the
+    /// asymmetry-aware kernel or with application changes; whichever (if
+    /// any) stabilizes the workload is named in the verdict, preferring
+    /// the kernel fix (the less invasive remedy).
+    pub fn derive(
+        class: WorkloadClass,
+        base: &Experiment,
+        kernel_fix: Option<&Experiment>,
+        app_fix: Option<&Experiment>,
+        min_efficiency: f64,
+    ) -> SummaryRow {
+        let base_stab = base.stability();
+        let kernel_stab = kernel_fix.map(|e| ("asymmetry-aware kernel", e.stability()));
+        let app_stab = app_fix.map(|e| ("application change", e.stability()));
+        // Prefer the kernel remedy when it works.
+        let predictable = match Verdict::from_stability(base_stab, kernel_stab) {
+            Verdict::No => Verdict::from_stability(base_stab, app_stab),
+            v => v,
+        };
+
+        // Scalability is judged on the best-run envelope: instability
+        // widens the spread (the predictability story), while the
+        // envelope answers whether performance can track compute power.
+        let base_scal = base.scalability_best();
+        let scalable = if base_scal.is_predictable(min_efficiency) {
+            Verdict::Yes
+        } else {
+            let fixed = app_fix
+                .map(|e| e.scalability_best().is_predictable(min_efficiency))
+                .unwrap_or(false);
+            if fixed {
+                Verdict::YesWith("application change".to_string())
+            } else {
+                Verdict::No
+            }
+        };
+
+        SummaryRow {
+            application: base.workload.clone(),
+            class,
+            predictable,
+            scalable,
+            worst_cov: base.worst_asymmetric_cov(),
+            worst_efficiency: base_scal.worst_efficiency,
+        }
+    }
+}
+
+impl fmt::Display for SummaryRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:<12} predictable: {:<40} scalable: {}",
+            self.application,
+            self.class.to_string(),
+            self.predictable.to_string(),
+            self.scalable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_formats_match_paper_style() {
+        assert_eq!(Verdict::Yes.to_string(), "Yes");
+        assert_eq!(Verdict::No.to_string(), "No");
+        assert_eq!(
+            Verdict::YesWith("asymmetry aware kernel".into()).to_string(),
+            "No (Yes with asymmetry aware kernel)"
+        );
+    }
+
+    #[test]
+    fn verdict_from_stability() {
+        assert_eq!(
+            Verdict::from_stability(Stability::Stable, None),
+            Verdict::Yes
+        );
+        assert_eq!(
+            Verdict::from_stability(Stability::Marginal, None),
+            Verdict::Yes
+        );
+        assert_eq!(Verdict::from_stability(Stability::Unstable, None), Verdict::No);
+        assert_eq!(
+            Verdict::from_stability(Stability::Unstable, Some(("fix", Stability::Stable))),
+            Verdict::YesWith("fix".into())
+        );
+        assert_eq!(
+            Verdict::from_stability(Stability::Unstable, Some(("fix", Stability::Unstable))),
+            Verdict::No
+        );
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(WorkloadClass::ManagedRuntime.to_string(), "MRTE");
+        assert_eq!(WorkloadClass::WebServer.to_string(), "Web server");
+    }
+}

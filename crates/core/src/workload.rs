@@ -1,0 +1,125 @@
+//! The [`Workload`] abstraction: anything that can be run once on a
+//! configuration and produce a scalar performance metric.
+
+use crate::config::AsymConfig;
+use crate::metrics::Direction;
+use asym_kernel::SchedPolicy;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Everything that parameterizes a single run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSetup {
+    /// Machine shape.
+    pub config: AsymConfig,
+    /// Kernel scheduling policy.
+    pub policy: SchedPolicy,
+    /// Run seed: re-running with a different seed models the timing noise
+    /// separating repeated hardware runs.
+    pub seed: u64,
+}
+
+impl RunSetup {
+    /// Creates a run setup.
+    pub fn new(config: AsymConfig, policy: SchedPolicy, seed: u64) -> Self {
+        RunSetup {
+            config,
+            policy,
+            seed,
+        }
+    }
+}
+
+/// The outcome of one run: a primary scalar plus named secondary metrics
+/// (e.g. response-time percentiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The primary metric (interpretation given by
+    /// [`Workload::direction`]).
+    pub value: f64,
+    /// Named secondary metrics.
+    pub extras: BTreeMap<String, f64>,
+}
+
+impl RunResult {
+    /// A result with only a primary value.
+    pub fn new(value: f64) -> Self {
+        RunResult {
+            value,
+            extras: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a named secondary metric.
+    pub fn with_extra(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.extras.insert(name.into(), value);
+        self
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.value)
+    }
+}
+
+/// A benchmark that can be run on a simulated machine.
+///
+/// Implementations must be `Sync` so the experiment runner can execute
+/// independent runs on parallel OS threads; each run constructs its own
+/// simulated kernel internally, so no state is shared between runs.
+pub trait Workload: Sync {
+    /// Short machine-readable name (used in tables).
+    fn name(&self) -> &str;
+
+    /// Unit label for the primary metric (e.g. `"tx/s"`, `"seconds"`).
+    fn unit(&self) -> &str;
+
+    /// Whether the primary metric is throughput-like or runtime-like.
+    fn direction(&self) -> Direction;
+
+    /// Executes one complete run and returns its metrics.
+    fn run(&self, setup: &RunSetup) -> RunResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl Workload for Fake {
+        fn name(&self) -> &str {
+            "fake"
+        }
+        fn unit(&self) -> &str {
+            "ops/s"
+        }
+        fn direction(&self) -> Direction {
+            Direction::HigherIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            RunResult::new(setup.config.compute_power() * 100.0)
+                .with_extra("p90", 1.0)
+        }
+    }
+
+    #[test]
+    fn workload_contract() {
+        let w = Fake;
+        let setup = RunSetup::new(
+            AsymConfig::new(2, 2, 8),
+            SchedPolicy::os_default(),
+            1,
+        );
+        let r = w.run(&setup);
+        assert_eq!(r.value, 225.0);
+        assert_eq!(r.extras["p90"], 1.0);
+    }
+
+    #[test]
+    fn run_result_builder() {
+        let r = RunResult::new(5.0).with_extra("a", 1.0).with_extra("b", 2.0);
+        assert_eq!(r.extras.len(), 2);
+        assert_eq!(r.to_string(), "5.0000");
+    }
+}

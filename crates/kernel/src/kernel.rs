@@ -1,0 +1,1341 @@
+//! The simulated kernel: event loop, run queues, dispatch, and balancing.
+
+use crate::policy::{PolicyKind, SchedPolicy};
+use crate::thread::{SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
+use asym_sim::{
+    CoreId, CoreMask, Cycles, EventKey, EventQueue, MachineSpec, Rng, SimDuration, SimTime, Speed,
+};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Default scheduler time slice (1 ms of wall time, as in tick-based
+/// kernels of the paper's era).
+pub const DEFAULT_QUANTUM: SimDuration = SimDuration::from_millis(1);
+
+/// Default period of the load balancer.
+pub const DEFAULT_BALANCE_PERIOD: SimDuration = SimDuration::from_millis(4);
+
+/// Default cost charged to a thread when it is switched onto a core.
+pub const DEFAULT_CONTEXT_SWITCH: Cycles = Cycles::new(2_000);
+
+/// How long a queued thread stays "cache hot" and therefore immune to
+/// idle stealing under the stock policy (the `task_hot` test of 2.6-era
+/// kernels, whose default `cache_decay_ticks` was several milliseconds).
+pub const CACHE_HOT_WINDOW: SimDuration = SimDuration::from_micros(5_000);
+
+#[derive(Debug)]
+enum Event {
+    SliceEnd { core: usize },
+    SleepDone { tid: ThreadId },
+    Balance,
+}
+
+/// A scheduling event reported to a tracer installed with
+/// [`Kernel::set_tracer`]. Useful for debugging workload models and for
+/// visualizing schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A thread started a slice on a core.
+    Dispatch {
+        /// The dispatched thread.
+        tid: ThreadId,
+        /// The core granted.
+        core: CoreId,
+    },
+    /// A thread was moved between cores (steal, balance, or explicit
+    /// migration).
+    Migrate {
+        /// The migrated thread.
+        tid: ThreadId,
+        /// Where it was.
+        from: CoreId,
+        /// Where it went.
+        to: CoreId,
+    },
+    /// A thread became runnable after blocking or sleeping.
+    Wakeup {
+        /// The woken thread.
+        tid: ThreadId,
+        /// The core it was enqueued on.
+        core: CoreId,
+    },
+    /// A thread blocked on a wait queue.
+    Block {
+        /// The blocking thread.
+        tid: ThreadId,
+        /// The queue it blocked on.
+        wait: WaitId,
+    },
+    /// A thread finished.
+    Done {
+        /// The finished thread.
+        tid: ThreadId,
+    },
+}
+
+type Tracer = Box<dyn FnMut(SimTime, TraceEvent)>;
+
+/// Why [`Kernel::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every thread reached [`Step::Done`].
+    AllDone,
+    /// The time limit was reached with work still in flight.
+    TimeLimit,
+    /// No events remain but threads are still blocked — a deadlock in the
+    /// simulated program. The count is the number of live threads.
+    Deadlock(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// The body must be asked for its next step.
+    Fresh,
+    /// Partially-executed compute work remains.
+    Compute(Cycles),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Queued on the given core's run queue.
+    Runnable(usize),
+    /// Currently executing on the given core.
+    Running(usize),
+    /// On a wait queue.
+    Blocked(WaitId),
+    /// Off-CPU until a timer fires.
+    Sleeping,
+    /// Finished.
+    Done,
+}
+
+struct Thread {
+    name: String,
+    body: Option<Box<dyn ThreadBody>>,
+    state: TState,
+    pending: Pending,
+    affinity: CoreMask,
+    last_core: Option<usize>,
+    state_since: SimTime,
+    /// When the thread last executed on a core (cache-hotness clock).
+    last_ran: SimTime,
+    /// When the thread was last woken (blocked/sleeping -> runnable).
+    last_wake: SimTime,
+    stats: ThreadStats,
+}
+
+struct Running {
+    tid: ThreadId,
+    slice_start: SimTime,
+    slice_key: EventKey,
+    /// True when the slice ends because the compute step completes (rather
+    /// than the quantum expiring).
+    completes: bool,
+}
+
+struct Core {
+    speed: Speed,
+    queue: VecDeque<ThreadId>,
+    current: Option<Running>,
+    /// True while a thread body is being stepped on this core (between
+    /// slices, `current` is empty but the core is NOT idle — placement
+    /// decisions must still count the occupant).
+    executing: bool,
+    /// When the core last became (and stayed) idle; cleared on dispatch.
+    idle_since: Option<SimTime>,
+    /// Exponentially decayed run-queue length, updated at balance ticks
+    /// (2.6's cpu_load). The balancer compares these, so a core hosting
+    /// only a low-duty thread still reads as nearly idle.
+    load_avg: f64,
+}
+
+impl Core {
+    fn load(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some() || self.executing)
+    }
+}
+
+/// Aggregate kernel counters, observable after a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Total dispatches across all cores.
+    pub dispatches: u64,
+    /// Cross-core thread migrations (wakeup placement changes, balancing,
+    /// and explicit slow→fast pulls).
+    pub migrations: u64,
+    /// Times the periodic balancer ran.
+    pub balance_runs: u64,
+    /// Events processed by the main loop.
+    pub events: u64,
+    /// Per-core busy time, indexed by core.
+    pub core_busy: Vec<SimDuration>,
+}
+
+/// The simulated operating-system kernel.
+///
+/// A `Kernel` owns a machine, a scheduling policy, the simulated threads,
+/// and the event loop. Construct it, spawn initial threads, then call
+/// [`Kernel::run`] or [`Kernel::run_until`].
+///
+/// # Examples
+///
+/// ```
+/// use asym_kernel::{Kernel, SchedPolicy, SpawnOptions, Step, FnThread};
+/// use asym_sim::{Cycles, MachineSpec, Speed};
+///
+/// let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(4));
+/// let mut kernel = Kernel::new(machine, SchedPolicy::os_default(), 42);
+/// let mut left = 3u32;
+/// kernel.spawn(
+///     FnThread::new("worker", move |_cx| {
+///         if left == 0 {
+///             Step::Done
+///         } else {
+///             left -= 1;
+///             Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+///         }
+///     }),
+///     SpawnOptions::new(),
+/// );
+/// let outcome = kernel.run();
+/// assert_eq!(outcome, asym_kernel::RunOutcome::AllDone);
+/// ```
+pub struct Kernel {
+    machine: MachineSpec,
+    policy: SchedPolicy,
+    time: SimTime,
+    events: EventQueue<Event>,
+    rng: Rng,
+    threads: Vec<Thread>,
+    waits: Vec<VecDeque<ThreadId>>,
+    cores: Vec<Core>,
+    pending_dispatch: VecDeque<usize>,
+    pending_set: Vec<bool>,
+    live_threads: usize,
+    blocked_threads: usize,
+    quantum: SimDuration,
+    balance_period: SimDuration,
+    balance_scheduled: bool,
+    context_switch: Cycles,
+    tracer: Option<Tracer>,
+    stats: KernelStats,
+}
+
+impl Kernel {
+    /// Creates a kernel for `machine` under `policy`, with all randomness
+    /// derived from `seed`.
+    pub fn new(machine: MachineSpec, policy: SchedPolicy, seed: u64) -> Self {
+        let cores = machine
+            .speeds()
+            .iter()
+            .map(|&speed| Core {
+                speed,
+                queue: VecDeque::new(),
+                current: None,
+                executing: false,
+                idle_since: None,
+                load_avg: 0.0,
+            })
+            .collect::<Vec<_>>();
+        let n = cores.len();
+        Kernel {
+            machine,
+            policy,
+            time: SimTime::ZERO,
+            events: EventQueue::new(),
+            rng: Rng::new(seed),
+            threads: Vec::new(),
+            waits: Vec::new(),
+            cores,
+            pending_dispatch: VecDeque::new(),
+            pending_set: vec![false; n],
+            live_threads: 0,
+            blocked_threads: 0,
+            quantum: DEFAULT_QUANTUM,
+            balance_period: DEFAULT_BALANCE_PERIOD,
+            balance_scheduled: false,
+            context_switch: DEFAULT_CONTEXT_SWITCH,
+            tracer: None,
+            stats: KernelStats {
+                core_busy: vec![SimDuration::ZERO; n],
+                ..KernelStats::default()
+            },
+        }
+    }
+
+    /// Sets the scheduler time slice. Must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn set_quantum(&mut self, quantum: SimDuration) -> &mut Self {
+        assert!(!quantum.is_zero(), "quantum must be non-zero");
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets the periodic load-balancing interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_balance_period(&mut self, period: SimDuration) -> &mut Self {
+        assert!(!period.is_zero(), "balance period must be non-zero");
+        self.balance_period = period;
+        self
+    }
+
+    /// Sets the per-dispatch context-switch cost.
+    pub fn set_context_switch(&mut self, cost: Cycles) -> &mut Self {
+        self.context_switch = cost;
+        self
+    }
+
+    /// Installs a tracer invoked on every scheduling event (dispatches,
+    /// migrations, wakeups, blocks, thread exits) with the simulated
+    /// timestamp. Pass a closure that records or prints; tracing has no
+    /// effect on scheduling decisions.
+    pub fn set_tracer(&mut self, tracer: impl FnMut(SimTime, TraceEvent) + 'static) -> &mut Self {
+        self.tracer = Some(Box::new(tracer));
+        self
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if let Some(tracer) = &mut self.tracer {
+            tracer(self.time, event);
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The machine this kernel manages.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// The active scheduling policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Aggregate kernel counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Per-thread accounting for `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` does not belong to this kernel.
+    pub fn thread_stats(&self, tid: ThreadId) -> &ThreadStats {
+        &self.threads[tid.0].stats
+    }
+
+    /// The number of threads that have not yet finished.
+    pub fn live_threads(&self) -> usize {
+        self.live_threads
+    }
+
+    /// Creates a wait queue for use with [`Step::Block`].
+    pub fn create_wait_queue(&mut self) -> WaitId {
+        self.waits.push(VecDeque::new());
+        WaitId(self.waits.len() - 1)
+    }
+
+    /// Spawns a thread; it becomes runnable immediately (placement happens
+    /// through the active policy).
+    pub fn spawn(&mut self, body: impl ThreadBody + 'static, opts: SpawnOptions) -> ThreadId {
+        self.spawn_boxed(Box::new(body), opts)
+    }
+
+    /// Spawns an already-boxed thread body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the affinity mask excludes every core of the machine.
+    pub fn spawn_boxed(&mut self, body: Box<dyn ThreadBody>, opts: SpawnOptions) -> ThreadId {
+        self.spawn_on(body, opts, None)
+    }
+
+    fn spawn_on(
+        &mut self,
+        body: Box<dyn ThreadBody>,
+        opts: SpawnOptions,
+        parent_core: Option<usize>,
+    ) -> ThreadId {
+        assert!(
+            opts.affinity.cores_on(self.cores.len()).next().is_some(),
+            "spawn: affinity mask excludes every core"
+        );
+        let tid = ThreadId(self.threads.len());
+        self.threads.push(Thread {
+            name: body.name().to_string(),
+            body: Some(body),
+            state: TState::Runnable(0), // placed below
+            pending: Pending::Fresh,
+            affinity: opts.affinity,
+            last_core: None,
+            state_since: self.time,
+            last_ran: self.time,
+            last_wake: SimTime::ZERO,
+            stats: ThreadStats::default(),
+        });
+        self.live_threads += 1;
+        let core = match parent_core {
+            Some(c) if opts.on_parent_core && opts.affinity.contains(CoreId(c)) => c,
+            // exec-balanced: least-loaded core, but ties keep the child
+            // with its parent (sched_exec only migrates when strictly
+            // better).
+            other => self.place_thread_prefer(tid, other),
+        };
+        self.threads[tid.0].state = TState::Runnable(core);
+        self.cores[core].queue.push_back(tid);
+        self.mark_dispatch(core);
+        tid
+    }
+
+    /// Wakes one waiter on `wait`; returns the thread woken, if any.
+    pub fn notify_one(&mut self, wait: WaitId) -> Option<ThreadId> {
+        self.notify_one_from(wait, None)
+    }
+
+    fn notify_one_from(&mut self, wait: WaitId, waker_core: Option<usize>) -> Option<ThreadId> {
+        let tid = self.waits[wait.0].pop_front()?;
+        self.wakeup(tid, waker_core);
+        Some(tid)
+    }
+
+    /// Wakes every waiter on `wait`; returns how many were woken.
+    pub fn notify_all(&mut self, wait: WaitId) -> usize {
+        self.notify_all_from(wait, None)
+    }
+
+    fn notify_all_from(&mut self, wait: WaitId, waker_core: Option<usize>) -> usize {
+        let waiters: Vec<ThreadId> = self.waits[wait.0].drain(..).collect();
+        let n = waiters.len();
+        for tid in waiters {
+            self.wakeup(tid, waker_core);
+        }
+        n
+    }
+
+    /// The number of threads currently blocked on `wait`.
+    pub fn waiter_count(&self, wait: WaitId) -> usize {
+        self.waits[wait.0].len()
+    }
+
+    /// Runs the simulation until every thread finishes or it deadlocks.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs the simulation up to `limit`.
+    ///
+    /// Returns [`RunOutcome::TimeLimit`] if simulated time would pass
+    /// `limit`; the kernel is left at `limit` and can be resumed by calling
+    /// `run_until` again with a later limit.
+    pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
+        if !self.balance_scheduled {
+            self.events
+                .schedule(self.time + self.balance_period, Event::Balance);
+            self.balance_scheduled = true;
+        }
+        loop {
+            self.drain_dispatch();
+            if self.live_threads == 0 {
+                return RunOutcome::AllDone;
+            }
+            if self.blocked_threads == self.live_threads {
+                // Every remaining thread waits on a queue nobody will
+                // notify: the simulated program has deadlocked.
+                return RunOutcome::Deadlock(self.live_threads);
+            }
+            let Some(next) = self.events.peek_time() else {
+                return RunOutcome::Deadlock(self.live_threads);
+            };
+            if next > limit {
+                self.time = limit;
+                return RunOutcome::TimeLimit;
+            }
+            let (t, ev) = self.events.pop().expect("peeked event exists");
+            debug_assert!(t >= self.time, "time went backwards");
+            self.time = t;
+            self.stats.events += 1;
+            self.handle_event(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::SliceEnd { core } => self.handle_slice_end(core),
+            Event::SleepDone { tid } => {
+                debug_assert_eq!(self.threads[tid.0].state, TState::Sleeping);
+                self.wakeup(tid, None);
+            }
+            Event::Balance => {
+                self.stats.balance_runs += 1;
+                for core in &mut self.cores {
+                    let inst = core.load() as f64;
+                    core.load_avg = 0.75 * core.load_avg + 0.25 * inst;
+                }
+                self.balance();
+                if self.live_threads > 0 {
+                    self.events
+                        .schedule(self.time + self.balance_period, Event::Balance);
+                } else {
+                    self.balance_scheduled = false;
+                }
+            }
+        }
+    }
+
+    fn handle_slice_end(&mut self, core: usize) {
+        let running = self.cores[core]
+            .current
+            .take()
+            .expect("slice-end event for idle core (stale events must be cancelled)");
+        let tid = running.tid;
+        let speed = self.cores[core].speed;
+        let elapsed = self.time.duration_since(running.slice_start);
+        self.stats.core_busy[core] += elapsed;
+        {
+            let th = &mut self.threads[tid.0];
+            th.last_ran = self.time;
+            th.stats.cpu_time += elapsed;
+            match th.pending {
+                Pending::Compute(remaining) => {
+                    if running.completes {
+                        th.stats.cycles_retired += remaining;
+                        th.pending = Pending::Fresh;
+                    } else {
+                        let retired = remaining.retired_over(speed, elapsed);
+                        th.stats.cycles_retired += retired;
+                        let left = remaining.saturating_sub(retired);
+                        th.pending = if left.is_zero() {
+                            Pending::Fresh
+                        } else {
+                            Pending::Compute(left)
+                        };
+                    }
+                }
+                Pending::Fresh => unreachable!("running thread always has compute pending"),
+            }
+        }
+
+        if self.threads[tid.0].pending == Pending::Fresh {
+            // Compute step finished: ask the body for its next step while
+            // the thread still notionally owns the core.
+            self.step_thread_on_core(tid, core);
+        } else {
+            // Quantum expired mid-compute.
+            if self.cores[core].queue.is_empty() {
+                self.start_slice(core, tid);
+            } else {
+                let th = &mut self.threads[tid.0];
+                th.stats.preemptions += 1;
+                th.state = TState::Runnable(core);
+                th.state_since = self.time;
+                self.cores[core].queue.push_back(tid);
+                self.mark_dispatch(core);
+            }
+        }
+    }
+
+    /// Drives `tid` (which currently owns `core` but has no pending
+    /// compute) through body steps until it either starts computing, leaves
+    /// the CPU, or finishes.
+    fn step_thread_on_core(&mut self, tid: ThreadId, core: usize) {
+        debug_assert!(self.cores[core].current.is_none());
+        self.cores[core].executing = true;
+        self.step_thread_on_core_inner(tid, core);
+        self.cores[core].executing = false;
+    }
+
+    fn step_thread_on_core_inner(&mut self, tid: ThreadId, core: usize) {
+        let mut zero_steps = 0u32;
+        loop {
+            let step = self.run_body(tid, core);
+            match step {
+                Step::Compute(c) if !c.is_zero() => {
+                    self.threads[tid.0].pending = Pending::Compute(c);
+                    // Round-robin at step boundaries too: if others wait,
+                    // requeue instead of monopolizing the core.
+                    if self.cores[core].queue.is_empty() {
+                        let th = &mut self.threads[tid.0];
+                        th.state = TState::Running(core);
+                        self.start_slice(core, tid);
+                    } else {
+                        let th = &mut self.threads[tid.0];
+                        th.state = TState::Runnable(core);
+                        th.state_since = self.time;
+                        self.cores[core].queue.push_back(tid);
+                        self.mark_dispatch(core);
+                    }
+                    return;
+                }
+                Step::Compute(_) => {
+                    zero_steps += 1;
+                    assert!(
+                        zero_steps < 100_000,
+                        "thread {} ({}) issued 100000 zero-cycle computes in a row (livelock)",
+                        tid,
+                        self.threads[tid.0].name
+                    );
+                }
+                Step::Sleep(d) => {
+                    let th = &mut self.threads[tid.0];
+                    th.state = TState::Sleeping;
+                    th.state_since = self.time;
+                    self.events
+                        .schedule(self.time + d, Event::SleepDone { tid });
+                    self.mark_dispatch(core);
+                    return;
+                }
+                Step::Block(w) => {
+                    assert!(
+                        w.0 < self.waits.len(),
+                        "Step::Block on unknown wait queue {w}"
+                    );
+                    let th = &mut self.threads[tid.0];
+                    th.state = TState::Blocked(w);
+                    th.state_since = self.time;
+                    self.blocked_threads += 1;
+                    self.waits[w.0].push_back(tid);
+                    self.trace(TraceEvent::Block { tid, wait: w });
+                    self.mark_dispatch(core);
+                    return;
+                }
+                Step::Yield => {
+                    let th = &mut self.threads[tid.0];
+                    th.state = TState::Runnable(core);
+                    th.state_since = self.time;
+                    self.cores[core].queue.push_back(tid);
+                    self.mark_dispatch(core);
+                    return;
+                }
+                Step::Done => {
+                    let th = &mut self.threads[tid.0];
+                    th.state = TState::Done;
+                    th.stats.finished_at = Some(self.time);
+                    th.body = None;
+                    self.live_threads -= 1;
+                    self.trace(TraceEvent::Done { tid });
+                    self.mark_dispatch(core);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn run_body(&mut self, tid: ThreadId, core: usize) -> Step {
+        let mut body = self.threads[tid.0]
+            .body
+            .take()
+            .expect("running a finished thread");
+        let mut cx = ThreadCx {
+            kernel: self,
+            tid,
+            core: CoreId(core),
+        };
+        let step = body.run(&mut cx);
+        self.threads[tid.0].body = Some(body);
+        step
+    }
+
+    /// Begins a compute slice for `tid` on `core`. The thread must have
+    /// pending compute work.
+    fn start_slice(&mut self, core: usize, tid: ThreadId) {
+        let Pending::Compute(remaining) = self.threads[tid.0].pending else {
+            unreachable!("start_slice without pending compute");
+        };
+        let speed = self.cores[core].speed;
+        let to_finish = remaining.duration_at(speed);
+        let (len, completes) = if to_finish <= self.quantum {
+            (to_finish, true)
+        } else {
+            (self.quantum, false)
+        };
+        let key = self
+            .events
+            .schedule(self.time + len, Event::SliceEnd { core });
+        self.threads[tid.0].state = TState::Running(core);
+        self.cores[core].current = Some(Running {
+            tid,
+            slice_start: self.time,
+            slice_key: key,
+            completes,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn mark_dispatch(&mut self, core: usize) {
+        if !self.pending_set[core] {
+            self.pending_set[core] = true;
+            self.pending_dispatch.push_back(core);
+        }
+    }
+
+    fn drain_dispatch(&mut self) {
+        let mut guard = 0u64;
+        while let Some(core) = self.pending_dispatch.pop_front() {
+            self.pending_set[core] = false;
+            loop {
+                guard += 1;
+                assert!(
+                    guard < 50_000_000,
+                    "dispatch livelock: threads must not spin on Step::Yield"
+                );
+                if self.cores[core].current.is_some() {
+                    break;
+                }
+                let Some(tid) = self.cores[core].queue.pop_front() else {
+                    if !self.idle_pull(core) {
+                        if self.cores[core].idle_since.is_none() {
+                            self.cores[core].idle_since = Some(self.time);
+                        }
+                        break;
+                    }
+                    continue;
+                };
+                self.cores[core].idle_since = None;
+                self.dispatch(core, tid);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, core: usize, tid: ThreadId) {
+        let mut migrated_from = None;
+        {
+            let th = &mut self.threads[tid.0];
+            debug_assert!(matches!(th.state, TState::Runnable(_)));
+            th.stats.queued_time += self.time.saturating_duration_since(th.state_since);
+            th.stats.dispatches += 1;
+            if let Some(prev) = th.last_core {
+                if prev != core {
+                    th.stats.migrations += 1;
+                    self.stats.migrations += 1;
+                    migrated_from = Some(prev);
+                }
+            }
+            th.last_core = Some(core);
+            th.state = TState::Running(core);
+        }
+        if let Some(prev) = migrated_from {
+            self.trace(TraceEvent::Migrate {
+                tid,
+                from: CoreId(prev),
+                to: CoreId(core),
+            });
+        }
+        self.stats.dispatches += 1;
+        self.trace(TraceEvent::Dispatch {
+            tid,
+            core: CoreId(core),
+        });
+        // Charge the context-switch cost by prepending it to the pending
+        // compute (a fresh thread is charged on its first compute instead).
+        if !self.context_switch.is_zero() {
+            if let Pending::Compute(c) = self.threads[tid.0].pending {
+                self.threads[tid.0].pending = Pending::Compute(c + self.context_switch);
+            }
+        }
+        match self.threads[tid.0].pending {
+            Pending::Compute(_) => self.start_slice(core, tid),
+            Pending::Fresh => self.step_thread_on_core(tid, core),
+        }
+    }
+
+    fn wakeup(&mut self, tid: ThreadId, waker_core: Option<usize>) {
+        let core = self.place_wakeup(tid, waker_core);
+        if matches!(self.threads[tid.0].state, TState::Blocked(_)) {
+            self.blocked_threads -= 1;
+        }
+        let th = &mut self.threads[tid.0];
+        match th.state {
+            TState::Blocked(_) => {
+                th.stats.blocked_time += self.time.saturating_duration_since(th.state_since);
+            }
+            TState::Sleeping => {}
+            other => panic!("wakeup of thread in state {other:?}"),
+        }
+        th.state = TState::Runnable(core);
+        th.state_since = self.time;
+        th.last_wake = self.time;
+        self.cores[core].queue.push_back(tid);
+        self.trace(TraceEvent::Wakeup {
+            tid,
+            core: CoreId(core),
+        });
+        self.mark_dispatch(core);
+    }
+
+    // ------------------------------------------------------------------
+    // Placement and balancing
+    // ------------------------------------------------------------------
+
+    /// Wakeup placement: under the stock policy, a sync wakeup pulls the
+    /// wakee to the waker's core when the wakee's previous core is busy
+    /// with another thread and the waker's core has room (2.6's
+    /// wake-affine migration). Otherwise standard placement applies.
+    fn place_wakeup(&mut self, tid: ThreadId, waker_core: Option<usize>) -> usize {
+        if self.policy.kind() == PolicyKind::LoadBalancing && self.policy.wake_affine() {
+            if let (Some(waker), Some(prev)) = (waker_core, self.threads[tid.0].last_core) {
+                let affinity = self.threads[tid.0].affinity;
+                let prev_busy = affinity.contains(CoreId(prev)) && self.cores[prev].load() >= 1;
+                let waker_has_room =
+                    affinity.contains(CoreId(waker)) && self.cores[waker].load() <= 1;
+                if prev_busy && waker_has_room && waker != prev {
+                    return waker;
+                }
+            }
+        }
+        self.place_thread(tid)
+    }
+
+    /// Chooses a core for a newly runnable thread, per the active policy.
+    fn place_thread(&mut self, tid: ThreadId) -> usize {
+        self.place_thread_prefer(tid, None)
+    }
+
+    /// Like [`Kernel::place_thread`] but, under the stock policy, breaks
+    /// least-loaded ties in favour of `prefer` (used for exec placement:
+    /// a child stays near its parent unless somewhere is strictly less
+    /// loaded).
+    fn place_thread_prefer(&mut self, tid: ThreadId, prefer: Option<usize>) -> usize {
+        let affinity = self.threads[tid.0].affinity;
+        let last = self.threads[tid.0].last_core;
+        let candidates: Vec<usize> = (0..self.cores.len())
+            .filter(|&i| affinity.contains(CoreId(i)))
+            .collect();
+        assert!(!candidates.is_empty(), "thread affinity excludes all cores");
+        match self.policy.kind() {
+            PolicyKind::LoadBalancing => {
+                let min_load = candidates
+                    .iter()
+                    .map(|&i| self.cores[i].load())
+                    .min()
+                    .expect("non-empty candidates");
+                let ties: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.cores[i].load() == min_load)
+                    .collect();
+                if self.policy.wake_affine() {
+                    // Cache-affine wakeups with the classic one-task
+                    // imbalance tolerance: a woken thread returns to the
+                    // core it last ran on — regardless of that core's
+                    // SPEED, which is precisely how a thread ends up "on a
+                    // slower core even though a faster core is available"
+                    // (§3.4.1) — unless that core is more than one task
+                    // busier than the least-loaded alternative.
+                    if let Some(prev) = last {
+                        if candidates.contains(&prev) {
+                            return prev;
+                        }
+                    }
+                }
+                if let Some(p) = prefer {
+                    if ties.contains(&p) {
+                        return p;
+                    }
+                }
+                if self.policy.random_tie_break() && ties.len() > 1 {
+                    ties[self.rng.index(ties.len())]
+                } else {
+                    ties[0]
+                }
+            }
+            PolicyKind::AsymmetryAware => {
+                // Fastest idle core first; otherwise minimize (load+1)/speed.
+                let idle: Option<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.cores[i].load() == 0)
+                    .max_by(|&a, &b| {
+                        self.cores[a]
+                            .speed
+                            .cmp(&self.cores[b].speed)
+                            .then(b.cmp(&a)) // prefer lowest index on ties
+                    });
+                if let Some(i) = idle {
+                    return i;
+                }
+                candidates
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let da = (self.cores[a].load() + 1) as f64 / self.cores[a].speed.factor();
+                        let db = (self.cores[b].load() + 1) as f64 / self.cores[b].speed.factor();
+                        da.partial_cmp(&db)
+                            .expect("densities are finite")
+                            .then(self.cores[b].speed.cmp(&self.cores[a].speed))
+                            .then(a.cmp(&b))
+                    })
+                    .expect("non-empty candidates")
+            }
+        }
+    }
+
+    /// Called when `core` has nothing to run: try to pull work from
+    /// elsewhere. Returns `true` if a thread was pulled into this core's
+    /// queue.
+    fn idle_pull(&mut self, core: usize) -> bool {
+        match self.policy.kind() {
+            PolicyKind::LoadBalancing => {
+                // Steal one *queued* thread from the core with the longest
+                // queue (the stock kernel never moves a running thread).
+                let busiest = self.busiest_queue(core);
+                if let Some(src) = busiest {
+                    return self.steal_queued(src, core, true);
+                }
+                false
+            }
+            PolicyKind::AsymmetryAware => {
+                if let Some(src) = self.busiest_queue(core) {
+                    if self.steal_queued(src, core, true) {
+                        return true;
+                    }
+                }
+                // "Fast cores never go idle before slower cores": pull the
+                // running thread off a strictly slower core.
+                if self.policy.migrate_running() {
+                    return self.pull_running_from_slower(core);
+                }
+                false
+            }
+        }
+    }
+
+    /// Returns `true` when `tid` may be idle-stolen to `for_core`: it must
+    /// be affine to the target and, under the stock policy, cache-cold
+    /// (not run or enqueued within [`CACHE_HOT_WINDOW`]).
+    fn can_idle_steal(&self, tid: ThreadId, for_core: usize) -> bool {
+        let th = &self.threads[tid.0];
+        if !th.affinity.contains(CoreId(for_core)) {
+            return false;
+        }
+        if self.policy.is_asymmetry_aware() {
+            return true;
+        }
+
+        // task_hot(): a task is cache-hot if it executed recently. A
+        // task that was hot when it was enqueued on its own core stays
+        // protected while it waits there (waiting in a runqueue does not
+        // invalidate the cache it is waiting next to); a task that went
+        // cold while blocked or sleeping is fair game.
+        // task_hot(), 2.6-style: the hot clock refreshes when the task
+        // last *ran* and when it was last *woken* — a freshly woken task
+        // is left near its cache for one window before anyone may steal
+        // it, even if the core it returned to is busy. Sitting in a run
+        // queue does not refresh the clock, so threads stuck waiting
+        // longer than the window become fair game. Strands (short waits,
+        // refreshed every request) persist; clumps (long waits) dissolve.
+        let hot_clock = th.last_wake.max(th.last_ran);
+        self.time.saturating_duration_since(hot_clock) >= CACHE_HOT_WINDOW
+    }
+
+    /// The core (≠ `for_core`) with the longest non-empty queue holding at
+    /// least one thread allowed to run on `for_core`, ties broken randomly
+    /// under the stock policy.
+    fn busiest_queue(&mut self, for_core: usize) -> Option<usize> {
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_len = 0usize;
+        for i in 0..self.cores.len() {
+            if i == for_core {
+                continue;
+            }
+            let movable = self.cores[i]
+                .queue
+                .iter()
+                .filter(|t| self.can_idle_steal(**t, for_core))
+                .count();
+            if movable == 0 {
+                continue;
+            }
+            let len = self.cores[i].queue.len();
+            if len > best_len {
+                best_len = len;
+                best = vec![i];
+            } else if len == best_len {
+                best.push(i);
+            }
+        }
+        if best.is_empty() {
+            None
+        } else if best.len() == 1 || !self.policy.random_tie_break() {
+            Some(best[0])
+        } else {
+            Some(best[self.rng.index(best.len())])
+        }
+    }
+
+    /// Moves the most recently queued eligible thread from `src`'s queue to
+    /// `dst`'s queue. Idle stealing honours the cache-hot window under the
+    /// stock policy; the periodic balancer overrides it (as real kernels
+    /// do once imbalance persists).
+    fn steal_queued(&mut self, src: usize, dst: usize, honor_cache_hot: bool) -> bool {
+        let pos = self.cores[src].queue.iter().rposition(|t| {
+            if honor_cache_hot {
+                self.can_idle_steal(*t, dst)
+            } else {
+                self.threads[t.0].affinity.contains(CoreId(dst))
+            }
+        });
+        let Some(pos) = pos else { return false };
+        let tid = self.cores[src].queue.remove(pos).expect("position valid");
+        self.threads[tid.0].state = TState::Runnable(dst);
+        self.cores[dst].queue.push_back(tid);
+        self.mark_dispatch(dst);
+        true
+    }
+
+    /// Pulls the running thread off the slowest strictly-slower busy core
+    /// onto idle core `dst`. Implements the paper's "a process is
+    /// explicitly migrated from a slow core to an idle fast core".
+    fn pull_running_from_slower(&mut self, dst: usize) -> bool {
+        let dst_speed = self.cores[dst].speed;
+        let src = (0..self.cores.len())
+            .filter(|&i| i != dst && self.cores[i].speed < dst_speed)
+            .filter(|&i| {
+                self.cores[i]
+                    .current
+                    .as_ref()
+                    .is_some_and(|r| self.threads[r.tid.0].affinity.contains(CoreId(dst)))
+            })
+            .min_by(|&a, &b| self.cores[a].speed.cmp(&self.cores[b].speed).then(a.cmp(&b)));
+        let Some(src) = src else { return false };
+        let tid = self.interrupt_running(src);
+        self.threads[tid.0].state = TState::Runnable(dst);
+        self.threads[tid.0].state_since = self.time;
+        self.cores[dst].queue.push_back(tid);
+        self.mark_dispatch(dst);
+        self.mark_dispatch(src);
+        true
+    }
+
+    /// Stops the thread currently running on `core` mid-slice, accounting
+    /// for partial progress, and returns it (in `Runnable`-ready form; the
+    /// caller re-queues it).
+    fn interrupt_running(&mut self, core: usize) -> ThreadId {
+        let running = self.cores[core]
+            .current
+            .take()
+            .expect("interrupt_running on idle core");
+        self.events.cancel(running.slice_key);
+        let elapsed = self.time.duration_since(running.slice_start);
+        self.stats.core_busy[core] += elapsed;
+        let speed = self.cores[core].speed;
+        let th = &mut self.threads[running.tid.0];
+        th.last_ran = self.time;
+        th.stats.cpu_time += elapsed;
+        th.stats.preemptions += 1;
+        if let Pending::Compute(remaining) = th.pending {
+            let retired = remaining.retired_over(speed, elapsed);
+            th.stats.cycles_retired += retired;
+            let left = remaining.saturating_sub(retired);
+            th.pending = if left.is_zero() {
+                Pending::Fresh
+            } else {
+                Pending::Compute(left)
+            };
+        }
+        running.tid
+    }
+
+    /// The periodic balancer.
+    fn balance(&mut self) {
+        match self.policy.kind() {
+            PolicyKind::LoadBalancing => self.balance_stock(),
+            PolicyKind::AsymmetryAware => self.balance_aware(),
+        }
+        // Any core that is idle with work available elsewhere re-checks.
+        for i in 0..self.cores.len() {
+            if self.cores[i].current.is_none() {
+                self.mark_dispatch(i);
+            }
+        }
+    }
+
+    /// Equalize decayed load averages, ignoring core speeds (stock
+    /// kernel). Steals respect cache hotness.
+    fn balance_stock(&mut self) {
+        for _ in 0..self.threads.len().max(4) {
+            let (mut max_i, mut min_i) = (0usize, 0usize);
+            let (mut max_l, mut min_l) = (f64::MIN, f64::MAX);
+            let offset = if self.policy.random_tie_break() {
+                self.rng.index(self.cores.len())
+            } else {
+                0
+            };
+            for k in 0..self.cores.len() {
+                let i = (k + offset) % self.cores.len();
+                // Imbalance is judged on the decayed load average, biased
+                // by the instantaneous queue so there is actually
+                // something to steal from the busiest core.
+                let l = self.cores[i].load_avg.max(self.cores[i].load() as f64 * 0.5);
+                if l > max_l {
+                    max_l = l;
+                    max_i = i;
+                }
+                if l < min_l {
+                    min_l = l;
+                    min_i = i;
+                }
+            }
+            if max_l - min_l < 1.75 || self.cores[max_i].queue.is_empty() {
+                break;
+            }
+            if !self.steal_queued(max_i, min_i, true) {
+                break;
+            }
+        }
+    }
+
+    /// Speed-weighted balancing: minimize the maximum of load/speed, and
+    /// never leave a fast core idle while a slower core has queued work.
+    fn balance_aware(&mut self) {
+        // Phase 1: fill idle cores, fastest first. Only *surplus* threads
+        // (cores with load ≥ 2) are stolen; otherwise an idle faster core
+        // may pull the running thread off a strictly slower core. The
+        // strict direction prevents ping-ponging a single thread between
+        // an idle slow core and a fast core within one balance pass.
+        for _ in 0..2 * self.cores.len() {
+            let idle = (0..self.cores.len())
+                .filter(|&i| self.cores[i].load() == 0)
+                .max_by(|&a, &b| self.cores[a].speed.cmp(&self.cores[b].speed).then(b.cmp(&a)));
+            let Some(dst) = idle else { break };
+            let src = (0..self.cores.len())
+                .filter(|&i| {
+                    i != dst && self.cores[i].load() >= 2 && !self.cores[i].queue.is_empty()
+                })
+                .min_by(|&a, &b| self.cores[a].speed.cmp(&self.cores[b].speed).then(a.cmp(&b)));
+            let moved = match src {
+                Some(src) => self.steal_queued(src, dst, false),
+                None => false,
+            };
+            if !moved {
+                if self.policy.migrate_running() && self.pull_running_from_slower(dst) {
+                    continue;
+                }
+                break;
+            }
+        }
+        // Phase 2: density equalization — move queued threads from the
+        // densest core to wherever they'd run "lighter".
+        for _ in 0..self.threads.len().max(4) {
+            let Some(src) = (0..self.cores.len())
+                .filter(|&i| !self.cores[i].queue.is_empty())
+                .max_by(|&a, &b| {
+                    let da = self.cores[a].load() as f64 / self.cores[a].speed.factor();
+                    let db = self.cores[b].load() as f64 / self.cores[b].speed.factor();
+                    da.partial_cmp(&db).expect("finite").then(b.cmp(&a))
+                })
+            else {
+                return;
+            };
+            let src_density = self.cores[src].load() as f64 / self.cores[src].speed.factor();
+            let Some(dst) = (0..self.cores.len()).filter(|&i| i != src).min_by(|&a, &b| {
+                let da = (self.cores[a].load() + 1) as f64 / self.cores[a].speed.factor();
+                let db = (self.cores[b].load() + 1) as f64 / self.cores[b].speed.factor();
+                da.partial_cmp(&db)
+                    .expect("finite")
+                    .then(self.cores[b].speed.cmp(&self.cores[a].speed))
+                    .then(a.cmp(&b))
+            }) else {
+                return;
+            };
+            let dst_density = (self.cores[dst].load() + 1) as f64 / self.cores[dst].speed.factor();
+            if dst_density + 1e-9 >= src_density {
+                return;
+            }
+            if !self.steal_queued(src, dst, false) {
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection helpers for tests and higher layers
+    // ------------------------------------------------------------------
+
+    /// The load (queued + running) of each core, indexed by core.
+    pub fn core_loads(&self) -> Vec<usize> {
+        self.cores.iter().map(Core::load).collect()
+    }
+
+    /// The core a thread last ran (or is running) on.
+    pub fn thread_core(&self, tid: ThreadId) -> Option<CoreId> {
+        self.threads[tid.0].last_core.map(CoreId)
+    }
+
+    /// Returns `true` once `tid` has finished.
+    pub fn is_finished(&self, tid: ThreadId) -> bool {
+        self.threads[tid.0].state == TState::Done
+    }
+
+    /// Changes a thread's affinity mask. If the thread currently sits on a
+    /// now-disallowed core it is moved at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask excludes every core.
+    pub fn set_affinity(&mut self, tid: ThreadId, mask: CoreMask) {
+        assert!(
+            mask.cores_on(self.cores.len()).next().is_some(),
+            "set_affinity: mask excludes every core"
+        );
+        self.threads[tid.0].affinity = mask;
+        match self.threads[tid.0].state {
+            TState::Running(core) if !mask.contains(CoreId(core)) => {
+                let tid = {
+                    let t = self.interrupt_running(core);
+                    debug_assert_eq!(t, tid);
+                    t
+                };
+                let dst = self.place_thread(tid);
+                self.threads[tid.0].state = TState::Runnable(dst);
+                self.threads[tid.0].state_since = self.time;
+                self.cores[dst].queue.push_back(tid);
+                self.mark_dispatch(dst);
+                self.mark_dispatch(core);
+            }
+            TState::Runnable(core) if !mask.contains(CoreId(core)) => {
+                let pos = self.cores[core]
+                    .queue
+                    .iter()
+                    .position(|&t| t == tid)
+                    .expect("runnable thread is queued");
+                self.cores[core].queue.remove(pos);
+                let dst = self.place_thread(tid);
+                self.threads[tid.0].state = TState::Runnable(dst);
+                self.cores[dst].queue.push_back(tid);
+                self.mark_dispatch(dst);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("time", &self.time)
+            .field("policy", &self.policy)
+            .field("threads", &self.threads.len())
+            .field("live", &self.live_threads)
+            .field("cores", &self.cores.len())
+            .finish()
+    }
+}
+
+/// The per-step execution context handed to [`ThreadBody::run`].
+///
+/// Offers the instantaneous kernel services a thread may invoke at a step
+/// boundary: spawning, waking waiters, reading the clock, and drawing
+/// deterministic randomness.
+pub struct ThreadCx<'k> {
+    kernel: &'k mut Kernel,
+    tid: ThreadId,
+    core: CoreId,
+}
+
+impl ThreadCx<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.time
+    }
+
+    /// The calling thread's id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The core the calling thread is executing on.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The speed of the core the calling thread is executing on.
+    pub fn core_speed(&self) -> Speed {
+        self.kernel.machine.speed(self.core)
+    }
+
+    /// The machine description.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.kernel.machine
+    }
+
+    /// Deterministic randomness (shared kernel stream).
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.kernel.rng
+    }
+
+    /// Spawns a new thread; it becomes runnable immediately. With
+    /// [`SpawnOptions::on_parent_core`] the child starts on this thread's
+    /// core, as a forked process would.
+    pub fn spawn(&mut self, body: impl ThreadBody + 'static, opts: SpawnOptions) -> ThreadId {
+        let core = self.core.0;
+        self.kernel.spawn_on(Box::new(body), opts, Some(core))
+    }
+
+    /// Creates a wait queue.
+    pub fn create_wait_queue(&mut self) -> WaitId {
+        self.kernel.create_wait_queue()
+    }
+
+    /// Wakes one waiter on `wait` (a sync wakeup from this thread's core).
+    pub fn notify_one(&mut self, wait: WaitId) -> Option<ThreadId> {
+        let core = self.core.0;
+        self.kernel.notify_one_from(wait, Some(core))
+    }
+
+    /// Wakes all waiters on `wait`; returns the count woken.
+    pub fn notify_all(&mut self, wait: WaitId) -> usize {
+        let core = self.core.0;
+        self.kernel.notify_all_from(wait, Some(core))
+    }
+
+    /// Wakes one waiter without sync-wakeup affinity — for events that
+    /// arrive from outside the machine (network interrupts, remote
+    /// drivers), where there is no meaningful waker core.
+    pub fn notify_one_remote(&mut self, wait: WaitId) -> Option<ThreadId> {
+        self.kernel.notify_one_from(wait, None)
+    }
+
+    /// Wakes all waiters without sync-wakeup affinity (see
+    /// [`ThreadCx::notify_one_remote`]).
+    pub fn notify_all_remote(&mut self, wait: WaitId) -> usize {
+        self.kernel.notify_all_from(wait, None)
+    }
+
+    /// The number of threads currently blocked on `wait`.
+    pub fn waiter_count(&self, wait: WaitId) -> usize {
+        self.kernel.waiter_count(wait)
+    }
+
+    /// Changes a thread's CPU affinity.
+    pub fn set_affinity(&mut self, tid: ThreadId, mask: CoreMask) {
+        self.kernel.set_affinity(tid, mask);
+    }
+}
+
+impl fmt::Debug for ThreadCx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadCx")
+            .field("tid", &self.tid)
+            .field("core", &self.core)
+            .field("now", &self.kernel.time)
+            .finish()
+    }
+}

@@ -1,0 +1,193 @@
+//! Scheduling policies.
+//!
+//! The paper contrasts two kernels:
+//!
+//! * the **stock scheduler** (Linux 2.6 era): balances *run-queue lengths*
+//!   and is agnostic to core speed — "sometimes the kernel scheduler places
+//!   processes on slower cores even though a faster core is available
+//!   because it is agnostic to the relative speed of the processors"
+//!   (§3.4.1);
+//! * their **asymmetry-aware scheduler** (§3.1.1): "the kernel scheduler
+//!   ensures faster cores never go idle before slower cores. A process is
+//!   explicitly migrated from a slow core to an idle fast core, if one is
+//!   available."
+//!
+//! [`SchedPolicy`] captures both, plus the individual knobs so ablation
+//! benches can isolate which mechanism matters.
+
+use std::fmt;
+
+/// The overall scheduling algorithm family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Speed-agnostic run-queue-length balancing (the stock kernel).
+    LoadBalancing,
+    /// The paper's asymmetry-aware scheduler.
+    AsymmetryAware,
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::LoadBalancing => write!(f, "stock"),
+            PolicyKind::AsymmetryAware => write!(f, "asym-aware"),
+        }
+    }
+}
+
+/// A fully-specified scheduling policy.
+///
+/// Use [`SchedPolicy::os_default`] for the stock speed-agnostic scheduler
+/// and [`SchedPolicy::asymmetry_aware`] for the paper's modified kernel.
+/// The remaining constructors expose ablation variants.
+///
+/// # Examples
+///
+/// ```
+/// use asym_kernel::SchedPolicy;
+///
+/// let stock = SchedPolicy::os_default();
+/// assert!(stock.random_tie_break());
+/// let fixed = SchedPolicy::asymmetry_aware();
+/// assert!(fixed.migrate_running());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchedPolicy {
+    kind: PolicyKind,
+    random_tie_break: bool,
+    wake_affine: bool,
+    migrate_running: bool,
+}
+
+impl SchedPolicy {
+    /// The stock, asymmetry-agnostic scheduler. Wakeup placement prefers
+    /// the thread's previous core when it is among the least loaded (wake
+    /// affinity, as real kernels do for cache locality), otherwise picks a
+    /// least-loaded core with randomized tie-breaking — the stand-in for
+    /// the timing noise that makes repeated hardware runs differ.
+    pub fn os_default() -> Self {
+        SchedPolicy {
+            kind: PolicyKind::LoadBalancing,
+            random_tie_break: true,
+            wake_affine: true,
+            migrate_running: false,
+        }
+    }
+
+    /// The paper's asymmetry-aware scheduler: wakeups prefer the fastest
+    /// idle core; balancing weights load by core speed; an idle fast core
+    /// explicitly migrates work — including a *running* thread — off a
+    /// slower core.
+    pub fn asymmetry_aware() -> Self {
+        SchedPolicy {
+            kind: PolicyKind::AsymmetryAware,
+            random_tie_break: false,
+            wake_affine: false,
+            migrate_running: true,
+        }
+    }
+
+    /// Ablation: the stock scheduler with deterministic (lowest-index)
+    /// tie-breaking — used to show the measured instability really does
+    /// come from placement nondeterminism.
+    pub fn os_default_deterministic() -> Self {
+        SchedPolicy {
+            random_tie_break: false,
+            ..Self::os_default()
+        }
+    }
+
+    /// Ablation: asymmetry-aware wakeup placement but *without* the
+    /// explicit slow→fast migration of running threads.
+    pub fn asymmetry_aware_no_migration() -> Self {
+        SchedPolicy {
+            migrate_running: false,
+            ..Self::asymmetry_aware()
+        }
+    }
+
+    /// The algorithm family.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Whether placement ties are broken randomly.
+    pub fn random_tie_break(&self) -> bool {
+        self.random_tie_break
+    }
+
+    /// Whether wakeups prefer the thread's previous core.
+    pub fn wake_affine(&self) -> bool {
+        self.wake_affine
+    }
+
+    /// Whether an idle faster core may pull a thread that is *currently
+    /// running* on a slower core.
+    pub fn migrate_running(&self) -> bool {
+        self.migrate_running
+    }
+
+    /// Returns `true` for the asymmetry-aware family.
+    pub fn is_asymmetry_aware(&self) -> bool {
+        self.kind == PolicyKind::AsymmetryAware
+    }
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        SchedPolicy::os_default()
+    }
+}
+
+impl fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if !self.random_tie_break && self.kind == PolicyKind::LoadBalancing {
+            write!(f, "+det")?;
+        }
+        if !self.migrate_running && self.kind == PolicyKind::AsymmetryAware {
+            write!(f, "-mig")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_flags() {
+        let stock = SchedPolicy::os_default();
+        assert_eq!(stock.kind(), PolicyKind::LoadBalancing);
+        assert!(stock.wake_affine());
+        assert!(!stock.migrate_running());
+        assert!(!stock.is_asymmetry_aware());
+
+        let aware = SchedPolicy::asymmetry_aware();
+        assert_eq!(aware.kind(), PolicyKind::AsymmetryAware);
+        assert!(aware.migrate_running());
+        assert!(!aware.random_tie_break());
+        assert!(aware.is_asymmetry_aware());
+    }
+
+    #[test]
+    fn ablation_variants() {
+        assert!(!SchedPolicy::os_default_deterministic().random_tie_break());
+        assert!(!SchedPolicy::asymmetry_aware_no_migration().migrate_running());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(SchedPolicy::os_default().to_string(), "stock");
+        assert_eq!(SchedPolicy::asymmetry_aware().to_string(), "asym-aware");
+        assert_eq!(
+            SchedPolicy::os_default_deterministic().to_string(),
+            "stock+det"
+        );
+        assert_eq!(
+            SchedPolicy::asymmetry_aware_no_migration().to_string(),
+            "asym-aware-mig"
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Simulated threads.
+//!
+//! A simulated thread is a state machine implementing [`ThreadBody`]. The
+//! kernel calls [`ThreadBody::run`] whenever the thread needs its next
+//! [`Step`]; the step describes what the thread does next (compute, sleep,
+//! block, yield, or exit). Instantaneous side effects — spawning threads,
+//! waking waiters — are performed through the [`ThreadCx`](crate::ThreadCx)
+//! passed to `run`.
+//!
+//! This "step machine" style lets the whole simulation run on one OS thread
+//! with no coroutines while still expressing blocking synchronization.
+
+use asym_sim::{CoreMask, Cycles, SimDuration, SimTime};
+use std::fmt;
+
+/// Identifies a simulated thread within a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub(crate) usize);
+
+impl ThreadId {
+    /// The thread's index (stable for the lifetime of the kernel).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+/// Identifies a kernel wait queue (the substrate for every blocking
+/// synchronization primitive in `asym-sync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WaitId(pub(crate) usize);
+
+impl fmt::Display for WaitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wait{}", self.0)
+    }
+}
+
+/// What a thread does next, as returned by [`ThreadBody::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Execute `Cycles` of computation on whatever core the kernel grants.
+    /// The kernel may preempt and migrate the thread mid-compute; the work
+    /// total is preserved.
+    Compute(Cycles),
+    /// Leave the CPU for a fixed simulated duration (I/O, timers, think
+    /// time).
+    Sleep(SimDuration),
+    /// Block until another thread notifies the wait queue. Re-check your
+    /// predicate after waking: wakeups are delivered to whoever waits, so
+    /// primitives must be written in the classic "recheck loop" style.
+    Block(WaitId),
+    /// Give up the CPU but remain runnable.
+    Yield,
+    /// The thread is finished; its body is dropped.
+    Done,
+}
+
+/// The behaviour of a simulated thread.
+///
+/// # Examples
+///
+/// A thread that computes three 1 ms bursts and exits:
+///
+/// ```
+/// use asym_kernel::{Step, ThreadBody, ThreadCx};
+/// use asym_sim::Cycles;
+///
+/// struct Bursts(u32);
+///
+/// impl ThreadBody for Bursts {
+///     fn run(&mut self, _cx: &mut ThreadCx<'_>) -> Step {
+///         if self.0 == 0 {
+///             return Step::Done;
+///         }
+///         self.0 -= 1;
+///         Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+///     }
+/// }
+/// ```
+pub trait ThreadBody {
+    /// Produces the thread's next step. Called by the kernel each time the
+    /// previous step completes (compute finished, sleep elapsed, wait
+    /// notified, or on first dispatch).
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step;
+
+    /// A short label for traces and stats; defaults to `"thread"`.
+    fn name(&self) -> &str {
+        "thread"
+    }
+}
+
+/// A [`ThreadBody`] built from a closure, for tests and simple workloads.
+///
+/// # Examples
+///
+/// ```
+/// use asym_kernel::{FnThread, Step};
+/// use asym_sim::Cycles;
+///
+/// let mut burst = 2u32;
+/// let body = FnThread::new("worker", move |_cx| {
+///     if burst == 0 {
+///         Step::Done
+///     } else {
+///         burst -= 1;
+///         Step::Compute(Cycles::new(1000))
+///     }
+/// });
+/// ```
+pub struct FnThread<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnThread<F>
+where
+    F: FnMut(&mut ThreadCx<'_>) -> Step,
+{
+    /// Wraps `f` as a thread body named `name`.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnThread {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> ThreadBody for FnThread<F>
+where
+    F: FnMut(&mut ThreadCx<'_>) -> Step,
+{
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        (self.f)(cx)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<F> fmt::Debug for FnThread<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnThread").field("name", &self.name).finish()
+    }
+}
+
+/// Options controlling how a thread is created.
+#[derive(Debug, Clone)]
+pub struct SpawnOptions {
+    /// Cores the thread may run on; defaults to all cores.
+    pub affinity: CoreMask,
+    /// Scheduling weight reserved for future use; 1 for normal threads.
+    pub weight: u32,
+    /// Start the child on the spawning thread's core (fork semantics:
+    /// the child begins where the parent ran and is spread out later by
+    /// load balancing). Ignored for threads spawned from outside the
+    /// simulation.
+    pub on_parent_core: bool,
+}
+
+impl SpawnOptions {
+    /// Default options: any core, normal weight.
+    pub fn new() -> Self {
+        SpawnOptions {
+            affinity: CoreMask::ALL,
+            weight: 1,
+            on_parent_core: false,
+        }
+    }
+
+    /// Pins the thread to the given cores.
+    pub fn affinity(mut self, mask: CoreMask) -> Self {
+        self.affinity = mask;
+        self
+    }
+
+    /// Starts the child on the spawning thread's core (fork semantics).
+    pub fn on_parent_core(mut self) -> Self {
+        self.on_parent_core = true;
+        self
+    }
+}
+
+impl Default for SpawnOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-thread accounting, observable after (or during) a simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadStats {
+    /// Total CPU time consumed, in simulated time (wall time on-core).
+    pub cpu_time: SimDuration,
+    /// Total full-speed-equivalent cycles retired.
+    pub cycles_retired: Cycles,
+    /// Number of times the thread was dispatched onto a core.
+    pub dispatches: u64,
+    /// Number of cross-core migrations.
+    pub migrations: u64,
+    /// Number of involuntary preemptions.
+    pub preemptions: u64,
+    /// Time spent blocked on wait queues.
+    pub blocked_time: SimDuration,
+    /// Time spent runnable but queued behind other threads.
+    pub queued_time: SimDuration,
+    /// When the thread finished, if it has.
+    pub finished_at: Option<SimTime>,
+}
+
+// Re-export the context type here for the trait docs; defined in kernel.rs
+// because it borrows kernel internals.
+pub use crate::kernel::ThreadCx;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_options_builder() {
+        let mask = CoreMask::single(asym_sim::CoreId(1));
+        let opts = SpawnOptions::new().affinity(mask);
+        assert_eq!(opts.affinity, mask);
+        assert_eq!(SpawnOptions::default().affinity, CoreMask::ALL);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(ThreadId(3).to_string(), "tid3");
+        assert_eq!(WaitId(5).to_string(), "wait5");
+        assert_eq!(ThreadId(3).index(), 3);
+    }
+}

@@ -1,0 +1,286 @@
+//! OpenMP loop-scheduling modes and the shared per-region work state.
+//!
+//! OpenMP 2.0 (the version the paper's SPEC OMP binaries used) offers three
+//! work-sharing modes, §3.5:
+//!
+//! * **static** — "equal division of loops among processors occurs at the
+//!   beginning of execution";
+//! * **dynamic** — processors request constant-size chunks as they finish;
+//! * **guided** — processors request chunks that start at `remaining/N` and
+//!   shrink exponentially.
+//!
+//! Static division is what makes SPEC OMP scale at the pace of the slowest
+//! core; guided without speed awareness lets a slow core grab a huge early
+//! chunk and become the critical path.
+
+use std::fmt;
+
+/// An OpenMP loop-scheduling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopSchedule {
+    /// Pre-divide iterations into one contiguous block per thread.
+    Static,
+    /// Threads repeatedly grab `chunk` iterations.
+    Dynamic {
+        /// Iterations handed out per request.
+        chunk: u64,
+    },
+    /// Threads grab `max(remaining / nthreads, min_chunk)` iterations.
+    Guided {
+        /// The smallest chunk guided mode will hand out.
+        min_chunk: u64,
+    },
+}
+
+impl LoopSchedule {
+    /// A dynamic schedule sized so the loop splits into roughly
+    /// `chunks_per_thread × nthreads` chunks — the "large chunk size to
+    /// reduce allocation overhead" choice from the paper's fix (§3.5).
+    pub fn dynamic_for(iters: u64, nthreads: usize, chunks_per_thread: u64) -> Self {
+        let denom = (nthreads as u64).saturating_mul(chunks_per_thread).max(1);
+        LoopSchedule::Dynamic {
+            chunk: (iters / denom).max(1),
+        }
+    }
+}
+
+impl fmt::Display for LoopSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopSchedule::Static => write!(f, "static"),
+            LoopSchedule::Dynamic { chunk } => write!(f, "dynamic({chunk})"),
+            LoopSchedule::Guided { min_chunk } => write!(f, "guided({min_chunk})"),
+        }
+    }
+}
+
+/// The shared dispensing state of one parallel loop instance.
+///
+/// Workers call [`LoopState::next_chunk`] until it returns `None`. For
+/// `Static` the chunks are fixed per-thread ranges; for the dynamic modes
+/// chunks come off a shared counter.
+#[derive(Debug, Clone)]
+pub struct LoopState {
+    schedule: LoopSchedule,
+    iters: u64,
+    nthreads: usize,
+    /// Next undispensed iteration (dynamic/guided).
+    cursor: u64,
+    /// Per-thread static ranges as (start, end) pairs; empty otherwise.
+    static_ranges: Vec<(u64, u64)>,
+    /// Which threads have taken their static range.
+    static_taken: Vec<bool>,
+    /// Number of chunks handed out (for overhead accounting).
+    chunks_dispensed: u64,
+}
+
+impl LoopState {
+    /// Creates the dispensing state for a loop of `iters` iterations run by
+    /// `nthreads` threads under `schedule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` is zero.
+    pub fn new(schedule: LoopSchedule, iters: u64, nthreads: usize) -> Self {
+        assert!(nthreads > 0, "a loop needs at least one thread");
+        let mut static_ranges = Vec::new();
+        let mut static_taken = Vec::new();
+        if schedule == LoopSchedule::Static {
+            // Contiguous near-equal division, exactly like `schedule(static)`
+            // with the default chunk: thread t gets iterations
+            // [t*q + min(t, r), ...) where q = iters / n, r = iters % n.
+            let n = nthreads as u64;
+            let q = iters / n;
+            let r = iters % n;
+            let mut start = 0u64;
+            for t in 0..n {
+                let len = q + u64::from(t < r);
+                static_ranges.push((start, start + len));
+                start += len;
+            }
+            static_taken = vec![false; nthreads];
+        }
+        LoopState {
+            schedule,
+            iters,
+            nthreads,
+            cursor: 0,
+            static_ranges,
+            static_taken,
+            chunks_dispensed: 0,
+        }
+    }
+
+    /// Hands `thread_rank` its next chunk of iterations as `(start, len)`,
+    /// or `None` when the loop is exhausted (for this thread, under
+    /// static).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread_rank >= nthreads`.
+    pub fn next_chunk(&mut self, thread_rank: usize) -> Option<(u64, u64)> {
+        assert!(thread_rank < self.nthreads, "rank out of range");
+        match self.schedule {
+            LoopSchedule::Static => {
+                if self.static_taken[thread_rank] {
+                    return None;
+                }
+                self.static_taken[thread_rank] = true;
+                let (start, end) = self.static_ranges[thread_rank];
+                if end == start {
+                    return None;
+                }
+                self.chunks_dispensed += 1;
+                Some((start, end - start))
+            }
+            LoopSchedule::Dynamic { chunk } => {
+                if self.cursor >= self.iters {
+                    return None;
+                }
+                let start = self.cursor;
+                let len = chunk.max(1).min(self.iters - start);
+                self.cursor += len;
+                self.chunks_dispensed += 1;
+                Some((start, len))
+            }
+            LoopSchedule::Guided { min_chunk } => {
+                if self.cursor >= self.iters {
+                    return None;
+                }
+                let remaining = self.iters - self.cursor;
+                let len = (remaining / self.nthreads as u64)
+                    .max(min_chunk.max(1))
+                    .min(remaining);
+                let start = self.cursor;
+                self.cursor += len;
+                self.chunks_dispensed += 1;
+                Some((start, len))
+            }
+        }
+    }
+
+    /// Returns `true` when no further chunk will be dispensed to
+    /// `thread_rank`.
+    pub fn exhausted_for(&self, thread_rank: usize) -> bool {
+        match self.schedule {
+            LoopSchedule::Static => {
+                self.static_taken[thread_rank]
+                    || self.static_ranges[thread_rank].0 == self.static_ranges[thread_rank].1
+            }
+            _ => self.cursor >= self.iters,
+        }
+    }
+
+    /// Number of chunks handed out so far.
+    pub fn chunks_dispensed(&self) -> u64 {
+        self.chunks_dispensed
+    }
+
+    /// The scheduling mode.
+    pub fn schedule(&self) -> LoopSchedule {
+        self.schedule
+    }
+
+    /// Total loop iterations.
+    pub fn iters(&self) -> u64 {
+        self.iters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_ranges_partition_the_loop() {
+        let mut s = LoopState::new(LoopSchedule::Static, 10, 4);
+        let mut chunks = Vec::new();
+        for t in 0..4 {
+            if let Some(c) = s.next_chunk(t) {
+                chunks.push(c);
+            }
+            assert!(s.next_chunk(t).is_none(), "static gives one chunk each");
+        }
+        // 10 over 4 threads: 3,3,2,2 contiguous.
+        assert_eq!(chunks, vec![(0, 3), (3, 3), (6, 2), (8, 2)]);
+        let total: u64 = chunks.iter().map(|c| c.1).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn dynamic_chunks_cover_exactly_once() {
+        let mut s = LoopState::new(LoopSchedule::Dynamic { chunk: 3 }, 10, 2);
+        let mut seen = vec![false; 10];
+        let mut rank = 0;
+        while let Some((start, len)) = s.next_chunk(rank) {
+            for i in start..start + len {
+                assert!(!seen[i as usize], "iteration dispensed twice");
+                seen[i as usize] = true;
+            }
+            rank = (rank + 1) % 2;
+        }
+        assert!(seen.iter().all(|&b| b), "every iteration dispensed");
+        assert_eq!(s.chunks_dispensed(), 4); // 3+3+3+1
+    }
+
+    #[test]
+    fn guided_chunks_shrink() {
+        let mut s = LoopState::new(LoopSchedule::Guided { min_chunk: 1 }, 100, 4);
+        let first = s.next_chunk(0).unwrap();
+        let second = s.next_chunk(1).unwrap();
+        assert_eq!(first.1, 25); // 100/4
+        assert!(second.1 < first.1 || second.1 == first.1); // 75/4 = 18
+        assert_eq!(second.1, 18);
+        // Drain; all iterations covered.
+        let mut total = first.1 + second.1;
+        while let Some((_, len)) = s.next_chunk(0) {
+            total += len;
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn guided_respects_min_chunk() {
+        let mut s = LoopState::new(LoopSchedule::Guided { min_chunk: 8 }, 20, 4);
+        let mut lens = Vec::new();
+        while let Some((_, len)) = s.next_chunk(0) {
+            lens.push(len);
+        }
+        assert_eq!(lens.iter().sum::<u64>(), 20);
+        // Every chunk except possibly the last is ≥ 8.
+        for &l in &lens[..lens.len() - 1] {
+            assert!(l >= 8);
+        }
+    }
+
+    #[test]
+    fn empty_static_share() {
+        // 2 iterations over 4 threads: threads 2 and 3 get nothing.
+        let mut s = LoopState::new(LoopSchedule::Static, 2, 4);
+        assert_eq!(s.next_chunk(0), Some((0, 1)));
+        assert_eq!(s.next_chunk(1), Some((1, 1)));
+        assert_eq!(s.next_chunk(2), None);
+        assert_eq!(s.next_chunk(3), None);
+    }
+
+    #[test]
+    fn dynamic_for_targets_chunk_count() {
+        let sched = LoopSchedule::dynamic_for(1000, 4, 25);
+        assert_eq!(sched, LoopSchedule::Dynamic { chunk: 10 });
+        // Tiny loops still get a chunk of at least 1.
+        assert_eq!(
+            LoopSchedule::dynamic_for(2, 4, 25),
+            LoopSchedule::Dynamic { chunk: 1 }
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LoopSchedule::Static.to_string(), "static");
+        assert_eq!(LoopSchedule::Dynamic { chunk: 4 }.to_string(), "dynamic(4)");
+        assert_eq!(
+            LoopSchedule::Guided { min_chunk: 2 }.to_string(),
+            "guided(2)"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! The OpenMP-style worker team: N simulated threads executing an
+//! [`OmpProgram`] with work-sharing loops and barriers.
+
+use crate::program::{OmpProgram, Region};
+use crate::schedule::LoopState;
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId};
+use asym_sim::{Cycles, SimDuration};
+use asym_sync::{Arrival, SimBarrier, SimLatch, SimMutex};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Default per-chunk dispatch overhead: the cost of the runtime's shared
+/// loop bookkeeping, charged on every chunk request (~2 µs at full speed).
+pub const DEFAULT_DISPATCH_OVERHEAD: Cycles = Cycles::new(5_600);
+
+struct TeamShared {
+    program: OmpProgram,
+    nthreads: usize,
+    dispatch_overhead: Cycles,
+    /// Per-region loop state, tagged with the time step it was
+    /// initialized for (states reset lazily as workers enter a region in
+    /// a new step).
+    loop_states: Vec<RefCell<Option<(u64, LoopState)>>>,
+    chunks_total: RefCell<u64>,
+}
+
+impl TeamShared {
+    /// Fetches `rank`'s next chunk for `region` at time `step`, lazily
+    /// (re)initializing the loop state when a new step reaches the region.
+    fn next_chunk(&self, step: u64, region: usize, rank: usize) -> Option<(u64, u64)> {
+        let Region::ParallelFor {
+            iters, schedule, ..
+        } = self.program.regions()[region]
+        else {
+            unreachable!("next_chunk on serial region");
+        };
+        let mut slot = self.loop_states[region].borrow_mut();
+        let needs_init = match &*slot {
+            Some((s, _)) => *s != step,
+            None => true,
+        };
+        if needs_init {
+            *slot = Some((step, LoopState::new(schedule, iters, self.nthreads)));
+        }
+        let (_, state) = slot.as_mut().expect("just initialized");
+        let chunk = state.next_chunk(rank);
+        if chunk.is_some() {
+            *self.chunks_total.borrow_mut() += 1;
+        }
+        chunk
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Enter,
+    Loop,
+    /// Private part of a critical region done; acquire the team lock.
+    CriticalAcquire,
+    /// Protected work finished; release and head to the barrier.
+    CriticalRelease,
+    Barrier,
+    BarrierWait(u64),
+}
+
+struct OmpWorker {
+    rank: usize,
+    shared: Rc<TeamShared>,
+    barrier: SimBarrier,
+    latch: SimLatch,
+    /// The team-wide lock serializing `Region::Critical` bodies.
+    critical: SimMutex,
+    step: u64,
+    region: usize,
+    phase: Phase,
+    name: String,
+}
+
+impl OmpWorker {
+    fn advance_region(&mut self) {
+        self.region += 1;
+    }
+}
+
+impl ThreadBody for OmpWorker {
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        loop {
+            // Wrap to the next time step / detect completion.
+            if self.phase == Phase::Enter && self.region == self.shared.program.regions().len() {
+                self.region = 0;
+                self.step += 1;
+                if self.step == self.shared.program.time_steps() {
+                    self.latch.count_down(cx);
+                    return Step::Done;
+                }
+            }
+            match self.phase {
+                Phase::Enter => match self.shared.program.regions()[self.region] {
+                    Region::Serial { work } => {
+                        self.phase = Phase::Barrier;
+                        if self.rank == 0 && !work.is_zero() {
+                            return Step::Compute(work);
+                        }
+                    }
+                    Region::ParallelFor { .. } => {
+                        self.phase = Phase::Loop;
+                    }
+                    Region::Critical { private, .. } => {
+                        self.phase = Phase::CriticalAcquire;
+                        if !private.is_zero() {
+                            return Step::Compute(private);
+                        }
+                    }
+                },
+                Phase::CriticalAcquire => {
+                    let Region::Critical { protected, .. } =
+                        self.shared.program.regions()[self.region]
+                    else {
+                        unreachable!("critical phase outside critical region");
+                    };
+                    match self.critical.lock_step(cx) {
+                        Ok(()) => {
+                            self.phase = Phase::CriticalRelease;
+                            if !protected.is_zero() {
+                                return Step::Compute(protected);
+                            }
+                        }
+                        Err(step) => return step,
+                    }
+                }
+                Phase::CriticalRelease => {
+                    self.critical.unlock(cx);
+                    self.phase = Phase::Barrier;
+                }
+                Phase::Loop => {
+                    let Region::ParallelFor { cost, nowait, .. } =
+                        self.shared.program.regions()[self.region]
+                    else {
+                        unreachable!("loop phase in serial region");
+                    };
+                    match self.shared.next_chunk(self.step, self.region, self.rank) {
+                        Some((_start, len)) => {
+                            let work = Cycles::new(len * cost.get())
+                                + self.shared.dispatch_overhead;
+                            return Step::Compute(work);
+                        }
+                        None => {
+                            if nowait {
+                                self.advance_region();
+                                self.phase = Phase::Enter;
+                            } else {
+                                self.phase = Phase::Barrier;
+                            }
+                        }
+                    }
+                }
+                Phase::Barrier => match self.barrier.arrive(cx) {
+                    Arrival::Released => {
+                        self.advance_region();
+                        self.phase = Phase::Enter;
+                    }
+                    Arrival::Wait { token, step } => {
+                        self.phase = Phase::BarrierWait(token);
+                        return step;
+                    }
+                },
+                Phase::BarrierWait(token) => {
+                    if !self.barrier.passed(token) {
+                        return Step::Block(self.barrier.wait_id());
+                    }
+                    self.advance_region();
+                    self.phase = Phase::Enter;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A handle to a spawned OpenMP-style team.
+#[derive(Clone)]
+pub struct TeamHandle {
+    threads: Vec<ThreadId>,
+    latch: SimLatch,
+    shared: Rc<TeamShared>,
+}
+
+impl TeamHandle {
+    /// The team's worker thread ids (rank order).
+    pub fn threads(&self) -> &[ThreadId] {
+        &self.threads
+    }
+
+    /// Returns `true` once every worker has finished the program.
+    pub fn is_complete(&self) -> bool {
+        self.latch.is_open()
+    }
+
+    /// Total loop chunks dispensed so far (overhead indicator).
+    pub fn chunks_dispensed(&self) -> u64 {
+        *self.shared.chunks_total.borrow()
+    }
+}
+
+impl fmt::Debug for TeamHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TeamHandle")
+            .field("threads", &self.threads.len())
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+/// Spawns an OpenMP-style team of `nthreads` workers executing `program`
+/// on `kernel`.
+///
+/// `dispatch_overhead` is charged on every chunk request, modelling the
+/// shared-counter cost of the runtime (pass
+/// [`DEFAULT_DISPATCH_OVERHEAD`] unless ablating).
+///
+/// # Panics
+///
+/// Panics if `nthreads` is zero.
+pub fn spawn_team(
+    kernel: &mut Kernel,
+    program: OmpProgram,
+    nthreads: usize,
+    dispatch_overhead: Cycles,
+) -> TeamHandle {
+    assert!(nthreads > 0, "team needs at least one thread");
+    let barrier = SimBarrier::new(kernel, nthreads);
+    let latch = SimLatch::new(kernel, nthreads as u64);
+    let critical = SimMutex::new(kernel);
+    let loop_states = (0..program.regions().len())
+        .map(|_| RefCell::new(None))
+        .collect();
+    let shared = Rc::new(TeamShared {
+        program,
+        nthreads,
+        dispatch_overhead,
+        loop_states,
+        chunks_total: RefCell::new(0),
+    });
+    let threads = (0..nthreads)
+        .map(|rank| {
+            kernel.spawn(
+                OmpWorker {
+                    rank,
+                    shared: shared.clone(),
+                    barrier: barrier.clone(),
+                    latch: latch.clone(),
+                    critical: critical.clone(),
+                    step: 0,
+                    region: 0,
+                    phase: Phase::Enter,
+                    name: format!("omp{rank}"),
+                },
+                SpawnOptions::new(),
+            )
+        })
+        .collect();
+    TeamHandle {
+        threads,
+        latch,
+        shared,
+    }
+}
+
+/// Builds a kernel, runs `program` to completion with `nthreads` workers,
+/// and returns the elapsed simulated time.
+///
+/// # Panics
+///
+/// Panics if the program deadlocks (it cannot, unless the runtime itself
+/// is broken).
+pub fn run_program(
+    machine: asym_sim::MachineSpec,
+    policy: asym_kernel::SchedPolicy,
+    seed: u64,
+    program: OmpProgram,
+    nthreads: usize,
+    dispatch_overhead: Cycles,
+) -> SimDuration {
+    let mut kernel = Kernel::new(machine, policy, seed);
+    let team = spawn_team(&mut kernel, program, nthreads, dispatch_overhead);
+    let outcome = kernel.run();
+    assert_eq!(
+        outcome,
+        asym_kernel::RunOutcome::AllDone,
+        "OMP program did not complete"
+    );
+    debug_assert!(team.is_complete());
+    kernel.now().duration_since(asym_sim::SimTime::ZERO)
+}

@@ -1,0 +1,245 @@
+//! The simulated machine: cores, speeds, and affinity masks.
+
+use crate::work::Speed;
+use std::fmt;
+
+/// Identifies a core within a [`MachineSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A set of cores a thread may run on, as a bitmask (the process-affinity
+/// API the paper uses to pin DB2 server processes and Zeus event loops).
+///
+/// # Examples
+///
+/// ```
+/// use asym_sim::{CoreId, CoreMask};
+///
+/// let mask = CoreMask::single(CoreId(2));
+/// assert!(mask.contains(CoreId(2)));
+/// assert!(!mask.contains(CoreId(0)));
+/// assert!(CoreMask::ALL.contains(CoreId(63)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreMask(u64);
+
+impl CoreMask {
+    /// All cores allowed (the default for unpinned threads).
+    pub const ALL: CoreMask = CoreMask(u64::MAX);
+
+    /// A mask allowing only `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core.0 >= 64`.
+    pub fn single(core: CoreId) -> Self {
+        assert!(core.0 < 64, "core index {} exceeds mask width", core.0);
+        CoreMask(1 << core.0)
+    }
+
+    /// A mask built from an iterator of cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any core index is 64 or larger.
+    pub fn from_cores<I: IntoIterator<Item = CoreId>>(cores: I) -> Self {
+        let mut mask = 0u64;
+        for c in cores {
+            assert!(c.0 < 64, "core index {} exceeds mask width", c.0);
+            mask |= 1 << c.0;
+        }
+        CoreMask(mask)
+    }
+
+    /// Returns `true` if `core` is in the mask.
+    pub fn contains(self, core: CoreId) -> bool {
+        core.0 < 64 && self.0 & (1 << core.0) != 0
+    }
+
+    /// Returns `true` if no core is allowed (an unschedulable mask).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the cores of the mask that exist on a machine with
+    /// `num_cores` cores, in index order.
+    pub fn cores_on(self, num_cores: usize) -> impl Iterator<Item = CoreId> {
+        (0..num_cores.min(64))
+            .map(CoreId)
+            .filter(move |c| self.contains(*c))
+    }
+}
+
+impl Default for CoreMask {
+    fn default() -> Self {
+        CoreMask::ALL
+    }
+}
+
+impl fmt::Display for CoreMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Describes the cores of a simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use asym_sim::{MachineSpec, Speed};
+///
+/// // The paper's 2f-2s/8: two fast cores, two at 1/8 speed.
+/// let spec = MachineSpec::asymmetric(2, 2, Speed::fraction_of_full(8));
+/// assert_eq!(spec.num_cores(), 4);
+/// assert_eq!(spec.total_compute_power(), 2.25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    speeds: Vec<Speed>,
+}
+
+impl MachineSpec {
+    /// A machine whose core speeds are given explicitly, fast cores first by
+    /// convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds` is empty or has more than 64 cores.
+    pub fn new(speeds: Vec<Speed>) -> Self {
+        assert!(!speeds.is_empty(), "a machine needs at least one core");
+        assert!(speeds.len() <= 64, "at most 64 cores are supported");
+        MachineSpec { speeds }
+    }
+
+    /// A performance-symmetric machine of `n` cores at `speed`.
+    pub fn symmetric(n: usize, speed: Speed) -> Self {
+        MachineSpec::new(vec![speed; n])
+    }
+
+    /// The paper's `nf-ms/scale` style machine: `fast` full-speed cores
+    /// followed by `slow` cores at `slow_speed`.
+    pub fn asymmetric(fast: usize, slow: usize, slow_speed: Speed) -> Self {
+        let mut speeds = vec![Speed::FULL; fast];
+        speeds.extend(std::iter::repeat(slow_speed).take(slow));
+        MachineSpec::new(speeds)
+    }
+
+    /// The number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// The speed of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn speed(&self, core: CoreId) -> Speed {
+        self.speeds[core.0]
+    }
+
+    /// All core speeds, indexed by core.
+    pub fn speeds(&self) -> &[Speed] {
+        &self.speeds
+    }
+
+    /// Iterates over `(core, speed)` pairs.
+    pub fn cores(&self) -> impl Iterator<Item = (CoreId, Speed)> + '_ {
+        self.speeds.iter().enumerate().map(|(i, s)| (CoreId(i), *s))
+    }
+
+    /// The sum of speed factors — the paper's "total compute power"
+    /// `n + m/scale`.
+    pub fn total_compute_power(&self) -> f64 {
+        self.speeds.iter().map(|s| s.factor()).sum()
+    }
+
+    /// Returns `true` when every core runs at the same speed.
+    pub fn is_symmetric(&self) -> bool {
+        self.speeds.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The fastest core speed on the machine.
+    pub fn max_speed(&self) -> Speed {
+        *self.speeds.iter().max().expect("machine has cores")
+    }
+
+    /// The slowest core speed on the machine.
+    pub fn min_speed(&self) -> Speed {
+        *self.speeds.iter().min().expect("machine has cores")
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.speeds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymmetric_machine_power() {
+        let m = MachineSpec::asymmetric(3, 1, Speed::fraction_of_full(4));
+        assert_eq!(m.num_cores(), 4);
+        assert_eq!(m.total_compute_power(), 3.25);
+        assert!(!m.is_symmetric());
+        assert_eq!(m.max_speed(), Speed::FULL);
+        assert_eq!(m.min_speed(), Speed::fraction_of_full(4));
+    }
+
+    #[test]
+    fn symmetric_machine_detected() {
+        let m = MachineSpec::symmetric(4, Speed::fraction_of_full(8));
+        assert!(m.is_symmetric());
+        assert_eq!(m.total_compute_power(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_machine_rejected() {
+        let _ = MachineSpec::new(vec![]);
+    }
+
+    #[test]
+    fn mask_membership() {
+        let mask = CoreMask::from_cores([CoreId(0), CoreId(3)]);
+        assert!(mask.contains(CoreId(0)));
+        assert!(!mask.contains(CoreId(1)));
+        assert!(mask.contains(CoreId(3)));
+        let cores: Vec<usize> = mask.cores_on(4).map(|c| c.0).collect();
+        assert_eq!(cores, vec![0, 3]);
+    }
+
+    #[test]
+    fn empty_mask() {
+        let mask = CoreMask::from_cores(std::iter::empty());
+        assert!(mask.is_empty());
+        assert_eq!(mask.cores_on(4).count(), 0);
+    }
+
+    #[test]
+    fn fast_cores_come_first() {
+        let m = MachineSpec::asymmetric(1, 3, Speed::fraction_of_full(8));
+        assert_eq!(m.speed(CoreId(0)), Speed::FULL);
+        for i in 1..4 {
+            assert_eq!(m.speed(CoreId(i)), Speed::fraction_of_full(8));
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Units of computation: [`Cycles`], [`Speed`], and [`DutyCycle`].
+//!
+//! The paper emulates performance asymmetry by modulating the clock duty
+//! cycle of individual Xeon processors: a processor at duty cycle 12.5%
+//! retires work at 1/8 the rate of a full-speed processor. We model this
+//! directly: a core has a [`Speed`] (1.0 = full speed), and executing
+//! [`Cycles`] of work on a core takes `cycles / (speed × base_hz)` seconds.
+
+use crate::time::SimDuration;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// The simulated base clock rate in cycles per nanosecond.
+///
+/// 2.8 cycles/ns = 2.8 GHz, echoing the 2.8 GHz Xeon prototype used by the
+/// paper.
+pub const BASE_CYCLES_PER_NANO: f64 = 2.8;
+
+/// A quantity of work expressed in processor clock cycles at full speed.
+///
+/// # Examples
+///
+/// ```
+/// use asym_sim::{Cycles, Speed};
+///
+/// let work = Cycles::from_micros_at_full_speed(10.0);
+/// // On a half-speed core the same work takes twice as long.
+/// assert_eq!(
+///     work.duration_at(Speed::new(0.5)).as_nanos(),
+///     2 * work.duration_at(Speed::FULL).as_nanos(),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// No work at all.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a work quantity of `count` cycles.
+    pub const fn new(count: u64) -> Self {
+        Cycles(count)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` when no work remains.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The work a full-speed core completes in `micros` microseconds.
+    pub fn from_micros_at_full_speed(micros: f64) -> Self {
+        assert!(
+            micros.is_finite() && micros >= 0.0,
+            "microseconds must be finite and non-negative, got {micros}"
+        );
+        Cycles((micros * 1_000.0 * BASE_CYCLES_PER_NANO).round() as u64)
+    }
+
+    /// The work a full-speed core completes in `millis` milliseconds.
+    pub fn from_millis_at_full_speed(millis: f64) -> Self {
+        Self::from_micros_at_full_speed(millis * 1_000.0)
+    }
+
+    /// The wall-clock time this work takes on a core running at `speed`,
+    /// rounded up to whole nanoseconds (with an epsilon so exact results
+    /// are not inflated by floating-point error).
+    pub fn duration_at(self, speed: Speed) -> SimDuration {
+        let exact = self.0 as f64 / (speed.factor() * BASE_CYCLES_PER_NANO);
+        let rounded = exact.round();
+        let nanos = if (exact - rounded).abs() < 1e-6 {
+            rounded
+        } else {
+            exact.ceil()
+        };
+        SimDuration::from_nanos(nanos as u64)
+    }
+
+    /// The cycles retired by a core at `speed` over `elapsed` time, capped
+    /// at `self` (a core cannot retire more work than remains).
+    pub fn retired_over(self, speed: Speed, elapsed: SimDuration) -> Cycles {
+        let exact = elapsed.as_nanos() as f64 * speed.factor() * BASE_CYCLES_PER_NANO;
+        let done = (exact + 1e-6).floor() as u64;
+        Cycles(done.min(self.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`Cycles::saturating_sub`] when the result
+    /// may be negative.
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("cycle subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+/// The relative execution rate of a core: 1.0 is a full-speed ("fast")
+/// core, 0.125 is a core modulated to a 12.5% duty cycle.
+///
+/// # Examples
+///
+/// ```
+/// use asym_sim::Speed;
+///
+/// let slow = Speed::fraction_of_full(8); // the paper's "/8" cores
+/// assert_eq!(slow.factor(), 0.125);
+/// assert!(slow < Speed::FULL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Speed(f64);
+
+impl Speed {
+    /// Full (unmodulated) speed.
+    pub const FULL: Speed = Speed(1.0);
+
+    /// Creates a speed with the given factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn new(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "speed factor must be in (0, 1], got {factor}"
+        );
+        Speed(factor)
+    }
+
+    /// The speed of a core running at `1/denominator` of full speed — the
+    /// paper's `nf-ms/denominator` notation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero.
+    pub fn fraction_of_full(denominator: u32) -> Self {
+        assert!(denominator > 0, "speed denominator must be non-zero");
+        Speed(1.0 / f64::from(denominator))
+    }
+
+    /// Returns the speed factor in `(0, 1]`.
+    pub const fn factor(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if this is a full-speed core.
+    pub fn is_full(self) -> bool {
+        self.0 == 1.0
+    }
+}
+
+impl Default for Speed {
+    fn default() -> Self {
+        Speed::FULL
+    }
+}
+
+impl Eq for Speed {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Speed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Valid speeds are finite and positive, so total order is safe.
+        self.0.partial_cmp(&other.0).expect("speeds are finite")
+    }
+}
+
+impl fmt::Display for Speed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}x", self.0)
+    }
+}
+
+impl From<DutyCycle> for Speed {
+    fn from(duty: DutyCycle) -> Speed {
+        Speed(duty.fraction())
+    }
+}
+
+/// A clock-modulation duty cycle, in the 12.5% steps supported by the
+/// Xeon's thermal-management clock modulation register (the mechanism the
+/// paper uses to create asymmetry).
+///
+/// # Examples
+///
+/// ```
+/// use asym_sim::{DutyCycle, Speed};
+///
+/// let d = DutyCycle::new(2)?; // 2/8 = 25%
+/// assert_eq!(d.percent(), 25.0);
+/// assert_eq!(Speed::from(d), Speed::new(0.25));
+/// # Ok::<(), asym_sim::InvalidDutyCycleError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DutyCycle {
+    eighths: u8,
+}
+
+impl DutyCycle {
+    /// Full duty cycle (no modulation).
+    pub const FULL: DutyCycle = DutyCycle { eighths: 8 };
+
+    /// Creates a duty cycle of `eighths/8` (1 ⇒ 12.5%, … , 8 ⇒ 100%).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDutyCycleError`] unless `1 <= eighths <= 8`.
+    pub fn new(eighths: u8) -> Result<Self, InvalidDutyCycleError> {
+        if (1..=8).contains(&eighths) {
+            Ok(DutyCycle { eighths })
+        } else {
+            Err(InvalidDutyCycleError { eighths })
+        }
+    }
+
+    /// The duty cycle as a fraction in `(0, 1]`.
+    pub fn fraction(self) -> f64 {
+        f64::from(self.eighths) / 8.0
+    }
+
+    /// The duty cycle as a percentage.
+    pub fn percent(self) -> f64 {
+        self.fraction() * 100.0
+    }
+
+    /// All eight modulation steps, slowest first.
+    pub fn steps() -> impl Iterator<Item = DutyCycle> {
+        (1..=8).map(|eighths| DutyCycle { eighths })
+    }
+}
+
+impl Default for DutyCycle {
+    fn default() -> Self {
+        DutyCycle::FULL
+    }
+}
+
+impl fmt::Display for DutyCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}%", self.percent())
+    }
+}
+
+/// Error returned by [`DutyCycle::new`] for an out-of-range step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidDutyCycleError {
+    eighths: u8,
+}
+
+impl fmt::Display for InvalidDutyCycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "duty cycle step must be between 1 and 8 eighths, got {}",
+            self.eighths
+        )
+    }
+}
+
+impl std::error::Error for InvalidDutyCycleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_duration_scales_inversely_with_speed() {
+        let work = Cycles::new(2_800_000); // 1 ms at full speed
+        assert_eq!(work.duration_at(Speed::FULL), SimDuration::from_millis(1));
+        assert_eq!(
+            work.duration_at(Speed::fraction_of_full(8)),
+            SimDuration::from_millis(8)
+        );
+    }
+
+    #[test]
+    fn retired_over_is_capped_at_remaining() {
+        let work = Cycles::new(100);
+        let retired = work.retired_over(Speed::FULL, SimDuration::from_secs(1));
+        assert_eq!(retired, work);
+        let partial = Cycles::new(28_000).retired_over(Speed::FULL, SimDuration::from_micros(5));
+        assert_eq!(partial.get(), 14_000);
+    }
+
+    #[test]
+    fn micros_constructor_matches_duration() {
+        let work = Cycles::from_micros_at_full_speed(250.0);
+        assert_eq!(work.duration_at(Speed::FULL), SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn speed_validation() {
+        assert_eq!(Speed::fraction_of_full(4).factor(), 0.25);
+        assert!(Speed::FULL.is_full());
+        assert!(!Speed::new(0.5).is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor")]
+    fn zero_speed_rejected() {
+        let _ = Speed::new(0.0);
+    }
+
+    #[test]
+    fn duty_cycle_steps() {
+        let steps: Vec<f64> = DutyCycle::steps().map(|d| d.percent()).collect();
+        assert_eq!(steps, vec![12.5, 25.0, 37.5, 50.0, 62.5, 75.0, 87.5, 100.0]);
+        assert!(DutyCycle::new(0).is_err());
+        assert!(DutyCycle::new(9).is_err());
+        assert_eq!(Speed::from(DutyCycle::new(1).unwrap()).factor(), 0.125);
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(4);
+        assert_eq!(a + b, Cycles::new(14));
+        assert_eq!(a - b, Cycles::new(6));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        let total: Cycles = vec![a, b, b].into_iter().sum();
+        assert_eq!(total, Cycles::new(18));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn cycle_subtraction_underflow_panics() {
+        let _ = Cycles::new(1) - Cycles::new(2);
+    }
+}

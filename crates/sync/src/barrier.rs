@@ -1,0 +1,132 @@
+//! A reusable cyclic barrier — the synchronization structure at the end of
+//! every OpenMP work-sharing loop, and the reason statically-scheduled
+//! SPEC OMP programs run at the pace of the slowest core (§3.5).
+
+use crate::host::SyncHost;
+use asym_kernel::{Step, ThreadCx, WaitId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    wait: WaitId,
+    crossings: u64,
+}
+
+/// The result of arriving at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// The calling thread was the last to arrive; everyone proceeds. The
+    /// caller continues without blocking.
+    Released,
+    /// The caller must block; return the contained step and, when woken,
+    /// call [`SimBarrier::passed`] with the token to confirm the barrier
+    /// opened (re-block on the same step if it has not).
+    Wait {
+        /// The generation token to pass to [`SimBarrier::passed`].
+        token: u64,
+        /// The blocking step to return from the thread body.
+        step: Step,
+    },
+}
+
+/// A cyclic barrier for `parties` simulated threads.
+///
+/// # Examples
+///
+/// The arrive/confirm pattern inside a thread body:
+///
+/// ```text
+/// match barrier.arrive(cx) {
+///     Arrival::Released => { /* continue */ }
+///     Arrival::Wait { token, step } => { self.token = Some(token); return step; }
+/// }
+/// // ... when re-run after waking:
+/// if !barrier.passed(self.token.unwrap()) { return Step::Block(barrier.wait_id()); }
+/// ```
+#[derive(Clone)]
+pub struct SimBarrier {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SimBarrier {
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(host: &mut impl SyncHost, parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        let wait = host.create_wait_queue();
+        SimBarrier {
+            inner: Rc::new(RefCell::new(Inner {
+                parties,
+                arrived: 0,
+                generation: 0,
+                wait,
+                crossings: 0,
+            })),
+        }
+    }
+
+    /// Registers the calling thread's arrival.
+    pub fn arrive(&self, cx: &mut ThreadCx<'_>) -> Arrival {
+        let (released, wait) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.arrived += 1;
+            if inner.arrived == inner.parties {
+                inner.arrived = 0;
+                inner.generation += 1;
+                inner.crossings += 1;
+                (true, inner.wait)
+            } else {
+                (false, inner.wait)
+            }
+        };
+        if released {
+            cx.notify_all(wait);
+            Arrival::Released
+        } else {
+            Arrival::Wait {
+                token: self.inner.borrow().generation,
+                step: Step::Block(wait),
+            }
+        }
+    }
+
+    /// After waking from an [`Arrival::Wait`], returns `true` when the
+    /// barrier generation has moved past `token` (the barrier opened).
+    pub fn passed(&self, token: u64) -> bool {
+        self.inner.borrow().generation > token
+    }
+
+    /// The wait queue used for blocking.
+    pub fn wait_id(&self) -> WaitId {
+        self.inner.borrow().wait
+    }
+
+    /// The number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.inner.borrow().parties
+    }
+
+    /// How many times the barrier has opened.
+    pub fn crossings(&self) -> u64 {
+        self.inner.borrow().crossings
+    }
+}
+
+impl fmt::Debug for SimBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("SimBarrier")
+            .field("parties", &inner.parties)
+            .field("arrived", &inner.arrived)
+            .field("generation", &inner.generation)
+            .finish()
+    }
+}

@@ -1,0 +1,166 @@
+//! An MPMC queue with blocking consumers — the request-dispatch structure
+//! of every server workload (Apache accept queues, thread-pool work
+//! queues, jAppServer transaction queues).
+
+use crate::host::SyncHost;
+use asym_kernel::{Step, ThreadCx, WaitId};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    not_empty: WaitId,
+    closed: bool,
+    /// Wake consumers without sync-wakeup affinity (for queues fed from
+    /// outside the machine, e.g. network drivers).
+    remote: bool,
+    pushed: u64,
+    popped: u64,
+    high_water: usize,
+}
+
+/// What a consumer observed when trying to pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue is empty; block on the contained step and retry.
+    Empty(Step),
+    /// The queue is closed and drained: no item will ever arrive.
+    Closed,
+}
+
+/// An unbounded multi-producer multi-consumer queue for simulated threads.
+///
+/// Producers [`push`](SimQueue::push); consumers use the try/block/retry
+/// pattern with [`try_pop`](SimQueue::try_pop). [`close`](SimQueue::close)
+/// lets producers signal end-of-work so consumer threads can exit.
+///
+/// Handles are cheap to clone; all clones refer to the same queue.
+#[derive(Clone)]
+pub struct SimQueue<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> SimQueue<T> {
+    /// Creates an empty queue.
+    pub fn new(host: &mut impl SyncHost) -> Self {
+        let not_empty = host.create_wait_queue();
+        SimQueue {
+            inner: Rc::new(RefCell::new(Inner {
+                items: VecDeque::new(),
+                not_empty,
+                closed: false,
+                remote: false,
+                pushed: 0,
+                popped: 0,
+                high_water: 0,
+            })),
+        }
+    }
+
+    /// Creates a queue whose pushes wake consumers *without* sync-wakeup
+    /// affinity — use for queues fed from outside the simulated machine
+    /// (network stacks, remote driver machines), where the pushing
+    /// thread's core is not a meaningful cache hint.
+    pub fn new_remote(host: &mut impl SyncHost) -> Self {
+        let q = Self::new(host);
+        q.inner.borrow_mut().remote = true;
+        q
+    }
+
+    /// Enqueues `item` and wakes one blocked consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue has been closed.
+    pub fn push(&self, cx: &mut ThreadCx<'_>, item: T) {
+        let (wait, remote) = {
+            let mut inner = self.inner.borrow_mut();
+            assert!(!inner.closed, "push to a closed queue");
+            inner.items.push_back(item);
+            inner.pushed += 1;
+            inner.high_water = inner.high_water.max(inner.items.len());
+            (inner.not_empty, inner.remote)
+        };
+        if remote {
+            cx.notify_one_remote(wait);
+        } else {
+            cx.notify_one(wait);
+        }
+    }
+
+    /// Attempts to dequeue an item.
+    pub fn try_pop(&self, _cx: &ThreadCx<'_>) -> TryPop<T> {
+        let mut inner = self.inner.borrow_mut();
+        match inner.items.pop_front() {
+            Some(item) => {
+                inner.popped += 1;
+                TryPop::Item(item)
+            }
+            None if inner.closed => TryPop::Closed,
+            None => TryPop::Empty(Step::Block(inner.not_empty)),
+        }
+    }
+
+    /// Marks the queue closed and wakes every blocked consumer so they can
+    /// observe [`TryPop::Closed`].
+    pub fn close(&self, cx: &mut ThreadCx<'_>) {
+        let wait = {
+            let mut inner = self.inner.borrow_mut();
+            inner.closed = true;
+            inner.not_empty
+        };
+        cx.notify_all(wait);
+    }
+
+    /// The number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().items.len()
+    }
+
+    /// Returns `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` once the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.borrow().closed
+    }
+
+    /// Total items ever enqueued.
+    pub fn pushed(&self) -> u64 {
+        self.inner.borrow().pushed
+    }
+
+    /// Total items ever dequeued.
+    pub fn popped(&self) -> u64 {
+        self.inner.borrow().popped
+    }
+
+    /// The largest queue depth observed.
+    pub fn high_water(&self) -> usize {
+        self.inner.borrow().high_water
+    }
+
+    /// The wait queue consumers block on.
+    pub fn wait_id(&self) -> WaitId {
+        self.inner.borrow().not_empty
+    }
+}
+
+impl<T> fmt::Debug for SimQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("SimQueue")
+            .field("len", &inner.items.len())
+            .field("closed", &inner.closed)
+            .field("pushed", &inner.pushed)
+            .field("popped", &inner.popped)
+            .finish()
+    }
+}

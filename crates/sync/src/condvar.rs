@@ -1,0 +1,113 @@
+//! A condition variable for simulated threads, paired with [`SimMutex`].
+
+use crate::host::SyncHost;
+use crate::mutex::SimMutex;
+use asym_kernel::{Step, ThreadCx, WaitId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner {
+    wait: WaitId,
+    notifications: u64,
+}
+
+/// A condition variable following the classic monitor discipline, adapted
+/// to the state-machine thread style:
+///
+/// 1. while holding the mutex, check the predicate;
+/// 2. if it fails, call [`SimCondvar::wait_step`] — it releases the mutex
+///    and hands back the blocking [`Step`] to return;
+/// 3. when the thread is next run, re-acquire the mutex (the usual
+///    [`SimMutex::lock_step`] retry) and re-check the predicate — wakeups
+///    are only hints, exactly as with POSIX condition variables.
+///
+/// # Examples
+///
+/// The recheck loop inside a thread body:
+///
+/// ```text
+/// match self.phase {
+///     Acquire => match mutex.lock_step(cx) {
+///         Ok(()) => self.phase = Check,
+///         Err(step) => return step,
+///     },
+///     Check => {
+///         if ready(&state) {
+///             self.phase = Go;
+///         } else {
+///             self.phase = Acquire; // re-acquire after waking
+///             return condvar.wait_step(cx, &mutex);
+///         }
+///     }
+///     ...
+/// }
+/// ```
+#[derive(Clone)]
+pub struct SimCondvar {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SimCondvar {
+    /// Creates a condition variable.
+    pub fn new(host: &mut impl SyncHost) -> Self {
+        let wait = host.create_wait_queue();
+        SimCondvar {
+            inner: Rc::new(RefCell::new(Inner {
+                wait,
+                notifications: 0,
+            })),
+        }
+    }
+
+    /// Atomically releases `mutex` and returns the step that blocks the
+    /// calling thread on this condition variable. The caller must
+    /// re-acquire the mutex and re-check its predicate after waking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not hold `mutex`.
+    pub fn wait_step(&self, cx: &mut ThreadCx<'_>, mutex: &SimMutex) -> Step {
+        mutex.unlock(cx);
+        Step::Block(self.inner.borrow().wait)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self, cx: &mut ThreadCx<'_>) {
+        let wait = {
+            let mut inner = self.inner.borrow_mut();
+            inner.notifications += 1;
+            inner.wait
+        };
+        cx.notify_one(wait);
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self, cx: &mut ThreadCx<'_>) {
+        let wait = {
+            let mut inner = self.inner.borrow_mut();
+            inner.notifications += 1;
+            inner.wait
+        };
+        cx.notify_all(wait);
+    }
+
+    /// Total notify calls so far.
+    pub fn notifications(&self) -> u64 {
+        self.inner.borrow().notifications
+    }
+
+    /// The underlying wait queue.
+    pub fn wait_id(&self) -> WaitId {
+        self.inner.borrow().wait
+    }
+}
+
+impl fmt::Debug for SimCondvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimCondvar")
+            .field("notifications", &self.inner.borrow().notifications)
+            .finish()
+    }
+}

@@ -1,0 +1,58 @@
+//! The [`SyncHost`] abstraction: the kernel services synchronization
+//! primitives need, implemented by both [`Kernel`] (for setup code) and
+//! [`ThreadCx`] (for running threads).
+
+use asym_kernel::{Kernel, ThreadCx, ThreadId, WaitId};
+
+/// Kernel services required by the synchronization primitives.
+///
+/// This trait is sealed: it is implemented for [`Kernel`] and
+/// [`ThreadCx`] and is not meant to be implemented outside this crate.
+pub trait SyncHost: private::Sealed {
+    /// Allocates a kernel wait queue.
+    fn create_wait_queue(&mut self) -> WaitId;
+    /// Wakes one waiter.
+    fn notify_one(&mut self, wait: WaitId) -> Option<ThreadId>;
+    /// Wakes all waiters; returns the count woken.
+    fn notify_all(&mut self, wait: WaitId) -> usize;
+    /// Number of threads blocked on `wait`.
+    fn waiter_count(&self, wait: WaitId) -> usize;
+}
+
+impl SyncHost for Kernel {
+    fn create_wait_queue(&mut self) -> WaitId {
+        Kernel::create_wait_queue(self)
+    }
+    fn notify_one(&mut self, wait: WaitId) -> Option<ThreadId> {
+        Kernel::notify_one(self, wait)
+    }
+    fn notify_all(&mut self, wait: WaitId) -> usize {
+        Kernel::notify_all(self, wait)
+    }
+    fn waiter_count(&self, wait: WaitId) -> usize {
+        Kernel::waiter_count(self, wait)
+    }
+}
+
+impl SyncHost for ThreadCx<'_> {
+    fn create_wait_queue(&mut self) -> WaitId {
+        ThreadCx::create_wait_queue(self)
+    }
+    fn notify_one(&mut self, wait: WaitId) -> Option<ThreadId> {
+        ThreadCx::notify_one(self, wait)
+    }
+    fn notify_all(&mut self, wait: WaitId) -> usize {
+        ThreadCx::notify_all(self, wait)
+    }
+    fn waiter_count(&self, wait: WaitId) -> usize {
+        ThreadCx::waiter_count(self, wait)
+    }
+}
+
+mod private {
+    use asym_kernel::{Kernel, ThreadCx};
+
+    pub trait Sealed {}
+    impl Sealed for Kernel {}
+    impl Sealed for ThreadCx<'_> {}
+}

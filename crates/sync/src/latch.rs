@@ -1,0 +1,87 @@
+//! A one-shot countdown latch — the join primitive: a parent blocks until
+//! N workers call [`SimLatch::count_down`].
+
+use crate::host::SyncHost;
+use asym_kernel::{Step, ThreadCx, WaitId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner {
+    remaining: u64,
+    wait: WaitId,
+}
+
+/// A countdown latch: opens (permanently) once `count` calls to
+/// [`count_down`](SimLatch::count_down) have occurred.
+///
+/// Waiters use the try/block/retry pattern: check [`is_open`](SimLatch::is_open),
+/// and if closed return [`Step::Block`] on [`wait_id`](SimLatch::wait_id).
+#[derive(Clone)]
+pub struct SimLatch {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SimLatch {
+    /// Creates a latch that opens after `count` count-downs.
+    pub fn new(host: &mut impl SyncHost, count: u64) -> Self {
+        let wait = host.create_wait_queue();
+        SimLatch {
+            inner: Rc::new(RefCell::new(Inner {
+                remaining: count,
+                wait,
+            })),
+        }
+    }
+
+    /// Decrements the latch; wakes all waiters when it reaches zero.
+    /// Count-downs after the latch opens are ignored.
+    pub fn count_down(&self, cx: &mut ThreadCx<'_>) {
+        let opened_wait = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.remaining == 0 {
+                None
+            } else {
+                inner.remaining -= 1;
+                (inner.remaining == 0).then_some(inner.wait)
+            }
+        };
+        if let Some(wait) = opened_wait {
+            cx.notify_all(wait);
+        }
+    }
+
+    /// Returns `true` once the latch has opened.
+    pub fn is_open(&self) -> bool {
+        self.inner.borrow().remaining == 0
+    }
+
+    /// The wait-or-proceed pattern: `Ok(())` if open, `Err(step)` to block
+    /// otherwise (retry when woken).
+    pub fn wait_step(&self) -> Result<(), Step> {
+        if self.is_open() {
+            Ok(())
+        } else {
+            Err(Step::Block(self.wait_id()))
+        }
+    }
+
+    /// The count-downs still required to open the latch.
+    pub fn remaining(&self) -> u64 {
+        self.inner.borrow().remaining
+    }
+
+    /// The wait queue used for blocking.
+    pub fn wait_id(&self) -> WaitId {
+        self.inner.borrow().wait
+    }
+}
+
+impl fmt::Debug for SimLatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimLatch")
+            .field("remaining", &self.inner.borrow().remaining)
+            .finish()
+    }
+}

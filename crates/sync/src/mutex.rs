@@ -1,0 +1,158 @@
+//! A mutual-exclusion lock for simulated threads.
+
+use crate::host::SyncHost;
+use asym_kernel::{Step, ThreadCx, ThreadId, WaitId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner {
+    owner: Option<ThreadId>,
+    wait: WaitId,
+    contended_acquires: u64,
+    acquires: u64,
+}
+
+/// A mutex usable from [`ThreadBody`](asym_kernel::ThreadBody) state
+/// machines.
+///
+/// Because simulated thread bodies are state machines, locking follows the
+/// *try/block/retry* pattern: call [`SimMutex::try_lock`]; on failure
+/// return [`Step::Block`] with [`SimMutex::wait_id`] and retry when woken.
+/// [`SimMutex::lock_step`] packages that pattern.
+///
+/// Handles are cheap to clone and all clones refer to the same lock.
+///
+/// # Examples
+///
+/// ```
+/// use asym_kernel::{FnThread, Kernel, SchedPolicy, SpawnOptions, Step};
+/// use asym_sim::{Cycles, MachineSpec, Speed};
+/// use asym_sync::SimMutex;
+///
+/// let mut k = Kernel::new(
+///     MachineSpec::symmetric(2, Speed::FULL),
+///     SchedPolicy::os_default(),
+///     7,
+/// );
+/// let m = SimMutex::new(&mut k);
+/// for _ in 0..2 {
+///     let m = m.clone();
+///     let mut holding = false;
+///     k.spawn(
+///         FnThread::new("locker", move |cx| {
+///             if !holding {
+///                 match m.lock_step(cx) {
+///                     Ok(()) => holding = true,
+///                     Err(step) => return step,
+///                 }
+///                 return Step::Compute(Cycles::new(1_000));
+///             }
+///             m.unlock(cx);
+///             Step::Done
+///         }),
+///         SpawnOptions::new(),
+///     );
+/// }
+/// k.run();
+/// ```
+#[derive(Clone)]
+pub struct SimMutex {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SimMutex {
+    /// Creates a mutex, allocating its wait queue from `host`.
+    pub fn new(host: &mut impl SyncHost) -> Self {
+        let wait = host.create_wait_queue();
+        SimMutex {
+            inner: Rc::new(RefCell::new(Inner {
+                owner: None,
+                wait,
+                contended_acquires: 0,
+                acquires: 0,
+            })),
+        }
+    }
+
+    /// Attempts to take the lock for the calling thread; returns `true` on
+    /// success.
+    pub fn try_lock(&self, cx: &ThreadCx<'_>) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if inner.owner.is_none() {
+            inner.owner = Some(cx.thread_id());
+            inner.acquires += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The try/block pattern in one call: `Ok(())` when the lock was taken,
+    /// `Err(step)` with the blocking step to return otherwise. When the
+    /// thread is next run it should call `lock_step` again.
+    pub fn lock_step(&self, cx: &ThreadCx<'_>) -> Result<(), Step> {
+        if self.try_lock(cx) {
+            Ok(())
+        } else {
+            self.inner.borrow_mut().contended_acquires += 1;
+            Err(Step::Block(self.wait_id()))
+        }
+    }
+
+    /// Releases the lock and wakes one waiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread does not hold the lock.
+    pub fn unlock(&self, cx: &mut ThreadCx<'_>) {
+        let wait = {
+            let mut inner = self.inner.borrow_mut();
+            assert_eq!(
+                inner.owner,
+                Some(cx.thread_id()),
+                "unlock by non-owner thread"
+            );
+            inner.owner = None;
+            inner.wait
+        };
+        cx.notify_one(wait);
+    }
+
+    /// The wait queue used for blocking; return `Step::Block(wait_id())`
+    /// after a failed [`SimMutex::try_lock`].
+    pub fn wait_id(&self) -> WaitId {
+        self.inner.borrow().wait
+    }
+
+    /// The thread currently holding the lock, if any.
+    pub fn owner(&self) -> Option<ThreadId> {
+        self.inner.borrow().owner
+    }
+
+    /// Returns `true` if the lock is currently held.
+    pub fn is_locked(&self) -> bool {
+        self.owner().is_some()
+    }
+
+    /// Total successful acquisitions.
+    pub fn acquires(&self) -> u64 {
+        self.inner.borrow().acquires
+    }
+
+    /// Acquisitions that had to block at least once.
+    pub fn contended_acquires(&self) -> u64 {
+        self.inner.borrow().contended_acquires
+    }
+}
+
+impl fmt::Debug for SimMutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("SimMutex")
+            .field("owner", &inner.owner)
+            .field("acquires", &inner.acquires)
+            .finish()
+    }
+}

@@ -1,0 +1,80 @@
+//! A counting semaphore — used by workload models to cap concurrency
+//! (e.g. PMAKE's `-j4` job slots).
+
+use crate::host::SyncHost;
+use asym_kernel::{Step, ThreadCx, WaitId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct Inner {
+    permits: u64,
+    wait: WaitId,
+}
+
+/// A counting semaphore for simulated threads, following the same
+/// try/block/retry convention as [`SimMutex`](crate::SimMutex).
+#[derive(Clone)]
+pub struct SimSemaphore {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl SimSemaphore {
+    /// Creates a semaphore holding `permits` initial permits.
+    pub fn new(host: &mut impl SyncHost, permits: u64) -> Self {
+        let wait = host.create_wait_queue();
+        SimSemaphore {
+            inner: Rc::new(RefCell::new(Inner { permits, wait })),
+        }
+    }
+
+    /// Attempts to take one permit; returns `true` on success.
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if inner.permits > 0 {
+            inner.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The try/block pattern in one call: `Ok(())` when a permit was taken,
+    /// `Err(step)` with the blocking step otherwise.
+    pub fn acquire_step(&self) -> Result<(), Step> {
+        if self.try_acquire() {
+            Ok(())
+        } else {
+            Err(Step::Block(self.wait_id()))
+        }
+    }
+
+    /// Returns one permit and wakes one waiter.
+    pub fn release(&self, cx: &mut ThreadCx<'_>) {
+        let wait = {
+            let mut inner = self.inner.borrow_mut();
+            inner.permits += 1;
+            inner.wait
+        };
+        cx.notify_one(wait);
+    }
+
+    /// The number of available permits.
+    pub fn permits(&self) -> u64 {
+        self.inner.borrow().permits
+    }
+
+    /// The wait queue used for blocking.
+    pub fn wait_id(&self) -> WaitId {
+        self.inner.borrow().wait
+    }
+}
+
+impl fmt::Debug for SimSemaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimSemaphore")
+            .field("permits", &self.inner.borrow().permits)
+            .finish()
+    }
+}

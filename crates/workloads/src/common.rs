@@ -1,0 +1,190 @@
+//! Shared plumbing for the workload models: counters, response-time
+//! recorders, and measurement-window helpers.
+
+use asym_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared event counter (transactions completed, requests served, …)
+/// with cheap clone-by-handle semantics inside one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    inner: Rc<RefCell<u64>>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        *self.inner.borrow_mut() += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        *self.inner.borrow_mut() += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        *self.inner.borrow()
+    }
+}
+
+/// A shared recorder of response times (or any duration samples).
+#[derive(Debug, Clone, Default)]
+pub struct DurationRecorder {
+    samples: Rc<RefCell<Vec<SimDuration>>>,
+}
+
+impl DurationRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        DurationRecorder::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, d: SimDuration) {
+        self.samples.borrow_mut().push(d);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.borrow().len()
+    }
+
+    /// Returns `true` with no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.borrow().is_empty()
+    }
+
+    /// Discards all samples (used at the end of a ramp-up window).
+    pub fn clear(&self) {
+        self.samples.borrow_mut().clear();
+    }
+
+    /// Mean in seconds; 0 when empty.
+    pub fn mean_secs(&self) -> f64 {
+        let s = self.samples.borrow();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().map(|d| d.as_secs_f64()).sum::<f64>() / s.len() as f64
+    }
+
+    /// Maximum in seconds; 0 when empty.
+    pub fn max_secs(&self) -> f64 {
+        self.samples
+            .borrow()
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Linear-interpolated percentile in seconds; 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile_secs(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let mut s: Vec<f64> = self
+            .samples
+            .borrow()
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect();
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if s.len() == 1 {
+            return s[0];
+        }
+        let rank = p / 100.0 * (s.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        s[lo] * (1.0 - frac) + s[hi] * frac
+    }
+}
+
+/// Computes a throughput (events/second) over a measurement window.
+///
+/// # Panics
+///
+/// Panics if the window is empty.
+pub fn throughput_per_sec(events: u64, window: SimDuration) -> f64 {
+    assert!(!window.is_zero(), "empty measurement window");
+    events as f64 / window.as_secs_f64()
+}
+
+/// The start/end of a measurement window after ramp-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Warm-up before measurement starts.
+    pub ramp: SimDuration,
+    /// Length of the measured steady state.
+    pub steady: SimDuration,
+}
+
+impl Window {
+    /// Creates a window.
+    pub fn new(ramp: SimDuration, steady: SimDuration) -> Self {
+        Window { ramp, steady }
+    }
+
+    /// When measurement begins.
+    pub fn start(&self) -> SimTime {
+        SimTime::ZERO + self.ramp
+    }
+
+    /// When measurement ends.
+    pub fn end(&self) -> SimTime {
+        SimTime::ZERO + self.ramp + self.steady
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.incr();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn recorder_percentiles() {
+        let r = DurationRecorder::new();
+        for ms in [10u64, 20, 30, 40, 50] {
+            r.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(r.len(), 5);
+        assert!((r.mean_secs() - 0.030).abs() < 1e-12);
+        assert!((r.percentile_secs(50.0) - 0.030).abs() < 1e-12);
+        assert!((r.max_secs() - 0.050).abs() < 1e-12);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.percentile_secs(90.0), 0.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        assert_eq!(throughput_per_sec(500, SimDuration::from_secs(2)), 250.0);
+    }
+
+    #[test]
+    fn window_bounds() {
+        let w = Window::new(SimDuration::from_secs(1), SimDuration::from_secs(4));
+        assert_eq!(w.start().as_nanos(), 1_000_000_000);
+        assert_eq!(w.end().as_nanos(), 5_000_000_000);
+    }
+}

@@ -1,0 +1,502 @@
+//! H.264 multithreaded media encoding model (§3.6).
+//!
+//! The workload follows the paper's description: a main thread performs
+//! serial pre-processing and post-processing per frame (2–5% of CPU time),
+//! and four encoder threads process macro-block tasks with the standard
+//! H.264 spatial wavefront dependence (a block needs its upper
+//! neighbours) plus temporal parallelism across a window of in-flight
+//! frames.
+//!
+//! Because encoder threads pick up whatever macro-block rows are *ready*
+//! — on-demand, not statically partitioned — the application is stable
+//! and predictably scalable, and a single fast core visibly helps: the
+//! paper's point 3, "an asymmetric chip multiprocessor is better than a
+//! chip multiprocessor where all cores are slow."
+
+use crate::common::Counter;
+use asym_core::{Direction, RunResult, RunSetup, Workload};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, WaitId};
+use asym_sim::{Cycles, Rng};
+use asym_sync::{SimQueue, TryPop};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Tuning constants for the H.264 model. Runtimes are scaled ~10× down
+/// from Figure 9(a); the configuration shape is the result.
+#[derive(Debug, Clone)]
+pub struct H264Params {
+    /// Frames to encode.
+    pub frames: u32,
+    /// Macro-block rows per frame (720p has 45).
+    pub rows: u32,
+    /// Segments each row is split into; the wavefront dependence runs at
+    /// segment granularity, giving a diagonal front of parallel work.
+    pub segments: u32,
+    /// Encoder threads (the paper's application has 4 + the main thread).
+    pub encoder_threads: usize,
+    /// Frames that may be in flight concurrently (temporal parallelism).
+    pub frame_window: u32,
+    /// Cost of one half-row task at full speed.
+    pub task_cost: Cycles,
+    /// Relative jitter on task cost (uniform ±).
+    pub jitter: f64,
+    /// Serial pre-processing per frame (main thread).
+    pub pre_cost: Cycles,
+    /// Serial post-processing per frame (main thread).
+    pub post_cost: Cycles,
+}
+
+impl Default for H264Params {
+    fn default() -> Self {
+        H264Params {
+            frames: 80,
+            rows: 45,
+            segments: 8,
+            encoder_threads: 4,
+            frame_window: 6,
+            task_cost: Cycles::from_micros_at_full_speed(112.0),
+            jitter: 0.25,
+            pre_cost: Cycles::from_micros_at_full_speed(300.0),
+            post_cost: Cycles::from_micros_at_full_speed(600.0),
+        }
+    }
+}
+
+/// The H.264 encoder workload. Primary metric: runtime in seconds.
+#[derive(Debug, Clone, Default)]
+pub struct H264 {
+    /// Model constants.
+    pub params: H264Params,
+}
+
+impl H264 {
+    /// The default encoding job.
+    pub fn new() -> Self {
+        H264::default()
+    }
+
+    /// Scales the frame count (for fast tests).
+    pub fn frames(mut self, frames: u32) -> Self {
+        self.params.frames = frames;
+        self
+    }
+}
+
+/// One row-segment encoding task.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    frame: u32,
+    row: u32,
+    seg: u32,
+}
+
+struct EncShared {
+    ready: SimQueue<Task>,
+    /// Per-frame count of completed tasks.
+    frame_done_tasks: RefCell<Vec<u32>>,
+    /// Completion state of each (frame, row, segment) within the window.
+    done: RefCell<Vec<Vec<Vec<bool>>>>,
+    rows: u32,
+    segments: u32,
+    tasks_per_frame: u32,
+    frames_completed: Counter,
+    /// Per-frame completion flags (frames can finish out of order).
+    complete_flags: RefCell<Vec<bool>>,
+    /// Frames completed *consecutively* from frame 0 — the temporal
+    /// window gates on this, so a slot is never reset under a
+    /// still-incomplete older frame.
+    watermark: Counter,
+    main_wake: WaitId,
+}
+
+impl EncShared {
+    fn frame_slot(&self, frame: u32) -> usize {
+        (frame as usize) % self.done.borrow().len()
+    }
+
+    fn reset_frame(&self, frame: u32) {
+        let slot = self.frame_slot(frame);
+        let mut done = self.done.borrow_mut();
+        for row in done[slot].iter_mut() {
+            row.fill(false);
+        }
+        self.frame_done_tasks.borrow_mut()[slot] = 0;
+    }
+
+    fn is_done(&self, frame: u32, row: u32, seg: u32) -> bool {
+        self.done.borrow()[self.frame_slot(frame)][row as usize][seg as usize]
+    }
+
+    /// Marks a task done; returns newly-ready successor tasks and whether
+    /// the frame is now complete.
+    ///
+    /// A segment `(r, s)` depends on its left neighbour `(r, s-1)` and,
+    /// for the motion-estimation context, on the upper-right segment
+    /// `(r-1, min(s+1, last))` — the standard macro-block wavefront.
+    fn complete(&self, t: Task) -> (Vec<Task>, bool) {
+        let slot = self.frame_slot(t.frame);
+        {
+            let mut done = self.done.borrow_mut();
+            assert!(
+                !done[slot][t.row as usize][t.seg as usize],
+                "task f{} r{} s{} executed twice",
+                t.frame,
+                t.row,
+                t.seg
+            );
+            done[slot][t.row as usize][t.seg as usize] = true;
+        }
+        let last = self.segments - 1;
+        let mut ready = Vec::new();
+        // Right neighbour in the same row (we are its left predecessor).
+        if t.seg < last && self.pred_done(t.frame, t.row, t.seg + 1) {
+            ready.push(Task {
+                frame: t.frame,
+                row: t.row,
+                seg: t.seg + 1,
+            });
+        }
+        // Next-row segments for which we are the upper-right context:
+        // (r+1, s-1) always; additionally (r+1, last) when we are the
+        // last segment (its context is clamped to us).
+        if t.row + 1 < self.rows {
+            let mut candidates = Vec::new();
+            if t.seg > 0 {
+                candidates.push(t.seg - 1);
+            }
+            if t.seg == last {
+                candidates.push(last);
+            }
+            for seg in candidates {
+                if self.pred_done(t.frame, t.row + 1, seg) {
+                    ready.push(Task {
+                        frame: t.frame,
+                        row: t.row + 1,
+                        seg,
+                    });
+                }
+            }
+        }
+        let mut counts = self.frame_done_tasks.borrow_mut();
+        counts[slot] += 1;
+        let frame_complete = counts[slot] == self.tasks_per_frame;
+        if frame_complete {
+            drop(counts);
+            self.frames_completed.incr();
+            let mut flags = self.complete_flags.borrow_mut();
+            flags[t.frame as usize] = true;
+            let mut wm = self.watermark.get() as usize;
+            while wm < flags.len() && flags[wm] {
+                wm += 1;
+                self.watermark.incr();
+            }
+        }
+        (ready, frame_complete)
+    }
+
+    /// All predecessors of (frame, row, seg) are complete (and the task
+    /// itself has not already run).
+    fn pred_done(&self, frame: u32, row: u32, seg: u32) -> bool {
+        if self.is_done(frame, row, seg) {
+            return false; // already executed
+        }
+        let last = self.segments - 1;
+        let left_ok = seg == 0 || self.is_done(frame, row, seg - 1);
+        let up_ok = row == 0 || self.is_done(frame, row - 1, (seg + 1).min(last));
+        left_ok && up_ok
+    }
+}
+
+struct Encoder {
+    shared: Rc<EncShared>,
+    in_flight: Option<Task>,
+    cost: Cycles,
+    jitter: f64,
+    rng: Rng,
+    name: String,
+}
+
+impl ThreadBody for Encoder {
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        if let Some(task) = self.in_flight.take() {
+            let (ready, frame_complete) = self.shared.complete(task);
+            for t in ready {
+                self.shared.ready.push(cx, t);
+            }
+            if frame_complete {
+                cx.notify_all(self.shared.main_wake);
+            }
+        }
+        match self.shared.ready.try_pop(cx) {
+            TryPop::Item(task) => {
+                self.in_flight = Some(task);
+                let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
+                Step::Compute(Cycles::new((self.cost.get() as f64 * jitter) as u64))
+            }
+            TryPop::Empty(step) => step,
+            TryPop::Closed => Step::Done,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MainPhase {
+    PreProcess,
+    Seed,
+    WaitWindow,
+    PostProcess,
+    Finish,
+}
+
+/// The main thread: serial pre/post-processing and frame-window control.
+struct MainThread {
+    shared: Rc<EncShared>,
+    frames: u32,
+    window: u32,
+    next_frame: u32,
+    posted_frames: u32,
+    phase: MainPhase,
+    pre: Cycles,
+    post: Cycles,
+}
+
+impl ThreadBody for MainThread {
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        loop {
+            match self.phase {
+                MainPhase::PreProcess => {
+                    // Post-processing of completed frames takes priority
+                    // (it interleaves with pre-processing of later ones).
+                    if self.posted_frames < self.shared.watermark.get() as u32 {
+                        self.posted_frames += 1;
+                        return Step::Compute(self.post);
+                    }
+                    if self.next_frame == self.frames {
+                        self.phase = MainPhase::PostProcess;
+                        continue;
+                    }
+                    // Respect the temporal window, gated on the oldest
+                    // incomplete frame.
+                    if self.next_frame >= self.shared.watermark.get() as u32 + self.window {
+                        self.phase = MainPhase::WaitWindow;
+                        continue;
+                    }
+                    self.phase = MainPhase::Seed;
+                    return Step::Compute(self.pre);
+                }
+                MainPhase::Seed => {
+                    let frame = self.next_frame;
+                    self.next_frame += 1;
+                    self.shared.reset_frame(frame);
+                    self.shared.ready.push(
+                        cx,
+                        Task {
+                            frame,
+                            row: 0,
+                            seg: 0,
+                        },
+                    );
+                    self.phase = MainPhase::PreProcess;
+                }
+                MainPhase::WaitWindow => {
+                    if self.next_frame < self.shared.watermark.get() as u32 + self.window {
+                        self.phase = MainPhase::PreProcess;
+                        continue;
+                    }
+                    return Step::Block(self.shared.main_wake);
+                }
+                MainPhase::PostProcess => {
+                    // Post-process every completed frame (serial work),
+                    // then either wait for more or finish.
+                    if self.posted_frames < self.shared.watermark.get() as u32 {
+                        self.posted_frames += 1;
+                        return Step::Compute(self.post);
+                    }
+                    if self.posted_frames == self.frames {
+                        self.phase = MainPhase::Finish;
+                        continue;
+                    }
+                    if self.next_frame < self.frames {
+                        self.phase = MainPhase::PreProcess;
+                        continue;
+                    }
+                    return Step::Block(self.shared.main_wake);
+                }
+                MainPhase::Finish => {
+                    self.shared.ready.close(cx);
+                    return Step::Done;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "h264-main"
+    }
+}
+
+impl Workload for H264 {
+    fn name(&self) -> &str {
+        "H.264"
+    }
+
+    fn unit(&self) -> &str {
+        "seconds"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::LowerIsBetter
+    }
+
+    fn run(&self, setup: &RunSetup) -> RunResult {
+        let p = &self.params;
+        assert!(
+            p.frames > 0 && p.rows > 1 && p.segments > 0,
+            "H.264 needs frames, rows, and segments"
+        );
+        let mut kernel = Kernel::new(setup.config.machine(), setup.policy, setup.seed);
+        let mut seed_rng = Rng::new(setup.seed ^ 0x4264_0000_0000_0006);
+
+        let main_wake = kernel.create_wait_queue();
+        let window = p.frame_window.max(1) as usize;
+        let shared = Rc::new(EncShared {
+            ready: SimQueue::new(&mut kernel),
+            frame_done_tasks: RefCell::new(vec![0; window]),
+            done: RefCell::new(vec![
+                vec![vec![false; p.segments as usize]; p.rows as usize];
+                window
+            ]),
+            rows: p.rows,
+            segments: p.segments,
+            tasks_per_frame: p.rows * p.segments,
+            frames_completed: Counter::new(),
+            complete_flags: RefCell::new(vec![false; p.frames as usize]),
+            watermark: Counter::new(),
+            main_wake,
+        });
+
+        let mut encoder_tids = Vec::new();
+        let ncores = setup.config.num_cores() as usize;
+        for e in 0..p.encoder_threads {
+            // The multithreaded encoder the paper references sets thread
+            // affinity: one encoder thread per processor.
+            let core = asym_sim::CoreId(e % ncores);
+            let tid = kernel.spawn(
+                Encoder {
+                    shared: shared.clone(),
+                    in_flight: None,
+                    cost: p.task_cost,
+                    jitter: p.jitter,
+                    rng: seed_rng.fork(),
+                    name: format!("encoder{e}"),
+                },
+                SpawnOptions::new().affinity(asym_sim::CoreMask::single(core)),
+            );
+            encoder_tids.push(tid);
+        }
+        let main_tid = kernel.spawn(
+            MainThread {
+                shared: shared.clone(),
+                frames: p.frames,
+                window: p.frame_window,
+                next_frame: 0,
+                posted_frames: 0,
+                phase: MainPhase::PreProcess,
+                pre: p.pre_cost,
+                post: p.post_cost,
+            },
+            SpawnOptions::new(),
+        );
+
+        let outcome = kernel.run();
+        if outcome != asym_kernel::RunOutcome::AllDone {
+            eprintln!(
+                "H264 DEADLOCK: completed={} ready_len={} counts={:?}",
+                shared.frames_completed.get(),
+                shared.ready.len(),
+                shared.frame_done_tasks.borrow()
+            );
+        }
+        assert_eq!(
+            outcome,
+            asym_kernel::RunOutcome::AllDone,
+            "H.264 encode did not complete"
+        );
+        assert_eq!(shared.frames_completed.get(), u64::from(p.frames));
+        let main_stats = kernel.thread_stats(main_tid);
+        let encoder_migrations: u64 = encoder_tids
+            .iter()
+            .map(|&t| kernel.thread_stats(t).migrations)
+            .sum();
+        RunResult::new(kernel.now().as_secs_f64())
+            .with_extra("main_cpu_s", main_stats.cpu_time.as_secs_f64())
+            .with_extra("main_blocked_s", main_stats.blocked_time.as_secs_f64())
+            .with_extra("encoder_migrations", encoder_migrations as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_core::AsymConfig;
+    use asym_kernel::SchedPolicy;
+
+    fn quick(config: AsymConfig, seed: u64) -> f64 {
+        H264::new()
+            .frames(16)
+            .run(&RunSetup::new(config, SchedPolicy::os_default(), seed))
+            .value
+    }
+
+    #[test]
+    fn encodes_all_frames_and_scales() {
+        let fast = quick(AsymConfig::new(4, 0, 1), 1);
+        let slow = quick(AsymConfig::new(0, 4, 8), 1);
+        assert!(slow > 5.0 * fast, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn stable_across_runs_even_on_asymmetric() {
+        // Steady-state run (short runs carry pipeline fill/drain noise).
+        let runs: Vec<f64> = (0..4)
+            .map(|s| {
+                H264::new()
+                    .frames(40)
+                    .run(&RunSetup::new(
+                        AsymConfig::new(2, 2, 8),
+                        SchedPolicy::os_default(),
+                        s,
+                    ))
+                    .value
+            })
+            .collect();
+        let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+        let spread = (runs.iter().cloned().fold(f64::MIN, f64::max)
+            - runs.iter().cloned().fold(f64::MAX, f64::min))
+            / mean;
+        assert!(spread < 0.08, "H.264 should be stable: {runs:?}");
+    }
+
+    #[test]
+    fn one_fast_core_beats_all_slow() {
+        // 1f-3s/8 (power 1.375) must clearly beat 0f-4s/8 (0.5) and even
+        // 0f-4s/4 (1.0): the fast core takes over work (paper §3.6).
+        let one_fast = quick(AsymConfig::new(1, 3, 8), 2);
+        let all_slow4 = quick(AsymConfig::new(0, 4, 4), 2);
+        let all_slow8 = quick(AsymConfig::new(0, 4, 8), 2);
+        assert!(one_fast < all_slow8, "{one_fast} vs {all_slow8}");
+        assert!(one_fast < all_slow4, "{one_fast} vs {all_slow4}");
+    }
+
+    #[test]
+    fn wavefront_allows_real_parallelism() {
+        // 4 cores should be at least 2.5x faster than 1 core.
+        let quad = quick(AsymConfig::new(4, 0, 1), 3);
+        let uni = quick(AsymConfig::new(1, 0, 1), 3);
+        assert!(uni > 2.5 * quad, "wavefront parallelism missing: {uni} vs {quad}");
+    }
+}

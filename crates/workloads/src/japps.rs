@@ -1,0 +1,426 @@
+//! SPECjAppServer2002 model (§3.2): a J2EE middle tier with an
+//! injection-rate driver and a response-time feedback loop.
+//!
+//! The paper's key observation: jAppServer is *stable under asymmetry*
+//! because the workload adapts — "if the jAppServer cannot respond within
+//! a fixed time, the driver is informed, and the injection rate of
+//! requests is scaled down. This feedback loop is an integral part of the
+//! workload." We model exactly that: a driver injects orders at a target
+//! rate; the app-server thread pool services them through multi-stage
+//! transactions (compute + backend-database I/O waits); the driver
+//! monitors the order backlog and response times, throttling when the
+//! middle tier saturates.
+//!
+//! Two business domains are modelled, matching the figures: **customer**
+//! (NewOrder transactions) and **manufacturing** (work orders).
+
+use crate::common::{throughput_per_sec, Counter, DurationRecorder, Window};
+use asym_core::{Direction, RunResult, RunSetup, Workload};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx};
+use asym_sim::{Cycles, Rng, SimDuration, SimTime};
+use asym_sync::{SimQueue, TryPop};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A transaction's business domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Customer domain (NewOrder).
+    NewOrder,
+    /// Manufacturing domain (work orders / production scheduling).
+    Manufacturing,
+}
+
+/// One injected order flowing through the middle tier.
+#[derive(Debug, Clone, Copy)]
+struct Order {
+    domain: Domain,
+    injected_at: SimTime,
+}
+
+/// Tuning constants for the jAppServer model.
+#[derive(Debug, Clone)]
+pub struct JAppServerParams {
+    /// Size of the app-server worker pool.
+    pub pool_size: usize,
+    /// Compute per NewOrder transaction (across its stages).
+    pub new_order_cost: Cycles,
+    /// Compute per Manufacturing transaction.
+    pub manufacturing_cost: Cycles,
+    /// Number of compute stages a transaction is split into (a backend
+    /// I/O wait separates consecutive stages).
+    pub stages: u32,
+    /// Backend database round-trip latency per stage boundary.
+    pub backend_latency: SimDuration,
+    /// Fraction of injected orders that are NewOrder (the rest are
+    /// Manufacturing).
+    pub new_order_fraction: f64,
+    /// The driver throttles when the response time of recent orders
+    /// exceeds this bound.
+    pub response_limit: SimDuration,
+    /// Driver feedback interval.
+    pub feedback_interval: SimDuration,
+    /// Measurement window (ramp models the SPEC ramp-up).
+    pub window: Window,
+}
+
+impl Default for JAppServerParams {
+    fn default() -> Self {
+        JAppServerParams {
+            pool_size: 48,
+            new_order_cost: Cycles::from_millis_at_full_speed(7.0),
+            manufacturing_cost: Cycles::from_millis_at_full_speed(9.5),
+            stages: 3,
+            backend_latency: SimDuration::from_micros(50_000),
+            new_order_fraction: 0.5,
+            response_limit: SimDuration::from_millis(250),
+            feedback_interval: SimDuration::from_millis(250),
+            window: Window::new(SimDuration::from_secs(2), SimDuration::from_secs(12)),
+        }
+    }
+}
+
+/// The SPECjAppServer workload at a given injection rate.
+///
+/// The primary metric is total transaction throughput per second; extras
+/// carry per-domain throughput and manufacturing response-time
+/// statistics (`mfg_avg_ms`, `mfg_p90_ms`, `mfg_max_ms`) plus the
+/// driver's achieved injection rate (`achieved_rate`).
+#[derive(Debug, Clone)]
+pub struct JAppServer {
+    /// Specified injection rate, orders per second.
+    pub injection_rate: f64,
+    /// Model constants.
+    pub params: JAppServerParams,
+}
+
+impl JAppServer {
+    /// A jAppServer setup at the given injection rate.
+    pub fn new(injection_rate: f64) -> Self {
+        JAppServer {
+            injection_rate,
+            params: JAppServerParams::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared run state
+// ---------------------------------------------------------------------
+
+struct JappsShared {
+    queue: SimQueue<Order>,
+    completed_new_order: Counter,
+    completed_mfg: Counter,
+    mfg_response: DurationRecorder,
+    all_response: RefCell<Vec<(SimTime, SimDuration)>>,
+    /// Orders injected but not yet completed.
+    in_flight: RefCell<i64>,
+}
+
+// ---------------------------------------------------------------------
+// Driver thread (the SPEC driver machine)
+// ---------------------------------------------------------------------
+
+struct Driver {
+    shared: Rc<JappsShared>,
+    spec_rate: f64,
+    current_rate: f64,
+    response_limit: SimDuration,
+    feedback_interval: SimDuration,
+    new_order_fraction: f64,
+    next_feedback: SimTime,
+    rng: Rng,
+}
+
+impl ThreadBody for Driver {
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        // Feedback: examine recent completions; scale the injection rate
+        // down when responses blow past the limit, recover toward the
+        // specified rate when healthy.
+        if cx.now() >= self.next_feedback {
+            self.next_feedback = cx.now() + self.feedback_interval;
+            let mut recent = self.shared.all_response.borrow_mut();
+            let cutoff = cx.now() - self.feedback_interval;
+            let late = recent
+                .iter()
+                .filter(|(t, d)| *t >= cutoff && *d > self.response_limit)
+                .count();
+            let total = recent.iter().filter(|(t, _)| *t >= cutoff).count();
+            recent.retain(|(t, _)| *t >= cutoff);
+            let backlog = *self.shared.in_flight.borrow();
+            let overloaded =
+                (total > 0 && late * 5 > total) || backlog as f64 > self.current_rate * 0.25;
+            if overloaded {
+                self.current_rate = (self.current_rate * 0.93).max(self.spec_rate * 0.05);
+            } else {
+                self.current_rate = (self.current_rate * 1.05).min(self.spec_rate);
+            }
+        }
+        // Inject the next order.
+        let domain = if self.rng.chance(self.new_order_fraction) {
+            Domain::NewOrder
+        } else {
+            Domain::Manufacturing
+        };
+        let order = Order {
+            domain,
+            injected_at: cx.now(),
+        };
+        *self.shared.in_flight.borrow_mut() += 1;
+        self.shared.queue.push(cx, order);
+        let gap = self.rng.exponential(1.0 / self.current_rate);
+        Step::Sleep(SimDuration::from_secs_f64(gap))
+    }
+
+    fn name(&self) -> &str {
+        "driver"
+    }
+}
+
+// ---------------------------------------------------------------------
+// App-server pool thread
+// ---------------------------------------------------------------------
+
+struct PoolWorker {
+    shared: Rc<JappsShared>,
+    new_order_cost: Cycles,
+    manufacturing_cost: Cycles,
+    stages: u32,
+    backend_latency: SimDuration,
+    current: Option<Order>,
+    stage: u32,
+    /// The just-finished compute stage is followed by a backend round
+    /// trip before the next stage starts.
+    io_pending: bool,
+    rng: Rng,
+    name: String,
+    window_start: SimTime,
+}
+
+impl ThreadBody for PoolWorker {
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        loop {
+            let Some(order) = self.current else {
+                match self.shared.queue.try_pop(cx) {
+                    TryPop::Item(order) => {
+                        self.current = Some(order);
+                        self.stage = 0;
+                        self.io_pending = false;
+                        continue;
+                    }
+                    TryPop::Empty(step) => return step,
+                    TryPop::Closed => return Step::Done,
+                }
+            };
+            if self.io_pending {
+                // Round trip to the backend database between stages.
+                self.io_pending = false;
+                return Step::Sleep(self.backend_latency);
+            }
+            if self.stage == self.stages {
+                // Transaction complete.
+                let response = cx.now().duration_since(order.injected_at);
+                *self.shared.in_flight.borrow_mut() -= 1;
+                self.shared
+                    .all_response
+                    .borrow_mut()
+                    .push((cx.now(), response));
+                match order.domain {
+                    Domain::NewOrder => self.shared.completed_new_order.incr(),
+                    Domain::Manufacturing => {
+                        self.shared.completed_mfg.incr();
+                        if cx.now() >= self.window_start {
+                            self.shared.mfg_response.record(response);
+                        }
+                    }
+                }
+                self.current = None;
+                continue;
+            }
+            // Execute the next compute stage; all but the final stage are
+            // followed by a backend I/O wait.
+            self.stage += 1;
+            let base = match order.domain {
+                Domain::NewOrder => self.new_order_cost,
+                Domain::Manufacturing => self.manufacturing_cost,
+            };
+            let jitter = 0.7 + 0.6 * self.rng.next_f64();
+            let per_stage = (base.get() as f64 / f64::from(self.stages) * jitter) as u64;
+            self.io_pending = self.stage < self.stages;
+            return Step::Compute(Cycles::new(per_stage));
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload implementation
+// ---------------------------------------------------------------------
+
+impl Workload for JAppServer {
+    fn name(&self) -> &str {
+        "SPECjAppServer"
+    }
+
+    fn unit(&self) -> &str {
+        "tx/s"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+
+    fn run(&self, setup: &RunSetup) -> RunResult {
+        assert!(self.injection_rate > 0.0, "injection rate must be positive");
+        let mut kernel = Kernel::new(setup.config.machine(), setup.policy, setup.seed);
+        let mut seed_rng = Rng::new(setup.seed ^ 0x3a44_0000_0000_0002);
+        let p = &self.params;
+
+        let shared = Rc::new(JappsShared {
+            // Orders arrive over the network from the driver machine.
+            queue: SimQueue::new_remote(&mut kernel),
+            completed_new_order: Counter::new(),
+            completed_mfg: Counter::new(),
+            mfg_response: DurationRecorder::new(),
+            all_response: RefCell::new(Vec::new()),
+            in_flight: RefCell::new(0),
+        });
+
+        for w in 0..p.pool_size {
+            kernel.spawn(
+                PoolWorker {
+                    shared: shared.clone(),
+                    new_order_cost: p.new_order_cost,
+                    manufacturing_cost: p.manufacturing_cost,
+                    stages: p.stages,
+                    backend_latency: p.backend_latency,
+                    current: None,
+                    stage: 0,
+                    io_pending: false,
+                    rng: seed_rng.fork(),
+                    name: format!("jas-pool{w}"),
+                    window_start: p.window.start(),
+                },
+                SpawnOptions::new(),
+            );
+        }
+        kernel.spawn(
+            Driver {
+                shared: shared.clone(),
+                spec_rate: self.injection_rate,
+                current_rate: self.injection_rate,
+                response_limit: p.response_limit,
+                feedback_interval: p.feedback_interval,
+                new_order_fraction: p.new_order_fraction,
+                next_feedback: p.window.start(),
+                rng: seed_rng.fork(),
+            },
+            SpawnOptions::new(),
+        );
+
+        kernel.run_until(p.window.start());
+        let no_start = shared.completed_new_order.get();
+        let mfg_start = shared.completed_mfg.get();
+        shared.mfg_response.clear();
+        kernel.run_until(p.window.end());
+        let no_done = shared.completed_new_order.get() - no_start;
+        let mfg_done = shared.completed_mfg.get() - mfg_start;
+
+        let total = throughput_per_sec(no_done + mfg_done, p.window.steady);
+        RunResult::new(total)
+            .with_extra(
+                "new_order_per_sec",
+                throughput_per_sec(no_done, p.window.steady),
+            )
+            .with_extra(
+                "manufacturing_per_sec",
+                throughput_per_sec(mfg_done, p.window.steady),
+            )
+            .with_extra("mfg_avg_ms", shared.mfg_response.mean_secs() * 1e3)
+            .with_extra(
+                "mfg_p90_ms",
+                shared.mfg_response.percentile_secs(90.0) * 1e3,
+            )
+            .with_extra("mfg_max_ms", shared.mfg_response.max_secs() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_core::AsymConfig;
+    use asym_kernel::SchedPolicy;
+
+    fn quick(rate: f64, config: AsymConfig, seed: u64) -> RunResult {
+        let mut j = JAppServer::new(rate);
+        j.params.window = Window::new(SimDuration::from_secs(1), SimDuration::from_secs(3));
+        j.run(&RunSetup::new(config, SchedPolicy::os_default(), seed))
+    }
+
+    #[test]
+    fn strong_machine_sustains_specified_rate() {
+        // 4f-0s: 320 orders/s of ~9.5 ms-average transactions needs ~3.0
+        // compute power of the available 4.0.
+        let r = quick(320.0, AsymConfig::new(4, 0, 1), 1);
+        assert!(
+            (r.value - 320.0).abs() / 320.0 < 0.15,
+            "throughput {} should be near the injection rate",
+            r.value
+        );
+    }
+
+    #[test]
+    fn weak_machine_feedback_throttles() {
+        // 0f-4s/8 has 0.5 compute power against a ~3.0-power demand, so
+        // the feedback loop must throttle far below the specified rate.
+        let strong = quick(320.0, AsymConfig::new(4, 0, 1), 2).value;
+        let weak = quick(320.0, AsymConfig::new(0, 4, 8), 2).value;
+        assert!(
+            weak < 0.85 * strong,
+            "weak machine should throttle: {weak} vs {strong}"
+        );
+        // But it must not collapse either: feedback finds a sustainable
+        // operating point.
+        assert!(weak > 0.08 * strong, "feedback collapsed: {weak}");
+    }
+
+    #[test]
+    fn stable_across_seeds_even_on_asymmetric_machine() {
+        // The paper's headline jAppServer result: adaptation ⇒ stability.
+        let runs: Vec<f64> = (0..4)
+            .map(|s| quick(250.0, AsymConfig::new(2, 2, 8), s).value)
+            .collect();
+        let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+        let spread = (runs.iter().cloned().fold(f64::MIN, f64::max)
+            - runs.iter().cloned().fold(f64::MAX, f64::min))
+            / mean;
+        assert!(
+            spread < 0.10,
+            "jAppServer should be stable under asymmetry: spread {spread:.3} ({runs:?})"
+        );
+    }
+
+    #[test]
+    fn response_percentiles_are_ordered() {
+        let r = quick(250.0, AsymConfig::new(3, 1, 4), 5);
+        let avg = r.extras["mfg_avg_ms"];
+        let p90 = r.extras["mfg_p90_ms"];
+        let max = r.extras["mfg_max_ms"];
+        assert!(avg > 0.0);
+        assert!(p90 >= avg * 0.8, "p90 {p90} vs avg {avg}");
+        assert!(max >= p90, "max {max} vs p90 {p90}");
+    }
+
+    #[test]
+    fn domains_split_roughly_by_mix() {
+        let r = quick(300.0, AsymConfig::new(4, 0, 1), 7);
+        let no = r.extras["new_order_per_sec"];
+        let mfg = r.extras["manufacturing_per_sec"];
+        let frac = no / (no + mfg);
+        assert!((frac - 0.5).abs() < 0.1, "mix fraction {frac}");
+    }
+}

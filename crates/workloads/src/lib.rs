@@ -1,0 +1,45 @@
+//! # asym-workloads
+//!
+//! Models of the eight workloads studied in *"The Impact of Performance
+//! Asymmetry in Emerging Multicore Architectures"* (ISCA 2005), each
+//! implementing [`asym_core::Workload`] so the experiment runner can sweep
+//! them across machine configurations:
+//!
+//! | Module | Paper workload | Key mechanism modelled |
+//! |---|---|---|
+//! | [`specjbb`] | SPECjbb2000 | warehouse threads + parallel / concurrent GC (collector-placement lottery) |
+//! | [`japps`] | SPECjAppServer2002 | injection driver with response-time feedback loop |
+//! | [`tpch`] | TPC-H on DB2 | intra-query parallelism, plan skew, DB-internal process binding |
+//! | [`webserver`] | Apache & Zeus | pre-forked workers vs pinned event loops |
+//! | [`specomp`] | SPEC OMP | static/guided/nowait loop profiles per benchmark |
+//! | [`h264`] | H.264 encoder | macro-block wavefront with dynamic pickup |
+//! | [`pmake`] | PMAKE | `make -j4` over a compile DAG with exec-balanced jobs |
+//!
+//! All time and volume scales are reduced from the paper's testbed (the
+//! table lives in EXPERIMENTS.md); the phenomena under study — stability
+//! across repeated runs, scaling across configurations, and which remedy
+//! works — are preserved.
+//!
+//! # Examples
+//!
+//! ```
+//! use asym_core::{AsymConfig, RunSetup, Workload};
+//! use asym_kernel::SchedPolicy;
+//! use asym_workloads::pmake::Pmake;
+//!
+//! let build = Pmake::new().files(60);
+//! let setup = RunSetup::new(AsymConfig::new(2, 2, 8), SchedPolicy::os_default(), 7);
+//! let result = build.run(&setup);
+//! assert!(result.value > 0.0); // build time in seconds
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod h264;
+pub mod japps;
+pub mod pmake;
+pub mod specjbb;
+pub mod specomp;
+pub mod tpch;
+pub mod webserver;

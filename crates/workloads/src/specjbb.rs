@@ -1,0 +1,538 @@
+//! SPECjbb2000 model (§3.1): a saturated Java middle-tier server.
+//!
+//! Each *warehouse* is a thread executing back-to-back business
+//! transactions against a memory-resident store, allocating heap as it
+//! goes. Two garbage collectors are modelled, matching the paper's study:
+//!
+//! * **parallel (stop-the-world)** — when allocation crosses a threshold
+//!   every warehouse thread stops at its next transaction boundary; the
+//!   stopped threads collect in parallel (each takes an equal share), so
+//!   the pause is paced by the slowest core — "well suited for
+//!   high-throughput workloads", minor instability;
+//! * **generational concurrent** — a single collector thread reclaims
+//!   continuously while the application runs. Whether that thread lands on
+//!   a fast or slow core decides whether it keeps up with the allocation
+//!   rate; when it falls behind, the heap fills and every warehouse thread
+//!   stalls. This is the placement lottery behind Figure 1(b)'s large
+//!   run-to-run swings.
+//!
+//! The simulated virtual machines differ only in constants: `HotSpot`
+//! carries a slightly higher per-transaction cost than `JRockit`,
+//! mirroring the throughput gap in Figure 1(a).
+
+use crate::common::{throughput_per_sec, Counter, Window};
+use asym_core::{Direction, RunResult, RunSetup, Workload};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, WaitId};
+use asym_sim::{Cycles, Rng, SimDuration};
+use asym_sync::{Arrival, SimBarrier};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which virtual machine the application server runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JvmKind {
+    /// BEA WebLogic JRockit 8.1 (the faster VM in the paper's setup).
+    JRockit,
+    /// Sun HotSpot 1.4.2.
+    HotSpot,
+}
+
+impl JvmKind {
+    /// Per-transaction cost multiplier relative to JRockit.
+    fn tx_cost_factor(self) -> f64 {
+        match self {
+            JvmKind::JRockit => 1.0,
+            JvmKind::HotSpot => 1.18,
+        }
+    }
+}
+
+/// Which garbage collector the VM uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcKind {
+    /// Parallel stop-the-world collector.
+    Parallel,
+    /// Generational concurrent collector (single collector thread).
+    ConcurrentGenerational,
+}
+
+/// Tuning constants for the SPECjbb model. The defaults are calibrated so
+/// a 4f-0s machine sustains roughly 50k transactions/second at saturation,
+/// echoing the scale of the paper's Figure 1.
+#[derive(Debug, Clone)]
+pub struct SpecJbbParams {
+    /// Mean transaction cost at full speed.
+    pub tx_cost: Cycles,
+    /// Relative jitter on per-transaction cost (uniform ±).
+    pub tx_jitter: f64,
+    /// Heap allocated per transaction, bytes.
+    pub alloc_per_tx: u64,
+    /// Parallel GC: allocation threshold that triggers a collection.
+    pub stw_threshold: u64,
+    /// Parallel GC: collection cost per byte of threshold, cycles.
+    pub stw_cost_per_byte: f64,
+    /// Concurrent GC: reclamation cost per byte, cycles.
+    pub concurrent_cost_per_byte: f64,
+    /// Concurrent GC: backlog that starts a marking cycle.
+    pub cycle_trigger: u64,
+    /// Concurrent GC: backlog at which warehouses stall.
+    pub heap_hard_limit: u64,
+    /// Concurrent GC: backlog below which stalled warehouses resume.
+    pub heap_resume: u64,
+    /// Measurement window.
+    pub window: Window,
+}
+
+impl Default for SpecJbbParams {
+    fn default() -> Self {
+        SpecJbbParams {
+            tx_cost: Cycles::from_micros_at_full_speed(70.0),
+            tx_jitter: 0.3,
+            alloc_per_tx: 40 * 1024,
+            stw_threshold: 48 * 1024 * 1024,
+            stw_cost_per_byte: 0.25,
+            concurrent_cost_per_byte: 0.40,
+            cycle_trigger: 16 * 1024 * 1024,
+            heap_hard_limit: 96 * 1024 * 1024,
+            heap_resume: 24 * 1024 * 1024,
+            window: Window::new(SimDuration::from_millis(300), SimDuration::from_millis(1200)),
+        }
+    }
+}
+
+/// The SPECjbb workload: `warehouses` saturated transaction threads plus
+/// the chosen collector.
+///
+/// The primary metric is throughput in transactions per second over the
+/// steady-state window.
+#[derive(Debug, Clone)]
+pub struct SpecJbb {
+    /// Number of warehouse threads (concurrency).
+    pub warehouses: usize,
+    /// Virtual machine flavour.
+    pub jvm: JvmKind,
+    /// Collector flavour.
+    pub gc: GcKind,
+    /// Model constants.
+    pub params: SpecJbbParams,
+}
+
+impl SpecJbb {
+    /// The paper's default middle-tier setup: JRockit with the parallel
+    /// collector.
+    pub fn new(warehouses: usize) -> Self {
+        SpecJbb {
+            warehouses,
+            jvm: JvmKind::JRockit,
+            gc: GcKind::Parallel,
+            params: SpecJbbParams::default(),
+        }
+    }
+
+    /// Switches the VM.
+    pub fn jvm(mut self, jvm: JvmKind) -> Self {
+        self.jvm = jvm;
+        self
+    }
+
+    /// Switches the collector.
+    pub fn gc(mut self, gc: GcKind) -> Self {
+        self.gc = gc;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Heap {
+    /// Parallel GC: bytes allocated since the last collection.
+    /// Concurrent GC: un-reclaimed backlog.
+    bytes: u64,
+    /// Parallel GC: set when a collection has been requested.
+    stw_requested: bool,
+    /// Concurrent GC: the collector is idle, waiting for allocation.
+    gc_idle: bool,
+    stalls: u64,
+    collections: u64,
+    backlog_high_water: u64,
+}
+
+struct JbbShared {
+    heap: RefCell<Heap>,
+    relief: WaitId,
+    gc_wake: WaitId,
+    completed: Counter,
+}
+
+// ---------------------------------------------------------------------
+// Warehouse thread
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JbbPhase {
+    StartTx,
+    TxDone,
+    StopBarrier,
+    StopWait(u64),
+    GcWorkDone,
+    DoneBarrier,
+    DoneWait(u64),
+}
+
+struct Warehouse {
+    shared: Rc<JbbShared>,
+    gc: GcKind,
+    tx_cost: Cycles,
+    tx_jitter: f64,
+    alloc_per_tx: u64,
+    stw_threshold: u64,
+    cycle_trigger: u64,
+    gc_share: Cycles,
+    stop_barrier: SimBarrier,
+    done_barrier: SimBarrier,
+    phase: JbbPhase,
+    rng: Rng,
+    name: String,
+}
+
+impl Warehouse {
+    fn tx_work(&mut self) -> Cycles {
+        let jitter = 1.0 + self.tx_jitter * (2.0 * self.rng.next_f64() - 1.0);
+        Cycles::new((self.tx_cost.get() as f64 * jitter) as u64)
+    }
+}
+
+impl ThreadBody for Warehouse {
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        loop {
+            match self.phase {
+                JbbPhase::StartTx => {
+                    match self.gc {
+                        GcKind::Parallel => {
+                            let stw = self.shared.heap.borrow().stw_requested;
+                            if stw {
+                                self.phase = JbbPhase::StopBarrier;
+                                continue;
+                            }
+                        }
+                        GcKind::ConcurrentGenerational => {
+                            let mut heap = self.shared.heap.borrow_mut();
+                            if heap.bytes > self.stw_threshold {
+                                // Allocation outran the collector: stall
+                                // until it catches up.
+                                heap.stalls += 1;
+                                drop(heap);
+                                return Step::Block(self.shared.relief);
+                            }
+                        }
+                    }
+                    self.phase = JbbPhase::TxDone;
+                    return Step::Compute(self.tx_work());
+                }
+                JbbPhase::TxDone => {
+                    self.shared.completed.incr();
+                    let mut heap = self.shared.heap.borrow_mut();
+                    heap.bytes += self.alloc_per_tx;
+                    heap.backlog_high_water = heap.backlog_high_water.max(heap.bytes);
+                    match self.gc {
+                        GcKind::Parallel => {
+                            if heap.bytes >= self.stw_threshold && !heap.stw_requested {
+                                heap.stw_requested = true;
+                            }
+                        }
+                        GcKind::ConcurrentGenerational => {
+                            if heap.gc_idle && heap.bytes >= self.cycle_trigger {
+                                heap.gc_idle = false;
+                                drop(heap);
+                                cx.notify_one(self.shared.gc_wake);
+                                self.phase = JbbPhase::StartTx;
+                                continue;
+                            }
+                        }
+                    }
+                    self.phase = JbbPhase::StartTx;
+                }
+                JbbPhase::StopBarrier => match self.stop_barrier.arrive(cx) {
+                    Arrival::Released => {
+                        self.phase = JbbPhase::GcWorkDone;
+                        return Step::Compute(self.gc_share);
+                    }
+                    Arrival::Wait { token, step } => {
+                        self.phase = JbbPhase::StopWait(token);
+                        return step;
+                    }
+                },
+                JbbPhase::StopWait(token) => {
+                    if !self.stop_barrier.passed(token) {
+                        return Step::Block(self.stop_barrier.wait_id());
+                    }
+                    self.phase = JbbPhase::GcWorkDone;
+                    return Step::Compute(self.gc_share);
+                }
+                JbbPhase::GcWorkDone => {
+                    self.phase = JbbPhase::DoneBarrier;
+                }
+                JbbPhase::DoneBarrier => match self.done_barrier.arrive(cx) {
+                    Arrival::Released => {
+                        // Last collector out resets the heap.
+                        let mut heap = self.shared.heap.borrow_mut();
+                        heap.bytes = 0;
+                        heap.stw_requested = false;
+                        heap.collections += 1;
+                        self.phase = JbbPhase::StartTx;
+                    }
+                    Arrival::Wait { token, step } => {
+                        self.phase = JbbPhase::DoneWait(token);
+                        return step;
+                    }
+                },
+                JbbPhase::DoneWait(token) => {
+                    if !self.done_barrier.passed(token) {
+                        return Step::Block(self.done_barrier.wait_id());
+                    }
+                    self.phase = JbbPhase::StartTx;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent collector thread
+// ---------------------------------------------------------------------
+
+struct ConcurrentCollector {
+    shared: Rc<JbbShared>,
+    cost_per_byte: f64,
+    chunk_bytes: u64,
+    cycle_trigger: u64,
+    resume_level: u64,
+    pending_reclaim: u64,
+}
+
+impl ThreadBody for ConcurrentCollector {
+    fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        // Account the chunk we just finished collecting and give relief to
+        // any warehouses stalled on a full heap.
+        if self.pending_reclaim > 0 {
+            let mut heap = self.shared.heap.borrow_mut();
+            heap.bytes = heap.bytes.saturating_sub(self.pending_reclaim);
+            self.pending_reclaim = 0;
+            let below_resume = heap.bytes <= self.resume_level;
+            drop(heap);
+            if below_resume {
+                cx.notify_all(self.shared.relief);
+            }
+        }
+        let mut heap = self.shared.heap.borrow_mut();
+        // A marking cycle only starts once a cycle's worth of garbage has
+        // accumulated; between cycles the collector sleeps. Real
+        // generational concurrent collectors work in such long cycles —
+        // which is exactly what makes their core placement matter.
+        if heap.bytes < self.cycle_trigger {
+            heap.gc_idle = true;
+            return Step::Block(self.shared.gc_wake);
+        }
+        heap.collections += 1;
+        let chunk = heap.bytes.min(self.chunk_bytes);
+        drop(heap);
+        self.pending_reclaim = chunk;
+        Step::Compute(Cycles::new((chunk as f64 * self.cost_per_byte) as u64))
+    }
+
+    fn name(&self) -> &str {
+        "gc-concurrent"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload implementation
+// ---------------------------------------------------------------------
+
+impl Workload for SpecJbb {
+    fn name(&self) -> &str {
+        "SPECjbb"
+    }
+
+    fn unit(&self) -> &str {
+        "tx/s"
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::HigherIsBetter
+    }
+
+    fn run(&self, setup: &RunSetup) -> RunResult {
+        assert!(self.warehouses > 0, "SPECjbb needs at least one warehouse");
+        let mut kernel = Kernel::new(setup.config.machine(), setup.policy, setup.seed);
+        // Workload-private stream, decorrelated from the kernel's.
+        let mut seed_rng = Rng::new(setup.seed ^ 0x5bec_0000_0000_0001);
+
+        let relief = kernel.create_wait_queue();
+        let gc_wake = kernel.create_wait_queue();
+        let shared = Rc::new(JbbShared {
+            heap: RefCell::new(Heap {
+                bytes: 0,
+                stw_requested: false,
+                gc_idle: true,
+                stalls: 0,
+                collections: 0,
+                backlog_high_water: 0,
+            }),
+            relief,
+            gc_wake,
+            completed: Counter::new(),
+        });
+
+        let stop_barrier = SimBarrier::new(&mut kernel, self.warehouses);
+        let done_barrier = SimBarrier::new(&mut kernel, self.warehouses);
+        let tx_cost = Cycles::new(
+            (self.params.tx_cost.get() as f64 * self.jvm.tx_cost_factor()) as u64,
+        );
+        let gc_total = (self.params.stw_threshold as f64 * self.params.stw_cost_per_byte) as u64;
+        let gc_share = Cycles::new(gc_total / self.warehouses as u64);
+
+        for w in 0..self.warehouses {
+            kernel.spawn(
+                Warehouse {
+                    shared: shared.clone(),
+                    gc: self.gc,
+                    tx_cost,
+                    tx_jitter: self.params.tx_jitter,
+                    alloc_per_tx: self.params.alloc_per_tx,
+                    stw_threshold: match self.gc {
+                        GcKind::Parallel => self.params.stw_threshold,
+                        GcKind::ConcurrentGenerational => self.params.heap_hard_limit,
+                    },
+                    cycle_trigger: self.params.cycle_trigger,
+                    gc_share,
+                    stop_barrier: stop_barrier.clone(),
+                    done_barrier: done_barrier.clone(),
+                    phase: JbbPhase::StartTx,
+                    rng: seed_rng.fork(),
+                    name: format!("warehouse{w}"),
+                },
+                SpawnOptions::new(),
+            );
+        }
+        if self.gc == GcKind::ConcurrentGenerational {
+            kernel.spawn(
+                ConcurrentCollector {
+                    shared: shared.clone(),
+                    cost_per_byte: self.params.concurrent_cost_per_byte,
+                    chunk_bytes: 4 * 1024 * 1024,
+                    cycle_trigger: self.params.cycle_trigger,
+                    resume_level: self.params.heap_resume,
+                    pending_reclaim: 0,
+                },
+                SpawnOptions::new(),
+            );
+        }
+
+        kernel.run_until(self.params.window.start());
+        let at_start = shared.completed.get();
+        kernel.run_until(self.params.window.end());
+        let at_end = shared.completed.get();
+
+        let heap = shared.heap.borrow();
+        RunResult::new(throughput_per_sec(
+            at_end - at_start,
+            self.params.window.steady,
+        ))
+        .with_extra("stalls", heap.stalls as f64)
+        .with_extra("collections", heap.collections as f64)
+        .with_extra("backlog_hw", heap.backlog_high_water as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_core::AsymConfig;
+    use asym_kernel::SchedPolicy;
+
+    fn quick(warehouses: usize, gc: GcKind, config: AsymConfig, seed: u64) -> f64 {
+        let mut jbb = SpecJbb::new(warehouses).gc(gc);
+        jbb.params.window = Window::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        jbb.run(&RunSetup::new(config, SchedPolicy::os_default(), seed))
+            .value
+    }
+
+    #[test]
+    fn throughput_scales_with_warehouses_up_to_cores() {
+        let c = AsymConfig::new(4, 0, 1);
+        let one = quick(1, GcKind::Parallel, c, 1);
+        let four = quick(4, GcKind::Parallel, c, 1);
+        assert!(four > 3.0 * one, "4 warehouses {four} vs 1 warehouse {one}");
+    }
+
+    #[test]
+    fn fast_machine_beats_slow_machine() {
+        let fast = quick(8, GcKind::Parallel, AsymConfig::new(4, 0, 1), 1);
+        let slow = quick(8, GcKind::Parallel, AsymConfig::new(0, 4, 8), 1);
+        assert!(fast > 6.0 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn parallel_gc_actually_collects() {
+        let mut jbb = SpecJbb::new(4);
+        jbb.params.window = Window::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(900),
+        );
+        let setup = RunSetup::new(AsymConfig::new(4, 0, 1), SchedPolicy::os_default(), 3);
+        let r = jbb.run(&setup);
+        assert!(r.extras["collections"] >= 1.0, "no GC happened");
+    }
+
+    #[test]
+    fn concurrent_gc_on_asym_is_noisier_than_parallel() {
+        let c = AsymConfig::new(2, 2, 8);
+        let spread = |gc: GcKind| {
+            let runs: Vec<f64> = (0..10)
+                .map(|s| {
+                    let mut jbb = SpecJbb::new(10).gc(gc);
+                    jbb.params.window = Window::new(
+                        SimDuration::from_millis(200),
+                        SimDuration::from_millis(800),
+                    );
+                    jbb.run(&RunSetup::new(c, SchedPolicy::os_default(), s)).value
+                })
+                .collect::<Vec<f64>>();
+            let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+            let max = runs.iter().copied().fold(f64::MIN, f64::max);
+            let min = runs.iter().copied().fold(f64::MAX, f64::min);
+            (max - min) / mean
+        };
+        let par = spread(GcKind::Parallel);
+        let conc = spread(GcKind::ConcurrentGenerational);
+        assert!(
+            conc > 2.0 * par && conc > 0.05,
+            "concurrent GC should be much noisier: parallel {par:.4} vs concurrent {conc:.4}"
+        );
+    }
+
+    #[test]
+    fn hotspot_is_slower_than_jrockit() {
+        let c = AsymConfig::new(4, 0, 1);
+        let mut jr = SpecJbb::new(8);
+        jr.params.window = Window::new(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+        );
+        let mut hs = jr.clone().jvm(JvmKind::HotSpot);
+        hs.params = jr.params.clone();
+        let setup = RunSetup::new(c, SchedPolicy::os_default(), 1);
+        assert!(jr.run(&setup).value > hs.run(&setup).value);
+    }
+}

@@ -1,0 +1,9 @@
+//! Shared helpers for the example binaries.
+
+use asym_core::Experiment;
+
+/// Prints an experiment as a compact table with a heading.
+pub fn print_experiment(heading: &str, exp: &Experiment) {
+    println!("--- {heading} ---");
+    println!("{exp}");
+}

@@ -1,0 +1,40 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use asym_core::{run_experiment, AsymConfig, Experiment, ExperimentOptions, Workload};
+use asym_kernel::SchedPolicy;
+
+/// Runs `workload` over the standard nine configurations.
+pub fn nine(workload: &dyn Workload, policy: SchedPolicy, runs: usize) -> Experiment {
+    run_experiment(
+        workload,
+        &AsymConfig::standard_nine(),
+        policy,
+        &ExperimentOptions::new(runs),
+    )
+}
+
+/// Runs `workload` over a chosen subset of configurations.
+pub fn subset(
+    workload: &dyn Workload,
+    configs: &[AsymConfig],
+    policy: SchedPolicy,
+    runs: usize,
+) -> Experiment {
+    run_experiment(workload, configs, policy, &ExperimentOptions::new(runs))
+}
+
+/// The relative max-min spread of a configuration's runs.
+pub fn spread(exp: &Experiment, config: AsymConfig) -> f64 {
+    exp.outcome(config)
+        .unwrap_or_else(|| panic!("{config} missing"))
+        .samples
+        .relative_spread()
+}
+
+/// The mean of a configuration's runs.
+pub fn mean(exp: &Experiment, config: AsymConfig) -> f64 {
+    exp.outcome(config)
+        .unwrap_or_else(|| panic!("{config} missing"))
+        .samples
+        .mean()
+}

@@ -1,0 +1,192 @@
+//! Property-based tests over the simulation substrate: work conservation,
+//! loop-scheduler coverage, event ordering, configuration arithmetic, and
+//! determinism, under randomized inputs.
+
+use asym_core::{AsymConfig, Samples};
+use asym_kernel::{FnThread, Kernel, RunOutcome, SchedPolicy, SpawnOptions, Step};
+use asym_omp::{LoopSchedule, LoopState};
+use asym_sim::{Cycles, EventQueue, MachineSpec, Rng, SimTime, Speed};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every iteration of a loop is dispensed exactly once, under any
+    /// schedule, trip count, and thread count.
+    #[test]
+    fn loop_scheduler_covers_every_iteration_exactly_once(
+        iters in 1u64..5_000,
+        nthreads in 1usize..9,
+        mode in 0u8..3,
+        chunk in 1u64..64,
+        seed in any::<u64>(),
+    ) {
+        let schedule = match mode {
+            0 => LoopSchedule::Static,
+            1 => LoopSchedule::Dynamic { chunk },
+            _ => LoopSchedule::Guided { min_chunk: chunk },
+        };
+        let mut state = LoopState::new(schedule, iters, nthreads);
+        let mut seen = vec![false; iters as usize];
+        let mut rng = Rng::new(seed);
+        // Threads request chunks in random interleavings.
+        let mut active: Vec<usize> = (0..nthreads).collect();
+        while !active.is_empty() {
+            let pick = rng.index(active.len());
+            let rank = active[pick];
+            match state.next_chunk(rank) {
+                Some((start, len)) => {
+                    for i in start..start + len {
+                        prop_assert!(!seen[i as usize], "iteration {i} dispensed twice");
+                        seen[i as usize] = true;
+                    }
+                }
+                None => {
+                    active.swap_remove(pick);
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "iteration never dispensed");
+    }
+
+    /// The event queue pops in nondecreasing time order with FIFO ties,
+    /// regardless of insertion order and cancellations.
+    #[test]
+    fn event_queue_orders_and_cancels(
+        times in proptest::collection::vec(0u64..1_000, 1..200),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            keys.push((q.schedule(SimTime::from_nanos(t), i), t, i));
+        }
+        let mut cancelled = std::collections::HashSet::new();
+        for (j, &(key, _, i)) in keys.iter().enumerate() {
+            if *cancel_mask.get(j).unwrap_or(&false) {
+                prop_assert!(q.cancel(key));
+                cancelled.insert(i);
+            }
+        }
+        let mut last: Option<(u64, usize)> = None;
+        let mut popped = 0usize;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(!cancelled.contains(&i), "cancelled event delivered");
+            let now = (t.as_nanos(), i);
+            if let Some(prev) = last {
+                prop_assert!(prev.0 < now.0 || (prev.0 == now.0 && prev.1 < now.1),
+                    "out of order: {prev:?} then {now:?}");
+            }
+            last = Some(now);
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len() - cancelled.len());
+    }
+
+    /// Simulated runtime never beats the work-conservation bound
+    /// (total work / total compute power) and never exceeds the
+    /// all-on-slowest-core bound, for any machine and thread mix.
+    #[test]
+    fn kernel_respects_work_conservation_bounds(
+        fast in 1u32..4,
+        slow in 0u32..4,
+        scale in 2u32..9,
+        nthreads in 1usize..9,
+        bursts in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let config = AsymConfig::new(fast, slow, scale);
+        let mut kernel = Kernel::new(config.machine(), SchedPolicy::os_default(), seed);
+        kernel.set_context_switch(Cycles::ZERO);
+        let per_thread_ms = 4.0;
+        for _ in 0..nthreads {
+            let mut left = bursts;
+            let work = Cycles::from_millis_at_full_speed(per_thread_ms / f64::from(bursts));
+            kernel.spawn(
+                FnThread::new("w", move |_cx| {
+                    if left == 0 {
+                        Step::Done
+                    } else {
+                        left -= 1;
+                        Step::Compute(work)
+                    }
+                }),
+                SpawnOptions::new(),
+            );
+        }
+        prop_assert_eq!(kernel.run(), RunOutcome::AllDone);
+        let elapsed = kernel.now().as_secs_f64();
+        let total_work_s = nthreads as f64 * per_thread_ms / 1e3;
+        let lower = total_work_s / config.compute_power();
+        // A single thread cannot finish faster than its own work at full
+        // speed either.
+        let lower = lower.max(per_thread_ms / 1e3);
+        let slowest = config.machine().min_speed().factor();
+        let upper = total_work_s / slowest + 0.1;
+        prop_assert!(elapsed >= lower * 0.999, "beat physics: {elapsed} < {lower}");
+        prop_assert!(elapsed <= upper, "lost work: {elapsed} > {upper}");
+    }
+
+    /// The same seed gives bit-identical simulations; the kernel never
+    /// loses or invents CPU time.
+    #[test]
+    fn kernel_is_deterministic_and_accounts_cpu(
+        seed in any::<u64>(),
+        nthreads in 1usize..7,
+    ) {
+        let run = |seed: u64| {
+            let machine = MachineSpec::asymmetric(2, 2, Speed::fraction_of_full(4));
+            let mut kernel = Kernel::new(machine, SchedPolicy::os_default(), seed);
+            for _ in 0..nthreads {
+                let mut left = 3u32;
+                kernel.spawn(
+                    FnThread::new("w", move |_cx| {
+                        if left == 0 {
+                            Step::Done
+                        } else {
+                            left -= 1;
+                            Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+                        }
+                    }),
+                    SpawnOptions::new(),
+                );
+            }
+            kernel.run();
+            let busy: f64 = kernel.stats().core_busy.iter().map(|d| d.as_secs_f64()).sum();
+            (kernel.now(), kernel.stats().dispatches, busy)
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        // Total busy time across cores can never exceed elapsed x cores.
+        prop_assert!(a.2 <= a.0.as_secs_f64() * 4.0 + 1e-9);
+    }
+
+    /// Config labels round-trip through Display/FromStr, and compute
+    /// power matches the machine it builds.
+    #[test]
+    fn config_roundtrip_and_power(fast in 0u32..5, slow in 0u32..5, scale in 2u32..9) {
+        prop_assume!(fast + slow > 0);
+        let cfg = AsymConfig::new(fast, slow, scale);
+        let parsed: AsymConfig = cfg.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, cfg);
+        let m = cfg.machine();
+        prop_assert!((m.total_compute_power() - cfg.compute_power()).abs() < 1e-12);
+        prop_assert_eq!(m.num_cores() as u32, cfg.num_cores());
+    }
+
+    /// Sample statistics behave: mean within [min, max], CoV zero for
+    /// constant data, percentiles monotone.
+    #[test]
+    fn sample_statistics_invariants(
+        values in proptest::collection::vec(0.001f64..1e6, 1..50),
+    ) {
+        let s = Samples::new(values.clone());
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.percentile(0.0) <= s.percentile(50.0) + 1e-9);
+        prop_assert!(s.percentile(50.0) <= s.percentile(100.0) + 1e-9);
+        let constant = Samples::new(vec![values[0]; values.len()]);
+        prop_assert!(constant.cov() < 1e-12);
+    }
+}
