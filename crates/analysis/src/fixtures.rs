@@ -1,0 +1,210 @@
+//! Seeded negative fixtures: small simulated programs with planted
+//! concurrency bugs, used to prove each detector actually fires.
+//!
+//! Each fixture runs a real [`Kernel`] under
+//! [`capture_traces`] and returns the
+//! captured [`KernelTrace`] for analysis.
+
+use asym_kernel::{capture_traces, FnThread, Kernel, KernelTrace, SchedPolicy, SpawnOptions, Step};
+use asym_sim::{Cycles, MachineSpec, SimDuration, Speed};
+use asym_sync::{SimCondvar, SimMutex};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn capture_one(f: impl FnOnce()) -> KernelTrace {
+    let ((), mut traces) = capture_traces(f);
+    assert_eq!(traces.len(), 1, "fixture builds exactly one kernel");
+    traces.remove(0)
+}
+
+/// A thread that takes `first` then `second` with a compute burst in
+/// between, then releases both and exits. `delay` postpones its start.
+fn ordered_locker(
+    name: &str,
+    first: SimMutex,
+    second: SimMutex,
+    delay: SimDuration,
+    hold: Cycles,
+) -> FnThread<impl FnMut(&mut asym_kernel::ThreadCx<'_>) -> Step> {
+    let mut phase = 0u8;
+    FnThread::new(name, move |cx| loop {
+        match phase {
+            0 => {
+                phase = 1;
+                if !delay.is_zero() {
+                    return Step::Sleep(delay);
+                }
+            }
+            1 => match first.lock_step(cx) {
+                Ok(()) => phase = 2,
+                Err(step) => return step,
+            },
+            2 => {
+                phase = 3;
+                if !hold.is_zero() {
+                    return Step::Compute(hold);
+                }
+            }
+            3 => match second.lock_step(cx) {
+                Ok(()) => phase = 4,
+                Err(step) => return step,
+            },
+            4 => {
+                phase = 5;
+                return Step::Compute(Cycles::from_micros_at_full_speed(50.0));
+            }
+            _ => {
+                second.unlock(cx);
+                first.unlock(cx);
+                return Step::Done;
+            }
+        }
+    })
+}
+
+/// The AB/BA inversion, staggered so the run *completes*: thread 1
+/// takes A then B immediately; thread 2 sleeps 5 ms, then takes B then
+/// A — long after thread 1 released both. No deadlock occurs, but the
+/// lock-order inversion is latent and lockdep must flag it.
+pub fn lock_order_inversion() -> KernelTrace {
+    capture_one(|| {
+        let machine = MachineSpec::symmetric(2, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::os_default(), 1);
+        let a = SimMutex::new(&mut k);
+        let b = SimMutex::new(&mut k);
+        k.spawn(
+            ordered_locker(
+                "t1-ab",
+                a.clone(),
+                b.clone(),
+                SimDuration::ZERO,
+                Cycles::from_micros_at_full_speed(100.0),
+            ),
+            SpawnOptions::new(),
+        );
+        k.spawn(
+            ordered_locker(
+                "t2-ba",
+                b,
+                a,
+                SimDuration::from_millis(5),
+                Cycles::from_micros_at_full_speed(100.0),
+            ),
+            SpawnOptions::new(),
+        );
+        k.run();
+    })
+}
+
+/// The AB/BA inversion with both threads overlapping: each grabs its
+/// first lock, computes 2 ms, then reaches for the other's lock. The
+/// run wedges with a 2-cycle in the wait-for graph — the deadlock
+/// detector must fire (and lockdep too).
+pub fn ab_ba_deadlock() -> KernelTrace {
+    capture_one(|| {
+        let machine = MachineSpec::symmetric(2, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::os_default(), 2);
+        let a = SimMutex::new(&mut k);
+        let b = SimMutex::new(&mut k);
+        let hold = Cycles::from_millis_at_full_speed(2.0);
+        k.spawn(
+            ordered_locker("t1-ab", a.clone(), b.clone(), SimDuration::ZERO, hold),
+            SpawnOptions::new(),
+        );
+        k.spawn(
+            ordered_locker("t2-ba", b, a, SimDuration::ZERO, hold),
+            SpawnOptions::new(),
+        );
+        k.run();
+    })
+}
+
+/// The classic missed-signal bug: the producer sets the flag and
+/// signals the condition variable at time ~0, while the consumer is
+/// still computing; the consumer then locks the mutex and waits
+/// *without rechecking the flag*. The signal is gone — the consumer
+/// blocks forever and the run deadlocks.
+pub fn missed_signal() -> KernelTrace {
+    capture_one(|| {
+        let machine = MachineSpec::symmetric(2, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::os_default(), 3);
+        let m = SimMutex::new(&mut k);
+        let c = SimCondvar::new(&mut k);
+        let flag = Rc::new(Cell::new(false));
+
+        let (pm, pc, pflag) = (m.clone(), c.clone(), flag.clone());
+        let mut phase = 0u8;
+        k.spawn(
+            FnThread::new("producer", move |cx| loop {
+                match phase {
+                    0 => match pm.lock_step(cx) {
+                        Ok(()) => phase = 1,
+                        Err(step) => return step,
+                    },
+                    _ => {
+                        pflag.set(true);
+                        pm.unlock(cx);
+                        pc.notify_one(cx);
+                        return Step::Done;
+                    }
+                }
+            }),
+            SpawnOptions::new(),
+        );
+
+        let mut phase = 0u8;
+        k.spawn(
+            FnThread::new("consumer", move |cx| loop {
+                match phase {
+                    0 => {
+                        phase = 1;
+                        return Step::Compute(Cycles::from_millis_at_full_speed(2.0));
+                    }
+                    1 => match m.lock_step(cx) {
+                        Ok(()) => phase = 2,
+                        Err(step) => return step,
+                    },
+                    _ => {
+                        // BUG: waits without rechecking `flag`. The
+                        // producer's notify already happened, so this
+                        // block is forever. (The correct code would
+                        // check `flag.get()` here and skip the wait.)
+                        phase = 1;
+                        return c.wait_step(cx, &m);
+                    }
+                }
+            }),
+            SpawnOptions::new(),
+        );
+        k.run();
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_kernel::RunOutcome;
+
+    #[test]
+    fn fixtures_have_expected_outcomes() {
+        assert_eq!(lock_order_inversion().outcome, Some(RunOutcome::AllDone));
+        assert!(matches!(
+            ab_ba_deadlock().outcome,
+            Some(RunOutcome::Deadlock(2))
+        ));
+        assert!(matches!(
+            missed_signal().outcome,
+            Some(RunOutcome::Deadlock(1))
+        ));
+    }
+
+    #[test]
+    fn missed_signal_trace_contains_empty_signal() {
+        use asym_kernel::TraceEvent;
+        let trace = missed_signal();
+        assert!(trace
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Signal { woken: 0, .. })));
+    }
+}

@@ -25,9 +25,15 @@ fn main() {
     let mut t = TextTable::new(vec!["policy", "SPECjbb cov%", "Apache cov%"]);
     for (name, policy) in [
         ("stock (randomized ties)", SchedPolicy::os_default()),
-        ("stock, deterministic ties", SchedPolicy::os_default_deterministic()),
+        (
+            "stock, deterministic ties",
+            SchedPolicy::os_default_deterministic(),
+        ),
         ("asym-aware, full", SchedPolicy::asymmetry_aware()),
-        ("asym-aware, no running-thread migration", SchedPolicy::asymmetry_aware_no_migration()),
+        (
+            "asym-aware, no running-thread migration",
+            SchedPolicy::asymmetry_aware_no_migration(),
+        ),
     ] {
         t.row(vec![
             name.to_string(),
@@ -53,8 +59,18 @@ fn main() {
         ("SPECjbb tx/s", &jbb as &dyn Workload),
         ("Apache req/s", &apache as &dyn Workload),
     ] {
-        let s = run_experiment(w, &[config], SchedPolicy::os_default(), &ExperimentOptions::new(5));
-        let a = run_experiment(w, &[config], SchedPolicy::asymmetry_aware(), &ExperimentOptions::new(5));
+        let s = run_experiment(
+            w,
+            &[config],
+            SchedPolicy::os_default(),
+            &ExperimentOptions::new(5),
+        );
+        let a = run_experiment(
+            w,
+            &[config],
+            SchedPolicy::asymmetry_aware(),
+            &ExperimentOptions::new(5),
+        );
         let (sm, am) = (s.outcomes[0].samples.mean(), a.outcomes[0].samples.mean());
         t.row(vec![
             name.to_string(),

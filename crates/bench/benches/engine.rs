@@ -1,77 +1,85 @@
-//! Criterion micro-benchmarks of the simulation substrate: event queue,
-//! kernel dispatch loop, and OMP chunk dispensing.
+//! Micro-benchmarks of the simulation substrate: event queue, kernel
+//! dispatch loop, and OMP chunk dispensing. Self-timed (no external
+//! harness) so the workspace builds offline; run with
+//! `cargo bench -p asym-bench --bench engine`.
 
 use asym_kernel::{FnThread, Kernel, SchedPolicy, SpawnOptions, Step};
 use asym_omp::{LoopSchedule, LoopState};
 use asym_sim::{Cycles, EventQueue, MachineSpec, SimTime, Speed};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_nanos((i * 2654435761) % 1_000_000), i);
-            }
-            let mut n = 0;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            assert_eq!(n, 10_000);
-        })
-    });
-    g.finish();
+/// Times `f` over `iters` iterations after one warm-up and prints a
+/// Criterion-style line.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per = total / iters;
+    println!("{name:<28} {per:>12.2?}/iter ({iters} iters, {total:.2?} total)");
 }
 
-fn bench_kernel_dispatch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel");
-    g.bench_function("8_threads_100ms_sim", |b| {
-        b.iter(|| {
-            let machine = MachineSpec::asymmetric(2, 2, Speed::fraction_of_full(4));
-            let mut kernel = Kernel::new(machine, SchedPolicy::os_default(), 42);
-            for _ in 0..8 {
-                let mut left = 100u32;
-                kernel.spawn(
-                    FnThread::new("w", move |_cx| {
-                        if left == 0 {
-                            Step::Done
-                        } else {
-                            left -= 1;
-                            Step::Compute(Cycles::from_micros_at_full_speed(250.0))
-                        }
-                    }),
-                    SpawnOptions::new(),
-                );
-            }
-            kernel.run();
-        })
+fn bench_event_queue() {
+    bench("event_queue/schedule_pop_10k", 50, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_nanos((i * 2654435761) % 1_000_000), i);
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
     });
-    g.finish();
 }
 
-fn bench_loop_state(c: &mut Criterion) {
-    let mut g = c.benchmark_group("omp_loop_state");
+fn bench_kernel_dispatch() {
+    bench("kernel/8_threads_100ms_sim", 20, || {
+        let machine = MachineSpec::asymmetric(2, 2, Speed::fraction_of_full(4));
+        let mut kernel = Kernel::new(machine, SchedPolicy::os_default(), 42);
+        for _ in 0..8 {
+            let mut left = 100u32;
+            kernel.spawn(
+                FnThread::new("w", move |_cx| {
+                    if left == 0 {
+                        Step::Done
+                    } else {
+                        left -= 1;
+                        Step::Compute(Cycles::from_micros_at_full_speed(250.0))
+                    }
+                }),
+                SpawnOptions::new(),
+            );
+        }
+        kernel.run();
+    });
+}
+
+fn bench_loop_state() {
     for (name, schedule) in [
-        ("dynamic", LoopSchedule::Dynamic { chunk: 8 }),
-        ("guided", LoopSchedule::Guided { min_chunk: 4 }),
+        ("omp_loop_state/dynamic", LoopSchedule::Dynamic { chunk: 8 }),
+        (
+            "omp_loop_state/guided",
+            LoopSchedule::Guided { min_chunk: 4 },
+        ),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut state = LoopState::new(schedule, 100_000, 4);
-                let mut total = 0u64;
-                let mut rank = 0usize;
-                while let Some((_, len)) = state.next_chunk(rank) {
-                    total += len;
-                    rank = (rank + 1) % 4;
-                }
-                assert_eq!(total, 100_000);
-            })
+        bench(name, 50, || {
+            let mut state = LoopState::new(schedule, 100_000, 4);
+            let mut total = 0u64;
+            let mut rank = 0usize;
+            while let Some((_, len)) = state.next_chunk(rank) {
+                total += len;
+                rank = (rank + 1) % 4;
+            }
+            assert_eq!(total, 100_000);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_kernel_dispatch, bench_loop_state);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_kernel_dispatch();
+    bench_loop_state();
+}

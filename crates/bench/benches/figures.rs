@@ -19,13 +19,24 @@ fn main() {
     let aware = SchedPolicy::asymmetry_aware();
     let runs = 3;
 
-    figure_header("Figure 1 (compact)", "SPECjbb predictability, 2f-2s/8, 8 warehouses");
+    figure_header(
+        "Figure 1 (compact)",
+        "SPECjbb predictability, 2f-2s/8, 8 warehouses",
+    );
     {
         let mut t = TextTable::new(vec!["setup", "run1", "run2", "run3"]);
         for (label, jvm, gc) in [
             ("JRockit/parallel", JvmKind::JRockit, GcKind::Parallel),
-            ("HotSpot/concurrent", JvmKind::HotSpot, GcKind::ConcurrentGenerational),
-            ("JRockit/concurrent", JvmKind::JRockit, GcKind::ConcurrentGenerational),
+            (
+                "HotSpot/concurrent",
+                JvmKind::HotSpot,
+                GcKind::ConcurrentGenerational,
+            ),
+            (
+                "JRockit/concurrent",
+                JvmKind::JRockit,
+                GcKind::ConcurrentGenerational,
+            ),
         ] {
             let mut cells = vec![label.to_string()];
             for seed in 0..3 {
@@ -41,19 +52,33 @@ fn main() {
         println!("{}", t.render());
     }
 
-    figure_header("Figure 2", "SPECjbb across all configs, stock vs asymmetry-aware");
+    figure_header(
+        "Figure 2",
+        "SPECjbb across all configs, stock vs asymmetry-aware",
+    );
     let jbb = SpecJbb::new(16).gc(GcKind::ConcurrentGenerational);
     let jbb_stock = nine_config_experiment(&jbb, stock, runs, 0);
     println!("{}", render_experiment(&jbb_stock));
-    println!("{}", render_experiment(&nine_config_experiment(&jbb, aware, runs, 0)));
+    println!(
+        "{}",
+        render_experiment(&nine_config_experiment(&jbb, aware, runs, 0))
+    );
 
     figure_header("Figure 3", "SPECjAppServer: feedback-stabilized throughput");
     println!(
         "{}",
-        render_experiment(&nine_config_experiment(&JAppServer::new(320.0), stock, runs, 0))
+        render_experiment(&nine_config_experiment(
+            &JAppServer::new(320.0),
+            stock,
+            runs,
+            0
+        ))
     );
 
-    figure_header("Figures 4-5", "TPC-H power run: opt7 unstable, opt2 stable-but-slow");
+    figure_header(
+        "Figures 4-5",
+        "TPC-H power run: opt7 unstable, opt2 stable-but-slow",
+    );
     let t7 = nine_config_experiment(&TpcH::power_run(), stock, runs, 0);
     let t2 = nine_config_experiment(&TpcH::power_run().optimization(2), stock, runs, 0);
     println!("{}", render_experiment(&t7));
@@ -61,8 +86,14 @@ fn main() {
 
     figure_header("Figure 6", "Apache light load: stock vs aware kernel");
     let ap = Apache::new(LoadLevel::light());
-    println!("{}", render_experiment(&nine_config_experiment(&ap, stock, runs, 0)));
-    println!("{}", render_experiment(&nine_config_experiment(&ap, aware, runs, 0)));
+    println!(
+        "{}",
+        render_experiment(&nine_config_experiment(&ap, stock, runs, 0))
+    );
+    println!(
+        "{}",
+        render_experiment(&nine_config_experiment(&ap, aware, runs, 0))
+    );
 
     figure_header("Figure 7", "Zeus light load (kernel-immune instability)");
     let z = Zeus::new(LoadLevel::light());
@@ -70,15 +101,31 @@ fn main() {
     println!("{}", render_experiment(&z_stock));
     println!("{}", stability_line(&z_stock));
 
-    figure_header("Figure 8 (compact)", "SPEC OMP: static vs dynamic on 2f-2s/8");
+    figure_header(
+        "Figure 8 (compact)",
+        "SPEC OMP: static vs dynamic on 2f-2s/8",
+    );
     {
-        let mut t = TextTable::new(vec!["benchmark", "4f-0s", "2f-2s/8 static", "2f-2s/8 dynamic"]);
+        let mut t = TextTable::new(vec![
+            "benchmark",
+            "4f-0s",
+            "2f-2s/8 static",
+            "2f-2s/8 dynamic",
+        ]);
         for name in ["swim", "galgel", "ammp"] {
             let b = SpecOmp::new(name).work_scale(0.3);
-            let d = SpecOmp::new(name).variant(OmpVariant::DynamicChunked).work_scale(0.3);
-            let fast = b.run(&RunSetup::new(AsymConfig::new(4, 0, 1), stock, 0)).value;
-            let st = b.run(&RunSetup::new(AsymConfig::new(2, 2, 8), stock, 0)).value;
-            let dy = d.run(&RunSetup::new(AsymConfig::new(2, 2, 8), stock, 0)).value;
+            let d = SpecOmp::new(name)
+                .variant(OmpVariant::DynamicChunked)
+                .work_scale(0.3);
+            let fast = b
+                .run(&RunSetup::new(AsymConfig::new(4, 0, 1), stock, 0))
+                .value;
+            let st = b
+                .run(&RunSetup::new(AsymConfig::new(2, 2, 8), stock, 0))
+                .value;
+            let dy = d
+                .run(&RunSetup::new(AsymConfig::new(2, 2, 8), stock, 0))
+                .value;
             t.row(vec![
                 name.to_string(),
                 format!("{fast:.1}"),
@@ -89,9 +136,18 @@ fn main() {
         println!("{}", t.render());
     }
 
-    figure_header("Figure 9", "H.264 and PMAKE: stable, scalable, asymmetry helps");
-    println!("{}", render_experiment(&nine_config_experiment(&H264::new(), stock, 2, 0)));
-    println!("{}", render_experiment(&nine_config_experiment(&Pmake::new(), stock, 2, 0)));
+    figure_header(
+        "Figure 9",
+        "H.264 and PMAKE: stable, scalable, asymmetry helps",
+    );
+    println!(
+        "{}",
+        render_experiment(&nine_config_experiment(&H264::new(), stock, 2, 0))
+    );
+    println!(
+        "{}",
+        render_experiment(&nine_config_experiment(&Pmake::new(), stock, 2, 0))
+    );
 
     println!("(Figure 10 and Table 1: run `cargo run --release -p asym-bench --bin fig10` / `--bin table1`.)");
 }

@@ -1,0 +1,143 @@
+//! `asym-check`: the concurrency checker driven over the full
+//! experiment matrix.
+//!
+//! Default mode sweeps all nine machine configurations times all eight
+//! paper workloads under the asymmetry-aware kernel policy, applying
+//! every analysis in [`asym_analysis`] (deadlock, lock-order,
+//! lost-wakeup, fast-core-idle invariant, determinism) to the captured
+//! kernel traces. Exits nonzero if any violation is found.
+//!
+//! `--fixtures` instead runs the seeded negative fixtures and verifies
+//! each detector actually fires; here the exit code is nonzero if a
+//! detector *fails* to fire.
+//!
+//! `--quick` restricts the sweep to a single asymmetric configuration
+//! (1f-3s/8) — the CI smoke mode.
+
+use asym_analysis::fixtures::{ab_ba_deadlock, lock_order_inversion, missed_signal};
+use asym_analysis::{analyze_trace, check_workload, render_violations, KernelTrace, ViolationKind};
+use asym_core::{AsymConfig, RunSetup, Workload};
+use asym_kernel::SchedPolicy;
+use asym_workloads::h264::H264;
+use asym_workloads::japps::JAppServer;
+use asym_workloads::pmake::Pmake;
+use asym_workloads::specjbb::{GcKind, SpecJbb};
+use asym_workloads::specomp::SpecOmp;
+use asym_workloads::tpch::TpcH;
+use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
+use std::process::ExitCode;
+
+fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(JAppServer::new(320.0)),
+        Box::new(SpecJbb::new(16).gc(GcKind::ConcurrentGenerational)),
+        Box::new(Apache::new(LoadLevel::light())),
+        Box::new(Zeus::new(LoadLevel::light())),
+        Box::new(TpcH::power_run()),
+        Box::new(H264::new()),
+        Box::new(SpecOmp::new("swim").work_scale(0.5)),
+        Box::new(Pmake::new()),
+    ]
+}
+
+/// Runs one fixture's trace through the analyses and checks the
+/// expected detector fired. Prints a PASS/FAIL line; returns success.
+fn expect_fires(name: &str, trace: &KernelTrace, expected: ViolationKind) -> bool {
+    let violations = analyze_trace(trace);
+    let fired = violations.iter().any(|v| v.kind == expected);
+    let status = if fired { "PASS" } else { "FAIL" };
+    println!(
+        "  [{status}] {name}: expected {expected}, analyses reported: {}",
+        render_violations(&violations)
+    );
+    fired
+}
+
+fn run_fixtures() -> ExitCode {
+    println!("asym-check --fixtures: seeded negative fixtures");
+    let mut ok = true;
+    ok &= expect_fires(
+        "lock-order inversion (staggered AB/BA)",
+        &lock_order_inversion(),
+        ViolationKind::LockOrderInversion,
+    );
+    let deadlock = ab_ba_deadlock();
+    ok &= expect_fires(
+        "AB/BA deadlock (wait-for cycle)",
+        &deadlock,
+        ViolationKind::Deadlock,
+    );
+    ok &= expect_fires(
+        "AB/BA deadlock (lockdep on blocked attempt)",
+        &deadlock,
+        ViolationKind::LockOrderInversion,
+    );
+    ok &= expect_fires(
+        "missed signal (wait without recheck)",
+        &missed_signal(),
+        ViolationKind::LostWakeup,
+    );
+    if ok {
+        println!("all detectors fire on their fixtures");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAILURE: at least one detector did not fire");
+        ExitCode::FAILURE
+    }
+}
+
+fn run_sweep(configs: &[AsymConfig]) -> ExitCode {
+    let policy = SchedPolicy::asymmetry_aware();
+    let workloads = workloads();
+    println!(
+        "asym-check: {} configurations x {} workloads under {policy}",
+        configs.len(),
+        workloads.len()
+    );
+    let mut dirty = 0usize;
+    let (mut kernels, mut events) = (0usize, 0usize);
+    for w in &workloads {
+        for config in configs {
+            let setup = RunSetup::new(*config, policy, 0);
+            let report = check_workload(w.as_ref(), &setup);
+            kernels += report.kernels;
+            events += report.events;
+            if report.is_clean() {
+                println!(
+                    "  [ok] {} ({} kernels, {} events)",
+                    report.label, report.kernels, report.events
+                );
+            } else {
+                dirty += 1;
+                println!(
+                    "  [VIOLATION] {}: {}",
+                    report.label,
+                    render_violations(&report.violations)
+                );
+            }
+        }
+    }
+    println!("analyzed {kernels} kernels / {events} trace events");
+    if dirty == 0 {
+        println!("all runs clean: no deadlocks, order inversions, lost wakeups,");
+        println!("fast-core idling, or trace divergence across the matrix");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAILURE: {dirty} run(s) reported violations");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--fixtures") => run_fixtures(),
+        Some("--quick") => run_sweep(&[AsymConfig::new(1, 3, 8)]),
+        None => run_sweep(&AsymConfig::standard_nine()),
+        Some(other) => {
+            eprintln!("usage: asym-check [--fixtures | --quick]");
+            eprintln!("unknown argument: {other}");
+            ExitCode::FAILURE
+        }
+    }
+}

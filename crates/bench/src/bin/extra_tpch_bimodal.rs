@@ -21,7 +21,12 @@ fn main() {
                 .value
         })
         .collect();
-    println!("runtimes (s): {:?}", runs.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "runtimes (s): {:?}",
+        runs.iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     runs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let fast_mode = runs[0];
     let slow_mode = runs[runs.len() - 1];

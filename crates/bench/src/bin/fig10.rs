@@ -18,10 +18,7 @@ fn row(t: &mut TextTable, exp: &Experiment) {
     let speedups = exp.speedups_over(baseline);
     let mut cells = vec![exp.workload.clone()];
     for (config, speedup) in speedups {
-        let cov = exp
-            .outcome(config)
-            .map(|o| o.samples.cov() * 100.0)
-            .unwrap_or(0.0);
+        let cov = exp.outcome(config).map_or(0.0, |o| o.samples.cov() * 100.0);
         cells.push(format!("{speedup:.2} ±{cov:.0}%"));
     }
     t.row(cells);

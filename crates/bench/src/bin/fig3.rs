@@ -11,7 +11,13 @@ fn main() {
         "SPECjAppServer throughput per domain (injection 320/s)",
     );
     let exp = nine_config_experiment(&JAppServer::new(320.0), SchedPolicy::os_default(), 3, 0);
-    let mut t = TextTable::new(vec!["config", "total tx/s", "NewOrder/s", "Manufacturing/s", "cov%"]);
+    let mut t = TextTable::new(vec![
+        "config",
+        "total tx/s",
+        "NewOrder/s",
+        "Manufacturing/s",
+        "cov%",
+    ]);
     for o in &exp.outcomes {
         t.row(vec![
             o.config.to_string(),

@@ -24,7 +24,10 @@ fn main() {
     println!("{}", render_experiment(&light));
     println!("Per-run scatter:\n{}", render_runs(&light, &scatter));
 
-    figure_header("Figure 6(a) companion", "Apache heavy load (60 concurrent), 4 runs");
+    figure_header(
+        "Figure 6(a) companion",
+        "Apache heavy load (60 concurrent), 4 runs",
+    );
     let heavy = nine_config_experiment(
         &Apache::new(LoadLevel::heavy()),
         SchedPolicy::os_default(),
@@ -50,5 +53,8 @@ fn main() {
         6,
         0,
     );
-    println!("fine-grained threads (recycle every 50 requests):\n{}", render_experiment(&fine));
+    println!(
+        "fine-grained threads (recycle every 50 requests):\n{}",
+        render_experiment(&fine)
+    );
 }

@@ -1,7 +1,9 @@
 //! Figure 7: Zeus throughput — unstable on asymmetric configurations
 //! under BOTH light and heavy load; the kernel fix is ineffective.
 
-use asym_bench::{figure_header, nine_config_experiment, render_experiment, render_runs, stability_line};
+use asym_bench::{
+    figure_header, nine_config_experiment, render_experiment, render_runs, stability_line,
+};
 use asym_core::AsymConfig;
 use asym_kernel::SchedPolicy;
 use asym_workloads::webserver::{LoadLevel, Zeus};
@@ -13,7 +15,10 @@ fn main() {
         AsymConfig::new(1, 3, 8),
     ];
 
-    figure_header("Figure 7(a)", "Zeus light load (10 concurrent sessions), 6 runs");
+    figure_header(
+        "Figure 7(a)",
+        "Zeus light load (10 concurrent sessions), 6 runs",
+    );
     let light = nine_config_experiment(
         &Zeus::new(LoadLevel::light()),
         SchedPolicy::os_default(),
@@ -23,7 +28,10 @@ fn main() {
     println!("{}", render_experiment(&light));
     println!("Per-run scatter:\n{}", render_runs(&light, &scatter));
 
-    figure_header("Figure 7(b)", "Zeus heavy load (60 concurrent sessions), 6 runs");
+    figure_header(
+        "Figure 7(b)",
+        "Zeus heavy load (60 concurrent sessions), 6 runs",
+    );
     let heavy = nine_config_experiment(
         &Zeus::new(LoadLevel::heavy()),
         SchedPolicy::os_default(),

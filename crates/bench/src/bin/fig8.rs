@@ -14,7 +14,11 @@ fn table(variant: OmpVariant) -> String {
         ("0f-4s/8", AsymConfig::new(0, 4, 8), 1),
     ];
     let mut t = TextTable::new(vec![
-        "benchmark", "4f-0s", "2f-2s/8 (runs)", "0f-4s/4", "0f-4s/8",
+        "benchmark",
+        "4f-0s",
+        "2f-2s/8 (runs)",
+        "0f-4s/4",
+        "0f-4s/8",
     ]);
     for bench in SpecOmp::all() {
         let bench = bench.variant(variant);

@@ -52,7 +52,7 @@ pub fn render_experiment(exp: &Experiment) -> String {
         exp.workload,
         exp.unit,
         exp.policy,
-        exp.outcomes.first().map(|o| o.samples.len()).unwrap_or(0),
+        exp.outcomes.first().map_or(0, |o| o.samples.len()),
         t.render()
     )
 }

@@ -6,9 +6,15 @@
 use crate::config::AsymConfig;
 use crate::metrics::{Direction, Samples, Scalability, Stability};
 use crate::workload::{RunResult, RunSetup, Workload};
-use asym_kernel::SchedPolicy;
+use asym_kernel::{capture_traces, KernelTrace, SchedPolicy};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// A per-run hook receiving the setup, the result, and the trace of
+/// every kernel the run created (see
+/// [`ExperimentOptions::observe_traces`]).
+pub type RunObserver = Arc<dyn Fn(&RunSetup, &RunResult, &[KernelTrace]) + Send + Sync>;
 
 /// Per-configuration outcome of an experiment: all runs plus their
 /// statistics.
@@ -213,7 +219,7 @@ impl fmt::Display for Experiment {
 }
 
 /// Options for [`run_experiment`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExperimentOptions {
     /// Number of repeated runs per configuration.
     pub runs: usize,
@@ -222,15 +228,19 @@ pub struct ExperimentOptions {
     pub base_seed: u64,
     /// Execute independent runs on parallel OS threads.
     pub parallel: bool,
+    /// Optional per-run observer; when set, every run executes under
+    /// [`capture_traces`] and the observer sees the full kernel trace.
+    pub observer: Option<RunObserver>,
 }
 
 impl ExperimentOptions {
-    /// `runs` repetitions, parallel execution, base seed 0.
+    /// `runs` repetitions, parallel execution, base seed 0, no observer.
     pub fn new(runs: usize) -> Self {
         ExperimentOptions {
             runs,
             base_seed: 0,
             parallel: true,
+            observer: None,
         }
     }
 
@@ -240,10 +250,35 @@ impl ExperimentOptions {
         self
     }
 
-    /// Disables parallel execution (useful inside Criterion benches).
+    /// Disables parallel execution (useful inside timing harnesses).
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
         self
+    }
+
+    /// Installs a per-run observer. Each run then executes inside
+    /// [`capture_traces`], and `observer` is invoked (on the worker
+    /// thread that executed the run) with the setup, the result, and the
+    /// captured trace of every kernel the run created. This is how
+    /// `asym-analysis` checks every workload run without workloads
+    /// knowing about it.
+    pub fn observe_traces(
+        mut self,
+        observer: impl Fn(&RunSetup, &RunResult, &[KernelTrace]) + Send + Sync + 'static,
+    ) -> Self {
+        self.observer = Some(Arc::new(observer));
+        self
+    }
+}
+
+impl fmt::Debug for ExperimentOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExperimentOptions")
+            .field("runs", &self.runs)
+            .field("base_seed", &self.base_seed)
+            .field("parallel", &self.parallel)
+            .field("observer", &self.observer.as_ref().map(|_| "..."))
+            .finish()
     }
 }
 
@@ -281,9 +316,12 @@ pub fn run_experiment(
         .collect();
 
     let results: Vec<RunResult> = if options.parallel {
-        run_parallel(workload, &setups)
+        run_parallel(workload, &setups, options.observer.as_ref())
     } else {
-        setups.iter().map(|s| workload.run(s)).collect()
+        setups
+            .iter()
+            .map(|s| run_one(workload, s, options.observer.as_ref()))
+            .collect()
     };
 
     let outcomes = configs
@@ -315,12 +353,29 @@ pub fn run_experiment(
     }
 }
 
+/// Executes one run, under trace capture when an observer is installed.
+/// Capture is per-OS-thread, so parallel workers never see each other's
+/// kernels.
+fn run_one(workload: &dyn Workload, setup: &RunSetup, observer: Option<&RunObserver>) -> RunResult {
+    match observer {
+        Some(obs) => {
+            let (result, traces) = capture_traces(|| workload.run(setup));
+            obs(setup, &result, &traces);
+            result
+        }
+        None => workload.run(setup),
+    }
+}
+
 /// Fans runs out over `available_parallelism` OS threads, preserving
 /// result order.
-fn run_parallel(workload: &dyn Workload, setups: &[RunSetup]) -> Vec<RunResult> {
+fn run_parallel(
+    workload: &dyn Workload,
+    setups: &[RunSetup],
+    observer: Option<&RunObserver>,
+) -> Vec<RunResult> {
     let nthreads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+        .map_or(4, |n| n.get())
         .min(setups.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<std::sync::Mutex<Option<RunResult>>> =
@@ -332,7 +387,7 @@ fn run_parallel(workload: &dyn Workload, setups: &[RunSetup]) -> Vec<RunResult> 
                 if i >= setups.len() {
                     break;
                 }
-                let result = workload.run(&setups[i]);
+                let result = run_one(workload, &setups[i], observer);
                 *results[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -423,7 +478,10 @@ mod tests {
         let speedups = exp.speedups_over(baseline);
         let base = speedups.iter().find(|(c, _)| *c == baseline).unwrap();
         assert!((base.1 - 1.0).abs() < 1e-12);
-        let fast = speedups.iter().find(|(c, _)| c.to_string() == "4f-0s").unwrap();
+        let fast = speedups
+            .iter()
+            .find(|(c, _)| c.to_string() == "4f-0s")
+            .unwrap();
         assert!((fast.1 - 8.0).abs() < 1e-9);
     }
 

@@ -54,7 +54,7 @@ mod table;
 mod workload;
 
 pub use config::{AsymConfig, ParseConfigError};
-pub use experiment::{run_experiment, ConfigOutcome, Experiment, ExperimentOptions};
+pub use experiment::{run_experiment, ConfigOutcome, Experiment, ExperimentOptions, RunObserver};
 pub use metrics::{Direction, Samples, Scalability, Stability};
 pub use summary::{SummaryRow, Verdict, WorkloadClass};
 pub use table::{fmt_f, fmt_pct, TextTable};

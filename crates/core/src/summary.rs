@@ -123,9 +123,8 @@ impl SummaryRow {
         let scalable = if base_scal.is_predictable(min_efficiency) {
             Verdict::Yes
         } else {
-            let fixed = app_fix
-                .map(|e| e.scalability_best().is_predictable(min_efficiency))
-                .unwrap_or(false);
+            let fixed =
+                app_fix.is_some_and(|e| e.scalability_best().is_predictable(min_efficiency));
             if fixed {
                 Verdict::YesWith("application change".to_string())
             } else {
@@ -181,7 +180,10 @@ mod tests {
             Verdict::from_stability(Stability::Marginal, None),
             Verdict::Yes
         );
-        assert_eq!(Verdict::from_stability(Stability::Unstable, None), Verdict::No);
+        assert_eq!(
+            Verdict::from_stability(Stability::Unstable, None),
+            Verdict::No
+        );
         assert_eq!(
             Verdict::from_stability(Stability::Unstable, Some(("fix", Stability::Stable))),
             Verdict::YesWith("fix".into())

@@ -67,7 +67,7 @@ impl TextTable {
         let mut out = String::new();
         let render_row = |out: &mut String, cells: &[String]| {
             for (i, w) in widths.iter().enumerate() {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let cell = cells.get(i).map_or("", String::as_str);
                 if i > 0 {
                     out.push_str("  ");
                 }

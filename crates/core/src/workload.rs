@@ -98,19 +98,14 @@ mod tests {
             Direction::HigherIsBetter
         }
         fn run(&self, setup: &RunSetup) -> RunResult {
-            RunResult::new(setup.config.compute_power() * 100.0)
-                .with_extra("p90", 1.0)
+            RunResult::new(setup.config.compute_power() * 100.0).with_extra("p90", 1.0)
         }
     }
 
     #[test]
     fn workload_contract() {
         let w = Fake;
-        let setup = RunSetup::new(
-            AsymConfig::new(2, 2, 8),
-            SchedPolicy::os_default(),
-            1,
-        );
+        let setup = RunSetup::new(AsymConfig::new(2, 2, 8), SchedPolicy::os_default(), 1);
         let r = w.run(&setup);
         assert_eq!(r.value, 225.0);
         assert_eq!(r.extras["p90"], 1.0);
@@ -118,7 +113,9 @@ mod tests {
 
     #[test]
     fn run_result_builder() {
-        let r = RunResult::new(5.0).with_extra("a", 1.0).with_extra("b", 2.0);
+        let r = RunResult::new(5.0)
+            .with_extra("a", 1.0)
+            .with_extra("b", 2.0);
         assert_eq!(r.extras.len(), 2);
         assert_eq!(r.to_string(), "5.0000");
     }

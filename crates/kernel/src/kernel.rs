@@ -2,6 +2,7 @@
 
 use crate::policy::{PolicyKind, SchedPolicy};
 use crate::thread::{SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
+use crate::trace::{register_kernel, TraceRecord, TraceSink};
 use asym_sim::{
     CoreId, CoreMask, Cycles, EventKey, EventQueue, MachineSpec, Rng, SimDuration, SimTime, Speed,
 };
@@ -31,10 +32,26 @@ enum Event {
 }
 
 /// A scheduling event reported to a tracer installed with
-/// [`Kernel::set_tracer`]. Useful for debugging workload models and for
-/// visualizing schedules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// [`Kernel::set_tracer`] and captured by
+/// [`capture_traces`](crate::capture_traces). Useful for debugging
+/// workload models, visualizing schedules, and driving the trace
+/// analyses in `asym-analysis`.
+///
+/// The event stream is *state-complete*: replaying it reconstructs, at
+/// every instant, which thread occupies each core, each core's run
+/// queue, every thread's affinity mask, and which threads are blocked,
+/// sleeping, or done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceEvent {
+    /// A thread was created and enqueued on a core's run queue.
+    Spawn {
+        /// The new thread.
+        tid: ThreadId,
+        /// The core whose run queue received it.
+        core: CoreId,
+        /// The thread's affinity mask.
+        affinity: CoreMask,
+    },
     /// A thread started a slice on a core.
     Dispatch {
         /// The dispatched thread.
@@ -52,6 +69,26 @@ pub enum TraceEvent {
         /// Where it went.
         to: CoreId,
     },
+    /// A running thread was taken off its core and put back on that
+    /// core's run queue (quantum expiry, step-boundary round-robin,
+    /// yield, or interruption before a cross-core move).
+    Preempt {
+        /// The preempted thread.
+        tid: ThreadId,
+        /// The core it was running on (and is now queued on).
+        core: CoreId,
+    },
+    /// A *queued* thread was moved from one core's run queue to
+    /// another's (idle stealing, periodic balancing, explicit pulls,
+    /// affinity-forced requeues).
+    Steal {
+        /// The moved thread.
+        tid: ThreadId,
+        /// The queue it was taken from.
+        from: CoreId,
+        /// The queue it was pushed onto.
+        to: CoreId,
+    },
     /// A thread became runnable after blocking or sleeping.
     Wakeup {
         /// The woken thread.
@@ -66,17 +103,105 @@ pub enum TraceEvent {
         /// The queue it blocked on.
         wait: WaitId,
     },
+    /// A thread left the CPU to sleep until a timer fires.
+    Sleep {
+        /// The sleeping thread.
+        tid: ThreadId,
+    },
+    /// A wait queue was notified (whether or not anyone was waiting) —
+    /// the raw kernel-level signal under every `asym-sync` primitive.
+    Signal {
+        /// The notifying thread, when the notification came from a
+        /// running simulated thread ([`None`] for timer/external wakes
+        /// and setup code).
+        waker: Option<ThreadId>,
+        /// The notified wait queue.
+        wait: WaitId,
+        /// How many waiters were woken (zero when nobody was waiting —
+        /// the signature of a lost wakeup).
+        woken: usize,
+    },
+    /// A thread's affinity mask changed.
+    SetAffinity {
+        /// The re-pinned thread.
+        tid: ThreadId,
+        /// The new mask.
+        affinity: CoreMask,
+    },
     /// A thread finished.
     Done {
         /// The finished thread.
         tid: ThreadId,
+    },
+    /// A `SimMutex` was acquired (emitted by `asym-sync`).
+    LockAcquire {
+        /// The new owner.
+        tid: ThreadId,
+        /// The lock's identity (its wait queue).
+        lock: WaitId,
+        /// Whether the acquisition previously blocked.
+        contended: bool,
+    },
+    /// A `SimMutex` was released (emitted by `asym-sync`).
+    LockRelease {
+        /// The previous owner.
+        tid: ThreadId,
+        /// The lock's identity (its wait queue).
+        lock: WaitId,
+    },
+    /// A thread began a condition-variable wait, atomically releasing
+    /// the paired mutex (emitted by `asym-sync`).
+    CondWait {
+        /// The waiting thread.
+        tid: ThreadId,
+        /// The condition variable's wait queue.
+        cond: WaitId,
+        /// The mutex released for the wait.
+        lock: WaitId,
+    },
+    /// A thread arrived at a `SimBarrier` (emitted by `asym-sync`).
+    BarrierArrive {
+        /// The arriving thread.
+        tid: ThreadId,
+        /// The barrier's wait queue.
+        barrier: WaitId,
+        /// Whether this arrival released the barrier.
+        released: bool,
+    },
+    /// A semaphore permit was taken (emitted by `asym-sync`).
+    SemAcquire {
+        /// The acquiring thread.
+        tid: ThreadId,
+        /// The semaphore's wait queue.
+        sem: WaitId,
+    },
+    /// A semaphore permit was returned (emitted by `asym-sync`).
+    SemRelease {
+        /// The releasing thread.
+        tid: ThreadId,
+        /// The semaphore's wait queue.
+        sem: WaitId,
+    },
+    /// An item was pushed onto a `SimQueue` (emitted by `asym-sync`).
+    QueuePush {
+        /// The producing thread.
+        tid: ThreadId,
+        /// The queue's wait queue.
+        queue: WaitId,
+    },
+    /// An item was popped from a `SimQueue` (emitted by `asym-sync`).
+    QueuePop {
+        /// The consuming thread.
+        tid: ThreadId,
+        /// The queue's wait queue.
+        queue: WaitId,
     },
 }
 
 type Tracer = Box<dyn FnMut(SimTime, TraceEvent)>;
 
 /// Why [`Kernel::run_until`] returned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RunOutcome {
     /// Every thread reached [`Step::Done`].
     AllDone,
@@ -218,6 +343,9 @@ pub struct Kernel {
     balance_scheduled: bool,
     context_switch: Cycles,
     tracer: Option<Tracer>,
+    /// Trace sink registered by an active [`crate::capture_traces`]
+    /// session, if any.
+    capture: Option<TraceSink>,
     stats: KernelStats,
 }
 
@@ -238,6 +366,7 @@ impl Kernel {
             })
             .collect::<Vec<_>>();
         let n = cores.len();
+        let capture = register_kernel(&machine, policy);
         Kernel {
             machine,
             policy,
@@ -256,6 +385,7 @@ impl Kernel {
             balance_scheduled: false,
             context_switch: DEFAULT_CONTEXT_SWITCH,
             tracer: None,
+            capture,
             stats: KernelStats {
                 core_busy: vec![SimDuration::ZERO; n],
                 ..KernelStats::default()
@@ -301,6 +431,12 @@ impl Kernel {
     }
 
     fn trace(&mut self, event: TraceEvent) {
+        if let Some(sink) = &self.capture {
+            sink.borrow_mut().records.push(TraceRecord {
+                time: self.time,
+                event,
+            });
+        }
         if let Some(tracer) = &mut self.tracer {
             tracer(self.time, event);
         }
@@ -386,7 +522,19 @@ impl Kernel {
         });
         self.live_threads += 1;
         let core = match parent_core {
-            Some(c) if opts.on_parent_core && opts.affinity.contains(CoreId(c)) => c,
+            // Fork semantics only apply under the stock policy. The
+            // asymmetry-aware scheduler must place even forked children
+            // through its speed-aware chooser: starting a child on a slow
+            // parent's core while a faster core idles would break the
+            // "fast cores never idle while slower cores hold runnable
+            // work" invariant for up to a whole balance period.
+            Some(c)
+                if opts.on_parent_core
+                    && !self.policy.is_asymmetry_aware()
+                    && opts.affinity.contains(CoreId(c)) =>
+            {
+                c
+            }
             // exec-balanced: least-loaded core, but ties keep the child
             // with its parent (sched_exec only migrates when strictly
             // better).
@@ -394,29 +542,55 @@ impl Kernel {
         };
         self.threads[tid.0].state = TState::Runnable(core);
         self.cores[core].queue.push_back(tid);
+        self.trace(TraceEvent::Spawn {
+            tid,
+            core: CoreId(core),
+            affinity: opts.affinity,
+        });
         self.mark_dispatch(core);
         tid
     }
 
     /// Wakes one waiter on `wait`; returns the thread woken, if any.
     pub fn notify_one(&mut self, wait: WaitId) -> Option<ThreadId> {
-        self.notify_one_from(wait, None)
+        self.notify_one_from(wait, None, None)
     }
 
-    fn notify_one_from(&mut self, wait: WaitId, waker_core: Option<usize>) -> Option<ThreadId> {
-        let tid = self.waits[wait.0].pop_front()?;
+    fn notify_one_from(
+        &mut self,
+        wait: WaitId,
+        waker_core: Option<usize>,
+        waker: Option<ThreadId>,
+    ) -> Option<ThreadId> {
+        let woken = self.waits[wait.0].pop_front();
+        self.trace(TraceEvent::Signal {
+            waker,
+            wait,
+            woken: usize::from(woken.is_some()),
+        });
+        let tid = woken?;
         self.wakeup(tid, waker_core);
         Some(tid)
     }
 
     /// Wakes every waiter on `wait`; returns how many were woken.
     pub fn notify_all(&mut self, wait: WaitId) -> usize {
-        self.notify_all_from(wait, None)
+        self.notify_all_from(wait, None, None)
     }
 
-    fn notify_all_from(&mut self, wait: WaitId, waker_core: Option<usize>) -> usize {
+    fn notify_all_from(
+        &mut self,
+        wait: WaitId,
+        waker_core: Option<usize>,
+        waker: Option<ThreadId>,
+    ) -> usize {
         let waiters: Vec<ThreadId> = self.waits[wait.0].drain(..).collect();
         let n = waiters.len();
+        self.trace(TraceEvent::Signal {
+            waker,
+            wait,
+            woken: n,
+        });
         for tid in waiters {
             self.wakeup(tid, waker_core);
         }
@@ -439,6 +613,14 @@ impl Kernel {
     /// `limit`; the kernel is left at `limit` and can be resumed by calling
     /// `run_until` again with a later limit.
     pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
+        let outcome = self.run_until_inner(limit);
+        if let Some(sink) = &self.capture {
+            sink.borrow_mut().outcome = Some(outcome);
+        }
+        outcome
+    }
+
+    fn run_until_inner(&mut self, limit: SimTime) -> RunOutcome {
         if !self.balance_scheduled {
             self.events
                 .schedule(self.time + self.balance_period, Event::Balance);
@@ -544,6 +726,10 @@ impl Kernel {
                 th.state = TState::Runnable(core);
                 th.state_since = self.time;
                 self.cores[core].queue.push_back(tid);
+                self.trace(TraceEvent::Preempt {
+                    tid,
+                    core: CoreId(core),
+                });
                 self.mark_dispatch(core);
             }
         }
@@ -577,6 +763,10 @@ impl Kernel {
                         th.state = TState::Runnable(core);
                         th.state_since = self.time;
                         self.cores[core].queue.push_back(tid);
+                        self.trace(TraceEvent::Preempt {
+                            tid,
+                            core: CoreId(core),
+                        });
                         self.mark_dispatch(core);
                     }
                     return;
@@ -596,6 +786,7 @@ impl Kernel {
                     th.state_since = self.time;
                     self.events
                         .schedule(self.time + d, Event::SleepDone { tid });
+                    self.trace(TraceEvent::Sleep { tid });
                     self.mark_dispatch(core);
                     return;
                 }
@@ -618,6 +809,10 @@ impl Kernel {
                     th.state = TState::Runnable(core);
                     th.state_since = self.time;
                     self.cores[core].queue.push_back(tid);
+                    self.trace(TraceEvent::Preempt {
+                        tid,
+                        core: CoreId(core),
+                    });
                     self.mark_dispatch(core);
                     return;
                 }
@@ -996,6 +1191,11 @@ impl Kernel {
         let tid = self.cores[src].queue.remove(pos).expect("position valid");
         self.threads[tid.0].state = TState::Runnable(dst);
         self.cores[dst].queue.push_back(tid);
+        self.trace(TraceEvent::Steal {
+            tid,
+            from: CoreId(src),
+            to: CoreId(dst),
+        });
         self.mark_dispatch(dst);
         true
     }
@@ -1013,12 +1213,22 @@ impl Kernel {
                     .as_ref()
                     .is_some_and(|r| self.threads[r.tid.0].affinity.contains(CoreId(dst)))
             })
-            .min_by(|&a, &b| self.cores[a].speed.cmp(&self.cores[b].speed).then(a.cmp(&b)));
+            .min_by(|&a, &b| {
+                self.cores[a]
+                    .speed
+                    .cmp(&self.cores[b].speed)
+                    .then(a.cmp(&b))
+            });
         let Some(src) = src else { return false };
         let tid = self.interrupt_running(src);
         self.threads[tid.0].state = TState::Runnable(dst);
         self.threads[tid.0].state_since = self.time;
         self.cores[dst].queue.push_back(tid);
+        self.trace(TraceEvent::Steal {
+            tid,
+            from: CoreId(src),
+            to: CoreId(dst),
+        });
         self.mark_dispatch(dst);
         self.mark_dispatch(src);
         true
@@ -1050,7 +1260,15 @@ impl Kernel {
                 Pending::Compute(left)
             };
         }
-        running.tid
+        let tid = running.tid;
+        // For replay purposes the interrupted thread is momentarily back
+        // on its own core's queue; the caller's Steal event records where
+        // it actually went.
+        self.trace(TraceEvent::Preempt {
+            tid,
+            core: CoreId(core),
+        });
+        tid
     }
 
     /// The periodic balancer.
@@ -1083,7 +1301,9 @@ impl Kernel {
                 // Imbalance is judged on the decayed load average, biased
                 // by the instantaneous queue so there is actually
                 // something to steal from the busiest core.
-                let l = self.cores[i].load_avg.max(self.cores[i].load() as f64 * 0.5);
+                let l = self.cores[i]
+                    .load_avg
+                    .max(self.cores[i].load() as f64 * 0.5);
                 if l > max_l {
                     max_l = l;
                     max_i = i;
@@ -1113,13 +1333,23 @@ impl Kernel {
         for _ in 0..2 * self.cores.len() {
             let idle = (0..self.cores.len())
                 .filter(|&i| self.cores[i].load() == 0)
-                .max_by(|&a, &b| self.cores[a].speed.cmp(&self.cores[b].speed).then(b.cmp(&a)));
+                .max_by(|&a, &b| {
+                    self.cores[a]
+                        .speed
+                        .cmp(&self.cores[b].speed)
+                        .then(b.cmp(&a))
+                });
             let Some(dst) = idle else { break };
             let src = (0..self.cores.len())
                 .filter(|&i| {
                     i != dst && self.cores[i].load() >= 2 && !self.cores[i].queue.is_empty()
                 })
-                .min_by(|&a, &b| self.cores[a].speed.cmp(&self.cores[b].speed).then(a.cmp(&b)));
+                .min_by(|&a, &b| {
+                    self.cores[a]
+                        .speed
+                        .cmp(&self.cores[b].speed)
+                        .then(a.cmp(&b))
+                });
             let moved = match src {
                 Some(src) => self.steal_queued(src, dst, false),
                 None => false,
@@ -1145,14 +1375,17 @@ impl Kernel {
                 return;
             };
             let src_density = self.cores[src].load() as f64 / self.cores[src].speed.factor();
-            let Some(dst) = (0..self.cores.len()).filter(|&i| i != src).min_by(|&a, &b| {
-                let da = (self.cores[a].load() + 1) as f64 / self.cores[a].speed.factor();
-                let db = (self.cores[b].load() + 1) as f64 / self.cores[b].speed.factor();
-                da.partial_cmp(&db)
-                    .expect("finite")
-                    .then(self.cores[b].speed.cmp(&self.cores[a].speed))
-                    .then(a.cmp(&b))
-            }) else {
+            let Some(dst) = (0..self.cores.len())
+                .filter(|&i| i != src)
+                .min_by(|&a, &b| {
+                    let da = (self.cores[a].load() + 1) as f64 / self.cores[a].speed.factor();
+                    let db = (self.cores[b].load() + 1) as f64 / self.cores[b].speed.factor();
+                    da.partial_cmp(&db)
+                        .expect("finite")
+                        .then(self.cores[b].speed.cmp(&self.cores[a].speed))
+                        .then(a.cmp(&b))
+                })
+            else {
                 return;
             };
             let dst_density = (self.cores[dst].load() + 1) as f64 / self.cores[dst].speed.factor();
@@ -1196,6 +1429,10 @@ impl Kernel {
             "set_affinity: mask excludes every core"
         );
         self.threads[tid.0].affinity = mask;
+        self.trace(TraceEvent::SetAffinity {
+            tid,
+            affinity: mask,
+        });
         match self.threads[tid.0].state {
             TState::Running(core) if !mask.contains(CoreId(core)) => {
                 let tid = {
@@ -1207,6 +1444,11 @@ impl Kernel {
                 self.threads[tid.0].state = TState::Runnable(dst);
                 self.threads[tid.0].state_since = self.time;
                 self.cores[dst].queue.push_back(tid);
+                self.trace(TraceEvent::Steal {
+                    tid,
+                    from: CoreId(core),
+                    to: CoreId(dst),
+                });
                 self.mark_dispatch(dst);
                 self.mark_dispatch(core);
             }
@@ -1220,6 +1462,11 @@ impl Kernel {
                 let dst = self.place_thread(tid);
                 self.threads[tid.0].state = TState::Runnable(dst);
                 self.cores[dst].queue.push_back(tid);
+                self.trace(TraceEvent::Steal {
+                    tid,
+                    from: CoreId(core),
+                    to: CoreId(dst),
+                });
                 self.mark_dispatch(dst);
             }
             _ => {}
@@ -1296,27 +1543,38 @@ impl ThreadCx<'_> {
 
     /// Wakes one waiter on `wait` (a sync wakeup from this thread's core).
     pub fn notify_one(&mut self, wait: WaitId) -> Option<ThreadId> {
-        let core = self.core.0;
-        self.kernel.notify_one_from(wait, Some(core))
+        let (core, tid) = (self.core.0, self.tid);
+        self.kernel.notify_one_from(wait, Some(core), Some(tid))
     }
 
     /// Wakes all waiters on `wait`; returns the count woken.
     pub fn notify_all(&mut self, wait: WaitId) -> usize {
-        let core = self.core.0;
-        self.kernel.notify_all_from(wait, Some(core))
+        let (core, tid) = (self.core.0, self.tid);
+        self.kernel.notify_all_from(wait, Some(core), Some(tid))
     }
 
     /// Wakes one waiter without sync-wakeup affinity — for events that
     /// arrive from outside the machine (network interrupts, remote
     /// drivers), where there is no meaningful waker core.
     pub fn notify_one_remote(&mut self, wait: WaitId) -> Option<ThreadId> {
-        self.kernel.notify_one_from(wait, None)
+        let tid = self.tid;
+        self.kernel.notify_one_from(wait, None, Some(tid))
     }
 
     /// Wakes all waiters without sync-wakeup affinity (see
     /// [`ThreadCx::notify_one_remote`]).
     pub fn notify_all_remote(&mut self, wait: WaitId) -> usize {
-        self.kernel.notify_all_from(wait, None)
+        let tid = self.tid;
+        self.kernel.notify_all_from(wait, None, Some(tid))
+    }
+
+    /// Records a trace event on behalf of the calling thread, stamped
+    /// with the current simulated time. Used by `asym-sync` to annotate
+    /// the kernel stream with primitive-level events (lock acquires,
+    /// condvar waits, barrier arrivals); tracing never affects
+    /// scheduling.
+    pub fn trace(&mut self, event: TraceEvent) {
+        self.kernel.trace(event);
     }
 
     /// The number of threads currently blocked on `wait`.

@@ -51,6 +51,7 @@
 mod kernel;
 mod policy;
 mod thread;
+mod trace;
 
 pub use kernel::{
     Kernel, KernelStats, RunOutcome, ThreadCx, TraceEvent, CACHE_HOT_WINDOW,
@@ -58,3 +59,4 @@ pub use kernel::{
 };
 pub use policy::{PolicyKind, SchedPolicy};
 pub use thread::{FnThread, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
+pub use trace::{capture_traces, KernelTrace, TraceRecord};

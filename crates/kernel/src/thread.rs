@@ -35,6 +35,15 @@ impl fmt::Display for ThreadId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WaitId(pub(crate) usize);
 
+impl WaitId {
+    /// The wait queue's index within its kernel — a stable identity for
+    /// trace analyses (wait queues are created sequentially and never
+    /// destroyed, so the index is unique per run).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 impl fmt::Display for WaitId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "wait{}", self.0)
@@ -146,7 +155,9 @@ where
 
 impl<F> fmt::Debug for FnThread<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnThread").field("name", &self.name).finish()
+        f.debug_struct("FnThread")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

@@ -1,0 +1,138 @@
+//! Trace capture: recording the complete [`TraceEvent`] stream of every
+//! kernel built inside a closure, without touching workload code.
+//!
+//! Workloads construct their [`Kernel`](crate::Kernel)s internally, so a
+//! checker cannot install a tracer by hand. [`capture_traces`] instead
+//! registers a thread-local capture session: every kernel *created on the
+//! current OS thread* while the closure runs appends its events (and its
+//! final [`RunOutcome`]) to a [`KernelTrace`]. Sessions nest, and each
+//! OS thread has its own session, so captured runs may execute on
+//! parallel worker threads as the experiment harness does.
+
+use crate::kernel::{RunOutcome, TraceEvent};
+use crate::policy::SchedPolicy;
+use asym_sim::{MachineSpec, SimTime, StableHasher};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One captured trace event with its simulated timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// The complete event stream of one kernel run, captured by
+/// [`capture_traces`].
+#[derive(Debug, Clone)]
+pub struct KernelTrace {
+    /// The machine the kernel managed.
+    pub machine: MachineSpec,
+    /// The scheduling policy in force.
+    pub policy: SchedPolicy,
+    /// Every trace event, in emission order.
+    pub records: Vec<TraceRecord>,
+    /// How the most recent `run`/`run_until` call ended, if any.
+    pub outcome: Option<RunOutcome>,
+}
+
+impl KernelTrace {
+    /// A platform-independent FNV-1a hash over the full event stream
+    /// (timestamps, event payloads, and the final outcome). Two runs of
+    /// the same seeded program must produce equal hashes — the
+    /// determinism contract checked by `asym-analysis`.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        for r in &self.records {
+            std::hash::Hash::hash(r, &mut h);
+        }
+        std::hash::Hash::hash(&self.outcome, &mut h);
+        std::hash::Hasher::finish(&h)
+    }
+}
+
+pub(crate) type TraceSink = Rc<RefCell<KernelTrace>>;
+
+thread_local! {
+    /// Stack of active capture sessions on this OS thread (innermost
+    /// last). Each session collects the sinks of kernels created while
+    /// it is active.
+    static SESSIONS: RefCell<Vec<Rc<RefCell<Vec<TraceSink>>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Called by `Kernel::new`: if a capture session is active on this OS
+/// thread, allocate a sink for the new kernel and register it.
+pub(crate) fn register_kernel(machine: &MachineSpec, policy: SchedPolicy) -> Option<TraceSink> {
+    SESSIONS.with(|s| {
+        let sessions = s.borrow();
+        let session = sessions.last()?;
+        let sink = Rc::new(RefCell::new(KernelTrace {
+            machine: machine.clone(),
+            policy,
+            records: Vec::new(),
+            outcome: None,
+        }));
+        session.borrow_mut().push(sink.clone());
+        Some(sink)
+    })
+}
+
+/// Ends the innermost session on drop even if the closure panics, so a
+/// poisoned session never leaks into later captures on the same thread.
+struct SessionGuard;
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        SESSIONS.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with trace capture enabled and returns its result together
+/// with the trace of every kernel created (on this OS thread) while it
+/// ran, in creation order.
+///
+/// Capture is transparent to the code under test: tracing never affects
+/// scheduling decisions, and any tracer installed with
+/// [`Kernel::set_tracer`](crate::Kernel::set_tracer) still runs.
+///
+/// # Examples
+///
+/// ```
+/// use asym_kernel::{capture_traces, FnThread, Kernel, SchedPolicy, SpawnOptions, Step};
+/// use asym_sim::{Cycles, MachineSpec, Speed};
+///
+/// let ((), traces) = capture_traces(|| {
+///     let machine = MachineSpec::symmetric(2, Speed::FULL);
+///     let mut k = Kernel::new(machine, SchedPolicy::os_default(), 7);
+///     k.spawn(
+///         FnThread::new("w", |_cx| Step::Done),
+///         SpawnOptions::new(),
+///     );
+///     k.run();
+/// });
+/// assert_eq!(traces.len(), 1);
+/// assert!(!traces[0].records.is_empty());
+/// ```
+pub fn capture_traces<R>(f: impl FnOnce() -> R) -> (R, Vec<KernelTrace>) {
+    let session: Rc<RefCell<Vec<TraceSink>>> = Rc::new(RefCell::new(Vec::new()));
+    SESSIONS.with(|s| s.borrow_mut().push(session.clone()));
+    let guard = SessionGuard;
+    let result = f();
+    drop(guard);
+    let sinks = Rc::try_unwrap(session)
+        .expect("capture session still referenced")
+        .into_inner();
+    let traces = sinks
+        .into_iter()
+        .map(|sink| match Rc::try_unwrap(sink) {
+            Ok(cell) => cell.into_inner(),
+            // The kernel outlived the capture scope; snapshot its trace.
+            Err(shared) => shared.borrow().clone(),
+        })
+        .collect();
+    (result, traces)
+}

@@ -96,7 +96,7 @@ fn work_conservation_no_core_idles_with_queued_work() {
     // 80 ms of work over 4 cores = 20 ms minimum; allow a whisker of
     // tail imbalance.
     let t = k.now().as_secs_f64();
-    assert!(t >= 0.020 && t < 0.0215, "elapsed {t}");
+    assert!((0.020..0.0215).contains(&t), "elapsed {t}");
 }
 
 #[test]
@@ -186,7 +186,10 @@ fn affinity_pins_thread_to_core() {
     let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
     let mut k = kernel_no_ctx(machine, SchedPolicy::os_default(), 1);
     let slow_only = CoreMask::single(CoreId(1));
-    let t = k.spawn(compute_thread(8.0, 8), SpawnOptions::new().affinity(slow_only));
+    let t = k.spawn(
+        compute_thread(8.0, 8),
+        SpawnOptions::new().affinity(slow_only),
+    );
     k.run();
     assert_eq!(k.thread_core(t), Some(CoreId(1)));
     // 8 ms of work at 1/8 speed = 64 ms even though a fast core idled.
@@ -234,7 +237,10 @@ fn stock_policy_leaves_thread_stranded_on_slow_core() {
     k.spawn(compute_thread(10.0, 10), SpawnOptions::new());
     k.run();
     let t = k.now().as_secs_f64();
-    assert!(t > 0.079, "stock policy should strand the slow thread: {t}s");
+    assert!(
+        t > 0.079,
+        "stock policy should strand the slow thread: {t}s"
+    );
 }
 
 #[test]
@@ -647,9 +653,12 @@ fn tracer_observes_full_thread_lifecycle() {
     let done = evs
         .iter()
         .any(|e| matches!(e, TraceEvent::Done { tid } if *tid == t));
-    assert!(dispatched && blocked && woken && done, "lifecycle gaps: {evs:?}");
+    assert!(
+        dispatched && blocked && woken && done,
+        "lifecycle gaps: {evs:?}"
+    );
     // Ordering: block precedes wakeup precedes done for the traced thread.
-    let pos = |pred: &dyn Fn(&TraceEvent) -> bool| evs.iter().position(|e| pred(e)).unwrap();
+    let pos = |pred: &dyn Fn(&TraceEvent) -> bool| evs.iter().position(pred).unwrap();
     let b = pos(&|e| matches!(e, TraceEvent::Block { tid, .. } if *tid == t));
     let w = pos(&|e| matches!(e, TraceEvent::Wakeup { tid, .. } if *tid == t));
     let d = pos(&|e| matches!(e, TraceEvent::Done { tid } if *tid == t));

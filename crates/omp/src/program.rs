@@ -233,7 +233,10 @@ impl OmpProgramBuilder {
     /// barrier anywhere (an all-`nowait` program would let threads from
     /// different time steps race on the same loop state).
     pub fn build(self) -> OmpProgram {
-        assert!(!self.regions.is_empty(), "program needs at least one region");
+        assert!(
+            !self.regions.is_empty(),
+            "program needs at least one region"
+        );
         assert!(self.time_steps > 0, "program needs at least one time step");
         assert!(
             self.regions.iter().any(Region::has_barrier),

@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn dynamic_chunks_cover_exactly_once() {
         let mut s = LoopState::new(LoopSchedule::Dynamic { chunk: 3 }, 10, 2);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         let mut rank = 0;
         while let Some((start, len)) = s.next_chunk(rank) {
             for i in start..start + len {
@@ -229,7 +229,7 @@ mod tests {
         let first = s.next_chunk(0).unwrap();
         let second = s.next_chunk(1).unwrap();
         assert_eq!(first.1, 25); // 100/4
-        assert!(second.1 < first.1 || second.1 == first.1); // 75/4 = 18
+        assert!(second.1 <= first.1); // 75/4 = 18
         assert_eq!(second.1, 18);
         // Drain; all iterations covered.
         let mut total = first.1 + second.1;

@@ -141,8 +141,8 @@ impl ThreadBody for OmpWorker {
                     };
                     match self.shared.next_chunk(self.step, self.region, self.rank) {
                         Some((_start, len)) => {
-                            let work = Cycles::new(len * cost.get())
-                                + self.shared.dispatch_overhead;
+                            let work =
+                                Cycles::new(len * cost.get()) + self.shared.dispatch_overhead;
                             return Step::Compute(work);
                         }
                         None => {

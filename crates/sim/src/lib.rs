@@ -15,10 +15,12 @@
 //! * [`MachineSpec`], [`CoreId`], [`CoreMask`] — machine shape and affinity;
 //! * [`EventQueue`] — a cancellable, deterministic event queue;
 //! * [`Rng`] — a seedable SplitMix64 generator so each run is a pure
-//!   function of its seed.
+//!   function of its seed;
+//! * [`StableHasher`] — a platform-independent FNV-1a hasher for trace
+//!   fingerprints.
 //!
-//! Higher layers ([`asym-kernel`](https://example.com), `asym-sync`,
-//! `asym-omp`) build the simulated OS and threading runtimes on top.
+//! Higher layers (`asym-kernel`, `asym-sync`, `asym-omp`) build the
+//! simulated OS and threading runtimes on top.
 //!
 //! # Examples
 //!
@@ -39,12 +41,14 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+mod hash;
 mod machine;
 mod rng;
 mod time;
 mod work;
 
 pub use event::{EventKey, EventQueue};
+pub use hash::StableHasher;
 pub use machine::{CoreId, CoreMask, MachineSpec};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

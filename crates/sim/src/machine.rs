@@ -127,7 +127,7 @@ impl MachineSpec {
     /// followed by `slow` cores at `slow_speed`.
     pub fn asymmetric(fast: usize, slow: usize, slow_speed: Speed) -> Self {
         let mut speeds = vec![Speed::FULL; fast];
-        speeds.extend(std::iter::repeat(slow_speed).take(slow));
+        speeds.extend(std::iter::repeat_n(slow_speed, slow));
         MachineSpec::new(speeds)
     }
 

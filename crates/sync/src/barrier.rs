@@ -3,7 +3,7 @@
 //! SPEC OMP programs run at the pace of the slowest core (§3.5).
 
 use crate::host::SyncHost;
-use asym_kernel::{Step, ThreadCx, WaitId};
+use asym_kernel::{Step, ThreadCx, TraceEvent, WaitId};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -87,6 +87,11 @@ impl SimBarrier {
                 (false, inner.wait)
             }
         };
+        cx.trace(TraceEvent::BarrierArrive {
+            tid: cx.thread_id(),
+            barrier: wait,
+            released,
+        });
         if released {
             cx.notify_all(wait);
             Arrival::Released

@@ -3,7 +3,7 @@
 //! queues, jAppServer transaction queues).
 
 use crate::host::SyncHost;
-use asym_kernel::{Step, ThreadCx, WaitId};
+use asym_kernel::{Step, ThreadCx, TraceEvent, WaitId};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
@@ -86,6 +86,10 @@ impl<T> SimQueue<T> {
             inner.high_water = inner.high_water.max(inner.items.len());
             (inner.not_empty, inner.remote)
         };
+        cx.trace(TraceEvent::QueuePush {
+            tid: cx.thread_id(),
+            queue: wait,
+        });
         if remote {
             cx.notify_one_remote(wait);
         } else {
@@ -94,15 +98,27 @@ impl<T> SimQueue<T> {
     }
 
     /// Attempts to dequeue an item.
-    pub fn try_pop(&self, _cx: &ThreadCx<'_>) -> TryPop<T> {
-        let mut inner = self.inner.borrow_mut();
-        match inner.items.pop_front() {
-            Some(item) => {
-                inner.popped += 1;
+    pub fn try_pop(&self, cx: &mut ThreadCx<'_>) -> TryPop<T> {
+        let popped = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.items.pop_front() {
+                Some(item) => {
+                    inner.popped += 1;
+                    Ok((item, inner.not_empty))
+                }
+                None if inner.closed => Err(TryPop::Closed),
+                None => Err(TryPop::Empty(Step::Block(inner.not_empty))),
+            }
+        };
+        match popped {
+            Ok((item, queue)) => {
+                cx.trace(TraceEvent::QueuePop {
+                    tid: cx.thread_id(),
+                    queue,
+                });
                 TryPop::Item(item)
             }
-            None if inner.closed => TryPop::Closed,
-            None => TryPop::Empty(Step::Block(inner.not_empty)),
+            Err(outcome) => outcome,
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::host::SyncHost;
 use crate::mutex::SimMutex;
-use asym_kernel::{Step, ThreadCx, WaitId};
+use asym_kernel::{Step, ThreadCx, TraceEvent, WaitId};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -69,8 +69,15 @@ impl SimCondvar {
     ///
     /// Panics if the calling thread does not hold `mutex`.
     pub fn wait_step(&self, cx: &mut ThreadCx<'_>, mutex: &SimMutex) -> Step {
+        let lock = mutex.wait_id();
         mutex.unlock(cx);
-        Step::Block(self.inner.borrow().wait)
+        let cond = self.inner.borrow().wait;
+        cx.trace(TraceEvent::CondWait {
+            tid: cx.thread_id(),
+            cond,
+            lock,
+        });
+        Step::Block(cond)
     }
 
     /// Wakes one waiter.

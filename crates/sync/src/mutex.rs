@@ -1,7 +1,7 @@
 //! A mutual-exclusion lock for simulated threads.
 
 use crate::host::SyncHost;
-use asym_kernel::{Step, ThreadCx, ThreadId, WaitId};
+use asym_kernel::{Step, ThreadCx, ThreadId, TraceEvent, WaitId};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -12,6 +12,9 @@ struct Inner {
     wait: WaitId,
     contended_acquires: u64,
     acquires: u64,
+    /// Threads that have blocked on this lock and not yet acquired it,
+    /// so the eventual acquisition can be traced as contended.
+    blocked: Vec<ThreadId>,
 }
 
 /// A mutex usable from [`ThreadBody`](asym_kernel::ThreadBody) state
@@ -72,32 +75,59 @@ impl SimMutex {
                 wait,
                 contended_acquires: 0,
                 acquires: 0,
+                blocked: Vec::new(),
             })),
         }
     }
 
     /// Attempts to take the lock for the calling thread; returns `true` on
     /// success.
-    pub fn try_lock(&self, cx: &ThreadCx<'_>) -> bool {
-        let mut inner = self.inner.borrow_mut();
-        if inner.owner.is_none() {
-            inner.owner = Some(cx.thread_id());
-            inner.acquires += 1;
-            true
-        } else {
-            false
+    pub fn try_lock(&self, cx: &mut ThreadCx<'_>) -> bool {
+        let tid = cx.thread_id();
+        let acquired = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.owner.is_none() {
+                inner.owner = Some(tid);
+                inner.acquires += 1;
+                let contended = match inner.blocked.iter().position(|&t| t == tid) {
+                    Some(pos) => {
+                        inner.blocked.swap_remove(pos);
+                        true
+                    }
+                    None => false,
+                };
+                Some((inner.wait, contended))
+            } else {
+                None
+            }
+        };
+        match acquired {
+            Some((lock, contended)) => {
+                cx.trace(TraceEvent::LockAcquire {
+                    tid,
+                    lock,
+                    contended,
+                });
+                true
+            }
+            None => false,
         }
     }
 
     /// The try/block pattern in one call: `Ok(())` when the lock was taken,
     /// `Err(step)` with the blocking step to return otherwise. When the
     /// thread is next run it should call `lock_step` again.
-    pub fn lock_step(&self, cx: &ThreadCx<'_>) -> Result<(), Step> {
+    pub fn lock_step(&self, cx: &mut ThreadCx<'_>) -> Result<(), Step> {
         if self.try_lock(cx) {
             Ok(())
         } else {
-            self.inner.borrow_mut().contended_acquires += 1;
-            Err(Step::Block(self.wait_id()))
+            let tid = cx.thread_id();
+            let mut inner = self.inner.borrow_mut();
+            inner.contended_acquires += 1;
+            if !inner.blocked.contains(&tid) {
+                inner.blocked.push(tid);
+            }
+            Err(Step::Block(inner.wait))
         }
     }
 
@@ -107,16 +137,14 @@ impl SimMutex {
     ///
     /// Panics if the calling thread does not hold the lock.
     pub fn unlock(&self, cx: &mut ThreadCx<'_>) {
+        let tid = cx.thread_id();
         let wait = {
             let mut inner = self.inner.borrow_mut();
-            assert_eq!(
-                inner.owner,
-                Some(cx.thread_id()),
-                "unlock by non-owner thread"
-            );
+            assert_eq!(inner.owner, Some(tid), "unlock by non-owner thread");
             inner.owner = None;
             inner.wait
         };
+        cx.trace(TraceEvent::LockRelease { tid, lock: wait });
         cx.notify_one(wait);
     }
 

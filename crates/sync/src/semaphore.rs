@@ -2,7 +2,7 @@
 //! (e.g. PMAKE's `-j4` job slots).
 
 use crate::host::SyncHost;
-use asym_kernel::{Step, ThreadCx, WaitId};
+use asym_kernel::{Step, ThreadCx, TraceEvent, WaitId};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -30,20 +30,32 @@ impl SimSemaphore {
     }
 
     /// Attempts to take one permit; returns `true` on success.
-    pub fn try_acquire(&self) -> bool {
-        let mut inner = self.inner.borrow_mut();
-        if inner.permits > 0 {
-            inner.permits -= 1;
-            true
-        } else {
-            false
+    pub fn try_acquire(&self, cx: &mut ThreadCx<'_>) -> bool {
+        let taken = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.permits > 0 {
+                inner.permits -= 1;
+                Some(inner.wait)
+            } else {
+                None
+            }
+        };
+        match taken {
+            Some(sem) => {
+                cx.trace(TraceEvent::SemAcquire {
+                    tid: cx.thread_id(),
+                    sem,
+                });
+                true
+            }
+            None => false,
         }
     }
 
     /// The try/block pattern in one call: `Ok(())` when a permit was taken,
     /// `Err(step)` with the blocking step otherwise.
-    pub fn acquire_step(&self) -> Result<(), Step> {
-        if self.try_acquire() {
+    pub fn acquire_step(&self, cx: &mut ThreadCx<'_>) -> Result<(), Step> {
+        if self.try_acquire(cx) {
             Ok(())
         } else {
             Err(Step::Block(self.wait_id()))
@@ -57,6 +69,10 @@ impl SimSemaphore {
             inner.permits += 1;
             inner.wait
         };
+        cx.trace(TraceEvent::SemRelease {
+            tid: cx.thread_id(),
+            sem: wait,
+        });
         cx.notify_one(wait);
     }
 

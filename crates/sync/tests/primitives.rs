@@ -139,31 +139,29 @@ fn barrier_synchronizes_unequal_speeds() {
         let mut phase = 0;
         let mut token = 0u64;
         k.spawn(
-            FnThread::new(format!("omp{i}"), move |cx| {
-                loop {
-                    match phase {
-                        0 => {
-                            phase = 1;
-                            return Step::Compute(Cycles::from_millis_at_full_speed(2.0));
+            FnThread::new(format!("omp{i}"), move |cx| loop {
+                match phase {
+                    0 => {
+                        phase = 1;
+                        return Step::Compute(Cycles::from_millis_at_full_speed(2.0));
+                    }
+                    1 => match b.arrive(cx) {
+                        Arrival::Released => phase = 3,
+                        Arrival::Wait { token: t, step } => {
+                            token = t;
+                            phase = 2;
+                            return step;
                         }
-                        1 => match b.arrive(cx) {
-                            Arrival::Released => phase = 3,
-                            Arrival::Wait { token: t, step } => {
-                                token = t;
-                                phase = 2;
-                                return step;
-                            }
-                        },
-                        2 => {
-                            if !b.passed(token) {
-                                return Step::Block(b.wait_id());
-                            }
-                            phase = 3;
+                    },
+                    2 => {
+                        if !b.passed(token) {
+                            return Step::Block(b.wait_id());
                         }
-                        _ => {
-                            after.borrow_mut().push(cx.now());
-                            return Step::Done;
-                        }
+                        phase = 3;
+                    }
+                    _ => {
+                        after.borrow_mut().push(cx.now());
+                        return Step::Done;
                     }
                 }
             }),
@@ -204,7 +202,7 @@ fn semaphore_caps_concurrency() {
                     sem.release(cx);
                     return Step::Done;
                 }
-                match sem.acquire_step() {
+                match sem.acquire_step(cx) {
                     Ok(()) => {
                         holding = true;
                         let mut a = active.borrow_mut();
@@ -403,12 +401,16 @@ fn condvar_bounded_buffer() {
 
     // Producer state machine.
     {
-        let (m, not_full, not_empty, buffer) =
-            (m.clone(), not_full.clone(), not_empty.clone(), buffer.clone());
+        let (m, not_full, not_empty, buffer) = (
+            m.clone(),
+            not_full.clone(),
+            not_empty.clone(),
+            buffer.clone(),
+        );
         let mut produced = 0u32;
         let mut holding = false;
         k.spawn(
-            FnThread::new("producer", move |cx| loop {
+            FnThread::new("producer", move |cx| {
                 if !holding {
                     match m.lock_step(cx) {
                         Ok(()) => holding = true,
@@ -429,7 +431,7 @@ fn condvar_bounded_buffer() {
                 not_empty.notify_one(cx);
                 m.unlock(cx);
                 holding = false;
-                return Step::Compute(Cycles::new(5_000));
+                Step::Compute(Cycles::new(5_000))
             }),
             SpawnOptions::new(),
         );

@@ -140,9 +140,7 @@ impl EncShared {
             assert!(
                 !done[slot][t.row as usize][t.seg as usize],
                 "task f{} r{} s{} executed twice",
-                t.frame,
-                t.row,
-                t.seg
+                t.frame, t.row, t.seg
             );
             done[slot][t.row as usize][t.seg as usize] = true;
         }
@@ -497,6 +495,9 @@ mod tests {
         // 4 cores should be at least 2.5x faster than 1 core.
         let quad = quick(AsymConfig::new(4, 0, 1), 3);
         let uni = quick(AsymConfig::new(1, 0, 1), 3);
-        assert!(uni > 2.5 * quad, "wavefront parallelism missing: {uni} vs {quad}");
+        assert!(
+            uni > 2.5 * quad,
+            "wavefront parallelism missing: {uni} vs {quad}"
+        );
     }
 }

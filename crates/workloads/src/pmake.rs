@@ -141,8 +141,7 @@ impl ThreadBody for MakeProcess {
                     self.phase = MakePhase::Spawn;
                 }
                 MakePhase::Spawn => {
-                    let outstanding =
-                        u64::from(self.spawned) - self.shared.finished_jobs.get();
+                    let outstanding = u64::from(self.spawned) - self.shared.finished_jobs.get();
                     if self.spawned as usize == self.costs.len() {
                         self.phase = MakePhase::WaitJobs;
                         continue;
@@ -175,8 +174,7 @@ impl ThreadBody for MakeProcess {
                         self.phase = MakePhase::Link(0);
                         continue;
                     }
-                    if !all_spawned && u64::from(self.spawned) - finished < u64::from(self.jobs)
-                    {
+                    if !all_spawned && u64::from(self.spawned) - finished < u64::from(self.jobs) {
                         self.phase = MakePhase::Spawn;
                         continue;
                     }

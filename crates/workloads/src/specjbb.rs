@@ -95,7 +95,10 @@ impl Default for SpecJbbParams {
             cycle_trigger: 16 * 1024 * 1024,
             heap_hard_limit: 96 * 1024 * 1024,
             heap_resume: 24 * 1024 * 1024,
-            window: Window::new(SimDuration::from_millis(300), SimDuration::from_millis(1200)),
+            window: Window::new(
+                SimDuration::from_millis(300),
+                SimDuration::from_millis(1200),
+            ),
         }
     }
 }
@@ -393,9 +396,8 @@ impl Workload for SpecJbb {
 
         let stop_barrier = SimBarrier::new(&mut kernel, self.warehouses);
         let done_barrier = SimBarrier::new(&mut kernel, self.warehouses);
-        let tx_cost = Cycles::new(
-            (self.params.tx_cost.get() as f64 * self.jvm.tx_cost_factor()) as u64,
-        );
+        let tx_cost =
+            Cycles::new((self.params.tx_cost.get() as f64 * self.jvm.tx_cost_factor()) as u64);
         let gc_total = (self.params.stw_threshold as f64 * self.params.stw_cost_per_byte) as u64;
         let gc_share = Cycles::new(gc_total / self.warehouses as u64);
 
@@ -460,10 +462,8 @@ mod tests {
 
     fn quick(warehouses: usize, gc: GcKind, config: AsymConfig, seed: u64) -> f64 {
         let mut jbb = SpecJbb::new(warehouses).gc(gc);
-        jbb.params.window = Window::new(
-            SimDuration::from_millis(100),
-            SimDuration::from_millis(400),
-        );
+        jbb.params.window =
+            Window::new(SimDuration::from_millis(100), SimDuration::from_millis(400));
         jbb.run(&RunSetup::new(config, SchedPolicy::os_default(), seed))
             .value
     }
@@ -486,10 +486,8 @@ mod tests {
     #[test]
     fn parallel_gc_actually_collects() {
         let mut jbb = SpecJbb::new(4);
-        jbb.params.window = Window::new(
-            SimDuration::from_millis(100),
-            SimDuration::from_millis(900),
-        );
+        jbb.params.window =
+            Window::new(SimDuration::from_millis(100), SimDuration::from_millis(900));
         let setup = RunSetup::new(AsymConfig::new(4, 0, 1), SchedPolicy::os_default(), 3);
         let r = jbb.run(&setup);
         assert!(r.extras["collections"] >= 1.0, "no GC happened");
@@ -502,11 +500,10 @@ mod tests {
             let runs: Vec<f64> = (0..10)
                 .map(|s| {
                     let mut jbb = SpecJbb::new(10).gc(gc);
-                    jbb.params.window = Window::new(
-                        SimDuration::from_millis(200),
-                        SimDuration::from_millis(800),
-                    );
-                    jbb.run(&RunSetup::new(c, SchedPolicy::os_default(), s)).value
+                    jbb.params.window =
+                        Window::new(SimDuration::from_millis(200), SimDuration::from_millis(800));
+                    jbb.run(&RunSetup::new(c, SchedPolicy::os_default(), s))
+                        .value
                 })
                 .collect::<Vec<f64>>();
             let mean = runs.iter().sum::<f64>() / runs.len() as f64;
@@ -526,10 +523,8 @@ mod tests {
     fn hotspot_is_slower_than_jrockit() {
         let c = AsymConfig::new(4, 0, 1);
         let mut jr = SpecJbb::new(8);
-        jr.params.window = Window::new(
-            SimDuration::from_millis(100),
-            SimDuration::from_millis(400),
-        );
+        jr.params.window =
+            Window::new(SimDuration::from_millis(100), SimDuration::from_millis(400));
         let mut hs = jr.clone().jvm(JvmKind::HotSpot);
         hs.params = jr.params.clone();
         let setup = RunSetup::new(c, SchedPolicy::os_default(), 1);

@@ -274,9 +274,24 @@ mod tests {
     #[test]
     fn dynamic_variant_restores_scaling() {
         let asym_static = quick("swim", OmpVariant::Unmodified, AsymConfig::new(2, 2, 8), 1);
-        let asym_dyn = quick("swim", OmpVariant::DynamicChunked, AsymConfig::new(2, 2, 8), 1);
-        let fast_dyn = quick("swim", OmpVariant::DynamicChunked, AsymConfig::new(4, 0, 1), 1);
-        let slow_dyn = quick("swim", OmpVariant::DynamicChunked, AsymConfig::new(0, 4, 8), 1);
+        let asym_dyn = quick(
+            "swim",
+            OmpVariant::DynamicChunked,
+            AsymConfig::new(2, 2, 8),
+            1,
+        );
+        let fast_dyn = quick(
+            "swim",
+            OmpVariant::DynamicChunked,
+            AsymConfig::new(4, 0, 1),
+            1,
+        );
+        let slow_dyn = quick(
+            "swim",
+            OmpVariant::DynamicChunked,
+            AsymConfig::new(0, 4, 8),
+            1,
+        );
         assert!(
             asym_dyn < 0.5 * asym_static,
             "dynamic should be much faster on asym: {asym_dyn} vs {asym_static}"

@@ -27,8 +27,8 @@ use asym_sync::{SimLatch, SimQueue, TryPop};
 /// spread of real power-run query times. One unit ≈ 0.4 full-speed core
 /// seconds under the default [`TpcHParams`].
 pub const QUERY_WEIGHTS: [f64; 22] = [
-    1.0, 0.3, 1.2, 0.8, 0.9, 0.5, 1.0, 1.3, 2.2, 1.0, 0.4, 0.9, 1.4, 0.6, 0.7, 0.5, 1.8, 2.5,
-    1.1, 0.9, 1.9, 0.8,
+    1.0, 0.3, 1.2, 0.8, 0.9, 0.5, 1.0, 1.3, 2.2, 1.0, 0.4, 0.9, 1.4, 0.6, 0.7, 0.5, 1.8, 2.5, 1.1,
+    0.9, 1.9, 0.8,
 ];
 
 /// Which queries a run executes.
@@ -224,8 +224,7 @@ impl ThreadBody for Coordinator {
             let base_secs = QUERY_WEIGHTS[q] * self.seconds_per_unit * self.cost_multiplier;
             for (i, share) in self.shares.iter().enumerate() {
                 let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
-                let work =
-                    Cycles::from_millis_at_full_speed(base_secs * 1e3 * share * jitter);
+                let work = Cycles::from_millis_at_full_speed(base_secs * 1e3 * share * jitter);
                 self.processes[i].push(
                     cx,
                     SubQuery {

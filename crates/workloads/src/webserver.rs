@@ -225,44 +225,40 @@ struct ApacheWorker {
 
 impl ThreadBody for ApacheWorker {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
-        loop {
+        if self.shared.is_done() {
+            return Step::Done;
+        }
+        if let Some(request) = self.in_flight.take() {
+            self.shared.complete_one(cx, request);
+            self.served_here += 1;
             if self.shared.is_done() {
                 return Step::Done;
             }
-            if let Some(request) = self.in_flight.take() {
-                self.shared.complete_one(cx, request);
-                self.served_here += 1;
-                if self.shared.is_done() {
-                    return Step::Done;
-                }
-                if self.served_here >= self.recycle_limit {
-                    // Recycle: tell the control process to fork a
-                    // replacement, then exit.
-                    self.shared.mgmt.push(cx, ());
-                    return Step::Done;
-                }
+            if self.served_here >= self.recycle_limit {
+                // Recycle: tell the control process to fork a
+                // replacement, then exit.
+                self.shared.mgmt.push(cx, ());
+                return Step::Done;
             }
-            // Serve a waiting connection if one exists; otherwise join
-            // the accept queue and block.
-            let next = self.shared.inbox.borrow_mut()[self.slot]
-                .take()
-                .or_else(|| self.shared.overflow.borrow_mut().pop_front());
-            match next {
-                Some(request) => {
-                    self.queued_idle = false;
-                    self.in_flight = Some(request);
-                    let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
-                    return Step::Compute(Cycles::new(
-                        (self.cost.get() as f64 * jitter) as u64,
-                    ));
+        }
+        // Serve a waiting connection if one exists; otherwise join
+        // the accept queue and block.
+        let next = self.shared.inbox.borrow_mut()[self.slot]
+            .take()
+            .or_else(|| self.shared.overflow.borrow_mut().pop_front());
+        match next {
+            Some(request) => {
+                self.queued_idle = false;
+                self.in_flight = Some(request);
+                let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
+                Step::Compute(Cycles::new((self.cost.get() as f64 * jitter) as u64))
+            }
+            None => {
+                if !self.queued_idle {
+                    self.queued_idle = true;
+                    self.shared.idle.borrow_mut().push_back(self.slot);
                 }
-                None => {
-                    if !self.queued_idle {
-                        self.queued_idle = true;
-                        self.shared.idle.borrow_mut().push_back(self.slot);
-                    }
-                    return Step::Block(self.shared.worker_wait.borrow()[self.slot]);
-                }
+                return Step::Block(self.shared.worker_wait.borrow()[self.slot]);
             }
         }
     }
@@ -317,9 +313,7 @@ impl ThreadBody for ApacheControl {
             for _ in 0..n {
                 self.fork_worker(cx);
             }
-            return Step::Compute(Cycles::new(
-                self.params.fork_cost.get() * n as u64,
-            ));
+            return Step::Compute(Cycles::new(self.params.fork_cost.get() * n as u64));
         }
         if self.forking {
             self.forking = false;
@@ -425,8 +419,7 @@ impl Workload for Apache {
             .borrow()
             .expect("benchmark served all requests");
         let elapsed = finished.as_secs_f64();
-        RunResult::new(self.load.total_requests as f64 / elapsed)
-            .with_extra("elapsed_s", elapsed)
+        RunResult::new(self.load.total_requests as f64 / elapsed).with_extra("elapsed_s", elapsed)
     }
 }
 
@@ -570,46 +563,44 @@ struct EventProcess {
 
 impl ThreadBody for EventProcess {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
-        loop {
-            if self.in_flight {
-                self.in_flight = false;
-                self.shared.served.incr();
-                if self.shared.served.get() >= self.shared.total {
-                    if !self.shared.is_done() {
-                        self.shared.finish_all(cx);
-                    }
-                    return Step::Done;
+        if self.in_flight {
+            self.in_flight = false;
+            self.shared.served.incr();
+            if self.shared.served.get() >= self.shared.total {
+                if !self.shared.is_done() {
+                    self.shared.finish_all(cx);
                 }
-                let session = self.current.as_mut().expect("request had a session");
-                session.remaining -= 1;
-                if session.remaining == 0 {
-                    self.current = None;
-                    self.shared.busy.borrow_mut()[self.index] = false;
-                    // The finished client reconnects at once; the accept
-                    // race decides who gets it.
-                    self.shared.assign_new_session(cx);
-                }
-            }
-            if self.shared.is_done() {
                 return Step::Done;
             }
-            if self.current.is_none() {
-                match self.shared.queues[self.index].try_pop(cx) {
-                    TryPop::Item(s) => {
-                        self.current = Some(s);
-                        self.shared.busy.borrow_mut()[self.index] = true;
-                    }
-                    TryPop::Empty(step) => {
-                        self.shared.busy.borrow_mut()[self.index] = false;
-                        return step;
-                    }
-                    TryPop::Closed => return Step::Done,
-                }
+            let session = self.current.as_mut().expect("request had a session");
+            session.remaining -= 1;
+            if session.remaining == 0 {
+                self.current = None;
+                self.shared.busy.borrow_mut()[self.index] = false;
+                // The finished client reconnects at once; the accept
+                // race decides who gets it.
+                self.shared.assign_new_session(cx);
             }
-            self.in_flight = true;
-            let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
-            return Step::Compute(Cycles::new((self.cost.get() as f64 * jitter) as u64));
         }
+        if self.shared.is_done() {
+            return Step::Done;
+        }
+        if self.current.is_none() {
+            match self.shared.queues[self.index].try_pop(cx) {
+                TryPop::Item(s) => {
+                    self.current = Some(s);
+                    self.shared.busy.borrow_mut()[self.index] = true;
+                }
+                TryPop::Empty(step) => {
+                    self.shared.busy.borrow_mut()[self.index] = false;
+                    return step;
+                }
+                TryPop::Closed => return Step::Done,
+            }
+        }
+        self.in_flight = true;
+        let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
+        Step::Compute(Cycles::new((self.cost.get() as f64 * jitter) as u64))
     }
 
     fn name(&self) -> &str {
@@ -692,8 +683,7 @@ impl Workload for Zeus {
             .borrow()
             .expect("benchmark served all requests");
         let elapsed = finished.as_secs_f64();
-        RunResult::new(self.load.total_requests as f64 / elapsed)
-            .with_extra("elapsed_s", elapsed)
+        RunResult::new(self.load.total_requests as f64 / elapsed).with_extra("elapsed_s", elapsed)
     }
 }
 
@@ -743,8 +733,20 @@ mod tests {
     #[test]
     fn apache_symmetric_is_stable_and_scales() {
         let light = small(LoadLevel::light(), 3_000);
-        let fast = apache_runs(light, 5_000, AsymConfig::new(4, 0, 1), SchedPolicy::os_default(), 3);
-        let slow = apache_runs(light, 5_000, AsymConfig::new(0, 4, 8), SchedPolicy::os_default(), 3);
+        let fast = apache_runs(
+            light,
+            5_000,
+            AsymConfig::new(4, 0, 1),
+            SchedPolicy::os_default(),
+            3,
+        );
+        let slow = apache_runs(
+            light,
+            5_000,
+            AsymConfig::new(0, 4, 8),
+            SchedPolicy::os_default(),
+            3,
+        );
         // 4f-0s carries a mild wobble at light load (worker-pile modes on
         // equal-speed cores); it stays far below the asymmetric spreads.
         assert!(spread(&fast) < 0.20, "fast {fast:?}");
@@ -754,7 +756,10 @@ mod tests {
         assert!(spread(&slow) < 0.25, "slow {slow:?}");
         let f = fast.iter().sum::<f64>() / 3.0;
         let s = slow.iter().sum::<f64>() / 3.0;
-        assert!(f > 2.0 * s, "throughput should scale with power: {f} vs {s}");
+        assert!(
+            f > 2.0 * s,
+            "throughput should scale with power: {f} vs {s}"
+        );
     }
 
     #[test]
@@ -783,7 +788,10 @@ mod tests {
             SchedPolicy::os_default(),
             4,
         );
-        assert!(spread(&runs) < 0.08, "heavy load should be stable: {runs:?}");
+        assert!(
+            spread(&runs) < 0.08,
+            "heavy load should be stable: {runs:?}"
+        );
     }
 
     #[test]
@@ -834,7 +842,13 @@ mod tests {
     #[test]
     fn zeus_outperforms_apache() {
         let light = small(LoadLevel::light(), 3_000);
-        let a = apache_runs(light, 5_000, AsymConfig::new(4, 0, 1), SchedPolicy::os_default(), 2);
+        let a = apache_runs(
+            light,
+            5_000,
+            AsymConfig::new(4, 0, 1),
+            SchedPolicy::os_default(),
+            2,
+        );
         let z = zeus_runs(
             small(LoadLevel::light(), 10_000),
             AsymConfig::new(4, 0, 1),
@@ -861,8 +875,14 @@ mod tests {
             SchedPolicy::os_default(),
             6,
         );
-        assert!(spread(&light) > 0.08, "Zeus light should be unstable: {light:?}");
-        assert!(spread(&heavy) > 0.05, "Zeus heavy should be unstable: {heavy:?}");
+        assert!(
+            spread(&light) > 0.08,
+            "Zeus light should be unstable: {light:?}"
+        );
+        assert!(
+            spread(&heavy) > 0.05,
+            "Zeus heavy should be unstable: {heavy:?}"
+        );
     }
 
     #[test]

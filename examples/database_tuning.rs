@@ -26,7 +26,10 @@ fn main() {
             format!("{:.1}", o.samples.cov() * 100.0),
         ]);
     }
-    println!("TPC-H Query 3 on 2f-2s/8, 8 runs per row:\n\n{}", t.render());
+    println!(
+        "TPC-H Query 3 on 2f-2s/8, 8 runs per row:\n\n{}",
+        t.render()
+    );
     println!(
         "Aggressive plans (opt 7) are fast but unstable: the skewed sub-queries\n\
          make runtime hostage to DB2's per-run process binding. De-optimized\n\

@@ -22,8 +22,14 @@ fn program(schedule: LoopSchedule) -> OmpProgram {
 fn main() {
     let machines = [
         ("4f-0s  ", MachineSpec::symmetric(4, Speed::FULL)),
-        ("2f-2s/8", MachineSpec::asymmetric(2, 2, Speed::fraction_of_full(8))),
-        ("0f-4s/8", MachineSpec::symmetric(4, Speed::fraction_of_full(8))),
+        (
+            "2f-2s/8",
+            MachineSpec::asymmetric(2, 2, Speed::fraction_of_full(8)),
+        ),
+        (
+            "0f-4s/8",
+            MachineSpec::symmetric(4, Speed::fraction_of_full(8)),
+        ),
     ];
     let schedules = [
         ("static      ", LoopSchedule::Static),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The repository's CI gate: formatting, lints, tests, and the
+# concurrency-checker smoke. Everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> asym-check --fixtures (detectors must fire)"
+cargo run -q --release -p asym-bench --bin asym_check -- --fixtures
+
+echo "==> asym-check --quick (1f-3s/8 smoke sweep must be clean)"
+cargo run -q --release -p asym-bench --bin asym_check -- --quick
+
+echo "CI OK"

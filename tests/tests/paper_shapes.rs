@@ -128,7 +128,12 @@ fn fig5_parallelization_up_variance_up_optimization_down_variance_down() {
 #[test]
 fn tpch_kernel_fix_ineffective() {
     let configs = [c("2f-2s/8")];
-    let stock = subset(&TpcH::single_query(3), &configs, SchedPolicy::os_default(), 8);
+    let stock = subset(
+        &TpcH::single_query(3),
+        &configs,
+        SchedPolicy::os_default(),
+        8,
+    );
     let aware = subset(
         &TpcH::single_query(3),
         &configs,

@@ -1,43 +1,38 @@
-//! Property-based tests over the simulation substrate: work conservation,
-//! loop-scheduler coverage, event ordering, configuration arithmetic, and
-//! determinism, under randomized inputs.
+//! Randomized-but-seeded tests over the simulation substrate: work
+//! conservation, loop-scheduler coverage, event ordering, configuration
+//! arithmetic, and determinism. Each test sweeps many deterministic cases
+//! drawn from [`asym_sim::Rng`], so failures reproduce exactly.
 
 use asym_core::{AsymConfig, Samples};
 use asym_kernel::{FnThread, Kernel, RunOutcome, SchedPolicy, SpawnOptions, Step};
 use asym_omp::{LoopSchedule, LoopState};
 use asym_sim::{Cycles, EventQueue, MachineSpec, Rng, SimTime, Speed};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every iteration of a loop is dispensed exactly once, under any
-    /// schedule, trip count, and thread count.
-    #[test]
-    fn loop_scheduler_covers_every_iteration_exactly_once(
-        iters in 1u64..5_000,
-        nthreads in 1usize..9,
-        mode in 0u8..3,
-        chunk in 1u64..64,
-        seed in any::<u64>(),
-    ) {
-        let schedule = match mode {
+/// Every iteration of a loop is dispensed exactly once, under any
+/// schedule, trip count, and thread count.
+#[test]
+fn loop_scheduler_covers_every_iteration_exactly_once() {
+    let mut gen = Rng::new(0xC0FFEE);
+    for case in 0..64 {
+        let iters = 1 + gen.below(5_000);
+        let nthreads = 1 + gen.index(8);
+        let chunk = 1 + gen.below(63);
+        let schedule = match case % 3 {
             0 => LoopSchedule::Static,
             1 => LoopSchedule::Dynamic { chunk },
             _ => LoopSchedule::Guided { min_chunk: chunk },
         };
         let mut state = LoopState::new(schedule, iters, nthreads);
         let mut seen = vec![false; iters as usize];
-        let mut rng = Rng::new(seed);
         // Threads request chunks in random interleavings.
         let mut active: Vec<usize> = (0..nthreads).collect();
         while !active.is_empty() {
-            let pick = rng.index(active.len());
+            let pick = gen.index(active.len());
             let rank = active[pick];
             match state.next_chunk(rank) {
                 Some((start, len)) => {
                     for i in start..start + len {
-                        prop_assert!(!seen[i as usize], "iteration {i} dispensed twice");
+                        assert!(!seen[i as usize], "iteration {i} dispensed twice");
                         seen[i as usize] = true;
                     }
                 }
@@ -46,55 +41,61 @@ proptest! {
                 }
             }
         }
-        prop_assert!(seen.iter().all(|&s| s), "iteration never dispensed");
+        assert!(seen.iter().all(|&s| s), "iteration never dispensed");
     }
+}
 
-    /// The event queue pops in nondecreasing time order with FIFO ties,
-    /// regardless of insertion order and cancellations.
-    #[test]
-    fn event_queue_orders_and_cancels(
-        times in proptest::collection::vec(0u64..1_000, 1..200),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
-    ) {
+/// The event queue pops in nondecreasing time order with FIFO ties,
+/// regardless of insertion order and cancellations.
+#[test]
+fn event_queue_orders_and_cancels() {
+    let mut gen = Rng::new(0xBEEF);
+    for _case in 0..64 {
+        let n = 1 + gen.index(200);
         let mut q = EventQueue::new();
         let mut keys = Vec::new();
-        for (i, &t) in times.iter().enumerate() {
-            keys.push((q.schedule(SimTime::from_nanos(t), i), t, i));
+        for i in 0..n {
+            let t = gen.below(1_000);
+            keys.push((q.schedule(SimTime::from_nanos(t), i), i));
         }
         let mut cancelled = std::collections::HashSet::new();
-        for (j, &(key, _, i)) in keys.iter().enumerate() {
-            if *cancel_mask.get(j).unwrap_or(&false) {
-                prop_assert!(q.cancel(key));
+        for &(key, i) in &keys {
+            if gen.chance(0.3) {
+                assert!(q.cancel(key));
                 cancelled.insert(i);
             }
         }
         let mut last: Option<(u64, usize)> = None;
         let mut popped = 0usize;
         while let Some((t, i)) = q.pop() {
-            prop_assert!(!cancelled.contains(&i), "cancelled event delivered");
+            assert!(!cancelled.contains(&i), "cancelled event delivered");
             let now = (t.as_nanos(), i);
             if let Some(prev) = last {
-                prop_assert!(prev.0 < now.0 || (prev.0 == now.0 && prev.1 < now.1),
-                    "out of order: {prev:?} then {now:?}");
+                assert!(
+                    prev.0 < now.0 || (prev.0 == now.0 && prev.1 < now.1),
+                    "out of order: {prev:?} then {now:?}"
+                );
             }
             last = Some(now);
             popped += 1;
         }
-        prop_assert_eq!(popped, times.len() - cancelled.len());
+        assert_eq!(popped, n - cancelled.len());
     }
+}
 
-    /// Simulated runtime never beats the work-conservation bound
-    /// (total work / total compute power) and never exceeds the
-    /// all-on-slowest-core bound, for any machine and thread mix.
-    #[test]
-    fn kernel_respects_work_conservation_bounds(
-        fast in 1u32..4,
-        slow in 0u32..4,
-        scale in 2u32..9,
-        nthreads in 1usize..9,
-        bursts in 1u32..6,
-        seed in any::<u64>(),
-    ) {
+/// Simulated runtime never beats the work-conservation bound
+/// (total work / total compute power) and never exceeds the
+/// all-on-slowest-core bound, for any machine and thread mix.
+#[test]
+fn kernel_respects_work_conservation_bounds() {
+    let mut gen = Rng::new(0xAB1DE);
+    for _case in 0..40 {
+        let fast = 1 + gen.below(3) as u32;
+        let slow = gen.below(4) as u32;
+        let scale = 2 + gen.below(7) as u32;
+        let nthreads = 1 + gen.index(8);
+        let bursts = 1 + gen.below(5) as u32;
+        let seed = gen.next_u64();
         let config = AsymConfig::new(fast, slow, scale);
         let mut kernel = Kernel::new(config.machine(), SchedPolicy::os_default(), seed);
         kernel.set_context_switch(Cycles::ZERO);
@@ -114,7 +115,7 @@ proptest! {
                 SpawnOptions::new(),
             );
         }
-        prop_assert_eq!(kernel.run(), RunOutcome::AllDone);
+        assert_eq!(kernel.run(), RunOutcome::AllDone);
         let elapsed = kernel.now().as_secs_f64();
         let total_work_s = nthreads as f64 * per_thread_ms / 1e3;
         let lower = total_work_s / config.compute_power();
@@ -123,17 +124,22 @@ proptest! {
         let lower = lower.max(per_thread_ms / 1e3);
         let slowest = config.machine().min_speed().factor();
         let upper = total_work_s / slowest + 0.1;
-        prop_assert!(elapsed >= lower * 0.999, "beat physics: {elapsed} < {lower}");
-        prop_assert!(elapsed <= upper, "lost work: {elapsed} > {upper}");
+        assert!(
+            elapsed >= lower * 0.999,
+            "beat physics: {elapsed} < {lower}"
+        );
+        assert!(elapsed <= upper, "lost work: {elapsed} > {upper}");
     }
+}
 
-    /// The same seed gives bit-identical simulations; the kernel never
-    /// loses or invents CPU time.
-    #[test]
-    fn kernel_is_deterministic_and_accounts_cpu(
-        seed in any::<u64>(),
-        nthreads in 1usize..7,
-    ) {
+/// The same seed gives bit-identical simulations; the kernel never
+/// loses or invents CPU time.
+#[test]
+fn kernel_is_deterministic_and_accounts_cpu() {
+    let mut gen = Rng::new(0xD17E);
+    for _case in 0..24 {
+        let seed = gen.next_u64();
+        let nthreads = 1 + gen.index(6);
         let run = |seed: u64| {
             let machine = MachineSpec::asymmetric(2, 2, Speed::fraction_of_full(4));
             let mut kernel = Kernel::new(machine, SchedPolicy::os_default(), seed);
@@ -152,41 +158,57 @@ proptest! {
                 );
             }
             kernel.run();
-            let busy: f64 = kernel.stats().core_busy.iter().map(|d| d.as_secs_f64()).sum();
+            let busy: f64 = kernel
+                .stats()
+                .core_busy
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .sum();
             (kernel.now(), kernel.stats().dispatches, busy)
         };
         let a = run(seed);
         let b = run(seed);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
         // Total busy time across cores can never exceed elapsed x cores.
-        prop_assert!(a.2 <= a.0.as_secs_f64() * 4.0 + 1e-9);
+        assert!(a.2 <= a.0.as_secs_f64() * 4.0 + 1e-9);
     }
+}
 
-    /// Config labels round-trip through Display/FromStr, and compute
-    /// power matches the machine it builds.
-    #[test]
-    fn config_roundtrip_and_power(fast in 0u32..5, slow in 0u32..5, scale in 2u32..9) {
-        prop_assume!(fast + slow > 0);
-        let cfg = AsymConfig::new(fast, slow, scale);
-        let parsed: AsymConfig = cfg.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, cfg);
-        let m = cfg.machine();
-        prop_assert!((m.total_compute_power() - cfg.compute_power()).abs() < 1e-12);
-        prop_assert_eq!(m.num_cores() as u32, cfg.num_cores());
+/// Config labels round-trip through Display/FromStr, and compute
+/// power matches the machine it builds.
+#[test]
+fn config_roundtrip_and_power() {
+    for fast in 0u32..5 {
+        for slow in 0u32..5 {
+            for scale in 2u32..9 {
+                if fast + slow == 0 {
+                    continue;
+                }
+                let cfg = AsymConfig::new(fast, slow, scale);
+                let parsed: AsymConfig = cfg.to_string().parse().unwrap();
+                assert_eq!(parsed, cfg);
+                let m = cfg.machine();
+                assert!((m.total_compute_power() - cfg.compute_power()).abs() < 1e-12);
+                assert_eq!(m.num_cores() as u32, cfg.num_cores());
+            }
+        }
     }
+}
 
-    /// Sample statistics behave: mean within [min, max], CoV zero for
-    /// constant data, percentiles monotone.
-    #[test]
-    fn sample_statistics_invariants(
-        values in proptest::collection::vec(0.001f64..1e6, 1..50),
-    ) {
+/// Sample statistics behave: mean within [min, max], CoV zero for
+/// constant data, percentiles monotone.
+#[test]
+fn sample_statistics_invariants() {
+    let mut gen = Rng::new(0x5A17);
+    for _case in 0..64 {
+        let n = 1 + gen.index(49);
+        let values: Vec<f64> = (0..n).map(|_| 0.001 + gen.next_f64() * 1e6).collect();
         let s = Samples::new(values.clone());
-        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
-        prop_assert!(s.percentile(0.0) <= s.percentile(50.0) + 1e-9);
-        prop_assert!(s.percentile(50.0) <= s.percentile(100.0) + 1e-9);
+        assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        assert!(s.percentile(0.0) <= s.percentile(50.0) + 1e-9);
+        assert!(s.percentile(50.0) <= s.percentile(100.0) + 1e-9);
         let constant = Samples::new(vec![values[0]; values.len()]);
-        prop_assert!(constant.cov() < 1e-12);
+        assert!(constant.cov() < 1e-12);
     }
 }
