@@ -5,8 +5,11 @@
 //! [`capture_traces`] and returns the
 //! captured [`KernelTrace`] for analysis.
 
-use asym_kernel::{capture_traces, FnThread, Kernel, KernelTrace, SchedPolicy, SpawnOptions, Step};
-use asym_sim::{Cycles, MachineSpec, SimDuration, Speed};
+use asym_kernel::{
+    capture_traces, FnThread, Kernel, KernelTrace, SchedPolicy, SpawnOptions, Step, TraceEvent,
+    TraceRecord,
+};
+use asym_sim::{CoreId, CoreMask, Cycles, MachineSpec, SimDuration, SimTime, Speed};
 use asym_sync::{SimCondvar, SimMutex};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -180,6 +183,74 @@ pub fn missed_signal() -> KernelTrace {
     })
 }
 
+/// A sleep-polling livelock: one thread naps 100 µs forever, retiring
+/// no work, while time marches on. The kernel's watchdog (armed at
+/// 5 ms) gives up and ends the run [`Stalled`](asym_kernel::RunOutcome::Stalled) —
+/// the forward-progress checker must flag the trace.
+pub fn stalled_run() -> KernelTrace {
+    capture_one(|| {
+        let machine = MachineSpec::symmetric(2, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::os_default(), 4);
+        k.set_watchdog(SimDuration::from_millis(5));
+        k.spawn(
+            FnThread::new("poller", |_cx| {
+                // BUG: polls by sleeping instead of blocking on a wait
+                // queue; nothing ever gets done.
+                Step::Sleep(SimDuration::from_micros(100))
+            }),
+            SpawnOptions::new(),
+        );
+        k.run();
+    })
+}
+
+/// A forged trace in which a thread is dispatched on a core *after* a
+/// hotplug fault took that core offline. The real kernel never does
+/// this — `fault_core_offline` migrates everything before returning —
+/// so the history is rewritten by hand on top of a genuinely captured
+/// trace (keeping the machine/policy metadata authentic), exactly like
+/// the hand-built fast-core-idle trace in the unit tests.
+pub fn offline_core_dispatch() -> KernelTrace {
+    let mut trace = capture_one(|| {
+        let machine = MachineSpec::symmetric(2, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::os_default(), 5);
+        k.spawn(FnThread::new("w", |_cx| Step::Done), SpawnOptions::new());
+        k.run();
+    });
+    let tid = trace
+        .records
+        .iter()
+        .find_map(|r| match r.event {
+            TraceEvent::Spawn { tid, .. } => Some(tid),
+            _ => None,
+        })
+        .expect("captured trace has a spawn");
+    let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+    trace.records = vec![
+        TraceRecord {
+            time: t(0),
+            event: TraceEvent::Spawn {
+                tid,
+                core: CoreId(1),
+                affinity: CoreMask::ALL,
+            },
+        },
+        TraceRecord {
+            time: t(1),
+            event: TraceEvent::CoreOffline { core: CoreId(1) },
+        },
+        // BUG (planted): the scheduler keeps using the dead core.
+        TraceRecord {
+            time: t(2),
+            event: TraceEvent::Dispatch {
+                tid,
+                core: CoreId(1),
+            },
+        },
+    ];
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,11 +271,32 @@ mod tests {
 
     #[test]
     fn missed_signal_trace_contains_empty_signal() {
-        use asym_kernel::TraceEvent;
         let trace = missed_signal();
         assert!(trace
             .records
             .iter()
             .any(|r| matches!(r.event, TraceEvent::Signal { woken: 0, .. })));
+    }
+
+    #[test]
+    fn stalled_fixture_ends_stalled() {
+        assert_eq!(stalled_run().outcome, Some(RunOutcome::Stalled));
+    }
+
+    #[test]
+    fn offline_dispatch_fixture_contains_the_planted_bug() {
+        let trace = offline_core_dispatch();
+        let off = trace
+            .records
+            .iter()
+            .position(|r| matches!(r.event, TraceEvent::CoreOffline { .. }))
+            .expect("fixture has a CoreOffline");
+        assert!(trace.records[off + 1..].iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Dispatch {
+                core: CoreId(1),
+                ..
+            }
+        )));
     }
 }

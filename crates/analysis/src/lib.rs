@@ -5,7 +5,7 @@
 //! Every `asym-kernel` run can be recorded with
 //! [`capture_traces`]; the resulting
 //! [`KernelTrace`] is a state-complete event stream. This crate replays
-//! such streams and checks five properties:
+//! such streams and checks seven properties:
 //!
 //! 1. **Deadlock detection** — a live wait-for graph over mutex
 //!    ownership; a cycle at the moment a thread blocks is reported as
@@ -22,13 +22,24 @@
 //!    [`SchedPolicy::asymmetry_aware`](asym_kernel::SchedPolicy), a fast
 //!    core must never sit idle while a strictly slower core's run queue
 //!    holds a thread allowed to run on the fast core (§3.4 of the
-//!    paper); reported as [`ViolationKind::FastCoreIdle`].
-//! 5. **Determinism** — running the same seeded program twice must
+//!    paper); reported as [`ViolationKind::FastCoreIdle`]. Mid-run
+//!    `SpeedChange` faults re-rank the cores, so the invariant is
+//!    checked against the *post-change* fast set.
+//! 5. **Core liveness** — no thread is ever dispatched to (or parked
+//!    on) a core that a hotplug fault took offline, reported as
+//!    [`ViolationKind::OfflineDispatch`]. The replay tracks
+//!    `CoreOffline`/`CoreOnline` trace events, so the check follows the
+//!    *dynamic* core set, not the static machine shape.
+//! 6. **Forward progress** — a run the kernel's watchdog gave up on
+//!    ([`RunOutcome::Stalled`]) is reported as
+//!    [`ViolationKind::StalledRun`]; a trace that simply ends at its
+//!    time limit is not.
+//! 7. **Determinism** — running the same seeded program twice must
 //!    produce byte-identical traces
 //!    ([`KernelTrace::stable_hash`]); any divergence is
 //!    [`ViolationKind::NonDeterminism`].
 //!
-//! [`check_workload`] packages all five for one workload run, and the
+//! [`check_workload`] packages all seven for one workload run, and the
 //! `asym-check` binary in `asym-bench` sweeps every workload across the
 //! paper's nine machine configurations. The [`fixtures`] module holds
 //! deliberately buggy programs proving each detector fires.
@@ -71,6 +82,12 @@ pub enum ViolationKind {
     /// A fast core idled while a strictly slower core's run queue held
     /// work it could have taken (asymmetry-aware invariant breach).
     FastCoreIdle,
+    /// A thread was dispatched to, or left parked on, a core that a
+    /// hotplug fault had taken offline.
+    OfflineDispatch,
+    /// The kernel's watchdog declared the run livelocked: simulated time
+    /// kept advancing but no work was retired for a full window.
+    StalledRun,
     /// The same seeded program produced two different traces.
     NonDeterminism,
 }
@@ -82,6 +99,8 @@ impl fmt::Display for ViolationKind {
             ViolationKind::LockOrderInversion => "lock-order-inversion",
             ViolationKind::LostWakeup => "lost-wakeup",
             ViolationKind::FastCoreIdle => "fast-core-idle",
+            ViolationKind::OfflineDispatch => "offline-dispatch",
+            ViolationKind::StalledRun => "stalled-run",
             ViolationKind::NonDeterminism => "non-determinism",
         };
         f.write_str(s)
@@ -110,8 +129,8 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Runs analyses 1–4 (deadlock, lock order, lost wakeup, asymmetry
-/// invariant) over one captured trace.
+/// Runs analyses 1–6 (deadlock, lock order, lost wakeup, asymmetry
+/// invariant, core liveness, forward progress) over one captured trace.
 ///
 /// The returned violations are in a deterministic order: detection
 /// order for the replay-driven checks, then lost wakeups by thread.
@@ -122,6 +141,8 @@ pub fn analyze_trace(trace: &KernelTrace) -> Vec<Violation> {
     violations.extend(check_lock_order(trace, &locks));
     violations.extend(detect_lost_wakeups(trace, &locks));
     violations.extend(check_asymmetry_invariant(trace));
+    violations.extend(check_core_liveness(trace));
+    violations.extend(check_forward_progress(trace));
     violations
 }
 
@@ -162,6 +183,11 @@ fn detect_deadlocks(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Violati
                 owner.remove(&lock);
             }
             TraceEvent::Wakeup { tid, .. } => {
+                waiting.remove(&tid);
+            }
+            // A killed thread stops waiting; any lock it owned stays
+            // taken, which later blockers will report as a deadlock.
+            TraceEvent::ThreadKilled { tid } => {
                 waiting.remove(&tid);
             }
             TraceEvent::Block { tid, wait } if locks.contains(&wait) => {
@@ -308,7 +334,7 @@ fn detect_lost_wakeups(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Viol
             TraceEvent::Block { tid, wait } => {
                 blocked.insert(tid, (wait, i));
             }
-            TraceEvent::Wakeup { tid, .. } => {
+            TraceEvent::Wakeup { tid, .. } | TraceEvent::ThreadKilled { tid } => {
                 blocked.remove(&tid);
             }
             TraceEvent::Signal { wait, woken, .. } => {
@@ -363,11 +389,18 @@ struct CoreState {
 /// a thread whose affinity admits the idle core. Only applies to
 /// asymmetry-aware traces — the stock policy makes no such promise
 /// (that is the paper's point).
+///
+/// Dynamic asymmetry is honoured: `SpeedChange` faults re-rank the
+/// cores mid-replay (the invariant always compares *current* speeds),
+/// and offline cores are exempt on both sides — an offlined fast core
+/// owes nobody anything, and work stranded on an offline core is the
+/// core-liveness checker's business.
 fn check_asymmetry_invariant(trace: &KernelTrace) -> Vec<Violation> {
     if !trace.policy.is_asymmetry_aware() {
         return Vec::new();
     }
-    let speeds = trace.machine.speeds();
+    let mut speeds = trace.machine.speeds().to_vec();
+    let mut online = vec![true; speeds.len()];
     let mut cores: Vec<CoreState> = speeds
         .iter()
         .map(|_| CoreState {
@@ -391,11 +424,11 @@ fn check_asymmetry_invariant(trace: &KernelTrace) -> Vec<Violation> {
             // The state we are leaving persisted for a nonzero interval:
             // check the invariant held across it.
             for fast in 0..cores.len() {
-                if cores[fast].running.is_some() || !cores[fast].queue.is_empty() {
+                if !online[fast] || cores[fast].running.is_some() || !cores[fast].queue.is_empty() {
                     continue;
                 }
                 for slow in 0..cores.len() {
-                    if speeds[slow] >= speeds[fast] {
+                    if !online[slow] || speeds[slow] >= speeds[fast] {
                         continue;
                     }
                     for &tid in &cores[slow].queue {
@@ -453,13 +486,180 @@ fn check_asymmetry_invariant(trace: &KernelTrace) -> Vec<Violation> {
                     }
                 }
             }
-            TraceEvent::SetAffinity { tid, affinity: m } => {
+            TraceEvent::SetAffinity { tid, affinity: m }
+            | TraceEvent::AffinityOverride { tid, affinity: m } => {
+                // An override may precede the Spawn it rescued (spawn
+                // placement widens before tracing); Spawn then records
+                // the same post-widening mask, so overwriting is safe
+                // in either order.
                 affinity.insert(tid, m);
+            }
+            TraceEvent::SpeedChange { core, speed } => {
+                speeds[core.0] = speed;
+            }
+            TraceEvent::CoreOffline { core } => {
+                online[core.0] = false;
+            }
+            TraceEvent::CoreOnline { core } => {
+                online[core.0] = true;
+            }
+            // The kill is followed by a Done record that clears any
+            // running slot; here we only unpark a killed runnable.
+            TraceEvent::ThreadKilled { tid } => {
+                for c in &mut cores {
+                    remove(&mut c.queue, tid);
+                }
             }
             _ => {}
         }
     }
     violations
+}
+
+// ----------------------------------------------------------------------
+// 5. Core liveness: offline cores never receive or hold work
+// ----------------------------------------------------------------------
+
+/// Replays hotplug state and asserts no thread is ever dispatched to,
+/// spawned on, woken onto, or stolen onto a core that is currently
+/// offline, and that taking a core offline leaves nothing behind on it.
+/// Applies to every policy: graceful degradation is a kernel contract,
+/// not a scheduling choice.
+fn check_core_liveness(trace: &KernelTrace) -> Vec<Violation> {
+    let n = trace.machine.num_cores();
+    let mut online = vec![true; n];
+    // What the replay believes sits on each core (running + queued).
+    let mut occupants: Vec<Vec<ThreadId>> = vec![Vec::new(); n];
+    let mut reported_parked: HashSet<(usize, ThreadId)> = HashSet::new();
+    let mut cur_time = SimTime::ZERO;
+    let mut violations = Vec::new();
+
+    fn remove(v: &mut Vec<ThreadId>, tid: ThreadId) {
+        if let Some(pos) = v.iter().position(|&t| t == tid) {
+            v.remove(pos);
+        }
+    }
+
+    let land = |occupants: &mut Vec<Vec<ThreadId>>,
+                online: &[bool],
+                tid: ThreadId,
+                core: CoreId,
+                what: &str,
+                time: SimTime,
+                violations: &mut Vec<Violation>| {
+        if !online[core.0] {
+            violations.push(Violation {
+                kind: ViolationKind::OfflineDispatch,
+                time: Some(time),
+                message: format!("{tid} {what} offline core{}", core.0),
+            });
+        }
+        occupants[core.0].push(tid);
+    };
+
+    for r in &trace.records {
+        if r.time > cur_time {
+            // The kernel drains a core in the same instant it traces the
+            // offline; anything still parked there once time advances
+            // was stranded.
+            for (c, occ) in occupants.iter().enumerate() {
+                if online[c] {
+                    continue;
+                }
+                for &tid in occ {
+                    if reported_parked.insert((c, tid)) {
+                        violations.push(Violation {
+                            kind: ViolationKind::OfflineDispatch,
+                            time: Some(cur_time),
+                            message: format!("{tid} left parked on offline core{c}"),
+                        });
+                    }
+                }
+            }
+            cur_time = r.time;
+        }
+        match r.event {
+            TraceEvent::CoreOffline { core } => {
+                online[core.0] = false;
+            }
+            TraceEvent::CoreOnline { core } => {
+                online[core.0] = true;
+            }
+            TraceEvent::Spawn { tid, core, .. } => {
+                land(
+                    &mut occupants,
+                    &online,
+                    tid,
+                    core,
+                    "spawned on",
+                    r.time,
+                    &mut violations,
+                );
+            }
+            TraceEvent::Wakeup { tid, core } => {
+                land(
+                    &mut occupants,
+                    &online,
+                    tid,
+                    core,
+                    "woken onto",
+                    r.time,
+                    &mut violations,
+                );
+            }
+            TraceEvent::Steal { tid, from, to } => {
+                remove(&mut occupants[from.0], tid);
+                land(
+                    &mut occupants,
+                    &online,
+                    tid,
+                    to,
+                    "stolen onto",
+                    r.time,
+                    &mut violations,
+                );
+            }
+            TraceEvent::Dispatch { tid, core } if !online[core.0] => {
+                violations.push(Violation {
+                    kind: ViolationKind::OfflineDispatch,
+                    time: Some(r.time),
+                    message: format!("{tid} dispatched on offline core{}", core.0),
+                });
+            }
+            TraceEvent::Block { tid, .. }
+            | TraceEvent::Sleep { tid }
+            | TraceEvent::Done { tid }
+            | TraceEvent::ThreadKilled { tid } => {
+                for c in &mut occupants {
+                    remove(c, tid);
+                }
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+// ----------------------------------------------------------------------
+// 6. Forward progress: the watchdog never has to give up
+// ----------------------------------------------------------------------
+
+/// A trace whose run the kernel's livelock watchdog abandoned
+/// ([`RunOutcome::Stalled`]) is itself a violation: simulated time kept
+/// advancing but no work was retired for a full watchdog window. Runs
+/// that merely hit a `run_until` limit or sim-time budget are not
+/// flagged.
+fn check_forward_progress(trace: &KernelTrace) -> Vec<Violation> {
+    if trace.outcome != Some(RunOutcome::Stalled) {
+        return Vec::new();
+    }
+    vec![Violation {
+        kind: ViolationKind::StalledRun,
+        time: trace.records.last().map(|r| r.time),
+        message: "the watchdog declared the run livelocked: time advanced but no \
+                  work was retired for a full window"
+            .to_string(),
+    }]
 }
 
 // ----------------------------------------------------------------------
@@ -712,6 +912,100 @@ mod tests {
                 .any(|v| v.kind == ViolationKind::FastCoreIdle),
             "no fast-core-idle reported: {violations:?}"
         );
+    }
+
+    #[test]
+    fn stalled_fixture_trips_forward_progress() {
+        let trace = fixtures::stalled_run();
+        let violations = analyze_trace(&trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::StalledRun),
+            "no stalled-run reported: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn time_limited_runs_are_not_stalled() {
+        let trace = capture_one(|| {
+            let machine = MachineSpec::symmetric(1, Speed::FULL);
+            let mut k = Kernel::new(machine, SchedPolicy::os_default(), 6);
+            k.spawn(
+                FnThread::new("napper", |_cx| {
+                    Step::Sleep(asym_sim::SimDuration::from_micros(100))
+                }),
+                SpawnOptions::new(),
+            );
+            // No watchdog: the caller-chosen window just elapses.
+            k.run_until(SimTime::ZERO + asym_sim::SimDuration::from_millis(2));
+        });
+        assert_eq!(trace.outcome, Some(RunOutcome::TimeLimit));
+        let violations = analyze_trace(&trace);
+        assert!(
+            !violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::StalledRun),
+            "time-limit misreported as stall: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn offline_dispatch_fixture_trips_core_liveness() {
+        let trace = fixtures::offline_core_dispatch();
+        let violations = analyze_trace(&trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::OfflineDispatch),
+            "no offline-dispatch reported: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn faulted_run_with_graceful_degradation_stays_clean() {
+        use asym_sim::{FaultKind, FaultPlan, SimDuration};
+        // Hotplug the slow core away mid-run and throttle the fast one:
+        // the kernel must degrade gracefully and the checkers — including
+        // the dynamic asymmetry invariant and core liveness — must find
+        // nothing to complain about.
+        let trace = capture_one(|| {
+            let machine = MachineSpec::asymmetric(1, 3, Speed::fraction_of_full(2));
+            let mut k = Kernel::new(machine, SchedPolicy::asymmetry_aware(), 12);
+            let at = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+            let mut plan = FaultPlan::new();
+            plan.inject(at(2), FaultKind::CoreOffline { core: CoreId(1) });
+            plan.inject(
+                at(3),
+                FaultKind::SetSpeed {
+                    core: CoreId(0),
+                    speed: Speed::fraction_of_full(4),
+                },
+            );
+            plan.inject(at(5), FaultKind::CoreOnline { core: CoreId(1) });
+            k.set_fault_plan(&plan);
+            for t in 0..6 {
+                let mut left = 10u32;
+                k.spawn(
+                    FnThread::new(format!("w{t}"), move |_cx| {
+                        if left == 0 {
+                            Step::Done
+                        } else {
+                            left -= 1;
+                            Step::Compute(Cycles::from_millis_at_full_speed(0.5))
+                        }
+                    }),
+                    SpawnOptions::new(),
+                );
+            }
+            assert_eq!(k.run(), RunOutcome::AllDone);
+        });
+        assert!(trace
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::CoreOffline { .. })));
+        let violations = analyze_trace(&trace);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
     }
 
     #[test]

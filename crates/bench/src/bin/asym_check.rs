@@ -4,8 +4,9 @@
 //! Default mode sweeps all nine machine configurations times all eight
 //! paper workloads under the asymmetry-aware kernel policy, applying
 //! every analysis in [`asym_analysis`] (deadlock, lock-order,
-//! lost-wakeup, fast-core-idle invariant, determinism) to the captured
-//! kernel traces. Exits nonzero if any violation is found.
+//! lost-wakeup, fast-core-idle invariant, offline-core liveness,
+//! forward progress, determinism) to the captured kernel traces. Exits
+//! nonzero if any violation is found.
 //!
 //! `--fixtures` instead runs the seeded negative fixtures and verifies
 //! each detector actually fires; here the exit code is nonzero if a
@@ -14,7 +15,9 @@
 //! `--quick` restricts the sweep to a single asymmetric configuration
 //! (1f-3s/8) — the CI smoke mode.
 
-use asym_analysis::fixtures::{ab_ba_deadlock, lock_order_inversion, missed_signal};
+use asym_analysis::fixtures::{
+    ab_ba_deadlock, lock_order_inversion, missed_signal, offline_core_dispatch, stalled_run,
+};
 use asym_analysis::{analyze_trace, check_workload, render_violations, KernelTrace, ViolationKind};
 use asym_core::{AsymConfig, RunSetup, Workload};
 use asym_kernel::SchedPolicy;
@@ -77,6 +80,16 @@ fn run_fixtures() -> ExitCode {
         &missed_signal(),
         ViolationKind::LostWakeup,
     );
+    ok &= expect_fires(
+        "sleep-poll livelock (watchdog gives up)",
+        &stalled_run(),
+        ViolationKind::StalledRun,
+    );
+    ok &= expect_fires(
+        "dispatch on hotplugged-off core (forged history)",
+        &offline_core_dispatch(),
+        ViolationKind::OfflineDispatch,
+    );
     if ok {
         println!("all detectors fire on their fixtures");
         ExitCode::SUCCESS
@@ -120,7 +133,8 @@ fn run_sweep(configs: &[AsymConfig]) -> ExitCode {
     println!("analyzed {kernels} kernels / {events} trace events");
     if dirty == 0 {
         println!("all runs clean: no deadlocks, order inversions, lost wakeups,");
-        println!("fast-core idling, or trace divergence across the matrix");
+        println!("fast-core idling, offline-core dispatch, stalls, or trace");
+        println!("divergence across the matrix");
         ExitCode::SUCCESS
     } else {
         println!("FAILURE: {dirty} run(s) reported violations");

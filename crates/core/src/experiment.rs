@@ -6,9 +6,11 @@
 use crate::config::AsymConfig;
 use crate::metrics::{Direction, Samples, Scalability, Stability};
 use crate::workload::{RunResult, RunSetup, Workload};
-use asym_kernel::{capture_traces, KernelTrace, SchedPolicy};
+use asym_kernel::{capture_traces, with_run_guard, KernelTrace, RunGuard, RunOutcome, SchedPolicy};
+use asym_sim::{FaultPlan, SimDuration};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// A per-run hook receiving the setup, the result, and the trace of
@@ -374,11 +376,17 @@ fn run_parallel(
     setups: &[RunSetup],
     observer: Option<&RunObserver>,
 ) -> Vec<RunResult> {
+    run_parallel_with(setups, |s| run_one(workload, s, observer))
+}
+
+/// Work-stealing fan-out shared by both harnesses: applies `f` to every
+/// setup on `available_parallelism` OS threads, preserving result order.
+fn run_parallel_with<R: Send>(setups: &[RunSetup], f: impl Fn(&RunSetup) -> R + Sync) -> Vec<R> {
     let nthreads = std::thread::available_parallelism()
         .map_or(4, |n| n.get())
         .min(setups.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<RunResult>>> =
+    let results: Vec<std::sync::Mutex<Option<R>>> =
         setups.iter().map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..nthreads {
@@ -387,7 +395,7 @@ fn run_parallel(
                 if i >= setups.len() {
                     break;
                 }
-                let result = run_one(workload, &setups[i], observer);
+                let result = f(&setups[i]);
                 *results[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -400,6 +408,418 @@ fn run_parallel(
                 .expect("every run completed")
         })
         .collect()
+}
+
+// ----------------------------------------------------------------------
+// Resilient harness: classified runs, guards, faults, bounded retries
+// ----------------------------------------------------------------------
+
+/// Derives a per-run [`FaultPlan`] from the run's setup (see
+/// [`ResilientOptions::fault_planner`]).
+pub type FaultPlanner = Arc<dyn Fn(&RunSetup) -> FaultPlan + Send + Sync>;
+
+/// How one run under [`run_experiment_resilient`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RunClass {
+    /// The run finished normally and produced a usable metric.
+    Completed,
+    /// The run was truncated by the harness's per-run sim-time budget
+    /// before finishing (a caller-chosen measurement window elapsing
+    /// normally does *not* count).
+    TimeLimit,
+    /// The kernel's watchdog declared the run livelocked.
+    Stalled,
+    /// The run wedged with every live thread blocked.
+    Deadlock,
+    /// The workload panicked; the panic was caught and contained.
+    Panicked,
+}
+
+impl fmt::Display for RunClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunClass::Completed => "completed",
+            RunClass::TimeLimit => "time-limit",
+            RunClass::Stalled => "stalled",
+            RunClass::Deadlock => "deadlock",
+            RunClass::Panicked => "panicked",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One classified run (after any retries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The seed of the attempt this record describes (retries reseed, so
+    /// this may differ from the slot's base seed).
+    pub seed: u64,
+    /// Total attempts spent on this slot (1 = no retries needed).
+    pub attempts: u32,
+    /// How the final attempt ended.
+    pub class: RunClass,
+    /// The primary metric, present only when the run completed.
+    pub value: Option<f64>,
+}
+
+/// Per-configuration outcome of a resilient experiment: every run slot
+/// classified, completed or not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientConfigOutcome {
+    /// The configuration.
+    pub config: AsymConfig,
+    /// One record per run slot, in seed order.
+    pub records: Vec<RunRecord>,
+}
+
+impl ResilientConfigOutcome {
+    /// Number of records in `class`.
+    pub fn count(&self, class: RunClass) -> usize {
+        self.records.iter().filter(|r| r.class == class).count()
+    }
+
+    /// The completed runs' metrics as [`Samples`], or `None` when no run
+    /// in this configuration completed — the partial-result contract:
+    /// a configuration wiped out by faults reports *absence*, never a
+    /// fabricated statistic.
+    pub fn completed_samples(&self) -> Option<Samples> {
+        let values: Vec<f64> = self.records.iter().filter_map(|r| r.value).collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(Samples::new(values))
+        }
+    }
+
+    /// Total attempts across all slots (retries included).
+    pub fn total_attempts(&self) -> u32 {
+        self.records.iter().map(|r| r.attempts).sum()
+    }
+}
+
+/// The full outcome of a resilient experiment: like [`Experiment`], but
+/// every run is classified and partial results are first-class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientExperiment {
+    /// Workload name.
+    pub workload: String,
+    /// Metric unit.
+    pub unit: String,
+    /// Metric direction.
+    pub direction: Direction,
+    /// Policy the runs used.
+    pub policy: SchedPolicy,
+    /// Per-configuration outcomes, in the order configurations were given.
+    pub outcomes: Vec<ResilientConfigOutcome>,
+}
+
+impl ResilientExperiment {
+    /// The outcome for `config`, if it was part of the experiment.
+    pub fn outcome(&self, config: AsymConfig) -> Option<&ResilientConfigOutcome> {
+        self.outcomes.iter().find(|o| o.config == config)
+    }
+
+    /// Number of runs (across all configurations) in `class`.
+    pub fn count(&self, class: RunClass) -> usize {
+        self.outcomes.iter().map(|o| o.count(class)).sum()
+    }
+
+    /// Fraction of run slots that completed, in `[0, 1]`.
+    pub fn completion_rate(&self) -> f64 {
+        let total: usize = self.outcomes.iter().map(|o| o.records.len()).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        self.count(RunClass::Completed) as f64 / total as f64
+    }
+}
+
+impl fmt::Display for ResilientExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] under {} ({} configs, {:.0}% runs completed)",
+            self.workload,
+            self.unit,
+            self.policy,
+            self.outcomes.len(),
+            self.completion_rate() * 100.0
+        )?;
+        for o in &self.outcomes {
+            match o.completed_samples() {
+                Some(s) => writeln!(
+                    f,
+                    "  {:>8}: {}/{} completed, mean {:.3} cov {:.2}%",
+                    o.config.to_string(),
+                    s.len(),
+                    o.records.len(),
+                    s.mean(),
+                    s.cov() * 100.0
+                )?,
+                None => writeln!(
+                    f,
+                    "  {:>8}: 0/{} completed",
+                    o.config.to_string(),
+                    o.records.len()
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Options for [`run_experiment_resilient`].
+#[derive(Clone)]
+pub struct ResilientOptions {
+    /// Number of run slots per configuration.
+    pub runs: usize,
+    /// Base seed; slot *i* of configuration *j* starts from
+    /// `base_seed + j * 1000 + i`.
+    pub base_seed: u64,
+    /// Execute independent slots on parallel OS threads.
+    pub parallel: bool,
+    /// How many times a failed slot is retried with a fresh seed before
+    /// its failure is recorded. Completed runs are never retried.
+    pub retries: u32,
+    /// Per-run cap on simulated time, applied to every kernel the run
+    /// creates (via [`RunGuard`]); a run cut short by it is classified
+    /// [`RunClass::TimeLimit`].
+    pub sim_time_budget: Option<SimDuration>,
+    /// Livelock watchdog window applied to every kernel the run creates;
+    /// a run it gives up on is classified [`RunClass::Stalled`].
+    pub watchdog: Option<SimDuration>,
+    /// When set, derives a [`FaultPlan`] from each run's setup and
+    /// injects it into every kernel the run creates.
+    pub planner: Option<FaultPlanner>,
+    /// Optional per-run observer, as in
+    /// [`ExperimentOptions::observe_traces`]; it also sees the traces of
+    /// failed (non-panicked) attempts.
+    pub observer: Option<RunObserver>,
+}
+
+impl ResilientOptions {
+    /// `runs` slots, parallel execution, base seed 0, one retry, no
+    /// budget, no watchdog, no faults, no observer.
+    pub fn new(runs: usize) -> Self {
+        ResilientOptions {
+            runs,
+            base_seed: 0,
+            parallel: true,
+            retries: 1,
+            sim_time_budget: None,
+            watchdog: None,
+            planner: None,
+            observer: None,
+        }
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Disables parallel execution.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Sets the retry budget per slot.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Caps simulated time per run.
+    pub fn sim_time_budget(mut self, budget: SimDuration) -> Self {
+        self.sim_time_budget = Some(budget);
+        self
+    }
+
+    /// Arms the livelock watchdog per run.
+    pub fn watchdog(mut self, window: SimDuration) -> Self {
+        self.watchdog = Some(window);
+        self
+    }
+
+    /// Installs a fault planner: each run gets the plan derived from its
+    /// own (config, policy, seed) setup, so fault schedules are exactly
+    /// as reproducible as the runs themselves.
+    pub fn fault_planner(
+        mut self,
+        planner: impl Fn(&RunSetup) -> FaultPlan + Send + Sync + 'static,
+    ) -> Self {
+        self.planner = Some(Arc::new(planner));
+        self
+    }
+
+    /// Installs a per-run observer (see
+    /// [`ExperimentOptions::observe_traces`]).
+    pub fn observe_traces(
+        mut self,
+        observer: impl Fn(&RunSetup, &RunResult, &[KernelTrace]) + Send + Sync + 'static,
+    ) -> Self {
+        self.observer = Some(Arc::new(observer));
+        self
+    }
+}
+
+impl fmt::Debug for ResilientOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResilientOptions")
+            .field("runs", &self.runs)
+            .field("base_seed", &self.base_seed)
+            .field("parallel", &self.parallel)
+            .field("retries", &self.retries)
+            .field("sim_time_budget", &self.sim_time_budget)
+            .field("watchdog", &self.watchdog)
+            .field("planner", &self.planner.as_ref().map(|_| "..."))
+            .field("observer", &self.observer.as_ref().map(|_| "..."))
+            .finish()
+    }
+}
+
+/// Stride between retry seeds: a prime far from the `j * 1000 + i` seed
+/// grid, so a reseeded attempt never collides with another slot.
+const RETRY_SEED_STRIDE: u64 = 7919;
+
+/// Runs `workload` on every configuration like [`run_experiment`], but
+/// built to survive hostile runs: every kernel the workload creates gets
+/// the options' watchdog, sim-time budget, and fault plan (via
+/// [`RunGuard`]); panics are caught and contained to their run; every
+/// slot is classified as a [`RunClass`]; failed slots are retried with
+/// fresh seeds up to `options.retries` times; and configurations where
+/// every run failed simply report no samples instead of poisoning the
+/// sweep.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or `options.runs` is zero.
+pub fn run_experiment_resilient(
+    workload: &dyn Workload,
+    configs: &[AsymConfig],
+    policy: SchedPolicy,
+    options: &ResilientOptions,
+) -> ResilientExperiment {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    assert!(options.runs > 0, "need at least one run");
+
+    let setups: Vec<RunSetup> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(j, &config)| {
+            (0..options.runs).map(move |i| {
+                RunSetup::new(
+                    config,
+                    policy,
+                    options.base_seed + j as u64 * 1000 + i as u64,
+                )
+            })
+        })
+        .collect();
+
+    let records: Vec<RunRecord> = if options.parallel {
+        run_parallel_with(&setups, |s| run_one_resilient(workload, s, options))
+    } else {
+        setups
+            .iter()
+            .map(|s| run_one_resilient(workload, s, options))
+            .collect()
+    };
+
+    let outcomes = configs
+        .iter()
+        .enumerate()
+        .map(|(j, &config)| ResilientConfigOutcome {
+            config,
+            records: records[j * options.runs..(j + 1) * options.runs].to_vec(),
+        })
+        .collect();
+
+    ResilientExperiment {
+        workload: workload.name().to_string(),
+        unit: workload.unit().to_string(),
+        direction: workload.direction(),
+        policy,
+        outcomes,
+    }
+}
+
+/// Executes one slot: attempt, classify, retry on failure.
+fn run_one_resilient(
+    workload: &dyn Workload,
+    slot: &RunSetup,
+    options: &ResilientOptions,
+) -> RunRecord {
+    let mut attempts = 0u32;
+    loop {
+        let setup = RunSetup::new(
+            slot.config,
+            slot.policy,
+            slot.seed + u64::from(attempts) * RETRY_SEED_STRIDE,
+        );
+        attempts += 1;
+        let (class, value) = attempt_run(workload, &setup, options);
+        if class == RunClass::Completed || attempts > options.retries {
+            return RunRecord {
+                seed: setup.seed,
+                attempts,
+                class,
+                value,
+            };
+        }
+    }
+}
+
+/// One guarded, trace-captured, panic-contained attempt.
+fn attempt_run(
+    workload: &dyn Workload,
+    setup: &RunSetup,
+    options: &ResilientOptions,
+) -> (RunClass, Option<f64>) {
+    let mut guard = RunGuard::new();
+    if let Some(w) = options.watchdog {
+        guard = guard.watchdog(w);
+    }
+    if let Some(b) = options.sim_time_budget {
+        guard = guard.sim_time_budget(b);
+    }
+    if let Some(planner) = &options.planner {
+        guard = guard.fault_plan(planner(setup));
+    }
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        capture_traces(|| with_run_guard(guard, || workload.run(setup)))
+    }));
+    match caught {
+        Err(_) => (RunClass::Panicked, None),
+        Ok((result, traces)) => {
+            if let Some(obs) = &options.observer {
+                obs(setup, &result, &traces);
+            }
+            let class = classify_traces(&traces);
+            let value = (class == RunClass::Completed).then_some(result.value);
+            (class, value)
+        }
+    }
+}
+
+/// The worst classification over every kernel a run created. A
+/// `TimeLimit` outcome only fails the run when the kernel's own budget
+/// (not a caller-chosen measurement window) cut it short — that is what
+/// [`KernelTrace::budget_exhausted`] records.
+fn classify_traces(traces: &[KernelTrace]) -> RunClass {
+    let mut worst = RunClass::Completed;
+    for t in traces {
+        let class = match t.outcome {
+            Some(RunOutcome::Deadlock(_)) => RunClass::Deadlock,
+            Some(RunOutcome::Stalled) => RunClass::Stalled,
+            _ if t.budget_exhausted => RunClass::TimeLimit,
+            _ => RunClass::Completed,
+        };
+        worst = worst.max(class);
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -497,5 +917,226 @@ mod tests {
         // Noise of up to 18% on asymmetric configs still leaves the
         // workload predictably scalable at a loose efficiency bound.
         assert!(exp.scalability().is_predictable(0.8));
+    }
+
+    // ------------------------------------------------------------------
+    // Resilient harness
+    // ------------------------------------------------------------------
+
+    use asym_kernel::{FnThread, Kernel, SpawnOptions, Step};
+    use asym_sim::{Cycles, MachineSpec, SimTime, Speed};
+
+    /// A kernel-backed workload with selectable misbehaviour per seed.
+    struct Hostile {
+        /// Seeds below this value misbehave in `mode`.
+        bad_below: u64,
+        mode: &'static str,
+    }
+
+    impl Workload for Hostile {
+        fn name(&self) -> &str {
+            "hostile"
+        }
+        fn unit(&self) -> &str {
+            "seconds"
+        }
+        fn direction(&self) -> Direction {
+            Direction::LowerIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            let bad = setup.seed < self.bad_below;
+            if bad && self.mode == "panic" {
+                panic!("hostile workload panicking on seed {}", setup.seed);
+            }
+            let machine = MachineSpec::symmetric(2, Speed::FULL);
+            let mut k = Kernel::new(machine, setup.policy, setup.seed);
+            if bad {
+                match self.mode {
+                    "deadlock" => {
+                        let wait = k.create_wait_queue();
+                        k.spawn(
+                            FnThread::new("waiter", move |_cx| Step::Block(wait)),
+                            SpawnOptions::new(),
+                        );
+                    }
+                    "stall" => {
+                        k.spawn(
+                            FnThread::new("poller", |_cx| {
+                                Step::Sleep(SimDuration::from_micros(100))
+                            }),
+                            SpawnOptions::new(),
+                        );
+                    }
+                    other => panic!("unknown mode {other}"),
+                }
+            } else {
+                let mut left = 4u32;
+                k.spawn(
+                    FnThread::new("w", move |_cx| {
+                        if left == 0 {
+                            Step::Done
+                        } else {
+                            left -= 1;
+                            Step::Compute(Cycles::from_millis_at_full_speed(0.5))
+                        }
+                    }),
+                    SpawnOptions::new(),
+                );
+            }
+            k.run();
+            RunResult::new(k.now().as_secs_f64())
+        }
+    }
+
+    fn resilient_opts() -> ResilientOptions {
+        ResilientOptions::new(2)
+            .watchdog(SimDuration::from_millis(5))
+            .sim_time_budget(SimDuration::from_millis(500))
+            .retries(0)
+            .sequential()
+    }
+
+    #[test]
+    fn panics_are_contained_and_classified() {
+        let w = Hostile {
+            bad_below: u64::MAX,
+            mode: "panic",
+        };
+        let exp = run_experiment_resilient(
+            &w,
+            &[AsymConfig::new(2, 2, 8)],
+            SchedPolicy::os_default(),
+            &resilient_opts(),
+        );
+        assert_eq!(exp.count(RunClass::Panicked), 2);
+        assert!(exp.outcomes[0].completed_samples().is_none());
+        assert_eq!(exp.completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn deadlocks_and_stalls_are_classified() {
+        for (mode, class) in [
+            ("deadlock", RunClass::Deadlock),
+            ("stall", RunClass::Stalled),
+        ] {
+            let w = Hostile {
+                bad_below: u64::MAX,
+                mode,
+            };
+            let exp = run_experiment_resilient(
+                &w,
+                &[AsymConfig::new(2, 2, 8)],
+                SchedPolicy::os_default(),
+                &resilient_opts(),
+            );
+            assert_eq!(exp.count(class), 2, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn retries_reseed_and_recover() {
+        // Seed 0 panics; the retry's seed (0 + 7919) is clean. Slot 1
+        // (seed 1) also panics and recovers at 1 + 7919.
+        let w = Hostile {
+            bad_below: 2,
+            mode: "panic",
+        };
+        let exp = run_experiment_resilient(
+            &w,
+            &[AsymConfig::new(2, 2, 8)],
+            SchedPolicy::os_default(),
+            &resilient_opts().retries(1),
+        );
+        assert_eq!(exp.count(RunClass::Completed), 2);
+        for r in &exp.outcomes[0].records {
+            assert_eq!(r.attempts, 2);
+            assert!(r.seed >= RETRY_SEED_STRIDE);
+            assert!(r.value.is_some());
+        }
+    }
+
+    #[test]
+    fn budget_truncation_is_time_limit_but_windows_are_not() {
+        // The stalling workload's kernel runs forever without a
+        // watchdog; a tight budget cuts it off and the run must be
+        // classified TimeLimit, not Completed.
+        let w = Hostile {
+            bad_below: u64::MAX,
+            mode: "stall",
+        };
+        let opts = ResilientOptions::new(1)
+            .sim_time_budget(SimDuration::from_millis(2))
+            .retries(0)
+            .sequential();
+        let exp = run_experiment_resilient(
+            &w,
+            &[AsymConfig::new(2, 2, 8)],
+            SchedPolicy::os_default(),
+            &opts,
+        );
+        assert_eq!(exp.count(RunClass::TimeLimit), 1);
+
+        // A caller-chosen run_until window elapsing is NOT a failure.
+        struct Windowed;
+        impl Workload for Windowed {
+            fn name(&self) -> &str {
+                "windowed"
+            }
+            fn unit(&self) -> &str {
+                "ops"
+            }
+            fn direction(&self) -> Direction {
+                Direction::HigherIsBetter
+            }
+            fn run(&self, setup: &RunSetup) -> RunResult {
+                let machine = MachineSpec::symmetric(1, Speed::FULL);
+                let mut k = Kernel::new(machine, setup.policy, setup.seed);
+                k.spawn(
+                    FnThread::new("s", |_cx| Step::Sleep(SimDuration::from_micros(50))),
+                    SpawnOptions::new(),
+                );
+                k.run_until(SimTime::ZERO + SimDuration::from_millis(1));
+                RunResult::new(1.0)
+            }
+        }
+        let exp = run_experiment_resilient(
+            &Windowed,
+            &[AsymConfig::new(2, 2, 8)],
+            SchedPolicy::os_default(),
+            &ResilientOptions::new(1).retries(0).sequential(),
+        );
+        assert_eq!(exp.count(RunClass::Completed), 1);
+    }
+
+    #[test]
+    fn fault_planner_reaches_inner_kernels_and_stays_deterministic() {
+        use asym_sim::{FaultPlan, FaultProfile};
+        let planner = |setup: &RunSetup| {
+            FaultPlan::generate(
+                setup.seed,
+                setup.config.num_cores() as usize,
+                &FaultProfile::hotplug_and_throttle(SimDuration::from_millis(5)),
+            )
+        };
+        let opts = || {
+            ResilientOptions::new(2)
+                .watchdog(SimDuration::from_millis(50))
+                .sim_time_budget(SimDuration::from_secs(2))
+                .fault_planner(planner)
+                .sequential()
+        };
+        let w = Hostile {
+            bad_below: 0,
+            mode: "panic",
+        };
+        let configs = [AsymConfig::new(1, 3, 8)];
+        let a = run_experiment_resilient(&w, &configs, SchedPolicy::asymmetry_aware(), &opts());
+        let b = run_experiment_resilient(&w, &configs, SchedPolicy::asymmetry_aware(), &opts());
+        assert_eq!(a, b, "resilient runs must be deterministic");
+        assert_eq!(a.count(RunClass::Completed), 2);
+        // Faults perturb the runs: the two seeds should not finish at
+        // exactly the same simulated instant.
+        let s = a.outcomes[0].completed_samples().expect("samples");
+        assert!(s.values()[0] != s.values()[1]);
     }
 }

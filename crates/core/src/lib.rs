@@ -10,6 +10,10 @@
 //!   produce a metric;
 //! * [`run_experiment`] — repeated runs per configuration, optionally on
 //!   parallel OS threads, with full determinism per seed;
+//! * [`run_experiment_resilient`] — the hardened variant: per-run fault
+//!   injection, watchdogs and sim-time budgets, contained panics,
+//!   per-run [`RunClass`] classification, bounded retries, and partial
+//!   results when a configuration is wiped out;
 //! * [`Samples`], [`Stability`], [`Scalability`] — the paper's two
 //!   predictability metrics;
 //! * [`SummaryRow`] / [`Verdict`] — Table-1-style qualitative verdicts,
@@ -54,7 +58,11 @@ mod table;
 mod workload;
 
 pub use config::{AsymConfig, ParseConfigError};
-pub use experiment::{run_experiment, ConfigOutcome, Experiment, ExperimentOptions, RunObserver};
+pub use experiment::{
+    run_experiment, run_experiment_resilient, ConfigOutcome, Experiment, ExperimentOptions,
+    FaultPlanner, ResilientConfigOutcome, ResilientExperiment, ResilientOptions, RunClass,
+    RunObserver, RunRecord,
+};
 pub use metrics::{Direction, Samples, Scalability, Stability};
 pub use summary::{SummaryRow, Verdict, WorkloadClass};
 pub use table::{fmt_f, fmt_pct, TextTable};

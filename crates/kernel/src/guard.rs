@@ -1,0 +1,145 @@
+//! Ambient per-run configuration: watchdogs, sim-time budgets, and fault
+//! plans applied to kernels a closure creates internally.
+//!
+//! Workloads construct their [`Kernel`](crate::Kernel)s themselves, so a
+//! harness cannot call [`Kernel::set_watchdog`](crate::Kernel::set_watchdog)
+//! or [`Kernel::set_fault_plan`](crate::Kernel::set_fault_plan) by hand.
+//! [`with_run_guard`] mirrors the [`capture_traces`](crate::capture_traces)
+//! idiom: it pushes a [`RunGuard`] onto a thread-local stack, and every
+//! kernel created on the current OS thread while the closure runs picks up
+//! the innermost guard's settings at construction. Guards nest, and each
+//! OS thread has its own stack, so guarded runs may execute on parallel
+//! worker threads.
+
+use asym_sim::{FaultPlan, SimDuration};
+use std::cell::RefCell;
+
+/// Settings applied to every kernel created while the guard is active:
+/// an optional livelock watchdog, an optional total sim-time budget, and
+/// an optional fault plan. All default to off.
+///
+/// # Examples
+///
+/// ```
+/// use asym_kernel::{with_run_guard, FnThread, Kernel, RunGuard, RunOutcome,
+///     SchedPolicy, SpawnOptions, Step};
+/// use asym_sim::{MachineSpec, SimDuration, Speed};
+///
+/// // A thread that sleep-polls forever makes no progress; the guarded
+/// // kernel's watchdog reports Stalled instead of spinning.
+/// let guard = RunGuard::new().watchdog(SimDuration::from_millis(5));
+/// let outcome = with_run_guard(guard, || {
+///     let mut k = Kernel::new(
+///         MachineSpec::symmetric(1, Speed::FULL),
+///         SchedPolicy::os_default(),
+///         7,
+///     );
+///     k.spawn(
+///         FnThread::new("poller", |_cx| Step::Sleep(SimDuration::from_micros(100))),
+///         SpawnOptions::new(),
+///     );
+///     k.run()
+/// });
+/// assert_eq!(outcome, RunOutcome::Stalled);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunGuard {
+    pub(crate) watchdog: Option<SimDuration>,
+    pub(crate) sim_time_budget: Option<SimDuration>,
+    pub(crate) fault_plan: Option<FaultPlan>,
+}
+
+impl RunGuard {
+    /// A guard with nothing armed.
+    pub fn new() -> Self {
+        RunGuard::default()
+    }
+
+    /// Arms the livelock watchdog (see
+    /// [`Kernel::set_watchdog`](crate::Kernel::set_watchdog)).
+    pub fn watchdog(mut self, window: SimDuration) -> Self {
+        self.watchdog = Some(window);
+        self
+    }
+
+    /// Caps total simulated time per kernel (see
+    /// [`Kernel::set_sim_time_budget`](crate::Kernel::set_sim_time_budget)).
+    pub fn sim_time_budget(mut self, budget: SimDuration) -> Self {
+        self.sim_time_budget = Some(budget);
+        self
+    }
+
+    /// Injects `plan` into every guarded kernel (see
+    /// [`Kernel::set_fault_plan`](crate::Kernel::set_fault_plan)).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+thread_local! {
+    /// Stack of active guards on this OS thread, innermost last.
+    static GUARDS: RefCell<Vec<RunGuard>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Called by `Kernel::new`: the innermost active guard, if any.
+pub(crate) fn current_guard() -> Option<RunGuard> {
+    GUARDS.with(|g| g.borrow().last().cloned())
+}
+
+/// Pops the innermost guard on drop even if the closure panics, so a
+/// poisoned guard never leaks into later runs on the same thread.
+struct StackGuard;
+
+impl Drop for StackGuard {
+    fn drop(&mut self) {
+        GUARDS.with(|g| {
+            g.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with `guard` active: every kernel created on this OS thread
+/// while `f` runs receives the guard's watchdog, budget, and fault plan
+/// at construction. Returns `f`'s result.
+pub fn with_run_guard<R>(guard: RunGuard, f: impl FnOnce() -> R) -> R {
+    GUARDS.with(|g| g.borrow_mut().push(guard));
+    let _pop = StackGuard;
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_nest_and_unwind() {
+        assert!(current_guard().is_none());
+        with_run_guard(
+            RunGuard::new().watchdog(SimDuration::from_millis(1)),
+            || {
+                let outer = current_guard().expect("outer guard active");
+                assert_eq!(outer.watchdog, Some(SimDuration::from_millis(1)));
+                with_run_guard(
+                    RunGuard::new().watchdog(SimDuration::from_millis(2)),
+                    || {
+                        let inner = current_guard().expect("inner guard active");
+                        assert_eq!(inner.watchdog, Some(SimDuration::from_millis(2)));
+                    },
+                );
+                let outer = current_guard().expect("outer guard restored");
+                assert_eq!(outer.watchdog, Some(SimDuration::from_millis(1)));
+            },
+        );
+        assert!(current_guard().is_none());
+    }
+
+    #[test]
+    fn guard_pops_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_run_guard(RunGuard::new(), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(current_guard().is_none());
+    }
+}

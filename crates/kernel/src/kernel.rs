@@ -1,10 +1,12 @@
 //! The simulated kernel: event loop, run queues, dispatch, and balancing.
 
+use crate::guard::current_guard;
 use crate::policy::{PolicyKind, SchedPolicy};
 use crate::thread::{SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
 use crate::trace::{register_kernel, TraceRecord, TraceSink};
 use asym_sim::{
-    CoreId, CoreMask, Cycles, EventKey, EventQueue, MachineSpec, Rng, SimDuration, SimTime, Speed,
+    CoreId, CoreMask, Cycles, EventKey, EventQueue, FaultKind, FaultPlan, MachineSpec, Rng,
+    SimDuration, SimTime, Speed,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -26,9 +28,17 @@ pub const CACHE_HOT_WINDOW: SimDuration = SimDuration::from_micros(5_000);
 
 #[derive(Debug)]
 enum Event {
-    SliceEnd { core: usize },
-    SleepDone { tid: ThreadId },
+    SliceEnd {
+        core: usize,
+    },
+    SleepDone {
+        tid: ThreadId,
+    },
     Balance,
+    /// A scheduled fault from the kernel's [`FaultPlan`] fires.
+    Fault(FaultKind),
+    /// Periodic livelock check: did anything retire work since last time?
+    Watchdog,
 }
 
 /// A scheduling event reported to a tracer installed with
@@ -196,6 +206,42 @@ pub enum TraceEvent {
         /// The queue's wait queue.
         queue: WaitId,
     },
+    /// A core's execution rate changed mid-run (injected throttling /
+    /// DVFS / duty-cycle re-modulation). Replayers must use the new
+    /// speed from this instant on.
+    SpeedChange {
+        /// The re-modulated core.
+        core: CoreId,
+        /// Its new speed.
+        speed: Speed,
+    },
+    /// A core went offline (hotplug remove). Threads that were running
+    /// or queued on it are migrated away by the immediately following
+    /// `Preempt`/`Steal` events.
+    CoreOffline {
+        /// The departed core.
+        core: CoreId,
+    },
+    /// A core came back online (hotplug add).
+    CoreOnline {
+        /// The returning core.
+        core: CoreId,
+    },
+    /// The kernel widened a thread's affinity mask because the mask no
+    /// longer covered any online core — the graceful-degradation
+    /// alternative to stranding the thread forever.
+    AffinityOverride {
+        /// The re-pinned thread.
+        tid: ThreadId,
+        /// The widened mask now in force.
+        affinity: CoreMask,
+    },
+    /// A thread was killed by an injected fault (always followed by a
+    /// `Done` event for the same thread, keeping replay state-complete).
+    ThreadKilled {
+        /// The killed thread.
+        tid: ThreadId,
+    },
 }
 
 type Tracer = Box<dyn FnMut(SimTime, TraceEvent)>;
@@ -210,6 +256,12 @@ pub enum RunOutcome {
     /// No events remain but threads are still blocked — a deadlock in the
     /// simulated program. The count is the number of live threads.
     Deadlock(usize),
+    /// The watchdog (see [`Kernel::set_watchdog`]) observed a full window
+    /// of simulated time in which no thread retired any work or finished,
+    /// while threads were nominally runnable or sleeping — a livelock.
+    /// The kernel can be resumed with `run_until`, which re-arms the
+    /// watchdog.
+    Stalled,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -260,6 +312,9 @@ struct Running {
 
 struct Core {
     speed: Speed,
+    /// False while the core is hotplugged out: it holds no work, accepts
+    /// no dispatches, and is invisible to placement and balancing.
+    online: bool,
     queue: VecDeque<ThreadId>,
     current: Option<Running>,
     /// True while a thread body is being stepped on this core (between
@@ -292,6 +347,10 @@ pub struct KernelStats {
     pub balance_runs: u64,
     /// Events processed by the main loop.
     pub events: u64,
+    /// Faults applied from the fault plan (skipped/no-op faults included).
+    pub faults_injected: u64,
+    /// Times the kernel widened an unschedulable affinity mask.
+    pub affinity_overrides: u64,
     /// Per-core busy time, indexed by core.
     pub core_busy: Vec<SimDuration>,
 }
@@ -346,18 +405,41 @@ pub struct Kernel {
     /// Trace sink registered by an active [`crate::capture_traces`]
     /// session, if any.
     capture: Option<TraceSink>,
+    /// Livelock-watchdog window, if armed.
+    watchdog: Option<SimDuration>,
+    watchdog_scheduled: bool,
+    /// Monotonic count of retirement milestones (slices that retired
+    /// cycles, thread completions). The watchdog compares snapshots.
+    progress: u64,
+    /// The `progress` value at the last watchdog check.
+    watchdog_mark: u64,
+    /// Set by the watchdog event; the run loop turns it into
+    /// [`RunOutcome::Stalled`].
+    stalled: bool,
+    /// Absolute sim-time ceiling from [`Kernel::set_sim_time_budget`].
+    budget: Option<SimTime>,
+    /// True once a run was truncated by `budget` (as opposed to a
+    /// caller-chosen `run_until` limit).
+    budget_exhausted: bool,
     stats: KernelStats,
 }
 
 impl Kernel {
     /// Creates a kernel for `machine` under `policy`, with all randomness
     /// derived from `seed`.
+    ///
+    /// If the calling OS thread is inside
+    /// [`with_run_guard`](crate::with_run_guard), the guard's watchdog,
+    /// sim-time budget, and fault plan are applied to the new kernel —
+    /// the mechanism the resilient experiment harness uses to bound and
+    /// perturb runs of workloads that construct their kernels internally.
     pub fn new(machine: MachineSpec, policy: SchedPolicy, seed: u64) -> Self {
         let cores = machine
             .speeds()
             .iter()
             .map(|&speed| Core {
                 speed,
+                online: true,
                 queue: VecDeque::new(),
                 current: None,
                 executing: false,
@@ -367,7 +449,7 @@ impl Kernel {
             .collect::<Vec<_>>();
         let n = cores.len();
         let capture = register_kernel(&machine, policy);
-        Kernel {
+        let mut kernel = Kernel {
             machine,
             policy,
             time: SimTime::ZERO,
@@ -386,11 +468,30 @@ impl Kernel {
             context_switch: DEFAULT_CONTEXT_SWITCH,
             tracer: None,
             capture,
+            watchdog: None,
+            watchdog_scheduled: false,
+            progress: 0,
+            watchdog_mark: 0,
+            stalled: false,
+            budget: None,
+            budget_exhausted: false,
             stats: KernelStats {
                 core_busy: vec![SimDuration::ZERO; n],
                 ..KernelStats::default()
             },
+        };
+        if let Some(guard) = current_guard() {
+            if let Some(window) = guard.watchdog {
+                kernel.set_watchdog(window);
+            }
+            if let Some(budget) = guard.sim_time_budget {
+                kernel.set_sim_time_budget(budget);
+            }
+            if let Some(plan) = &guard.fault_plan {
+                kernel.set_fault_plan(plan);
+            }
         }
+        kernel
     }
 
     /// Sets the scheduler time slice. Must be non-zero.
@@ -419,6 +520,65 @@ impl Kernel {
     pub fn set_context_switch(&mut self, cost: Cycles) -> &mut Self {
         self.context_switch = cost;
         self
+    }
+
+    /// Arms the livelock watchdog: if a full `window` of simulated time
+    /// passes in which no thread retires any work or finishes — while
+    /// threads are nominally runnable or sleeping — `run`/`run_until`
+    /// returns [`RunOutcome::Stalled`] instead of spinning forever.
+    ///
+    /// Choose `window` larger than any legitimate all-idle phase of the
+    /// workload (think-time sleeps, warm-up gaps), or healthy runs will
+    /// be reported as stalled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn set_watchdog(&mut self, window: SimDuration) -> &mut Self {
+        assert!(!window.is_zero(), "watchdog window must be non-zero");
+        self.watchdog = Some(window);
+        self
+    }
+
+    /// Caps total simulated time at `budget` (measured from time zero).
+    /// Any `run`/`run_until` call that would pass the cap returns
+    /// [`RunOutcome::TimeLimit`] at the cap, and the truncation is
+    /// recorded on the captured trace as `budget_exhausted` so harnesses
+    /// can tell a budget overrun apart from a workload's own measurement
+    /// window ending.
+    pub fn set_sim_time_budget(&mut self, budget: SimDuration) -> &mut Self {
+        self.budget = Some(SimTime::ZERO + budget);
+        self
+    }
+
+    /// Schedules every fault in `plan` for injection at its timestamp.
+    /// Records whose time is already in the past are ignored. Faults are
+    /// part of the deterministic event stream: the same seed and plan
+    /// always replay identically.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> &mut Self {
+        for r in plan.records() {
+            if r.at >= self.time {
+                self.events.schedule(r.at, Event::Fault(r.kind));
+            }
+        }
+        self
+    }
+
+    /// Returns `true` while `core` is online (not hotplugged out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_online(&self, core: CoreId) -> bool {
+        self.cores[core.0].online
+    }
+
+    fn online_mask(&self) -> CoreMask {
+        CoreMask::from_cores(
+            (0..self.cores.len())
+                .filter(|&i| self.cores[i].online)
+                .map(CoreId),
+        )
     }
 
     /// Installs a tracer invoked on every scheduling event (dispatches,
@@ -490,9 +650,10 @@ impl Kernel {
 
     /// Spawns an already-boxed thread body.
     ///
-    /// # Panics
-    ///
-    /// Panics if the affinity mask excludes every core of the machine.
+    /// An affinity mask that covers no online core of the machine (empty,
+    /// disjoint, or all-offline) is widened to every online core, with an
+    /// [`TraceEvent::AffinityOverride`] recording the change — the thread
+    /// is never silently stranded.
     pub fn spawn_boxed(&mut self, body: Box<dyn ThreadBody>, opts: SpawnOptions) -> ThreadId {
         self.spawn_on(body, opts, None)
     }
@@ -503,10 +664,6 @@ impl Kernel {
         opts: SpawnOptions,
         parent_core: Option<usize>,
     ) -> ThreadId {
-        assert!(
-            opts.affinity.cores_on(self.cores.len()).next().is_some(),
-            "spawn: affinity mask excludes every core"
-        );
         let tid = ThreadId(self.threads.len());
         self.threads.push(Thread {
             name: body.name().to_string(),
@@ -542,10 +699,14 @@ impl Kernel {
         };
         self.threads[tid.0].state = TState::Runnable(core);
         self.cores[core].queue.push_back(tid);
+        // Trace the affinity actually in force: if the requested mask was
+        // unschedulable, placement above widened it (emitting an
+        // `AffinityOverride` just before this `Spawn`).
+        let affinity = self.threads[tid.0].affinity;
         self.trace(TraceEvent::Spawn {
             tid,
             core: CoreId(core),
-            affinity: opts.affinity,
+            affinity,
         });
         self.mark_dispatch(core);
         tid
@@ -602,32 +763,51 @@ impl Kernel {
         self.waits[wait.0].len()
     }
 
-    /// Runs the simulation until every thread finishes or it deadlocks.
+    /// Runs the simulation until every thread finishes, it deadlocks or
+    /// stalls, or the sim-time budget (if any) is exhausted.
     pub fn run(&mut self) -> RunOutcome {
         self.run_until(SimTime::MAX)
     }
 
-    /// Runs the simulation up to `limit`.
+    /// Runs the simulation up to `limit` (or the sim-time budget,
+    /// whichever is earlier).
     ///
     /// Returns [`RunOutcome::TimeLimit`] if simulated time would pass
-    /// `limit`; the kernel is left at `limit` and can be resumed by calling
-    /// `run_until` again with a later limit.
+    /// the effective limit; the kernel is left there and can be resumed
+    /// by calling `run_until` again with a later limit.
     pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
         let outcome = self.run_until_inner(limit);
         if let Some(sink) = &self.capture {
-            sink.borrow_mut().outcome = Some(outcome);
+            let mut trace = sink.borrow_mut();
+            trace.outcome = Some(outcome);
+            trace.budget_exhausted = self.budget_exhausted;
         }
         outcome
     }
 
     fn run_until_inner(&mut self, limit: SimTime) -> RunOutcome {
+        let effective = match self.budget {
+            Some(budget) if budget < limit => budget,
+            _ => limit,
+        };
         if !self.balance_scheduled {
             self.events
                 .schedule(self.time + self.balance_period, Event::Balance);
             self.balance_scheduled = true;
         }
+        if let Some(window) = self.watchdog {
+            if !self.watchdog_scheduled {
+                self.events.schedule(self.time + window, Event::Watchdog);
+                self.watchdog_scheduled = true;
+                self.watchdog_mark = self.progress;
+            }
+        }
         loop {
             self.drain_dispatch();
+            if self.stalled {
+                self.stalled = false;
+                return RunOutcome::Stalled;
+            }
             if self.live_threads == 0 {
                 return RunOutcome::AllDone;
             }
@@ -639,8 +819,11 @@ impl Kernel {
             let Some(next) = self.events.peek_time() else {
                 return RunOutcome::Deadlock(self.live_threads);
             };
-            if next > limit {
-                self.time = limit;
+            if next > effective {
+                self.time = effective;
+                if effective < limit {
+                    self.budget_exhausted = true;
+                }
                 return RunOutcome::TimeLimit;
             }
             let (t, ev) = self.events.pop().expect("peeked event exists");
@@ -659,9 +842,14 @@ impl Kernel {
         match ev {
             Event::SliceEnd { core } => self.handle_slice_end(core),
             Event::SleepDone { tid } => {
-                debug_assert_eq!(self.threads[tid.0].state, TState::Sleeping);
-                self.wakeup(tid, None);
+                // A sleeping thread may have been killed by a fault while
+                // its timer was pending; the stale timer is ignored.
+                if self.threads[tid.0].state == TState::Sleeping {
+                    self.wakeup(tid, None);
+                }
             }
+            Event::Fault(kind) => self.handle_fault(kind),
+            Event::Watchdog => self.handle_watchdog(),
             Event::Balance => {
                 self.stats.balance_runs += 1;
                 for core in &mut self.cores {
@@ -688,6 +876,9 @@ impl Kernel {
         let speed = self.cores[core].speed;
         let elapsed = self.time.duration_since(running.slice_start);
         self.stats.core_busy[core] += elapsed;
+        // Every slice end retires cycles (slices are only started for
+        // non-zero pending compute) — that is forward progress.
+        self.progress += 1;
         {
             let th = &mut self.threads[tid.0];
             th.last_ran = self.time;
@@ -822,6 +1013,7 @@ impl Kernel {
                     th.stats.finished_at = Some(self.time);
                     th.body = None;
                     self.live_threads -= 1;
+                    self.progress += 1;
                     self.trace(TraceEvent::Done { tid });
                     self.mark_dispatch(core);
                     return;
@@ -871,11 +1063,203 @@ impl Kernel {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection and graceful degradation
+    // ------------------------------------------------------------------
+
+    fn handle_fault(&mut self, kind: FaultKind) {
+        self.stats.faults_injected += 1;
+        match kind {
+            FaultKind::SetSpeed { core, speed } => self.fault_set_speed(core.0, speed),
+            FaultKind::CoreOffline { core } => self.fault_core_offline(core.0),
+            FaultKind::CoreOnline { core } => self.fault_core_online(core.0),
+            FaultKind::KillThread { victim } => self.fault_kill(victim),
+        }
+    }
+
+    /// Re-modulates `core` to `speed` mid-run. Work in flight is
+    /// re-accounted at the old rate up to this instant and re-sliced at
+    /// the new rate; the thread keeps the core (no preemption). Plans
+    /// generated for a different machine may name out-of-range cores —
+    /// those faults are no-ops.
+    fn fault_set_speed(&mut self, c: usize, speed: Speed) {
+        if c >= self.cores.len() || self.cores[c].speed == speed {
+            return;
+        }
+        let old_speed = self.cores[c].speed;
+        let resume = self.cores[c].current.take().map(|running| {
+            self.events.cancel(running.slice_key);
+            let elapsed = self.time.duration_since(running.slice_start);
+            self.stats.core_busy[c] += elapsed;
+            let th = &mut self.threads[running.tid.0];
+            th.last_ran = self.time;
+            th.stats.cpu_time += elapsed;
+            if let Pending::Compute(remaining) = th.pending {
+                let retired = remaining.retired_over(old_speed, elapsed);
+                th.stats.cycles_retired += retired;
+                if !retired.is_zero() {
+                    self.progress += 1;
+                }
+                let left = remaining.saturating_sub(retired);
+                th.pending = if left.is_zero() {
+                    Pending::Fresh
+                } else {
+                    Pending::Compute(left)
+                };
+            }
+            running.tid
+        });
+        self.cores[c].speed = speed;
+        self.machine.set_speed(CoreId(c), speed);
+        self.trace(TraceEvent::SpeedChange {
+            core: CoreId(c),
+            speed,
+        });
+        if let Some(tid) = resume {
+            match self.threads[tid.0].pending {
+                Pending::Compute(_) => self.start_slice(c, tid),
+                Pending::Fresh => self.step_thread_on_core(tid, c),
+            }
+        }
+        // The fast/slow sets just changed: let every idle online core
+        // re-evaluate its pull options against the new speeds (the
+        // asymmetry-aware policy reads live core speeds, so placement and
+        // the next balance pass pick up the new order automatically).
+        for i in 0..self.cores.len() {
+            if self.cores[i].online && self.cores[i].current.is_none() && !self.cores[i].executing {
+                self.mark_dispatch(i);
+            }
+        }
+    }
+
+    /// Hotplug-removes `core`: its running thread is interrupted and its
+    /// queue drained, each thread re-placed on the remaining online cores
+    /// (widening affinity masks where needed). The last online core is
+    /// never taken down, and offlining an offline core is a no-op.
+    fn fault_core_offline(&mut self, c: usize) {
+        if c >= self.cores.len() || !self.cores[c].online {
+            return;
+        }
+        let online = (0..self.cores.len())
+            .filter(|&i| self.cores[i].online)
+            .count();
+        if online <= 1 {
+            return;
+        }
+        self.cores[c].online = false;
+        self.cores[c].idle_since = None;
+        self.trace(TraceEvent::CoreOffline { core: CoreId(c) });
+        if self.cores[c].current.is_some() {
+            let tid = self.interrupt_running(c);
+            self.requeue_from(tid, c);
+        }
+        while let Some(tid) = self.cores[c].queue.pop_front() {
+            self.requeue_from(tid, c);
+        }
+    }
+
+    /// Hotplug-adds `core` back. Its load average restarts from zero and
+    /// the dispatcher immediately considers it for stealing work.
+    fn fault_core_online(&mut self, c: usize) {
+        if c >= self.cores.len() || self.cores[c].online {
+            return;
+        }
+        self.cores[c].online = true;
+        self.cores[c].load_avg = 0.0;
+        self.cores[c].idle_since = None;
+        self.trace(TraceEvent::CoreOnline { core: CoreId(c) });
+        self.mark_dispatch(c);
+    }
+
+    /// Kills one live thread, chosen as `victim` modulo the live count
+    /// (deterministic given the injection time). The thread is removed
+    /// from whatever structure holds it — core, run queue, wait queue, or
+    /// sleep timer — and marked done.
+    fn fault_kill(&mut self, victim: u64) {
+        if self.live_threads == 0 {
+            return;
+        }
+        let live: Vec<ThreadId> = (0..self.threads.len())
+            .map(ThreadId)
+            .filter(|t| self.threads[t.0].state != TState::Done)
+            .collect();
+        let tid = live[(victim % live.len() as u64) as usize];
+        match self.threads[tid.0].state {
+            TState::Running(core) => {
+                let t = self.interrupt_running(core);
+                debug_assert_eq!(t, tid);
+                self.mark_dispatch(core);
+            }
+            TState::Runnable(core) => {
+                let pos = self.cores[core]
+                    .queue
+                    .iter()
+                    .position(|&t| t == tid)
+                    .expect("runnable thread is queued");
+                self.cores[core].queue.remove(pos);
+            }
+            TState::Blocked(w) => {
+                if let Some(pos) = self.waits[w.0].iter().position(|&t| t == tid) {
+                    self.waits[w.0].remove(pos);
+                }
+                self.blocked_threads -= 1;
+            }
+            // The pending SleepDone timer will find the thread dead and
+            // ignore it.
+            TState::Sleeping => {}
+            TState::Done => unreachable!("filtered above"),
+        }
+        let th = &mut self.threads[tid.0];
+        th.state = TState::Done;
+        th.stats.finished_at = Some(self.time);
+        th.body = None;
+        self.live_threads -= 1;
+        self.trace(TraceEvent::ThreadKilled { tid });
+        self.trace(TraceEvent::Done { tid });
+    }
+
+    /// Re-places a thread displaced from `from` (offlined) onto an online
+    /// core, widening its affinity if the mask no longer covers one.
+    fn requeue_from(&mut self, tid: ThreadId, from: usize) {
+        let dst = self.place_thread(tid);
+        let th = &mut self.threads[tid.0];
+        th.state = TState::Runnable(dst);
+        th.state_since = self.time;
+        self.cores[dst].queue.push_back(tid);
+        self.trace(TraceEvent::Steal {
+            tid,
+            from: CoreId(from),
+            to: CoreId(dst),
+        });
+        self.mark_dispatch(dst);
+    }
+
+    fn handle_watchdog(&mut self) {
+        let Some(window) = self.watchdog else {
+            self.watchdog_scheduled = false;
+            return;
+        };
+        if self.live_threads == 0 {
+            self.watchdog_scheduled = false;
+            return;
+        }
+        if self.progress == self.watchdog_mark && self.blocked_threads < self.live_threads {
+            // A whole window passed with runnable or sleeping threads yet
+            // nothing retired any work: livelock. (The all-blocked case is
+            // left to the deadlock detector in the run loop.)
+            self.stalled = true;
+            self.watchdog_scheduled = false;
+        } else {
+            self.watchdog_mark = self.progress;
+            self.events.schedule(self.time + window, Event::Watchdog);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Dispatch
     // ------------------------------------------------------------------
 
     fn mark_dispatch(&mut self, core: usize) {
-        if !self.pending_set[core] {
+        if self.cores[core].online && !self.pending_set[core] {
             self.pending_set[core] = true;
             self.pending_dispatch.push_back(core);
         }
@@ -885,6 +1269,10 @@ impl Kernel {
         let mut guard = 0u64;
         while let Some(core) = self.pending_dispatch.pop_front() {
             self.pending_set[core] = false;
+            // The core may have gone offline after being marked.
+            if !self.cores[core].online {
+                continue;
+            }
             loop {
                 guard += 1;
                 assert!(
@@ -1010,10 +1398,17 @@ impl Kernel {
     fn place_thread_prefer(&mut self, tid: ThreadId, prefer: Option<usize>) -> usize {
         let affinity = self.threads[tid.0].affinity;
         let last = self.threads[tid.0].last_core;
-        let candidates: Vec<usize> = (0..self.cores.len())
-            .filter(|&i| affinity.contains(CoreId(i)))
+        let mut candidates: Vec<usize> = (0..self.cores.len())
+            .filter(|&i| self.cores[i].online && affinity.contains(CoreId(i)))
             .collect();
-        assert!(!candidates.is_empty(), "thread affinity excludes all cores");
+        if candidates.is_empty() {
+            // The mask covers no online core (empty at spawn, disjoint
+            // from the machine, or every allowed core hotplugged out).
+            // Stranding the thread forever would be a silent hang; widen
+            // to all online cores and say so in the trace.
+            candidates = self.widen_affinity(tid);
+        }
+        debug_assert!(!candidates.is_empty(), "one core is always online");
         match self.policy.kind() {
             PolicyKind::LoadBalancing => {
                 let min_load = candidates
@@ -1080,6 +1475,21 @@ impl Kernel {
                     .expect("non-empty candidates")
             }
         }
+    }
+
+    /// Widens `tid`'s affinity to all online cores, tracing the override,
+    /// and returns the new candidate list.
+    fn widen_affinity(&mut self, tid: ThreadId) -> Vec<usize> {
+        let widened = self.online_mask();
+        self.threads[tid.0].affinity = widened;
+        self.stats.affinity_overrides += 1;
+        self.trace(TraceEvent::AffinityOverride {
+            tid,
+            affinity: widened,
+        });
+        (0..self.cores.len())
+            .filter(|&i| self.cores[i].online)
+            .collect()
     }
 
     /// Called when `core` has nothing to run: try to pull work from
@@ -1253,6 +1663,9 @@ impl Kernel {
         if let Pending::Compute(remaining) = th.pending {
             let retired = remaining.retired_over(speed, elapsed);
             th.stats.cycles_retired += retired;
+            if !retired.is_zero() {
+                self.progress += 1;
+            }
             let left = remaining.saturating_sub(retired);
             th.pending = if left.is_zero() {
                 Pending::Fresh
@@ -1279,7 +1692,7 @@ impl Kernel {
         }
         // Any core that is idle with work available elsewhere re-checks.
         for i in 0..self.cores.len() {
-            if self.cores[i].current.is_none() {
+            if self.cores[i].online && self.cores[i].current.is_none() {
                 self.mark_dispatch(i);
             }
         }
@@ -1298,6 +1711,9 @@ impl Kernel {
             };
             for k in 0..self.cores.len() {
                 let i = (k + offset) % self.cores.len();
+                if !self.cores[i].online {
+                    continue;
+                }
                 // Imbalance is judged on the decayed load average, biased
                 // by the instantaneous queue so there is actually
                 // something to steal from the busiest core.
@@ -1332,7 +1748,7 @@ impl Kernel {
         // an idle slow core and a fast core within one balance pass.
         for _ in 0..2 * self.cores.len() {
             let idle = (0..self.cores.len())
-                .filter(|&i| self.cores[i].load() == 0)
+                .filter(|&i| self.cores[i].online && self.cores[i].load() == 0)
                 .max_by(|&a, &b| {
                     self.cores[a]
                         .speed
@@ -1376,7 +1792,7 @@ impl Kernel {
             };
             let src_density = self.cores[src].load() as f64 / self.cores[src].speed.factor();
             let Some(dst) = (0..self.cores.len())
-                .filter(|&i| i != src)
+                .filter(|&i| i != src && self.cores[i].online)
                 .min_by(|&a, &b| {
                     let da = (self.cores[a].load() + 1) as f64 / self.cores[a].speed.factor();
                     let db = (self.cores[b].load() + 1) as f64 / self.cores[b].speed.factor();
@@ -1420,19 +1836,24 @@ impl Kernel {
     /// Changes a thread's affinity mask. If the thread currently sits on a
     /// now-disallowed core it is moved at once.
     ///
-    /// # Panics
-    ///
-    /// Panics if the mask excludes every core.
+    /// A mask that covers no online core is widened to every online core
+    /// with a traced [`TraceEvent::AffinityOverride`] rather than
+    /// stranding the thread (or panicking).
     pub fn set_affinity(&mut self, tid: ThreadId, mask: CoreMask) {
-        assert!(
-            mask.cores_on(self.cores.len()).next().is_some(),
-            "set_affinity: mask excludes every core"
-        );
         self.threads[tid.0].affinity = mask;
         self.trace(TraceEvent::SetAffinity {
             tid,
             affinity: mask,
         });
+        let schedulable = mask
+            .cores_on(self.cores.len())
+            .any(|c| self.cores[c.0].online);
+        let mask = if schedulable {
+            mask
+        } else {
+            self.widen_affinity(tid);
+            self.threads[tid.0].affinity
+        };
         match self.threads[tid.0].state {
             TState::Running(core) if !mask.contains(CoreId(core)) => {
                 let tid = {

@@ -48,11 +48,13 @@
 
 #![warn(missing_docs)]
 
+mod guard;
 mod kernel;
 mod policy;
 mod thread;
 mod trace;
 
+pub use guard::{with_run_guard, RunGuard};
 pub use kernel::{
     Kernel, KernelStats, RunOutcome, ThreadCx, TraceEvent, CACHE_HOT_WINDOW,
     DEFAULT_BALANCE_PERIOD, DEFAULT_CONTEXT_SWITCH, DEFAULT_QUANTUM,

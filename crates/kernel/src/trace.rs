@@ -36,6 +36,12 @@ pub struct KernelTrace {
     pub records: Vec<TraceRecord>,
     /// How the most recent `run`/`run_until` call ended, if any.
     pub outcome: Option<RunOutcome>,
+    /// True when the run was truncated by the kernel's sim-time budget
+    /// (see [`Kernel::set_sim_time_budget`](crate::Kernel::set_sim_time_budget))
+    /// rather than by a caller-chosen `run_until` limit — the signal the
+    /// resilient harness uses to classify a run as over-budget instead of
+    /// normally windowed.
+    pub budget_exhausted: bool,
 }
 
 impl KernelTrace {
@@ -49,6 +55,7 @@ impl KernelTrace {
             std::hash::Hash::hash(r, &mut h);
         }
         std::hash::Hash::hash(&self.outcome, &mut h);
+        std::hash::Hash::hash(&self.budget_exhausted, &mut h);
         std::hash::Hasher::finish(&h)
     }
 }
@@ -73,6 +80,7 @@ pub(crate) fn register_kernel(machine: &MachineSpec, policy: SchedPolicy) -> Opt
             policy,
             records: Vec::new(),
             outcome: None,
+            budget_exhausted: false,
         }));
         session.borrow_mut().push(sink.clone());
         Some(sink)

@@ -664,3 +664,245 @@ fn tracer_observes_full_thread_lifecycle() {
     let d = pos(&|e| matches!(e, TraceEvent::Done { tid } if *tid == t));
     assert!(b < w && w < d);
 }
+
+// ----------------------------------------------------------------------
+// Fault injection, graceful degradation, watchdog, and run guards
+// ----------------------------------------------------------------------
+
+#[test]
+fn offline_core_migrates_work_and_run_completes() {
+    use asym_kernel::TraceEvent;
+    use asym_sim::{FaultKind, FaultPlan, SimTime};
+    let ((), traces) = asym_kernel::capture_traces(|| {
+        let mut k = kernel_no_ctx(fast_machine(2), SchedPolicy::os_default(), 11);
+        let mut plan = FaultPlan::new();
+        plan.inject(
+            SimTime::ZERO + SimDuration::from_millis(2),
+            FaultKind::CoreOffline { core: CoreId(1) },
+        );
+        plan.inject(
+            SimTime::ZERO + SimDuration::from_millis(6),
+            FaultKind::CoreOnline { core: CoreId(1) },
+        );
+        k.set_fault_plan(&plan);
+        for _ in 0..4 {
+            k.spawn(compute_thread(5.0, 5), SpawnOptions::new());
+        }
+        assert_eq!(k.run(), RunOutcome::AllDone);
+        assert!(k.core_online(CoreId(1)));
+        assert_eq!(k.stats().faults_injected, 2);
+    });
+    // No dispatch lands on core 1 while it is down.
+    let mut down = false;
+    for r in &traces[0].records {
+        match r.event {
+            TraceEvent::CoreOffline { core: CoreId(1) } => down = true,
+            TraceEvent::CoreOnline { core: CoreId(1) } => down = false,
+            TraceEvent::Dispatch { core, .. } => {
+                assert!(!(down && core == CoreId(1)), "dispatch to offline core");
+            }
+            _ => {}
+        }
+    }
+    assert!(traces[0]
+        .records
+        .iter()
+        .any(|r| matches!(r.event, TraceEvent::CoreOffline { .. })));
+}
+
+#[test]
+fn never_offline_the_last_core() {
+    use asym_sim::{FaultKind, FaultPlan, SimTime};
+    let mut k = kernel_no_ctx(fast_machine(2), SchedPolicy::os_default(), 12);
+    let mut plan = FaultPlan::new();
+    let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+    plan.inject(t(1), FaultKind::CoreOffline { core: CoreId(0) });
+    plan.inject(t(2), FaultKind::CoreOffline { core: CoreId(1) });
+    k.set_fault_plan(&plan);
+    k.spawn(compute_thread(10.0, 5), SpawnOptions::new());
+    assert_eq!(k.run(), RunOutcome::AllDone);
+    // The second offline was refused: core 1 is still up.
+    assert!(k.core_online(CoreId(1)));
+    assert!(!k.core_online(CoreId(0)));
+}
+
+#[test]
+fn throttle_reslices_in_flight_work() {
+    use asym_sim::{FaultKind, FaultPlan, SimTime};
+    let mut k = kernel_no_ctx(fast_machine(1), SchedPolicy::os_default(), 13);
+    let mut plan = FaultPlan::new();
+    plan.inject(
+        SimTime::ZERO + SimDuration::from_millis(2),
+        FaultKind::SetSpeed {
+            core: CoreId(0),
+            speed: Speed::fraction_of_full(8),
+        },
+    );
+    k.set_fault_plan(&plan);
+    k.spawn(compute_thread(10.0, 1), SpawnOptions::new());
+    assert_eq!(k.run(), RunOutcome::AllDone);
+    // 2 ms at full speed + 8 ms of work at 1/8 speed = 2 + 64 = 66 ms.
+    let secs = k.now().as_secs_f64();
+    assert!((0.0659..0.0661).contains(&secs), "finished at {secs}s");
+    assert_eq!(k.machine().speed(CoreId(0)), Speed::fraction_of_full(8));
+}
+
+#[test]
+fn kill_fault_removes_a_thread() {
+    use asym_kernel::TraceEvent;
+    use asym_sim::{FaultKind, FaultPlan, SimTime};
+    let ((), traces) = asym_kernel::capture_traces(|| {
+        let mut k = kernel_no_ctx(fast_machine(1), SchedPolicy::os_default(), 14);
+        let mut plan = FaultPlan::new();
+        plan.inject(
+            SimTime::ZERO + SimDuration::from_millis(1),
+            FaultKind::KillThread { victim: 0 },
+        );
+        k.set_fault_plan(&plan);
+        k.spawn(compute_thread(10.0, 5), SpawnOptions::new());
+        k.spawn(compute_thread(10.0, 5), SpawnOptions::new());
+        assert_eq!(k.run(), RunOutcome::AllDone);
+        assert_eq!(k.live_threads(), 0);
+        // The survivor gets the whole core: total runtime is well under
+        // the 20 ms a fair share would take.
+        assert!(k.now().as_secs_f64() < 0.012);
+    });
+    let killed = traces[0]
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::ThreadKilled { .. }))
+        .count();
+    assert_eq!(killed, 1);
+}
+
+#[test]
+fn watchdog_reports_sleep_poll_livelock_as_stalled() {
+    let mut k = kernel_no_ctx(fast_machine(2), SchedPolicy::os_default(), 15);
+    k.set_watchdog(SimDuration::from_millis(10));
+    k.spawn(
+        FnThread::new("poller", |_cx: &mut ThreadCx<'_>| {
+            Step::Sleep(SimDuration::from_micros(50))
+        }),
+        SpawnOptions::new(),
+    );
+    assert_eq!(k.run(), RunOutcome::Stalled);
+    // The watchdog bounded the spin to roughly one window.
+    assert!(k.now().as_secs_f64() < 0.025);
+    // Resuming re-arms the watchdog and stalls again.
+    assert_eq!(k.run(), RunOutcome::Stalled);
+}
+
+#[test]
+fn watchdog_stays_quiet_on_healthy_runs() {
+    let mut k = kernel_no_ctx(fast_machine(2), SchedPolicy::os_default(), 16);
+    k.set_watchdog(SimDuration::from_millis(2));
+    for _ in 0..3 {
+        k.spawn(compute_thread(20.0, 10), SpawnOptions::new());
+    }
+    assert_eq!(k.run(), RunOutcome::AllDone);
+}
+
+#[test]
+fn sim_time_budget_truncates_unbounded_runs() {
+    let mut k = kernel_no_ctx(fast_machine(1), SchedPolicy::os_default(), 17);
+    k.set_sim_time_budget(SimDuration::from_millis(5));
+    k.spawn(compute_thread(100.0, 10), SpawnOptions::new());
+    assert_eq!(k.run(), RunOutcome::TimeLimit);
+    assert_eq!(k.now(), SimTime::ZERO + SimDuration::from_millis(5));
+}
+
+#[test]
+fn unschedulable_spawn_mask_is_widened_with_trace() {
+    use asym_kernel::TraceEvent;
+    let ((), traces) = asym_kernel::capture_traces(|| {
+        let mut k = kernel_no_ctx(fast_machine(2), SchedPolicy::os_default(), 18);
+        // Empty mask and a mask naming only a core this machine lacks.
+        k.spawn(
+            compute_thread(1.0, 1),
+            SpawnOptions::new().affinity(CoreMask::from_cores(std::iter::empty())),
+        );
+        k.spawn(
+            compute_thread(1.0, 1),
+            SpawnOptions::new().affinity(CoreMask::single(CoreId(7))),
+        );
+        assert_eq!(k.run(), RunOutcome::AllDone);
+        assert_eq!(k.stats().affinity_overrides, 2);
+    });
+    let overrides = traces[0]
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::AffinityOverride { .. }))
+        .count();
+    assert_eq!(overrides, 2);
+}
+
+#[test]
+fn unschedulable_set_affinity_is_widened() {
+    let mut k = kernel_no_ctx(fast_machine(2), SchedPolicy::os_default(), 19);
+    let tid = k.spawn(compute_thread(5.0, 5), SpawnOptions::new());
+    k.set_affinity(tid, CoreMask::single(CoreId(9)));
+    assert_eq!(k.run(), RunOutcome::AllDone);
+    assert_eq!(k.stats().affinity_overrides, 1);
+}
+
+#[test]
+fn pinned_thread_survives_its_core_going_offline() {
+    use asym_kernel::TraceEvent;
+    use asym_sim::{FaultKind, FaultPlan, SimTime};
+    let ((), traces) = asym_kernel::capture_traces(|| {
+        let mut k = kernel_no_ctx(fast_machine(2), SchedPolicy::os_default(), 20);
+        let mut plan = FaultPlan::new();
+        plan.inject(
+            SimTime::ZERO + SimDuration::from_millis(1),
+            FaultKind::CoreOffline { core: CoreId(1) },
+        );
+        k.set_fault_plan(&plan);
+        k.spawn(
+            compute_thread(5.0, 5),
+            SpawnOptions::new().affinity(CoreMask::single(CoreId(1))),
+        );
+        assert_eq!(k.run(), RunOutcome::AllDone);
+    });
+    // The pin was widened when core 1 vanished, and the thread finished
+    // on core 0.
+    assert!(traces[0]
+        .records
+        .iter()
+        .any(|r| matches!(r.event, TraceEvent::AffinityOverride { .. })));
+}
+
+#[test]
+fn run_guard_applies_to_inner_kernels() {
+    use asym_kernel::{with_run_guard, RunGuard};
+    let outcome = with_run_guard(
+        RunGuard::new().sim_time_budget(SimDuration::from_millis(3)),
+        || {
+            let mut k = kernel_no_ctx(fast_machine(1), SchedPolicy::os_default(), 21);
+            k.spawn(compute_thread(50.0, 5), SpawnOptions::new());
+            k.run()
+        },
+    );
+    assert_eq!(outcome, RunOutcome::TimeLimit);
+}
+
+#[test]
+fn same_seed_and_plan_produce_identical_trace_hashes() {
+    use asym_kernel::{capture_traces, with_run_guard, RunGuard};
+    use asym_sim::{FaultPlan, FaultProfile};
+    let run = |seed: u64| {
+        let profile = FaultProfile::hotplug_and_throttle(SimDuration::from_millis(50));
+        let plan = FaultPlan::generate(seed, 4, &profile);
+        let ((), traces) = capture_traces(|| {
+            with_run_guard(RunGuard::new().fault_plan(plan), || {
+                let mut k = kernel_no_ctx(fast_machine(4), SchedPolicy::asymmetry_aware(), seed);
+                for _ in 0..6 {
+                    k.spawn(compute_thread(8.0, 4), SpawnOptions::new());
+                }
+                assert_eq!(k.run(), RunOutcome::AllDone);
+            })
+        });
+        traces[0].stable_hash()
+    };
+    assert_eq!(run(33), run(33));
+    assert_ne!(run(33), run(34));
+}

@@ -1,0 +1,301 @@
+//! Deterministic fault plans: seed-derived schedules of dynamic-asymmetry
+//! events injected into a run.
+//!
+//! The paper emulates asymmetry *statically* — each Xeon is modulated to a
+//! duty cycle before the benchmark starts. Real deployments are dynamic:
+//! thermal throttling and DVFS re-modulate cores mid-run, and hotplug
+//! takes cores away entirely. A [`FaultPlan`] captures such a schedule as
+//! plain data so the kernel can replay it deterministically: the same seed
+//! and profile always produce the same plan, and a plan injected into two
+//! identically seeded runs yields identical traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use asym_sim::{FaultPlan, FaultProfile, SimDuration};
+//!
+//! let profile = FaultProfile::hotplug_and_throttle(SimDuration::from_secs(2));
+//! let plan = FaultPlan::generate(42, 4, &profile);
+//! assert_eq!(plan, FaultPlan::generate(42, 4, &profile)); // pure in the seed
+//! assert!(!plan.is_empty());
+//! ```
+
+use crate::machine::CoreId;
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+use crate::work::{DutyCycle, Speed};
+use std::fmt;
+
+/// One kind of mid-run fault the kernel can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Re-modulate `core` to `speed` — thermal throttling / DVFS. Work
+    /// already running on the core is re-sliced at the new rate.
+    SetSpeed {
+        /// The core whose duty cycle changes.
+        core: CoreId,
+        /// The new execution rate.
+        speed: Speed,
+    },
+    /// Take `core` offline (hotplug remove). Running and queued threads
+    /// migrate to the remaining online cores. The kernel never offlines
+    /// its last online core.
+    CoreOffline {
+        /// The core to take offline.
+        core: CoreId,
+    },
+    /// Bring `core` back online (hotplug add).
+    CoreOnline {
+        /// The core to bring back.
+        core: CoreId,
+    },
+    /// Kill one live thread, chosen deterministically as `victim` modulo
+    /// the number of live threads at injection time.
+    KillThread {
+        /// Selector reduced modulo the live-thread count.
+        victim: u64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::SetSpeed { core, speed } => write!(f, "set-speed {core} -> {speed}"),
+            FaultKind::CoreOffline { core } => write!(f, "offline {core}"),
+            FaultKind::CoreOnline { core } => write!(f, "online {core}"),
+            FaultKind::KillThread { victim } => write!(f, "kill-thread #{victim}"),
+        }
+    }
+}
+
+/// A fault with its injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultRecord {
+    /// Simulated time at which the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, sorted by injection time.
+///
+/// Plans are plain data: build one by hand with [`FaultPlan::inject`], or
+/// derive one from a seed with [`FaultPlan::generate`]. The kernel applies
+/// every record at its timestamp during `run`/`run_until`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    records: Vec<FaultRecord>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at `at`, keeping the plan sorted by time. Faults at
+    /// equal times keep their insertion order.
+    pub fn inject(&mut self, at: SimTime, kind: FaultKind) -> &mut Self {
+        let pos = self.records.partition_point(|r| r.at <= at);
+        self.records.insert(pos, FaultRecord { at, kind });
+        self
+    }
+
+    /// The scheduled faults in time order.
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Returns `true` when the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Derives a plan from `seed` for a machine with `num_cores` cores.
+    ///
+    /// The plan is a pure function of `(seed, num_cores, profile)`:
+    /// throttle events re-modulate random cores to random duty-cycle
+    /// steps at random times inside the horizon, and hotplug cycles are
+    /// laid out in disjoint time slots so at most one core is offline at
+    /// any instant (machines with a single core get no hotplug). Thread
+    /// kills, if requested, land in the middle half of the horizon.
+    pub fn generate(seed: u64, num_cores: usize, profile: &FaultProfile) -> FaultPlan {
+        let mut rng = Rng::new(seed ^ 0xfa17_fa17_fa17_fa17);
+        let mut plan = FaultPlan::new();
+        let horizon = profile.horizon.as_nanos().max(1);
+
+        for _ in 0..profile.throttle_events {
+            let at = SimTime::ZERO + SimDuration::from_nanos(rng.below(horizon));
+            let core = CoreId(rng.index(num_cores));
+            let step = DutyCycle::new(rng.range(1, 9) as u8).expect("step in 1..=8");
+            plan.inject(
+                at,
+                FaultKind::SetSpeed {
+                    core,
+                    speed: Speed::from(step),
+                },
+            );
+        }
+
+        if num_cores > 1 && profile.hotplug_cycles > 0 {
+            // Disjoint slots: slot k covers [k, k+1) / cycles of the
+            // horizon; the core goes down in the first half of its slot
+            // and comes back in the second, so outages never overlap.
+            let cycles = profile.hotplug_cycles as u64;
+            let slot = horizon / cycles;
+            for k in 0..cycles {
+                let base = k * slot;
+                let down = base + rng.below((slot / 2).max(1));
+                let up = base + slot / 2 + rng.below((slot / 2).max(1));
+                let core = CoreId(rng.index(num_cores));
+                plan.inject(
+                    SimTime::ZERO + SimDuration::from_nanos(down),
+                    FaultKind::CoreOffline { core },
+                );
+                plan.inject(
+                    SimTime::ZERO + SimDuration::from_nanos(up),
+                    FaultKind::CoreOnline { core },
+                );
+            }
+        }
+
+        for _ in 0..profile.thread_kills {
+            let at = SimTime::ZERO + SimDuration::from_nanos(horizon / 4 + rng.below(horizon / 2));
+            plan.inject(
+                at,
+                FaultKind::KillThread {
+                    victim: rng.next_u64(),
+                },
+            );
+        }
+
+        plan
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} faults", self.records.len())?;
+        for r in &self.records {
+            write!(f, "; {} {}", r.at, r.kind)?;
+        }
+        Ok(())
+    }
+}
+
+/// Shape parameters for [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// The window faults are drawn from, starting at time zero. Faults
+    /// scheduled past the end of the actual run simply never fire.
+    pub horizon: SimDuration,
+    /// How many random [`FaultKind::SetSpeed`] events to draw.
+    pub throttle_events: u32,
+    /// How many offline→online hotplug cycles to lay out.
+    pub hotplug_cycles: u32,
+    /// How many [`FaultKind::KillThread`] faults to draw.
+    pub thread_kills: u32,
+}
+
+impl FaultProfile {
+    /// A profile with no faults at all over `horizon`.
+    pub fn quiet(horizon: SimDuration) -> Self {
+        FaultProfile {
+            horizon,
+            throttle_events: 0,
+            hotplug_cycles: 0,
+            thread_kills: 0,
+        }
+    }
+
+    /// The standard sweep profile: a few throttle events plus one hotplug
+    /// cycle over `horizon`, no thread kills (workloads are expected to
+    /// finish, just degraded).
+    pub fn hotplug_and_throttle(horizon: SimDuration) -> Self {
+        FaultProfile {
+            horizon,
+            throttle_events: 4,
+            hotplug_cycles: 1,
+            thread_kills: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_pure_in_the_seed() {
+        let profile = FaultProfile::hotplug_and_throttle(SimDuration::from_secs(1));
+        let a = FaultPlan::generate(7, 4, &profile);
+        let b = FaultPlan::generate(7, 4, &profile);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(8, 4, &profile);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn records_are_time_sorted() {
+        let profile = FaultProfile {
+            horizon: SimDuration::from_secs(1),
+            throttle_events: 16,
+            hotplug_cycles: 3,
+            thread_kills: 2,
+        };
+        let plan = FaultPlan::generate(99, 8, &profile);
+        assert_eq!(plan.len(), 16 + 2 * 3 + 2);
+        assert!(plan.records().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn hotplug_outages_never_overlap() {
+        let profile = FaultProfile {
+            horizon: SimDuration::from_secs(4),
+            throttle_events: 0,
+            hotplug_cycles: 4,
+            thread_kills: 0,
+        };
+        for seed in 0..32 {
+            let plan = FaultPlan::generate(seed, 4, &profile);
+            let mut down = 0u32;
+            for r in plan.records() {
+                match r.kind {
+                    FaultKind::CoreOffline { .. } => {
+                        down += 1;
+                        assert!(down <= 1, "seed {seed}: overlapping outages");
+                    }
+                    FaultKind::CoreOnline { .. } => down -= 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(down, 0);
+        }
+    }
+
+    #[test]
+    fn single_core_machines_get_no_hotplug() {
+        let profile = FaultProfile::hotplug_and_throttle(SimDuration::from_secs(1));
+        let plan = FaultPlan::generate(3, 1, &profile);
+        assert!(plan.records().iter().all(|r| !matches!(
+            r.kind,
+            FaultKind::CoreOffline { .. } | FaultKind::CoreOnline { .. }
+        )));
+    }
+
+    #[test]
+    fn inject_keeps_time_order() {
+        let mut plan = FaultPlan::new();
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        plan.inject(t(5), FaultKind::KillThread { victim: 0 });
+        plan.inject(t(1), FaultKind::CoreOffline { core: CoreId(0) });
+        plan.inject(t(3), FaultKind::CoreOnline { core: CoreId(0) });
+        let times: Vec<_> = plan.records().iter().map(|r| r.at).collect();
+        assert_eq!(times, vec![t(1), t(3), t(5)]);
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`Rng`] — a seedable SplitMix64 generator so each run is a pure
 //!   function of its seed;
 //! * [`StableHasher`] — a platform-independent FNV-1a hasher for trace
-//!   fingerprints.
+//!   fingerprints;
+//! * [`FaultPlan`] — a deterministic, seed-derived schedule of dynamic
+//!   asymmetry events (throttling, core hotplug, thread kills).
 //!
 //! Higher layers (`asym-kernel`, `asym-sync`, `asym-omp`) build the
 //! simulated OS and threading runtimes on top.
@@ -41,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+mod fault;
 mod hash;
 mod machine;
 mod rng;
@@ -48,8 +51,9 @@ mod time;
 mod work;
 
 pub use event::{EventKey, EventQueue};
+pub use fault::{FaultKind, FaultPlan, FaultProfile, FaultRecord};
 pub use hash::StableHasher;
-pub use machine::{CoreId, CoreMask, MachineSpec};
+pub use machine::{CoreId, CoreMask, MachineSpec, MachineSpecError};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};
 pub use work::{Cycles, DutyCycle, InvalidDutyCycleError, Speed, BASE_CYCLES_PER_NANO};

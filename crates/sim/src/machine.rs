@@ -111,11 +111,35 @@ impl MachineSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `speeds` is empty or has more than 64 cores.
+    /// Panics if `speeds` is empty or has more than 64 cores (see
+    /// [`MachineSpec::try_new`] for the non-panicking form).
     pub fn new(speeds: Vec<Speed>) -> Self {
-        assert!(!speeds.is_empty(), "a machine needs at least one core");
-        assert!(speeds.len() <= 64, "at most 64 cores are supported");
-        MachineSpec { speeds }
+        match MachineSpec::try_new(speeds) {
+            Ok(spec) => spec,
+            Err(e) => panic!("invalid machine: {e}"),
+        }
+    }
+
+    /// A machine whose core speeds are given explicitly, reporting invalid
+    /// shapes as an error instead of panicking.
+    ///
+    /// A machine must have at least one core and at most 64 (the width of
+    /// [`CoreMask`] — more cores would silently fall outside every affinity
+    /// mask and never be scheduled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineSpecError`] if `speeds` is empty or longer than 64.
+    pub fn try_new(speeds: Vec<Speed>) -> Result<Self, MachineSpecError> {
+        if speeds.is_empty() {
+            return Err(MachineSpecError::NoCores);
+        }
+        if speeds.len() > 64 {
+            return Err(MachineSpecError::TooManyCores {
+                requested: speeds.len(),
+            });
+        }
+        Ok(MachineSpec { speeds })
     }
 
     /// A performance-symmetric machine of `n` cores at `speed`.
@@ -143,6 +167,17 @@ impl MachineSpec {
     /// Panics if `core` is out of range.
     pub fn speed(&self, core: CoreId) -> Speed {
         self.speeds[core.0]
+    }
+
+    /// Changes the speed of `core` — the dynamic-asymmetry case (thermal
+    /// throttling, DVFS, duty-cycle re-modulation) injected by a fault
+    /// plan mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_speed(&mut self, core: CoreId, speed: Speed) {
+        self.speeds[core.0] = speed;
     }
 
     /// All core speeds, indexed by core.
@@ -176,6 +211,34 @@ impl MachineSpec {
         *self.speeds.iter().min().expect("machine has cores")
     }
 }
+
+/// Error returned by [`MachineSpec::try_new`] for a machine shape the
+/// simulator cannot schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineSpecError {
+    /// The speed list was empty — a machine needs at least one core.
+    NoCores,
+    /// More cores than [`CoreMask`] can address: the extras would fall
+    /// outside every affinity mask and silently never run.
+    TooManyCores {
+        /// The number of cores requested.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for MachineSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineSpecError::NoCores => write!(f, "a machine needs at least one core"),
+            MachineSpecError::TooManyCores { requested } => write!(
+                f,
+                "at most 64 cores are supported (affinity masks are 64 bits wide), got {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineSpecError {}
 
 impl fmt::Display for MachineSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -215,6 +278,32 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn empty_machine_rejected() {
         let _ = MachineSpec::new(vec![]);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_shapes() {
+        assert_eq!(MachineSpec::try_new(vec![]), Err(MachineSpecError::NoCores));
+        assert_eq!(
+            MachineSpec::try_new(vec![Speed::FULL; 65]),
+            Err(MachineSpecError::TooManyCores { requested: 65 })
+        );
+        let ok = MachineSpec::try_new(vec![Speed::FULL; 64]).unwrap();
+        assert_eq!(ok.num_cores(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 cores")]
+    fn oversized_machine_rejected() {
+        let _ = MachineSpec::symmetric(65, Speed::FULL);
+    }
+
+    #[test]
+    fn set_speed_changes_one_core() {
+        let mut m = MachineSpec::symmetric(2, Speed::FULL);
+        m.set_speed(CoreId(1), Speed::fraction_of_full(8));
+        assert_eq!(m.speed(CoreId(0)), Speed::FULL);
+        assert_eq!(m.speed(CoreId(1)), Speed::fraction_of_full(8));
+        assert!(!m.is_symmetric());
     }
 
     #[test]

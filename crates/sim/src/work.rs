@@ -203,6 +203,14 @@ impl Default for Speed {
 
 impl Eq for Speed {}
 
+impl std::hash::Hash for Speed {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Valid speeds are finite and never -0.0, so hashing the bit
+        // pattern is consistent with the manual `Eq` above.
+        self.0.to_bits().hash(state);
+    }
+}
+
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Speed {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {

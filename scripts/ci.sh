@@ -13,10 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> asym-check --fixtures (detectors must fire)"
 cargo run -q --release -p asym-bench --bin asym_check -- --fixtures
 
 echo "==> asym-check --quick (1f-3s/8 smoke sweep must be clean)"
 cargo run -q --release -p asym-bench --bin asym_check -- --quick
+
+echo "==> extra_fault_sweep --quick (faulted smoke sweep: classified, clean, deterministic)"
+cargo run -q --release -p asym-bench --bin extra_fault_sweep -- --quick > /dev/null
 
 echo "CI OK"
