@@ -251,6 +251,54 @@ pub fn offline_core_dispatch() -> KernelTrace {
     trace
 }
 
+/// A forged trace in which a fault-injected kill is silently swallowed:
+/// the `ThreadKilled` record is there but the `Done` that retires the
+/// victim never follows. The real kernel always emits the pair together
+/// (that is what `threads_killed` and the workloads' `lost_workers`
+/// extras hang off), so the history is rewritten by hand on top of a
+/// genuinely captured trace, like [`offline_core_dispatch`].
+pub fn swallowed_kill() -> KernelTrace {
+    let mut trace = capture_one(|| {
+        let machine = MachineSpec::symmetric(2, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::os_default(), 6);
+        k.spawn(FnThread::new("w", |_cx| Step::Done), SpawnOptions::new());
+        k.run();
+    });
+    let tid = trace
+        .records
+        .iter()
+        .find_map(|r| match r.event {
+            TraceEvent::Spawn { tid, .. } => Some(tid),
+            _ => None,
+        })
+        .expect("captured trace has a spawn");
+    let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+    trace.records = vec![
+        TraceRecord {
+            time: t(0),
+            event: TraceEvent::Spawn {
+                tid,
+                core: CoreId(0),
+                affinity: CoreMask::ALL,
+            },
+        },
+        TraceRecord {
+            time: t(1),
+            event: TraceEvent::Dispatch {
+                tid,
+                core: CoreId(0),
+            },
+        },
+        // BUG (planted): the kill lands but no Done retires the victim —
+        // the thread just vanishes from the books.
+        TraceRecord {
+            time: t(2),
+            event: TraceEvent::ThreadKilled { tid },
+        },
+    ];
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +329,19 @@ mod tests {
     #[test]
     fn stalled_fixture_ends_stalled() {
         assert_eq!(stalled_run().outcome, Some(RunOutcome::Stalled));
+    }
+
+    #[test]
+    fn swallowed_kill_fixture_has_a_kill_but_no_done() {
+        let trace = swallowed_kill();
+        assert!(trace
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::ThreadKilled { .. })));
+        assert!(!trace
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Done { .. })));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! Every `asym-kernel` run can be recorded with
 //! [`capture_traces`]; the resulting
 //! [`KernelTrace`] is a state-complete event stream. This crate replays
-//! such streams and checks seven properties:
+//! such streams and checks eight properties:
 //!
 //! 1. **Deadlock detection** — a live wait-for graph over mutex
 //!    ownership; a cycle at the moment a thread blocks is reported as
@@ -34,12 +34,17 @@
 //!    ([`RunOutcome::Stalled`]) is reported as
 //!    [`ViolationKind::StalledRun`]; a trace that simply ends at its
 //!    time limit is not.
-//! 7. **Determinism** — running the same seeded program twice must
+//! 7. **Kill accounting** — every `ThreadKilled` record must be
+//!    followed by a `Done` record retiring the victim; a kill the
+//!    kernel never accounted for (the bug class where a fault-injected
+//!    kill silently vanishes and the run's `lost_workers` undercounts)
+//!    is reported as [`ViolationKind::DroppedKill`].
+//! 8. **Determinism** — running the same seeded program twice must
 //!    produce byte-identical traces
 //!    ([`KernelTrace::stable_hash`]); any divergence is
 //!    [`ViolationKind::NonDeterminism`].
 //!
-//! [`check_workload`] packages all seven for one workload run, and the
+//! [`check_workload`] packages all eight for one workload run, and the
 //! `asym-check` binary in `asym-bench` sweeps every workload across the
 //! paper's nine machine configurations. The [`fixtures`] module holds
 //! deliberately buggy programs proving each detector fires.
@@ -88,6 +93,10 @@ pub enum ViolationKind {
     /// The kernel's watchdog declared the run livelocked: simulated time
     /// kept advancing but no work was retired for a full window.
     StalledRun,
+    /// A thread was killed but never retired: the trace holds a
+    /// `ThreadKilled` with no matching `Done`, so the kill was silently
+    /// swallowed and lost-worker accounting undercounts.
+    DroppedKill,
     /// The same seeded program produced two different traces.
     NonDeterminism,
 }
@@ -101,6 +110,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::FastCoreIdle => "fast-core-idle",
             ViolationKind::OfflineDispatch => "offline-dispatch",
             ViolationKind::StalledRun => "stalled-run",
+            ViolationKind::DroppedKill => "dropped-kill",
             ViolationKind::NonDeterminism => "non-determinism",
         };
         f.write_str(s)
@@ -129,8 +139,9 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Runs analyses 1–6 (deadlock, lock order, lost wakeup, asymmetry
-/// invariant, core liveness, forward progress) over one captured trace.
+/// Runs analyses 1–7 (deadlock, lock order, lost wakeup, asymmetry
+/// invariant, core liveness, forward progress, kill accounting) over
+/// one captured trace.
 ///
 /// The returned violations are in a deterministic order: detection
 /// order for the replay-driven checks, then lost wakeups by thread.
@@ -143,6 +154,7 @@ pub fn analyze_trace(trace: &KernelTrace) -> Vec<Violation> {
     violations.extend(check_asymmetry_invariant(trace));
     violations.extend(check_core_liveness(trace));
     violations.extend(check_forward_progress(trace));
+    violations.extend(check_kill_accounting(trace));
     violations
 }
 
@@ -663,7 +675,40 @@ fn check_forward_progress(trace: &KernelTrace) -> Vec<Violation> {
 }
 
 // ----------------------------------------------------------------------
-// 5. Determinism
+// 7. Kill accounting: every kill retires its victim
+// ----------------------------------------------------------------------
+
+/// The kernel's kill path is a two-record contract: `ThreadKilled { tid }`
+/// immediately followed by `Done { tid }`, which is what drives
+/// `threads_killed` and the workloads' `lost_workers` accounting. A
+/// `ThreadKilled` with no subsequent `Done` for the same thread means
+/// the kill was swallowed — the victim vanished without being retired
+/// and every downstream count is off by one.
+fn check_kill_accounting(trace: &KernelTrace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (i, r) in trace.records.iter().enumerate() {
+        let TraceEvent::ThreadKilled { tid } = r.event else {
+            continue;
+        };
+        let retired = trace.records[i + 1..]
+            .iter()
+            .any(|later| matches!(later.event, TraceEvent::Done { tid: t } if t == tid));
+        if !retired {
+            violations.push(Violation {
+                kind: ViolationKind::DroppedKill,
+                time: Some(r.time),
+                message: format!(
+                    "{tid} was killed but never retired: no Done record follows the \
+                     kill, so the victim was silently dropped from accounting"
+                ),
+            });
+        }
+    }
+    violations
+}
+
+// ----------------------------------------------------------------------
+// 8. Determinism
 // ----------------------------------------------------------------------
 
 /// Compares the kernel traces of two runs of the same seeded program;
@@ -728,7 +773,7 @@ pub struct CheckReport {
     pub kernels: usize,
     /// Total trace events analyzed (first run).
     pub events: usize,
-    /// Every violation from all five analyses.
+    /// Every violation from all eight analyses.
     pub violations: Vec<Violation>,
 }
 
@@ -740,7 +785,7 @@ impl CheckReport {
 }
 
 /// Runs `workload` once under `setup` (twice, for the determinism
-/// check) and applies all five analyses to the captured traces.
+/// check) and applies all eight analyses to the captured traces.
 pub fn check_workload(workload: &dyn Workload, setup: &RunSetup) -> CheckReport {
     let label = format!(
         "{} @ {} / {} / seed {}",
@@ -948,6 +993,57 @@ mod tests {
                 .any(|v| v.kind == ViolationKind::StalledRun),
             "time-limit misreported as stall: {violations:?}"
         );
+    }
+
+    #[test]
+    fn swallowed_kill_fixture_trips_kill_accounting() {
+        let trace = fixtures::swallowed_kill();
+        let violations = analyze_trace(&trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::DroppedKill),
+            "no dropped-kill reported: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn real_kills_are_retired_and_kill_accounting_stays_quiet() {
+        use asym_sim::{FaultKind, FaultPlan, SimDuration};
+        // A genuine fault-injected kill: the kernel retires the victim
+        // with a Done record, so the checker must find nothing.
+        let trace = capture_one(|| {
+            let machine = MachineSpec::symmetric(2, Speed::FULL);
+            let mut k = Kernel::new(machine, SchedPolicy::os_default(), 21);
+            let mut plan = FaultPlan::new();
+            plan.inject(
+                SimTime::ZERO + SimDuration::from_millis(1),
+                FaultKind::KillThread { victim: 0 },
+            );
+            k.set_fault_plan(&plan);
+            for t in 0..3 {
+                let mut left = 6u32;
+                k.spawn(
+                    FnThread::new(format!("w{t}"), move |_cx| {
+                        if left == 0 {
+                            Step::Done
+                        } else {
+                            left -= 1;
+                            Step::Compute(Cycles::from_millis_at_full_speed(0.5))
+                        }
+                    }),
+                    SpawnOptions::new(),
+                );
+            }
+            assert_eq!(k.run(), RunOutcome::AllDone);
+            assert_eq!(k.stats().threads_killed, 1);
+        });
+        assert!(trace
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::ThreadKilled { .. })));
+        let violations = analyze_trace(&trace);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! paper workloads under the asymmetry-aware kernel policy, applying
 //! every analysis in [`asym_analysis`] (deadlock, lock-order,
 //! lost-wakeup, fast-core-idle invariant, offline-core liveness,
-//! forward progress, determinism) to the captured kernel traces. Exits
+//! forward progress, kill accounting, determinism) to the captured
+//! kernel traces. Exits
 //! nonzero if any violation is found.
 //!
 //! `--fixtures` instead runs the seeded negative fixtures and verifies
@@ -17,6 +18,7 @@
 
 use asym_analysis::fixtures::{
     ab_ba_deadlock, lock_order_inversion, missed_signal, offline_core_dispatch, stalled_run,
+    swallowed_kill,
 };
 use asym_analysis::{analyze_trace, check_workload, render_violations, KernelTrace, ViolationKind};
 use asym_core::{AsymConfig, RunSetup, Workload};
@@ -89,6 +91,11 @@ fn run_fixtures() -> ExitCode {
         "dispatch on hotplugged-off core (forged history)",
         &offline_core_dispatch(),
         ViolationKind::OfflineDispatch,
+    );
+    ok &= expect_fires(
+        "kill without retirement (forged history)",
+        &swallowed_kill(),
+        ViolationKind::DroppedKill,
     );
     if ok {
         println!("all detectors fire on their fixtures");

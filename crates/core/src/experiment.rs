@@ -578,8 +578,9 @@ pub struct ResilientOptions {
     pub base_seed: u64,
     /// Execute independent slots on parallel OS threads.
     pub parallel: bool,
-    /// How many times a failed slot is retried with a fresh seed before
-    /// its failure is recorded. Completed runs are never retried.
+    /// How many times a failed slot is retried before its failure is
+    /// recorded. Retries escalate adaptively by failure class (see
+    /// [`run_experiment_resilient`]). Completed runs are never retried.
     pub retries: u32,
     /// Per-run cap on simulated time, applied to every kernel the run
     /// creates (via [`RunGuard`]); a run cut short by it is classified
@@ -684,14 +685,21 @@ impl fmt::Debug for ResilientOptions {
 /// grid, so a reseeded attempt never collides with another slot.
 const RETRY_SEED_STRIDE: u64 = 7919;
 
+/// Cap on sim-time-budget escalation: a `TimeLimit` retry doubles the
+/// budget each attempt, up to this multiple of the configured budget.
+const MAX_BUDGET_FACTOR: u32 = 8;
+
 /// Runs `workload` on every configuration like [`run_experiment`], but
 /// built to survive hostile runs: every kernel the workload creates gets
 /// the options' watchdog, sim-time budget, and fault plan (via
 /// [`RunGuard`]); panics are caught and contained to their run; every
-/// slot is classified as a [`RunClass`]; failed slots are retried with
-/// fresh seeds up to `options.retries` times; and configurations where
-/// every run failed simply report no samples instead of poisoning the
-/// sweep.
+/// slot is classified as a [`RunClass`]; failed slots are retried up to
+/// `options.retries` times with adaptive escalation — time-limited runs
+/// keep their seed and double the budget, stalled runs keep their seed
+/// and soften the fault plan (kills stripped first, then hotplug, then
+/// everything), deadlocked and panicked runs reseed — and configurations
+/// where every run failed simply report no samples instead of poisoning
+/// the sweep.
 ///
 /// # Panics
 ///
@@ -747,20 +755,38 @@ pub fn run_experiment_resilient(
 }
 
 /// Executes one slot: attempt, classify, retry on failure.
+///
+/// Retries escalate *adaptively* according to how the attempt failed,
+/// rather than blindly reseeding:
+///
+/// * [`RunClass::TimeLimit`] — the run was legitimate but slow (faults
+///   can stretch a run well past its clean duration). Retry the **same
+///   seed** with the sim-time budget doubled, up to
+///   [`MAX_BUDGET_FACTOR`]× the configured budget.
+/// * [`RunClass::Stalled`] — the fault schedule drove the workload into
+///   a livelock. Retry the **same seed** with a progressively softened
+///   fault plan: first without thread kills, then additionally without
+///   hotplug, then with no faults at all.
+/// * [`RunClass::Deadlock`] / [`RunClass::Panicked`] — the run is wedged
+///   in a way no budget or fault change explains; retry with a fresh
+///   seed (stride [`RETRY_SEED_STRIDE`]).
 fn run_one_resilient(
     workload: &dyn Workload,
     slot: &RunSetup,
     options: &ResilientOptions,
 ) -> RunRecord {
     let mut attempts = 0u32;
+    let mut seed_bump = 0u64;
+    let mut budget_factor = 1u32;
+    let mut soften = 0u32;
     loop {
-        let setup = RunSetup::new(
-            slot.config,
-            slot.policy,
-            slot.seed + u64::from(attempts) * RETRY_SEED_STRIDE,
-        );
+        let setup = RunSetup::new(slot.config, slot.policy, slot.seed + seed_bump);
         attempts += 1;
-        let (class, value) = attempt_run(workload, &setup, options);
+        let plan = options.planner.as_ref().and_then(|planner| {
+            let full = planner(&setup);
+            soften_plan(full, soften)
+        });
+        let (class, value) = attempt_run(workload, &setup, options, budget_factor, plan);
         if class == RunClass::Completed || attempts > options.retries {
             return RunRecord {
                 seed: setup.seed,
@@ -769,24 +795,50 @@ fn run_one_resilient(
                 value,
             };
         }
+        match class {
+            RunClass::TimeLimit => {
+                budget_factor = (budget_factor * 2).min(MAX_BUDGET_FACTOR);
+            }
+            RunClass::Stalled => soften += 1,
+            _ => seed_bump += RETRY_SEED_STRIDE,
+        }
     }
 }
 
-/// One guarded, trace-captured, panic-contained attempt.
+/// Applies one rung of the fault-softening ladder: level 0 is the full
+/// plan, 1 drops thread kills, 2 additionally drops hotplug, and 3+
+/// injects nothing at all.
+fn soften_plan(plan: FaultPlan, level: u32) -> Option<FaultPlan> {
+    match level {
+        0 => Some(plan),
+        1 => Some(plan.without_kills()),
+        2 => Some(plan.without_kills().without_hotplug()),
+        _ => None,
+    }
+}
+
+/// One guarded, trace-captured, panic-contained attempt. `budget_factor`
+/// scales the configured sim-time budget (escalated retries); `plan` is
+/// the fault plan to inject, already softened as the retry ladder
+/// demands.
 fn attempt_run(
     workload: &dyn Workload,
     setup: &RunSetup,
     options: &ResilientOptions,
+    budget_factor: u32,
+    plan: Option<FaultPlan>,
 ) -> (RunClass, Option<f64>) {
     let mut guard = RunGuard::new();
     if let Some(w) = options.watchdog {
         guard = guard.watchdog(w);
     }
     if let Some(b) = options.sim_time_budget {
-        guard = guard.sim_time_budget(b);
+        guard = guard.sim_time_budget(SimDuration::from_nanos(
+            b.as_nanos().saturating_mul(u64::from(budget_factor)),
+        ));
     }
-    if let Some(planner) = &options.planner {
-        guard = guard.fault_plan(planner(setup));
+    if let Some(plan) = plan {
+        guard = guard.fault_plan(plan);
     }
     let caught = catch_unwind(AssertUnwindSafe(|| {
         capture_traces(|| with_run_guard(guard, || workload.run(setup)))
@@ -820,6 +872,288 @@ fn classify_traces(traces: &[KernelTrace]) -> RunClass {
         worst = worst.max(class);
     }
     worst
+}
+
+// ----------------------------------------------------------------------
+// Differential harness: stock vs aware under identical faults
+// ----------------------------------------------------------------------
+
+/// One repeat of a differential cell: four guarded runs from the *same*
+/// seed — each policy once clean and once under the *identical*
+/// [`FaultPlan`] — so any stock/aware difference is attributable to the
+/// policy alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialRep {
+    /// The seed all four runs used.
+    pub seed: u64,
+    /// Stock kernel, no faults.
+    pub stock_clean: RunRecord,
+    /// Stock kernel under the shared fault plan.
+    pub stock_faulted: RunRecord,
+    /// Asymmetry-aware kernel, no faults.
+    pub aware_clean: RunRecord,
+    /// Asymmetry-aware kernel under the shared fault plan.
+    pub aware_faulted: RunRecord,
+}
+
+impl DifferentialRep {
+    /// All four records, for classification counting.
+    pub fn records(&self) -> [&RunRecord; 4] {
+        [
+            &self.stock_clean,
+            &self.stock_faulted,
+            &self.aware_clean,
+            &self.aware_faulted,
+        ]
+    }
+
+    fn slowdown(clean: &RunRecord, faulted: &RunRecord, direction: Direction) -> Option<f64> {
+        let c = direction.performance(clean.value?);
+        let f = direction.performance(faulted.value?);
+        (f > 0.0).then(|| c / f)
+    }
+
+    /// Fault-induced slowdown under the stock kernel: clean performance
+    /// over faulted performance (> 1 when faults hurt).
+    pub fn stock_slowdown(&self, direction: Direction) -> Option<f64> {
+        Self::slowdown(&self.stock_clean, &self.stock_faulted, direction)
+    }
+
+    /// Fault-induced slowdown under the asymmetry-aware kernel.
+    pub fn aware_slowdown(&self, direction: Direction) -> Option<f64> {
+        Self::slowdown(&self.aware_clean, &self.aware_faulted, direction)
+    }
+
+    /// The absorption metric: the fraction of the stock kernel's
+    /// fault-induced slowdown that the asymmetry-aware policy recovers,
+    /// `(S_stock − S_aware) / (S_stock − 1)`. 1 means the aware kernel
+    /// fully absorbed the faults, 0 means it helped not at all, negative
+    /// means it made faults worse. `None` when any needed run failed or
+    /// the stock kernel was not measurably slowed (no slowdown to
+    /// absorb).
+    pub fn absorption(&self, direction: Direction) -> Option<f64> {
+        let s_stock = self.stock_slowdown(direction)?;
+        let s_aware = self.aware_slowdown(direction)?;
+        (s_stock > 1.0 + 1e-9).then(|| (s_stock - s_aware) / (s_stock - 1.0))
+    }
+}
+
+/// Per-configuration outcome of a differential experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialConfigOutcome {
+    /// The configuration.
+    pub config: AsymConfig,
+    /// One entry per repeat seed.
+    pub reps: Vec<DifferentialRep>,
+}
+
+impl DifferentialConfigOutcome {
+    /// Number of runs (out of `4 × reps`) in `class`.
+    pub fn count(&self, class: RunClass) -> usize {
+        self.reps
+            .iter()
+            .flat_map(|r| r.records())
+            .filter(|r| r.class == class)
+            .count()
+    }
+
+    /// Mean absorption across the repeats where it is defined.
+    pub fn mean_absorption(&self, direction: Direction) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .reps
+            .iter()
+            .filter_map(|r| r.absorption(direction))
+            .collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    fn faulted_cov(&self, pick: impl Fn(&DifferentialRep) -> &RunRecord) -> Option<f64> {
+        let vals: Vec<f64> = self.reps.iter().filter_map(|r| pick(r).value).collect();
+        (vals.len() >= 2).then(|| Samples::new(vals).cov())
+    }
+
+    /// Run-to-run CoV of the stock kernel's faulted metric across repeats.
+    pub fn stock_faulted_cov(&self) -> Option<f64> {
+        self.faulted_cov(|r| &r.stock_faulted)
+    }
+
+    /// Run-to-run CoV of the aware kernel's faulted metric across repeats.
+    pub fn aware_faulted_cov(&self) -> Option<f64> {
+        self.faulted_cov(|r| &r.aware_faulted)
+    }
+
+    /// Stability delta under faults: stock CoV minus aware CoV across the
+    /// repeat seeds. Positive means the aware kernel is *steadier* under
+    /// the same fault schedules. `None` with fewer than two completed
+    /// repeats on either side.
+    pub fn stability_delta(&self) -> Option<f64> {
+        Some(self.stock_faulted_cov()? - self.aware_faulted_cov()?)
+    }
+}
+
+/// The full outcome of [`run_experiment_differential`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialExperiment {
+    /// Workload name.
+    pub workload: String,
+    /// Metric unit.
+    pub unit: String,
+    /// Metric direction.
+    pub direction: Direction,
+    /// Per-configuration outcomes, in the order configurations were given.
+    pub outcomes: Vec<DifferentialConfigOutcome>,
+}
+
+impl DifferentialExperiment {
+    /// The outcome for `config`, if it was part of the experiment.
+    pub fn outcome(&self, config: AsymConfig) -> Option<&DifferentialConfigOutcome> {
+        self.outcomes.iter().find(|o| o.config == config)
+    }
+
+    /// Number of runs (across all configurations) in `class`.
+    pub fn count(&self, class: RunClass) -> usize {
+        self.outcomes.iter().map(|o| o.count(class)).sum()
+    }
+
+    /// Total number of runs executed (4 per repeat per configuration).
+    pub fn total_runs(&self) -> usize {
+        self.outcomes.iter().map(|o| o.reps.len() * 4).sum()
+    }
+}
+
+impl fmt::Display for DifferentialExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] stock-vs-aware differential ({} configs, {}/{} runs completed)",
+            self.workload,
+            self.unit,
+            self.outcomes.len(),
+            self.count(RunClass::Completed),
+            self.total_runs(),
+        )?;
+        for o in &self.outcomes {
+            match o.mean_absorption(self.direction) {
+                Some(a) => writeln!(
+                    f,
+                    "  {:>8}: absorption {:+.2} stability-delta {}",
+                    o.config.to_string(),
+                    a,
+                    o.stability_delta()
+                        .map_or("n/a".to_string(), |d| format!("{d:+.4}")),
+                )?,
+                None => writeln!(f, "  {:>8}: absorption n/a", o.config.to_string())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the stock-vs-aware differential sweep: for every configuration
+/// and repeat seed, the workload executes four times — under
+/// [`SchedPolicy::os_default`] and [`SchedPolicy::asymmetry_aware`],
+/// each with no faults and under one *shared* [`FaultPlan`] — and the
+/// per-cell absorption and stability metrics fall out of the pairing.
+///
+/// The fault plan is derived **once** per (configuration, seed) from
+/// `options.planner` using a canonical stock-policy setup, then reused
+/// bit-for-bit for both policies, so the two kernels face the identical
+/// fault schedule. `options.runs` is the number of repeat seeds per
+/// configuration.
+///
+/// Retries (up to `options.retries`) never reseed — that would break the
+/// same-seed pairing — and never soften the plan — that would break the
+/// identical-plan pairing. The only escalation is budget doubling on
+/// [`RunClass::TimeLimit`]; any other failure is recorded as-is and the
+/// affected metrics report `None`.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or `options.runs` is zero.
+pub fn run_experiment_differential(
+    workload: &dyn Workload,
+    configs: &[AsymConfig],
+    options: &ResilientOptions,
+) -> DifferentialExperiment {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    assert!(options.runs > 0, "need at least one run");
+
+    // One slot per (config, repeat); the policy field is the canonical
+    // stock policy used only to derive the shared fault plan.
+    let slots: Vec<RunSetup> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(j, &config)| {
+            (0..options.runs).map(move |i| {
+                RunSetup::new(
+                    config,
+                    SchedPolicy::os_default(),
+                    options.base_seed + j as u64 * 1000 + i as u64,
+                )
+            })
+        })
+        .collect();
+
+    let reps: Vec<DifferentialRep> = if options.parallel {
+        run_parallel_with(&slots, |s| run_differential_rep(workload, s, options))
+    } else {
+        slots
+            .iter()
+            .map(|s| run_differential_rep(workload, s, options))
+            .collect()
+    };
+
+    let outcomes = configs
+        .iter()
+        .enumerate()
+        .map(|(j, &config)| DifferentialConfigOutcome {
+            config,
+            reps: reps[j * options.runs..(j + 1) * options.runs].to_vec(),
+        })
+        .collect();
+
+    DifferentialExperiment {
+        workload: workload.name().to_string(),
+        unit: workload.unit().to_string(),
+        direction: workload.direction(),
+        outcomes,
+    }
+}
+
+/// Executes the four runs of one differential repeat.
+fn run_differential_rep(
+    workload: &dyn Workload,
+    slot: &RunSetup,
+    options: &ResilientOptions,
+) -> DifferentialRep {
+    let plan = options.planner.as_ref().map(|planner| planner(slot));
+    let run = |policy: SchedPolicy, plan: Option<&FaultPlan>| -> RunRecord {
+        let setup = RunSetup::new(slot.config, policy, slot.seed);
+        let mut attempts = 0u32;
+        let mut budget_factor = 1u32;
+        loop {
+            attempts += 1;
+            let (class, value) =
+                attempt_run(workload, &setup, options, budget_factor, plan.cloned());
+            let escalatable = class == RunClass::TimeLimit && budget_factor < MAX_BUDGET_FACTOR;
+            if class == RunClass::Completed || attempts > options.retries || !escalatable {
+                return RunRecord {
+                    seed: setup.seed,
+                    attempts,
+                    class,
+                    value,
+                };
+            }
+            budget_factor *= 2;
+        }
+    };
+    DifferentialRep {
+        seed: slot.seed,
+        stock_clean: run(SchedPolicy::os_default(), None),
+        stock_faulted: run(SchedPolicy::os_default(), plan.as_ref()),
+        aware_clean: run(SchedPolicy::asymmetry_aware(), None),
+        aware_faulted: run(SchedPolicy::asymmetry_aware(), plan.as_ref()),
+    }
 }
 
 #[cfg(test)]
@@ -1138,5 +1472,253 @@ mod tests {
         // exactly the same simulated instant.
         let s = a.outcomes[0].completed_samples().expect("samples");
         assert!(s.values()[0] != s.values()[1]);
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive escalation and the differential harness
+    // ------------------------------------------------------------------
+
+    use asym_sim::{CoreId, FaultKind, FaultPlan};
+
+    /// A single thread computing a fixed 3 ms of simulated work.
+    struct SlowButSteady;
+    impl Workload for SlowButSteady {
+        fn name(&self) -> &str {
+            "slow-but-steady"
+        }
+        fn unit(&self) -> &str {
+            "seconds"
+        }
+        fn direction(&self) -> Direction {
+            Direction::LowerIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            let machine = MachineSpec::symmetric(1, Speed::FULL);
+            let mut k = Kernel::new(machine, setup.policy, setup.seed);
+            let mut left = 6u32;
+            k.spawn(
+                FnThread::new("w", move |_cx| {
+                    if left == 0 {
+                        Step::Done
+                    } else {
+                        left -= 1;
+                        Step::Compute(Cycles::from_millis_at_full_speed(0.5))
+                    }
+                }),
+                SpawnOptions::new(),
+            );
+            k.run();
+            RunResult::new(k.now().as_secs_f64())
+        }
+    }
+
+    #[test]
+    fn time_limit_retries_widen_the_budget_without_reseeding() {
+        // 3 ms of work against a 2 ms budget: the first attempt is cut
+        // off as TimeLimit, the retry doubles the budget to 4 ms and
+        // completes — on the SAME seed, because the workload was never
+        // at fault.
+        let exp = run_experiment_resilient(
+            &SlowButSteady,
+            &[AsymConfig::new(1, 0, 8)],
+            SchedPolicy::os_default(),
+            &ResilientOptions::new(1)
+                .sim_time_budget(SimDuration::from_millis(2))
+                .retries(1)
+                .sequential(),
+        );
+        assert_eq!(exp.count(RunClass::Completed), 1);
+        let r = &exp.outcomes[0].records[0];
+        assert_eq!(r.attempts, 2);
+        assert!(r.seed < RETRY_SEED_STRIDE, "budget retry must not reseed");
+        assert!((r.value.unwrap() - 0.003).abs() < 1e-9);
+    }
+
+    /// A producer computes 1 ms then opens a flag a kill-exempt poller
+    /// waits on. Killing the producer strands the poller forever.
+    struct NeedsProducer;
+    impl Workload for NeedsProducer {
+        fn name(&self) -> &str {
+            "needs-producer"
+        }
+        fn unit(&self) -> &str {
+            "seconds"
+        }
+        fn direction(&self) -> Direction {
+            Direction::LowerIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            use std::cell::Cell;
+            use std::rc::Rc;
+            let machine = MachineSpec::symmetric(2, Speed::FULL);
+            let mut k = Kernel::new(machine, setup.policy, setup.seed);
+            let flag = Rc::new(Cell::new(false));
+            let produced = flag.clone();
+            let mut steps = 2u32;
+            k.spawn(
+                FnThread::new("producer", move |_cx| {
+                    if steps > 0 {
+                        steps -= 1;
+                        Step::Compute(Cycles::from_millis_at_full_speed(0.5))
+                    } else {
+                        produced.set(true);
+                        Step::Done
+                    }
+                }),
+                SpawnOptions::new(),
+            );
+            k.spawn(
+                FnThread::new("poller", move |_cx| {
+                    if flag.get() {
+                        Step::Done
+                    } else {
+                        Step::Sleep(SimDuration::from_micros(100))
+                    }
+                }),
+                SpawnOptions::new().kill_exempt(),
+            );
+            k.run();
+            RunResult::new(k.now().as_secs_f64())
+        }
+    }
+
+    #[test]
+    fn stalled_retries_soften_the_plan_without_reseeding() {
+        // The plan always kills the producer (the only non-exempt
+        // thread), stranding the poller until the watchdog fires. A
+        // reseed-only retry policy would stall forever — the planner
+        // ignores the seed — so completing on attempt 2 with the
+        // original seed proves the retry dropped the kills instead.
+        let planner = |_setup: &RunSetup| {
+            let mut plan = FaultPlan::new();
+            plan.inject(
+                SimTime::ZERO + SimDuration::from_micros(100),
+                FaultKind::KillThread { victim: 0 },
+            );
+            plan
+        };
+        let exp = run_experiment_resilient(
+            &NeedsProducer,
+            &[AsymConfig::new(2, 0, 8)],
+            SchedPolicy::os_default(),
+            &ResilientOptions::new(1)
+                .watchdog(SimDuration::from_millis(5))
+                .sim_time_budget(SimDuration::from_millis(500))
+                .fault_planner(planner)
+                .retries(1)
+                .sequential(),
+        );
+        assert_eq!(exp.count(RunClass::Completed), 1);
+        let r = &exp.outcomes[0].records[0];
+        assert_eq!(r.attempts, 2);
+        assert!(r.seed < RETRY_SEED_STRIDE, "soften retry must not reseed");
+    }
+
+    /// Throughput 1000 when clean; faults cost a policy-dependent
+    /// penalty (stock 50%, aware 10%) so the expected absorption is
+    /// exactly (1.5 − 1.1) / (1.5 − 1) = 0.8.
+    struct PolicySensitive;
+    impl Workload for PolicySensitive {
+        fn name(&self) -> &str {
+            "policy-sensitive"
+        }
+        fn unit(&self) -> &str {
+            "ops/s"
+        }
+        fn direction(&self) -> Direction {
+            Direction::HigherIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            let machine = MachineSpec::symmetric(2, Speed::FULL);
+            let mut k = Kernel::new(machine, setup.policy, setup.seed);
+            let mut left = 10u32;
+            k.spawn(
+                FnThread::new("w", move |_cx| {
+                    if left == 0 {
+                        Step::Done
+                    } else {
+                        left -= 1;
+                        Step::Compute(Cycles::from_millis_at_full_speed(0.5))
+                    }
+                }),
+                SpawnOptions::new(),
+            );
+            k.run();
+            let penalty = if k.stats().faults_injected == 0 {
+                0.0
+            } else if setup.policy == SchedPolicy::asymmetry_aware() {
+                0.1
+            } else {
+                0.5
+            };
+            RunResult::new(1000.0 / (1.0 + penalty))
+        }
+    }
+
+    #[test]
+    fn differential_pairs_policies_on_identical_seeds_and_plans() {
+        let planner = |_setup: &RunSetup| {
+            let mut plan = FaultPlan::new();
+            plan.inject(
+                SimTime::ZERO + SimDuration::from_millis(1),
+                FaultKind::CoreOffline { core: CoreId(1) },
+            );
+            plan
+        };
+        let opts = || {
+            ResilientOptions::new(3)
+                .sim_time_budget(SimDuration::from_secs(1))
+                .fault_planner(planner)
+                .sequential()
+        };
+        let configs = [AsymConfig::new(2, 0, 8)];
+        let exp = run_experiment_differential(&PolicySensitive, &configs, &opts());
+
+        // 1 config × 3 repeats × 4 runs, all completed.
+        assert_eq!(exp.total_runs(), 12);
+        assert_eq!(exp.count(RunClass::Completed), 12);
+        let o = &exp.outcomes[0];
+        assert_eq!(o.reps.len(), 3);
+        for rep in &o.reps {
+            // All four runs of a repeat share one seed — the pairing
+            // the absorption metric depends on.
+            for r in rep.records() {
+                assert_eq!(r.seed, rep.seed);
+            }
+            assert!((rep.stock_slowdown(exp.direction).unwrap() - 1.5).abs() < 1e-9);
+            assert!((rep.aware_slowdown(exp.direction).unwrap() - 1.1).abs() < 1e-9);
+            assert!((rep.absorption(exp.direction).unwrap() - 0.8).abs() < 1e-9);
+        }
+        assert!((o.mean_absorption(exp.direction).unwrap() - 0.8).abs() < 1e-9);
+        // The synthetic metric is seed-independent, so both faulted
+        // series are perfectly stable.
+        assert!(o.stability_delta().unwrap().abs() < 1e-12);
+
+        // Deterministic, and identical whether run in parallel or not.
+        assert_eq!(
+            exp,
+            run_experiment_differential(&PolicySensitive, &configs, &opts())
+        );
+        let par = ResilientOptions::new(3)
+            .sim_time_budget(SimDuration::from_secs(1))
+            .fault_planner(planner);
+        assert_eq!(
+            exp,
+            run_experiment_differential(&PolicySensitive, &configs, &par)
+        );
+    }
+
+    #[test]
+    fn differential_reports_none_when_stock_is_unaffected() {
+        // No planner ⇒ faulted runs equal clean runs ⇒ S_stock = 1 and
+        // there is no slowdown to absorb.
+        let exp = run_experiment_differential(
+            &PolicySensitive,
+            &[AsymConfig::new(2, 0, 8)],
+            &ResilientOptions::new(2).sequential(),
+        );
+        assert_eq!(exp.count(RunClass::Completed), 8);
+        assert!(exp.outcomes[0].mean_absorption(exp.direction).is_none());
+        assert!(exp.outcomes[0].reps[0].absorption(exp.direction).is_none());
     }
 }

@@ -59,9 +59,10 @@ mod workload;
 
 pub use config::{AsymConfig, ParseConfigError};
 pub use experiment::{
-    run_experiment, run_experiment_resilient, ConfigOutcome, Experiment, ExperimentOptions,
-    FaultPlanner, ResilientConfigOutcome, ResilientExperiment, ResilientOptions, RunClass,
-    RunObserver, RunRecord,
+    run_experiment, run_experiment_differential, run_experiment_resilient, ConfigOutcome,
+    DifferentialConfigOutcome, DifferentialExperiment, DifferentialRep, Experiment,
+    ExperimentOptions, FaultPlanner, ResilientConfigOutcome, ResilientExperiment, ResilientOptions,
+    RunClass, RunObserver, RunRecord,
 };
 pub use metrics::{Direction, Samples, Scalability, Stability};
 pub use summary::{SummaryRow, Verdict, WorkloadClass};

@@ -292,6 +292,9 @@ struct Thread {
     state: TState,
     pending: Pending,
     affinity: CoreMask,
+    /// Shielded from injected `KillThread` faults (external clients,
+    /// drivers, and supervisor processes).
+    kill_exempt: bool,
     last_core: Option<usize>,
     state_since: SimTime,
     /// When the thread last executed on a core (cache-hotness clock).
@@ -349,6 +352,10 @@ pub struct KernelStats {
     pub events: u64,
     /// Faults applied from the fault plan (skipped/no-op faults included).
     pub faults_injected: u64,
+    /// Threads terminated by injected `KillThread` faults. Workloads read
+    /// this after a run to report lost workers instead of asserting
+    /// all-done completion.
+    pub threads_killed: u64,
     /// Times the kernel widened an unschedulable affinity mask.
     pub affinity_overrides: u64,
     /// Per-core busy time, indexed by core.
@@ -671,6 +678,7 @@ impl Kernel {
             state: TState::Runnable(0), // placed below
             pending: Pending::Fresh,
             affinity: opts.affinity,
+            kill_exempt: opts.kill_exempt,
             last_core: None,
             state_since: self.time,
             last_ran: self.time,
@@ -1170,18 +1178,22 @@ impl Kernel {
         self.mark_dispatch(c);
     }
 
-    /// Kills one live thread, chosen as `victim` modulo the live count
-    /// (deterministic given the injection time). The thread is removed
-    /// from whatever structure holds it — core, run queue, wait queue, or
-    /// sleep timer — and marked done.
+    /// Kills one live, non-exempt thread, chosen as `victim` modulo the
+    /// killable count (deterministic given the injection time). The thread
+    /// is removed from whatever structure holds it — core, run queue, wait
+    /// queue, or sleep timer — and marked done. Every wait queue is then
+    /// notified so survivors blocked on the dead thread (barrier peers,
+    /// lock waiters, queue consumers) re-check their predicates and
+    /// observe the loss; the universal recheck-loop discipline makes those
+    /// spurious wakeups safe.
     fn fault_kill(&mut self, victim: u64) {
-        if self.live_threads == 0 {
-            return;
-        }
         let live: Vec<ThreadId> = (0..self.threads.len())
             .map(ThreadId)
-            .filter(|t| self.threads[t.0].state != TState::Done)
+            .filter(|t| self.threads[t.0].state != TState::Done && !self.threads[t.0].kill_exempt)
             .collect();
+        if live.is_empty() {
+            return;
+        }
         let tid = live[(victim % live.len() as u64) as usize];
         match self.threads[tid.0].state {
             TState::Running(core) => {
@@ -1213,8 +1225,16 @@ impl Kernel {
         th.stats.finished_at = Some(self.time);
         th.body = None;
         self.live_threads -= 1;
+        self.stats.threads_killed += 1;
         self.trace(TraceEvent::ThreadKilled { tid });
         self.trace(TraceEvent::Done { tid });
+        // Kill broadcast: wake everyone so recovery code in workloads and
+        // sync primitives can run (deterministic: queues in index order).
+        for w in 0..self.waits.len() {
+            if !self.waits[w].is_empty() {
+                self.notify_all_from(WaitId(w), None, None);
+            }
+        }
     }
 
     /// Re-places a thread displaced from `from` (offlined) onto an online
@@ -2001,6 +2021,19 @@ impl ThreadCx<'_> {
     /// The number of threads currently blocked on `wait`.
     pub fn waiter_count(&self, wait: WaitId) -> usize {
         self.kernel.waiter_count(wait)
+    }
+
+    /// Returns `true` once `tid` has finished (normally or by an injected
+    /// kill) — the probe workload supervisors use to reap lost workers.
+    pub fn is_finished(&self, tid: ThreadId) -> bool {
+        self.kernel.is_finished(tid)
+    }
+
+    /// How many threads injected faults have killed so far. Supervisors
+    /// compare snapshots of this counter to trigger reap passes only when
+    /// something actually died.
+    pub fn killed_count(&self) -> u64 {
+        self.kernel.stats.threads_killed
     }
 
     /// Changes a thread's CPU affinity.

@@ -173,6 +173,12 @@ pub struct SpawnOptions {
     /// load balancing). Ignored for threads spawned from outside the
     /// simulation.
     pub on_parent_core: bool,
+    /// Exempt the thread from [`FaultKind::KillThread`](asym_sim::FaultKind)
+    /// faults. Models actors that injected kills cannot reach: external
+    /// clients and drivers (they live on other machines) and supervisor
+    /// processes (the benchmark harness itself). Worker threads stay
+    /// killable.
+    pub kill_exempt: bool,
 }
 
 impl SpawnOptions {
@@ -182,6 +188,7 @@ impl SpawnOptions {
             affinity: CoreMask::ALL,
             weight: 1,
             on_parent_core: false,
+            kill_exempt: false,
         }
     }
 
@@ -194,6 +201,12 @@ impl SpawnOptions {
     /// Starts the child on the spawning thread's core (fork semantics).
     pub fn on_parent_core(mut self) -> Self {
         self.on_parent_core = true;
+        self
+    }
+
+    /// Shields the thread from injected `KillThread` faults.
+    pub fn kill_exempt(mut self) -> Self {
+        self.kill_exempt = true;
         self
     }
 }
@@ -236,9 +249,11 @@ mod tests {
     #[test]
     fn spawn_options_builder() {
         let mask = CoreMask::single(asym_sim::CoreId(1));
-        let opts = SpawnOptions::new().affinity(mask);
+        let opts = SpawnOptions::new().affinity(mask).kill_exempt();
         assert_eq!(opts.affinity, mask);
+        assert!(opts.kill_exempt);
         assert_eq!(SpawnOptions::default().affinity, CoreMask::ALL);
+        assert!(!SpawnOptions::default().kill_exempt);
     }
 
     #[test]

@@ -47,4 +47,6 @@ mod team;
 
 pub use program::{OmpProgram, OmpProgramBuilder, Region};
 pub use schedule::{LoopSchedule, LoopState};
-pub use team::{run_program, spawn_team, TeamHandle, DEFAULT_DISPATCH_OVERHEAD};
+pub use team::{
+    run_program, run_program_tolerant, spawn_team, TeamHandle, TeamRun, DEFAULT_DISPATCH_OVERHEAD,
+};

@@ -23,6 +23,15 @@ struct TeamShared {
     /// a new step).
     loop_states: Vec<RefCell<Option<(u64, LoopState)>>>,
     chunks_total: RefCell<u64>,
+    /// Worker thread ids in rank order, filled right after spawning.
+    tids: RefCell<Vec<ThreadId>>,
+    /// Per-rank: finished the whole program normally.
+    done_flags: RefCell<Vec<bool>>,
+    /// Per-rank: found dead by a survivor's reap pass.
+    reaped: RefCell<Vec<bool>>,
+    /// Kernel kill count at the last reap pass, so workers only scan for
+    /// corpses when a fault actually killed something.
+    killed_seen: RefCell<u64>,
 }
 
 impl TeamShared {
@@ -81,16 +90,49 @@ impl OmpWorker {
     fn advance_region(&mut self) {
         self.region += 1;
     }
+
+    /// Folds teammates killed by injected faults out of the team: each
+    /// corpse gives up its barrier seat (rescinding any pending arrival),
+    /// releases the critical lock if it died holding it, and has the
+    /// completion latch counted down on its behalf. Reaping is idempotent
+    /// per corpse and runs only when the kernel's kill count moved.
+    fn reap_dead(&self, cx: &mut ThreadCx<'_>) {
+        let killed = cx.killed_count();
+        if killed == *self.shared.killed_seen.borrow() {
+            return;
+        }
+        *self.shared.killed_seen.borrow_mut() = killed;
+        let tids = self.shared.tids.borrow().clone();
+        for (rank, &tid) in tids.iter().enumerate() {
+            let newly_dead = {
+                let done = self.shared.done_flags.borrow();
+                let mut reaped = self.shared.reaped.borrow_mut();
+                if !done[rank] && !reaped[rank] && cx.is_finished(tid) {
+                    reaped[rank] = true;
+                    true
+                } else {
+                    false
+                }
+            };
+            if newly_dead {
+                self.barrier.remove_party(cx, tid);
+                self.critical.recover(cx, tid);
+                self.latch.count_down(cx);
+            }
+        }
+    }
 }
 
 impl ThreadBody for OmpWorker {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        self.reap_dead(cx);
         loop {
             // Wrap to the next time step / detect completion.
             if self.phase == Phase::Enter && self.region == self.shared.program.regions().len() {
                 self.region = 0;
                 self.step += 1;
                 if self.step == self.shared.program.time_steps() {
+                    self.shared.done_flags.borrow_mut()[self.rank] = true;
                     self.latch.count_down(cx);
                     return Step::Done;
                 }
@@ -204,6 +246,13 @@ impl TeamHandle {
     pub fn chunks_dispensed(&self) -> u64 {
         *self.shared.chunks_total.borrow()
     }
+
+    /// Workers that did not finish the program normally — killed by
+    /// injected faults (whether or not a survivor reaped them yet).
+    pub fn lost_workers(&self) -> u64 {
+        let done = self.shared.done_flags.borrow();
+        (self.shared.nthreads - done.iter().filter(|&&d| d).count()) as u64
+    }
 }
 
 impl fmt::Debug for TeamHandle {
@@ -244,8 +293,12 @@ pub fn spawn_team(
         dispatch_overhead,
         loop_states,
         chunks_total: RefCell::new(0),
+        tids: RefCell::new(Vec::new()),
+        done_flags: RefCell::new(vec![false; nthreads]),
+        reaped: RefCell::new(vec![false; nthreads]),
+        killed_seen: RefCell::new(0),
     });
-    let threads = (0..nthreads)
+    let threads: Vec<ThreadId> = (0..nthreads)
         .map(|rank| {
             kernel.spawn(
                 OmpWorker {
@@ -263,6 +316,7 @@ pub fn spawn_team(
             )
         })
         .collect();
+    *shared.tids.borrow_mut() = threads.clone();
     TeamHandle {
         threads,
         latch,
@@ -270,13 +324,24 @@ pub fn spawn_team(
     }
 }
 
+/// The outcome of a tolerant team run: how long it took and how many
+/// workers injected faults killed along the way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeamRun {
+    /// Elapsed simulated time from zero to the last thread exiting.
+    pub elapsed: SimDuration,
+    /// Workers that were killed instead of finishing the program.
+    pub lost_workers: u64,
+}
+
 /// Builds a kernel, runs `program` to completion with `nthreads` workers,
 /// and returns the elapsed simulated time.
 ///
 /// # Panics
 ///
-/// Panics if the program deadlocks (it cannot, unless the runtime itself
-/// is broken).
+/// Panics if the program deadlocks, stalls, or loses a worker to an
+/// injected kill. Use [`run_program_tolerant`] for runs under hostile
+/// fault plans.
 pub fn run_program(
     machine: asym_sim::MachineSpec,
     policy: asym_kernel::SchedPolicy,
@@ -285,6 +350,29 @@ pub fn run_program(
     nthreads: usize,
     dispatch_overhead: Cycles,
 ) -> SimDuration {
+    let run = run_program_tolerant(machine, policy, seed, program, nthreads, dispatch_overhead);
+    assert_eq!(run.lost_workers, 0, "OMP program lost workers to faults");
+    run.elapsed
+}
+
+/// Like [`run_program`], but tolerant of injected `KillThread` faults:
+/// killed workers are reaped by survivors (barrier seats returned, the
+/// critical lock recovered, the completion latch counted down on their
+/// behalf) and reported in [`TeamRun::lost_workers`] instead of wedging
+/// the run or failing an all-done assertion.
+///
+/// # Panics
+///
+/// Panics if the run still fails to complete — a genuine runtime bug or
+/// an exhausted sim-time budget.
+pub fn run_program_tolerant(
+    machine: asym_sim::MachineSpec,
+    policy: asym_kernel::SchedPolicy,
+    seed: u64,
+    program: OmpProgram,
+    nthreads: usize,
+    dispatch_overhead: Cycles,
+) -> TeamRun {
     let mut kernel = Kernel::new(machine, policy, seed);
     let team = spawn_team(&mut kernel, program, nthreads, dispatch_overhead);
     let outcome = kernel.run();
@@ -293,6 +381,10 @@ pub fn run_program(
         asym_kernel::RunOutcome::AllDone,
         "OMP program did not complete"
     );
-    debug_assert!(team.is_complete());
-    kernel.now().duration_since(asym_sim::SimTime::ZERO)
+    let lost_workers = team.lost_workers();
+    debug_assert!(lost_workers > 0 || team.is_complete());
+    TeamRun {
+        elapsed: kernel.now().duration_since(asym_sim::SimTime::ZERO),
+        lost_workers,
+    }
 }

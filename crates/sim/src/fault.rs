@@ -176,6 +176,39 @@ impl FaultPlan {
 
         plan
     }
+
+    /// A copy of the plan with every [`FaultKind::KillThread`] record
+    /// removed — the first rung of the resilient harness's softening
+    /// ladder when a run stalls under faults.
+    pub fn without_kills(&self) -> FaultPlan {
+        FaultPlan {
+            records: self
+                .records
+                .iter()
+                .filter(|r| !matches!(r.kind, FaultKind::KillThread { .. }))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// A copy of the plan with every hotplug record
+    /// ([`FaultKind::CoreOffline`] / [`FaultKind::CoreOnline`]) removed,
+    /// leaving only throttles and kills — the second softening rung.
+    pub fn without_hotplug(&self) -> FaultPlan {
+        FaultPlan {
+            records: self
+                .records
+                .iter()
+                .filter(|r| {
+                    !matches!(
+                        r.kind,
+                        FaultKind::CoreOffline { .. } | FaultKind::CoreOnline { .. }
+                    )
+                })
+                .copied()
+                .collect(),
+        }
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -222,6 +255,17 @@ impl FaultProfile {
             throttle_events: 4,
             hotplug_cycles: 1,
             thread_kills: 0,
+        }
+    }
+
+    /// The hostile sweep profile: the standard throttle/hotplug mix plus
+    /// `kills` thread kills landing in the middle half of `horizon`.
+    /// Workloads must survive losing workers (reporting them as lost)
+    /// rather than assert all-done completion.
+    pub fn with_kills(horizon: SimDuration, kills: u32) -> Self {
+        FaultProfile {
+            thread_kills: kills,
+            ..FaultProfile::hotplug_and_throttle(horizon)
         }
     }
 }
@@ -286,6 +330,104 @@ mod tests {
             r.kind,
             FaultKind::CoreOffline { .. } | FaultKind::CoreOnline { .. }
         )));
+    }
+
+    /// Replays a plan's hotplug records and returns the minimum number of
+    /// online cores ever reachable, assuming the kernel's rule of
+    /// refusing to offline the last online core.
+    fn min_online_during(plan: &FaultPlan, num_cores: usize) -> usize {
+        let mut online = vec![true; num_cores];
+        let mut min_online = num_cores;
+        for r in plan.records() {
+            match r.kind {
+                FaultKind::CoreOffline { core } => {
+                    let up = online.iter().filter(|&&o| o).count();
+                    if up > 1 && core.0 < num_cores {
+                        online[core.0] = false;
+                    }
+                }
+                FaultKind::CoreOnline { core } if core.0 < num_cores => {
+                    online[core.0] = true;
+                }
+                _ => {}
+            }
+            min_online = min_online.min(online.iter().filter(|&&o| o).count());
+        }
+        min_online
+    }
+
+    /// Hand-rolled property sweep (no proptest in this offline workspace):
+    /// across many seeds, machine sizes, and a hostile profile, generated
+    /// plans are time-ordered, never leave the machine with zero online
+    /// cores, and regenerate bit-identically from the same seed.
+    #[test]
+    fn generated_plans_hold_invariants_across_seeds() {
+        let profile = FaultProfile {
+            horizon: SimDuration::from_secs(2),
+            throttle_events: 6,
+            hotplug_cycles: 3,
+            thread_kills: 2,
+        };
+        for seed in 0..128u64 {
+            for num_cores in [1usize, 2, 4, 8] {
+                let plan = FaultPlan::generate(seed, num_cores, &profile);
+                assert!(
+                    plan.records().windows(2).all(|w| w[0].at <= w[1].at),
+                    "seed {seed}, {num_cores} cores: records out of time order"
+                );
+                assert!(
+                    min_online_during(&plan, num_cores) >= 1,
+                    "seed {seed}, {num_cores} cores: plan can offline the last core"
+                );
+                // Offline records only ever name in-range cores, so the
+                // last-core rule above is the only thing keeping a core up.
+                for r in plan.records() {
+                    if let FaultKind::CoreOffline { core } | FaultKind::CoreOnline { core } = r.kind
+                    {
+                        assert!(core.0 < num_cores, "seed {seed}: out-of-range hotplug");
+                    }
+                }
+                let again = FaultPlan::generate(seed, num_cores, &profile);
+                assert_eq!(
+                    plan, again,
+                    "seed {seed}, {num_cores} cores: regeneration not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softening_strips_only_the_targeted_faults() {
+        let profile = FaultProfile::with_kills(SimDuration::from_secs(2), 3);
+        for seed in 0..32u64 {
+            let plan = FaultPlan::generate(seed, 4, &profile);
+            let no_kills = plan.without_kills();
+            assert!(no_kills
+                .records()
+                .iter()
+                .all(|r| !matches!(r.kind, FaultKind::KillThread { .. })));
+            assert_eq!(
+                no_kills.len(),
+                plan.len() - 3,
+                "seed {seed}: exactly the kills are removed"
+            );
+            let no_hotplug = no_kills.without_hotplug();
+            assert!(no_hotplug.records().iter().all(|r| !matches!(
+                r.kind,
+                FaultKind::CoreOffline { .. } | FaultKind::CoreOnline { .. }
+            )));
+            assert!(no_hotplug.records().windows(2).all(|w| w[0].at <= w[1].at));
+        }
+    }
+
+    #[test]
+    fn with_kills_extends_the_standard_profile() {
+        let horizon = SimDuration::from_secs(1);
+        let hostile = FaultProfile::with_kills(horizon, 2);
+        let standard = FaultProfile::hotplug_and_throttle(horizon);
+        assert_eq!(hostile.throttle_events, standard.throttle_events);
+        assert_eq!(hostile.hotplug_cycles, standard.hotplug_cycles);
+        assert_eq!(hostile.thread_kills, 2);
     }
 
     #[test]

@@ -8,10 +8,16 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use asym_kernel::ThreadId;
+
 #[derive(Debug)]
 struct Inner {
     parties: usize,
     arrived: usize,
+    /// The threads counted in `arrived` this generation, so a party that
+    /// dies mid-wait can have its arrival rescinded (not just its seat
+    /// removed) without desynchronizing the generation count.
+    arrived_tids: Vec<ThreadId>,
     generation: u64,
     wait: WaitId,
     crossings: u64,
@@ -66,6 +72,7 @@ impl SimBarrier {
             inner: Rc::new(RefCell::new(Inner {
                 parties,
                 arrived: 0,
+                arrived_tids: Vec::new(),
                 generation: 0,
                 wait,
                 crossings: 0,
@@ -78,8 +85,10 @@ impl SimBarrier {
         let (released, wait) = {
             let mut inner = self.inner.borrow_mut();
             inner.arrived += 1;
+            inner.arrived_tids.push(cx.thread_id());
             if inner.arrived == inner.parties {
                 inner.arrived = 0;
+                inner.arrived_tids.clear();
                 inner.generation += 1;
                 inner.crossings += 1;
                 (true, inner.wait)
@@ -107,6 +116,39 @@ impl SimBarrier {
     /// barrier generation has moved past `token` (the barrier opened).
     pub fn passed(&self, token: u64) -> bool {
         self.inner.borrow().generation > token
+    }
+
+    /// Removes a dead participant (killed by an injected fault) from the
+    /// barrier. The party count shrinks by one, and if the dead thread had
+    /// already arrived this generation its arrival is rescinded too.
+    /// Should the removal leave every surviving party already arrived, the
+    /// barrier opens immediately and the waiters are woken.
+    ///
+    /// Calling this for a thread that was never a party (or removing the
+    /// same dead thread twice) still shrinks the count — callers must
+    /// invoke it exactly once per dead participant.
+    pub fn remove_party(&self, cx: &mut ThreadCx<'_>, dead: ThreadId) {
+        let (open, wait) = {
+            let mut inner = self.inner.borrow_mut();
+            assert!(inner.parties > 0, "removing a party from an empty barrier");
+            inner.parties -= 1;
+            if let Some(pos) = inner.arrived_tids.iter().position(|&t| t == dead) {
+                inner.arrived_tids.swap_remove(pos);
+                inner.arrived -= 1;
+            }
+            if inner.parties > 0 && inner.arrived == inner.parties {
+                inner.arrived = 0;
+                inner.arrived_tids.clear();
+                inner.generation += 1;
+                inner.crossings += 1;
+                (true, inner.wait)
+            } else {
+                (false, inner.wait)
+            }
+        };
+        if open {
+            cx.notify_all(wait);
+        }
     }
 
     /// The wait queue used for blocking.

@@ -122,6 +122,28 @@ impl<T> SimQueue<T> {
         }
     }
 
+    /// Removes and returns every queued item without blocking.
+    ///
+    /// This is a recovery operation: a supervisor uses it to salvage the
+    /// backlog of a consumer that died (e.g. was killed by a fault) so the
+    /// work can be requeued elsewhere. Each item counts as popped and is
+    /// traced against the calling thread.
+    pub fn drain(&self, cx: &mut ThreadCx<'_>) -> Vec<T> {
+        let (items, wait) = {
+            let mut inner = self.inner.borrow_mut();
+            let items: Vec<T> = inner.items.drain(..).collect();
+            inner.popped += items.len() as u64;
+            (items, inner.not_empty)
+        };
+        for _ in &items {
+            cx.trace(TraceEvent::QueuePop {
+                tid: cx.thread_id(),
+                queue: wait,
+            });
+        }
+        items
+    }
+
     /// Marks the queue closed and wakes every blocked consumer so they can
     /// observe [`TryPop::Closed`].
     pub fn close(&self, cx: &mut ThreadCx<'_>) {

@@ -148,6 +148,37 @@ impl SimMutex {
         cx.notify_one(wait);
     }
 
+    /// Recovers the lock from a dead owner: if `dead` (killed by an
+    /// injected fault) holds the lock, ownership is cleared, the release
+    /// is traced on the dead thread's behalf, and one waiter is woken.
+    /// Returns `true` when a recovery actually happened. Any stale entry
+    /// for `dead` in the contention bookkeeping is dropped as well.
+    pub fn recover(&self, cx: &mut ThreadCx<'_>, dead: ThreadId) -> bool {
+        let recovered = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(pos) = inner.blocked.iter().position(|&t| t == dead) {
+                inner.blocked.swap_remove(pos);
+            }
+            if inner.owner == Some(dead) {
+                inner.owner = None;
+                Some(inner.wait)
+            } else {
+                None
+            }
+        };
+        match recovered {
+            Some(wait) => {
+                cx.trace(TraceEvent::LockRelease {
+                    tid: dead,
+                    lock: wait,
+                });
+                cx.notify_one(wait);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The wait queue used for blocking; return `Step::Block(wait_id())`
     /// after a failed [`SimMutex::try_lock`].
     pub fn wait_id(&self) -> WaitId {

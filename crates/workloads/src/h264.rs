@@ -15,7 +15,7 @@
 
 use crate::common::Counter;
 use asym_core::{Direction, RunResult, RunSetup, Workload};
-use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, WaitId};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId, WaitId};
 use asym_sim::{Cycles, Rng};
 use asym_sync::{SimQueue, TryPop};
 use std::cell::RefCell;
@@ -107,6 +107,9 @@ struct EncShared {
     /// still-incomplete older frame.
     watermark: Counter,
     main_wake: WaitId,
+    /// Per-encoder in-flight task, published before each compute burst so
+    /// the main thread can requeue the work of a killed encoder.
+    serving: RefCell<Vec<Option<Task>>>,
 }
 
 impl EncShared {
@@ -207,7 +210,10 @@ impl EncShared {
 
 struct Encoder {
     shared: Rc<EncShared>,
-    in_flight: Option<Task>,
+    /// This encoder's slot in `EncShared::serving` (doubles as the
+    /// in-flight task store, so a kill mid-compute leaves the task
+    /// visible for requeueing).
+    slot: usize,
     cost: Cycles,
     jitter: f64,
     rng: Rng,
@@ -216,7 +222,8 @@ struct Encoder {
 
 impl ThreadBody for Encoder {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
-        if let Some(task) = self.in_flight.take() {
+        let in_flight = self.shared.serving.borrow_mut()[self.slot].take();
+        if let Some(task) = in_flight {
             let (ready, frame_complete) = self.shared.complete(task);
             for t in ready {
                 self.shared.ready.push(cx, t);
@@ -227,7 +234,7 @@ impl ThreadBody for Encoder {
         }
         match self.shared.ready.try_pop(cx) {
             TryPop::Item(task) => {
-                self.in_flight = Some(task);
+                self.shared.serving.borrow_mut()[self.slot] = Some(task);
                 let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
                 Step::Compute(Cycles::new((self.cost.get() as f64 * jitter) as u64))
             }
@@ -251,6 +258,9 @@ enum MainPhase {
 }
 
 /// The main thread: serial pre/post-processing and frame-window control.
+/// Doubles as the supervisor under injected kills: it requeues the task a
+/// dead encoder was holding and, if the whole pool dies, encodes the
+/// remaining tasks itself so the job still completes.
 struct MainThread {
     shared: Rc<EncShared>,
     frames: u32,
@@ -260,10 +270,62 @@ struct MainThread {
     phase: MainPhase,
     pre: Cycles,
     post: Cycles,
+    encoder_tids: Vec<ThreadId>,
+    reaped: Vec<bool>,
+    killed_seen: u64,
+    /// Task the main thread itself is encoding (pool-exhausted fallback).
+    fallback: Option<Task>,
+    task_cost: Cycles,
+}
+
+impl MainThread {
+    /// Requeues the in-flight work of encoders killed by injected faults.
+    fn reap_dead(&mut self, cx: &mut ThreadCx<'_>) {
+        let killed = cx.killed_count();
+        if killed == self.killed_seen {
+            return;
+        }
+        self.killed_seen = killed;
+        for e in 0..self.encoder_tids.len() {
+            if !self.reaped[e] && cx.is_finished(self.encoder_tids[e]) {
+                self.reaped[e] = true;
+                let lost = self.shared.serving.borrow_mut()[e].take();
+                if let Some(task) = lost {
+                    self.shared.ready.push(cx, task);
+                }
+            }
+        }
+    }
+
+    fn pool_dead(&self) -> bool {
+        self.reaped.iter().all(|&r| r)
+    }
+
+    /// When no encoder survives, the main thread works the wavefront
+    /// itself; returns the compute step for the next task, if any.
+    fn encode_fallback(&mut self, cx: &mut ThreadCx<'_>) -> Option<Step> {
+        if !self.pool_dead() {
+            return None;
+        }
+        match self.shared.ready.try_pop(cx) {
+            TryPop::Item(task) => {
+                self.fallback = Some(task);
+                Some(Step::Compute(self.task_cost))
+            }
+            TryPop::Empty(_) | TryPop::Closed => None,
+        }
+    }
 }
 
 impl ThreadBody for MainThread {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        self.reap_dead(cx);
+        if let Some(task) = self.fallback.take() {
+            let (ready, _) = self.shared.complete(task);
+            for t in ready {
+                self.shared.ready.push(cx, t);
+            }
+        }
         loop {
             match self.phase {
                 MainPhase::PreProcess => {
@@ -305,6 +367,9 @@ impl ThreadBody for MainThread {
                         self.phase = MainPhase::PreProcess;
                         continue;
                     }
+                    if let Some(step) = self.encode_fallback(cx) {
+                        return step;
+                    }
                     return Step::Block(self.shared.main_wake);
                 }
                 MainPhase::PostProcess => {
@@ -321,6 +386,9 @@ impl ThreadBody for MainThread {
                     if self.next_frame < self.frames {
                         self.phase = MainPhase::PreProcess;
                         continue;
+                    }
+                    if let Some(step) = self.encode_fallback(cx) {
+                        return step;
                     }
                     return Step::Block(self.shared.main_wake);
                 }
@@ -375,6 +443,7 @@ impl Workload for H264 {
             complete_flags: RefCell::new(vec![false; p.frames as usize]),
             watermark: Counter::new(),
             main_wake,
+            serving: RefCell::new(vec![None; p.encoder_threads]),
         });
 
         let mut encoder_tids = Vec::new();
@@ -386,7 +455,7 @@ impl Workload for H264 {
             let tid = kernel.spawn(
                 Encoder {
                     shared: shared.clone(),
-                    in_flight: None,
+                    slot: e,
                     cost: p.task_cost,
                     jitter: p.jitter,
                     rng: seed_rng.fork(),
@@ -396,6 +465,8 @@ impl Workload for H264 {
             );
             encoder_tids.push(tid);
         }
+        // The main thread is the supervisor process: injected kills take
+        // encoders, never the control thread that reaps them.
         let main_tid = kernel.spawn(
             MainThread {
                 shared: shared.clone(),
@@ -406,8 +477,13 @@ impl Workload for H264 {
                 phase: MainPhase::PreProcess,
                 pre: p.pre_cost,
                 post: p.post_cost,
+                encoder_tids: encoder_tids.clone(),
+                reaped: vec![false; p.encoder_threads],
+                killed_seen: 0,
+                fallback: None,
+                task_cost: p.task_cost,
             },
-            SpawnOptions::new(),
+            SpawnOptions::new().kill_exempt(),
         );
 
         let outcome = kernel.run();
@@ -425,6 +501,7 @@ impl Workload for H264 {
             "H.264 encode did not complete"
         );
         assert_eq!(shared.frames_completed.get(), u64::from(p.frames));
+        let lost_workers = kernel.stats().threads_killed;
         let main_stats = kernel.thread_stats(main_tid);
         let encoder_migrations: u64 = encoder_tids
             .iter()
@@ -434,6 +511,7 @@ impl Workload for H264 {
             .with_extra("main_cpu_s", main_stats.cpu_time.as_secs_f64())
             .with_extra("main_blocked_s", main_stats.blocked_time.as_secs_f64())
             .with_extra("encoder_migrations", encoder_migrations as f64)
+            .with_extra("lost_workers", lost_workers as f64)
     }
 }
 

@@ -16,7 +16,7 @@
 
 use crate::common::{throughput_per_sec, Counter, DurationRecorder, Window};
 use asym_core::{Direction, RunResult, RunSetup, Workload};
-use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId};
 use asym_sim::{Cycles, Rng, SimDuration, SimTime};
 use asym_sync::{SimQueue, TryPop};
 use std::cell::RefCell;
@@ -116,6 +116,9 @@ struct JappsShared {
     all_response: RefCell<Vec<(SimTime, SimDuration)>>,
     /// Orders injected but not yet completed.
     in_flight: RefCell<i64>,
+    /// Per-worker registry of the order each pool thread is serving, so
+    /// the driver can salvage orders from workers killed by faults.
+    serving: RefCell<Vec<Option<Order>>>,
 }
 
 // ---------------------------------------------------------------------
@@ -130,11 +133,37 @@ struct Driver {
     feedback_interval: SimDuration,
     new_order_fraction: f64,
     next_feedback: SimTime,
+    worker_tids: Vec<ThreadId>,
+    reaped: Vec<bool>,
+    killed_seen: u64,
     rng: Rng,
+}
+
+impl Driver {
+    /// Requeues the in-flight orders of pool workers killed by faults.
+    /// The real SPEC driver re-submits transactions that time out; here
+    /// the salvage keeps `in_flight` truthful so the feedback loop is not
+    /// throttled forever by phantom backlog.
+    fn reap_dead(&mut self, cx: &mut ThreadCx<'_>) {
+        if cx.killed_count() == self.killed_seen {
+            return;
+        }
+        self.killed_seen = cx.killed_count();
+        for w in 0..self.worker_tids.len() {
+            if self.reaped[w] || !cx.is_finished(self.worker_tids[w]) {
+                continue;
+            }
+            self.reaped[w] = true;
+            if let Some(order) = self.shared.serving.borrow_mut()[w].take() {
+                self.shared.queue.push(cx, order);
+            }
+        }
+    }
 }
 
 impl ThreadBody for Driver {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        self.reap_dead(cx);
         // Feedback: examine recent completions; scale the injection rate
         // down when responses blow past the limit, recover toward the
         // specified rate when healthy.
@@ -189,6 +218,7 @@ struct PoolWorker {
     stages: u32,
     backend_latency: SimDuration,
     current: Option<Order>,
+    slot: usize,
     stage: u32,
     /// The just-finished compute stage is followed by a backend round
     /// trip before the next stage starts.
@@ -205,6 +235,7 @@ impl ThreadBody for PoolWorker {
                 match self.shared.queue.try_pop(cx) {
                     TryPop::Item(order) => {
                         self.current = Some(order);
+                        self.shared.serving.borrow_mut()[self.slot] = Some(order);
                         self.stage = 0;
                         self.io_pending = false;
                         continue;
@@ -236,6 +267,7 @@ impl ThreadBody for PoolWorker {
                     }
                 }
                 self.current = None;
+                self.shared.serving.borrow_mut()[self.slot] = None;
                 continue;
             }
             // Execute the next compute stage; all but the final stage are
@@ -288,10 +320,12 @@ impl Workload for JAppServer {
             mfg_response: DurationRecorder::new(),
             all_response: RefCell::new(Vec::new()),
             in_flight: RefCell::new(0),
+            serving: RefCell::new(vec![None; p.pool_size]),
         });
 
+        let mut worker_tids = Vec::with_capacity(p.pool_size);
         for w in 0..p.pool_size {
-            kernel.spawn(
+            let tid = kernel.spawn(
                 PoolWorker {
                     shared: shared.clone(),
                     new_order_cost: p.new_order_cost,
@@ -299,6 +333,7 @@ impl Workload for JAppServer {
                     stages: p.stages,
                     backend_latency: p.backend_latency,
                     current: None,
+                    slot: w,
                     stage: 0,
                     io_pending: false,
                     rng: seed_rng.fork(),
@@ -307,7 +342,10 @@ impl Workload for JAppServer {
                 },
                 SpawnOptions::new(),
             );
+            worker_tids.push(tid);
         }
+        // The driver models the SPEC driver machine — external to the
+        // middle tier, so processor faults never kill it.
         kernel.spawn(
             Driver {
                 shared: shared.clone(),
@@ -317,9 +355,12 @@ impl Workload for JAppServer {
                 feedback_interval: p.feedback_interval,
                 new_order_fraction: p.new_order_fraction,
                 next_feedback: p.window.start(),
+                reaped: vec![false; worker_tids.len()],
+                worker_tids,
+                killed_seen: 0,
                 rng: seed_rng.fork(),
             },
-            SpawnOptions::new(),
+            SpawnOptions::new().kill_exempt(),
         );
 
         kernel.run_until(p.window.start());
@@ -346,6 +387,7 @@ impl Workload for JAppServer {
                 shared.mfg_response.percentile_secs(90.0) * 1e3,
             )
             .with_extra("mfg_max_ms", shared.mfg_response.max_secs() * 1e3)
+            .with_extra("lost_workers", kernel.stats().threads_killed as f64)
     }
 }
 

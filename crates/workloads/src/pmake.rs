@@ -11,8 +11,9 @@
 
 use crate::common::Counter;
 use asym_core::{Direction, RunResult, RunSetup, Workload};
-use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, WaitId};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId, WaitId};
 use asym_sim::{Cycles, Rng};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Tuning constants for the PMAKE model.
@@ -79,11 +80,15 @@ impl Pmake {
 struct MakeShared {
     finished_jobs: Counter,
     make_wake: WaitId,
+    /// Per-file success flags, so make can tell a compiler that finished
+    /// from one that was killed mid-compile (and re-fork the latter).
+    job_done: RefCell<Vec<bool>>,
 }
 
 /// One compiler process: compute, report, exit.
 struct CompileJob {
     shared: Rc<MakeShared>,
+    file: usize,
     work: Cycles,
     compiled: bool,
     name: String,
@@ -95,6 +100,7 @@ impl ThreadBody for CompileJob {
             self.compiled = true;
             return Step::Compute(self.work);
         }
+        self.shared.job_done.borrow_mut()[self.file] = true;
         self.shared.finished_jobs.incr();
         cx.notify_all(self.shared.make_wake);
         Step::Done
@@ -116,11 +122,19 @@ enum MakePhase {
 }
 
 /// The make process: parses, keeps `-j` jobs outstanding, then links.
+/// As the supervisor it is exempt from injected kills and re-forks any
+/// compiler process a fault terminates (a real make would fail the build;
+/// re-running the rule is the kill-tolerant completion mode).
 struct MakeProcess {
     shared: Rc<MakeShared>,
     costs: Vec<Cycles>,
     jobs: u32,
-    spawned: u32,
+    /// Next never-attempted file index.
+    next_file: usize,
+    /// Files whose compiler was killed, awaiting a re-fork.
+    retry: Vec<usize>,
+    /// In-flight compilers: (file, tid), purged as they exit.
+    active: Vec<(usize, ThreadId)>,
     fork_cost: Cycles,
     parse_cost: Cycles,
     link_steps: u32,
@@ -129,8 +143,32 @@ struct MakeProcess {
     parsed: bool,
 }
 
+impl MakeProcess {
+    /// Drops exited compilers from the in-flight list; ones that exited
+    /// without marking their file done were killed and get re-queued.
+    fn reap_jobs(&mut self, cx: &mut ThreadCx<'_>) {
+        let cx = &*cx;
+        let done = self.shared.job_done.borrow();
+        let retry = &mut self.retry;
+        self.active.retain(|&(file, tid)| {
+            if !cx.is_finished(tid) {
+                return true;
+            }
+            if !done[file] {
+                retry.push(file);
+            }
+            false
+        });
+    }
+
+    fn files_remaining(&self) -> bool {
+        self.next_file < self.costs.len() || !self.retry.is_empty()
+    }
+}
+
 impl ThreadBody for MakeProcess {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        self.reap_jobs(cx);
         loop {
             match self.phase {
                 MakePhase::Parse => {
@@ -141,40 +179,38 @@ impl ThreadBody for MakeProcess {
                     self.phase = MakePhase::Spawn;
                 }
                 MakePhase::Spawn => {
-                    let outstanding = u64::from(self.spawned) - self.shared.finished_jobs.get();
-                    if self.spawned as usize == self.costs.len() {
+                    if !self.files_remaining() || self.active.len() >= self.jobs as usize {
                         self.phase = MakePhase::WaitJobs;
                         continue;
                     }
-                    if outstanding >= u64::from(self.jobs) {
-                        self.phase = MakePhase::WaitJobs;
-                        continue;
-                    }
-                    // Fork+exec the next compiler. Exec-time balancing
-                    // (2.6's sched_exec) places the fresh process on a
-                    // least-loaded core — speed-agnostically.
-                    let work = self.costs[self.spawned as usize];
-                    let name = format!("cc-{}", self.spawned);
-                    self.spawned += 1;
-                    cx.spawn(
+                    // Fork+exec the next compiler (retries first). Exec-time
+                    // balancing (2.6's sched_exec) places the fresh process
+                    // on a least-loaded core — speed-agnostically.
+                    let file = self.retry.pop().unwrap_or_else(|| {
+                        let f = self.next_file;
+                        self.next_file += 1;
+                        f
+                    });
+                    let work = self.costs[file];
+                    let tid = cx.spawn(
                         CompileJob {
                             shared: self.shared.clone(),
+                            file,
                             work,
                             compiled: false,
-                            name,
+                            name: format!("cc-{file}"),
                         },
                         SpawnOptions::new(),
                     );
+                    self.active.push((file, tid));
                     return Step::Compute(self.fork_cost);
                 }
                 MakePhase::WaitJobs => {
-                    let all_spawned = self.spawned as usize == self.costs.len();
-                    let finished = self.shared.finished_jobs.get();
-                    if all_spawned && finished == self.costs.len() as u64 {
+                    if self.shared.finished_jobs.get() == self.costs.len() as u64 {
                         self.phase = MakePhase::Link(0);
                         continue;
                     }
-                    if !all_spawned && u64::from(self.spawned) - finished < u64::from(self.jobs) {
+                    if self.files_remaining() && self.active.len() < self.jobs as usize {
                         self.phase = MakePhase::Spawn;
                         continue;
                     }
@@ -233,13 +269,16 @@ impl Workload for Pmake {
         let shared = Rc::new(MakeShared {
             finished_jobs: Counter::new(),
             make_wake,
+            job_done: RefCell::new(vec![false; p.files as usize]),
         });
         kernel.spawn(
             MakeProcess {
                 shared: shared.clone(),
                 costs,
                 jobs: p.jobs,
-                spawned: 0,
+                next_file: 0,
+                retry: Vec::new(),
+                active: Vec::new(),
                 fork_cost: p.fork_cost,
                 parse_cost: p.parse_cost,
                 link_steps: p.link_steps,
@@ -247,7 +286,7 @@ impl Workload for Pmake {
                 phase: MakePhase::Parse,
                 parsed: false,
             },
-            SpawnOptions::new(),
+            SpawnOptions::new().kill_exempt(),
         );
 
         let outcome = kernel.run();
@@ -258,6 +297,7 @@ impl Workload for Pmake {
         );
         assert_eq!(shared.finished_jobs.get(), u64::from(p.files));
         RunResult::new(kernel.now().as_secs_f64())
+            .with_extra("lost_workers", kernel.stats().threads_killed as f64)
     }
 }
 

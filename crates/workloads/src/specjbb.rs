@@ -22,10 +22,10 @@
 
 use crate::common::{throughput_per_sec, Counter, Window};
 use asym_core::{Direction, RunResult, RunSetup, Workload};
-use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, WaitId};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId, WaitId};
 use asym_sim::{Cycles, Rng, SimDuration};
 use asym_sync::{Arrival, SimBarrier};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Which virtual machine the application server runs on.
@@ -168,6 +168,42 @@ struct JbbShared {
     relief: WaitId,
     gc_wake: WaitId,
     completed: Counter,
+    /// Registry of warehouse threads so survivors can reap faulted peers.
+    warehouse_tids: RefCell<Vec<ThreadId>>,
+    reaped: RefCell<Vec<bool>>,
+    collector_tid: Cell<Option<ThreadId>>,
+    collector_dead: Cell<bool>,
+    killed_seen: Cell<u64>,
+}
+
+impl JbbShared {
+    /// Removes warehouses killed by faults from the stop-the-world
+    /// barriers (so surviving warehouses keep collecting) and detects a
+    /// dead concurrent collector (so warehouses stop waiting for heap
+    /// relief that will never come).
+    fn reap_dead(&self, cx: &mut ThreadCx<'_>, stop: &SimBarrier, done: &SimBarrier) {
+        if cx.killed_count() == self.killed_seen.get() {
+            return;
+        }
+        self.killed_seen.set(cx.killed_count());
+        let tids: Vec<ThreadId> = self.warehouse_tids.borrow().clone();
+        for (i, &tid) in tids.iter().enumerate() {
+            if self.reaped.borrow()[i] || !cx.is_finished(tid) {
+                continue;
+            }
+            self.reaped.borrow_mut()[i] = true;
+            stop.remove_party(cx, tid);
+            done.remove_party(cx, tid);
+        }
+        // No relief notify is needed here: the kernel's kill broadcast has
+        // already woken every blocked thread, and each woken warehouse
+        // re-checks the stall condition against `collector_dead` itself.
+        if let Some(ctid) = self.collector_tid.get() {
+            if !self.collector_dead.get() && cx.is_finished(ctid) {
+                self.collector_dead.set(true);
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -210,6 +246,8 @@ impl Warehouse {
 
 impl ThreadBody for Warehouse {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        self.shared
+            .reap_dead(cx, &self.stop_barrier, &self.done_barrier);
         loop {
             match self.phase {
                 JbbPhase::StartTx => {
@@ -223,7 +261,8 @@ impl ThreadBody for Warehouse {
                         }
                         GcKind::ConcurrentGenerational => {
                             let mut heap = self.shared.heap.borrow_mut();
-                            if heap.bytes > self.stw_threshold {
+                            if heap.bytes > self.stw_threshold && !self.shared.collector_dead.get()
+                            {
                                 // Allocation outran the collector: stall
                                 // until it catches up.
                                 heap.stalls += 1;
@@ -247,7 +286,10 @@ impl ThreadBody for Warehouse {
                             }
                         }
                         GcKind::ConcurrentGenerational => {
-                            if heap.gc_idle && heap.bytes >= self.cycle_trigger {
+                            if heap.gc_idle
+                                && heap.bytes >= self.cycle_trigger
+                                && !self.shared.collector_dead.get()
+                            {
                                 heap.gc_idle = false;
                                 drop(heap);
                                 cx.notify_one(self.shared.gc_wake);
@@ -392,6 +434,11 @@ impl Workload for SpecJbb {
             relief,
             gc_wake,
             completed: Counter::new(),
+            warehouse_tids: RefCell::new(Vec::new()),
+            reaped: RefCell::new(vec![false; self.warehouses]),
+            collector_tid: Cell::new(None),
+            collector_dead: Cell::new(false),
+            killed_seen: Cell::new(0),
         });
 
         let stop_barrier = SimBarrier::new(&mut kernel, self.warehouses);
@@ -402,7 +449,7 @@ impl Workload for SpecJbb {
         let gc_share = Cycles::new(gc_total / self.warehouses as u64);
 
         for w in 0..self.warehouses {
-            kernel.spawn(
+            let tid = kernel.spawn(
                 Warehouse {
                     shared: shared.clone(),
                     gc: self.gc,
@@ -423,9 +470,10 @@ impl Workload for SpecJbb {
                 },
                 SpawnOptions::new(),
             );
+            shared.warehouse_tids.borrow_mut().push(tid);
         }
         if self.gc == GcKind::ConcurrentGenerational {
-            kernel.spawn(
+            let ctid = kernel.spawn(
                 ConcurrentCollector {
                     shared: shared.clone(),
                     cost_per_byte: self.params.concurrent_cost_per_byte,
@@ -436,6 +484,7 @@ impl Workload for SpecJbb {
                 },
                 SpawnOptions::new(),
             );
+            shared.collector_tid.set(Some(ctid));
         }
 
         kernel.run_until(self.params.window.start());
@@ -451,6 +500,7 @@ impl Workload for SpecJbb {
         .with_extra("stalls", heap.stalls as f64)
         .with_extra("collections", heap.collections as f64)
         .with_extra("backlog_hw", heap.backlog_high_water as f64)
+        .with_extra("lost_workers", kernel.stats().threads_killed as f64)
     }
 }
 

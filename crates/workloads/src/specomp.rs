@@ -22,7 +22,7 @@
 //! EXPERIMENTS.md); the *shape* across configurations is the result.
 
 use asym_core::{Direction, RunResult, RunSetup, Workload};
-use asym_omp::{run_program, LoopSchedule, OmpProgram, Region, DEFAULT_DISPATCH_OVERHEAD};
+use asym_omp::{run_program_tolerant, LoopSchedule, OmpProgram, Region, DEFAULT_DISPATCH_OVERHEAD};
 use asym_sim::Cycles;
 
 /// Names of the modelled SPEC OMP (medium) benchmarks, in the paper's
@@ -224,7 +224,7 @@ impl Workload for SpecOmp {
     }
 
     fn run(&self, setup: &RunSetup) -> RunResult {
-        let elapsed = run_program(
+        let run = run_program_tolerant(
             setup.config.machine(),
             setup.policy,
             setup.seed,
@@ -232,7 +232,8 @@ impl Workload for SpecOmp {
             self.threads,
             DEFAULT_DISPATCH_OVERHEAD,
         );
-        RunResult::new(elapsed.as_secs_f64())
+        RunResult::new(run.elapsed.as_secs_f64())
+            .with_extra("lost_workers", run.lost_workers as f64)
     }
 }
 

@@ -19,9 +19,11 @@
 //! The power run executes all 22 queries serially (single active user).
 
 use asym_core::{Direction, RunResult, RunSetup, Workload};
-use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId};
 use asym_sim::{CoreId, CoreMask, Cycles, Rng};
 use asym_sync::{SimLatch, SimQueue, TryPop};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Relative costs of the 22 TPC-H queries (q1..q22), roughly matching the
 /// spread of real power-run query times. One unit ≈ 0.4 full-speed core
@@ -166,20 +168,24 @@ struct SubQuery {
 
 struct ServerProcess {
     jobs: SimQueue<SubQuery>,
-    /// Latch of the job whose compute step just finished.
-    pending: Option<SimLatch>,
+    /// Per-process registry of in-flight sub-queries: this process
+    /// publishes the job it is computing so the coordinator can salvage it
+    /// if a fault kills the process mid-query.
+    serving: Rc<RefCell<Vec<Option<SubQuery>>>>,
+    slot: usize,
     name: String,
 }
 
 impl ThreadBody for ServerProcess {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
-        if let Some(latch) = self.pending.take() {
-            latch.count_down(cx);
+        if let Some(job) = self.serving.borrow_mut()[self.slot].take() {
+            job.done.count_down(cx);
         }
         match self.jobs.try_pop(cx) {
             TryPop::Item(job) => {
-                self.pending = Some(job.done);
-                Step::Compute(job.work)
+                let work = job.work;
+                self.serving.borrow_mut()[self.slot] = Some(job);
+                Step::Compute(work)
             }
             TryPop::Empty(step) => step,
             TryPop::Closed => Step::Done,
@@ -195,6 +201,14 @@ struct Coordinator {
     queries: Vec<usize>,
     next: usize,
     processes: Vec<SimQueue<SubQuery>>,
+    tids: Vec<ThreadId>,
+    dead: Vec<bool>,
+    serving: Rc<RefCell<Vec<Option<SubQuery>>>>,
+    killed_seen: u64,
+    /// Sub-queries salvaged from dead server processes, awaiting a new home.
+    lost: Vec<SubQuery>,
+    /// Latch of a salvaged sub-query the coordinator just computed itself.
+    fallback: Option<SimLatch>,
     shares: Vec<f64>,
     seconds_per_unit: f64,
     cost_multiplier: f64,
@@ -203,9 +217,54 @@ struct Coordinator {
     rng: Rng,
 }
 
+impl Coordinator {
+    /// Detects server processes killed by faults, salvages their queued and
+    /// in-flight sub-queries, and hands the orphans to surviving processes.
+    /// DB2's coordinator restarts failed agents the same way: the query
+    /// plan's pieces are re-dispatched, not abandoned.
+    fn reap_dead(&mut self, cx: &mut ThreadCx<'_>) {
+        if cx.killed_count() == self.killed_seen {
+            return;
+        }
+        self.killed_seen = cx.killed_count();
+        for i in 0..self.tids.len() {
+            if self.dead[i] || !cx.is_finished(self.tids[i]) {
+                continue;
+            }
+            self.dead[i] = true;
+            self.lost.extend(self.processes[i].drain(cx));
+            if let Some(job) = self.serving.borrow_mut()[i].take() {
+                self.lost.push(job);
+            }
+        }
+        let live: Vec<usize> = (0..self.tids.len()).filter(|&i| !self.dead[i]).collect();
+        if live.is_empty() {
+            return; // the coordinator will run the salvage itself
+        }
+        for (n, job) in self.lost.drain(..).enumerate() {
+            self.processes[live[n % live.len()]].push(cx, job);
+        }
+    }
+
+    /// With every server process dead, the coordinator executes salvaged
+    /// sub-queries inline, one compute step at a time.
+    fn salvage_step(&mut self) -> Option<Step> {
+        let job = self.lost.pop()?;
+        self.fallback = Some(job.done);
+        Some(Step::Compute(job.work))
+    }
+}
+
 impl ThreadBody for Coordinator {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        if let Some(latch) = self.fallback.take() {
+            latch.count_down(cx);
+        }
+        self.reap_dead(cx);
         loop {
+            if let Some(step) = self.salvage_step() {
+                return step;
+            }
             if let Some(latch) = &self.waiting {
                 match latch.wait_step() {
                     Ok(()) => self.waiting = None,
@@ -220,18 +279,29 @@ impl ThreadBody for Coordinator {
             }
             let q = self.queries[self.next];
             self.next += 1;
-            let latch = SimLatch::new(cx, self.processes.len() as u64);
+            let latch = SimLatch::new(cx, self.shares.len() as u64);
             let base_secs = QUERY_WEIGHTS[q] * self.seconds_per_unit * self.cost_multiplier;
+            let live: Vec<usize> = (0..self.processes.len())
+                .filter(|&i| !self.dead[i])
+                .collect();
             for (i, share) in self.shares.iter().enumerate() {
                 let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
                 let work = Cycles::from_millis_at_full_speed(base_secs * 1e3 * share * jitter);
-                self.processes[i].push(
-                    cx,
-                    SubQuery {
-                        work,
-                        done: latch.clone(),
-                    },
-                );
+                let job = SubQuery {
+                    work,
+                    done: latch.clone(),
+                };
+                // Never dispatch to a dead process: its queue has no
+                // consumer and the latch would wait forever. Re-bind the
+                // share to a surviving process, or run it inline when
+                // every server process is gone.
+                if !self.dead[i] {
+                    self.processes[i].push(cx, job);
+                } else if let Some(&alt) = live.get(i % live.len().max(1)) {
+                    self.processes[alt].push(cx, job);
+                } else {
+                    self.lost.push(job);
+                }
             }
             self.waiting = Some(latch);
         }
@@ -268,25 +338,35 @@ impl Workload for TpcH {
         // one rotation draw per run. This is the per-run lottery the
         // kernel cannot see past.
         let rotation = seed_rng.index(ncores);
+        let serving = Rc::new(RefCell::new(vec![None; self.parallelization]));
         let mut process_queues = Vec::with_capacity(self.parallelization);
+        let mut process_tids = Vec::with_capacity(self.parallelization);
         for i in 0..self.parallelization {
             let jobs: SimQueue<SubQuery> = SimQueue::new(&mut kernel);
             let core = CoreId((rotation + i) % ncores);
-            kernel.spawn(
+            let tid = kernel.spawn(
                 ServerProcess {
                     jobs: jobs.clone(),
-                    pending: None,
+                    serving: serving.clone(),
+                    slot: i,
                     name: format!("db2-proc{i}"),
                 },
                 SpawnOptions::new().affinity(CoreMask::single(core)),
             );
             process_queues.push(jobs);
+            process_tids.push(tid);
         }
         kernel.spawn(
             Coordinator {
                 queries: self.query_indices(),
                 next: 0,
                 processes: process_queues,
+                dead: vec![false; process_tids.len()],
+                tids: process_tids,
+                serving,
+                killed_seen: 0,
+                lost: Vec::new(),
+                fallback: None,
                 shares: self.subquery_shares(),
                 seconds_per_unit: self.params.seconds_per_unit,
                 cost_multiplier: self.cost_multiplier(),
@@ -294,7 +374,7 @@ impl Workload for TpcH {
                 waiting: None,
                 rng: seed_rng.fork(),
             },
-            SpawnOptions::new(),
+            SpawnOptions::new().kill_exempt(),
         );
 
         let outcome = kernel.run();
@@ -304,6 +384,7 @@ impl Workload for TpcH {
             "TPC-H run did not complete"
         );
         RunResult::new(kernel.now().as_secs_f64())
+            .with_extra("lost_workers", kernel.stats().threads_killed as f64)
     }
 }
 

@@ -22,10 +22,10 @@
 
 use crate::common::Counter;
 use asym_core::{Direction, RunResult, RunSetup, Workload};
-use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx};
+use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId};
 use asym_sim::{Cycles, Rng, SimDuration, SimTime};
 use asym_sync::{SimQueue, TryPop};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -155,12 +155,23 @@ struct HttpShared {
     total: u64,
     done: RefCell<bool>,
     finished_at: RefCell<Option<SimTime>>,
+    /// Per-slot registry of the request each worker is serving, so the
+    /// control process can salvage requests from faulted workers.
+    serving: RefCell<Vec<Option<Request>>>,
+    /// The kernel thread occupying each slot; cleared once reaped.
+    slot_tid: RefCell<Vec<Option<ThreadId>>>,
+    /// Set when a worker exits normally (recycle or shutdown), so the
+    /// control process can tell a retirement from a kill.
+    retired: RefCell<Vec<bool>>,
 }
 
 impl HttpShared {
     fn new_slot(&self, kernel_wait: asym_kernel::WaitId) -> usize {
         self.inbox.borrow_mut().push(None);
         self.worker_wait.borrow_mut().push(kernel_wait);
+        self.serving.borrow_mut().push(None);
+        self.slot_tid.borrow_mut().push(None);
+        self.retired.borrow_mut().push(false);
         self.inbox.borrow().len() - 1
     }
 
@@ -223,22 +234,32 @@ struct ApacheWorker {
     name: String,
 }
 
+impl ApacheWorker {
+    /// Marks a normal exit so the control process never mistakes a
+    /// recycled or shut-down worker for a fault victim.
+    fn retire(&self) -> Step {
+        self.shared.retired.borrow_mut()[self.slot] = true;
+        Step::Done
+    }
+}
+
 impl ThreadBody for ApacheWorker {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
         if self.shared.is_done() {
-            return Step::Done;
+            return self.retire();
         }
         if let Some(request) = self.in_flight.take() {
+            self.shared.serving.borrow_mut()[self.slot] = None;
             self.shared.complete_one(cx, request);
             self.served_here += 1;
             if self.shared.is_done() {
-                return Step::Done;
+                return self.retire();
             }
             if self.served_here >= self.recycle_limit {
                 // Recycle: tell the control process to fork a
                 // replacement, then exit.
                 self.shared.mgmt.push(cx, ());
-                return Step::Done;
+                return self.retire();
             }
         }
         // Serve a waiting connection if one exists; otherwise join
@@ -250,6 +271,7 @@ impl ThreadBody for ApacheWorker {
             Some(request) => {
                 self.queued_idle = false;
                 self.in_flight = Some(request);
+                self.shared.serving.borrow_mut()[self.slot] = Some(request);
                 let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
                 Step::Compute(Cycles::new((self.cost.get() as f64 * jitter) as u64))
             }
@@ -275,6 +297,7 @@ struct ApacheControl {
     initial_pool: usize,
     forking: bool,
     spawned: u64,
+    killed_seen: u64,
     rng: Rng,
 }
 
@@ -286,7 +309,7 @@ impl ApacheControl {
         self.spawned += 1;
         let wait = cx.create_wait_queue();
         let slot = self.shared.new_slot(wait);
-        cx.spawn(
+        let tid = cx.spawn(
             ApacheWorker {
                 shared: self.shared.clone(),
                 slot,
@@ -301,6 +324,38 @@ impl ApacheControl {
             },
             SpawnOptions::new().on_parent_core(),
         );
+        self.shared.slot_tid.borrow_mut()[slot] = Some(tid);
+    }
+
+    /// Finds workers killed by faults (finished but never retired),
+    /// removes them from the accept queue, and salvages the requests
+    /// sitting in their inbox or in service. Returns how many died —
+    /// real prefork Apache re-forks children lost to signals the same
+    /// way.
+    fn reap_dead(&mut self, cx: &mut ThreadCx<'_>) -> u64 {
+        if cx.killed_count() == self.killed_seen {
+            return 0;
+        }
+        self.killed_seen = cx.killed_count();
+        let nslots = self.shared.slot_tid.borrow().len();
+        let mut dead = 0;
+        for slot in 0..nslots {
+            let Some(tid) = self.shared.slot_tid.borrow()[slot] else {
+                continue;
+            };
+            if self.shared.retired.borrow()[slot] || !cx.is_finished(tid) {
+                continue;
+            }
+            self.shared.slot_tid.borrow_mut()[slot] = None;
+            dead += 1;
+            self.shared.idle.borrow_mut().retain(|&s| s != slot);
+            let lost_inbox = self.shared.inbox.borrow_mut()[slot].take();
+            let lost_serving = self.shared.serving.borrow_mut()[slot].take();
+            for request in [lost_inbox, lost_serving].into_iter().flatten() {
+                self.shared.deliver(cx, request);
+            }
+        }
+        dead
     }
 }
 
@@ -318,6 +373,13 @@ impl ThreadBody for ApacheControl {
         if self.forking {
             self.forking = false;
             self.fork_worker(cx);
+        }
+        let dead = self.reap_dead(cx);
+        if dead > 0 && !self.shared.is_done() {
+            for _ in 0..dead {
+                self.fork_worker(cx);
+            }
+            return Step::Compute(Cycles::new(self.params.fork_cost.get() * dead));
         }
         match self.shared.mgmt.try_pop(cx) {
             TryPop::Item(()) => {
@@ -361,7 +423,12 @@ impl Workload for Apache {
             total: self.load.total_requests,
             done: RefCell::new(false),
             finished_at: RefCell::new(None),
+            serving: RefCell::new(Vec::new()),
+            slot_tid: RefCell::new(Vec::new()),
+            retired: RefCell::new(Vec::new()),
         });
+        // The control process is Apache's parent: it supervises the pool
+        // and re-forks children lost to faults, so it is never a victim.
         kernel.spawn(
             ApacheControl {
                 shared: shared.clone(),
@@ -370,9 +437,10 @@ impl Workload for Apache {
                 initial_pool: self.params.pool_size,
                 forking: false,
                 spawned: 0,
+                killed_seen: 0,
                 rng: seed_rng.fork(),
             },
-            SpawnOptions::new(),
+            SpawnOptions::new().kill_exempt(),
         );
         // One closed-loop client thread per concurrency slot. Clients
         // consume no CPU (they sleep and block), standing in for the
@@ -410,7 +478,9 @@ impl Workload for Apache {
                         }
                     }
                 }),
-                SpawnOptions::new(),
+                // Clients model the ApacheBench driver machine — outside
+                // the server, so server-side faults never kill them.
+                SpawnOptions::new().kill_exempt(),
             );
         }
         kernel.run();
@@ -419,7 +489,9 @@ impl Workload for Apache {
             .borrow()
             .expect("benchmark served all requests");
         let elapsed = finished.as_secs_f64();
-        RunResult::new(self.load.total_requests as f64 / elapsed).with_extra("elapsed_s", elapsed)
+        RunResult::new(self.load.total_requests as f64 / elapsed)
+            .with_extra("elapsed_s", elapsed)
+            .with_extra("lost_workers", kernel.stats().threads_killed as f64)
     }
 }
 
@@ -508,6 +580,15 @@ struct ZeusShared {
     session_length: u64,
     idle_accept_weight: f64,
     rng: RefCell<Rng>,
+    /// Event-process threads by index; cleared once reaped.
+    tids: RefCell<Vec<Option<ThreadId>>>,
+    /// Processes confirmed killed by faults — weight zero in the accept
+    /// race, since a dead process no longer polls the listen socket.
+    dead: RefCell<Vec<bool>>,
+    /// The session each process is currently serving (with its live
+    /// remaining-request count), for salvage by surviving peers.
+    serving: RefCell<Vec<Option<Session>>>,
+    killed_seen: Cell<u64>,
 }
 
 impl ZeusShared {
@@ -516,17 +597,21 @@ impl ZeusShared {
     }
 
     /// Runs the accept race for a new session: idle processes usually
-    /// win, busy ones sometimes do. Blind to core speed.
+    /// win, busy ones sometimes do. Blind to core speed — but dead
+    /// processes no longer poll the listen socket at all.
     fn assign_new_session(&self, cx: &mut ThreadCx<'_>) {
         let (idx, remaining) = {
             let mut rng = self.rng.borrow_mut();
             let busy = self.busy.borrow();
+            let dead = self.dead.borrow();
             let weights: Vec<f64> = self
                 .queues
                 .iter()
                 .enumerate()
                 .map(|(i, q)| {
-                    if !busy[i] && q.is_empty() {
+                    if dead[i] {
+                        0.0
+                    } else if !busy[i] && q.is_empty() {
                         self.idle_accept_weight
                     } else {
                         1.0
@@ -561,8 +646,42 @@ struct EventProcess {
     name: String,
 }
 
+impl EventProcess {
+    /// Adopts the sessions of peers killed by faults: their queued
+    /// sessions and the one in service migrate to this process's queue.
+    /// Zeus has no supervisor, so the surviving event loops notice dead
+    /// peers themselves (in reality, via the shared listen socket).
+    fn reap_dead(&mut self, cx: &mut ThreadCx<'_>) {
+        if self.shared.is_done() || cx.killed_count() == self.shared.killed_seen.get() {
+            return;
+        }
+        self.shared.killed_seen.set(cx.killed_count());
+        for i in 0..self.shared.queues.len() {
+            if i == self.index {
+                continue;
+            }
+            let Some(tid) = self.shared.tids.borrow()[i] else {
+                continue;
+            };
+            if !cx.is_finished(tid) {
+                continue;
+            }
+            self.shared.tids.borrow_mut()[i] = None;
+            self.shared.dead.borrow_mut()[i] = true;
+            let mut salvaged = self.shared.queues[i].drain(cx);
+            if let Some(session) = self.shared.serving.borrow_mut()[i].take() {
+                salvaged.push(session);
+            }
+            for session in salvaged {
+                self.shared.queues[self.index].push(cx, session);
+            }
+        }
+    }
+}
+
 impl ThreadBody for EventProcess {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
+        self.reap_dead(cx);
         if self.in_flight {
             self.in_flight = false;
             self.shared.served.incr();
@@ -576,10 +695,13 @@ impl ThreadBody for EventProcess {
             session.remaining -= 1;
             if session.remaining == 0 {
                 self.current = None;
+                self.shared.serving.borrow_mut()[self.index] = None;
                 self.shared.busy.borrow_mut()[self.index] = false;
                 // The finished client reconnects at once; the accept
                 // race decides who gets it.
                 self.shared.assign_new_session(cx);
+            } else {
+                self.shared.serving.borrow_mut()[self.index] = self.current;
             }
         }
         if self.shared.is_done() {
@@ -589,6 +711,7 @@ impl ThreadBody for EventProcess {
             match self.shared.queues[self.index].try_pop(cx) {
                 TryPop::Item(s) => {
                     self.current = Some(s);
+                    self.shared.serving.borrow_mut()[self.index] = Some(s);
                     self.shared.busy.borrow_mut()[self.index] = true;
                 }
                 TryPop::Empty(step) => {
@@ -638,13 +761,17 @@ impl Workload for Zeus {
             session_length: self.params.session_length,
             idle_accept_weight: self.params.idle_accept_weight,
             rng: RefCell::new(seed_rng.fork()),
+            tids: RefCell::new(Vec::new()),
+            dead: RefCell::new(vec![false; nprocs]),
+            serving: RefCell::new(vec![None; nprocs]),
+            killed_seen: Cell::new(0),
         });
         let ncores = setup.config.num_cores() as usize;
         for i in 0..nprocs {
             // Zeus binds each event loop to a processor — its own
             // scheduling, invisible to (and unfixable by) the kernel.
             let core = asym_sim::CoreId(i % ncores);
-            kernel.spawn(
+            let tid = kernel.spawn(
                 EventProcess {
                     shared: shared.clone(),
                     index: i,
@@ -657,6 +784,7 @@ impl Workload for Zeus {
                 },
                 SpawnOptions::new().affinity(asym_sim::CoreMask::single(core)),
             );
+            shared.tids.borrow_mut().push(Some(tid));
         }
         // Seed the concurrent sessions.
         {
@@ -674,16 +802,21 @@ impl Workload for Zeus {
                     }
                     Step::Done
                 }),
-                SpawnOptions::new(),
+                // The benchmark driver runs on a separate machine.
+                SpawnOptions::new().kill_exempt(),
             );
         }
         kernel.run();
-        let finished = shared
-            .finished_at
-            .borrow()
-            .expect("benchmark served all requests");
-        let elapsed = finished.as_secs_f64();
-        RunResult::new(self.load.total_requests as f64 / elapsed).with_extra("elapsed_s", elapsed)
+        // If faults killed every event process the benchmark cannot
+        // finish; report throughput up to the point service stopped
+        // instead of panicking.
+        let (elapsed, served) = match *shared.finished_at.borrow() {
+            Some(t) => (t.as_secs_f64(), self.load.total_requests),
+            None => (kernel.now().as_secs_f64(), shared.served.get()),
+        };
+        RunResult::new(served as f64 / elapsed)
+            .with_extra("elapsed_s", elapsed)
+            .with_extra("lost_workers", kernel.stats().threads_killed as f64)
     }
 }
 

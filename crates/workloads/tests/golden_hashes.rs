@@ -1,0 +1,149 @@
+//! Golden trace-hash regression test: every workload's kernel event
+//! stream, on a small fault-free matrix of configurations and policies,
+//! must hash exactly as recorded in `tests/golden_hashes.txt`. Any
+//! scheduler, sync-primitive, or workload change that shifts even one
+//! trace event shows up here as a per-cell diff instead of silently
+//! altering published results.
+//!
+//! To re-bless after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p asym-workloads --test golden_hashes
+//! ```
+
+use asym_core::{AsymConfig, RunSetup, Workload};
+use asym_kernel::{capture_traces, SchedPolicy};
+use asym_workloads::h264::H264;
+use asym_workloads::japps::JAppServer;
+use asym_workloads::pmake::Pmake;
+use asym_workloads::specjbb::{GcKind, SpecJbb};
+use asym_workloads::specomp::SpecOmp;
+use asym_workloads::tpch::TpcH;
+use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const SEED: u64 = 42;
+
+fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(JAppServer::new(320.0)),
+        Box::new(SpecJbb::new(16).gc(GcKind::ConcurrentGenerational)),
+        Box::new(Apache::new(LoadLevel::light())),
+        Box::new(Zeus::new(LoadLevel::light())),
+        Box::new(TpcH::power_run()),
+        Box::new(H264::new()),
+        Box::new(SpecOmp::new("swim").work_scale(0.5)),
+        Box::new(Pmake::new()),
+    ]
+}
+
+fn matrix() -> Vec<(AsymConfig, SchedPolicy, &'static str)> {
+    vec![
+        (AsymConfig::new(1, 3, 8), SchedPolicy::os_default(), "stock"),
+        (
+            AsymConfig::new(1, 3, 8),
+            SchedPolicy::asymmetry_aware(),
+            "aware",
+        ),
+        (AsymConfig::new(4, 0, 8), SchedPolicy::os_default(), "stock"),
+        (
+            AsymConfig::new(4, 0, 8),
+            SchedPolicy::asymmetry_aware(),
+            "aware",
+        ),
+    ]
+}
+
+/// Folds the per-kernel stable hashes of one run into a single cell
+/// hash (FNV-1a over the sequence, so kernel order matters too).
+fn cell_hash(w: &dyn Workload, setup: &RunSetup) -> u64 {
+    let (_, traces) = capture_traces(|| w.run(setup));
+    assert!(!traces.is_empty(), "{}: run created no kernels", w.name());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for t in &traces {
+        for byte in t.stable_hash().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_hashes.txt")
+}
+
+fn render(cells: &[(String, u64)]) -> String {
+    let mut out = String::from(
+        "# Golden kernel-trace hashes (seed 42). Regenerate with\n\
+         # UPDATE_GOLDEN=1 cargo test -p asym-workloads --test golden_hashes\n",
+    );
+    for (key, hash) in cells {
+        writeln!(out, "{key} {hash:#018x}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn kernel_traces_match_golden_hashes() {
+    let mut cells: Vec<(String, u64)> = Vec::new();
+    for w in workloads() {
+        for (config, policy, policy_name) in matrix() {
+            let setup = RunSetup::new(config, policy, SEED);
+            let key = format!("{}|{}|{}", w.name(), config, policy_name);
+            cells.push((key, cell_hash(w.as_ref(), &setup)));
+        }
+    }
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, render(&cells)).expect("write golden file");
+        eprintln!("golden hashes regenerated at {}", path.display());
+        return;
+    }
+
+    let recorded = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let golden: Vec<(String, u64)> = recorded
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (key, hash) = l.rsplit_once(' ').expect("golden line: <key> <hash>");
+            let hash = u64::from_str_radix(hash.trim_start_matches("0x"), 16)
+                .unwrap_or_else(|e| panic!("bad hash in golden line {l:?}: {e}"));
+            (key.to_string(), hash)
+        })
+        .collect();
+
+    // Per-cell diff: name every mismatched, missing, and stale cell
+    // rather than failing on the first one.
+    let mut diff = String::new();
+    for (key, hash) in &cells {
+        match golden.iter().find(|(k, _)| k == key) {
+            None => writeln!(diff, "  NEW cell not in golden file: {key}").unwrap(),
+            Some((_, want)) if want != hash => writeln!(
+                diff,
+                "  MISMATCH {key}: golden {want:#018x}, current {hash:#018x}"
+            )
+            .unwrap(),
+            Some(_) => {}
+        }
+    }
+    for (key, _) in &golden {
+        if !cells.iter().any(|(k, _)| k == key) {
+            writeln!(diff, "  STALE golden cell no longer produced: {key}").unwrap();
+        }
+    }
+    assert!(
+        diff.is_empty(),
+        "kernel traces diverged from golden hashes:\n{diff}\
+         If the change is intentional, re-bless with UPDATE_GOLDEN=1."
+    );
+}

@@ -1,0 +1,80 @@
+//! End-to-end kill tolerance: every workload, under both scheduling
+//! policies, survives a fault plan that kills threads mid-run. The run
+//! must complete without panicking and the result must carry a
+//! `lost_workers` extra matching the kernel's kill count.
+
+use asym_core::{AsymConfig, RunSetup, Workload};
+use asym_kernel::{capture_traces, with_run_guard, RunGuard, RunOutcome, SchedPolicy, TraceEvent};
+use asym_sim::{FaultPlan, FaultProfile, SimDuration};
+use asym_workloads::h264::H264;
+use asym_workloads::japps::JAppServer;
+use asym_workloads::pmake::Pmake;
+use asym_workloads::specjbb::{GcKind, SpecJbb};
+use asym_workloads::specomp::SpecOmp;
+use asym_workloads::tpch::TpcH;
+use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
+
+fn workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(JAppServer::new(320.0)),
+        Box::new(SpecJbb::new(16).gc(GcKind::ConcurrentGenerational)),
+        Box::new(Apache::new(LoadLevel::light())),
+        Box::new(Zeus::new(LoadLevel::light())),
+        Box::new(TpcH::power_run()),
+        Box::new(H264::new()),
+        Box::new(SpecOmp::new("swim").work_scale(0.5)),
+        Box::new(Pmake::new()),
+    ]
+}
+
+/// Kills only — no throttling or hotplug noise — early in the run, so
+/// every workload sees them before it finishes.
+fn kill_plan(seed: u64, num_cores: usize) -> FaultPlan {
+    let profile = FaultProfile {
+        thread_kills: 2,
+        ..FaultProfile::quiet(SimDuration::from_millis(500))
+    };
+    FaultPlan::generate(seed, num_cores, &profile)
+}
+
+#[test]
+fn every_workload_survives_kills_under_both_policies() {
+    let config = AsymConfig::new(1, 3, 8);
+    for w in workloads() {
+        for policy in [SchedPolicy::os_default(), SchedPolicy::asymmetry_aware()] {
+            for seed in [7u64, 19] {
+                let setup = RunSetup::new(config, policy, seed);
+                let guard = RunGuard::new()
+                    .watchdog(SimDuration::from_secs(5))
+                    .sim_time_budget(SimDuration::from_secs(120))
+                    .fault_plan(kill_plan(seed, config.num_cores() as usize));
+                let (result, traces) = capture_traces(|| with_run_guard(guard, || w.run(&setup)));
+                let label = format!("{} / {policy} / seed {seed}", w.name());
+                for t in &traces {
+                    assert!(
+                        !matches!(
+                            t.outcome,
+                            Some(RunOutcome::Deadlock(_) | RunOutcome::Stalled)
+                        ),
+                        "{label}: kernel ended {:?}",
+                        t.outcome
+                    );
+                    assert!(!t.budget_exhausted, "{label}: budget exhausted");
+                }
+                let lost = result
+                    .extras
+                    .get("lost_workers")
+                    .unwrap_or_else(|| panic!("{label}: no lost_workers extra"));
+                let killed: usize = traces
+                    .iter()
+                    .flat_map(|t| &t.records)
+                    .filter(|r| matches!(r.event, TraceEvent::ThreadKilled { .. }))
+                    .count();
+                assert_eq!(
+                    *lost, killed as f64,
+                    "{label}: lost_workers extra disagrees with trace kill count"
+                );
+            }
+        }
+    }
+}

@@ -25,4 +25,7 @@ cargo run -q --release -p asym-bench --bin asym_check -- --quick
 echo "==> extra_fault_sweep --quick (faulted smoke sweep: classified, clean, deterministic)"
 cargo run -q --release -p asym-bench --bin extra_fault_sweep -- --quick > /dev/null
 
+echo "==> extra_absorption --quick (differential stock-vs-aware smoke: paired, panic-free, kills accounted)"
+cargo run -q --release -p asym-bench --bin extra_absorption -- --quick > /dev/null
+
 echo "CI OK"
