@@ -1,206 +1,15 @@
 //! Extension experiment (beyond the paper): the differential
-//! stock-vs-aware absorption sweep. Every faulted cell runs under both
-//! the stock and the asymmetry-aware kernel from the *identical* seed
-//! and fault plan (throttle + hotplug + thread kills), alongside a
-//! clean run of each, and the pairing yields two per-cell numbers:
+//! stock-vs-aware absorption sweep — every faulted cell runs under both
+//! kernels from the identical seed and fault plan (throttle + hotplug +
+//! thread kills) alongside a clean run of each. Exits non-zero if any
+//! cell is unclassified, panics, loses kill accounting, or breaks
+//! same-seed determinism.
 //!
-//! * **absorption** — the fraction of the stock kernel's fault-induced
-//!   slowdown the aware policy recovers, `(S_stock − S_aware) /
-//!   (S_stock − 1)`;
-//! * **stability delta** — stock CoV minus aware CoV across the repeat
-//!   seeds, positive when the aware kernel is steadier under the same
-//!   fault schedules.
-//!
-//! The sweep also proves the robustness contract end to end: zero
-//! panics escape, every cell is classified, kill-bearing plans complete
-//! with the victims reported in the workloads' `lost_workers` extras,
-//! and rerunning the differential with the same seeds is bit-identical.
-//!
-//! `--quick` restricts the sweep to one configuration and one repeat
-//! per cell — the CI smoke mode.
+//! Thin caller of the `extra_absorption` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::figure_header;
-use asym_core::{
-    run_experiment_differential, AsymConfig, ResilientOptions, RunClass, RunSetup, TextTable,
-    Workload,
-};
-use asym_sim::{FaultPlan, FaultProfile, SimDuration};
-use asym_workloads::h264::H264;
-use asym_workloads::japps::JAppServer;
-use asym_workloads::pmake::Pmake;
-use asym_workloads::specjbb::{GcKind, SpecJbb};
-use asym_workloads::specomp::SpecOmp;
-use asym_workloads::tpch::TpcH;
-use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
-use std::collections::BTreeMap;
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
-
-/// The window fault injection draws from; runs longer than this see all
-/// their faults early, shorter runs see a prefix.
-const FAULT_HORIZON: SimDuration = SimDuration::from_secs(2);
-
-/// Thread kills scheduled per faulted run, on top of the throttle and
-/// hotplug events.
-const PLANNED_KILLS: u32 = 2;
-
-fn workloads() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(JAppServer::new(320.0)),
-        Box::new(SpecJbb::new(16).gc(GcKind::ConcurrentGenerational)),
-        Box::new(Apache::new(LoadLevel::light())),
-        Box::new(Zeus::new(LoadLevel::light())),
-        Box::new(TpcH::power_run()),
-        Box::new(H264::new()),
-        Box::new(SpecOmp::new("swim").work_scale(0.5)),
-        Box::new(Pmake::new()),
-    ]
-}
-
-fn fault_plan_for(setup: &RunSetup) -> FaultPlan {
-    FaultPlan::generate(
-        setup.seed,
-        setup.config.num_cores() as usize,
-        &FaultProfile::with_kills(FAULT_HORIZON, PLANNED_KILLS),
-    )
-}
-
-fn differential_opts(reps: usize) -> ResilientOptions {
-    ResilientOptions::new(reps)
-        .watchdog(SimDuration::from_secs(5))
-        .sim_time_budget(SimDuration::from_secs(120))
-        .retries(1)
-        .fault_planner(fault_plan_for)
-}
-
-fn mean(vals: impl Iterator<Item = f64>) -> Option<f64> {
-    let v: Vec<f64> = vals.collect();
-    (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64)
-}
-
-/// Runs the H.264 differential twice with identical options and checks
-/// the outcomes — every seed, class, and metric value — are equal:
-/// same-seed reruns must be bit-identical even with kills injected.
-fn same_seed_reruns_match(config: AsymConfig) -> bool {
-    let w = H264::new();
-    let a = run_experiment_differential(&w, &[config], &differential_opts(1).sequential());
-    let b = run_experiment_differential(&w, &[config], &differential_opts(1).sequential());
-    a == b && a.count(RunClass::Completed) > 0
-}
 
 fn main() -> ExitCode {
-    let quick = std::env::args().any(|a| a == "--quick");
-    figure_header(
-        "Extension",
-        "differential absorption: stock vs aware under identical seeds and fault plans",
-    );
-    let configs = if quick {
-        vec![AsymConfig::new(1, 3, 8)]
-    } else {
-        AsymConfig::standard_nine()
-    };
-    let reps = if quick { 1 } else { 3 };
-
-    let mut table = TextTable::new(vec![
-        "workload",
-        "config",
-        "absorb",
-        "stab d",
-        "S stock",
-        "S aware",
-        "lost wk",
-        "c/t/s/d/p",
-    ]);
-    let mut all_classified = true;
-    let mut total_panicked = 0usize;
-    let mut total_lost = 0.0f64;
-
-    for w in workloads() {
-        // Per-config sum of the `lost_workers` extras the workloads
-        // report — proof the kill cells completed *and* accounted for
-        // their victims rather than silently dropping them.
-        let lost: Arc<Mutex<BTreeMap<String, f64>>> = Arc::new(Mutex::new(BTreeMap::new()));
-        let opts = {
-            let lost = lost.clone();
-            differential_opts(reps).observe_traces(move |setup, result, _traces| {
-                if let Some(&n) = result.extras.get("lost_workers") {
-                    if n > 0.0 {
-                        *lost
-                            .lock()
-                            .unwrap()
-                            .entry(setup.config.to_string())
-                            .or_insert(0.0) += n;
-                    }
-                }
-            })
-        };
-        let exp = run_experiment_differential(w.as_ref(), &configs, &opts);
-
-        all_classified &= exp.total_runs() == configs.len() * reps * 4;
-        total_panicked += exp.count(RunClass::Panicked);
-
-        let lost = lost.lock().unwrap();
-        for o in &exp.outcomes {
-            let s_stock = mean(
-                o.reps
-                    .iter()
-                    .filter_map(|r| r.stock_slowdown(exp.direction)),
-            );
-            let s_aware = mean(
-                o.reps
-                    .iter()
-                    .filter_map(|r| r.aware_slowdown(exp.direction)),
-            );
-            let cell_lost = lost.get(&o.config.to_string()).copied().unwrap_or(0.0);
-            total_lost += cell_lost;
-            table.row(vec![
-                exp.workload.clone(),
-                o.config.to_string(),
-                o.mean_absorption(exp.direction)
-                    .map_or("-".to_string(), |a| format!("{a:+.2}")),
-                o.stability_delta()
-                    .map_or("-".to_string(), |d| format!("{d:+.3}")),
-                s_stock.map_or("-".to_string(), |s| format!("{s:.2}")),
-                s_aware.map_or("-".to_string(), |s| format!("{s:.2}")),
-                format!("{cell_lost:.0}"),
-                format!(
-                    "{}/{}/{}/{}/{}",
-                    o.count(RunClass::Completed),
-                    o.count(RunClass::TimeLimit),
-                    o.count(RunClass::Stalled),
-                    o.count(RunClass::Deadlock),
-                    o.count(RunClass::Panicked)
-                ),
-            ]);
-        }
-        eprintln!("  [absorption] {} done", exp.workload);
-    }
-
-    println!("{}", table.render());
-    println!(
-        "absorb = fraction of stock fault slowdown the aware kernel recovers;\n\
-         stab d = stock CoV - aware CoV over repeat seeds under faults;\n\
-         S = clean/faulted performance; lost wk = killed workers reported;\n\
-         classes: c = completed, t = time-limit, s = stalled, d = deadlock, p = panicked"
-    );
-
-    let deterministic = same_seed_reruns_match(configs[0]);
-    println!(
-        "kills reported as lost workers: {total_lost:.0}; \
-         same-seed differential reruns identical: {}",
-        if deterministic { "yes" } else { "NO" }
-    );
-    println!(
-        "Pairing each faulted run with its same-seed, same-plan twin under the\n\
-         other kernel isolates the policy's contribution: the aware kernel\n\
-         absorbs part of the fault damage and does so with less run-to-run\n\
-         spread, while kill-bearing cells finish with their victims accounted."
-    );
-
-    if all_classified && total_panicked == 0 && deterministic && total_lost > 0.0 {
-        ExitCode::SUCCESS
-    } else {
-        println!("FAILURE: unclassified runs, panics, missing kill accounting, or non-determinism");
-        ExitCode::FAILURE
-    }
+    asym_bench::spec_main("extra_absorption")
 }

@@ -1,39 +1,11 @@
 //! §3.4.2 text experiment: slight asymmetry (3 fast + 1 slow) produces
-//! MORE instability than deeper asymmetry (2f-2s) for Apache — "a system
-//! with mostly fast processors but one slow processor seems to introduce
-//! more instability".
+//! MORE instability than deeper asymmetry (2f-2s) for Apache.
+//!
+//! Thin caller of the `extra_asym_degree` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::figure_header;
-use asym_core::{run_experiment, AsymConfig, ExperimentOptions, TextTable};
-use asym_kernel::SchedPolicy;
-use asym_workloads::webserver::{Apache, LoadLevel};
+use std::process::ExitCode;
 
-fn main() {
-    figure_header(
-        "Extra (§3.4.2)",
-        "Degree of asymmetry vs instability (Apache light load, 6 runs)",
-    );
-    let configs = [
-        AsymConfig::new(3, 1, 4),
-        AsymConfig::new(3, 1, 8),
-        AsymConfig::new(2, 2, 4),
-        AsymConfig::new(2, 2, 8),
-        AsymConfig::new(1, 3, 4),
-        AsymConfig::new(1, 3, 8),
-    ];
-    let exp = run_experiment(
-        &Apache::new(LoadLevel::light()),
-        &configs,
-        SchedPolicy::os_default(),
-        &ExperimentOptions::new(6),
-    );
-    let mut t = TextTable::new(vec!["config", "mean req/s", "cov%"]);
-    for o in &exp.outcomes {
-        t.row(vec![
-            o.config.to_string(),
-            format!("{:.0}", o.samples.mean()),
-            format!("{:.1}", o.samples.cov() * 100.0),
-        ]);
-    }
-    println!("{}", t.render());
+fn main() -> ExitCode {
+    asym_bench::spec_main("extra_asym_degree")
 }

@@ -1,68 +1,12 @@
-//! Extension experiment (beyond the paper's figures, §6 conjecture):
-//! sweep the slow cores through ALL eight duty-cycle steps the hardware
-//! supports (§2 lists 12.5%…100%) instead of just /4 and /8, and watch
-//! where instability sets in and how the benefit of one fast core decays.
+//! Extension experiment (beyond the paper, §6 conjecture): sweep the
+//! slow cores through ALL eight duty-cycle steps and watch where
+//! instability sets in and how the benefit of one fast core decays.
 //!
-//! The paper conjectures that "to eliminate unintended interactions ...
-//! the compute power from the high-performance core should be a small
-//! fraction of the total compute power of the system."
+//! Thin caller of the `extra_duty_sweep` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::figure_header;
-use asym_core::{run_experiment, ExperimentOptions, TextTable};
-use asym_core::{AsymConfig, RunSetup, Workload};
-use asym_kernel::SchedPolicy;
-use asym_sim::DutyCycle;
-use asym_workloads::h264::H264;
-use asym_workloads::specjbb::{GcKind, SpecJbb};
+use std::process::ExitCode;
 
-fn main() {
-    figure_header(
-        "Extension",
-        "2f-2s/x sweep over all duty-cycle steps: instability onset and H.264 scaling",
-    );
-    // AsymConfig expresses 1/scale slow cores; duty steps k/8 map to
-    // scale = 8/k for k in {1, 2, 4} exactly and are approximated by the
-    // nearest integer scale otherwise.
-    let steps: Vec<(DutyCycle, u32)> = DutyCycle::steps()
-        .filter_map(|d| {
-            let scale = (1.0 / d.fraction()).round() as u32;
-            (scale >= 2).then_some((d, scale))
-        })
-        .collect();
-
-    let jbb = SpecJbb::new(12).gc(GcKind::ConcurrentGenerational);
-    let mut t = TextTable::new(vec![
-        "slow duty",
-        "config",
-        "power",
-        "jbb cov%",
-        "jbb mean tx/s",
-        "h264 runtime s",
-    ]);
-    for (duty, scale) in steps {
-        let config = AsymConfig::new(2, 2, scale);
-        let exp = run_experiment(
-            &jbb,
-            &[config],
-            SchedPolicy::os_default(),
-            &ExperimentOptions::new(4),
-        );
-        let o = &exp.outcomes[0];
-        let h = H264::new().run(&RunSetup::new(config, SchedPolicy::os_default(), 1));
-        t.row(vec![
-            duty.to_string(),
-            config.to_string(),
-            format!("{:.2}", config.compute_power()),
-            format!("{:.1}", o.samples.cov() * 100.0),
-            format!("{:.0}", o.samples.mean()),
-            format!("{:.2}", h.value),
-        ]);
-        eprintln!("  [duty-sweep] {duty} done");
-    }
-    println!("{}", t.render());
-    println!(
-        "Mild asymmetry (75-50% duty) stays stable; instability grows as the\n\
-         slow cores' share of total compute power shrinks — consistent with the\n\
-         paper's closing conjecture about bounding the fast core's share."
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("extra_duty_sweep")
 }

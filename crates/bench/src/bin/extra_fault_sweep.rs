@@ -1,207 +1,14 @@
 //! Extension experiment (beyond the paper): the full nine-configuration
 //! sweep with *dynamic* asymmetry injected mid-run — thermal-throttle
-//! `SetSpeed` faults and one hotplug offline/online cycle per run — under
-//! the asymmetry-aware kernel, driven by the resilient harness.
+//! faults and hotplug — under the resilient harness. Exits non-zero if
+//! any run is unclassified, panics, trips a checker, or breaks
+//! same-seed determinism.
 //!
-//! The paper modulates each Xeon to a fixed duty cycle before the
-//! benchmark starts; real machines re-modulate and hotplug *during* the
-//! run. This sweep asks whether the paper's two predictability metrics
-//! (stability CoV, scalability vs compute power) survive when the machine
-//! shape itself is a moving target, and proves the robustness contract:
-//! zero panics escape, every run is classified, the concurrency checkers
-//! stay clean on every captured trace, and same-seed reruns are
-//! bit-identical even with faults injected.
-//!
-//! `--quick` restricts the sweep to one configuration and one run per
-//! cell — the CI smoke mode.
+//! Thin caller of the `extra_fault_sweep` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_analysis::{analyze_trace, render_violations};
-use asym_bench::figure_header;
-use asym_core::{
-    run_experiment_resilient, AsymConfig, ResilientOptions, RunClass, RunSetup, Scalability,
-    TextTable, Workload,
-};
-use asym_kernel::{capture_traces, with_run_guard, RunGuard, SchedPolicy};
-use asym_sim::{FaultPlan, FaultProfile, SimDuration};
-use asym_workloads::h264::H264;
-use asym_workloads::japps::JAppServer;
-use asym_workloads::pmake::Pmake;
-use asym_workloads::specjbb::{GcKind, SpecJbb};
-use asym_workloads::specomp::SpecOmp;
-use asym_workloads::tpch::TpcH;
-use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-
-/// The window fault injection draws from; runs longer than this see all
-/// their faults early, shorter runs see a prefix.
-const FAULT_HORIZON: SimDuration = SimDuration::from_secs(2);
-
-fn workloads() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(JAppServer::new(320.0)),
-        Box::new(SpecJbb::new(16).gc(GcKind::ConcurrentGenerational)),
-        Box::new(Apache::new(LoadLevel::light())),
-        Box::new(Zeus::new(LoadLevel::light())),
-        Box::new(TpcH::power_run()),
-        Box::new(H264::new()),
-        Box::new(SpecOmp::new("swim").work_scale(0.5)),
-        Box::new(Pmake::new()),
-    ]
-}
-
-fn fault_plan_for(setup: &RunSetup) -> FaultPlan {
-    FaultPlan::generate(
-        setup.seed,
-        setup.config.num_cores() as usize,
-        &FaultProfile::hotplug_and_throttle(FAULT_HORIZON),
-    )
-}
-
-/// Runs one workload twice with the identical seed and fault plan and
-/// checks the captured traces hash identically — determinism must
-/// survive fault injection.
-fn same_seed_reruns_match(policy: SchedPolicy, config: AsymConfig) -> bool {
-    let w = H264::new();
-    let setup = RunSetup::new(config, policy, 42);
-    let run = || {
-        let guard = RunGuard::new()
-            .watchdog(SimDuration::from_secs(5))
-            .fault_plan(fault_plan_for(&setup));
-        let (_, traces) = capture_traces(|| with_run_guard(guard, || w.run(&setup)));
-        traces.iter().map(|t| t.stable_hash()).collect::<Vec<_>>()
-    };
-    let (a, b) = (run(), run());
-    !a.is_empty() && a == b
-}
 
 fn main() -> ExitCode {
-    let quick = std::env::args().any(|a| a == "--quick");
-    figure_header(
-        "Extension",
-        "dynamic-asymmetry fault sweep: hotplug + throttle mid-run, resilient harness",
-    );
-    let policy = SchedPolicy::asymmetry_aware();
-    let configs = if quick {
-        vec![AsymConfig::new(1, 3, 8)]
-    } else {
-        AsymConfig::standard_nine()
-    };
-    let runs = if quick { 1 } else { 3 };
-
-    let checker_violations = Arc::new(AtomicUsize::new(0));
-    let mut table = TextTable::new(vec![
-        "workload",
-        "completed",
-        "tl/st/dl/pn",
-        "retries",
-        "worst cov%",
-        "scal eff",
-    ]);
-    let mut all_classified = true;
-    let mut total_panicked = 0usize;
-
-    for w in workloads() {
-        let opts = ResilientOptions::new(runs)
-            .watchdog(SimDuration::from_secs(5))
-            .sim_time_budget(SimDuration::from_secs(120))
-            .retries(1)
-            .fault_planner(fault_plan_for)
-            .observe_traces({
-                let violations = checker_violations.clone();
-                move |setup, _result, traces| {
-                    for trace in traces {
-                        let found = analyze_trace(trace);
-                        if !found.is_empty() {
-                            violations.fetch_add(found.len(), Ordering::Relaxed);
-                            eprintln!(
-                                "  [VIOLATION] seed {} @ {}: {}",
-                                setup.seed,
-                                setup.config,
-                                render_violations(&found)
-                            );
-                        }
-                    }
-                }
-            });
-        let exp = run_experiment_resilient(w.as_ref(), &configs, policy, &opts);
-
-        let total: usize = exp.outcomes.iter().map(|o| o.records.len()).sum();
-        let completed = exp.count(RunClass::Completed);
-        let retries: u32 = exp
-            .outcomes
-            .iter()
-            .map(|o| o.total_attempts() - o.records.len() as u32)
-            .sum();
-        all_classified &= total == configs.len() * runs;
-        total_panicked += exp.count(RunClass::Panicked);
-
-        // Stability: worst CoV over configurations with >= 2 completed
-        // runs. Scalability: mean performance of completed runs vs
-        // compute power, where at least two configurations answered.
-        let worst_cov = exp
-            .outcomes
-            .iter()
-            .filter_map(|o| o.completed_samples())
-            .filter(|s| s.len() >= 2)
-            .map(|s| s.cov())
-            .fold(f64::NAN, f64::max);
-        let points: Vec<(f64, f64)> = exp
-            .outcomes
-            .iter()
-            .filter_map(|o| {
-                o.completed_samples().map(|s| {
-                    (
-                        o.config.compute_power(),
-                        exp.direction.performance(s.mean()),
-                    )
-                })
-            })
-            .collect();
-        let scal = (points.len() >= 2).then(|| Scalability::from_points(&points));
-
-        table.row(vec![
-            exp.workload.clone(),
-            format!("{completed}/{total}"),
-            format!(
-                "{}/{}/{}/{}",
-                exp.count(RunClass::TimeLimit),
-                exp.count(RunClass::Stalled),
-                exp.count(RunClass::Deadlock),
-                exp.count(RunClass::Panicked)
-            ),
-            retries.to_string(),
-            if worst_cov.is_nan() {
-                "-".to_string()
-            } else {
-                format!("{:.1}", worst_cov * 100.0)
-            },
-            scal.map_or("-".to_string(), |s| format!("{:.2}", s.worst_efficiency)),
-        ]);
-        eprintln!("  [fault-sweep] {} done", exp.workload);
-    }
-
-    println!("{}", table.render());
-    println!("classes: tl = time-limit, st = stalled, dl = deadlock, pn = panicked");
-
-    let deterministic = same_seed_reruns_match(policy, configs[0]);
-    let violations = checker_violations.load(Ordering::Relaxed);
-    println!(
-        "checkers on faulted traces: {violations} violation(s); \
-         same-seed rerun hashes identical: {}",
-        if deterministic { "yes" } else { "NO" }
-    );
-    println!(
-        "Mid-run throttling and hotplug degrade means but the asymmetry-aware\n\
-         kernel keeps every sweep cell classified and panic-free: faults cost\n\
-         throughput, not correctness."
-    );
-
-    if all_classified && total_panicked == 0 && violations == 0 && deterministic {
-        ExitCode::SUCCESS
-    } else {
-        println!("FAILURE: unclassified runs, panics, violations, or non-determinism");
-        ExitCode::FAILURE
-    }
+    asym_bench::spec_main("extra_fault_sweep")
 }

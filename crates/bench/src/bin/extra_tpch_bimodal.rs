@@ -1,37 +1,12 @@
 //! §3.3 text experiment: TPC-H Query 3 with intra-query parallelization
 //! switched OFF shows two distinct runtimes — one for the fast
-//! processor, one for the slow — depending on where DB2 binds the single
-//! server process.
+//! processor, one for the slow — depending on process binding.
+//!
+//! Thin caller of the `extra_tpch_bimodal` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::figure_header;
-use asym_core::{AsymConfig, RunSetup, Workload};
-use asym_kernel::SchedPolicy;
-use asym_workloads::tpch::TpcH;
+use std::process::ExitCode;
 
-fn main() {
-    figure_header(
-        "Extra (§3.3)",
-        "TPC-H Q3, parallelization off: bimodal fast/slow runtimes on 2f-2s/8",
-    );
-    let t = TpcH::single_query(3).parallelization(1);
-    let config = AsymConfig::new(2, 2, 8);
-    let mut runs: Vec<f64> = (0..14)
-        .map(|s| {
-            t.run(&RunSetup::new(config, SchedPolicy::os_default(), s))
-                .value
-        })
-        .collect();
-    println!(
-        "runtimes (s): {:?}",
-        runs.iter()
-            .map(|v| (v * 100.0).round() / 100.0)
-            .collect::<Vec<_>>()
-    );
-    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let fast_mode = runs[0];
-    let slow_mode = runs[runs.len() - 1];
-    println!(
-        "fast mode ~{fast_mode:.2}s, slow mode ~{slow_mode:.2}s, ratio {:.1}x (slow cores run at 1/8)",
-        slow_mode / fast_mode
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("extra_tpch_bimodal")
 }

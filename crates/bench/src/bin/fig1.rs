@@ -1,84 +1,11 @@
-//! Figure 1: SPECjbb performance predictability.
+//! Figure 1: SPECjbb performance predictability (throughput vs
+//! warehouses under the JVM/GC collector-placement lottery).
 //!
-//! (a) Throughput vs warehouses on 2f-2s/8 for JRockit/parallel-GC vs
-//!     HotSpot/concurrent-GC, 3 runs each.
-//! (b) JRockit with the generational concurrent collector: 4f-0s (2 runs)
-//!     vs 2f-2s/8 (4 runs) — the per-run collector-placement lottery.
+//! Thin caller of the `fig1` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::figure_header;
-use asym_core::{AsymConfig, RunSetup, Workload};
-use asym_kernel::SchedPolicy;
-use asym_workloads::specjbb::{GcKind, JvmKind, SpecJbb};
+use std::process::ExitCode;
 
-fn curve(
-    label: &str,
-    config: AsymConfig,
-    jvm: JvmKind,
-    gc: GcKind,
-    runs: u64,
-    warehouses: &[usize],
-) {
-    println!("\n{label} on {config} ({runs} runs)");
-    print!("{:>4}", "wh");
-    for r in 0..runs {
-        print!("  {:>9}", format!("run{}", r + 1));
-    }
-    println!();
-    for &w in warehouses {
-        print!("{w:>4}");
-        for seed in 0..runs {
-            let jbb = SpecJbb::new(w).jvm(jvm).gc(gc);
-            let r = jbb.run(&RunSetup::new(config, SchedPolicy::os_default(), seed));
-            print!("  {:>9.0}", r.value);
-        }
-        println!();
-    }
-}
-
-fn main() {
-    let warehouses: Vec<usize> = (1..=20).collect();
-    let asym = AsymConfig::new(2, 2, 8);
-    let fast = AsymConfig::new(4, 0, 1);
-
-    figure_header(
-        "Figure 1(a)",
-        "SPECjbb throughput (tx/s) vs warehouses, 2f-2s/8",
-    );
-    curve(
-        "BEA JRockit, parallel GC",
-        asym,
-        JvmKind::JRockit,
-        GcKind::Parallel,
-        3,
-        &warehouses,
-    );
-    curve(
-        "Sun HotSpot, generational concurrent GC",
-        asym,
-        JvmKind::HotSpot,
-        GcKind::ConcurrentGenerational,
-        3,
-        &warehouses,
-    );
-
-    figure_header(
-        "Figure 1(b)",
-        "SPECjbb with JRockit + generational concurrent GC",
-    );
-    curve(
-        "4f-0s",
-        fast,
-        JvmKind::JRockit,
-        GcKind::ConcurrentGenerational,
-        2,
-        &warehouses,
-    );
-    curve(
-        "2f-2s/8",
-        asym,
-        JvmKind::JRockit,
-        GcKind::ConcurrentGenerational,
-        4,
-        &warehouses,
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig1")
 }

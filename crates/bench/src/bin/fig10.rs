@@ -1,60 +1,12 @@
 //! Figure 10: performance predictability and scalability summary — all
 //! eight workloads, nine configurations, speedups normalized to 0f-4s/8,
 //! with per-configuration variance.
+//!
+//! Thin caller of the `fig10` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{figure_header, nine_config_experiment};
-use asym_core::{AsymConfig, Experiment, TextTable, Workload};
-use asym_kernel::SchedPolicy;
-use asym_workloads::h264::H264;
-use asym_workloads::japps::JAppServer;
-use asym_workloads::pmake::Pmake;
-use asym_workloads::specjbb::{GcKind, SpecJbb};
-use asym_workloads::specomp::SpecOmp;
-use asym_workloads::tpch::TpcH;
-use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
+use std::process::ExitCode;
 
-fn row(t: &mut TextTable, exp: &Experiment) {
-    let baseline = AsymConfig::new(0, 4, 8);
-    let speedups = exp.speedups_over(baseline);
-    let mut cells = vec![exp.workload.clone()];
-    for (config, speedup) in speedups {
-        let cov = exp.outcome(config).map_or(0.0, |o| o.samples.cov() * 100.0);
-        cells.push(format!("{speedup:.2} ±{cov:.0}%"));
-    }
-    t.row(cells);
-}
-
-fn main() {
-    figure_header(
-        "Figure 10",
-        "Speedup over 0f-4s/8 per configuration (± CoV over repeated runs)",
-    );
-    let mut header = vec!["benchmark".to_string()];
-    header.extend(AsymConfig::standard_nine().iter().map(|c| c.to_string()));
-    let mut t = TextTable::new(header);
-
-    let runs = 3;
-    let workloads: Vec<Box<dyn Workload>> = vec![
-        Box::new(JAppServer::new(320.0)),
-        Box::new(SpecJbb::new(16).gc(GcKind::ConcurrentGenerational)),
-        Box::new(Apache::new(LoadLevel::light())),
-        Box::new(Zeus::new(LoadLevel::light())),
-        Box::new(TpcH::power_run()),
-        Box::new(H264::new()),
-        Box::new(SpecOmp::new("swim").work_scale(0.5)),
-        Box::new(Pmake::new()),
-    ];
-    for w in &workloads {
-        let exp = nine_config_experiment(w.as_ref(), SchedPolicy::os_default(), runs, 0);
-        row(&mut t, &exp);
-        eprintln!("  [fig10] {} done", exp.workload);
-    }
-    println!("{}", t.render());
-    println!(
-        "Reading: symmetric configurations (first and last two columns) show\n\
-         ~0% variance everywhere; SPECjbb, Apache, Zeus and TPC-H show large\n\
-         variance on the asymmetric configurations; SPEC OMP's speedup barely\n\
-         moves until every core is slow (slowest-core pacing); H.264 and PMAKE\n\
-         scale smoothly and show that a single fast core beats all-slow."
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig10")
 }

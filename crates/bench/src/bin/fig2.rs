@@ -1,30 +1,11 @@
 //! Figure 2: SPECjbb scalability & predictability across all nine
 //! configurations, and the asymmetry-aware kernel fix.
+//!
+//! Thin caller of the `fig2` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{figure_header, nine_config_experiment, render_experiment, render_runs};
-use asym_core::AsymConfig;
-use asym_kernel::SchedPolicy;
-use asym_workloads::specjbb::{GcKind, SpecJbb};
+use std::process::ExitCode;
 
-fn main() {
-    let jbb = SpecJbb::new(16).gc(GcKind::ConcurrentGenerational);
-
-    figure_header(
-        "Figure 2(a)",
-        "SPECjbb (16 warehouses, concurrent GC): scalability & predictability, stock kernel",
-    );
-    let stock = nine_config_experiment(&jbb, SchedPolicy::os_default(), 4, 0);
-    println!("{}", render_experiment(&stock));
-
-    figure_header(
-        "Figure 2(b)",
-        "Same workload under the asymmetry-aware kernel scheduler",
-    );
-    let aware = nine_config_experiment(&jbb, SchedPolicy::asymmetry_aware(), 4, 0);
-    println!("{}", render_experiment(&aware));
-
-    println!("Per-run scatter on 2f-2s/8:");
-    let c = [AsymConfig::new(2, 2, 8)];
-    println!("stock kernel:\n{}", render_runs(&stock, &c));
-    println!("asymmetry-aware kernel:\n{}", render_runs(&aware, &c));
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig2")
 }

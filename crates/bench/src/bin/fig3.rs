@@ -1,50 +1,10 @@
 //! Figure 3: SPECjAppServer scalability and response-time stability.
+//!
+//! Thin caller of the `fig3` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{figure_header, nine_config_experiment};
-use asym_core::TextTable;
-use asym_kernel::SchedPolicy;
-use asym_workloads::japps::JAppServer;
+use std::process::ExitCode;
 
-fn main() {
-    figure_header(
-        "Figure 3(a)",
-        "SPECjAppServer throughput per domain (injection 320/s)",
-    );
-    let exp = nine_config_experiment(&JAppServer::new(320.0), SchedPolicy::os_default(), 3, 0);
-    let mut t = TextTable::new(vec![
-        "config",
-        "total tx/s",
-        "NewOrder/s",
-        "Manufacturing/s",
-        "cov%",
-    ]);
-    for o in &exp.outcomes {
-        t.row(vec![
-            o.config.to_string(),
-            format!("{:.0}", o.samples.mean()),
-            format!("{:.0}", o.extras_mean["new_order_per_sec"]),
-            format!("{:.0}", o.extras_mean["manufacturing_per_sec"]),
-            format!("{:.2}", o.samples.cov() * 100.0),
-        ]);
-    }
-    println!("{}", t.render());
-
-    figure_header(
-        "Figure 3(b)",
-        "Manufacturing response times (ms): avg / 90%ile / max per injection rate",
-    );
-    for rate in [250.0, 290.0, 320.0] {
-        println!("injection rate {rate}/s:");
-        let exp = nine_config_experiment(&JAppServer::new(rate), SchedPolicy::os_default(), 3, 7);
-        let mut t = TextTable::new(vec!["config", "avg ms", "90% ms", "max ms"]);
-        for o in &exp.outcomes {
-            t.row(vec![
-                o.config.to_string(),
-                format!("{:.1}", o.extras_mean["mfg_avg_ms"]),
-                format!("{:.1}", o.extras_mean["mfg_p90_ms"]),
-                format!("{:.1}", o.extras_mean["mfg_max_ms"]),
-            ]);
-        }
-        println!("{}", t.render());
-    }
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig3")
 }

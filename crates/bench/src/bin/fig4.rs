@@ -1,32 +1,11 @@
 //! Figure 4: TPC-H runtimes — (a) full power run, (b) Query 3, both at
 //! parallelization 4 / optimization 7.
+//!
+//! Thin caller of the `fig4` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{figure_header, nine_config_experiment, render_experiment, render_runs};
-use asym_core::AsymConfig;
-use asym_kernel::SchedPolicy;
-use asym_workloads::tpch::TpcH;
+use std::process::ExitCode;
 
-fn main() {
-    figure_header(
-        "Figure 4(a)",
-        "TPC-H power run (22 queries), par=4 opt=7, 4 runs",
-    );
-    let power = nine_config_experiment(&TpcH::power_run(), SchedPolicy::os_default(), 4, 0);
-    println!("{}", render_experiment(&power));
-
-    figure_header("Figure 4(b)", "TPC-H Query 3 runtime, 13 runs");
-    let q3 = nine_config_experiment(&TpcH::single_query(3), SchedPolicy::os_default(), 13, 3);
-    println!("{}", render_experiment(&q3));
-    println!("Per-run scatter (binding lottery):");
-    println!(
-        "{}",
-        render_runs(
-            &q3,
-            &[
-                AsymConfig::new(4, 0, 1),
-                AsymConfig::new(2, 2, 8),
-                AsymConfig::new(0, 4, 8)
-            ]
-        )
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig4")
 }

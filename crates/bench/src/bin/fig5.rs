@@ -1,41 +1,13 @@
 //! Figure 5: TPC-H power run — (a) higher parallelization degree makes
 //! variance worse; (b) lower optimization degree trades speed for
-//! stability.
+//! stability. The par4/opt7 baseline for the closing comparison line
+//! runs once, inside the same plan.
+//!
+//! Thin caller of the `fig5` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{figure_header, nine_config_experiment, render_experiment};
-use asym_kernel::SchedPolicy;
-use asym_workloads::tpch::TpcH;
+use std::process::ExitCode;
 
-fn main() {
-    figure_header(
-        "Figure 5(a)",
-        "TPC-H power run, parallelization 8, optimization 7",
-    );
-    let p8 = nine_config_experiment(
-        &TpcH::power_run().parallelization(8),
-        SchedPolicy::os_default(),
-        4,
-        0,
-    );
-    println!("{}", render_experiment(&p8));
-
-    figure_header(
-        "Figure 5(b)",
-        "TPC-H power run, parallelization 4, optimization 2",
-    );
-    let o2 = nine_config_experiment(
-        &TpcH::power_run().optimization(2),
-        SchedPolicy::os_default(),
-        4,
-        0,
-    );
-    println!("{}", render_experiment(&o2));
-
-    let p4 = nine_config_experiment(&TpcH::power_run(), SchedPolicy::os_default(), 4, 0);
-    println!(
-        "variance comparison (worst asymmetric CoV): par4/opt7 {:.2}%  par8/opt7 {:.2}%  par4/opt2 {:.2}%",
-        p4.worst_asymmetric_cov() * 100.0,
-        p8.worst_asymmetric_cov() * 100.0,
-        o2.worst_asymmetric_cov() * 100.0,
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig5")
 }

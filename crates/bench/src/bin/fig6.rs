@@ -1,60 +1,12 @@
 //! Figure 6: Apache throughput under light load — instability on
 //! asymmetric configurations, and the two remedies (asymmetry-aware
 //! kernel, fine-grained process recycling).
+//!
+//! Thin caller of the `fig6` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{figure_header, nine_config_experiment, render_experiment, render_runs};
-use asym_core::AsymConfig;
-use asym_kernel::SchedPolicy;
-use asym_workloads::webserver::{Apache, LoadLevel};
+use std::process::ExitCode;
 
-fn main() {
-    let scatter = [
-        AsymConfig::new(3, 1, 8),
-        AsymConfig::new(2, 2, 8),
-        AsymConfig::new(1, 3, 8),
-    ];
-
-    figure_header("Figure 6(a)", "Apache light load (10 concurrent), 6 runs");
-    let light = nine_config_experiment(
-        &Apache::new(LoadLevel::light()),
-        SchedPolicy::os_default(),
-        6,
-        0,
-    );
-    println!("{}", render_experiment(&light));
-    println!("Per-run scatter:\n{}", render_runs(&light, &scatter));
-
-    figure_header(
-        "Figure 6(a) companion",
-        "Apache heavy load (60 concurrent), 4 runs",
-    );
-    let heavy = nine_config_experiment(
-        &Apache::new(LoadLevel::heavy()),
-        SchedPolicy::os_default(),
-        4,
-        0,
-    );
-    println!("{}", render_experiment(&heavy));
-
-    figure_header(
-        "Figure 6(b)",
-        "Apache light load with the two fixes, 6 runs each",
-    );
-    let aware = nine_config_experiment(
-        &Apache::new(LoadLevel::light()),
-        SchedPolicy::asymmetry_aware(),
-        6,
-        0,
-    );
-    println!("asymmetry-aware kernel:\n{}", render_experiment(&aware));
-    let fine = nine_config_experiment(
-        &Apache::new(LoadLevel::light()).recycle_limit(50),
-        SchedPolicy::os_default(),
-        6,
-        0,
-    );
-    println!(
-        "fine-grained threads (recycle every 50 requests):\n{}",
-        render_experiment(&fine)
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig6")
 }

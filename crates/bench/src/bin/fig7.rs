@@ -1,56 +1,11 @@
 //! Figure 7: Zeus throughput — unstable on asymmetric configurations
 //! under BOTH light and heavy load; the kernel fix is ineffective.
+//!
+//! Thin caller of the `fig7` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{
-    figure_header, nine_config_experiment, render_experiment, render_runs, stability_line,
-};
-use asym_core::AsymConfig;
-use asym_kernel::SchedPolicy;
-use asym_workloads::webserver::{LoadLevel, Zeus};
+use std::process::ExitCode;
 
-fn main() {
-    let scatter = [
-        AsymConfig::new(3, 1, 8),
-        AsymConfig::new(2, 2, 8),
-        AsymConfig::new(1, 3, 8),
-    ];
-
-    figure_header(
-        "Figure 7(a)",
-        "Zeus light load (10 concurrent sessions), 6 runs",
-    );
-    let light = nine_config_experiment(
-        &Zeus::new(LoadLevel::light()),
-        SchedPolicy::os_default(),
-        6,
-        0,
-    );
-    println!("{}", render_experiment(&light));
-    println!("Per-run scatter:\n{}", render_runs(&light, &scatter));
-
-    figure_header(
-        "Figure 7(b)",
-        "Zeus heavy load (60 concurrent sessions), 6 runs",
-    );
-    let heavy = nine_config_experiment(
-        &Zeus::new(LoadLevel::heavy()),
-        SchedPolicy::os_default(),
-        6,
-        0,
-    );
-    println!("{}", render_experiment(&heavy));
-
-    figure_header(
-        "Figure 7 companion",
-        "Zeus light load under the asymmetry-aware kernel (no effect: Zeus schedules internally)",
-    );
-    let aware = nine_config_experiment(
-        &Zeus::new(LoadLevel::light()),
-        SchedPolicy::asymmetry_aware(),
-        6,
-        0,
-    );
-    println!("{}", render_experiment(&aware));
-    println!("{}", stability_line(&light));
-    println!("{}", stability_line(&aware));
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig7")
 }

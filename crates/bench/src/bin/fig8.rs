@@ -1,56 +1,11 @@
 //! Figure 8: SPEC OMP runtimes on {4f-0s, 2f-2s/8 (x2 runs), 0f-4s/4,
 //! 0f-4s/8} — (a) unmodified directives, (b) every loop dynamic+chunked.
+//!
+//! Thin caller of the `fig8` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::figure_header;
-use asym_core::{AsymConfig, RunSetup, TextTable, Workload};
-use asym_kernel::SchedPolicy;
-use asym_workloads::specomp::{OmpVariant, SpecOmp};
+use std::process::ExitCode;
 
-fn table(variant: OmpVariant) -> String {
-    let configs = [
-        ("4f-0s", AsymConfig::new(4, 0, 1), 1u64),
-        ("2f-2s/8", AsymConfig::new(2, 2, 8), 2),
-        ("0f-4s/4", AsymConfig::new(0, 4, 4), 1),
-        ("0f-4s/8", AsymConfig::new(0, 4, 8), 1),
-    ];
-    let mut t = TextTable::new(vec![
-        "benchmark",
-        "4f-0s",
-        "2f-2s/8 (runs)",
-        "0f-4s/4",
-        "0f-4s/8",
-    ]);
-    for bench in SpecOmp::all() {
-        let bench = bench.variant(variant);
-        let mut cells = vec![bench.benchmark.to_string()];
-        for (_, config, runs) in configs {
-            let vals: Vec<String> = (0..runs)
-                .map(|s| {
-                    let r = bench.run(&RunSetup::new(config, SchedPolicy::os_default(), s));
-                    format!("{:.1}", r.value)
-                })
-                .collect();
-            cells.push(vals.join(" / "));
-        }
-        t.row(cells);
-    }
-    t.render()
-}
-
-fn main() {
-    figure_header(
-        "Figure 8(a)",
-        "SPEC OMP runtimes (s), unmodified parallelization directives",
-    );
-    println!("{}", table(OmpVariant::Unmodified));
-
-    figure_header(
-        "Figure 8(b)",
-        "SPEC OMP runtimes (s), all loops dynamic with large chunks",
-    );
-    println!("{}", table(OmpVariant::DynamicChunked));
-    println!(
-        "Shape check: in (a) 2f-2s/8 tracks 0f-4s/8 (slowest-core pacing);\n\
-         in (b) 2f-2s/8 lands near 4f-0s and far above the fast/slow midpoint."
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig8")
 }

@@ -1,22 +1,11 @@
 //! Figure 9: execution times for (a) H.264 encoding and (b) PMAKE —
 //! stable, scalable, and visibly helped by one fast core.
+//!
+//! Thin caller of the `fig9` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{figure_header, nine_config_experiment, render_experiment};
-use asym_kernel::SchedPolicy;
-use asym_workloads::h264::H264;
-use asym_workloads::pmake::Pmake;
+use std::process::ExitCode;
 
-fn main() {
-    figure_header("Figure 9(a)", "H.264 multithreaded encoding, 4 runs");
-    let h = nine_config_experiment(&H264::new(), SchedPolicy::os_default(), 4, 0);
-    println!("{}", render_experiment(&h));
-
-    figure_header("Figure 9(b)", "PMAKE (make -j4), 2 runs");
-    let p = nine_config_experiment(&Pmake::new(), SchedPolicy::os_default(), 2, 0);
-    println!("{}", render_experiment(&p));
-
-    println!(
-        "Shape check: both are stable; 1f-3s/8 beats 0f-4s/4 and 0f-4s/8\n\
-         (one fast core carries serial work and soaks up parallel work)."
-    );
+fn main() -> ExitCode {
+    asym_bench::spec_main("fig9")
 }

@@ -1,137 +1,12 @@
 //! Table 1: the qualitative results summary — per-workload verdicts on
 //! performance predictability and scalability, with remedies, derived
 //! from measured experiments (not hand-coded).
+//!
+//! Thin caller of the `table1` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
 
-use asym_bench::{figure_header, nine_config_experiment};
-use asym_core::{SummaryRow, TextTable, WorkloadClass};
-use asym_kernel::SchedPolicy;
-use asym_workloads::h264::H264;
-use asym_workloads::japps::JAppServer;
-use asym_workloads::pmake::Pmake;
-use asym_workloads::specjbb::{GcKind, SpecJbb};
-use asym_workloads::specomp::{OmpVariant, SpecOmp};
-use asym_workloads::tpch::TpcH;
-use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
+use std::process::ExitCode;
 
-fn main() {
-    figure_header("Table 1", "Results summary (derived from measurements)");
-    let runs = 4;
-    let stock = SchedPolicy::os_default();
-    let aware = SchedPolicy::asymmetry_aware();
-    // Scaling efficiency bound used for the "is scalability predictable"
-    // verdict; SPEC OMP's slowest-core pacing falls far below it.
-    let min_eff = 0.25;
-
-    let mut rows: Vec<SummaryRow> = Vec::new();
-
-    let jbb = SpecJbb::new(16).gc(GcKind::ConcurrentGenerational);
-    rows.push(SummaryRow::derive(
-        WorkloadClass::ManagedRuntime,
-        &nine_config_experiment(&jbb, stock, runs, 0),
-        Some(&nine_config_experiment(&jbb, aware, runs, 0)),
-        None,
-        min_eff,
-    ));
-    eprintln!("  [table1] SPECjbb done");
-
-    rows.push(SummaryRow::derive(
-        WorkloadClass::ManagedRuntime,
-        &nine_config_experiment(&JAppServer::new(320.0), stock, runs, 0),
-        None,
-        None,
-        min_eff,
-    ));
-    eprintln!("  [table1] SPECjAppServer done");
-
-    rows.push(SummaryRow::derive(
-        WorkloadClass::Database,
-        &nine_config_experiment(&TpcH::power_run(), stock, runs, 0),
-        Some(&nine_config_experiment(&TpcH::power_run(), aware, runs, 0)),
-        Some(&nine_config_experiment(
-            &TpcH::power_run().optimization(2),
-            stock,
-            runs,
-            0,
-        )),
-        min_eff,
-    ));
-    eprintln!("  [table1] TPC-H done");
-
-    let apache = Apache::new(LoadLevel::light());
-    rows.push(SummaryRow::derive(
-        WorkloadClass::WebServer,
-        &nine_config_experiment(&apache, stock, runs, 0),
-        Some(&nine_config_experiment(&apache, aware, runs, 0)),
-        Some(&nine_config_experiment(
-            &Apache::new(LoadLevel::light()).recycle_limit(50),
-            stock,
-            runs,
-            0,
-        )),
-        min_eff,
-    ));
-    eprintln!("  [table1] Apache done");
-
-    let zeus = Zeus::new(LoadLevel::light());
-    rows.push(SummaryRow::derive(
-        WorkloadClass::WebServer,
-        &nine_config_experiment(&zeus, stock, runs, 0),
-        Some(&nine_config_experiment(&zeus, aware, runs, 0)),
-        None,
-        min_eff,
-    ));
-    eprintln!("  [table1] Zeus done");
-
-    let omp = SpecOmp::new("swim").work_scale(0.5);
-    let omp_fixed = SpecOmp::new("swim")
-        .variant(OmpVariant::DynamicChunked)
-        .work_scale(0.5);
-    let mut omp_row = SummaryRow::derive(
-        WorkloadClass::Scientific,
-        &nine_config_experiment(&omp, stock, runs, 0),
-        Some(&nine_config_experiment(&omp, aware, runs, 0)),
-        Some(&nine_config_experiment(&omp_fixed, stock, runs, 0)),
-        min_eff,
-    );
-    omp_row.application = "SPEC OMP (swim)".to_string();
-    rows.push(omp_row);
-    eprintln!("  [table1] SPEC OMP done");
-
-    rows.push(SummaryRow::derive(
-        WorkloadClass::Multimedia,
-        &nine_config_experiment(&H264::new(), stock, runs, 0),
-        None,
-        None,
-        min_eff,
-    ));
-    eprintln!("  [table1] H.264 done");
-
-    rows.push(SummaryRow::derive(
-        WorkloadClass::Development,
-        &nine_config_experiment(&Pmake::new(), stock, 2, 0),
-        None,
-        None,
-        min_eff,
-    ));
-    eprintln!("  [table1] PMAKE done");
-
-    let mut t = TextTable::new(vec![
-        "Application",
-        "Class",
-        "Performance predictable?",
-        "Scalability predictable?",
-        "worst CoV",
-        "worst eff",
-    ]);
-    for r in &rows {
-        t.row(vec![
-            r.application.clone(),
-            r.class.to_string(),
-            r.predictable.to_string(),
-            r.scalable.to_string(),
-            format!("{:.1}%", r.worst_cov * 100.0),
-            format!("{:.2}", r.worst_efficiency),
-        ]);
-    }
-    println!("{}", t.render());
+fn main() -> ExitCode {
+    asym_bench::spec_main("table1")
 }

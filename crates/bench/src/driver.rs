@@ -1,0 +1,192 @@
+//! The unified sweep driver: selects [`SweepSpec`]s from the registry,
+//! merges every section of every selected spec into ONE
+//! [`ExperimentPlan`], executes the cells on the engine's host thread
+//! pool, then renders each spec's figure text in order and (optionally)
+//! writes the engine's structured JSON report.
+//!
+//! Because all specs share one plan, host threads drain one global cell
+//! queue — a slow spec never serializes behind a fast one — and the
+//! JSON report covers the whole invocation with per-cell timings, retry
+//! counts, and trace hashes.
+
+use crate::spec::{registry, SweepContext, SweepSpec};
+use asym_core::{resolve_jobs, CellRunner, ExperimentPlan};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Default path for `--json` without an explicit `=PATH`.
+pub const DEFAULT_JSON_PATH: &str = "BENCH_sweep.json";
+
+/// Parsed command line shared by `asym_sweep` and the per-figure
+/// binaries.
+#[derive(Debug, Clone, Default)]
+pub struct SweepArgs {
+    /// Positional spec names (empty for per-figure binaries).
+    pub names: Vec<String>,
+    /// `--jobs N` / `--jobs=N`: host threads (overrides `ASYM_JOBS`;
+    /// default: available parallelism).
+    pub jobs: Option<usize>,
+    /// `--quick`: CI smoke mode.
+    pub quick: bool,
+    /// `--json` / `--json=PATH`: write the engine's structured report.
+    pub json: Option<PathBuf>,
+    /// `--list`: print registered specs and exit.
+    pub list: bool,
+}
+
+impl SweepArgs {
+    /// Parses a raw argument list (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<SweepArgs, String> {
+        let mut out = SweepArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--list" => out.list = true,
+                "--json" => out.json = Some(PathBuf::from(DEFAULT_JSON_PATH)),
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    out.jobs = Some(parse_jobs(&v)?);
+                }
+                s if s.starts_with("--jobs=") => {
+                    out.jobs = Some(parse_jobs(&s["--jobs=".len()..])?);
+                }
+                s if s.starts_with("--json=") => {
+                    out.json = Some(PathBuf::from(&s["--json=".len()..]));
+                }
+                s if s.starts_with('-') => {
+                    return Err(format!(
+                        "unknown flag '{s}' (expected --quick, --jobs N, --json[=PATH], --list)"
+                    ));
+                }
+                name => out.names.push(name.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses `std::env::args()`.
+    pub fn from_env() -> Result<SweepArgs, String> {
+        SweepArgs::parse(std::env::args().skip(1))
+    }
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("--jobs needs a positive integer, got '{v}'")),
+    }
+}
+
+/// Runs the named specs as one merged plan. Prints each spec's figure
+/// text to stdout in the order given; engine/progress chatter goes to
+/// stderr so stdout stays byte-identical across `--jobs` settings.
+pub fn run_sweeps(names: &[&str], args: &SweepArgs) -> ExitCode {
+    let specs = registry();
+    let mut selected: Vec<&SweepSpec> = Vec::new();
+    for name in names {
+        match specs.iter().find(|s| s.name == *name) {
+            Some(s) => selected.push(s),
+            None => {
+                eprintln!("unknown sweep spec '{name}' (try --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if selected.is_empty() {
+        eprintln!("no sweep specs selected (try --list)");
+        return ExitCode::FAILURE;
+    }
+
+    let ctx = SweepContext { quick: args.quick };
+    let mut renders = Vec::new();
+    let mut counts = Vec::new();
+    let mut sections = Vec::new();
+    for spec in &selected {
+        let def = (spec.build)(&ctx);
+        counts.push(def.sections.len());
+        renders.push(def.render);
+        sections.extend(def.sections);
+    }
+
+    let plan_name = selected
+        .iter()
+        .map(|s| s.name)
+        .collect::<Vec<_>>()
+        .join("+");
+    let mut plan = ExperimentPlan::new(plan_name);
+    for s in &sections {
+        plan.push(
+            s.label.as_str(),
+            s.workload.as_ref(),
+            &s.configs,
+            s.mode.clone(),
+        );
+    }
+
+    let jobs = resolve_jobs(args.jobs);
+    eprintln!(
+        "[asym-sweep] {}: {} cell(s) across {} section(s) on {} host thread(s)",
+        selected
+            .iter()
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+            .join("+"),
+        plan.len(),
+        sections.len(),
+        jobs
+    );
+
+    let outcome = CellRunner::new(jobs).run(plan);
+
+    let mut ok = true;
+    let mut idx = 0;
+    for (count, render) in counts.iter().zip(&renders) {
+        let rendered = render(&outcome.results[idx..idx + count]);
+        idx += count;
+        print!("{}", rendered.text);
+        ok &= rendered.ok;
+    }
+
+    let report = &outcome.report;
+    eprintln!(
+        "[asym-sweep] {} cell(s) in {:.0} ms wall ({:.0} ms serial-equivalent, {:.2}x speedup, {} retries)",
+        report.cells.len(),
+        report.wall_ms,
+        report.cells_wall_ms(),
+        report.speedup(),
+        report.total_retries()
+    );
+    if let Some(path) = &args.json {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!("[asym-sweep] wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("[asym-sweep] failed to write {}: {e}", path.display());
+                ok = false;
+            }
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Entry point for the thin per-figure binaries: runs exactly one named
+/// spec, accepting the shared flags (`--quick`, `--jobs`, `--json`).
+pub fn spec_main(name: &str) -> ExitCode {
+    let args = match SweepArgs::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.names.is_empty() {
+        eprintln!("{name} runs a fixed spec and takes flags only; use asym_sweep to select specs");
+        return ExitCode::FAILURE;
+    }
+    run_sweeps(&[name], &args)
+}

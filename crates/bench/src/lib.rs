@@ -14,6 +14,14 @@ use asym_core::{
 };
 use asym_kernel::SchedPolicy;
 
+mod driver;
+mod spec;
+
+pub use driver::{run_sweeps, spec_main, SweepArgs};
+pub use spec::{
+    registry, spec_names, RenderFn, Rendered, Section, SweepContext, SweepDef, SweepSpec,
+};
+
 /// Runs `workload` across the standard nine configurations and returns
 /// the experiment.
 pub fn nine_config_experiment(
@@ -90,9 +98,16 @@ pub fn stability_line(exp: &Experiment) -> String {
     )
 }
 
+/// A figure header as a string (three lines, trailing newline).
+pub fn header(id: &str, caption: &str) -> String {
+    format!(
+        "==================================================================\n\
+         {id}: {caption}\n\
+         ==================================================================\n"
+    )
+}
+
 /// Prints a figure header.
 pub fn figure_header(id: &str, caption: &str) {
-    println!("==================================================================");
-    println!("{id}: {caption}");
-    println!("==================================================================");
+    print!("{}", header(id, caption));
 }

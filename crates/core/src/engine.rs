@@ -1,0 +1,1054 @@
+//! The cell-based experiment engine.
+//!
+//! Every figure of the paper is a sweep over (workload × configuration ×
+//! policy × seed) cells, and each cell is an independent,
+//! seed-deterministic simulation. This module makes that the unit of
+//! execution: an [`ExperimentPlan`] expands any sweep — clean,
+//! resilient, or differential — into a flat list of [`Cell`]s with
+//! precomputed seeds and fault plans, and a [`CellRunner`] executes the
+//! cells on a host thread pool (size controlled by `--jobs` flags or
+//! the `ASYM_JOBS` environment variable, defaulting to
+//! `available_parallelism`) and reassembles results in deterministic
+//! plan order, so parallel output is bit-identical to serial.
+//!
+//! The legacy entry points ([`run_experiment`](crate::run_experiment),
+//! [`run_experiment_resilient`](crate::run_experiment_resilient),
+//! [`run_experiment_differential`](crate::run_experiment_differential))
+//! are thin wrappers over this engine.
+//!
+//! Alongside the assembled experiment results, every run of a plan
+//! produces a [`SweepReport`]: per-cell wall-clock timings, retry
+//! counts, classifications, and trace hashes, serializable as JSON (a
+//! hand-rolled writer, no dependencies) — the repository's perf
+//! trajectory artifact (`BENCH_sweep.json`).
+
+use crate::config::AsymConfig;
+use crate::experiment::{
+    ConfigOutcome, DifferentialConfigOutcome, DifferentialExperiment, DifferentialRep, Experiment,
+    ExperimentOptions, ResilientConfigOutcome, ResilientExperiment, ResilientOptions, RunClass,
+    RunRecord,
+};
+use crate::metrics::Samples;
+use crate::workload::{RunResult, RunSetup, Workload};
+use asym_kernel::{
+    capture_traces, fold_trace_hashes, with_run_guard, RunGuard, RunOutcome, SchedPolicy,
+    TraceHashFold,
+};
+use asym_sim::{FaultPlan, SimDuration};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Host parallelism
+// ----------------------------------------------------------------------
+
+/// Resolves the host-thread-pool size: an explicit request (a `--jobs`
+/// flag) wins, then the `ASYM_JOBS` environment variable, then
+/// `available_parallelism`. Zero and unparseable values are ignored.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    explicit
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var("ASYM_JOBS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+}
+
+/// The default pool size: `ASYM_JOBS` if set, else `available_parallelism`.
+pub fn default_jobs() -> usize {
+    resolve_jobs(None)
+}
+
+// ----------------------------------------------------------------------
+// Plans and cells
+// ----------------------------------------------------------------------
+
+/// How one experiment in a plan executes its cells: which harness
+/// semantics (clean / resilient / differential) and with what options.
+///
+/// The `parallel` flag inside the options is ignored here — host
+/// parallelism is the [`CellRunner`]'s business, not the experiment's.
+#[derive(Clone)]
+pub enum SpecMode {
+    /// The clean harness: one plain run per cell, panics propagate.
+    Clean {
+        /// Scheduling policy for every run.
+        policy: SchedPolicy,
+        /// Runs per configuration, base seed, optional observer.
+        options: ExperimentOptions,
+    },
+    /// The resilient harness: guarded, classified, adaptively retried
+    /// runs (see [`run_experiment_resilient`](crate::run_experiment_resilient)).
+    Resilient {
+        /// Scheduling policy for every run.
+        policy: SchedPolicy,
+        /// Slots, retries, watchdog, budget, fault planner, observer.
+        options: ResilientOptions,
+    },
+    /// The differential harness: each cell runs four times (stock/aware
+    /// × clean/faulted) from one seed and one shared fault plan (see
+    /// [`run_experiment_differential`](crate::run_experiment_differential)).
+    Differential {
+        /// Repeats, retries, watchdog, budget, fault planner, observer.
+        options: ResilientOptions,
+    },
+}
+
+impl SpecMode {
+    /// Short machine-readable mode name (used in the JSON sink).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpecMode::Clean { .. } => "clean",
+            SpecMode::Resilient { .. } => "resilient",
+            SpecMode::Differential { .. } => "differential",
+        }
+    }
+
+    fn runs(&self) -> usize {
+        match self {
+            SpecMode::Clean { options, .. } => options.runs,
+            SpecMode::Resilient { options, .. } | SpecMode::Differential { options } => {
+                options.runs
+            }
+        }
+    }
+
+    fn base_seed(&self) -> u64 {
+        match self {
+            SpecMode::Clean { options, .. } => options.base_seed,
+            SpecMode::Resilient { options, .. } | SpecMode::Differential { options } => {
+                options.base_seed
+            }
+        }
+    }
+
+    /// The policy recorded per cell: the run policy, or the canonical
+    /// stock policy for differential cells (which run both).
+    fn cell_policy(&self) -> SchedPolicy {
+        match self {
+            SpecMode::Clean { policy, .. } | SpecMode::Resilient { policy, .. } => *policy,
+            SpecMode::Differential { .. } => SchedPolicy::os_default(),
+        }
+    }
+}
+
+/// One experiment inside a plan.
+struct PlanSpec<'w> {
+    label: String,
+    workload: &'w dyn Workload,
+    configs: Vec<AsymConfig>,
+    mode: SpecMode,
+}
+
+/// One schedulable unit of a sweep: a single run slot (clean/resilient)
+/// or one four-run differential repeat. Seeds and the *initial* fault
+/// plan are precomputed at plan-expansion time, so execution order can
+/// never influence them; only reseeding retries re-derive a plan.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Index of the owning spec within the plan.
+    pub spec: usize,
+    /// Index of the cell's configuration within the spec's `configs`.
+    pub config_index: usize,
+    /// Run slot (clean/resilient) or repeat index (differential) within
+    /// the configuration.
+    pub rep: usize,
+    /// The precomputed setup (config, policy, seed) of the first attempt.
+    pub setup: RunSetup,
+    /// The precomputed fault plan of the first attempt, if the spec has
+    /// a fault planner.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// A flat, deterministic expansion of one or more experiments into
+/// [`Cell`]s, ready for a [`CellRunner`].
+///
+/// Pushing a spec expands its cells immediately, in configuration-major
+/// seed order — the exact order the serial harnesses used — so results
+/// reassembled by cell index are independent of execution interleaving.
+pub struct ExperimentPlan<'w> {
+    name: String,
+    specs: Vec<PlanSpec<'w>>,
+    cells: Vec<Cell>,
+}
+
+impl<'w> ExperimentPlan<'w> {
+    /// An empty plan named `name` (the name labels the [`SweepReport`]).
+    pub fn new(name: impl Into<String>) -> Self {
+        ExperimentPlan {
+            name: name.into(),
+            specs: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds one experiment to the plan and expands its cells. Returns
+    /// the spec's index (its position in [`PlanOutcome::results`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty or the mode's `runs` is zero.
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        workload: &'w dyn Workload,
+        configs: &[AsymConfig],
+        mode: SpecMode,
+    ) -> usize {
+        assert!(!configs.is_empty(), "need at least one configuration");
+        assert!(mode.runs() > 0, "need at least one run");
+        let index = self.specs.len();
+        let runs = mode.runs();
+        let base_seed = mode.base_seed();
+        let policy = mode.cell_policy();
+        let planner = match &mode {
+            SpecMode::Clean { .. } => None,
+            SpecMode::Resilient { options, .. } | SpecMode::Differential { options } => {
+                options.planner.clone()
+            }
+        };
+        for (j, &config) in configs.iter().enumerate() {
+            for i in 0..runs {
+                let setup = RunSetup::new(config, policy, base_seed + j as u64 * 1000 + i as u64);
+                let fault_plan = planner.as_ref().map(|p| p(&setup));
+                self.cells.push(Cell {
+                    spec: index,
+                    config_index: j,
+                    rep: i,
+                    setup,
+                    fault_plan,
+                });
+            }
+        }
+        self.specs.push(PlanSpec {
+            label: label.into(),
+            workload,
+            configs: configs.to_vec(),
+            mode,
+        });
+        index
+    }
+
+    /// Number of cells in the plan.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the plan has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cell execution
+// ----------------------------------------------------------------------
+
+/// Stride between retry seeds: a prime far from the `j * 1000 + i` seed
+/// grid, so a reseeded attempt never collides with another slot.
+pub(crate) const RETRY_SEED_STRIDE: u64 = 7919;
+
+/// Cap on sim-time-budget escalation: a `TimeLimit` retry doubles the
+/// budget each attempt, up to this multiple of the configured budget.
+pub(crate) const MAX_BUDGET_FACTOR: u32 = 8;
+
+/// What one executed cell produced, before reassembly.
+struct CellOutcome {
+    data: CellData,
+    class: RunClass,
+    attempts: u32,
+    value: Option<f64>,
+    trace_hash: Option<u64>,
+    wall_nanos: u64,
+}
+
+enum CellData {
+    Clean(RunResult),
+    Resilient(RunRecord),
+    Differential(DifferentialRep),
+}
+
+/// The worst classification over every kernel a run created. A
+/// `TimeLimit` outcome only fails the run when the kernel's own budget
+/// (not a caller-chosen measurement window) cut it short — that is what
+/// `KernelTrace::budget_exhausted` records.
+fn classify_traces(traces: &[asym_kernel::KernelTrace]) -> RunClass {
+    let mut worst = RunClass::Completed;
+    for t in traces {
+        let class = match t.outcome {
+            Some(RunOutcome::Deadlock(_)) => RunClass::Deadlock,
+            Some(RunOutcome::Stalled) => RunClass::Stalled,
+            _ if t.budget_exhausted => RunClass::TimeLimit,
+            _ => RunClass::Completed,
+        };
+        worst = worst.max(class);
+    }
+    worst
+}
+
+/// Applies one rung of the fault-softening ladder: level 0 is the full
+/// plan, 1 drops thread kills, 2 additionally drops hotplug, and 3+
+/// injects nothing at all.
+pub(crate) fn soften_plan(plan: FaultPlan, level: u32) -> Option<FaultPlan> {
+    match level {
+        0 => Some(plan),
+        1 => Some(plan.without_kills()),
+        2 => Some(plan.without_kills().without_hotplug()),
+        _ => None,
+    }
+}
+
+/// One guarded, trace-captured, panic-contained attempt. `budget_factor`
+/// scales the configured sim-time budget (escalated retries); `plan` is
+/// the fault plan to inject, already softened as the retry ladder
+/// demands. Returns the classification, the metric (when completed),
+/// and the folded trace hash (absent when the attempt panicked).
+fn attempt_run(
+    workload: &dyn Workload,
+    setup: &RunSetup,
+    options: &ResilientOptions,
+    budget_factor: u32,
+    plan: Option<FaultPlan>,
+) -> (RunClass, Option<f64>, Option<u64>) {
+    let mut guard = RunGuard::new();
+    if let Some(w) = options.watchdog {
+        guard = guard.watchdog(w);
+    }
+    if let Some(b) = options.sim_time_budget {
+        guard = guard.sim_time_budget(SimDuration::from_nanos(
+            b.as_nanos().saturating_mul(u64::from(budget_factor)),
+        ));
+    }
+    if let Some(plan) = plan {
+        guard = guard.fault_plan(plan);
+    }
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        capture_traces(|| with_run_guard(guard, || workload.run(setup)))
+    }));
+    match caught {
+        Err(_) => (RunClass::Panicked, None, None),
+        Ok((result, traces)) => {
+            if let Some(obs) = &options.observer {
+                obs(setup, &result, &traces);
+            }
+            let class = classify_traces(&traces);
+            let value = (class == RunClass::Completed).then_some(result.value);
+            (class, value, Some(fold_trace_hashes(&traces)))
+        }
+    }
+}
+
+/// Executes one clean cell: a single trace-captured run, no guard, no
+/// retries; panics propagate to the runner (and out of the pool).
+fn exec_clean(
+    workload: &dyn Workload,
+    cell: &Cell,
+    options: &ExperimentOptions,
+) -> (CellData, RunClass, u32, Option<f64>, Option<u64>) {
+    let (result, traces) = capture_traces(|| workload.run(&cell.setup));
+    if let Some(obs) = &options.observer {
+        obs(&cell.setup, &result, &traces);
+    }
+    let hash = fold_trace_hashes(&traces);
+    let value = Some(result.value);
+    (
+        CellData::Clean(result),
+        RunClass::Completed,
+        1,
+        value,
+        Some(hash),
+    )
+}
+
+/// Executes one resilient cell: attempt, classify, retry on failure.
+///
+/// Retries escalate *adaptively* according to how the attempt failed,
+/// rather than blindly reseeding:
+///
+/// * [`RunClass::TimeLimit`] — the run was legitimate but slow (faults
+///   can stretch a run well past its clean duration). Retry the **same
+///   seed** with the sim-time budget doubled, up to
+///   [`MAX_BUDGET_FACTOR`]× the configured budget.
+/// * [`RunClass::Stalled`] — the fault schedule drove the workload into
+///   a livelock. Retry the **same seed** with a progressively softened
+///   fault plan: first without thread kills, then additionally without
+///   hotplug, then with no faults at all.
+/// * [`RunClass::Deadlock`] / [`RunClass::Panicked`] — the run is wedged
+///   in a way no budget or fault change explains; retry with a fresh
+///   seed (stride [`RETRY_SEED_STRIDE`]), re-deriving the fault plan
+///   from the new seed.
+fn exec_resilient(
+    workload: &dyn Workload,
+    cell: &Cell,
+    options: &ResilientOptions,
+) -> (CellData, RunClass, u32, Option<f64>, Option<u64>) {
+    let slot = &cell.setup;
+    let mut attempts = 0u32;
+    let mut seed_bump = 0u64;
+    let mut budget_factor = 1u32;
+    let mut soften = 0u32;
+    loop {
+        let setup = RunSetup::new(slot.config, slot.policy, slot.seed + seed_bump);
+        attempts += 1;
+        // The first attempt reuses the plan precomputed at expansion;
+        // reseeded attempts re-derive it from the bumped seed, exactly
+        // as the serial harness did.
+        let full = if seed_bump == 0 {
+            cell.fault_plan.clone()
+        } else {
+            options.planner.as_ref().map(|p| p(&setup))
+        };
+        let plan = full.and_then(|f| soften_plan(f, soften));
+        let (class, value, hash) = attempt_run(workload, &setup, options, budget_factor, plan);
+        if class == RunClass::Completed || attempts > options.retries {
+            let record = RunRecord {
+                seed: setup.seed,
+                attempts,
+                class,
+                value,
+            };
+            return (CellData::Resilient(record), class, attempts, value, hash);
+        }
+        match class {
+            RunClass::TimeLimit => {
+                budget_factor = (budget_factor * 2).min(MAX_BUDGET_FACTOR);
+            }
+            RunClass::Stalled => soften += 1,
+            _ => seed_bump += RETRY_SEED_STRIDE,
+        }
+    }
+}
+
+/// Executes one differential cell: four runs (stock/aware ×
+/// clean/faulted) from the cell's single seed and precomputed fault
+/// plan. Retries never reseed and never soften — that would break the
+/// pairing — the only escalation is budget doubling on
+/// [`RunClass::TimeLimit`].
+fn exec_differential(
+    workload: &dyn Workload,
+    cell: &Cell,
+    options: &ResilientOptions,
+) -> (CellData, RunClass, u32, Option<f64>, Option<u64>) {
+    let slot = &cell.setup;
+    let plan = cell.fault_plan.as_ref();
+    let mut fold = TraceHashFold::new();
+    let mut any_hash = false;
+    let mut run = |policy: SchedPolicy, plan: Option<&FaultPlan>| -> RunRecord {
+        let setup = RunSetup::new(slot.config, policy, slot.seed);
+        let mut attempts = 0u32;
+        let mut budget_factor = 1u32;
+        loop {
+            attempts += 1;
+            let (class, value, hash) =
+                attempt_run(workload, &setup, options, budget_factor, plan.cloned());
+            let escalatable = class == RunClass::TimeLimit && budget_factor < MAX_BUDGET_FACTOR;
+            if class == RunClass::Completed || attempts > options.retries || !escalatable {
+                if let Some(h) = hash {
+                    fold.push(h);
+                    any_hash = true;
+                }
+                return RunRecord {
+                    seed: setup.seed,
+                    attempts,
+                    class,
+                    value,
+                };
+            }
+            budget_factor *= 2;
+        }
+    };
+    let rep = DifferentialRep {
+        seed: slot.seed,
+        stock_clean: run(SchedPolicy::os_default(), None),
+        stock_faulted: run(SchedPolicy::os_default(), plan),
+        aware_clean: run(SchedPolicy::asymmetry_aware(), None),
+        aware_faulted: run(SchedPolicy::asymmetry_aware(), plan),
+    };
+    let class = rep
+        .records()
+        .iter()
+        .map(|r| r.class)
+        .max()
+        .unwrap_or(RunClass::Completed);
+    let attempts = rep.records().iter().map(|r| r.attempts).sum();
+    let value = rep.absorption(workload.direction());
+    let hash = any_hash.then(|| fold.finish());
+    (CellData::Differential(rep), class, attempts, value, hash)
+}
+
+fn exec_cell(spec: &PlanSpec<'_>, cell: &Cell) -> CellOutcome {
+    let start = Instant::now();
+    let (data, class, attempts, value, trace_hash) = match &spec.mode {
+        SpecMode::Clean { options, .. } => exec_clean(spec.workload, cell, options),
+        SpecMode::Resilient { options, .. } => exec_resilient(spec.workload, cell, options),
+        SpecMode::Differential { options } => exec_differential(spec.workload, cell, options),
+    };
+    CellOutcome {
+        data,
+        class,
+        attempts,
+        value,
+        trace_hash,
+        wall_nanos: start.elapsed().as_nanos() as u64,
+    }
+}
+
+// ----------------------------------------------------------------------
+// The runner
+// ----------------------------------------------------------------------
+
+/// Executes an [`ExperimentPlan`]'s cells on a host thread pool and
+/// reassembles results in plan order.
+///
+/// The pool is a shared work queue over `std::thread::scope`: each of
+/// `jobs` OS workers pulls the next unclaimed cell index until the plan
+/// is drained, writing its outcome into the cell's own slot. Because
+/// every cell's seed and fault plan were precomputed at expansion, and
+/// ambient kernel state (trace capture, [`RunGuard`]) is per host
+/// thread, results are bit-identical whatever the pool size.
+pub struct CellRunner {
+    jobs: usize,
+}
+
+impl CellRunner {
+    /// A runner with an explicit pool size (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        CellRunner { jobs: jobs.max(1) }
+    }
+
+    /// The pool size this runner will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every cell of `plan` and reassembles per-spec results plus
+    /// the structured [`SweepReport`].
+    pub fn run(&self, plan: ExperimentPlan<'_>) -> PlanOutcome {
+        let start = Instant::now();
+        let outcomes = self.run_cells(&plan);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let report = build_report(&plan, &outcomes, self.jobs, wall_ms);
+        let results = assemble(plan, outcomes);
+        PlanOutcome { results, report }
+    }
+
+    /// Executes all cells, preserving slot order.
+    fn run_cells(&self, plan: &ExperimentPlan<'_>) -> Vec<CellOutcome> {
+        let cells = &plan.cells;
+        let nthreads = self.jobs.min(cells.len()).max(1);
+        if nthreads == 1 {
+            return cells
+                .iter()
+                .map(|c| exec_cell(&plan.specs[c.spec], c))
+                .collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<CellOutcome>>> =
+            cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let out = exec_cell(&plan.specs[cells[i].spec], &cells[i]);
+                    *slots[i].lock().expect("cell slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("cell slot poisoned")
+                    .expect("every cell completed")
+            })
+            .collect()
+    }
+}
+
+impl Default for CellRunner {
+    /// A runner sized by [`default_jobs`].
+    fn default() -> Self {
+        CellRunner::new(default_jobs())
+    }
+}
+
+/// One assembled experiment result, in the plan's push order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecResult {
+    /// A clean experiment.
+    Clean(Experiment),
+    /// A resilient experiment.
+    Resilient(ResilientExperiment),
+    /// A differential experiment.
+    Differential(DifferentialExperiment),
+}
+
+impl SpecResult {
+    /// The clean experiment, panicking if the spec ran another mode.
+    pub fn clean(&self) -> &Experiment {
+        match self {
+            SpecResult::Clean(e) => e,
+            _ => panic!("spec did not run in clean mode"),
+        }
+    }
+
+    /// The resilient experiment, panicking if the spec ran another mode.
+    pub fn resilient(&self) -> &ResilientExperiment {
+        match self {
+            SpecResult::Resilient(e) => e,
+            _ => panic!("spec did not run in resilient mode"),
+        }
+    }
+
+    /// The differential experiment, panicking if the spec ran another
+    /// mode.
+    pub fn differential(&self) -> &DifferentialExperiment {
+        match self {
+            SpecResult::Differential(e) => e,
+            _ => panic!("spec did not run in differential mode"),
+        }
+    }
+}
+
+/// Everything a plan run produced: assembled experiments plus the
+/// structured per-cell report.
+pub struct PlanOutcome {
+    /// Per-spec results, in push order.
+    pub results: Vec<SpecResult>,
+    /// The structured per-cell report (JSON-serializable).
+    pub report: SweepReport,
+}
+
+/// Reassembles the flat outcome list into per-spec experiment results.
+fn assemble(plan: ExperimentPlan<'_>, outcomes: Vec<CellOutcome>) -> Vec<SpecResult> {
+    let mut per_spec: Vec<Vec<CellOutcome>> = plan.specs.iter().map(|_| Vec::new()).collect();
+    for (cell, out) in plan.cells.iter().zip(outcomes) {
+        per_spec[cell.spec].push(out);
+    }
+    plan.specs
+        .iter()
+        .zip(per_spec)
+        .map(|(spec, outs)| assemble_spec(spec, outs))
+        .collect()
+}
+
+fn assemble_spec(spec: &PlanSpec<'_>, outcomes: Vec<CellOutcome>) -> SpecResult {
+    let w = spec.workload;
+    let runs = spec.mode.runs();
+    match &spec.mode {
+        SpecMode::Clean { policy, .. } => {
+            let results: Vec<RunResult> = outcomes
+                .into_iter()
+                .map(|o| match o.data {
+                    CellData::Clean(r) => r,
+                    _ => unreachable!("clean spec produced non-clean cell"),
+                })
+                .collect();
+            let outcomes = spec
+                .configs
+                .iter()
+                .enumerate()
+                .map(|(j, &config)| {
+                    let slice = &results[j * runs..(j + 1) * runs];
+                    let samples = Samples::new(slice.iter().map(|r| r.value).collect());
+                    let mut extras_mean = BTreeMap::new();
+                    for r in slice {
+                        for (k, v) in &r.extras {
+                            *extras_mean.entry(k.clone()).or_insert(0.0) += v / runs as f64;
+                        }
+                    }
+                    ConfigOutcome {
+                        config,
+                        samples,
+                        extras_mean,
+                    }
+                })
+                .collect();
+            SpecResult::Clean(Experiment {
+                workload: w.name().to_string(),
+                unit: w.unit().to_string(),
+                direction: w.direction(),
+                policy: *policy,
+                outcomes,
+            })
+        }
+        SpecMode::Resilient { policy, .. } => {
+            let records: Vec<RunRecord> = outcomes
+                .into_iter()
+                .map(|o| match o.data {
+                    CellData::Resilient(r) => r,
+                    _ => unreachable!("resilient spec produced non-resilient cell"),
+                })
+                .collect();
+            let outcomes = spec
+                .configs
+                .iter()
+                .enumerate()
+                .map(|(j, &config)| ResilientConfigOutcome {
+                    config,
+                    records: records[j * runs..(j + 1) * runs].to_vec(),
+                })
+                .collect();
+            SpecResult::Resilient(ResilientExperiment {
+                workload: w.name().to_string(),
+                unit: w.unit().to_string(),
+                direction: w.direction(),
+                policy: *policy,
+                outcomes,
+            })
+        }
+        SpecMode::Differential { .. } => {
+            let reps: Vec<DifferentialRep> = outcomes
+                .into_iter()
+                .map(|o| match o.data {
+                    CellData::Differential(r) => r,
+                    _ => unreachable!("differential spec produced non-differential cell"),
+                })
+                .collect();
+            let outcomes = spec
+                .configs
+                .iter()
+                .enumerate()
+                .map(|(j, &config)| DifferentialConfigOutcome {
+                    config,
+                    reps: reps[j * runs..(j + 1) * runs].to_vec(),
+                })
+                .collect();
+            SpecResult::Differential(DifferentialExperiment {
+                workload: w.name().to_string(),
+                unit: w.unit().to_string(),
+                direction: w.direction(),
+                outcomes,
+            })
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The structured results sink
+// ----------------------------------------------------------------------
+
+/// One cell's entry in the [`SweepReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Label of the owning spec.
+    pub spec: String,
+    /// Workload name.
+    pub workload: String,
+    /// Configuration, in `nf-ms/scale` notation.
+    pub config: String,
+    /// Harness mode: `clean`, `resilient`, or `differential`.
+    pub mode: &'static str,
+    /// Scheduling policy (canonical stock for differential cells).
+    pub policy: String,
+    /// The cell's base seed.
+    pub seed: u64,
+    /// Run slot / repeat index within the configuration.
+    pub rep: usize,
+    /// Final classification (worst of the four runs for differential
+    /// cells).
+    pub class: RunClass,
+    /// Total attempts spent, retries included (summed over the four
+    /// runs for differential cells).
+    pub attempts: u32,
+    /// Primary metric: the run value, or the per-repeat absorption for
+    /// differential cells; absent when unavailable.
+    pub value: Option<f64>,
+    /// Host wall-clock the cell consumed, in milliseconds.
+    pub wall_ms: f64,
+    /// Folded kernel-trace hash of the cell's final attempt(s); absent
+    /// when every run panicked.
+    pub trace_hash: Option<u64>,
+}
+
+/// The structured outcome of one plan run: per-cell records plus
+/// wall-clock totals, serializable as JSON with [`SweepReport::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Plan name.
+    pub name: String,
+    /// Host thread-pool size used.
+    pub jobs: usize,
+    /// Elapsed wall-clock of the whole plan, in milliseconds.
+    pub wall_ms: f64,
+    /// Per-cell records, in plan order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// Sum of per-cell wall-clock times — the serial-equivalent cost.
+    pub fn cells_wall_ms(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_ms).sum()
+    }
+
+    /// Observed parallel speedup: serial-equivalent cost over elapsed
+    /// wall-clock (≈ 1.0 when `jobs = 1`).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.cells_wall_ms() / self.wall_ms
+        } else {
+            1.0
+        }
+    }
+
+    /// Number of cells whose final class is `class`.
+    pub fn count(&self, class: RunClass) -> usize {
+        self.cells.iter().filter(|c| c.class == class).count()
+    }
+
+    /// Total retries across all cells (attempts beyond the first; a
+    /// differential cell's baseline is four attempts).
+    pub fn total_retries(&self) -> u32 {
+        self.cells
+            .iter()
+            .map(|c| {
+                let baseline = if c.mode == "differential" { 4 } else { 1 };
+                c.attempts.saturating_sub(baseline)
+            })
+            .sum()
+    }
+
+    /// Serializes the report as a self-contained JSON document
+    /// (hand-rolled writer — no dependencies, stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.cells.len() * 192);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"wall_ms\": {},", json_f64(self.wall_ms));
+        let _ = writeln!(
+            out,
+            "  \"cells_wall_ms\": {},",
+            json_f64(self.cells_wall_ms())
+        );
+        let _ = writeln!(out, "  \"speedup\": {},", json_f64(self.speedup()));
+        let _ = writeln!(out, "  \"total_retries\": {},", self.total_retries());
+        out.push_str("  \"classes\": {");
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for c in &self.cells {
+            *counts.entry(c.class.to_string()).or_insert(0) += 1;
+        }
+        for (i, (class, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", json_string(class), n);
+        }
+        out.push_str("},\n");
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {");
+            let _ = write!(out, "\"spec\": {}, ", json_string(&c.spec));
+            let _ = write!(out, "\"workload\": {}, ", json_string(&c.workload));
+            let _ = write!(out, "\"config\": {}, ", json_string(&c.config));
+            let _ = write!(out, "\"mode\": {}, ", json_string(c.mode));
+            let _ = write!(out, "\"policy\": {}, ", json_string(&c.policy));
+            let _ = write!(out, "\"seed\": {}, ", c.seed);
+            let _ = write!(out, "\"rep\": {}, ", c.rep);
+            let _ = write!(out, "\"class\": {}, ", json_string(&c.class.to_string()));
+            let _ = write!(out, "\"attempts\": {}, ", c.attempts);
+            match c.value {
+                Some(v) if v.is_finite() => {
+                    let _ = write!(out, "\"value\": {}, ", json_f64(v));
+                }
+                _ => out.push_str("\"value\": null, "),
+            }
+            let _ = write!(out, "\"wall_ms\": {}, ", json_f64(c.wall_ms));
+            match c.trace_hash {
+                Some(h) => {
+                    let _ = write!(out, "\"trace_hash\": \"{h:#018x}\"");
+                }
+                None => out.push_str("\"trace_hash\": null"),
+            }
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite `f64` as a JSON number (non-finite values become 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn build_report(
+    plan: &ExperimentPlan<'_>,
+    outcomes: &[CellOutcome],
+    jobs: usize,
+    wall_ms: f64,
+) -> SweepReport {
+    let cells = plan
+        .cells
+        .iter()
+        .zip(outcomes)
+        .map(|(cell, out)| {
+            let spec = &plan.specs[cell.spec];
+            CellReport {
+                spec: spec.label.clone(),
+                workload: spec.workload.name().to_string(),
+                config: cell.setup.config.to_string(),
+                mode: spec.mode.name(),
+                policy: cell.setup.policy.to_string(),
+                seed: cell.setup.seed,
+                rep: cell.rep,
+                class: out.class,
+                attempts: out.attempts,
+                value: out.value,
+                wall_ms: out.wall_nanos as f64 / 1e6,
+                trace_hash: out.trace_hash,
+            }
+        })
+        .collect();
+    SweepReport {
+        name: plan.name.clone(),
+        jobs,
+        wall_ms,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Direction;
+
+    struct Proportional;
+    impl Workload for Proportional {
+        fn name(&self) -> &str {
+            "proportional"
+        }
+        fn unit(&self) -> &str {
+            "ops/s"
+        }
+        fn direction(&self) -> Direction {
+            Direction::HigherIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            RunResult::new(setup.config.compute_power() * 100.0 + (setup.seed % 5) as f64)
+        }
+    }
+
+    fn mini_plan(w: &Proportional) -> ExperimentPlan<'_> {
+        let mut plan = ExperimentPlan::new("mini");
+        plan.push(
+            "a",
+            w,
+            &AsymConfig::standard_nine(),
+            SpecMode::Clean {
+                policy: SchedPolicy::os_default(),
+                options: ExperimentOptions::new(3),
+            },
+        );
+        plan.push(
+            "b",
+            w,
+            &[AsymConfig::new(2, 2, 8)],
+            SpecMode::Clean {
+                policy: SchedPolicy::asymmetry_aware(),
+                options: ExperimentOptions::new(2).base_seed(100),
+            },
+        );
+        plan
+    }
+
+    #[test]
+    fn plan_expansion_is_config_major_seed_order() {
+        let w = Proportional;
+        let plan = mini_plan(&w);
+        assert_eq!(plan.len(), 9 * 3 + 2);
+        // Spec 0, config 1, rep 2 → seed 1 * 1000 + 2.
+        let cell = &plan.cells[5];
+        assert_eq!(cell.spec, 0);
+        assert_eq!(cell.config_index, 1);
+        assert_eq!(cell.rep, 2);
+        assert_eq!(cell.setup.seed, 1002);
+        // Spec 1 starts after spec 0's 27 cells, at base seed 100.
+        assert_eq!(plan.cells[27].spec, 1);
+        assert_eq!(plan.cells[27].setup.seed, 100);
+    }
+
+    #[test]
+    fn parallel_results_are_bit_identical_to_serial() {
+        let w = Proportional;
+        let serial = CellRunner::new(1).run(mini_plan(&w));
+        let parallel = CellRunner::new(4).run(mini_plan(&w));
+        assert_eq!(serial.results, parallel.results);
+        // Trace hashes per cell are identical too (values only — wall
+        // clock naturally differs).
+        let hashes = |o: &PlanOutcome| {
+            o.report
+                .cells
+                .iter()
+                .map(|c| (c.seed, c.trace_hash))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(hashes(&serial), hashes(&parallel));
+        assert_eq!(parallel.report.jobs, 4);
+    }
+
+    #[test]
+    fn report_counts_and_json_shape() {
+        let w = Proportional;
+        let out = CellRunner::new(2).run(mini_plan(&w));
+        assert_eq!(out.report.cells.len(), 29);
+        assert_eq!(out.report.count(RunClass::Completed), 29);
+        assert_eq!(out.report.total_retries(), 0);
+        let json = out.report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"name\": \"mini\""));
+        assert!(json.contains("\"classes\": {\"completed\": 29}"));
+        assert!(json.contains("\"speedup\": "));
+        assert!(!json.contains("panicked"));
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "0");
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_explicit() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

@@ -4,13 +4,13 @@
 //! and the trend against compute power (scalability).
 
 use crate::config::AsymConfig;
+use crate::engine::{CellRunner, ExperimentPlan, SpecMode, SpecResult};
 use crate::metrics::{Direction, Samples, Scalability, Stability};
 use crate::workload::{RunResult, RunSetup, Workload};
-use asym_kernel::{capture_traces, with_run_guard, KernelTrace, RunGuard, RunOutcome, SchedPolicy};
+use asym_kernel::{KernelTrace, SchedPolicy};
 use asym_sim::{FaultPlan, SimDuration};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// A per-run hook receiving the setup, the result, and the trace of
@@ -231,7 +231,7 @@ pub struct ExperimentOptions {
     /// Execute independent runs on parallel OS threads.
     pub parallel: bool,
     /// Optional per-run observer; when set, every run executes under
-    /// [`capture_traces`] and the observer sees the full kernel trace.
+    /// [`capture_traces`](asym_kernel::capture_traces) and the observer sees the full kernel trace.
     pub observer: Option<RunObserver>,
 }
 
@@ -259,7 +259,7 @@ impl ExperimentOptions {
     }
 
     /// Installs a per-run observer. Each run then executes inside
-    /// [`capture_traces`], and `observer` is invoked (on the worker
+    /// [`capture_traces`](asym_kernel::capture_traces), and `observer` is invoked (on the worker
     /// thread that executed the run) with the setup, the result, and the
     /// captured trace of every kernel the run created. This is how
     /// `asym-analysis` checks every workload run without workloads
@@ -287,9 +287,12 @@ impl fmt::Debug for ExperimentOptions {
 /// Runs `workload` `options.runs` times on every configuration in
 /// `configs` under `policy` and collects the statistics.
 ///
-/// Independent runs execute on parallel OS threads when
-/// `options.parallel` is set; results are deterministic either way
-/// because each run's seed is fixed by its position.
+/// This is a thin wrapper over the cell engine: the sweep expands into
+/// an [`ExperimentPlan`] and executes on a [`CellRunner`] host thread
+/// pool ([`default_jobs`](crate::default_jobs)-sized when
+/// `options.parallel` is set, serial otherwise); results are
+/// deterministic either way because each cell's seed is fixed by its
+/// position in the plan.
 ///
 /// # Panics
 ///
@@ -300,114 +303,25 @@ pub fn run_experiment(
     policy: SchedPolicy,
     options: &ExperimentOptions,
 ) -> Experiment {
-    assert!(!configs.is_empty(), "need at least one configuration");
-    assert!(options.runs > 0, "need at least one run");
-
-    let setups: Vec<RunSetup> = configs
-        .iter()
-        .enumerate()
-        .flat_map(|(j, &config)| {
-            (0..options.runs).map(move |i| {
-                RunSetup::new(
-                    config,
-                    policy,
-                    options.base_seed + j as u64 * 1000 + i as u64,
-                )
-            })
-        })
-        .collect();
-
-    let results: Vec<RunResult> = if options.parallel {
-        run_parallel(workload, &setups, options.observer.as_ref())
+    let jobs = if options.parallel {
+        crate::engine::default_jobs()
     } else {
-        setups
-            .iter()
-            .map(|s| run_one(workload, s, options.observer.as_ref()))
-            .collect()
+        1
     };
-
-    let outcomes = configs
-        .iter()
-        .enumerate()
-        .map(|(j, &config)| {
-            let slice = &results[j * options.runs..(j + 1) * options.runs];
-            let samples = Samples::new(slice.iter().map(|r| r.value).collect());
-            let mut extras_mean = BTreeMap::new();
-            for r in slice {
-                for (k, v) in &r.extras {
-                    *extras_mean.entry(k.clone()).or_insert(0.0) += v / options.runs as f64;
-                }
-            }
-            ConfigOutcome {
-                config,
-                samples,
-                extras_mean,
-            }
-        })
-        .collect();
-
-    Experiment {
-        workload: workload.name().to_string(),
-        unit: workload.unit().to_string(),
-        direction: workload.direction(),
-        policy,
-        outcomes,
+    let mut plan = ExperimentPlan::new("run_experiment");
+    plan.push(
+        workload.name(),
+        workload,
+        configs,
+        SpecMode::Clean {
+            policy,
+            options: options.clone(),
+        },
+    );
+    match CellRunner::new(jobs).run(plan).results.pop() {
+        Some(SpecResult::Clean(exp)) => exp,
+        _ => unreachable!("clean plan must assemble a clean experiment"),
     }
-}
-
-/// Executes one run, under trace capture when an observer is installed.
-/// Capture is per-OS-thread, so parallel workers never see each other's
-/// kernels.
-fn run_one(workload: &dyn Workload, setup: &RunSetup, observer: Option<&RunObserver>) -> RunResult {
-    match observer {
-        Some(obs) => {
-            let (result, traces) = capture_traces(|| workload.run(setup));
-            obs(setup, &result, &traces);
-            result
-        }
-        None => workload.run(setup),
-    }
-}
-
-/// Fans runs out over `available_parallelism` OS threads, preserving
-/// result order.
-fn run_parallel(
-    workload: &dyn Workload,
-    setups: &[RunSetup],
-    observer: Option<&RunObserver>,
-) -> Vec<RunResult> {
-    run_parallel_with(setups, |s| run_one(workload, s, observer))
-}
-
-/// Work-stealing fan-out shared by both harnesses: applies `f` to every
-/// setup on `available_parallelism` OS threads, preserving result order.
-fn run_parallel_with<R: Send>(setups: &[RunSetup], f: impl Fn(&RunSetup) -> R + Sync) -> Vec<R> {
-    let nthreads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(setups.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<R>>> =
-        setups.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..nthreads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= setups.len() {
-                    break;
-                }
-                let result = f(&setups[i]);
-                *results[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every run completed")
-        })
-        .collect()
 }
 
 // ----------------------------------------------------------------------
@@ -583,7 +497,7 @@ pub struct ResilientOptions {
     /// [`run_experiment_resilient`]). Completed runs are never retried.
     pub retries: u32,
     /// Per-run cap on simulated time, applied to every kernel the run
-    /// creates (via [`RunGuard`]); a run cut short by it is classified
+    /// creates (via [`RunGuard`](asym_kernel::RunGuard)); a run cut short by it is classified
     /// [`RunClass::TimeLimit`].
     pub sim_time_budget: Option<SimDuration>,
     /// Livelock watchdog window applied to every kernel the run creates;
@@ -681,25 +595,20 @@ impl fmt::Debug for ResilientOptions {
     }
 }
 
-/// Stride between retry seeds: a prime far from the `j * 1000 + i` seed
-/// grid, so a reseeded attempt never collides with another slot.
-const RETRY_SEED_STRIDE: u64 = 7919;
-
-/// Cap on sim-time-budget escalation: a `TimeLimit` retry doubles the
-/// budget each attempt, up to this multiple of the configured budget.
-const MAX_BUDGET_FACTOR: u32 = 8;
-
 /// Runs `workload` on every configuration like [`run_experiment`], but
 /// built to survive hostile runs: every kernel the workload creates gets
 /// the options' watchdog, sim-time budget, and fault plan (via
-/// [`RunGuard`]); panics are caught and contained to their run; every
-/// slot is classified as a [`RunClass`]; failed slots are retried up to
-/// `options.retries` times with adaptive escalation — time-limited runs
-/// keep their seed and double the budget, stalled runs keep their seed
-/// and soften the fault plan (kills stripped first, then hotplug, then
-/// everything), deadlocked and panicked runs reseed — and configurations
-/// where every run failed simply report no samples instead of poisoning
-/// the sweep.
+/// [`asym_kernel::RunGuard`]); panics are caught and contained to their
+/// run; every slot is classified as a [`RunClass`]; failed slots are
+/// retried up to `options.retries` times with adaptive escalation —
+/// time-limited runs keep their seed and double the budget, stalled runs
+/// keep their seed and soften the fault plan (kills stripped first, then
+/// hotplug, then everything), deadlocked and panicked runs reseed — and
+/// configurations where every run failed simply report no samples
+/// instead of poisoning the sweep.
+///
+/// Like [`run_experiment`], this is a thin wrapper over the cell
+/// engine; the retry ladder lives in the engine's per-cell execution.
 ///
 /// # Panics
 ///
@@ -710,168 +619,25 @@ pub fn run_experiment_resilient(
     policy: SchedPolicy,
     options: &ResilientOptions,
 ) -> ResilientExperiment {
-    assert!(!configs.is_empty(), "need at least one configuration");
-    assert!(options.runs > 0, "need at least one run");
-
-    let setups: Vec<RunSetup> = configs
-        .iter()
-        .enumerate()
-        .flat_map(|(j, &config)| {
-            (0..options.runs).map(move |i| {
-                RunSetup::new(
-                    config,
-                    policy,
-                    options.base_seed + j as u64 * 1000 + i as u64,
-                )
-            })
-        })
-        .collect();
-
-    let records: Vec<RunRecord> = if options.parallel {
-        run_parallel_with(&setups, |s| run_one_resilient(workload, s, options))
+    let jobs = if options.parallel {
+        crate::engine::default_jobs()
     } else {
-        setups
-            .iter()
-            .map(|s| run_one_resilient(workload, s, options))
-            .collect()
+        1
     };
-
-    let outcomes = configs
-        .iter()
-        .enumerate()
-        .map(|(j, &config)| ResilientConfigOutcome {
-            config,
-            records: records[j * options.runs..(j + 1) * options.runs].to_vec(),
-        })
-        .collect();
-
-    ResilientExperiment {
-        workload: workload.name().to_string(),
-        unit: workload.unit().to_string(),
-        direction: workload.direction(),
-        policy,
-        outcomes,
+    let mut plan = ExperimentPlan::new("run_experiment_resilient");
+    plan.push(
+        workload.name(),
+        workload,
+        configs,
+        SpecMode::Resilient {
+            policy,
+            options: options.clone(),
+        },
+    );
+    match CellRunner::new(jobs).run(plan).results.pop() {
+        Some(SpecResult::Resilient(exp)) => exp,
+        _ => unreachable!("resilient plan must assemble a resilient experiment"),
     }
-}
-
-/// Executes one slot: attempt, classify, retry on failure.
-///
-/// Retries escalate *adaptively* according to how the attempt failed,
-/// rather than blindly reseeding:
-///
-/// * [`RunClass::TimeLimit`] — the run was legitimate but slow (faults
-///   can stretch a run well past its clean duration). Retry the **same
-///   seed** with the sim-time budget doubled, up to
-///   [`MAX_BUDGET_FACTOR`]× the configured budget.
-/// * [`RunClass::Stalled`] — the fault schedule drove the workload into
-///   a livelock. Retry the **same seed** with a progressively softened
-///   fault plan: first without thread kills, then additionally without
-///   hotplug, then with no faults at all.
-/// * [`RunClass::Deadlock`] / [`RunClass::Panicked`] — the run is wedged
-///   in a way no budget or fault change explains; retry with a fresh
-///   seed (stride [`RETRY_SEED_STRIDE`]).
-fn run_one_resilient(
-    workload: &dyn Workload,
-    slot: &RunSetup,
-    options: &ResilientOptions,
-) -> RunRecord {
-    let mut attempts = 0u32;
-    let mut seed_bump = 0u64;
-    let mut budget_factor = 1u32;
-    let mut soften = 0u32;
-    loop {
-        let setup = RunSetup::new(slot.config, slot.policy, slot.seed + seed_bump);
-        attempts += 1;
-        let plan = options.planner.as_ref().and_then(|planner| {
-            let full = planner(&setup);
-            soften_plan(full, soften)
-        });
-        let (class, value) = attempt_run(workload, &setup, options, budget_factor, plan);
-        if class == RunClass::Completed || attempts > options.retries {
-            return RunRecord {
-                seed: setup.seed,
-                attempts,
-                class,
-                value,
-            };
-        }
-        match class {
-            RunClass::TimeLimit => {
-                budget_factor = (budget_factor * 2).min(MAX_BUDGET_FACTOR);
-            }
-            RunClass::Stalled => soften += 1,
-            _ => seed_bump += RETRY_SEED_STRIDE,
-        }
-    }
-}
-
-/// Applies one rung of the fault-softening ladder: level 0 is the full
-/// plan, 1 drops thread kills, 2 additionally drops hotplug, and 3+
-/// injects nothing at all.
-fn soften_plan(plan: FaultPlan, level: u32) -> Option<FaultPlan> {
-    match level {
-        0 => Some(plan),
-        1 => Some(plan.without_kills()),
-        2 => Some(plan.without_kills().without_hotplug()),
-        _ => None,
-    }
-}
-
-/// One guarded, trace-captured, panic-contained attempt. `budget_factor`
-/// scales the configured sim-time budget (escalated retries); `plan` is
-/// the fault plan to inject, already softened as the retry ladder
-/// demands.
-fn attempt_run(
-    workload: &dyn Workload,
-    setup: &RunSetup,
-    options: &ResilientOptions,
-    budget_factor: u32,
-    plan: Option<FaultPlan>,
-) -> (RunClass, Option<f64>) {
-    let mut guard = RunGuard::new();
-    if let Some(w) = options.watchdog {
-        guard = guard.watchdog(w);
-    }
-    if let Some(b) = options.sim_time_budget {
-        guard = guard.sim_time_budget(SimDuration::from_nanos(
-            b.as_nanos().saturating_mul(u64::from(budget_factor)),
-        ));
-    }
-    if let Some(plan) = plan {
-        guard = guard.fault_plan(plan);
-    }
-    let caught = catch_unwind(AssertUnwindSafe(|| {
-        capture_traces(|| with_run_guard(guard, || workload.run(setup)))
-    }));
-    match caught {
-        Err(_) => (RunClass::Panicked, None),
-        Ok((result, traces)) => {
-            if let Some(obs) = &options.observer {
-                obs(setup, &result, &traces);
-            }
-            let class = classify_traces(&traces);
-            let value = (class == RunClass::Completed).then_some(result.value);
-            (class, value)
-        }
-    }
-}
-
-/// The worst classification over every kernel a run created. A
-/// `TimeLimit` outcome only fails the run when the kernel's own budget
-/// (not a caller-chosen measurement window) cut it short — that is what
-/// [`KernelTrace::budget_exhausted`] records.
-fn classify_traces(traces: &[KernelTrace]) -> RunClass {
-    let mut worst = RunClass::Completed;
-    for t in traces {
-        let class = match t.outcome {
-            Some(RunOutcome::Deadlock(_)) => RunClass::Deadlock,
-            Some(RunOutcome::Stalled) => RunClass::Stalled,
-            _ if t.budget_exhausted => RunClass::TimeLimit,
-            _ => RunClass::Completed,
-        };
-        worst = worst.max(class);
-    }
-    worst
 }
 
 // ----------------------------------------------------------------------
@@ -1075,90 +841,30 @@ pub fn run_experiment_differential(
     configs: &[AsymConfig],
     options: &ResilientOptions,
 ) -> DifferentialExperiment {
-    assert!(!configs.is_empty(), "need at least one configuration");
-    assert!(options.runs > 0, "need at least one run");
-
-    // One slot per (config, repeat); the policy field is the canonical
-    // stock policy used only to derive the shared fault plan.
-    let slots: Vec<RunSetup> = configs
-        .iter()
-        .enumerate()
-        .flat_map(|(j, &config)| {
-            (0..options.runs).map(move |i| {
-                RunSetup::new(
-                    config,
-                    SchedPolicy::os_default(),
-                    options.base_seed + j as u64 * 1000 + i as u64,
-                )
-            })
-        })
-        .collect();
-
-    let reps: Vec<DifferentialRep> = if options.parallel {
-        run_parallel_with(&slots, |s| run_differential_rep(workload, s, options))
+    let jobs = if options.parallel {
+        crate::engine::default_jobs()
     } else {
-        slots
-            .iter()
-            .map(|s| run_differential_rep(workload, s, options))
-            .collect()
+        1
     };
-
-    let outcomes = configs
-        .iter()
-        .enumerate()
-        .map(|(j, &config)| DifferentialConfigOutcome {
-            config,
-            reps: reps[j * options.runs..(j + 1) * options.runs].to_vec(),
-        })
-        .collect();
-
-    DifferentialExperiment {
-        workload: workload.name().to_string(),
-        unit: workload.unit().to_string(),
-        direction: workload.direction(),
-        outcomes,
-    }
-}
-
-/// Executes the four runs of one differential repeat.
-fn run_differential_rep(
-    workload: &dyn Workload,
-    slot: &RunSetup,
-    options: &ResilientOptions,
-) -> DifferentialRep {
-    let plan = options.planner.as_ref().map(|planner| planner(slot));
-    let run = |policy: SchedPolicy, plan: Option<&FaultPlan>| -> RunRecord {
-        let setup = RunSetup::new(slot.config, policy, slot.seed);
-        let mut attempts = 0u32;
-        let mut budget_factor = 1u32;
-        loop {
-            attempts += 1;
-            let (class, value) =
-                attempt_run(workload, &setup, options, budget_factor, plan.cloned());
-            let escalatable = class == RunClass::TimeLimit && budget_factor < MAX_BUDGET_FACTOR;
-            if class == RunClass::Completed || attempts > options.retries || !escalatable {
-                return RunRecord {
-                    seed: setup.seed,
-                    attempts,
-                    class,
-                    value,
-                };
-            }
-            budget_factor *= 2;
-        }
-    };
-    DifferentialRep {
-        seed: slot.seed,
-        stock_clean: run(SchedPolicy::os_default(), None),
-        stock_faulted: run(SchedPolicy::os_default(), plan.as_ref()),
-        aware_clean: run(SchedPolicy::asymmetry_aware(), None),
-        aware_faulted: run(SchedPolicy::asymmetry_aware(), plan.as_ref()),
+    let mut plan = ExperimentPlan::new("run_experiment_differential");
+    plan.push(
+        workload.name(),
+        workload,
+        configs,
+        SpecMode::Differential {
+            options: options.clone(),
+        },
+    );
+    match CellRunner::new(jobs).run(plan).results.pop() {
+        Some(SpecResult::Differential(exp)) => exp,
+        _ => unreachable!("differential plan must assemble a differential experiment"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::RETRY_SEED_STRIDE;
     use crate::metrics::Direction;
 
     /// Performance proportional to power, with seed-dependent noise on

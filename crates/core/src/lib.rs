@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod engine;
 mod experiment;
 mod metrics;
 mod summary;
@@ -58,6 +59,10 @@ mod table;
 mod workload;
 
 pub use config::{AsymConfig, ParseConfigError};
+pub use engine::{
+    default_jobs, resolve_jobs, Cell, CellReport, CellRunner, ExperimentPlan, PlanOutcome,
+    SpecMode, SpecResult, SweepReport,
+};
 pub use experiment::{
     run_experiment, run_experiment_differential, run_experiment_resilient, ConfigOutcome,
     DifferentialConfigOutcome, DifferentialExperiment, DifferentialRep, Experiment,

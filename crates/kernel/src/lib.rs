@@ -61,4 +61,4 @@ pub use kernel::{
 };
 pub use policy::{PolicyKind, SchedPolicy};
 pub use thread::{FnThread, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
-pub use trace::{capture_traces, KernelTrace, TraceRecord};
+pub use trace::{capture_traces, fold_trace_hashes, KernelTrace, TraceHashFold, TraceRecord};

@@ -60,6 +60,51 @@ impl KernelTrace {
     }
 }
 
+/// Incremental FNV-1a fold over a sequence of 64-bit hashes, used to
+/// collapse the per-kernel [`KernelTrace::stable_hash`] values of one
+/// run (or the per-run hashes of one sweep cell) into a single number.
+/// Order matters, exactly as it does for the underlying event streams.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceHashFold(u64);
+
+impl TraceHashFold {
+    /// An empty fold (the FNV-1a offset basis).
+    pub fn new() -> Self {
+        TraceHashFold(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one 64-bit hash into the accumulator, byte by byte.
+    pub fn push(&mut self, hash: u64) {
+        for byte in hash.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The folded hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for TraceHashFold {
+    fn default() -> Self {
+        TraceHashFold::new()
+    }
+}
+
+/// Folds the [`KernelTrace::stable_hash`] of every trace in `traces`
+/// into one hash (kernel creation order matters). This is the per-cell
+/// hash the golden-hash regression test and the sweep engine's JSON
+/// sink both record.
+pub fn fold_trace_hashes(traces: &[KernelTrace]) -> u64 {
+    let mut fold = TraceHashFold::new();
+    for t in traces {
+        fold.push(t.stable_hash());
+    }
+    fold.finish()
+}
+
 pub(crate) type TraceSink = Rc<RefCell<KernelTrace>>;
 
 thread_local! {

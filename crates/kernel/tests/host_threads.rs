@@ -1,0 +1,132 @@
+//! Host-thread safety audit for the ambient per-run state the sweep
+//! engine relies on.
+//!
+//! The cell runner executes experiment cells on parallel OS threads,
+//! and each cell wraps its run in `capture_traces` (trace capture
+//! session) and optionally `with_run_guard` (watchdog / budget / fault
+//! plan). Both mechanisms are **thread-local stacks**
+//! (`trace::SESSIONS`, `guard::GUARDS`), so two host threads running
+//! different cells concurrently must never observe each other's
+//! sessions, guards, or trace events. These tests pin that contract:
+//! interleaved concurrent runs produce exactly the traces their own
+//! thread's serial run produces, and a fault-injecting guard on one
+//! thread never contaminates a clean run on another.
+
+use asym_kernel::{
+    capture_traces, with_run_guard, FnThread, Kernel, KernelTrace, RunGuard, SchedPolicy,
+    SpawnOptions, Step,
+};
+use asym_sim::{Cycles, FaultPlan, FaultProfile, MachineSpec, SimDuration, Speed};
+use std::sync::Barrier;
+
+/// A seeded compute program: `nthreads` workers, burst counts derived
+/// from the seed, on a 1-fast/1-slow machine.
+fn run_program(seed: u64) -> Vec<KernelTrace> {
+    let (_, traces) = capture_traces(|| {
+        let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+        let mut kernel = Kernel::new(machine, SchedPolicy::asymmetry_aware(), seed);
+        for t in 0..3u64 {
+            let mut bursts = 3 + ((seed + t) % 4) as u32;
+            kernel.spawn(
+                FnThread::new(format!("worker{t}"), move |_cx| {
+                    if bursts == 0 {
+                        Step::Done
+                    } else {
+                        bursts -= 1;
+                        Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+                    }
+                }),
+                SpawnOptions::new(),
+            );
+        }
+        kernel.run();
+    });
+    traces
+}
+
+fn hashes(traces: &[KernelTrace]) -> Vec<u64> {
+    traces.iter().map(|t| t.stable_hash()).collect()
+}
+
+/// Two host threads run *different* seeded programs concurrently (a
+/// barrier forces the capture sessions to overlap in time, and each
+/// side runs many iterations to interleave kernel creation). Every
+/// concurrent capture must equal the serial baseline for its own seed —
+/// no events, kernels, or sessions may cross between host threads.
+#[test]
+fn concurrent_host_threads_do_not_cross_contaminate_traces() {
+    let baseline_a = hashes(&run_program(1));
+    let baseline_b = hashes(&run_program(2));
+    assert_ne!(
+        baseline_a, baseline_b,
+        "distinct seeds must produce distinct traces for the test to mean anything"
+    );
+
+    let barrier = Barrier::new(2);
+    let run_side = |seed: u64, expected: &[u64]| {
+        barrier.wait();
+        for _ in 0..25 {
+            let got = hashes(&run_program(seed));
+            assert_eq!(got, expected, "seed {seed} trace changed under concurrency");
+        }
+    };
+    std::thread::scope(|scope| {
+        let a = scope.spawn(|| run_side(1, &baseline_a));
+        let b = scope.spawn(|| run_side(2, &baseline_b));
+        a.join().expect("thread a");
+        b.join().expect("thread b");
+    });
+}
+
+/// One host thread runs under a fault-injecting, watchdog-armed
+/// [`RunGuard`] while the other runs clean. The guard is thread-local:
+/// the clean thread's traces must match the no-guard baseline exactly,
+/// and the guarded thread must match its own guarded baseline.
+#[test]
+fn run_guard_on_one_host_thread_does_not_leak_into_another() {
+    let plan = || {
+        FaultPlan::generate(
+            9,
+            2,
+            &FaultProfile::hotplug_and_throttle(SimDuration::from_millis(2)),
+        )
+    };
+    let guarded_run = || {
+        let guard = RunGuard::new()
+            .watchdog(SimDuration::from_secs(5))
+            .fault_plan(plan());
+        with_run_guard(guard, || run_program(5))
+    };
+    let clean_baseline = hashes(&run_program(5));
+    let guarded_baseline = hashes(&guarded_run());
+    assert_ne!(
+        clean_baseline, guarded_baseline,
+        "the fault plan must perturb the trace for the test to mean anything"
+    );
+
+    let barrier = Barrier::new(2);
+    std::thread::scope(|scope| {
+        let guarded = scope.spawn(|| {
+            barrier.wait();
+            for _ in 0..25 {
+                assert_eq!(
+                    hashes(&guarded_run()),
+                    guarded_baseline,
+                    "guarded trace changed under concurrency"
+                );
+            }
+        });
+        let clean = scope.spawn(|| {
+            barrier.wait();
+            for _ in 0..25 {
+                assert_eq!(
+                    hashes(&run_program(5)),
+                    clean_baseline,
+                    "a neighbor's RunGuard leaked into a clean host thread"
+                );
+            }
+        });
+        guarded.join().expect("guarded thread");
+        clean.join().expect("clean thread");
+    });
+}

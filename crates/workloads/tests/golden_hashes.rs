@@ -11,8 +11,10 @@
 //! UPDATE_GOLDEN=1 cargo test -p asym-workloads --test golden_hashes
 //! ```
 
-use asym_core::{AsymConfig, RunSetup, Workload};
-use asym_kernel::{capture_traces, SchedPolicy};
+use asym_core::{
+    AsymConfig, CellRunner, ExperimentOptions, ExperimentPlan, RunSetup, SpecMode, Workload,
+};
+use asym_kernel::{capture_traces, fold_trace_hashes, SchedPolicy};
 use asym_workloads::h264::H264;
 use asym_workloads::japps::JAppServer;
 use asym_workloads::pmake::Pmake;
@@ -56,18 +58,13 @@ fn matrix() -> Vec<(AsymConfig, SchedPolicy, &'static str)> {
 }
 
 /// Folds the per-kernel stable hashes of one run into a single cell
-/// hash (FNV-1a over the sequence, so kernel order matters too).
+/// hash — the same [`fold_trace_hashes`] the sweep engine's JSON sink
+/// records, so golden hashes and `BENCH_sweep.json` trace hashes are
+/// directly comparable.
 fn cell_hash(w: &dyn Workload, setup: &RunSetup) -> u64 {
     let (_, traces) = capture_traces(|| w.run(setup));
     assert!(!traces.is_empty(), "{}: run created no kernels", w.name());
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for t in &traces {
-        for byte in t.stable_hash().to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
+    fold_trace_hashes(&traces)
 }
 
 fn golden_path() -> PathBuf {
@@ -145,5 +142,54 @@ fn kernel_traces_match_golden_hashes() {
         diff.is_empty(),
         "kernel traces diverged from golden hashes:\n{diff}\
          If the change is intentional, re-bless with UPDATE_GOLDEN=1."
+    );
+}
+
+/// Runs a 2-workload × 9-configuration mini-sweep through the cell
+/// engine at `jobs` host threads and returns the rendered experiment
+/// tables plus the per-cell trace hashes from the engine's report.
+fn mini_sweep(jobs: usize) -> (String, Vec<Option<u64>>) {
+    let h264 = H264::new();
+    let pmake = Pmake::new();
+    let nine = AsymConfig::standard_nine();
+    let mut plan = ExperimentPlan::new("golden-mini");
+    for w in [&h264 as &dyn Workload, &pmake as &dyn Workload] {
+        plan.push(
+            w.name(),
+            w,
+            &nine,
+            SpecMode::Clean {
+                policy: SchedPolicy::os_default(),
+                options: ExperimentOptions::new(2),
+            },
+        );
+    }
+    let outcome = CellRunner::new(jobs).run(plan);
+    let mut rendered = String::new();
+    for r in &outcome.results {
+        writeln!(rendered, "{}", r.clean()).unwrap();
+    }
+    let hashes = outcome.report.cells.iter().map(|c| c.trace_hash).collect();
+    (rendered, hashes)
+}
+
+/// Host parallelism must be invisible in the results: the same plan at
+/// `--jobs 1` and `--jobs 4` must render byte-identical tables and
+/// record identical per-cell trace hashes.
+#[test]
+fn mini_sweep_is_identical_across_jobs() {
+    let (serial_text, serial_hashes) = mini_sweep(1);
+    let (parallel_text, parallel_hashes) = mini_sweep(4);
+    assert!(
+        serial_hashes.iter().all(|h| h.is_some()),
+        "every clean cell must record a trace hash"
+    );
+    assert_eq!(
+        serial_hashes, parallel_hashes,
+        "per-cell trace hashes changed with host thread count"
+    );
+    assert_eq!(
+        serial_text, parallel_text,
+        "rendered output changed with host thread count"
     );
 }

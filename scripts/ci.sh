@@ -28,4 +28,32 @@ cargo run -q --release -p asym-bench --bin extra_fault_sweep -- --quick > /dev/n
 echo "==> extra_absorption --quick (differential stock-vs-aware smoke: paired, panic-free, kills accounted)"
 cargo run -q --release -p asym-bench --bin extra_absorption -- --quick > /dev/null
 
+echo "==> asym_sweep --quick --jobs 2 --json (unified driver smoke: mini sweep on 2 host threads)"
+cargo run -q --release -p asym-bench --bin asym_sweep -- --quick --jobs 2 --json > /dev/null
+
+# The structured report must exist, be well-formed, and contain no
+# panicked or deadlocked cells.
+test -s BENCH_sweep.json || { echo "FAIL: BENCH_sweep.json missing or empty"; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_sweep.json") as f:
+    report = json.load(f)
+for field in ("name", "jobs", "wall_ms", "cells_wall_ms", "speedup", "cells"):
+    assert field in report, f"missing field {field!r}"
+assert report["cells"], "no cells in report"
+bad = [c for c in report["cells"] if c["class"] in ("panicked", "deadlock")]
+assert not bad, f"{len(bad)} panicked/deadlocked cell(s): {bad[:3]}"
+print(f"   BENCH_sweep.json OK: {len(report['cells'])} cells, "
+      f"{report['wall_ms']:.0f} ms wall, {report['cells_wall_ms']:.0f} ms "
+      f"serial-equivalent, {report['speedup']:.2f}x on {report['jobs']} host threads")
+EOF
+else
+  # Fallback structural greps when python3 is unavailable.
+  grep -q '"cells": \[' BENCH_sweep.json || { echo "FAIL: malformed BENCH_sweep.json"; exit 1; }
+  grep -q '"class": "panicked"' BENCH_sweep.json && { echo "FAIL: panicked cell in sweep"; exit 1; }
+  grep -q '"class": "deadlock"' BENCH_sweep.json && { echo "FAIL: deadlocked cell in sweep"; exit 1; }
+  echo "   BENCH_sweep.json OK (grep checks)"
+fi
+
 echo "CI OK"
