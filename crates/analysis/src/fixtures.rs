@@ -332,6 +332,79 @@ mod tests {
     }
 
     #[test]
+    fn traces_tag_wakeup_and_preempt_reasons() {
+        use asym_kernel::{PreemptReason, WakeReason};
+        // Timer wakeups: the stalled poller sleeps and is rearmed by
+        // its timer, never by a signal.
+        assert!(stalled_run().records.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Wakeup {
+                reason: WakeReason::Timer,
+                ..
+            }
+        )));
+        // Signal wakeups: two same-order lockers contend, so the second
+        // blocks on the first lock and is woken by the unlock handoff.
+        let contended = capture_one(|| {
+            let mut k = Kernel::new(
+                MachineSpec::symmetric(2, Speed::FULL),
+                SchedPolicy::os_default(),
+                3,
+            );
+            let a = SimMutex::new(&mut k);
+            let b = SimMutex::new(&mut k);
+            let hold = Cycles::from_millis_at_full_speed(2.0);
+            k.spawn(
+                ordered_locker("t1", a.clone(), b.clone(), SimDuration::ZERO, hold),
+                SpawnOptions::new(),
+            );
+            k.spawn(
+                ordered_locker("t2", a, b, SimDuration::ZERO, hold),
+                SpawnOptions::new(),
+            );
+            k.run();
+        });
+        assert!(contended.records.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Wakeup {
+                reason: WakeReason::Signal,
+                ..
+            }
+        )));
+        // Quantum-expiry markers: two multi-quantum compute threads
+        // contending for a single core must be timesliced.
+        let trace = capture_one(|| {
+            let mut k = Kernel::new(
+                MachineSpec::symmetric(1, Speed::FULL),
+                SchedPolicy::os_default(),
+                7,
+            );
+            for name in ["a", "b"] {
+                let mut left = 3u32;
+                k.spawn(
+                    FnThread::new(name, move |_cx| {
+                        if left == 0 {
+                            Step::Done
+                        } else {
+                            left -= 1;
+                            Step::Compute(Cycles::from_millis_at_full_speed(5.0))
+                        }
+                    }),
+                    SpawnOptions::new(),
+                );
+            }
+            k.run();
+        });
+        assert!(trace.records.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Preempt {
+                reason: PreemptReason::Quantum,
+                ..
+            }
+        )));
+    }
+
+    #[test]
     fn swallowed_kill_fixture_has_a_kill_but_no_done() {
         let trace = swallowed_kill();
         assert!(trace

@@ -478,7 +478,7 @@ fn check_asymmetry_invariant(trace: &KernelTrace) -> Vec<Violation> {
                 remove(&mut cores[core.0].queue, tid);
                 cores[core.0].running = Some(tid);
             }
-            TraceEvent::Preempt { tid, core } => {
+            TraceEvent::Preempt { tid, core, .. } => {
                 if cores[core.0].running == Some(tid) {
                     cores[core.0].running = None;
                 }
@@ -488,7 +488,7 @@ fn check_asymmetry_invariant(trace: &KernelTrace) -> Vec<Violation> {
                 remove(&mut cores[from.0].queue, tid);
                 cores[to.0].queue.push(tid);
             }
-            TraceEvent::Wakeup { tid, core } => {
+            TraceEvent::Wakeup { tid, core, .. } => {
                 cores[core.0].queue.push(tid);
             }
             TraceEvent::Block { tid, .. }
@@ -610,7 +610,7 @@ fn check_core_liveness(trace: &KernelTrace) -> Vec<Violation> {
                     &mut violations,
                 );
             }
-            TraceEvent::Wakeup { tid, core } => {
+            TraceEvent::Wakeup { tid, core, .. } => {
                 land(
                     &mut occupants,
                     &online,

@@ -21,29 +21,10 @@ use asym_analysis::fixtures::{
     swallowed_kill,
 };
 use asym_analysis::{analyze_trace, check_workload, render_violations, KernelTrace, ViolationKind};
-use asym_core::{AsymConfig, RunSetup, Workload};
+use asym_bench::paper_workloads;
+use asym_core::{AsymConfig, RunSetup};
 use asym_kernel::SchedPolicy;
-use asym_workloads::h264::H264;
-use asym_workloads::japps::JAppServer;
-use asym_workloads::pmake::Pmake;
-use asym_workloads::specjbb::{GcKind, SpecJbb};
-use asym_workloads::specomp::SpecOmp;
-use asym_workloads::tpch::TpcH;
-use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
 use std::process::ExitCode;
-
-fn workloads() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(JAppServer::new(320.0)),
-        Box::new(SpecJbb::new(16).gc(GcKind::ConcurrentGenerational)),
-        Box::new(Apache::new(LoadLevel::light())),
-        Box::new(Zeus::new(LoadLevel::light())),
-        Box::new(TpcH::power_run()),
-        Box::new(H264::new()),
-        Box::new(SpecOmp::new("swim").work_scale(0.5)),
-        Box::new(Pmake::new()),
-    ]
-}
 
 /// Runs one fixture's trace through the analyses and checks the
 /// expected detector fired. Prints a PASS/FAIL line; returns success.
@@ -108,7 +89,7 @@ fn run_fixtures() -> ExitCode {
 
 fn run_sweep(configs: &[AsymConfig]) -> ExitCode {
     let policy = SchedPolicy::asymmetry_aware();
-    let workloads = workloads();
+    let workloads = paper_workloads();
     println!(
         "asym-check: {} configurations x {} workloads under {policy}",
         configs.len(),

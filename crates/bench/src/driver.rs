@@ -137,7 +137,12 @@ pub fn run_sweeps(names: &[&str], args: &SweepArgs) -> ExitCode {
         jobs
     );
 
-    let outcome = CellRunner::new(jobs).run(plan);
+    // Per-cell profile metrics ride along only when the structured
+    // report is requested: deriving them forces trace capture on every
+    // attempt, which the plain text figures don't need.
+    let outcome = CellRunner::new(jobs)
+        .with_metrics(args.json.is_some())
+        .run(plan);
 
     let mut ok = true;
     let mut idx = 0;
@@ -157,6 +162,12 @@ pub fn run_sweeps(names: &[&str], args: &SweepArgs) -> ExitCode {
         report.speedup(),
         report.total_retries()
     );
+    if report.memoized_cells() > 0 {
+        eprintln!(
+            "[asym-sweep] {} cell(s) reused from the cross-spec memo (identical workload/config/policy/seed)",
+            report.memoized_cells()
+        );
+    }
     if let Some(path) = &args.json {
         match std::fs::write(path, report.to_json()) {
             Ok(()) => eprintln!("[asym-sweep] wrote {}", path.display()),

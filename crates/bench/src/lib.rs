@@ -13,6 +13,13 @@ use asym_core::{
     run_experiment, AsymConfig, Experiment, ExperimentOptions, Stability, TextTable, Workload,
 };
 use asym_kernel::SchedPolicy;
+use asym_workloads::h264::H264;
+use asym_workloads::japps::JAppServer;
+use asym_workloads::pmake::Pmake;
+use asym_workloads::specjbb::{GcKind, SpecJbb};
+use asym_workloads::specomp::SpecOmp;
+use asym_workloads::tpch::TpcH;
+use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
 
 mod driver;
 mod spec;
@@ -21,6 +28,22 @@ pub use driver::{run_sweeps, spec_main, SweepArgs};
 pub use spec::{
     registry, spec_names, RenderFn, Rendered, Section, SweepContext, SweepDef, SweepSpec,
 };
+
+/// The eight paper workloads at the harness's standard
+/// parameterizations — the matrix `asym_check` sweeps and the menu
+/// `asym_profile` selects from by [`Workload::name`].
+pub fn paper_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(JAppServer::new(320.0)),
+        Box::new(SpecJbb::new(16).gc(GcKind::ConcurrentGenerational)),
+        Box::new(Apache::new(LoadLevel::light())),
+        Box::new(Zeus::new(LoadLevel::light())),
+        Box::new(TpcH::power_run()),
+        Box::new(H264::new()),
+        Box::new(SpecOmp::new("swim").work_scale(0.5)),
+        Box::new(Pmake::new()),
+    ]
+}
 
 /// Runs `workload` across the standard nine configurations and returns
 /// the experiment.

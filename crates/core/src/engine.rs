@@ -34,6 +34,7 @@ use asym_kernel::{
     capture_traces, fold_trace_hashes, with_run_guard, RunGuard, RunOutcome, SchedPolicy,
     TraceHashFold,
 };
+use asym_obs::{metrics_of_traces, ProfileMetrics};
 use asym_sim::{FaultPlan, SimDuration};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -243,6 +244,48 @@ impl<'w> ExperimentPlan<'w> {
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
     }
+
+    /// Cross-spec cell memoization map: for each cell, the index of the
+    /// earlier identical cell whose outcome can be reused (`None` for
+    /// cells that must execute).
+    ///
+    /// Two cells are identical when they run workloads with equal
+    /// [`Workload::spec_key`]s under the same (config, policy, seed).
+    /// Only observer-free clean cells participate: observers are side
+    /// effects that must fire once per *requested* run, resilient
+    /// retry/fault options alter execution, and differential cells run
+    /// four policies internally. Deduplicated plans produce bit-identical
+    /// results because every participating run is a pure function of
+    /// (spec key, setup).
+    pub fn memo_targets(&self) -> Vec<Option<usize>> {
+        use std::collections::hash_map::Entry;
+        use std::collections::HashMap;
+        let mut first: HashMap<(String, AsymConfig, SchedPolicy, u64), usize> = HashMap::new();
+        let mut dup = vec![None; self.cells.len()];
+        for (i, cell) in self.cells.iter().enumerate() {
+            let spec = &self.specs[cell.spec];
+            let memoizable = matches!(
+                &spec.mode,
+                SpecMode::Clean { options, .. } if options.observer.is_none()
+            );
+            if !memoizable {
+                continue;
+            }
+            let key = (
+                spec.workload.spec_key(),
+                cell.setup.config,
+                cell.setup.policy,
+                cell.setup.seed,
+            );
+            match first.entry(key) {
+                Entry::Occupied(e) => dup[i] = Some(*e.get()),
+                Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+            }
+        }
+        dup
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -258,15 +301,30 @@ pub(crate) const RETRY_SEED_STRIDE: u64 = 7919;
 pub(crate) const MAX_BUDGET_FACTOR: u32 = 8;
 
 /// What one executed cell produced, before reassembly.
+#[derive(Clone)]
 struct CellOutcome {
     data: CellData,
     class: RunClass,
     attempts: u32,
     value: Option<f64>,
     trace_hash: Option<u64>,
+    metrics: Option<ProfileMetrics>,
     wall_nanos: u64,
+    memoized: bool,
 }
 
+impl CellOutcome {
+    /// The copy stored for a deduplicated cell: same results, but marked
+    /// memoized and charged zero wall-clock (no host time was spent).
+    fn memoized_copy(&self) -> CellOutcome {
+        let mut copy = self.clone();
+        copy.wall_nanos = 0;
+        copy.memoized = true;
+        copy
+    }
+}
+
+#[derive(Clone)]
 enum CellData {
     Clean(RunResult),
     Resilient(RunRecord),
@@ -307,14 +365,17 @@ pub(crate) fn soften_plan(plan: FaultPlan, level: u32) -> Option<FaultPlan> {
 /// scales the configured sim-time budget (escalated retries); `plan` is
 /// the fault plan to inject, already softened as the retry ladder
 /// demands. Returns the classification, the metric (when completed),
-/// and the folded trace hash (absent when the attempt panicked).
+/// the folded trace hash (absent when the attempt panicked), and —
+/// when `want_metrics` is set — the merged observability metrics of
+/// every kernel the attempt created.
 fn attempt_run(
     workload: &dyn Workload,
     setup: &RunSetup,
     options: &ResilientOptions,
     budget_factor: u32,
     plan: Option<FaultPlan>,
-) -> (RunClass, Option<f64>, Option<u64>) {
+    want_metrics: bool,
+) -> (RunClass, Option<f64>, Option<u64>, Option<ProfileMetrics>) {
     let mut guard = RunGuard::new();
     if let Some(w) = options.watchdog {
         guard = guard.watchdog(w);
@@ -331,14 +392,15 @@ fn attempt_run(
         capture_traces(|| with_run_guard(guard, || workload.run(setup)))
     }));
     match caught {
-        Err(_) => (RunClass::Panicked, None, None),
+        Err(_) => (RunClass::Panicked, None, None, None),
         Ok((result, traces)) => {
             if let Some(obs) = &options.observer {
                 obs(setup, &result, &traces);
             }
             let class = classify_traces(&traces);
             let value = (class == RunClass::Completed).then_some(result.value);
-            (class, value, Some(fold_trace_hashes(&traces)))
+            let metrics = want_metrics.then(|| metrics_of_traces(&traces));
+            (class, value, Some(fold_trace_hashes(&traces)), metrics)
         }
     }
 }
@@ -349,20 +411,25 @@ fn exec_clean(
     workload: &dyn Workload,
     cell: &Cell,
     options: &ExperimentOptions,
-) -> (CellData, RunClass, u32, Option<f64>, Option<u64>) {
+    want_metrics: bool,
+) -> CellOutcome {
     let (result, traces) = capture_traces(|| workload.run(&cell.setup));
     if let Some(obs) = &options.observer {
         obs(&cell.setup, &result, &traces);
     }
     let hash = fold_trace_hashes(&traces);
+    let metrics = want_metrics.then(|| metrics_of_traces(&traces));
     let value = Some(result.value);
-    (
-        CellData::Clean(result),
-        RunClass::Completed,
-        1,
+    CellOutcome {
+        data: CellData::Clean(result),
+        class: RunClass::Completed,
+        attempts: 1,
         value,
-        Some(hash),
-    )
+        trace_hash: Some(hash),
+        metrics,
+        wall_nanos: 0,
+        memoized: false,
+    }
 }
 
 /// Executes one resilient cell: attempt, classify, retry on failure.
@@ -386,7 +453,8 @@ fn exec_resilient(
     workload: &dyn Workload,
     cell: &Cell,
     options: &ResilientOptions,
-) -> (CellData, RunClass, u32, Option<f64>, Option<u64>) {
+    want_metrics: bool,
+) -> CellOutcome {
     let slot = &cell.setup;
     let mut attempts = 0u32;
     let mut seed_bump = 0u64;
@@ -404,7 +472,8 @@ fn exec_resilient(
             options.planner.as_ref().map(|p| p(&setup))
         };
         let plan = full.and_then(|f| soften_plan(f, soften));
-        let (class, value, hash) = attempt_run(workload, &setup, options, budget_factor, plan);
+        let (class, value, hash, metrics) =
+            attempt_run(workload, &setup, options, budget_factor, plan, want_metrics);
         if class == RunClass::Completed || attempts > options.retries {
             let record = RunRecord {
                 seed: setup.seed,
@@ -412,7 +481,16 @@ fn exec_resilient(
                 class,
                 value,
             };
-            return (CellData::Resilient(record), class, attempts, value, hash);
+            return CellOutcome {
+                data: CellData::Resilient(record),
+                class,
+                attempts,
+                value,
+                trace_hash: hash,
+                metrics,
+                wall_nanos: 0,
+                memoized: false,
+            };
         }
         match class {
             RunClass::TimeLimit => {
@@ -433,24 +511,35 @@ fn exec_differential(
     workload: &dyn Workload,
     cell: &Cell,
     options: &ResilientOptions,
-) -> (CellData, RunClass, u32, Option<f64>, Option<u64>) {
+    want_metrics: bool,
+) -> CellOutcome {
     let slot = &cell.setup;
     let plan = cell.fault_plan.as_ref();
     let mut fold = TraceHashFold::new();
     let mut any_hash = false;
+    let mut merged = want_metrics.then(ProfileMetrics::new);
     let mut run = |policy: SchedPolicy, plan: Option<&FaultPlan>| -> RunRecord {
         let setup = RunSetup::new(slot.config, policy, slot.seed);
         let mut attempts = 0u32;
         let mut budget_factor = 1u32;
         loop {
             attempts += 1;
-            let (class, value, hash) =
-                attempt_run(workload, &setup, options, budget_factor, plan.cloned());
+            let (class, value, hash, metrics) = attempt_run(
+                workload,
+                &setup,
+                options,
+                budget_factor,
+                plan.cloned(),
+                want_metrics,
+            );
             let escalatable = class == RunClass::TimeLimit && budget_factor < MAX_BUDGET_FACTOR;
             if class == RunClass::Completed || attempts > options.retries || !escalatable {
                 if let Some(h) = hash {
                     fold.push(h);
                     any_hash = true;
+                }
+                if let (Some(acc), Some(m)) = (merged.as_mut(), metrics.as_ref()) {
+                    acc.merge(m);
                 }
                 return RunRecord {
                     seed: setup.seed,
@@ -478,24 +567,31 @@ fn exec_differential(
     let attempts = rep.records().iter().map(|r| r.attempts).sum();
     let value = rep.absorption(workload.direction());
     let hash = any_hash.then(|| fold.finish());
-    (CellData::Differential(rep), class, attempts, value, hash)
-}
-
-fn exec_cell(spec: &PlanSpec<'_>, cell: &Cell) -> CellOutcome {
-    let start = Instant::now();
-    let (data, class, attempts, value, trace_hash) = match &spec.mode {
-        SpecMode::Clean { options, .. } => exec_clean(spec.workload, cell, options),
-        SpecMode::Resilient { options, .. } => exec_resilient(spec.workload, cell, options),
-        SpecMode::Differential { options } => exec_differential(spec.workload, cell, options),
-    };
     CellOutcome {
-        data,
+        data: CellData::Differential(rep),
         class,
         attempts,
         value,
-        trace_hash,
-        wall_nanos: start.elapsed().as_nanos() as u64,
+        trace_hash: hash,
+        metrics: merged,
+        wall_nanos: 0,
+        memoized: false,
     }
+}
+
+fn exec_cell(spec: &PlanSpec<'_>, cell: &Cell, want_metrics: bool) -> CellOutcome {
+    let start = Instant::now();
+    let mut out = match &spec.mode {
+        SpecMode::Clean { options, .. } => exec_clean(spec.workload, cell, options, want_metrics),
+        SpecMode::Resilient { options, .. } => {
+            exec_resilient(spec.workload, cell, options, want_metrics)
+        }
+        SpecMode::Differential { options } => {
+            exec_differential(spec.workload, cell, options, want_metrics)
+        }
+    };
+    out.wall_nanos = start.elapsed().as_nanos() as u64;
+    out
 }
 
 // ----------------------------------------------------------------------
@@ -513,12 +609,26 @@ fn exec_cell(spec: &PlanSpec<'_>, cell: &Cell) -> CellOutcome {
 /// thread, results are bit-identical whatever the pool size.
 pub struct CellRunner {
     jobs: usize,
+    metrics: bool,
 }
 
 impl CellRunner {
     /// A runner with an explicit pool size (clamped to ≥ 1).
     pub fn new(jobs: usize) -> Self {
-        CellRunner { jobs: jobs.max(1) }
+        CellRunner {
+            jobs: jobs.max(1),
+            metrics: false,
+        }
+    }
+
+    /// Enables (or disables) per-cell observability metrics: every
+    /// executed cell replays its captured traces through `asym-obs` and
+    /// attaches a merged [`ProfileMetrics`] record to its
+    /// [`CellReport`], which the JSON sink then emits. Off by default —
+    /// the replay costs one extra pass over each trace.
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
     }
 
     /// The pool size this runner will use.
@@ -538,15 +648,26 @@ impl CellRunner {
         PlanOutcome { results, report }
     }
 
-    /// Executes all cells, preserving slot order.
+    /// Executes all cells, preserving slot order. Cells the memoization
+    /// map proves identical to an earlier cell are never executed: the
+    /// primary's outcome is copied into their slot afterwards (marked
+    /// memoized, zero wall-clock). Because the primary is always the
+    /// *first* occurrence in plan order, copies are filled front to back
+    /// in one pass, in both the serial and the pooled path.
     fn run_cells(&self, plan: &ExperimentPlan<'_>) -> Vec<CellOutcome> {
         let cells = &plan.cells;
+        let dup_of = plan.memo_targets();
         let nthreads = self.jobs.min(cells.len()).max(1);
         if nthreads == 1 {
-            return cells
-                .iter()
-                .map(|c| exec_cell(&plan.specs[c.spec], c))
-                .collect();
+            let mut outs: Vec<CellOutcome> = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                let out = match dup_of[i] {
+                    Some(j) => outs[j].memoized_copy(),
+                    None => exec_cell(&plan.specs[c.spec], c, self.metrics),
+                };
+                outs.push(out);
+            }
+            return outs;
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots: Vec<std::sync::Mutex<Option<CellOutcome>>> =
@@ -558,18 +679,29 @@ impl CellRunner {
                     if i >= cells.len() {
                         break;
                     }
-                    let out = exec_cell(&plan.specs[cells[i].spec], &cells[i]);
+                    if dup_of[i].is_some() {
+                        continue;
+                    }
+                    let out = exec_cell(&plan.specs[cells[i].spec], &cells[i], self.metrics);
                     *slots[i].lock().expect("cell slot poisoned") = Some(out);
                 });
             }
         });
-        slots
+        let mut outs: Vec<Option<CellOutcome>> = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("cell slot poisoned")
-                    .expect("every cell completed")
-            })
+            .map(|slot| slot.into_inner().expect("cell slot poisoned"))
+            .collect();
+        for i in 0..outs.len() {
+            if let Some(j) = dup_of[i] {
+                let copy = outs[j]
+                    .as_ref()
+                    .expect("memoization primary executed")
+                    .memoized_copy();
+                outs[i] = Some(copy);
+            }
+        }
+        outs.into_iter()
+            .map(|o| o.expect("every cell completed"))
             .collect()
     }
 }
@@ -763,11 +895,19 @@ pub struct CellReport {
     /// Primary metric: the run value, or the per-repeat absorption for
     /// differential cells; absent when unavailable.
     pub value: Option<f64>,
-    /// Host wall-clock the cell consumed, in milliseconds.
+    /// Host wall-clock the cell consumed, in milliseconds (zero for
+    /// memoized cells — no host time was spent).
     pub wall_ms: f64,
     /// Folded kernel-trace hash of the cell's final attempt(s); absent
     /// when every run panicked.
     pub trace_hash: Option<u64>,
+    /// `true` when the cell's outcome was reused from an earlier
+    /// identical cell instead of executing.
+    pub memoized: bool,
+    /// Merged observability metrics of the cell's final attempt(s),
+    /// present when the runner ran with
+    /// [`CellRunner::with_metrics`]`(true)` and the cell did not panic.
+    pub metrics: Option<ProfileMetrics>,
 }
 
 /// The structured outcome of one plan run: per-cell records plus
@@ -805,6 +945,11 @@ impl SweepReport {
         self.cells.iter().filter(|c| c.class == class).count()
     }
 
+    /// Number of cells deduplicated by cross-spec memoization.
+    pub fn memoized_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.memoized).count()
+    }
+
     /// Total retries across all cells (attempts beyond the first; a
     /// differential cell's baseline is four attempts).
     pub fn total_retries(&self) -> u32 {
@@ -832,6 +977,7 @@ impl SweepReport {
         );
         let _ = writeln!(out, "  \"speedup\": {},", json_f64(self.speedup()));
         let _ = writeln!(out, "  \"total_retries\": {},", self.total_retries());
+        let _ = writeln!(out, "  \"memoized_cells\": {},", self.memoized_cells());
         out.push_str("  \"classes\": {");
         let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         for c in &self.cells {
@@ -863,6 +1009,13 @@ impl SweepReport {
                 _ => out.push_str("\"value\": null, "),
             }
             let _ = write!(out, "\"wall_ms\": {}, ", json_f64(c.wall_ms));
+            let _ = write!(out, "\"memoized\": {}, ", c.memoized);
+            match &c.metrics {
+                Some(m) => {
+                    let _ = write!(out, "\"metrics\": {}, ", m.to_json());
+                }
+                None => out.push_str("\"metrics\": null, "),
+            }
             match c.trace_hash {
                 Some(h) => {
                     let _ = write!(out, "\"trace_hash\": \"{h:#018x}\"");
@@ -935,6 +1088,8 @@ fn build_report(
                 value: out.value,
                 wall_ms: out.wall_nanos as f64 / 1e6,
                 trace_hash: out.trace_hash,
+                memoized: out.memoized,
+                metrics: out.metrics.clone(),
             }
         })
         .collect();
@@ -1038,6 +1193,98 @@ mod tests {
         assert!(json.contains("\"classes\": {\"completed\": 29}"));
         assert!(json.contains("\"speedup\": "));
         assert!(!json.contains("panicked"));
+    }
+
+    #[test]
+    fn identical_clean_cells_are_memoized_across_specs() {
+        let w = Proportional;
+        // Two specs with the same workload, configs, policy, and seeds —
+        // the fig2/table1 overlap in miniature.
+        let mut plan = ExperimentPlan::new("dup");
+        let mode = || SpecMode::Clean {
+            policy: SchedPolicy::os_default(),
+            options: ExperimentOptions::new(2),
+        };
+        plan.push("first", &w, &[AsymConfig::new(2, 2, 8)], mode());
+        plan.push("second", &w, &[AsymConfig::new(2, 2, 8)], mode());
+        let targets = plan.memo_targets();
+        assert_eq!(targets, vec![None, None, Some(0), Some(1)]);
+        let out = CellRunner::new(2).run(plan);
+        assert_eq!(out.report.memoized_cells(), 2);
+        assert!(!out.report.cells[0].memoized);
+        assert!(out.report.cells[2].memoized);
+        assert_eq!(out.report.cells[2].wall_ms, 0.0);
+        assert_eq!(
+            out.report.cells[0].trace_hash,
+            out.report.cells[2].trace_hash
+        );
+        // The assembled experiments are indistinguishable from running
+        // both specs in full.
+        assert_eq!(
+            out.results[0].clean().outcomes,
+            out.results[1].clean().outcomes
+        );
+        let json = out.report.to_json();
+        assert!(json.contains("\"memoized_cells\": 2"));
+        assert!(json.contains("\"memoized\": true"));
+    }
+
+    #[test]
+    fn different_policy_or_seed_is_not_memoized() {
+        let w = Proportional;
+        let mut plan = ExperimentPlan::new("nodup");
+        plan.push(
+            "stock",
+            &w,
+            &[AsymConfig::new(2, 2, 8)],
+            SpecMode::Clean {
+                policy: SchedPolicy::os_default(),
+                options: ExperimentOptions::new(1),
+            },
+        );
+        plan.push(
+            "aware",
+            &w,
+            &[AsymConfig::new(2, 2, 8)],
+            SpecMode::Clean {
+                policy: SchedPolicy::asymmetry_aware(),
+                options: ExperimentOptions::new(1),
+            },
+        );
+        plan.push(
+            "reseeded",
+            &w,
+            &[AsymConfig::new(2, 2, 8)],
+            SpecMode::Clean {
+                policy: SchedPolicy::os_default(),
+                options: ExperimentOptions::new(1).base_seed(7),
+            },
+        );
+        assert_eq!(plan.memo_targets(), vec![None, None, None]);
+    }
+
+    #[test]
+    fn metrics_attach_when_requested_and_match_across_jobs() {
+        let w = Proportional;
+        let none = CellRunner::new(1).run(mini_plan(&w));
+        assert!(none.report.cells.iter().all(|c| c.metrics.is_none()));
+        let serial = CellRunner::new(1).with_metrics(true).run(mini_plan(&w));
+        let pooled = CellRunner::new(4).with_metrics(true).run(mini_plan(&w));
+        for (a, b) in serial.report.cells.iter().zip(&pooled.report.cells) {
+            assert_eq!(a.metrics, b.metrics, "metrics must not depend on --jobs");
+            // Proportional spawns no kernels, so the record is present
+            // but empty — still serialized, still finite.
+            let m = a.metrics.as_ref().expect("metrics attached");
+            assert_eq!(m.kernels, 0);
+            assert!(a
+                .metrics
+                .as_ref()
+                .expect("metrics attached")
+                .to_json()
+                .contains("\"sched_latency\""));
+        }
+        let json = serial.report.to_json();
+        assert!(json.contains("\"metrics\": {\"kernels\":0,"));
     }
 
     #[test]

@@ -78,6 +78,17 @@ pub trait Workload: Sync {
     /// Whether the primary metric is throughput-like or runtime-like.
     fn direction(&self) -> Direction;
 
+    /// A stable identity for cross-spec cell memoization: the workload
+    /// name plus every parameter that influences a run. Two workloads
+    /// reporting equal spec keys **must** behave identically for any
+    /// given [`RunSetup`] — the sweep engine reuses one's cell results
+    /// for the other. The default is the bare [`Workload::name`], which
+    /// is only correct for parameter-free workloads; parameterized
+    /// implementations must override this to encode their knobs.
+    fn spec_key(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Executes one complete run and returns its metrics.
     fn run(&self, setup: &RunSetup) -> RunResult;
 }

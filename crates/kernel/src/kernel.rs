@@ -41,6 +41,35 @@ enum Event {
     Watchdog,
 }
 
+/// Why a running thread was taken off its core and requeued (the
+/// attribution carried by [`TraceEvent::Preempt`]). Observability
+/// layers split context-switch accounting by these markers; without
+/// them a quantum expiry, a voluntary yield, and a forced interruption
+/// before a cross-core pull are indistinguishable in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreemptReason {
+    /// The thread's time slice expired with compute still pending.
+    Quantum,
+    /// Round-robin at a step boundary: others were waiting when the
+    /// thread produced its next compute step.
+    StepBoundary,
+    /// The thread yielded voluntarily ([`Step::Yield`](crate::Step)).
+    Yield,
+    /// The scheduler interrupted the thread mid-slice to move it (or
+    /// clear its core) — balancing pulls and hotplug evacuation.
+    Interrupt,
+}
+
+/// Why a thread became runnable (the attribution carried by
+/// [`TraceEvent::Wakeup`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WakeReason {
+    /// A wait-queue notification ended a block.
+    Signal,
+    /// A sleep timer fired.
+    Timer,
+}
+
 /// A scheduling event reported to a tracer installed with
 /// [`Kernel::set_tracer`] and captured by
 /// [`capture_traces`](crate::capture_traces). Useful for debugging
@@ -87,6 +116,8 @@ pub enum TraceEvent {
         tid: ThreadId,
         /// The core it was running on (and is now queued on).
         core: CoreId,
+        /// Why the thread lost the core.
+        reason: PreemptReason,
     },
     /// A *queued* thread was moved from one core's run queue to
     /// another's (idle stealing, periodic balancing, explicit pulls,
@@ -105,6 +136,8 @@ pub enum TraceEvent {
         tid: ThreadId,
         /// The core it was enqueued on.
         core: CoreId,
+        /// What made the thread runnable.
+        reason: WakeReason,
     },
     /// A thread blocked on a wait queue.
     Block {
@@ -928,6 +961,7 @@ impl Kernel {
                 self.trace(TraceEvent::Preempt {
                     tid,
                     core: CoreId(core),
+                    reason: PreemptReason::Quantum,
                 });
                 self.mark_dispatch(core);
             }
@@ -965,6 +999,7 @@ impl Kernel {
                         self.trace(TraceEvent::Preempt {
                             tid,
                             core: CoreId(core),
+                            reason: PreemptReason::StepBoundary,
                         });
                         self.mark_dispatch(core);
                     }
@@ -1011,6 +1046,7 @@ impl Kernel {
                     self.trace(TraceEvent::Preempt {
                         tid,
                         core: CoreId(core),
+                        reason: PreemptReason::Yield,
                     });
                     self.mark_dispatch(core);
                     return;
@@ -1365,13 +1401,14 @@ impl Kernel {
             self.blocked_threads -= 1;
         }
         let th = &mut self.threads[tid.0];
-        match th.state {
+        let reason = match th.state {
             TState::Blocked(_) => {
                 th.stats.blocked_time += self.time.saturating_duration_since(th.state_since);
+                WakeReason::Signal
             }
-            TState::Sleeping => {}
+            TState::Sleeping => WakeReason::Timer,
             other => panic!("wakeup of thread in state {other:?}"),
-        }
+        };
         th.state = TState::Runnable(core);
         th.state_since = self.time;
         th.last_wake = self.time;
@@ -1379,6 +1416,7 @@ impl Kernel {
         self.trace(TraceEvent::Wakeup {
             tid,
             core: CoreId(core),
+            reason,
         });
         self.mark_dispatch(core);
     }
@@ -1700,6 +1738,7 @@ impl Kernel {
         self.trace(TraceEvent::Preempt {
             tid,
             core: CoreId(core),
+            reason: PreemptReason::Interrupt,
         });
         tid
     }

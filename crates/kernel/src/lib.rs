@@ -56,8 +56,8 @@ mod trace;
 
 pub use guard::{with_run_guard, RunGuard};
 pub use kernel::{
-    Kernel, KernelStats, RunOutcome, ThreadCx, TraceEvent, CACHE_HOT_WINDOW,
-    DEFAULT_BALANCE_PERIOD, DEFAULT_CONTEXT_SWITCH, DEFAULT_QUANTUM,
+    Kernel, KernelStats, PreemptReason, RunOutcome, ThreadCx, TraceEvent, WakeReason,
+    CACHE_HOT_WINDOW, DEFAULT_BALANCE_PERIOD, DEFAULT_CONTEXT_SWITCH, DEFAULT_QUANTUM,
 };
 pub use policy::{PolicyKind, SchedPolicy};
 pub use thread::{FnThread, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};

@@ -1,0 +1,276 @@
+//! Fixed log2-bucketed duration histograms.
+//!
+//! Profiles must be byte-identical for identical traces, so the histogram
+//! keeps every statistic in integer nanoseconds: bucket selection is a
+//! leading-zeros computation, the mean is an integer division, and no
+//! float ever enters the accumulation path.
+
+use asym_sim::SimDuration;
+use std::fmt;
+
+/// Number of buckets in a [`Log2Histogram`].
+///
+/// Bucket 0 holds zero-duration samples only; bucket `b` (for `b >= 1`)
+/// holds durations in `[2^(b-1), 2^b)` nanoseconds; the top bucket
+/// saturates, absorbing everything at or above 2^30 ns (~1.07 s).
+pub const HIST_BUCKETS: usize = 32;
+
+/// A power-of-two-bucketed histogram of simulated durations.
+///
+/// # Examples
+///
+/// ```
+/// use asym_obs::Log2Histogram;
+/// use asym_sim::SimDuration;
+///
+/// let mut h = Log2Histogram::new();
+/// h.record(SimDuration::ZERO);
+/// h.record(SimDuration::from_nanos(1));
+/// h.record(SimDuration::from_nanos(1500));
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.buckets()[0], 1); // the zero-duration sample
+/// assert_eq!(h.buckets()[1], 1); // 1 ns lands in [1, 2)
+/// assert_eq!(h.buckets()[11], 1); // 1500 ns lands in [1024, 2048)
+/// assert_eq!(h.mean_nanos(), 500);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Log2Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    total_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            total_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    /// The bucket index a duration of `nanos` nanoseconds falls into.
+    pub fn bucket_index(nanos: u64) -> usize {
+        if nanos == 0 {
+            0
+        } else {
+            ((64 - nanos.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// The `[low, high)` nanosecond range of bucket `index`; `high` is
+    /// [`None`] for the saturating top bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= HIST_BUCKETS`.
+    pub fn bucket_range(index: usize) -> (u64, Option<u64>) {
+        assert!(index < HIST_BUCKETS, "bucket index {index} out of range");
+        match index {
+            0 => (0, Some(1)),
+            b if b == HIST_BUCKETS - 1 => (1 << (b - 1), None),
+            b => (1 << (b - 1), Some(1 << b)),
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let nanos = d.as_nanos();
+        self.buckets[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, saturating, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos
+    }
+
+    /// Integer mean sample in nanoseconds (zero when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Largest sample in nanoseconds.
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket sample counts, indexed by [`Log2Histogram::bucket_index`].
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// The compact JSON object the sweep sink embeds per cell:
+    /// `{"count":…,"mean_ns":…,"max_ns":…}` — all integers, so the
+    /// encoding is deterministic and trivially finite.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"max_ns\":{}}}",
+            self.count,
+            self.mean_nanos(),
+            self.max_nanos
+        )
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+/// Renders occupied buckets as `[low, high) count |bar|` lines, top-count
+/// normalised to a 40-column bar — the representation used by
+/// `asym_profile` and pinned by the golden-profile test.
+impl fmt::Display for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return writeln!(f, "  (no samples)");
+        }
+        let peak = *self.buckets.iter().max().expect("histogram has buckets");
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (low, high) = Self::bucket_range(i);
+            let label = match high {
+                Some(h) => format!("[{low}, {h})"),
+                None => format!("[{low}, +inf)"),
+            };
+            let bar = (n * 40).div_ceil(peak) as usize;
+            writeln!(f, "  {label:>26} ns {n:>8} |{}|", "#".repeat(bar))?;
+        }
+        writeln!(
+            f,
+            "  samples {}  mean {} ns  max {} ns",
+            self.count,
+            self.mean_nanos(),
+            self.max_nanos
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_duration_goes_to_bucket_zero_only() {
+        let mut h = Log2Histogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1..].iter().sum::<u64>(), 0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean_nanos(), 0);
+        assert_eq!(h.max_nanos(), 0);
+    }
+
+    #[test]
+    fn one_nanosecond_is_not_in_the_zero_bucket() {
+        let mut h = Log2Histogram::new();
+        h.record(SimDuration::from_nanos(1));
+        assert_eq!(h.buckets()[0], 0);
+        assert_eq!(h.buckets()[1], 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_half_open() {
+        // 2^k lands in bucket k+1 (its range is [2^k, 2^(k+1))), while
+        // 2^k - 1 stays in bucket k.
+        for k in 1..20 {
+            let at = 1u64 << k;
+            assert_eq!(Log2Histogram::bucket_index(at), k + 1, "at 2^{k}");
+            assert_eq!(Log2Histogram::bucket_index(at - 1), k, "below 2^{k}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let mut h = Log2Histogram::new();
+        h.record(SimDuration::from_nanos(1 << 30)); // exactly the top threshold
+        h.record(SimDuration::from_secs(100)); // far above it
+        h.record(SimDuration::MAX); // would index bucket 64 unclamped
+        assert_eq!(h.buckets()[HIST_BUCKETS - 1], 3);
+        assert_eq!(h.max_nanos(), u64::MAX);
+        // The saturating total must not wrap.
+        h.record(SimDuration::MAX);
+        assert_eq!(h.total_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn ranges_tile_the_axis() {
+        assert_eq!(Log2Histogram::bucket_range(0), (0, Some(1)));
+        assert_eq!(Log2Histogram::bucket_range(1), (1, Some(2)));
+        assert_eq!(Log2Histogram::bucket_range(11), (1024, Some(2048)));
+        assert_eq!(
+            Log2Histogram::bucket_range(HIST_BUCKETS - 1),
+            (1 << 30, None)
+        );
+        for i in 1..HIST_BUCKETS - 1 {
+            let (low, high) = Log2Histogram::bucket_range(i);
+            assert_eq!(Log2Histogram::bucket_range(i + 1).0, high.unwrap());
+            assert_eq!(Log2Histogram::bucket_index(low), i);
+            assert_eq!(Log2Histogram::bucket_index(high.unwrap() - 1), i);
+        }
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = Log2Histogram::new();
+        a.record(SimDuration::from_nanos(3));
+        let mut b = Log2Histogram::new();
+        b.record(SimDuration::from_nanos(5));
+        b.record(SimDuration::ZERO);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[2], 1); // 3 ns in [2, 4)
+        assert_eq!(a.buckets()[3], 1); // 5 ns in [4, 8)
+        assert_eq!(a.total_nanos(), 8);
+        assert_eq!(a.max_nanos(), 5);
+    }
+
+    #[test]
+    fn json_shape_is_integers_only() {
+        let mut h = Log2Histogram::new();
+        h.record(SimDuration::from_nanos(10));
+        h.record(SimDuration::from_nanos(20));
+        assert_eq!(h.to_json(), "{\"count\":2,\"mean_ns\":15,\"max_ns\":20}");
+    }
+
+    #[test]
+    fn display_renders_occupied_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(SimDuration::from_nanos(1500));
+        let text = h.to_string();
+        assert!(text.contains("[1024, 2048)"), "got: {text}");
+        assert!(text.contains("samples 1"), "got: {text}");
+        assert_eq!(Log2Histogram::new().to_string(), "  (no samples)\n");
+    }
+}

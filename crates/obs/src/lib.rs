@@ -1,0 +1,67 @@
+//! # asym-obs
+//!
+//! Trace-derived observability for the asymmetric-multicore simulator:
+//! this crate turns the state-complete [`KernelTrace`](asym_kernel::KernelTrace)
+//! streams the kernel already emits into the quantities the source paper
+//! (*The Impact of Performance Asymmetry in Emerging Multicore
+//! Architectures*, ISCA 2005) reasons with:
+//!
+//! * [`RunProfile`] — per-core busy/idle/offline timelines and
+//!   utilization, per-thread state accounting split by fast/slow core
+//!   residency, migration counts and migration-induced wait, sync-object
+//!   wait attribution, and the paper's §3.1.1 "fast core idle while a
+//!   slow core has runnable work" invariant measured as a duration;
+//! * [`Log2Histogram`] — fixed log2-bucketed scheduler-latency and
+//!   run-quantum histograms with no floats in the accumulation path;
+//! * [`ProfileMetrics`] — the compact mergeable summary the sweep engine
+//!   attaches per cell in `BENCH_sweep.json`;
+//! * [`perfetto_trace`] — a Chrome/Perfetto `trace.json` exporter for
+//!   timeline inspection of any run.
+//!
+//! Everything here is a pure function of the captured trace: equal
+//! traces produce byte-identical profiles, reports, and exports,
+//! whatever host thread produced them — the same determinism contract
+//! the golden-hash tests already enforce for the traces themselves.
+//!
+//! # Examples
+//!
+//! ```
+//! use asym_kernel::{capture_traces, FnThread, Kernel, SchedPolicy, SpawnOptions, Step};
+//! use asym_obs::RunProfile;
+//! use asym_sim::{Cycles, MachineSpec, Speed};
+//!
+//! let ((), traces) = capture_traces(|| {
+//!     let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+//!     let mut k = Kernel::new(machine, SchedPolicy::asymmetry_aware(), 42);
+//!     let mut bursts = 3u32;
+//!     k.spawn(
+//!         FnThread::new("worker", move |_cx| {
+//!             if bursts == 0 {
+//!                 Step::Done
+//!             } else {
+//!                 bursts -= 1;
+//!                 Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+//!             }
+//!         }),
+//!         SpawnOptions::new(),
+//!     );
+//!     k.run();
+//! });
+//! let profile = RunProfile::from_trace(&traces[0]);
+//! // The asymmetry-aware policy keeps the lone thread on the fast core.
+//! assert!(profile.threads[0].running_slow.is_zero());
+//! println!("{profile}");
+//! ```
+
+#![warn(missing_docs)]
+
+mod hist;
+mod perfetto;
+mod profile;
+
+pub use hist::{Log2Histogram, HIST_BUCKETS};
+pub use perfetto::perfetto_trace;
+pub use profile::{
+    metrics_of_traces, profile_traces, CoreProfile, ProfileMetrics, RunProfile, ThreadProfile,
+    WaitKind, WaitProfile,
+};

@@ -1,0 +1,1209 @@
+//! Trace replay: turning one [`KernelTrace`] into a [`RunProfile`].
+//!
+//! The replay walks the state-complete event stream exactly as the
+//! `asym-analysis` checkers do, but instead of validating invariants it
+//! *quantifies* them: how long each core was busy, idle, or offline; how
+//! long full-speed cores sat idle while slower cores had runnable work
+//! (the paper's §3.1.1 invariant as a duration, not a boolean); where
+//! each thread's time went; and how long threads waited on each sync
+//! object. All accounting is integer nanoseconds, so profiles of the
+//! same seeded run are byte-identical however they are produced.
+
+use crate::hist::Log2Histogram;
+use asym_kernel::{KernelTrace, PreemptReason, RunOutcome, SchedPolicy, TraceEvent, WakeReason};
+use asym_sim::{SimDuration, SimTime, Speed};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where one core's time went over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreProfile {
+    /// The core index.
+    pub core: usize,
+    /// The core's speed when the run started (mid-run changes appear as
+    /// [`RunProfile`] marks and are honoured by the accounting).
+    pub speed: Speed,
+    /// Time the core was online and executing a thread.
+    pub busy: SimDuration,
+    /// Time the core was online with an empty run slot.
+    pub idle: SimDuration,
+    /// Time the core was hotplugged off.
+    pub offline: SimDuration,
+    /// Number of slices dispatched onto the core.
+    pub dispatches: u64,
+}
+
+impl CoreProfile {
+    /// Busy time as a fraction of online time, in hundredths of a percent
+    /// (integer per-myriad, so formatting is deterministic). Returns 0
+    /// for a core that was never online.
+    pub fn utilization_permyriad(&self) -> u64 {
+        permyriad(self.busy, self.busy + self.idle)
+    }
+}
+
+/// Where one simulated thread's time went over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadProfile {
+    /// The thread index (stable for the kernel's lifetime).
+    pub tid: usize,
+    /// Time spent running on a core at the machine's (current) top speed.
+    pub running_fast: SimDuration,
+    /// Time spent running on a core slower than the current top speed.
+    pub running_slow: SimDuration,
+    /// Time spent runnable on a run queue, waiting for a core.
+    pub runnable: SimDuration,
+    /// Time spent blocked on wait queues.
+    pub blocked: SimDuration,
+    /// Time spent sleeping on timers.
+    pub sleeping: SimDuration,
+    /// Number of slices the thread was granted.
+    pub dispatches: u64,
+    /// Number of cross-core moves (counted at the dispatch that landed
+    /// the thread on a different core, as the kernel does).
+    pub migrations: u64,
+    /// Runnable time accumulated in queued spells that ended in a
+    /// cross-core dispatch — the wait the migrations induced.
+    pub migration_wait: SimDuration,
+    /// Times the thread was involuntarily taken off a core.
+    pub preemptions: u64,
+    /// Wakeups delivered by a wait-queue notification.
+    pub wakeups_signal: u64,
+    /// Wakeups delivered by a sleep timer.
+    pub wakeups_timer: u64,
+    /// `true` if the thread was killed by an injected fault.
+    pub killed: bool,
+}
+
+impl ThreadProfile {
+    fn new(tid: usize) -> Self {
+        ThreadProfile {
+            tid,
+            running_fast: SimDuration::ZERO,
+            running_slow: SimDuration::ZERO,
+            runnable: SimDuration::ZERO,
+            blocked: SimDuration::ZERO,
+            sleeping: SimDuration::ZERO,
+            dispatches: 0,
+            migrations: 0,
+            migration_wait: SimDuration::ZERO,
+            preemptions: 0,
+            wakeups_signal: 0,
+            wakeups_timer: 0,
+            killed: false,
+        }
+    }
+}
+
+/// What kind of synchronization object a kernel wait queue backs,
+/// recovered from the `asym-sync` annotation events in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaitKind {
+    /// A `SimMutex`.
+    Lock,
+    /// A `SimCondvar`.
+    Condvar,
+    /// A `SimBarrier`.
+    Barrier,
+    /// A `SimSemaphore`.
+    Semaphore,
+    /// A `SimQueue`.
+    Queue,
+    /// A raw wait queue with no sync-layer annotation.
+    Other,
+}
+
+impl fmt::Display for WaitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WaitKind::Lock => "lock",
+            WaitKind::Condvar => "condvar",
+            WaitKind::Barrier => "barrier",
+            WaitKind::Semaphore => "semaphore",
+            WaitKind::Queue => "queue",
+            WaitKind::Other => "wait",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Blocked-time attribution for one kernel wait queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitProfile {
+    /// The wait queue's index within its kernel.
+    pub wait: usize,
+    /// The sync primitive the queue backs, when known.
+    pub kind: WaitKind,
+    /// Number of blocked spells on this queue (including spells still
+    /// open when a truncated run ended).
+    pub waits: u64,
+    /// Total time threads spent blocked on this queue.
+    pub total_wait: SimDuration,
+    /// Longest single blocked spell.
+    pub max_wait: SimDuration,
+    /// Lock acquisitions that had previously blocked (locks only).
+    pub contended_acquires: u64,
+    /// Notifications delivered to the queue.
+    pub signals: u64,
+    /// Notifications that found nobody waiting.
+    pub unconsumed_signals: u64,
+}
+
+impl WaitProfile {
+    fn new(wait: usize) -> Self {
+        WaitProfile {
+            wait,
+            kind: WaitKind::Other,
+            waits: 0,
+            total_wait: SimDuration::ZERO,
+            max_wait: SimDuration::ZERO,
+            contended_acquires: 0,
+            signals: 0,
+            unconsumed_signals: 0,
+        }
+    }
+}
+
+/// A completed (or truncated) run slice, kept for the Perfetto exporter.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Slice {
+    pub(crate) core: usize,
+    pub(crate) tid: usize,
+    pub(crate) start: SimTime,
+    pub(crate) dur: SimDuration,
+    pub(crate) end: &'static str,
+}
+
+/// An instantaneous event of interest, kept for the Perfetto exporter.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Mark {
+    pub(crate) core: usize,
+    pub(crate) time: SimTime,
+    pub(crate) name: String,
+}
+
+/// The complete observability profile of one kernel run, derived purely
+/// from its [`KernelTrace`].
+///
+/// # Examples
+///
+/// ```
+/// use asym_kernel::{capture_traces, FnThread, Kernel, SchedPolicy, SpawnOptions, Step};
+/// use asym_obs::RunProfile;
+/// use asym_sim::{Cycles, MachineSpec, Speed};
+///
+/// let ((), traces) = capture_traces(|| {
+///     let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+///     let mut k = Kernel::new(machine, SchedPolicy::os_default(), 7);
+///     for _ in 0..2 {
+///         let mut bursts = 3u32;
+///         k.spawn(
+///             FnThread::new("w", move |_cx| {
+///                 if bursts == 0 {
+///                     Step::Done
+///                 } else {
+///                     bursts -= 1;
+///                     Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+///                 }
+///             }),
+///             SpawnOptions::new(),
+///         );
+///     }
+///     k.run();
+/// });
+/// let profile = RunProfile::from_trace(&traces[0]);
+/// assert_eq!(profile.cores.len(), 2);
+/// assert_eq!(profile.threads.len(), 2);
+/// assert!(profile.cores[0].busy > asym_sim::SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProfile {
+    /// The scheduling policy the kernel ran.
+    pub policy: SchedPolicy,
+    /// How the run ended, if it ran at all.
+    pub outcome: Option<RunOutcome>,
+    /// Simulated length of the run (the timestamp of the last event).
+    pub duration: SimDuration,
+    /// Per-core time accounting, indexed by core.
+    pub cores: Vec<CoreProfile>,
+    /// Per-thread time accounting, indexed by thread.
+    pub threads: Vec<ThreadProfile>,
+    /// Blocked-time attribution per wait queue, ordered by queue index.
+    pub waits: Vec<WaitProfile>,
+    /// Total time during which at least one online top-speed core sat
+    /// idle while at least one online slower core had a thread running
+    /// or queued — the paper's §3.1.1 scheduling inefficiency, measured.
+    pub fast_idle_slow_runnable: SimDuration,
+    /// Queued-to-dispatched latency of every completed dispatch.
+    pub sched_latency: Log2Histogram,
+    /// On-core duration of every completed run slice.
+    pub run_quantum: Log2Histogram,
+    /// Preemptions whose time slice expired.
+    pub preempt_quantum: u64,
+    /// Preemptions at a step boundary with others waiting.
+    pub preempt_step: u64,
+    /// Voluntary yields.
+    pub preempt_yield: u64,
+    /// Scheduler interruptions (balancing pulls, hotplug evacuation).
+    pub preempt_interrupt: u64,
+    /// Queued threads moved between run queues without running.
+    pub steals: u64,
+    pub(crate) slices: Vec<Slice>,
+    pub(crate) marks: Vec<Mark>,
+}
+
+/// Integer per-myriad (hundredths of a percent): `part / whole * 10_000`,
+/// 0 when `whole` is zero.
+fn permyriad(part: SimDuration, whole: SimDuration) -> u64 {
+    if whole.is_zero() {
+        0
+    } else {
+        // Scale in u128 to dodge overflow on long runs.
+        ((part.as_nanos() as u128 * 10_000) / whole.as_nanos() as u128) as u64
+    }
+}
+
+/// Formats an integer per-myriad as `NN.NN%`.
+fn pct(permyriad: u64) -> String {
+    format!("{}.{:02}%", permyriad / 100, permyriad % 100)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ThSt {
+    /// Not yet spawned, or already finished.
+    Absent,
+    Queued {
+        core: usize,
+        start: SimTime,
+    },
+    Running {
+        core: usize,
+        spell_start: SimTime,
+        seg_start: SimTime,
+    },
+    Blocked {
+        wait: usize,
+        start: SimTime,
+    },
+    Sleeping {
+        start: SimTime,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CoreSt {
+    online: bool,
+    speed: Speed,
+    running: Option<usize>,
+    queued: u64,
+}
+
+struct Replay {
+    cores: Vec<CoreSt>,
+    core_acc: Vec<CoreProfile>,
+    threads: Vec<ThSt>,
+    thread_acc: Vec<ThreadProfile>,
+    migrating: Vec<bool>,
+    waits: BTreeMap<usize, WaitProfile>,
+    last: SimTime,
+    fast_idle_slow_runnable: SimDuration,
+    sched_latency: Log2Histogram,
+    run_quantum: Log2Histogram,
+    preempt_quantum: u64,
+    preempt_step: u64,
+    preempt_yield: u64,
+    preempt_interrupt: u64,
+    steals: u64,
+    slices: Vec<Slice>,
+    marks: Vec<Mark>,
+}
+
+impl Replay {
+    fn new(trace: &KernelTrace) -> Self {
+        let cores: Vec<CoreSt> = trace
+            .machine
+            .speeds()
+            .iter()
+            .map(|&speed| CoreSt {
+                online: true,
+                speed,
+                running: None,
+                queued: 0,
+            })
+            .collect();
+        let core_acc = trace
+            .machine
+            .cores()
+            .map(|(c, speed)| CoreProfile {
+                core: c.0,
+                speed,
+                busy: SimDuration::ZERO,
+                idle: SimDuration::ZERO,
+                offline: SimDuration::ZERO,
+                dispatches: 0,
+            })
+            .collect();
+        Replay {
+            cores,
+            core_acc,
+            threads: Vec::new(),
+            thread_acc: Vec::new(),
+            migrating: Vec::new(),
+            waits: BTreeMap::new(),
+            last: SimTime::ZERO,
+            fast_idle_slow_runnable: SimDuration::ZERO,
+            sched_latency: Log2Histogram::new(),
+            run_quantum: Log2Histogram::new(),
+            preempt_quantum: 0,
+            preempt_step: 0,
+            preempt_yield: 0,
+            preempt_interrupt: 0,
+            steals: 0,
+            slices: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+
+    fn ensure_thread(&mut self, tid: usize) {
+        while self.threads.len() <= tid {
+            let next = self.threads.len();
+            self.threads.push(ThSt::Absent);
+            self.thread_acc.push(ThreadProfile::new(next));
+            self.migrating.push(false);
+        }
+    }
+
+    fn wait_entry(&mut self, wait: usize) -> &mut WaitProfile {
+        self.waits
+            .entry(wait)
+            .or_insert_with(|| WaitProfile::new(wait))
+    }
+
+    fn classify(&mut self, wait: usize, kind: WaitKind) {
+        let entry = self.wait_entry(wait);
+        if entry.kind == WaitKind::Other {
+            entry.kind = kind;
+        }
+    }
+
+    /// The top speed across online cores, if any core is online.
+    fn max_online_speed(&self) -> Option<Speed> {
+        self.cores
+            .iter()
+            .filter(|c| c.online)
+            .map(|c| c.speed)
+            .max()
+    }
+
+    /// Accounts the interval `[self.last, now)` against the current core
+    /// states: busy/idle/offline per core, plus the fast-idle-while-
+    /// slow-runnable condition across the machine.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_duration_since(self.last);
+        self.last = now;
+        if dt.is_zero() {
+            return;
+        }
+        for (st, acc) in self.cores.iter().zip(self.core_acc.iter_mut()) {
+            if !st.online {
+                acc.offline += dt;
+            } else if st.running.is_some() {
+                acc.busy += dt;
+            } else {
+                acc.idle += dt;
+            }
+        }
+        if let Some(top) = self.max_online_speed() {
+            let fast_idle = self
+                .cores
+                .iter()
+                .any(|c| c.online && c.speed == top && c.running.is_none());
+            let slow_has_work = self
+                .cores
+                .iter()
+                .any(|c| c.online && c.speed < top && (c.running.is_some() || c.queued > 0));
+            if fast_idle && slow_has_work {
+                self.fast_idle_slow_runnable += dt;
+            }
+        }
+    }
+
+    /// Whether `core` currently runs at the machine's top online speed.
+    fn core_is_fast(&self, core: usize) -> bool {
+        match self.max_online_speed() {
+            Some(top) => self.cores[core].speed == top,
+            None => false,
+        }
+    }
+
+    /// Closes the fast/slow accounting segment of every running thread
+    /// (without ending its slice), so a topology change — speed change,
+    /// hotplug — re-classifies residency from this instant on.
+    fn reseat_running_segments(&mut self, now: SimTime) {
+        for tid in 0..self.threads.len() {
+            if let ThSt::Running {
+                core,
+                spell_start,
+                seg_start,
+            } = self.threads[tid]
+            {
+                self.accrue_running(tid, core, seg_start, now);
+                self.threads[tid] = ThSt::Running {
+                    core,
+                    spell_start,
+                    seg_start: now,
+                };
+            }
+        }
+    }
+
+    fn accrue_running(&mut self, tid: usize, core: usize, from: SimTime, to: SimTime) {
+        let dur = to.saturating_duration_since(from);
+        if self.core_is_fast(core) {
+            self.thread_acc[tid].running_fast += dur;
+        } else {
+            self.thread_acc[tid].running_slow += dur;
+        }
+    }
+
+    /// Ends a running spell: accrues the residency segment, records the
+    /// quantum (unless the run was truncated mid-slice), emits the
+    /// Perfetto slice, and clears the core's run slot.
+    fn end_running(&mut self, tid: usize, now: SimTime, end: &'static str, complete: bool) {
+        let ThSt::Running {
+            core,
+            spell_start,
+            seg_start,
+        } = self.threads[tid]
+        else {
+            return;
+        };
+        self.accrue_running(tid, core, seg_start, now);
+        let quantum = now.saturating_duration_since(spell_start);
+        if complete {
+            self.run_quantum.record(quantum);
+        }
+        self.slices.push(Slice {
+            core,
+            tid,
+            start: spell_start,
+            dur: quantum,
+            end,
+        });
+        if self.cores[core].running == Some(tid) {
+            self.cores[core].running = None;
+        }
+        self.threads[tid] = ThSt::Absent;
+    }
+
+    /// Ends a queued spell, crediting runnable time (and migration wait
+    /// when the spell ends in a cross-core dispatch). Returns the spell
+    /// duration.
+    fn end_queued(&mut self, tid: usize, now: SimTime) -> SimDuration {
+        let ThSt::Queued { core, start } = self.threads[tid] else {
+            return SimDuration::ZERO;
+        };
+        let dur = now.saturating_duration_since(start);
+        self.thread_acc[tid].runnable += dur;
+        self.cores[core].queued = self.cores[core].queued.saturating_sub(1);
+        self.threads[tid] = ThSt::Absent;
+        dur
+    }
+
+    fn enqueue(&mut self, tid: usize, core: usize, now: SimTime) {
+        self.threads[tid] = ThSt::Queued { core, start: now };
+        self.cores[core].queued += 1;
+    }
+
+    fn apply(&mut self, time: SimTime, event: &TraceEvent) {
+        self.advance(time);
+        match *event {
+            TraceEvent::Spawn { tid, core, .. } => {
+                self.ensure_thread(tid.index());
+                self.enqueue(tid.index(), core.0, time);
+            }
+            TraceEvent::Dispatch { tid, core } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                let waited = self.end_queued(t, time);
+                self.sched_latency.record(waited);
+                if self.migrating[t] {
+                    self.migrating[t] = false;
+                    self.thread_acc[t].migrations += 1;
+                    self.thread_acc[t].migration_wait += waited;
+                }
+                self.threads[t] = ThSt::Running {
+                    core: core.0,
+                    spell_start: time,
+                    seg_start: time,
+                };
+                self.cores[core.0].running = Some(t);
+                self.thread_acc[t].dispatches += 1;
+                self.core_acc[core.0].dispatches += 1;
+            }
+            TraceEvent::Migrate { tid, from, to } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                self.migrating[t] = true;
+                self.marks.push(Mark {
+                    core: to.0,
+                    time,
+                    name: format!("migrate tid{t} cpu{} -> cpu{}", from.0, to.0),
+                });
+            }
+            TraceEvent::Preempt { tid, core, reason } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                let end = match reason {
+                    PreemptReason::Quantum => {
+                        self.preempt_quantum += 1;
+                        "quantum"
+                    }
+                    PreemptReason::StepBoundary => {
+                        self.preempt_step += 1;
+                        "step"
+                    }
+                    PreemptReason::Yield => {
+                        self.preempt_yield += 1;
+                        "yield"
+                    }
+                    PreemptReason::Interrupt => {
+                        self.preempt_interrupt += 1;
+                        "interrupt"
+                    }
+                };
+                self.end_running(t, time, end, true);
+                self.thread_acc[t].preemptions += 1;
+                self.enqueue(t, core.0, time);
+            }
+            TraceEvent::Steal { tid, from, to } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                self.steals += 1;
+                // The spell keeps its original start: scheduler latency
+                // measures runnable-to-dispatched across queue moves.
+                if let ThSt::Queued { core, start } = self.threads[t] {
+                    debug_assert_eq!(core, from.0);
+                    self.cores[from.0].queued = self.cores[from.0].queued.saturating_sub(1);
+                    self.cores[to.0].queued += 1;
+                    self.threads[t] = ThSt::Queued { core: to.0, start };
+                }
+            }
+            TraceEvent::Wakeup { tid, core, reason } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                match self.threads[t] {
+                    ThSt::Blocked { wait, start } => {
+                        let dur = time.saturating_duration_since(start);
+                        self.thread_acc[t].blocked += dur;
+                        let w = self.wait_entry(wait);
+                        w.waits += 1;
+                        w.total_wait += dur;
+                        w.max_wait = w.max_wait.max(dur);
+                    }
+                    ThSt::Sleeping { start } => {
+                        let dur = time.saturating_duration_since(start);
+                        self.thread_acc[t].sleeping += dur;
+                    }
+                    _ => {}
+                }
+                match reason {
+                    WakeReason::Signal => self.thread_acc[t].wakeups_signal += 1,
+                    WakeReason::Timer => self.thread_acc[t].wakeups_timer += 1,
+                }
+                self.enqueue(t, core.0, time);
+            }
+            TraceEvent::Block { tid, wait } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                self.end_running(t, time, "block", true);
+                self.threads[t] = ThSt::Blocked {
+                    wait: wait.index(),
+                    start: time,
+                };
+                self.wait_entry(wait.index());
+            }
+            TraceEvent::Sleep { tid } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                self.end_running(t, time, "sleep", true);
+                self.threads[t] = ThSt::Sleeping { start: time };
+            }
+            TraceEvent::Done { tid } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                match self.threads[t] {
+                    ThSt::Running { .. } => self.end_running(t, time, "done", true),
+                    ThSt::Queued { .. } => {
+                        // Killed while runnable: credit the queue time but
+                        // record no dispatch latency — it never ran again.
+                        self.end_queued(t, time);
+                    }
+                    ThSt::Blocked { wait, start } => {
+                        let dur = time.saturating_duration_since(start);
+                        self.thread_acc[t].blocked += dur;
+                        let w = self.wait_entry(wait);
+                        w.waits += 1;
+                        w.total_wait += dur;
+                        w.max_wait = w.max_wait.max(dur);
+                    }
+                    ThSt::Sleeping { start } => {
+                        let dur = time.saturating_duration_since(start);
+                        self.thread_acc[t].sleeping += dur;
+                    }
+                    ThSt::Absent => {}
+                }
+                self.threads[t] = ThSt::Absent;
+                self.migrating[t] = false;
+            }
+            TraceEvent::Signal { wait, woken, .. } => {
+                let w = self.wait_entry(wait.index());
+                w.signals += 1;
+                if woken == 0 {
+                    w.unconsumed_signals += 1;
+                }
+            }
+            TraceEvent::LockAcquire {
+                lock, contended, ..
+            } => {
+                self.classify(lock.index(), WaitKind::Lock);
+                if contended {
+                    self.wait_entry(lock.index()).contended_acquires += 1;
+                }
+            }
+            TraceEvent::LockRelease { lock, .. } => {
+                self.classify(lock.index(), WaitKind::Lock);
+            }
+            TraceEvent::CondWait { cond, lock, .. } => {
+                self.classify(cond.index(), WaitKind::Condvar);
+                self.classify(lock.index(), WaitKind::Lock);
+            }
+            TraceEvent::BarrierArrive { barrier, .. } => {
+                self.classify(barrier.index(), WaitKind::Barrier);
+            }
+            TraceEvent::SemAcquire { sem, .. } | TraceEvent::SemRelease { sem, .. } => {
+                self.classify(sem.index(), WaitKind::Semaphore);
+            }
+            TraceEvent::QueuePush { queue, .. } | TraceEvent::QueuePop { queue, .. } => {
+                self.classify(queue.index(), WaitKind::Queue);
+            }
+            TraceEvent::SpeedChange { core, speed } => {
+                self.reseat_running_segments(time);
+                self.cores[core.0].speed = speed;
+                self.marks.push(Mark {
+                    core: core.0,
+                    time,
+                    name: format!("cpu{} speed {speed}", core.0),
+                });
+            }
+            TraceEvent::CoreOffline { core } => {
+                self.reseat_running_segments(time);
+                self.cores[core.0].online = false;
+                self.marks.push(Mark {
+                    core: core.0,
+                    time,
+                    name: format!("cpu{} offline", core.0),
+                });
+            }
+            TraceEvent::CoreOnline { core } => {
+                self.reseat_running_segments(time);
+                self.cores[core.0].online = true;
+                self.marks.push(Mark {
+                    core: core.0,
+                    time,
+                    name: format!("cpu{} online", core.0),
+                });
+            }
+            TraceEvent::ThreadKilled { tid } => {
+                let t = tid.index();
+                self.ensure_thread(t);
+                self.thread_acc[t].killed = true;
+                let core = match self.threads[t] {
+                    ThSt::Running { core, .. } | ThSt::Queued { core, .. } => core,
+                    _ => 0,
+                };
+                self.marks.push(Mark {
+                    core,
+                    time,
+                    name: format!("tid{t} killed"),
+                });
+            }
+            TraceEvent::SetAffinity { .. } | TraceEvent::AffinityOverride { .. } => {}
+        }
+    }
+
+    /// Closes every spell still open when the trace ends (time-limited,
+    /// deadlocked, or stalled runs): residency is credited up to the end
+    /// of the trace, but truncated spells enter no histogram — they were
+    /// cut by the observation window, not by the scheduler.
+    fn close_open_spells(&mut self, end: SimTime) {
+        for tid in 0..self.threads.len() {
+            match self.threads[tid] {
+                ThSt::Running { .. } => self.end_running(tid, end, "end", false),
+                ThSt::Queued { .. } => {
+                    self.end_queued(tid, end);
+                }
+                ThSt::Blocked { wait, start } => {
+                    let dur = end.saturating_duration_since(start);
+                    self.thread_acc[tid].blocked += dur;
+                    let w = self.wait_entry(wait);
+                    w.waits += 1;
+                    w.total_wait += dur;
+                    w.max_wait = w.max_wait.max(dur);
+                }
+                ThSt::Sleeping { start } => {
+                    let dur = end.saturating_duration_since(start);
+                    self.thread_acc[tid].sleeping += dur;
+                }
+                ThSt::Absent => {}
+            }
+            self.threads[tid] = ThSt::Absent;
+        }
+    }
+}
+
+impl RunProfile {
+    /// Replays `trace` into a profile. Purely a function of the trace:
+    /// equal traces produce equal profiles, whatever thread or process
+    /// performed the replay.
+    pub fn from_trace(trace: &KernelTrace) -> RunProfile {
+        let mut rp = Replay::new(trace);
+        for r in &trace.records {
+            rp.apply(r.time, &r.event);
+        }
+        let end = trace.records.last().map_or(SimTime::ZERO, |r| r.time);
+        rp.advance(end);
+        rp.close_open_spells(end);
+        RunProfile {
+            policy: trace.policy,
+            outcome: trace.outcome,
+            duration: end.saturating_duration_since(SimTime::ZERO),
+            cores: rp.core_acc,
+            threads: rp.thread_acc,
+            waits: rp.waits.into_values().collect(),
+            fast_idle_slow_runnable: rp.fast_idle_slow_runnable,
+            sched_latency: rp.sched_latency,
+            run_quantum: rp.run_quantum,
+            preempt_quantum: rp.preempt_quantum,
+            preempt_step: rp.preempt_step,
+            preempt_yield: rp.preempt_yield,
+            preempt_interrupt: rp.preempt_interrupt,
+            steals: rp.steals,
+            slices: rp.slices,
+            marks: rp.marks,
+        }
+    }
+
+    /// Total cross-core migrations over all threads.
+    pub fn migrations(&self) -> u64 {
+        self.threads.iter().map(|t| t.migrations).sum()
+    }
+
+    /// Total preemptions over all threads.
+    pub fn preemptions(&self) -> u64 {
+        self.threads.iter().map(|t| t.preemptions).sum()
+    }
+
+    /// Total blocked time attributed to sync objects.
+    pub fn total_sync_wait(&self) -> SimDuration {
+        self.waits
+            .iter()
+            .fold(SimDuration::ZERO, |acc, w| acc + w.total_wait)
+    }
+
+    /// Fast-idle-while-slow-runnable time as per-myriad of the run.
+    pub fn fast_idle_permyriad(&self) -> u64 {
+        permyriad(self.fast_idle_slow_runnable, self.duration)
+    }
+}
+
+impl fmt::Display for RunProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let outcome = match self.outcome {
+            Some(o) => format!("{o:?}"),
+            None => "NotRun".to_string(),
+        };
+        writeln!(
+            f,
+            "run: {} cores, policy {}, outcome {outcome}, simulated {}",
+            self.cores.len(),
+            self.policy,
+            self.duration
+        )?;
+        writeln!(f, "cores:")?;
+        for c in &self.cores {
+            writeln!(
+                f,
+                "  cpu{} {:>7}  util {:>7}  busy {}  idle {}  offline {}  dispatches {}",
+                c.core,
+                c.speed.to_string(),
+                pct(c.utilization_permyriad()),
+                c.busy,
+                c.idle,
+                c.offline,
+                c.dispatches
+            )?;
+        }
+        writeln!(
+            f,
+            "fast idle while slow runnable: {} ({} of run)",
+            self.fast_idle_slow_runnable,
+            pct(self.fast_idle_permyriad())
+        )?;
+        writeln!(
+            f,
+            "migrations {} (wait {})  steals {}  preempts: quantum {} step {} yield {} interrupt {}",
+            self.migrations(),
+            self.threads
+                .iter()
+                .fold(SimDuration::ZERO, |acc, t| acc + t.migration_wait),
+            self.steals,
+            self.preempt_quantum,
+            self.preempt_step,
+            self.preempt_yield,
+            self.preempt_interrupt
+        )?;
+        writeln!(f, "threads:")?;
+        for t in &self.threads {
+            writeln!(
+                f,
+                "  tid{:<3} fast {} slow {} runnable {} blocked {} sleeping {}  disp {} migr {} preempt {} wake {}+{}{}",
+                t.tid,
+                t.running_fast,
+                t.running_slow,
+                t.runnable,
+                t.blocked,
+                t.sleeping,
+                t.dispatches,
+                t.migrations,
+                t.preemptions,
+                t.wakeups_signal,
+                t.wakeups_timer,
+                if t.killed { "  [killed]" } else { "" }
+            )?;
+        }
+        let waited: Vec<&WaitProfile> = self.waits.iter().filter(|w| w.waits > 0).collect();
+        writeln!(f, "sync waits:")?;
+        if waited.is_empty() {
+            writeln!(f, "  (none)")?;
+        }
+        for w in waited {
+            writeln!(
+                f,
+                "  wait{:<3} {:<9} waits {:>5}  total {}  max {}  contended {}  signals {} ({} unconsumed)",
+                w.wait,
+                w.kind.to_string(),
+                w.waits,
+                w.total_wait,
+                w.max_wait,
+                w.contended_acquires,
+                w.signals,
+                w.unconsumed_signals
+            )?;
+        }
+        writeln!(f, "scheduler latency (runnable -> dispatched):")?;
+        write!(f, "{}", self.sched_latency)?;
+        writeln!(f, "run quantum (dispatched -> off core):")?;
+        write!(f, "{}", self.run_quantum)
+    }
+}
+
+/// The compact, mergeable metrics summary the sweep engine attaches to
+/// each cell (one merged record per cell, folded over every kernel of
+/// every run in the cell, in execution order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileMetrics {
+    /// Number of kernel runs folded into this record.
+    pub kernels: u64,
+    /// Total simulated time across those kernels, in nanoseconds.
+    pub sim_ns: u64,
+    /// Core-seconds busy, in nanoseconds (summed across cores).
+    pub busy_ns: u64,
+    /// Core-seconds idle while online, in nanoseconds.
+    pub idle_ns: u64,
+    /// Core-seconds offline, in nanoseconds.
+    pub offline_ns: u64,
+    /// Fast-idle-while-slow-runnable time, in nanoseconds.
+    pub fast_idle_slow_runnable_ns: u64,
+    /// Total cross-core migrations.
+    pub migrations: u64,
+    /// Runnable time induced by migrations, in nanoseconds.
+    pub migration_wait_ns: u64,
+    /// Total preemptions.
+    pub preemptions: u64,
+    /// Total blocked time on sync objects, in nanoseconds.
+    pub sync_wait_ns: u64,
+    /// Lock acquisitions that had previously blocked.
+    pub contended_acquires: u64,
+    /// Queued-to-dispatched latency histogram.
+    pub sched_latency: Log2Histogram,
+    /// Run-quantum histogram.
+    pub run_quantum: Log2Histogram,
+}
+
+impl ProfileMetrics {
+    /// An empty record (the identity for [`ProfileMetrics::merge`]).
+    pub fn new() -> Self {
+        ProfileMetrics {
+            kernels: 0,
+            sim_ns: 0,
+            busy_ns: 0,
+            idle_ns: 0,
+            offline_ns: 0,
+            fast_idle_slow_runnable_ns: 0,
+            migrations: 0,
+            migration_wait_ns: 0,
+            preemptions: 0,
+            sync_wait_ns: 0,
+            contended_acquires: 0,
+            sched_latency: Log2Histogram::new(),
+            run_quantum: Log2Histogram::new(),
+        }
+    }
+
+    /// Folds another record into this one (order-insensitive for every
+    /// field, so any deterministic fold order gives the same bytes).
+    pub fn merge(&mut self, other: &ProfileMetrics) {
+        self.kernels += other.kernels;
+        self.sim_ns = self.sim_ns.saturating_add(other.sim_ns);
+        self.busy_ns = self.busy_ns.saturating_add(other.busy_ns);
+        self.idle_ns = self.idle_ns.saturating_add(other.idle_ns);
+        self.offline_ns = self.offline_ns.saturating_add(other.offline_ns);
+        self.fast_idle_slow_runnable_ns = self
+            .fast_idle_slow_runnable_ns
+            .saturating_add(other.fast_idle_slow_runnable_ns);
+        self.migrations += other.migrations;
+        self.migration_wait_ns = self
+            .migration_wait_ns
+            .saturating_add(other.migration_wait_ns);
+        self.preemptions += other.preemptions;
+        self.sync_wait_ns = self.sync_wait_ns.saturating_add(other.sync_wait_ns);
+        self.contended_acquires += other.contended_acquires;
+        self.sched_latency.merge(&other.sched_latency);
+        self.run_quantum.merge(&other.run_quantum);
+    }
+
+    /// Busy core-time as per-myriad of online core-time.
+    pub fn utilization_permyriad(&self) -> u64 {
+        let online = self.busy_ns as u128 + self.idle_ns as u128;
+        (self.busy_ns as u128 * 10_000)
+            .checked_div(online)
+            .unwrap_or(0) as u64
+    }
+
+    /// The JSON object embedded per cell in `BENCH_sweep.json`. Every
+    /// field is an integer except `utilization_pct`, which is rendered
+    /// from an integer per-myriad with two fixed decimals — the whole
+    /// encoding is deterministic and finite by construction.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kernels\":{},\"sim_ns\":{},\"busy_ns\":{},\"idle_ns\":{},\"offline_ns\":{},\
+             \"utilization_pct\":{}.{:02},\"fast_idle_slow_runnable_ns\":{},\"migrations\":{},\
+             \"migration_wait_ns\":{},\"preemptions\":{},\"sync_wait_ns\":{},\
+             \"contended_acquires\":{},\"sched_latency\":{},\"run_quantum\":{}}}",
+            self.kernels,
+            self.sim_ns,
+            self.busy_ns,
+            self.idle_ns,
+            self.offline_ns,
+            self.utilization_permyriad() / 100,
+            self.utilization_permyriad() % 100,
+            self.fast_idle_slow_runnable_ns,
+            self.migrations,
+            self.migration_wait_ns,
+            self.preemptions,
+            self.sync_wait_ns,
+            self.contended_acquires,
+            self.sched_latency.to_json(),
+            self.run_quantum.to_json()
+        )
+    }
+}
+
+impl Default for ProfileMetrics {
+    fn default() -> Self {
+        ProfileMetrics::new()
+    }
+}
+
+impl RunProfile {
+    /// The compact summary of this profile.
+    pub fn metrics(&self) -> ProfileMetrics {
+        let mut m = ProfileMetrics::new();
+        m.kernels = 1;
+        m.sim_ns = self.duration.as_nanos();
+        for c in &self.cores {
+            m.busy_ns = m.busy_ns.saturating_add(c.busy.as_nanos());
+            m.idle_ns = m.idle_ns.saturating_add(c.idle.as_nanos());
+            m.offline_ns = m.offline_ns.saturating_add(c.offline.as_nanos());
+        }
+        m.fast_idle_slow_runnable_ns = self.fast_idle_slow_runnable.as_nanos();
+        m.migrations = self.migrations();
+        for t in &self.threads {
+            m.migration_wait_ns = m
+                .migration_wait_ns
+                .saturating_add(t.migration_wait.as_nanos());
+        }
+        m.preemptions = self.preemptions();
+        m.sync_wait_ns = self.total_sync_wait().as_nanos();
+        m.contended_acquires = self.waits.iter().map(|w| w.contended_acquires).sum();
+        m.sched_latency = self.sched_latency.clone();
+        m.run_quantum = self.run_quantum.clone();
+        m
+    }
+}
+
+/// Profiles every kernel of a captured run, in creation order.
+pub fn profile_traces(traces: &[KernelTrace]) -> Vec<RunProfile> {
+    traces.iter().map(RunProfile::from_trace).collect()
+}
+
+/// Folds the metrics of every kernel of a captured run into one record.
+pub fn metrics_of_traces(traces: &[KernelTrace]) -> ProfileMetrics {
+    let mut m = ProfileMetrics::new();
+    for t in traces {
+        m.merge(&RunProfile::from_trace(t).metrics());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asym_kernel::{capture_traces, FnThread, Kernel, SpawnOptions, Step};
+    use asym_sim::{Cycles, MachineSpec};
+
+    fn two_thread_trace() -> KernelTrace {
+        let ((), traces) = capture_traces(|| {
+            let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+            let mut k = Kernel::new(machine, SchedPolicy::os_default(), 11);
+            for _ in 0..3 {
+                let mut bursts = 4u32;
+                k.spawn(
+                    FnThread::new("w", move |_cx| {
+                        if bursts == 0 {
+                            Step::Done
+                        } else {
+                            bursts -= 1;
+                            Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+                        }
+                    }),
+                    SpawnOptions::new(),
+                );
+            }
+            k.run();
+        });
+        traces.into_iter().next().expect("one kernel")
+    }
+
+    #[test]
+    fn accounting_is_conserved() {
+        let trace = two_thread_trace();
+        let p = RunProfile::from_trace(&trace);
+        // Each core's busy + idle + offline tiles the run exactly.
+        for c in &p.cores {
+            assert_eq!(
+                (c.busy + c.idle + c.offline).as_nanos(),
+                p.duration.as_nanos(),
+                "core {} accounting must tile the run",
+                c.core
+            );
+        }
+        // Thread states likewise tile each thread's lifetime, which here
+        // starts at t=0 for all three threads; threads can end early, so
+        // the sum is bounded by the run length.
+        for t in &p.threads {
+            let lifetime = t.running_fast + t.running_slow + t.runnable + t.blocked + t.sleeping;
+            assert!(lifetime.as_nanos() <= p.duration.as_nanos());
+            assert!(lifetime > SimDuration::ZERO);
+        }
+        assert_eq!(p.outcome, Some(RunOutcome::AllDone));
+        // Three compute-bound threads on two cores: both cores saw work.
+        assert!(p.cores.iter().all(|c| c.busy > SimDuration::ZERO));
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = RunProfile::from_trace(&two_thread_trace());
+        let b = RunProfile::from_trace(&two_thread_trace());
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
+        assert_eq!(a.metrics().to_json(), b.metrics().to_json());
+    }
+
+    #[test]
+    fn histograms_fill_and_render() {
+        let p = RunProfile::from_trace(&two_thread_trace());
+        assert!(p.sched_latency.count() > 0);
+        assert!(p.run_quantum.count() > 0);
+        let text = p.to_string();
+        assert!(text.contains("scheduler latency"), "got: {text}");
+        assert!(
+            text.contains("fast idle while slow runnable"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn metrics_merge_accumulates() {
+        let p = RunProfile::from_trace(&two_thread_trace());
+        let single = p.metrics();
+        let mut doubled = ProfileMetrics::new();
+        doubled.merge(&single);
+        doubled.merge(&single);
+        assert_eq!(doubled.kernels, 2);
+        assert_eq!(doubled.sim_ns, single.sim_ns * 2);
+        assert_eq!(doubled.busy_ns, single.busy_ns * 2);
+        assert_eq!(
+            doubled.sched_latency.count(),
+            single.sched_latency.count() * 2
+        );
+        // Utilization is a ratio: merging identical records preserves it.
+        assert_eq!(
+            doubled.utilization_permyriad(),
+            single.utilization_permyriad()
+        );
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_zeros() {
+        let ((), traces) = capture_traces(|| {
+            let machine = MachineSpec::symmetric(2, Speed::FULL);
+            let _k = Kernel::new(machine, SchedPolicy::os_default(), 1);
+        });
+        let p = RunProfile::from_trace(&traces[0]);
+        assert_eq!(p.duration, SimDuration::ZERO);
+        assert!(p.threads.is_empty());
+        assert!(p.sched_latency.is_empty());
+        assert_eq!(p.metrics().utilization_permyriad(), 0);
+    }
+
+    #[test]
+    fn fast_idle_detected_on_starved_fast_core() {
+        // One thread pinned to the slow core of a 1f-1s machine: the fast
+        // core idles the whole time the slow core works — the entire run
+        // is a §3.1.1 violation window.
+        use asym_sim::{CoreId, CoreMask};
+        let ((), traces) = capture_traces(|| {
+            let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+            let mut k = Kernel::new(machine, SchedPolicy::os_default(), 3);
+            let mut bursts = 2u32;
+            k.spawn(
+                FnThread::new("pinned", move |_cx| {
+                    if bursts == 0 {
+                        Step::Done
+                    } else {
+                        bursts -= 1;
+                        Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+                    }
+                }),
+                SpawnOptions::new().affinity(CoreMask::single(CoreId(1))),
+            );
+            k.run();
+        });
+        let p = RunProfile::from_trace(&traces[0]);
+        assert_eq!(p.fast_idle_slow_runnable.as_nanos(), p.duration.as_nanos());
+        assert!(p.threads[0].running_slow > SimDuration::ZERO);
+        assert_eq!(p.threads[0].running_fast, SimDuration::ZERO);
+    }
+}

@@ -410,6 +410,10 @@ impl Workload for H264 {
         "H.264"
     }
 
+    fn spec_key(&self) -> String {
+        format!("{} {:?}", self.name(), self)
+    }
+
     fn unit(&self) -> &str {
         "seconds"
     }

@@ -298,6 +298,10 @@ impl Workload for JAppServer {
         "SPECjAppServer"
     }
 
+    fn spec_key(&self) -> String {
+        format!("{} {:?}", self.name(), self)
+    }
+
     fn unit(&self) -> &str {
         "tx/s"
     }

@@ -242,6 +242,10 @@ impl Workload for Pmake {
         "PMAKE"
     }
 
+    fn spec_key(&self) -> String {
+        format!("{} {:?}", self.name(), self)
+    }
+
     fn unit(&self) -> &str {
         "seconds"
     }

@@ -406,6 +406,10 @@ impl Workload for SpecJbb {
         "SPECjbb"
     }
 
+    fn spec_key(&self) -> String {
+        format!("{} {:?}", self.name(), self)
+    }
+
     fn unit(&self) -> &str {
         "tx/s"
     }

@@ -215,6 +215,10 @@ impl Workload for SpecOmp {
         self.benchmark
     }
 
+    fn spec_key(&self) -> String {
+        format!("SPEC-OMP {:?}", self)
+    }
+
     fn unit(&self) -> &str {
         "seconds"
     }

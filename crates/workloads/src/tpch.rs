@@ -321,6 +321,10 @@ impl Workload for TpcH {
         "TPC-H"
     }
 
+    fn spec_key(&self) -> String {
+        format!("{} {:?}", self.name(), self)
+    }
+
     fn unit(&self) -> &str {
         "seconds"
     }

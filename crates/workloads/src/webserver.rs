@@ -401,6 +401,10 @@ impl Workload for Apache {
         "Apache"
     }
 
+    fn spec_key(&self) -> String {
+        format!("{} {:?}", self.name(), self)
+    }
+
     fn unit(&self) -> &str {
         "req/s"
     }
@@ -734,6 +738,10 @@ impl ThreadBody for EventProcess {
 impl Workload for Zeus {
     fn name(&self) -> &str {
         "Zeus"
+    }
+
+    fn spec_key(&self) -> String {
+        format!("{} {:?}", self.name(), self)
     }
 
     fn unit(&self) -> &str {

@@ -28,23 +28,55 @@ cargo run -q --release -p asym-bench --bin extra_fault_sweep -- --quick > /dev/n
 echo "==> extra_absorption --quick (differential stock-vs-aware smoke: paired, panic-free, kills accounted)"
 cargo run -q --release -p asym-bench --bin extra_absorption -- --quick > /dev/null
 
+echo "==> asym_profile (observability smoke: one SPECjbb cell + Perfetto export)"
+cargo run -q --release -p asym-bench --bin asym_profile -- \
+  --workload SPECjbb --config 2f-2s/4 --policy stock --seed 42 \
+  --perfetto=ASYM_profile_trace.json > ASYM_profile.txt
+for needle in "util" "fast idle while slow runnable" "migrations" "scheduler latency" "run quantum"; do
+  grep -q "$needle" ASYM_profile.txt || { echo "FAIL: asym_profile report lacks '$needle'"; exit 1; }
+done
+
 echo "==> asym_sweep --quick --jobs 2 --json (unified driver smoke: mini sweep on 2 host threads)"
 cargo run -q --release -p asym-bench --bin asym_sweep -- --quick --jobs 2 --json > /dev/null
 
-# The structured report must exist, be well-formed, and contain no
-# panicked or deadlocked cells.
+# The structured report must exist, be well-formed, contain no panicked
+# or deadlocked cells, and carry finite per-cell profile metrics; the
+# Perfetto export from the profile smoke must parse as trace-event JSON.
 test -s BENCH_sweep.json || { echo "FAIL: BENCH_sweep.json missing or empty"; exit 1; }
 if command -v python3 > /dev/null; then
   python3 - <<'EOF'
-import json, sys
+import json, math, sys
+with open("ASYM_profile_trace.json") as f:
+    trace = json.load(f)
+assert trace.get("traceEvents"), "Perfetto export has no traceEvents"
+assert {e["ph"] for e in trace["traceEvents"]} <= {"M", "X", "i"}, "unexpected event phase"
+print(f"   ASYM_profile_trace.json OK: {len(trace['traceEvents'])} trace events")
+
 with open("BENCH_sweep.json") as f:
     report = json.load(f)
-for field in ("name", "jobs", "wall_ms", "cells_wall_ms", "speedup", "cells"):
+for field in ("name", "jobs", "wall_ms", "cells_wall_ms", "speedup", "memoized_cells", "cells"):
     assert field in report, f"missing field {field!r}"
 assert report["cells"], "no cells in report"
 bad = [c for c in report["cells"] if c["class"] in ("panicked", "deadlock")]
 assert not bad, f"{len(bad)} panicked/deadlocked cell(s): {bad[:3]}"
-print(f"   BENCH_sweep.json OK: {len(report['cells'])} cells, "
+with_metrics = 0
+for c in report["cells"]:
+    assert "memoized" in c, "cell lacks 'memoized' flag"
+    m = c.get("metrics")
+    if m is None:
+        continue
+    with_metrics += 1
+    for field in ("kernels", "sim_ns", "busy_ns", "idle_ns", "offline_ns",
+                  "utilization_pct", "fast_idle_slow_runnable_ns", "migrations",
+                  "migration_wait_ns", "preemptions", "sync_wait_ns",
+                  "contended_acquires", "sched_latency", "run_quantum"):
+        assert field in m, f"cell metrics lack {field!r}"
+        v = m[field]
+        if isinstance(v, (int, float)):
+            assert math.isfinite(v), f"non-finite metrics field {field!r}: {v}"
+assert with_metrics, "no cell carries profile metrics despite --json"
+print(f"   BENCH_sweep.json OK: {len(report['cells'])} cells "
+      f"({with_metrics} with metrics, {report['memoized_cells']} memoized), "
       f"{report['wall_ms']:.0f} ms wall, {report['cells_wall_ms']:.0f} ms "
       f"serial-equivalent, {report['speedup']:.2f}x on {report['jobs']} host threads")
 EOF
