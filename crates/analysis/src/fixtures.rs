@@ -7,10 +7,10 @@
 
 use asym_kernel::{
     capture_traces, FnThread, Kernel, KernelTrace, SchedPolicy, SpawnOptions, Step, TraceEvent,
-    TraceRecord,
+    TraceRecord, WakeReason,
 };
 use asym_sim::{CoreId, CoreMask, Cycles, MachineSpec, SimDuration, SimTime, Speed};
-use asym_sync::{SimCondvar, SimMutex};
+use asym_sync::{SimCondvar, SimMutex, SimShared};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -233,6 +233,7 @@ pub fn offline_core_dispatch() -> KernelTrace {
                 tid,
                 core: CoreId(1),
                 affinity: CoreMask::ALL,
+                parent: None,
             },
         },
         TraceRecord {
@@ -280,6 +281,7 @@ pub fn swallowed_kill() -> KernelTrace {
                 tid,
                 core: CoreId(0),
                 affinity: CoreMask::ALL,
+                parent: None,
             },
         },
         TraceRecord {
@@ -294,6 +296,180 @@ pub fn swallowed_kill() -> KernelTrace {
         TraceRecord {
             time: t(2),
             event: TraceEvent::ThreadKilled { tid },
+        },
+    ];
+    trace
+}
+
+/// Two workers increment the same [`SimShared`] word as a plain
+/// read-then-write with **no** synchronization between them: the
+/// canonical unprotected-write data race. The run itself completes fine
+/// (the simulation is single-OS-thread deterministic, so the race never
+/// corrupts anything) — only the happens-before analysis can see that
+/// the accesses are unordered.
+pub fn unprotected_write_race() -> KernelTrace {
+    capture_one(|| {
+        let machine = MachineSpec::symmetric(2, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::os_default(), 8);
+        let counter: SimShared<u64> = SimShared::new(&mut k, "fixture.counter", 0);
+        for name in ["w1", "w2"] {
+            let counter = counter.clone();
+            let mut done = false;
+            k.spawn(
+                FnThread::new(name, move |cx| {
+                    if done {
+                        return Step::Done;
+                    }
+                    done = true;
+                    // BUG: an unprotected read-modify-write, racing the
+                    // other worker's identical accesses.
+                    let v = counter.read(cx, |c| *c);
+                    counter.write(cx, |c| *c = v + 1);
+                    Step::Compute(Cycles::from_micros_at_full_speed(10.0))
+                }),
+                SpawnOptions::new(),
+            );
+        }
+        k.run();
+    })
+}
+
+/// Each worker protects the shared table with its **own** mutex: every
+/// access happens under a lock, but no common lock covers them all. An
+/// atomic flag hand-off orders the two critical sections, so there is no
+/// data race to mask the finding — only the lock-set discipline is
+/// broken, and the Eraser-style checker must flag it.
+pub fn lockset_violation() -> KernelTrace {
+    capture_one(|| {
+        let machine = MachineSpec::symmetric(2, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::os_default(), 9);
+        let a = SimMutex::new(&mut k);
+        let b = SimMutex::new(&mut k);
+        let table: SimShared<u64> = SimShared::new(&mut k, "fixture.table", 0);
+        let flag: SimShared<bool> = SimShared::new(&mut k, "fixture.flag", false);
+
+        let (t1_table, t1_flag) = (table.clone(), flag.clone());
+        let mut phase = 0u8;
+        k.spawn(
+            FnThread::new("t1-lock-a", move |cx| loop {
+                match phase {
+                    0 => match a.lock_step(cx) {
+                        Ok(()) => phase = 1,
+                        Err(step) => return step,
+                    },
+                    _ => {
+                        t1_table.write(cx, |t| *t += 1);
+                        a.unlock(cx);
+                        t1_flag.store(cx, |f| *f = true);
+                        return Step::Done;
+                    }
+                }
+            }),
+            SpawnOptions::new(),
+        );
+
+        let mut phase = 0u8;
+        k.spawn(
+            FnThread::new("t2-lock-b", move |cx| loop {
+                match phase {
+                    0 => {
+                        phase = 1;
+                        return Step::Sleep(SimDuration::from_millis(5));
+                    }
+                    1 => {
+                        if !flag.load(cx, |f| *f) {
+                            return Step::Sleep(SimDuration::from_millis(1));
+                        }
+                        phase = 2;
+                    }
+                    2 => match b.lock_step(cx) {
+                        Ok(()) => phase = 3,
+                        Err(step) => return step,
+                    },
+                    _ => {
+                        // BUG: guards the same table with a *different*
+                        // lock than t1 uses.
+                        table.write(cx, |t| *t += 1);
+                        b.unlock(cx);
+                        return Step::Done;
+                    }
+                }
+            }),
+            SpawnOptions::new(),
+        );
+        k.run();
+    })
+}
+
+/// A forged trace in which a fault re-ranks the cores (core 0 drops to
+/// 1/8 speed, core 1 recovers to full) and a later wakeup still lands
+/// the thread on core 0 — a dispatch consulting the **stale** speed
+/// ranking. The real asymmetry-aware kernel re-ranks eagerly, so the
+/// history is rewritten by hand on top of a genuinely captured
+/// aware-policy trace (keeping the machine/policy metadata authentic),
+/// like [`offline_core_dispatch`].
+pub fn stale_ranking_dispatch() -> KernelTrace {
+    let mut trace = capture_one(|| {
+        let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+        let mut k = Kernel::new(machine, SchedPolicy::asymmetry_aware(), 10);
+        k.spawn(FnThread::new("w", |_cx| Step::Done), SpawnOptions::new());
+        k.run();
+    });
+    let tid = trace
+        .records
+        .iter()
+        .find_map(|r| match r.event {
+            TraceEvent::Spawn { tid, .. } => Some(tid),
+            _ => None,
+        })
+        .expect("captured trace has a spawn");
+    let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+    trace.records = vec![
+        TraceRecord {
+            time: t(0),
+            event: TraceEvent::Spawn {
+                tid,
+                core: CoreId(0),
+                affinity: CoreMask::ALL,
+                parent: None,
+            },
+        },
+        TraceRecord {
+            time: t(1),
+            event: TraceEvent::Dispatch {
+                tid,
+                core: CoreId(0),
+            },
+        },
+        // The fault re-rank: core 0 collapses to 1/8, core 1 recovers.
+        TraceRecord {
+            time: t(2),
+            event: TraceEvent::SpeedChange {
+                core: CoreId(0),
+                speed: Speed::fraction_of_full(8),
+            },
+        },
+        TraceRecord {
+            time: t(2),
+            event: TraceEvent::SpeedChange {
+                core: CoreId(1),
+                speed: Speed::FULL,
+            },
+        },
+        TraceRecord {
+            time: t(3),
+            event: TraceEvent::Sleep { tid },
+        },
+        // BUG (planted): the wakeup placement still uses the old
+        // ranking and parks the thread on the now-slow core 0 while the
+        // now-fast core 1 sits idle.
+        TraceRecord {
+            time: t(4),
+            event: TraceEvent::Wakeup {
+                tid,
+                core: CoreId(0),
+                reason: WakeReason::Timer,
+            },
         },
     ];
     trace
@@ -415,6 +591,73 @@ mod tests {
             .records
             .iter()
             .any(|r| matches!(r.event, TraceEvent::Done { .. })));
+    }
+
+    #[test]
+    fn race_fixture_fires_data_race_with_both_sites() {
+        let trace = unprotected_write_race();
+        let violations = crate::hb::check_concurrency(&trace);
+        let v = violations
+            .iter()
+            .find(|v| v.kind == crate::ViolationKind::DataRace)
+            .expect("unprotected write race must be detected");
+        assert!(v.object.contains("fixture.counter"), "object: {}", v.object);
+        let (a, b) = v
+            .site
+            .split_once("->")
+            .expect("race diagnostics cite both access sites");
+        assert!(a.starts_with('#') && b.starts_with('#'), "site: {}", v.site);
+    }
+
+    #[test]
+    fn lockset_fixture_fires_inconsistent_lockset_and_nothing_else() {
+        let trace = lockset_violation();
+        let violations = crate::hb::check_concurrency(&trace);
+        let v = violations
+            .iter()
+            .find(|v| v.kind == crate::ViolationKind::InconsistentLockSet)
+            .expect("inconsistent lock sets must be detected");
+        assert!(v.object.contains("fixture.table"), "object: {}", v.object);
+        assert!(
+            v.site.contains("->"),
+            "site cites both accesses: {}",
+            v.site
+        );
+        // The atomic flag hand-off orders the critical sections, so the
+        // race detector must stay quiet: the lock-set finding is not a
+        // shadow of a data race.
+        assert!(
+            !violations
+                .iter()
+                .any(|v| v.kind == crate::ViolationKind::DataRace),
+            "lockset fixture must not also race: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn stale_ranking_fixture_fires_citing_rerank_and_placement() {
+        let trace = stale_ranking_dispatch();
+        let violations = crate::hb::check_concurrency(&trace);
+        let v = violations
+            .iter()
+            .find(|v| v.kind == crate::ViolationKind::StaleRanking)
+            .expect("stale-ranking dispatch must be detected");
+        // Site cites the re-rank (record #3, the second SpeedChange) and
+        // the offending wakeup placement (record #5).
+        assert_eq!(v.site, "#3->#5", "message: {}", v.message);
+        assert!(v.object.contains("core0"), "object: {}", v.object);
+    }
+
+    #[test]
+    fn pre_existing_fixtures_are_concurrency_clean() {
+        for trace in [
+            lock_order_inversion(),
+            ab_ba_deadlock(),
+            missed_signal(),
+            stalled_run(),
+        ] {
+            assert_eq!(crate::hb::check_concurrency(&trace), Vec::new());
+        }
     }
 
     #[test]

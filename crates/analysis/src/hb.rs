@@ -1,0 +1,773 @@
+//! The happens-before engine: vector clocks, race detection, lock-set
+//! checking, and scheduler-policy lints over a captured [`KernelTrace`].
+//!
+//! # The happens-before relation
+//!
+//! The engine replays the state-complete event stream once, maintaining a
+//! vector clock per simulated thread, and derives ordering edges from the
+//! synchronization events the kernel and `asym-sync` primitives emit:
+//!
+//! | Trace events | Edge |
+//! |---|---|
+//! | every event of one thread | program order (implicit in the clocks) |
+//! | `Spawn { parent }` → child's first event | spawn edge |
+//! | `Done` → `ThreadJoin { by, of }` | exit→join edge |
+//! | `LockRelease` → next `LockAcquire` of the lock | release–acquire |
+//! | `Signal { waker }` → the `Wakeup`s it causes | signal→wakeup |
+//! | `BarrierArrive` → the releasing arrival | barrier epoch |
+//! | `SemRelease` → later `SemAcquire` | permit hand-off |
+//! | `QueuePush` → later `QueuePop` | message hand-off |
+//! | `SharedAtomic` store/rmw → later load/rmw of the word | acquire/release |
+//!
+//! Accumulating object clocks (locks, semaphores, queues, atomics join
+//! every publisher) over-approximate the per-item relation, which biases
+//! the race detector toward *fewer* reports — the right direction for a
+//! checker whose clean verdict gates CI.
+//!
+//! # Race detection
+//!
+//! Plain [`SharedRead`](TraceEvent::SharedRead) /
+//! [`SharedWrite`](TraceEvent::SharedWrite) accesses (from `asym-sync`'s
+//! `SimShared`) are checked FastTrack-style: each (object, word) keeps the
+//! last read and write epoch per thread, and an access racing any
+//! conflicting epoch not covered by the accessor's clock is reported as
+//! [`ViolationKind::DataRace`] with both trace sites.
+//!
+//! # Lock-set checking
+//!
+//! An Eraser-style pass over the same accesses: once two distinct threads
+//! access an object while holding locks, the object is treated as
+//! lock-disciplined and the intersection of lock sets over *all* its
+//! accesses must stay non-empty, else
+//! [`ViolationKind::InconsistentLockSet`].
+//!
+//! # Policy lints
+//!
+//! [`check_stale_ranking`] replays scheduler state and asserts that under
+//! the asymmetry-aware policy every placement (spawn or wakeup) lands on
+//! the fastest idle eligible core *by the speed ranking in force at that
+//! instant* — a dispatch using a ranking stale since a `SpeedChange`
+//! re-rank is reported as [`ViolationKind::StaleRanking`] citing both the
+//! re-rank site and the offending placement.
+
+use crate::{KernelTrace, Violation, ViolationKind};
+use asym_kernel::{AtomicOp, ShareId, ThreadId, TraceEvent, WaitId, WakeReason};
+use asym_sim::{CoreId, CoreMask, SimTime};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+// ----------------------------------------------------------------------
+// Vector clocks
+// ----------------------------------------------------------------------
+
+/// A vector clock over thread indices (grown on demand).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &c) in other.0.iter().enumerate() {
+            if self.0[i] < c {
+                self.0[i] = c;
+            }
+        }
+    }
+
+    /// Does this clock cover thread `t` up to `clock`?
+    fn covers(&self, t: usize, clock: u32) -> bool {
+        self.get(t) >= clock
+    }
+}
+
+// ----------------------------------------------------------------------
+// The happens-before graph
+// ----------------------------------------------------------------------
+
+/// Why two trace records are ordered (the label on an [`HbEdge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `Spawn` → the child's first event.
+    Spawn,
+    /// A dead thread's `Done` → the `ThreadJoin` observing it.
+    Join,
+    /// `LockRelease` → `LockAcquire` of the same lock.
+    Lock,
+    /// `Signal` → the `Wakeup` it caused.
+    Signal,
+    /// A barrier arrival → the arrival that released the epoch.
+    Barrier,
+    /// `SemRelease` → `SemAcquire` of the same semaphore.
+    Sem,
+    /// `QueuePush` → `QueuePop` of the same queue.
+    Queue,
+    /// Atomic store/rmw → later load/rmw of the same (object, word).
+    Atomic,
+}
+
+/// One cross-thread ordering edge between two records of a trace.
+///
+/// Both endpoints are indices into `trace.records`; by construction
+/// `src < dst`, which (with the trace's non-decreasing timestamps) makes
+/// the full relation acyclic and time-consistent — the property the HB
+/// engine's regression tests pin down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HbEdge {
+    /// The earlier record (the release/publish side).
+    pub src: usize,
+    /// The later record (the acquire/observe side).
+    pub dst: usize,
+    /// The synchronization that justifies the edge.
+    pub kind: EdgeKind,
+}
+
+/// The result of one happens-before replay: the cross-thread edge list
+/// and every data race the vector-clock pass found.
+#[derive(Debug, Clone, Default)]
+pub struct HbAnalysis {
+    /// Every cross-thread ordering edge, in discovery order.
+    pub edges: Vec<HbEdge>,
+    /// Data-race violations (plain accesses unordered by the relation).
+    pub races: Vec<Violation>,
+}
+
+/// Names a shared object for diagnostics: `obj3 ('apache.inbox')` when
+/// the registration label survives on the trace, bare `obj3` otherwise.
+fn obj_name(trace: &KernelTrace, obj: ShareId) -> String {
+    match trace.shared_label(obj) {
+        Some(label) => format!("{obj} ('{label}')"),
+        None => format!("{obj}"),
+    }
+}
+
+/// Per-(object, word) race-detector state: last plain access epoch per
+/// thread, split by access kind.
+#[derive(Debug, Default)]
+struct WordState {
+    /// thread index → (clock at write, record index).
+    writes: HashMap<usize, (u32, usize)>,
+    /// thread index → (clock at read, record index).
+    reads: HashMap<usize, (u32, usize)>,
+}
+
+/// Replays `trace` once, building the full happens-before relation and
+/// running the vector-clock race detector over plain shared accesses.
+pub fn happens_before(trace: &KernelTrace) -> HbAnalysis {
+    let mut vc: Vec<VClock> = Vec::new();
+    let mut edges: Vec<HbEdge> = Vec::new();
+    let mut races: Vec<Violation> = Vec::new();
+
+    // Object clocks, each paired with the record index of the latest
+    // publisher (the edge source used when someone acquires from it).
+    let mut lock_vc: HashMap<WaitId, (VClock, usize)> = HashMap::new();
+    let mut sem_vc: HashMap<WaitId, (VClock, usize)> = HashMap::new();
+    let mut queue_vc: HashMap<WaitId, (VClock, usize)> = HashMap::new();
+    let mut atomic_vc: HashMap<(ShareId, u32), (VClock, usize)> = HashMap::new();
+    // Barrier epoch accumulators: joined clock + pending arrival sites.
+    let mut barrier_acc: HashMap<WaitId, (VClock, Vec<usize>)> = HashMap::new();
+    // Latest Signal per wait queue: (record index, waker clock if the
+    // signal came from a simulated thread).
+    let mut last_signal: HashMap<WaitId, (usize, Option<VClock>)> = HashMap::new();
+    // Which wait queue each blocked thread is parked on.
+    let mut blocked_on: HashMap<ThreadId, WaitId> = HashMap::new();
+    // Where each finished thread's Done record sits (join-edge source).
+    let mut done_at: HashMap<ThreadId, usize> = HashMap::new();
+    // Spawn records whose child has not produced an event yet.
+    let mut pending_spawn: HashMap<ThreadId, usize> = HashMap::new();
+    // Race-detector state and once-per-word reporting.
+    let mut words: HashMap<(ShareId, u32), WordState> = HashMap::new();
+    let mut reported: HashSet<(ShareId, u32)> = HashSet::new();
+
+    fn clock_of(vc: &mut Vec<VClock>, t: usize) -> &mut VClock {
+        if vc.len() <= t {
+            vc.resize(t + 1, VClock::default());
+        }
+        &mut vc[t]
+    }
+
+    for (i, r) in trace.records.iter().enumerate() {
+        // The thread this record belongs to (its author for publishes,
+        // its subject for scheduler events); used for program-order
+        // clock ticks and spawn-edge completion.
+        let subject: Option<ThreadId> = match r.event {
+            TraceEvent::Spawn { parent, .. } => parent,
+            TraceEvent::Signal { waker, .. } => waker,
+            TraceEvent::Dispatch { tid, .. }
+            | TraceEvent::Migrate { tid, .. }
+            | TraceEvent::Preempt { tid, .. }
+            | TraceEvent::Steal { tid, .. }
+            | TraceEvent::Wakeup { tid, .. }
+            | TraceEvent::Block { tid, .. }
+            | TraceEvent::Sleep { tid }
+            | TraceEvent::Done { tid }
+            | TraceEvent::LockAcquire { tid, .. }
+            | TraceEvent::LockRelease { tid, .. }
+            | TraceEvent::CondWait { tid, .. }
+            | TraceEvent::BarrierArrive { tid, .. }
+            | TraceEvent::SemAcquire { tid, .. }
+            | TraceEvent::SemRelease { tid, .. }
+            | TraceEvent::QueuePush { tid, .. }
+            | TraceEvent::QueuePop { tid, .. }
+            | TraceEvent::ThreadKilled { tid }
+            | TraceEvent::SharedRead { tid, .. }
+            | TraceEvent::SharedWrite { tid, .. }
+            | TraceEvent::SharedAtomic { tid, .. } => Some(tid),
+            TraceEvent::ThreadJoin { by, .. } => Some(by),
+            TraceEvent::SetAffinity { .. }
+            | TraceEvent::AffinityOverride { .. }
+            | TraceEvent::SpeedChange { .. }
+            | TraceEvent::CoreOffline { .. }
+            | TraceEvent::CoreOnline { .. } => None,
+        };
+
+        // Complete a pending spawn edge at the child's first event.
+        if let Some(t) = subject {
+            if let Some(src) = pending_spawn.remove(&t) {
+                if src < i {
+                    edges.push(HbEdge {
+                        src,
+                        dst: i,
+                        kind: EdgeKind::Spawn,
+                    });
+                }
+            }
+        }
+
+        match r.event {
+            TraceEvent::Spawn { tid, parent, .. } => {
+                // The child inherits the parent's history.
+                if let Some(p) = parent {
+                    let parent_clock = clock_of(&mut vc, p.index()).clone();
+                    clock_of(&mut vc, tid.index()).join(&parent_clock);
+                }
+                pending_spawn.insert(tid, i);
+            }
+            TraceEvent::Block { tid, wait } => {
+                blocked_on.insert(tid, wait);
+            }
+            TraceEvent::Wakeup { tid, reason, .. } => {
+                if reason == WakeReason::Signal {
+                    if let Some(wait) = blocked_on.remove(&tid) {
+                        if let Some((sig_idx, Some(waker_clock))) = last_signal.get(&wait) {
+                            let waker_clock = waker_clock.clone();
+                            clock_of(&mut vc, tid.index()).join(&waker_clock);
+                            edges.push(HbEdge {
+                                src: *sig_idx,
+                                dst: i,
+                                kind: EdgeKind::Signal,
+                            });
+                        }
+                    }
+                } else {
+                    blocked_on.remove(&tid);
+                }
+            }
+            TraceEvent::Signal { waker, wait, .. } => {
+                let snapshot = waker.map(|w| clock_of(&mut vc, w.index()).clone());
+                last_signal.insert(wait, (i, snapshot));
+            }
+            TraceEvent::Done { tid } => {
+                done_at.insert(tid, i);
+                blocked_on.remove(&tid);
+            }
+            TraceEvent::ThreadJoin { by, of } => {
+                let dead_clock = clock_of(&mut vc, of.index()).clone();
+                clock_of(&mut vc, by.index()).join(&dead_clock);
+                if let Some(&src) = done_at.get(&of) {
+                    edges.push(HbEdge {
+                        src,
+                        dst: i,
+                        kind: EdgeKind::Join,
+                    });
+                }
+            }
+            TraceEvent::LockAcquire { tid, lock, .. } => {
+                if let Some((v, src)) = lock_vc.get(&lock) {
+                    let v = v.clone();
+                    let src = *src;
+                    clock_of(&mut vc, tid.index()).join(&v);
+                    edges.push(HbEdge {
+                        src,
+                        dst: i,
+                        kind: EdgeKind::Lock,
+                    });
+                }
+            }
+            TraceEvent::LockRelease { tid, lock } => {
+                let own = clock_of(&mut vc, tid.index()).clone();
+                let entry = lock_vc.entry(lock).or_default();
+                entry.0.join(&own);
+                entry.1 = i;
+            }
+            TraceEvent::BarrierArrive {
+                tid,
+                barrier,
+                released,
+            } => {
+                let own = clock_of(&mut vc, tid.index()).clone();
+                let entry = barrier_acc.entry(barrier).or_default();
+                if released {
+                    // The releasing arrival acquires every earlier
+                    // arrival of the epoch; waiters then inherit it
+                    // through the releaser's Signal→Wakeup edges.
+                    let (acc, pend) = std::mem::take(entry);
+                    clock_of(&mut vc, tid.index()).join(&acc);
+                    for src in pend {
+                        edges.push(HbEdge {
+                            src,
+                            dst: i,
+                            kind: EdgeKind::Barrier,
+                        });
+                    }
+                } else {
+                    entry.0.join(&own);
+                    entry.1.push(i);
+                }
+            }
+            TraceEvent::SemRelease { tid, sem } => {
+                let own = clock_of(&mut vc, tid.index()).clone();
+                let entry = sem_vc.entry(sem).or_default();
+                entry.0.join(&own);
+                entry.1 = i;
+            }
+            TraceEvent::SemAcquire { tid, sem } => {
+                if let Some((v, src)) = sem_vc.get(&sem) {
+                    let v = v.clone();
+                    let src = *src;
+                    clock_of(&mut vc, tid.index()).join(&v);
+                    edges.push(HbEdge {
+                        src,
+                        dst: i,
+                        kind: EdgeKind::Sem,
+                    });
+                }
+            }
+            TraceEvent::QueuePush { tid, queue } => {
+                let own = clock_of(&mut vc, tid.index()).clone();
+                let entry = queue_vc.entry(queue).or_default();
+                entry.0.join(&own);
+                entry.1 = i;
+            }
+            TraceEvent::QueuePop { tid, queue } => {
+                if let Some((v, src)) = queue_vc.get(&queue) {
+                    let v = v.clone();
+                    let src = *src;
+                    clock_of(&mut vc, tid.index()).join(&v);
+                    edges.push(HbEdge {
+                        src,
+                        dst: i,
+                        kind: EdgeKind::Queue,
+                    });
+                }
+            }
+            TraceEvent::SharedAtomic { tid, obj, word, op } => {
+                let key = (obj, word);
+                if matches!(op, AtomicOp::Load | AtomicOp::Rmw) {
+                    if let Some((v, src)) = atomic_vc.get(&key) {
+                        let v = v.clone();
+                        let src = *src;
+                        clock_of(&mut vc, tid.index()).join(&v);
+                        edges.push(HbEdge {
+                            src,
+                            dst: i,
+                            kind: EdgeKind::Atomic,
+                        });
+                    }
+                }
+                if matches!(op, AtomicOp::Store | AtomicOp::Rmw) {
+                    let own = clock_of(&mut vc, tid.index()).clone();
+                    let entry = atomic_vc.entry(key).or_default();
+                    entry.0.join(&own);
+                    entry.1 = i;
+                }
+            }
+            TraceEvent::SharedRead { tid, obj, word } => {
+                let t = tid.index();
+                let clock = clock_of(&mut vc, t).get(t);
+                let me = clock_of(&mut vc, t).clone();
+                let state = words.entry((obj, word)).or_default();
+                // A read races only with unordered *writes*.
+                let conflict = state
+                    .writes
+                    .iter()
+                    .find(|(&u, &(cu, _))| u != t && !me.covers(u, cu))
+                    .map(|(&u, &(_, iu))| (u, iu));
+                if let Some((u, iu)) = conflict {
+                    if reported.insert((obj, word)) {
+                        races.push(race_violation(
+                            trace, obj, word, u, iu, "write", t, i, "read", r.time,
+                        ));
+                    }
+                }
+                state.reads.insert(t, (clock, i));
+            }
+            TraceEvent::SharedWrite { tid, obj, word } => {
+                let t = tid.index();
+                let clock = clock_of(&mut vc, t).get(t);
+                let me = clock_of(&mut vc, t).clone();
+                let state = words.entry((obj, word)).or_default();
+                // A write races with any unordered access.
+                let conflict = state
+                    .writes
+                    .iter()
+                    .map(|(&u, &(cu, iu))| (u, cu, iu, "write"))
+                    .chain(
+                        state
+                            .reads
+                            .iter()
+                            .map(|(&u, &(cu, iu))| (u, cu, iu, "read")),
+                    )
+                    .find(|&(u, cu, _, _)| u != t && !me.covers(u, cu));
+                if let Some((u, _, iu, what)) = conflict {
+                    if reported.insert((obj, word)) {
+                        races.push(race_violation(
+                            trace, obj, word, u, iu, what, t, i, "write", r.time,
+                        ));
+                    }
+                }
+                state.writes.insert(t, (clock, i));
+            }
+            _ => {}
+        }
+
+        // Program order: the subject's clock advances past this event,
+        // so anything it published here is distinguishable from its
+        // later accesses.
+        if let Some(t) = subject {
+            clock_of(&mut vc, t.index()).tick(t.index());
+        }
+    }
+
+    HbAnalysis { edges, races }
+}
+
+/// Builds the two-site diagnostic for one data race.
+#[allow(clippy::too_many_arguments)]
+fn race_violation(
+    trace: &KernelTrace,
+    obj: ShareId,
+    word: u32,
+    earlier_thread: usize,
+    earlier_idx: usize,
+    earlier_kind: &str,
+    later_thread: usize,
+    later_idx: usize,
+    later_kind: &str,
+    time: SimTime,
+) -> Violation {
+    let earlier_time = trace.records[earlier_idx].time;
+    let object = obj_name(trace, obj);
+    Violation::new(
+        ViolationKind::DataRace,
+        Some(time),
+        format!(
+            "word {word} of {object}: {earlier_kind} by tid{earlier_thread} at #{earlier_idx} \
+             ({earlier_time}) and {later_kind} by tid{later_thread} at #{later_idx} ({time}) \
+             are unordered — no happens-before path connects the accesses"
+        ),
+    )
+    .with_object(object)
+    .with_site(format!("#{earlier_idx}->#{later_idx}"))
+}
+
+/// Runs the vector-clock data-race detector over `trace` (one report per
+/// racy (object, word), citing both access sites).
+pub fn check_races(trace: &KernelTrace) -> Vec<Violation> {
+    happens_before(trace).races
+}
+
+// ----------------------------------------------------------------------
+// Lock-set (atomicity) checking
+// ----------------------------------------------------------------------
+
+/// Eraser-style lock-set checking over plain `SimShared` accesses.
+///
+/// An object participates once at least two distinct threads have
+/// accessed it while holding at least one lock — the signature of
+/// intended lock discipline. For participating objects the intersection
+/// of lock sets over **all** accesses must stay non-empty; an empty
+/// intersection is reported with two witness sites whose lock sets are
+/// disjoint (or whichever access emptied the running intersection).
+///
+/// Objects synchronized by other means (queues, signals, joins — the
+/// message-passing style most workloads use) never enter the check, so
+/// it adds no false positives on top of the race detector.
+pub fn check_locksets(trace: &KernelTrace) -> Vec<Violation> {
+    struct Access {
+        tid: ThreadId,
+        idx: usize,
+        time: SimTime,
+        held: BTreeSet<WaitId>,
+    }
+    let mut held: HashMap<ThreadId, BTreeSet<WaitId>> = HashMap::new();
+    let mut accesses: HashMap<ShareId, Vec<Access>> = HashMap::new();
+
+    for (i, r) in trace.records.iter().enumerate() {
+        match r.event {
+            TraceEvent::LockAcquire { tid, lock, .. } => {
+                held.entry(tid).or_default().insert(lock);
+            }
+            TraceEvent::LockRelease { tid, lock } => {
+                if let Some(set) = held.get_mut(&tid) {
+                    set.remove(&lock);
+                }
+            }
+            TraceEvent::SharedRead { tid, obj, .. } | TraceEvent::SharedWrite { tid, obj, .. } => {
+                accesses.entry(obj).or_default().push(Access {
+                    tid,
+                    idx: i,
+                    time: r.time,
+                    held: held.get(&tid).cloned().unwrap_or_default(),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let mut violations = Vec::new();
+    let mut objs: Vec<_> = accesses.into_iter().collect();
+    objs.sort_by_key(|(obj, _)| *obj);
+    for (obj, accs) in objs {
+        let locked_threads: HashSet<ThreadId> = accs
+            .iter()
+            .filter(|a| !a.held.is_empty())
+            .map(|a| a.tid)
+            .collect();
+        if locked_threads.len() < 2 {
+            continue;
+        }
+        let mut inter = accs[0].held.clone();
+        let mut witness = accs[0].idx;
+        let mut culprit = None;
+        for a in &accs[1..] {
+            let narrowed: BTreeSet<WaitId> = inter.intersection(&a.held).copied().collect();
+            if narrowed.is_empty() {
+                culprit = Some(a);
+                break;
+            }
+            inter = narrowed;
+            witness = a.idx;
+        }
+        let Some(culprit) = culprit else {
+            continue;
+        };
+        let object = obj_name(trace, obj);
+        let w = &trace.records[witness];
+        let held_list = |s: &BTreeSet<WaitId>| {
+            if s.is_empty() {
+                "no locks".to_string()
+            } else {
+                s.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("+")
+            }
+        };
+        let witness_held = accs
+            .iter()
+            .find(|a| a.idx == witness)
+            .map(|a| held_list(&a.held))
+            .unwrap_or_default();
+        violations.push(
+            Violation::new(
+                ViolationKind::InconsistentLockSet,
+                Some(culprit.time),
+                format!(
+                    "{object} is lock-disciplined (two or more threads access it under locks) \
+                     but no common lock protects every access: #{witness} ({}) held \
+                     {witness_held} while {} by tid{} at #{} ({}) held {}",
+                    w.time,
+                    "the access",
+                    culprit.tid.index(),
+                    culprit.idx,
+                    culprit.time,
+                    held_list(&culprit.held),
+                ),
+            )
+            .with_object(object)
+            .with_site(format!("#{witness}->#{}", culprit.idx)),
+        );
+    }
+    violations
+}
+
+// ----------------------------------------------------------------------
+// Policy lint: placements must honour the current speed ranking
+// ----------------------------------------------------------------------
+
+/// Lints every placement decision (spawn and wakeup) of an
+/// asymmetry-aware trace against the speed ranking in force at that
+/// instant: when any idle, online, affinity-eligible core exists, the
+/// kernel's placement contract is "fastest such core, ties to the lowest
+/// index". A placement that lands anywhere else used a stale (or plain
+/// wrong) ranking — the §3.1.1 bug class where a fault re-ranks the
+/// cores and a dispatch keeps consulting the old table. The report cites
+/// both the ranking site (the latest `SpeedChange`, or the initial
+/// machine shape) and the offending placement.
+pub fn check_stale_ranking(trace: &KernelTrace) -> Vec<Violation> {
+    if !trace.policy.is_asymmetry_aware() {
+        return Vec::new();
+    }
+    struct CoreState {
+        running: Option<ThreadId>,
+        queue: Vec<ThreadId>,
+    }
+    let mut speeds = trace.machine.speeds().to_vec();
+    let mut online = vec![true; speeds.len()];
+    let mut cores: Vec<CoreState> = speeds
+        .iter()
+        .map(|_| CoreState {
+            running: None,
+            queue: Vec::new(),
+        })
+        .collect();
+    let mut affinity: HashMap<ThreadId, CoreMask> = HashMap::new();
+    let mut rank_site: Option<usize> = None;
+    let mut violations = Vec::new();
+
+    fn remove(v: &mut Vec<ThreadId>, tid: ThreadId) {
+        if let Some(pos) = v.iter().position(|&t| t == tid) {
+            v.remove(pos);
+        }
+    }
+
+    for (i, r) in trace.records.iter().enumerate() {
+        // Lint placements before applying their state effect: the
+        // eligibility snapshot is the instant *before* the thread lands.
+        let placement: Option<(ThreadId, CoreId, CoreMask, &str)> = match r.event {
+            TraceEvent::Spawn {
+                tid,
+                core,
+                affinity: mask,
+                ..
+            } => Some((tid, core, mask, "spawned onto")),
+            TraceEvent::Wakeup { tid, core, .. } => affinity
+                .get(&tid)
+                .map(|&mask| (tid, core, mask, "woken onto")),
+            _ => None,
+        };
+        if let Some((tid, chosen, mask, what)) = placement {
+            let eligible: Vec<usize> = (0..cores.len())
+                .filter(|&c| {
+                    online[c]
+                        && mask.contains(CoreId(c))
+                        && cores[c].running.is_none()
+                        && cores[c].queue.is_empty()
+                })
+                .collect();
+            if let Some(&best) = eligible
+                .iter()
+                .max_by(|&&a, &&b| speeds[a].cmp(&speeds[b]).then(b.cmp(&a)))
+            {
+                if chosen.0 != best {
+                    let rank_desc = match rank_site {
+                        Some(s) => {
+                            format!("the ranking in force since SpeedChange at #{s}")
+                        }
+                        None => "the machine's initial speed ranking".to_string(),
+                    };
+                    let site = match rank_site {
+                        Some(s) => format!("#{s}->#{i}"),
+                        None => format!("#{i}"),
+                    };
+                    violations.push(
+                        Violation::new(
+                            ViolationKind::StaleRanking,
+                            Some(r.time),
+                            format!(
+                                "{tid} {what} core{} (speed {:.3}) at #{i} while idle eligible \
+                                 core{best} (speed {:.3}) was faster under {rank_desc} — the \
+                                 placement ignored the current speed ranking",
+                                chosen.0,
+                                speeds[chosen.0].factor(),
+                                speeds[best].factor(),
+                            ),
+                        )
+                        .with_object(format!("core{}", chosen.0))
+                        .with_site(site),
+                    );
+                }
+            }
+        }
+        match r.event {
+            TraceEvent::Spawn {
+                tid,
+                core,
+                affinity: mask,
+                ..
+            } => {
+                affinity.insert(tid, mask);
+                cores[core.0].queue.push(tid);
+            }
+            TraceEvent::Dispatch { tid, core } => {
+                remove(&mut cores[core.0].queue, tid);
+                cores[core.0].running = Some(tid);
+            }
+            TraceEvent::Preempt { tid, core, .. } => {
+                if cores[core.0].running == Some(tid) {
+                    cores[core.0].running = None;
+                }
+                cores[core.0].queue.push(tid);
+            }
+            TraceEvent::Steal { tid, from, to } => {
+                remove(&mut cores[from.0].queue, tid);
+                cores[to.0].queue.push(tid);
+            }
+            TraceEvent::Wakeup { tid, core, .. } => {
+                cores[core.0].queue.push(tid);
+            }
+            TraceEvent::Block { tid, .. }
+            | TraceEvent::Sleep { tid }
+            | TraceEvent::Done { tid } => {
+                for c in &mut cores {
+                    if c.running == Some(tid) {
+                        c.running = None;
+                    }
+                }
+            }
+            TraceEvent::SetAffinity { tid, affinity: m }
+            | TraceEvent::AffinityOverride { tid, affinity: m } => {
+                affinity.insert(tid, m);
+            }
+            TraceEvent::SpeedChange { core, speed } => {
+                speeds[core.0] = speed;
+                rank_site = Some(i);
+            }
+            TraceEvent::CoreOffline { core } => {
+                online[core.0] = false;
+            }
+            TraceEvent::CoreOnline { core } => {
+                online[core.0] = true;
+            }
+            TraceEvent::ThreadKilled { tid } => {
+                for c in &mut cores {
+                    remove(&mut c.queue, tid);
+                }
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+/// The full happens-before suite over one trace: vector-clock data
+/// races, lock-set violations, and the stale-ranking policy lint, in
+/// canonical (kind, object, site) order with duplicates removed.
+pub fn check_concurrency(trace: &KernelTrace) -> Vec<Violation> {
+    let mut violations = check_races(trace);
+    violations.extend(check_locksets(trace));
+    violations.extend(check_stale_ranking(trace));
+    crate::normalize_violations(violations)
+}

@@ -72,6 +72,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 pub mod fixtures;
+pub mod hb;
 
 pub use asym_kernel::{KernelTrace, TraceRecord};
 
@@ -101,6 +102,18 @@ pub enum ViolationKind {
     DroppedKill,
     /// The same seeded program produced two different traces.
     NonDeterminism,
+    /// Two plain accesses to the same shared word are unordered by the
+    /// happens-before relation (vector-clock data race).
+    DataRace,
+    /// A shared object accessed by multiple lock-holding threads has no
+    /// common lock protecting every access (Eraser-style lock-set
+    /// violation).
+    InconsistentLockSet,
+    /// Under the asymmetry-aware policy, a thread was placed on a core
+    /// that the speed ranking in force at that instant does not justify —
+    /// an idle, eligible, strictly faster core existed (e.g. a dispatch
+    /// used a ranking stale since a fault re-rank).
+    StaleRanking,
 }
 
 impl fmt::Display for ViolationKind {
@@ -114,6 +127,9 @@ impl fmt::Display for ViolationKind {
             ViolationKind::StalledRun => "stalled-run",
             ViolationKind::DroppedKill => "dropped-kill",
             ViolationKind::NonDeterminism => "non-determinism",
+            ViolationKind::DataRace => "data-race",
+            ViolationKind::InconsistentLockSet => "inconsistent-lock-set",
+            ViolationKind::StaleRanking => "stale-ranking",
         };
         f.write_str(s)
     }
@@ -130,15 +146,72 @@ pub struct Violation {
     pub time: Option<SimTime>,
     /// Human-readable description naming the threads and queues involved.
     pub message: String,
+    /// The entity the violation is about (a shared object, lock, core,
+    /// or thread), normalized for stable ordering and deduplication.
+    /// Empty when the defect has no single anchor object.
+    pub object: String,
+    /// The trace site(s) anchoring the violation, as `#index` record
+    /// references (e.g. `"#120->#348"` for a racy access pair). Empty
+    /// for whole-run properties.
+    pub site: String,
+}
+
+impl Violation {
+    /// A violation with no structured object/site anchors (whole-run
+    /// properties and checks predating the happens-before engine).
+    pub fn new(kind: ViolationKind, time: Option<SimTime>, message: impl Into<String>) -> Self {
+        Violation {
+            kind,
+            time,
+            message: message.into(),
+            object: String::new(),
+            site: String::new(),
+        }
+    }
+
+    /// Sets the anchor object (builder style).
+    pub fn with_object(mut self, object: impl Into<String>) -> Self {
+        self.object = object.into();
+        self
+    }
+
+    /// Sets the anchor trace site(s) (builder style).
+    pub fn with_site(mut self, site: impl Into<String>) -> Self {
+        self.site = site.into();
+        self
+    }
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.time {
-            Some(t) => write!(f, "[{}] at {}: {}", self.kind, t, self.message),
-            None => write!(f, "[{}] {}", self.kind, self.message),
+            Some(t) => write!(f, "[{}] at {}: {}", self.kind, t, self.message)?,
+            None => write!(f, "[{}] {}", self.kind, self.message)?,
         }
+        if !self.site.is_empty() {
+            write!(f, " [{}]", self.site)?;
+        }
+        Ok(())
     }
+}
+
+/// Sorts violations into the canonical (kind, object, site) order and
+/// drops duplicates, so reports are bounded and byte-identical no matter
+/// how many host threads produced them. Violations without structured
+/// anchors (both `object` and `site` empty) are deduplicated by message
+/// instead, preserving distinct findings from the older checkers.
+pub fn normalize_violations(mut violations: Vec<Violation>) -> Vec<Violation> {
+    fn key(v: &Violation) -> (String, String, String, String) {
+        let tail = if v.object.is_empty() && v.site.is_empty() {
+            v.message.clone()
+        } else {
+            String::new()
+        };
+        (v.kind.to_string(), v.object.clone(), v.site.clone(), tail)
+    }
+    violations.sort_by(|a, b| key(a).cmp(&key(b)).then_with(|| a.message.cmp(&b.message)));
+    violations.dedup_by(|a, b| key(a) == key(b));
+    violations
 }
 
 /// Runs analyses 1–7 (deadlock, lock order, lost wakeup, asymmetry
@@ -215,6 +288,8 @@ fn detect_deadlocks(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Violati
                             .map(|t| format!("{t} waits for {}", waiting[t]))
                             .collect();
                         violations.push(Violation {
+                            object: String::new(),
+                            site: String::new(),
                             kind: ViolationKind::Deadlock,
                             time: Some(r.time),
                             message: format!(
@@ -289,6 +364,8 @@ fn check_lock_order(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Violati
                 let key = (outer.min(lock), outer.max(lock));
                 if reported.insert(key) {
                     violations.push(Violation {
+                        object: String::new(),
+                        site: String::new(),
                         kind: ViolationKind::LockOrderInversion,
                         time: None,
                         message: format!(
@@ -375,6 +452,8 @@ fn detect_lost_wakeups(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Viol
         if missed_before && !signalled_after {
             let time = trace.records[block_idx].time;
             violations.push(Violation {
+                object: String::new(),
+                site: String::new(),
                 kind: ViolationKind::LostWakeup,
                 time: Some(time),
                 message: format!(
@@ -449,6 +528,8 @@ fn check_asymmetry_invariant(trace: &KernelTrace) -> Vec<Violation> {
                         let eligible = affinity.get(&tid).is_some_and(|m| m.contains(CoreId(fast)));
                         if eligible && reported.insert((fast, tid)) {
                             violations.push(Violation {
+                                object: String::new(),
+                                site: String::new(),
                                 kind: ViolationKind::FastCoreIdle,
                                 time: Some(cur_time),
                                 message: format!(
@@ -470,6 +551,7 @@ fn check_asymmetry_invariant(trace: &KernelTrace) -> Vec<Violation> {
                 tid,
                 core,
                 affinity: mask,
+                ..
             } => {
                 affinity.insert(tid, mask);
                 cores[core.0].queue.push(tid);
@@ -563,6 +645,8 @@ fn check_core_liveness(trace: &KernelTrace) -> Vec<Violation> {
                 violations: &mut Vec<Violation>| {
         if !online[core.0] {
             violations.push(Violation {
+                object: String::new(),
+                site: String::new(),
                 kind: ViolationKind::OfflineDispatch,
                 time: Some(time),
                 message: format!("{tid} {what} offline core{}", core.0),
@@ -583,6 +667,8 @@ fn check_core_liveness(trace: &KernelTrace) -> Vec<Violation> {
                 for &tid in occ {
                     if reported_parked.insert((c, tid)) {
                         violations.push(Violation {
+                            object: String::new(),
+                            site: String::new(),
                             kind: ViolationKind::OfflineDispatch,
                             time: Some(cur_time),
                             message: format!("{tid} left parked on offline core{c}"),
@@ -635,6 +721,8 @@ fn check_core_liveness(trace: &KernelTrace) -> Vec<Violation> {
             }
             TraceEvent::Dispatch { tid, core } if !online[core.0] => {
                 violations.push(Violation {
+                    object: String::new(),
+                    site: String::new(),
                     kind: ViolationKind::OfflineDispatch,
                     time: Some(r.time),
                     message: format!("{tid} dispatched on offline core{}", core.0),
@@ -668,6 +756,8 @@ fn check_forward_progress(trace: &KernelTrace) -> Vec<Violation> {
         return Vec::new();
     }
     vec![Violation {
+        object: String::new(),
+        site: String::new(),
         kind: ViolationKind::StalledRun,
         time: trace.records.last().map(|r| r.time),
         message: "the watchdog declared the run livelocked: time advanced but no \
@@ -697,6 +787,8 @@ fn check_kill_accounting(trace: &KernelTrace) -> Vec<Violation> {
             .any(|later| matches!(later.event, TraceEvent::Done { tid: t } if t == tid));
         if !retired {
             violations.push(Violation {
+                object: String::new(),
+                site: String::new(),
                 kind: ViolationKind::DroppedKill,
                 time: Some(r.time),
                 message: format!(
@@ -720,6 +812,8 @@ pub fn compare_runs(label: &str, first: &[KernelTrace], second: &[KernelTrace]) 
     let mut violations = Vec::new();
     if first.len() != second.len() {
         violations.push(Violation {
+            object: String::new(),
+            site: String::new(),
             kind: ViolationKind::NonDeterminism,
             time: None,
             message: format!(
@@ -733,6 +827,8 @@ pub fn compare_runs(label: &str, first: &[KernelTrace], second: &[KernelTrace]) 
     for (i, (a, b)) in first.iter().zip(second).enumerate() {
         if a.stable_hash() != b.stable_hash() {
             violations.push(Violation {
+                object: String::new(),
+                site: String::new(),
                 kind: ViolationKind::NonDeterminism,
                 time: None,
                 message: format!(
@@ -996,6 +1092,7 @@ mod tests {
                     tid,
                     core: CoreId(1),
                     affinity: CoreMask::ALL,
+                    parent: None,
                 },
             },
             TraceRecord {

@@ -9,27 +9,34 @@
 //! kernel traces. Exits
 //! nonzero if any violation is found.
 //!
+//! `--races` sweeps the same matrix through the happens-before engine
+//! instead: FastTrack-style vector-clock race detection over the
+//! workloads' `SharedRead`/`SharedWrite` annotations, the Eraser-style
+//! lock-set checker, and the stale-speed-ranking policy lint.
+//!
 //! `--fixtures` instead runs the seeded negative fixtures and verifies
 //! each detector actually fires; here the exit code is nonzero if a
 //! detector *fails* to fire.
 //!
 //! `--quick` restricts the sweep to a single asymmetric configuration
-//! (1f-3s/8) — the CI smoke mode.
+//! (1f-3s/8) — the CI smoke mode (`--races --quick` likewise).
 
 use asym_analysis::fixtures::{
-    ab_ba_deadlock, lock_order_inversion, missed_signal, offline_core_dispatch, stalled_run,
-    swallowed_kill,
+    ab_ba_deadlock, lock_order_inversion, lockset_violation, missed_signal, offline_core_dispatch,
+    stale_ranking_dispatch, stalled_run, swallowed_kill, unprotected_write_race,
 };
+use asym_analysis::hb::{check_concurrency, happens_before};
 use asym_analysis::{analyze_trace, check_workload, render_violations, KernelTrace, ViolationKind};
 use asym_bench::paper_workloads;
 use asym_core::{AsymConfig, RunSetup};
-use asym_kernel::SchedPolicy;
+use asym_kernel::{capture_traces, SchedPolicy};
 use std::process::ExitCode;
 
 /// Runs one fixture's trace through the analyses and checks the
 /// expected detector fired. Prints a PASS/FAIL line; returns success.
 fn expect_fires(name: &str, trace: &KernelTrace, expected: ViolationKind) -> bool {
-    let violations = analyze_trace(trace);
+    let mut violations = analyze_trace(trace);
+    violations.extend(check_concurrency(trace));
     let fired = violations.iter().any(|v| v.kind == expected);
     let status = if fired { "PASS" } else { "FAIL" };
     println!(
@@ -77,6 +84,21 @@ fn run_fixtures() -> ExitCode {
         "kill without retirement (forged history)",
         &swallowed_kill(),
         ViolationKind::DroppedKill,
+    );
+    ok &= expect_fires(
+        "unordered writes to one shared counter",
+        &unprotected_write_race(),
+        ViolationKind::DataRace,
+    );
+    ok &= expect_fires(
+        "same table guarded by two different locks",
+        &lockset_violation(),
+        ViolationKind::InconsistentLockSet,
+    );
+    ok &= expect_fires(
+        "dispatch on stale speed ranking (forged re-rank)",
+        &stale_ranking_dispatch(),
+        ViolationKind::StaleRanking,
     );
     if ok {
         println!("all detectors fire on their fixtures");
@@ -130,16 +152,78 @@ fn run_sweep(configs: &[AsymConfig]) -> ExitCode {
     }
 }
 
+/// Sweeps `configs` x all paper workloads through the happens-before
+/// engine: vector-clock data-race detection, lock-set checking, and the
+/// stale-speed-ranking policy lint. Exits nonzero on any finding.
+fn run_races(configs: &[AsymConfig]) -> ExitCode {
+    let policy = SchedPolicy::asymmetry_aware();
+    let workloads = paper_workloads();
+    println!(
+        "asym-check --races: {} configurations x {} workloads under {policy}",
+        configs.len(),
+        workloads.len()
+    );
+    let mut dirty = 0usize;
+    let (mut kernels, mut events, mut edges) = (0usize, 0usize, 0usize);
+    for w in &workloads {
+        for config in configs {
+            let setup = RunSetup::new(*config, policy, 0);
+            let (_, traces) = capture_traces(|| w.run(&setup));
+            let label = format!("{} @ {config}", w.name());
+            let mut violations = Vec::new();
+            let mut cell_edges = 0usize;
+            for trace in &traces {
+                cell_edges += happens_before(trace).edges.len();
+                violations.extend(check_concurrency(trace));
+            }
+            kernels += traces.len();
+            events += traces.iter().map(|t| t.records.len()).sum::<usize>();
+            edges += cell_edges;
+            if violations.is_empty() {
+                println!(
+                    "  [ok] {label} ({} kernels, {} hb edges)",
+                    traces.len(),
+                    cell_edges
+                );
+            } else {
+                dirty += 1;
+                println!("  [VIOLATION] {label}: {}", render_violations(&violations));
+            }
+        }
+    }
+    println!("analyzed {kernels} kernels / {events} trace events / {edges} happens-before edges");
+    if dirty == 0 {
+        println!("all runs race-free: every shared access is ordered by the");
+        println!("happens-before relation, lock-sets are consistent, and no");
+        println!("dispatch used a stale speed ranking");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAILURE: {dirty} run(s) reported violations");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--fixtures") => run_fixtures(),
-        Some("--quick") => run_sweep(&[AsymConfig::new(1, 3, 8)]),
-        None => run_sweep(&AsymConfig::standard_nine()),
-        Some(other) => {
-            eprintln!("usage: asym-check [--fixtures | --quick]");
-            eprintln!("unknown argument: {other}");
-            ExitCode::FAILURE
-        }
+    let quick = args.iter().any(|a| a == "--quick");
+    let configs = if quick {
+        vec![AsymConfig::new(1, 3, 8)]
+    } else {
+        AsymConfig::standard_nine().to_vec()
+    };
+    let unknown = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--fixtures" | "--races" | "--quick"));
+    if let Some(other) = unknown {
+        eprintln!("usage: asym-check [--fixtures | --races] [--quick]");
+        eprintln!("unknown argument: {other}");
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--fixtures") {
+        run_fixtures()
+    } else if args.iter().any(|a| a == "--races") {
+        run_races(&configs)
+    } else {
+        run_sweep(&configs)
     }
 }

@@ -10,9 +10,11 @@
 //! counts, and trace hashes.
 
 use crate::spec::{registry, SweepContext, SweepSpec};
-use asym_core::{resolve_jobs, CellRunner, ExperimentPlan};
+use asym_analysis::hb::check_concurrency;
+use asym_core::{resolve_jobs, CellRunner, ExperimentPlan, TraceCheck};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Default path for `--json` without an explicit `=PATH`.
 pub const DEFAULT_JSON_PATH: &str = "BENCH_sweep.json";
@@ -30,6 +32,10 @@ pub struct SweepArgs {
     pub quick: bool,
     /// `--json` / `--json=PATH`: write the engine's structured report.
     pub json: Option<PathBuf>,
+    /// `--check`: run the happens-before race detector, lock-set
+    /// checker, and policy lints on every cell's traces; findings fail
+    /// the sweep.
+    pub check: bool,
     /// `--list`: print registered specs and exit.
     pub list: bool,
 }
@@ -42,6 +48,7 @@ impl SweepArgs {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
+                "--check" => out.check = true,
                 "--list" => out.list = true,
                 "--json" => out.json = Some(PathBuf::from(DEFAULT_JSON_PATH)),
                 "--jobs" => {
@@ -56,7 +63,8 @@ impl SweepArgs {
                 }
                 s if s.starts_with('-') => {
                     return Err(format!(
-                        "unknown flag '{s}' (expected --quick, --jobs N, --json[=PATH], --list)"
+                        "unknown flag '{s}' (expected --quick, --check, --jobs N, \
+                         --json[=PATH], --list)"
                     ));
                 }
                 name => out.names.push(name.to_string()),
@@ -140,9 +148,11 @@ pub fn run_sweeps(names: &[&str], args: &SweepArgs) -> ExitCode {
     // Per-cell profile metrics ride along only when the structured
     // report is requested: deriving them forces trace capture on every
     // attempt, which the plain text figures don't need.
-    let outcome = CellRunner::new(jobs)
-        .with_metrics(args.json.is_some())
-        .run(plan);
+    let mut runner = CellRunner::new(jobs).with_metrics(args.json.is_some());
+    if args.check {
+        runner = runner.with_trace_check(concurrency_check());
+    }
+    let outcome = runner.run(plan);
 
     let mut ok = true;
     let mut idx = 0;
@@ -162,6 +172,35 @@ pub fn run_sweeps(names: &[&str], args: &SweepArgs) -> ExitCode {
         report.speedup(),
         report.total_retries()
     );
+    if args.check {
+        let dirty: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| !c.violations.is_empty())
+            .collect();
+        for c in &dirty {
+            eprintln!(
+                "[asym-sweep] CONCURRENCY VIOLATION {} {} {} seed {}:",
+                c.spec, c.config, c.policy, c.seed
+            );
+            for v in &c.violations {
+                eprintln!("[asym-sweep]   - {v}");
+            }
+        }
+        if dirty.is_empty() {
+            eprintln!(
+                "[asym-sweep] --check: all {} cell(s) race- and lint-clean",
+                report.cells.len()
+            );
+        } else {
+            eprintln!(
+                "[asym-sweep] --check: {} finding(s) across {} cell(s)",
+                report.total_violations(),
+                dirty.len()
+            );
+            ok = false;
+        }
+    }
     if report.memoized_cells() > 0 {
         eprintln!(
             "[asym-sweep] {} cell(s) reused from the cross-spec memo (identical workload/config/policy/seed)",
@@ -200,4 +239,19 @@ pub fn spec_main(name: &str) -> ExitCode {
         return ExitCode::FAILURE;
     }
     run_sweeps(&[name], &args)
+}
+
+/// The [`TraceCheck`] that plugs `asym-analysis`'s happens-before race
+/// detection, lock-set checking, and policy lints into the cell engine:
+/// every kernel trace of a cell is analyzed, and findings are rendered
+/// one line each in the analyses' deterministic (kind, object, site)
+/// order.
+pub fn concurrency_check() -> TraceCheck {
+    Arc::new(|traces| {
+        traces
+            .iter()
+            .flat_map(check_concurrency)
+            .map(|v| v.to_string())
+            .collect()
+    })
 }

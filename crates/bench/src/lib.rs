@@ -24,7 +24,7 @@ use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
 mod driver;
 mod spec;
 
-pub use driver::{run_sweeps, spec_main, SweepArgs};
+pub use driver::{concurrency_check, run_sweeps, spec_main, SweepArgs};
 pub use spec::{
     registry, spec_names, RenderFn, Rendered, Section, SweepContext, SweepDef, SweepSpec,
 };

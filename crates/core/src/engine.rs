@@ -39,6 +39,7 @@ use asym_sim::{FaultPlan, SimDuration};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 // ----------------------------------------------------------------------
@@ -300,6 +301,13 @@ pub(crate) const RETRY_SEED_STRIDE: u64 = 7919;
 /// budget each attempt, up to this multiple of the configured budget.
 pub(crate) const MAX_BUDGET_FACTOR: u32 = 8;
 
+/// A per-cell trace check: runs over every kernel trace a cell's final
+/// attempt captured and returns rendered findings (empty = clean). The
+/// engine stays agnostic about what is checked — `asym-analysis` plugs
+/// its happens-before race detection and policy lints in through this
+/// hook (see `asym_sweep --check`).
+pub type TraceCheck = Arc<dyn Fn(&[asym_kernel::KernelTrace]) -> Vec<String> + Send + Sync>;
+
 /// What one executed cell produced, before reassembly.
 #[derive(Clone)]
 struct CellOutcome {
@@ -309,6 +317,7 @@ struct CellOutcome {
     value: Option<f64>,
     trace_hash: Option<u64>,
     metrics: Option<ProfileMetrics>,
+    violations: Vec<String>,
     wall_nanos: u64,
     memoized: bool,
 }
@@ -365,9 +374,11 @@ pub(crate) fn soften_plan(plan: FaultPlan, level: u32) -> Option<FaultPlan> {
 /// scales the configured sim-time budget (escalated retries); `plan` is
 /// the fault plan to inject, already softened as the retry ladder
 /// demands. Returns the classification, the metric (when completed),
-/// the folded trace hash (absent when the attempt panicked), and —
-/// when `want_metrics` is set — the merged observability metrics of
-/// every kernel the attempt created.
+/// the folded trace hash (absent when the attempt panicked), the
+/// configured trace check's findings, and — when `want_metrics` is set
+/// — the merged observability metrics of every kernel the attempt
+/// created.
+#[allow(clippy::type_complexity)]
 fn attempt_run(
     workload: &dyn Workload,
     setup: &RunSetup,
@@ -375,7 +386,14 @@ fn attempt_run(
     budget_factor: u32,
     plan: Option<FaultPlan>,
     want_metrics: bool,
-) -> (RunClass, Option<f64>, Option<u64>, Option<ProfileMetrics>) {
+    check: Option<&TraceCheck>,
+) -> (
+    RunClass,
+    Option<f64>,
+    Option<u64>,
+    Option<ProfileMetrics>,
+    Vec<String>,
+) {
     let mut guard = RunGuard::new();
     if let Some(w) = options.watchdog {
         guard = guard.watchdog(w);
@@ -392,7 +410,7 @@ fn attempt_run(
         capture_traces(|| with_run_guard(guard, || workload.run(setup)))
     }));
     match caught {
-        Err(_) => (RunClass::Panicked, None, None, None),
+        Err(_) => (RunClass::Panicked, None, None, None, Vec::new()),
         Ok((result, traces)) => {
             if let Some(obs) = &options.observer {
                 obs(setup, &result, &traces);
@@ -400,7 +418,14 @@ fn attempt_run(
             let class = classify_traces(&traces);
             let value = (class == RunClass::Completed).then_some(result.value);
             let metrics = want_metrics.then(|| metrics_of_traces(&traces));
-            (class, value, Some(fold_trace_hashes(&traces)), metrics)
+            let violations = check.map_or_else(Vec::new, |c| c(&traces));
+            (
+                class,
+                value,
+                Some(fold_trace_hashes(&traces)),
+                metrics,
+                violations,
+            )
         }
     }
 }
@@ -412,6 +437,7 @@ fn exec_clean(
     cell: &Cell,
     options: &ExperimentOptions,
     want_metrics: bool,
+    check: Option<&TraceCheck>,
 ) -> CellOutcome {
     let (result, traces) = capture_traces(|| workload.run(&cell.setup));
     if let Some(obs) = &options.observer {
@@ -419,6 +445,7 @@ fn exec_clean(
     }
     let hash = fold_trace_hashes(&traces);
     let metrics = want_metrics.then(|| metrics_of_traces(&traces));
+    let violations = check.map_or_else(Vec::new, |c| c(&traces));
     let value = Some(result.value);
     CellOutcome {
         data: CellData::Clean(result),
@@ -427,6 +454,7 @@ fn exec_clean(
         value,
         trace_hash: Some(hash),
         metrics,
+        violations,
         wall_nanos: 0,
         memoized: false,
     }
@@ -454,6 +482,7 @@ fn exec_resilient(
     cell: &Cell,
     options: &ResilientOptions,
     want_metrics: bool,
+    check: Option<&TraceCheck>,
 ) -> CellOutcome {
     let slot = &cell.setup;
     let mut attempts = 0u32;
@@ -472,8 +501,15 @@ fn exec_resilient(
             options.planner.as_ref().map(|p| p(&setup))
         };
         let plan = full.and_then(|f| soften_plan(f, soften));
-        let (class, value, hash, metrics) =
-            attempt_run(workload, &setup, options, budget_factor, plan, want_metrics);
+        let (class, value, hash, metrics, violations) = attempt_run(
+            workload,
+            &setup,
+            options,
+            budget_factor,
+            plan,
+            want_metrics,
+            check,
+        );
         if class == RunClass::Completed || attempts > options.retries {
             let record = RunRecord {
                 seed: setup.seed,
@@ -488,6 +524,7 @@ fn exec_resilient(
                 value,
                 trace_hash: hash,
                 metrics,
+                violations,
                 wall_nanos: 0,
                 memoized: false,
             };
@@ -512,25 +549,28 @@ fn exec_differential(
     cell: &Cell,
     options: &ResilientOptions,
     want_metrics: bool,
+    check: Option<&TraceCheck>,
 ) -> CellOutcome {
     let slot = &cell.setup;
     let plan = cell.fault_plan.as_ref();
     let mut fold = TraceHashFold::new();
     let mut any_hash = false;
     let mut merged = want_metrics.then(ProfileMetrics::new);
-    let mut run = |policy: SchedPolicy, plan: Option<&FaultPlan>| -> RunRecord {
+    let mut all_violations: Vec<String> = Vec::new();
+    let mut run = |leg: &str, policy: SchedPolicy, plan: Option<&FaultPlan>| -> RunRecord {
         let setup = RunSetup::new(slot.config, policy, slot.seed);
         let mut attempts = 0u32;
         let mut budget_factor = 1u32;
         loop {
             attempts += 1;
-            let (class, value, hash, metrics) = attempt_run(
+            let (class, value, hash, metrics, violations) = attempt_run(
                 workload,
                 &setup,
                 options,
                 budget_factor,
                 plan.cloned(),
                 want_metrics,
+                check,
             );
             let escalatable = class == RunClass::TimeLimit && budget_factor < MAX_BUDGET_FACTOR;
             if class == RunClass::Completed || attempts > options.retries || !escalatable {
@@ -541,6 +581,7 @@ fn exec_differential(
                 if let (Some(acc), Some(m)) = (merged.as_mut(), metrics.as_ref()) {
                     acc.merge(m);
                 }
+                all_violations.extend(violations.into_iter().map(|v| format!("{leg}: {v}")));
                 return RunRecord {
                     seed: setup.seed,
                     attempts,
@@ -553,10 +594,10 @@ fn exec_differential(
     };
     let rep = DifferentialRep {
         seed: slot.seed,
-        stock_clean: run(SchedPolicy::os_default(), None),
-        stock_faulted: run(SchedPolicy::os_default(), plan),
-        aware_clean: run(SchedPolicy::asymmetry_aware(), None),
-        aware_faulted: run(SchedPolicy::asymmetry_aware(), plan),
+        stock_clean: run("stock-clean", SchedPolicy::os_default(), None),
+        stock_faulted: run("stock-faulted", SchedPolicy::os_default(), plan),
+        aware_clean: run("aware-clean", SchedPolicy::asymmetry_aware(), None),
+        aware_faulted: run("aware-faulted", SchedPolicy::asymmetry_aware(), plan),
     };
     let class = rep
         .records()
@@ -574,20 +615,28 @@ fn exec_differential(
         value,
         trace_hash: hash,
         metrics: merged,
+        violations: all_violations,
         wall_nanos: 0,
         memoized: false,
     }
 }
 
-fn exec_cell(spec: &PlanSpec<'_>, cell: &Cell, want_metrics: bool) -> CellOutcome {
+fn exec_cell(
+    spec: &PlanSpec<'_>,
+    cell: &Cell,
+    want_metrics: bool,
+    check: Option<&TraceCheck>,
+) -> CellOutcome {
     let start = Instant::now();
     let mut out = match &spec.mode {
-        SpecMode::Clean { options, .. } => exec_clean(spec.workload, cell, options, want_metrics),
+        SpecMode::Clean { options, .. } => {
+            exec_clean(spec.workload, cell, options, want_metrics, check)
+        }
         SpecMode::Resilient { options, .. } => {
-            exec_resilient(spec.workload, cell, options, want_metrics)
+            exec_resilient(spec.workload, cell, options, want_metrics, check)
         }
         SpecMode::Differential { options } => {
-            exec_differential(spec.workload, cell, options, want_metrics)
+            exec_differential(spec.workload, cell, options, want_metrics, check)
         }
     };
     out.wall_nanos = start.elapsed().as_nanos() as u64;
@@ -610,6 +659,7 @@ fn exec_cell(spec: &PlanSpec<'_>, cell: &Cell, want_metrics: bool) -> CellOutcom
 pub struct CellRunner {
     jobs: usize,
     metrics: bool,
+    check: Option<TraceCheck>,
 }
 
 impl CellRunner {
@@ -618,7 +668,18 @@ impl CellRunner {
         CellRunner {
             jobs: jobs.max(1),
             metrics: false,
+            check: None,
         }
+    }
+
+    /// Installs a per-cell trace check: every executed cell's final
+    /// attempt runs its captured kernel traces through `check`, and the
+    /// findings land in [`CellReport::violations`] (and the JSON sink).
+    /// Memoized cells reuse their primary's findings — the traces are
+    /// identical by construction. Off by default.
+    pub fn with_trace_check(mut self, check: TraceCheck) -> Self {
+        self.check = Some(check);
+        self
     }
 
     /// Enables (or disables) per-cell observability metrics: every
@@ -663,7 +724,7 @@ impl CellRunner {
             for (i, c) in cells.iter().enumerate() {
                 let out = match dup_of[i] {
                     Some(j) => outs[j].memoized_copy(),
-                    None => exec_cell(&plan.specs[c.spec], c, self.metrics),
+                    None => exec_cell(&plan.specs[c.spec], c, self.metrics, self.check.as_ref()),
                 };
                 outs.push(out);
             }
@@ -682,7 +743,12 @@ impl CellRunner {
                     if dup_of[i].is_some() {
                         continue;
                     }
-                    let out = exec_cell(&plan.specs[cells[i].spec], &cells[i], self.metrics);
+                    let out = exec_cell(
+                        &plan.specs[cells[i].spec],
+                        &cells[i],
+                        self.metrics,
+                        self.check.as_ref(),
+                    );
                     *slots[i].lock().expect("cell slot poisoned") = Some(out);
                 });
             }
@@ -904,6 +970,10 @@ pub struct CellReport {
     /// `true` when the cell's outcome was reused from an earlier
     /// identical cell instead of executing.
     pub memoized: bool,
+    /// Findings of the runner's trace check on the cell's final
+    /// attempt(s), in the check's (deterministic) order. Empty when no
+    /// check was installed or the cell was clean.
+    pub violations: Vec<String>,
     /// Merged observability metrics of the cell's final attempt(s),
     /// present when the runner ran with
     /// [`CellRunner::with_metrics`]`(true)` and the cell did not panic.
@@ -950,6 +1020,11 @@ impl SweepReport {
         self.cells.iter().filter(|c| c.memoized).count()
     }
 
+    /// Total trace-check findings across all cells.
+    pub fn total_violations(&self) -> usize {
+        self.cells.iter().map(|c| c.violations.len()).sum()
+    }
+
     /// Total retries across all cells (attempts beyond the first; a
     /// differential cell's baseline is four attempts).
     pub fn total_retries(&self) -> u32 {
@@ -978,6 +1053,7 @@ impl SweepReport {
         let _ = writeln!(out, "  \"speedup\": {},", json_f64(self.speedup()));
         let _ = writeln!(out, "  \"total_retries\": {},", self.total_retries());
         let _ = writeln!(out, "  \"memoized_cells\": {},", self.memoized_cells());
+        let _ = writeln!(out, "  \"total_violations\": {},", self.total_violations());
         out.push_str("  \"classes\": {");
         let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         for c in &self.cells {
@@ -1010,6 +1086,14 @@ impl SweepReport {
             }
             let _ = write!(out, "\"wall_ms\": {}, ", json_f64(c.wall_ms));
             let _ = write!(out, "\"memoized\": {}, ", c.memoized);
+            out.push_str("\"violations\": [");
+            for (k, v) in c.violations.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(v));
+            }
+            out.push_str("], ");
             match &c.metrics {
                 Some(m) => {
                     let _ = write!(out, "\"metrics\": {}, ", m.to_json());
@@ -1089,6 +1173,7 @@ fn build_report(
                 wall_ms: out.wall_nanos as f64 / 1e6,
                 trace_hash: out.trace_hash,
                 memoized: out.memoized,
+                violations: out.violations.clone(),
                 metrics: out.metrics.clone(),
             }
         })

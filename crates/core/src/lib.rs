@@ -61,7 +61,7 @@ mod workload;
 pub use config::{AsymConfig, ParseConfigError};
 pub use engine::{
     default_jobs, resolve_jobs, Cell, CellReport, CellRunner, ExperimentPlan, PlanOutcome,
-    SpecMode, SpecResult, SweepReport,
+    SpecMode, SpecResult, SweepReport, TraceCheck,
 };
 pub use experiment::{
     run_experiment, run_experiment_differential, run_experiment_resilient, ConfigOutcome,

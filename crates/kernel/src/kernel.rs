@@ -2,8 +2,8 @@
 
 use crate::guard::current_guard;
 use crate::policy::{PolicyKind, SchedPolicy};
-use crate::thread::{SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
-use crate::trace::{register_kernel, TraceRecord, TraceSink};
+use crate::thread::{ShareId, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
+use crate::trace::{access_tracing_enabled, register_kernel, TraceRecord, TraceSink};
 use asym_sim::{
     CoreId, CoreMask, Cycles, EventKey, EventQueue, FaultKind, FaultPlan, MachineSpec, Rng,
     SimDuration, SimTime, Speed,
@@ -70,6 +70,21 @@ pub enum WakeReason {
     Timer,
 }
 
+/// The flavour of a modeled atomic access carried by
+/// [`TraceEvent::SharedAtomic`]. Atomic accesses are exempt from data-race
+/// checking and instead contribute acquire/release edges to the
+/// happens-before relation, mirroring C11 semantics: loads acquire, stores
+/// release, and read-modify-writes do both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// An acquire load.
+    Load,
+    /// A release store.
+    Store,
+    /// An acquire-release read-modify-write.
+    Rmw,
+}
+
 /// A scheduling event reported to a tracer installed with
 /// [`Kernel::set_tracer`] and captured by
 /// [`capture_traces`](crate::capture_traces). Useful for debugging
@@ -90,6 +105,11 @@ pub enum TraceEvent {
         core: CoreId,
         /// The thread's affinity mask.
         affinity: CoreMask,
+        /// The simulated thread that spawned this one ([`None`] for
+        /// threads created by setup code outside the simulation). The
+        /// happens-before analysis draws a spawn edge from the parent's
+        /// spawn call to the child's first step.
+        parent: Option<ThreadId>,
     },
     /// A thread started a slice on a core.
     Dispatch {
@@ -274,6 +294,52 @@ pub enum TraceEvent {
     ThreadKilled {
         /// The killed thread.
         tid: ThreadId,
+    },
+    /// A plain (non-atomic) read of a registered shared object (emitted
+    /// by `asym-sync`'s `SimShared`). Subject to vector-clock data-race
+    /// checking: the read must be ordered against every write of the same
+    /// word by the happens-before relation.
+    SharedRead {
+        /// The reading thread.
+        tid: ThreadId,
+        /// The shared object.
+        obj: ShareId,
+        /// The word (slot) within the object that was read.
+        word: u32,
+    },
+    /// A plain (non-atomic) write of a registered shared object (emitted
+    /// by `asym-sync`'s `SimShared`). Subject to vector-clock data-race
+    /// checking against all other accesses of the same word.
+    SharedWrite {
+        /// The writing thread.
+        tid: ThreadId,
+        /// The shared object.
+        obj: ShareId,
+        /// The word (slot) within the object that was written.
+        word: u32,
+    },
+    /// A modeled atomic access of a registered shared object (emitted by
+    /// `asym-sync`'s `SimShared`). Exempt from race checking; contributes
+    /// acquire/release happens-before edges per (object, word).
+    SharedAtomic {
+        /// The accessing thread.
+        tid: ThreadId,
+        /// The shared object.
+        obj: ShareId,
+        /// The word (slot) within the object.
+        word: u32,
+        /// Load (acquire), store (release), or RMW (both).
+        op: AtomicOp,
+    },
+    /// A thread observed another thread's completion via
+    /// [`ThreadCx::join_check`] — the join half of an exit→join
+    /// happens-before edge (everything the dead thread did is ordered
+    /// before everything the observer does next).
+    ThreadJoin {
+        /// The observing (joining) thread.
+        by: ThreadId,
+        /// The thread observed to be finished.
+        of: ThreadId,
     },
 }
 
@@ -461,6 +527,13 @@ pub struct Kernel {
     /// True once a run was truncated by `budget` (as opposed to a
     /// caller-chosen `run_until` limit).
     budget_exhausted: bool,
+    /// Number of shared objects registered via [`Kernel::register_shared`].
+    shared_count: usize,
+    /// Whether shared-access annotation events (`SharedRead`/`SharedWrite`/
+    /// `SharedAtomic`/`ThreadJoin`) are emitted. Latched from the
+    /// thread-local [`set_access_tracing`](crate::set_access_tracing) flag
+    /// at construction so one kernel's stream is all-or-nothing.
+    annotate: bool,
     stats: KernelStats,
 }
 
@@ -515,6 +588,8 @@ impl Kernel {
             stalled: false,
             budget: None,
             budget_exhausted: false,
+            shared_count: 0,
+            annotate: access_tracing_enabled(),
             stats: KernelStats {
                 core_busy: vec![SimDuration::ZERO; n],
                 ..KernelStats::default()
@@ -682,6 +757,19 @@ impl Kernel {
         WaitId(self.waits.len() - 1)
     }
 
+    /// Registers a shared object for access tracing; `label` names it in
+    /// diagnostics (recorded on the captured trace's
+    /// [`shared_labels`](crate::KernelTrace::shared_labels), outside the
+    /// hashed event stream). Ids are sequential per kernel.
+    pub fn register_shared(&mut self, label: &str) -> ShareId {
+        let id = ShareId(self.shared_count);
+        self.shared_count += 1;
+        if let Some(sink) = &self.capture {
+            sink.borrow_mut().shared_labels.push(label.to_string());
+        }
+        id
+    }
+
     /// Spawns a thread; it becomes runnable immediately (placement happens
     /// through the active policy).
     pub fn spawn(&mut self, body: impl ThreadBody + 'static, opts: SpawnOptions) -> ThreadId {
@@ -702,8 +790,9 @@ impl Kernel {
         &mut self,
         body: Box<dyn ThreadBody>,
         opts: SpawnOptions,
-        parent_core: Option<usize>,
+        parent: Option<(ThreadId, usize)>,
     ) -> ThreadId {
+        let parent_core = parent.map(|(_, core)| core);
         let tid = ThreadId(self.threads.len());
         self.threads.push(Thread {
             name: body.name().to_string(),
@@ -748,6 +837,7 @@ impl Kernel {
             tid,
             core: CoreId(core),
             affinity,
+            parent: parent.map(|(ptid, _)| ptid),
         });
         self.mark_dispatch(core);
         tid
@@ -2012,8 +2102,9 @@ impl ThreadCx<'_> {
     /// [`SpawnOptions::on_parent_core`] the child starts on this thread's
     /// core, as a forked process would.
     pub fn spawn(&mut self, body: impl ThreadBody + 'static, opts: SpawnOptions) -> ThreadId {
-        let core = self.core.0;
-        self.kernel.spawn_on(Box::new(body), opts, Some(core))
+        let (tid, core) = (self.tid, self.core.0);
+        self.kernel
+            .spawn_on(Box::new(body), opts, Some((tid, core)))
     }
 
     /// Creates a wait queue.
@@ -2066,6 +2157,56 @@ impl ThreadCx<'_> {
     /// kill) — the probe workload supervisors use to reap lost workers.
     pub fn is_finished(&self, tid: ThreadId) -> bool {
         self.kernel.is_finished(tid)
+    }
+
+    /// Like [`ThreadCx::is_finished`], but when the probe observes the
+    /// completion it also records a [`TraceEvent::ThreadJoin`] — giving
+    /// trace analyses the exit→join happens-before edge that justifies
+    /// the observer's subsequent reads of the dead thread's state.
+    /// Supervisors that salvage a corpse's results should use this
+    /// instead of `is_finished`.
+    pub fn join_check(&mut self, tid: ThreadId) -> bool {
+        let done = self.kernel.is_finished(tid);
+        if done && self.kernel.annotate {
+            let by = self.tid;
+            self.kernel.trace(TraceEvent::ThreadJoin { by, of: tid });
+        }
+        done
+    }
+
+    /// Registers a shared object for access tracing (see
+    /// [`Kernel::register_shared`]).
+    pub fn register_shared(&mut self, label: &str) -> ShareId {
+        self.kernel.register_shared(label)
+    }
+
+    /// Records a plain read of word `word` of shared object `obj` by the
+    /// calling thread. No-op when access tracing is disabled.
+    pub fn trace_shared_read(&mut self, obj: ShareId, word: u32) {
+        if self.kernel.annotate {
+            let tid = self.tid;
+            self.kernel.trace(TraceEvent::SharedRead { tid, obj, word });
+        }
+    }
+
+    /// Records a plain write of word `word` of shared object `obj` by the
+    /// calling thread. No-op when access tracing is disabled.
+    pub fn trace_shared_write(&mut self, obj: ShareId, word: u32) {
+        if self.kernel.annotate {
+            let tid = self.tid;
+            self.kernel
+                .trace(TraceEvent::SharedWrite { tid, obj, word });
+        }
+    }
+
+    /// Records a modeled atomic access of word `word` of shared object
+    /// `obj` by the calling thread. No-op when access tracing is disabled.
+    pub fn trace_shared_atomic(&mut self, obj: ShareId, word: u32, op: AtomicOp) {
+        if self.kernel.annotate {
+            let tid = self.tid;
+            self.kernel
+                .trace(TraceEvent::SharedAtomic { tid, obj, word, op });
+        }
     }
 
     /// How many threads injected faults have killed so far. Supervisors

@@ -56,9 +56,14 @@ mod trace;
 
 pub use guard::{with_run_guard, RunGuard};
 pub use kernel::{
-    Kernel, KernelStats, PreemptReason, RunOutcome, ThreadCx, TraceEvent, WakeReason,
+    AtomicOp, Kernel, KernelStats, PreemptReason, RunOutcome, ThreadCx, TraceEvent, WakeReason,
     CACHE_HOT_WINDOW, DEFAULT_BALANCE_PERIOD, DEFAULT_CONTEXT_SWITCH, DEFAULT_QUANTUM,
 };
 pub use policy::{PolicyKind, SchedPolicy};
-pub use thread::{FnThread, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
-pub use trace::{capture_traces, fold_trace_hashes, KernelTrace, TraceHashFold, TraceRecord};
+pub use thread::{
+    FnThread, ShareId, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId,
+};
+pub use trace::{
+    access_tracing_enabled, capture_traces, fold_trace_hashes, set_access_tracing, KernelTrace,
+    TraceHashFold, TraceRecord,
+};

@@ -50,6 +50,27 @@ impl fmt::Display for WaitId {
     }
 }
 
+/// Identifies a registered shared object (a `SimShared<T>` cell in
+/// `asym-sync`) within a kernel. Shared-memory access events
+/// ([`TraceEvent::SharedRead`](crate::TraceEvent) and friends) carry this
+/// id so trace analyses can attribute accesses to objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShareId(pub(crate) usize);
+
+impl ShareId {
+    /// The shared object's index — stable for the lifetime of the kernel
+    /// (objects are registered sequentially and never destroyed).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ShareId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
 /// What a thread does next, as returned by [`ThreadBody::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
@@ -260,6 +281,8 @@ mod tests {
     fn ids_format() {
         assert_eq!(ThreadId(3).to_string(), "tid3");
         assert_eq!(WaitId(5).to_string(), "wait5");
+        assert_eq!(ShareId(7).to_string(), "obj7");
         assert_eq!(ThreadId(3).index(), 3);
+        assert_eq!(ShareId(7).index(), 7);
     }
 }

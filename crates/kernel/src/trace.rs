@@ -42,6 +42,11 @@ pub struct KernelTrace {
     /// resilient harness uses to classify a run as over-budget instead of
     /// normally windowed.
     pub budget_exhausted: bool,
+    /// Labels of the shared objects registered with
+    /// [`Kernel::register_shared`](crate::Kernel::register_shared), indexed
+    /// by [`ShareId`](crate::ShareId). Metadata for diagnostics only — not
+    /// part of [`KernelTrace::stable_hash`].
+    pub shared_labels: Vec<String>,
 }
 
 impl KernelTrace {
@@ -57,6 +62,13 @@ impl KernelTrace {
         std::hash::Hash::hash(&self.outcome, &mut h);
         std::hash::Hash::hash(&self.budget_exhausted, &mut h);
         std::hash::Hasher::finish(&h)
+    }
+
+    /// The registration label of shared object `obj`, when known (traces
+    /// captured before the object was registered, or hand-built traces,
+    /// may lack labels).
+    pub fn shared_label(&self, obj: crate::ShareId) -> Option<&str> {
+        self.shared_labels.get(obj.index()).map(String::as_str)
     }
 }
 
@@ -112,6 +124,30 @@ thread_local! {
     /// last). Each session collects the sinks of kernels created while
     /// it is active.
     static SESSIONS: RefCell<Vec<Rc<RefCell<Vec<TraceSink>>>>> = const { RefCell::new(Vec::new()) };
+
+    /// Whether kernels created on this OS thread emit shared-access
+    /// annotation events. Defaults to on; flipped by
+    /// [`set_access_tracing`] (e.g. by the regression test proving that
+    /// access tracing never changes a scheduling decision).
+    static ACCESS_TRACING: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Enables or disables shared-access annotation events
+/// (`SharedRead`/`SharedWrite`/`SharedAtomic`/`ThreadJoin`) for kernels
+/// subsequently created on the calling OS thread; returns the previous
+/// setting. Each kernel latches the flag at construction, so a run's
+/// event stream is all-or-nothing. Annotation is on by default.
+///
+/// Scheduling is completely insensitive to this flag — it only controls
+/// whether the annotation events appear in traces.
+pub fn set_access_tracing(enabled: bool) -> bool {
+    ACCESS_TRACING.with(|c| c.replace(enabled))
+}
+
+/// Whether shared-access annotation events are currently enabled on the
+/// calling OS thread (see [`set_access_tracing`]).
+pub fn access_tracing_enabled() -> bool {
+    ACCESS_TRACING.with(std::cell::Cell::get)
 }
 
 /// Called by `Kernel::new`: if a capture session is active on this OS
@@ -126,6 +162,7 @@ pub(crate) fn register_kernel(machine: &MachineSpec, policy: SchedPolicy) -> Opt
             records: Vec::new(),
             outcome: None,
             budget_exhausted: false,
+            shared_labels: Vec::new(),
         }));
         session.borrow_mut().push(sink.clone());
         Some(sink)

@@ -729,6 +729,12 @@ impl Replay {
                 });
             }
             TraceEvent::SetAffinity { .. } | TraceEvent::AffinityOverride { .. } => {}
+            // Shared-access annotations and join observations carry no
+            // scheduling state; the profiler ignores them.
+            TraceEvent::SharedRead { .. }
+            | TraceEvent::SharedWrite { .. }
+            | TraceEvent::SharedAtomic { .. }
+            | TraceEvent::ThreadJoin { .. } => {}
         }
     }
 

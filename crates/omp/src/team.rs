@@ -5,7 +5,7 @@ use crate::program::{OmpProgram, Region};
 use crate::schedule::LoopState;
 use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId};
 use asym_sim::{Cycles, SimDuration};
-use asym_sync::{Arrival, SimBarrier, SimLatch, SimMutex};
+use asym_sync::{Arrival, SimBarrier, SimLatch, SimMutex, SimShared};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -20,42 +20,55 @@ struct TeamShared {
     dispatch_overhead: Cycles,
     /// Per-region loop state, tagged with the time step it was
     /// initialized for (states reset lazily as workers enter a region in
-    /// a new step).
-    loop_states: Vec<RefCell<Option<(u64, LoopState)>>>,
-    chunks_total: RefCell<u64>,
+    /// a new step). Modeled atomic: this is the runtime's shared
+    /// chunk-dispensing counter that every rank hammers.
+    loop_states: Vec<SimShared<Option<(u64, LoopState)>>>,
+    /// Modeled atomic counter of dispensed chunks.
+    chunks_total: SimShared<u64>,
     /// Worker thread ids in rank order, filled right after spawning.
+    /// Read-only during the run.
     tids: RefCell<Vec<ThreadId>>,
-    /// Per-rank: finished the whole program normally.
-    done_flags: RefCell<Vec<bool>>,
-    /// Per-rank: found dead by a survivor's reap pass.
-    reaped: RefCell<Vec<bool>>,
+    /// Per-rank: finished the whole program normally. Modeled atomic
+    /// flags — survivors poll peers' flags while those peers still run.
+    done_flags: SimShared<Vec<bool>>,
+    /// Per-rank: found dead by a survivor's reap pass. Modeled atomic
+    /// flags (any survivor may reap).
+    reaped: SimShared<Vec<bool>>,
     /// Kernel kill count at the last reap pass, so workers only scan for
-    /// corpses when a fault actually killed something.
-    killed_seen: RefCell<u64>,
+    /// corpses when a fault actually killed something. Modeled atomic.
+    killed_seen: SimShared<u64>,
 }
 
 impl TeamShared {
     /// Fetches `rank`'s next chunk for `region` at time `step`, lazily
     /// (re)initializing the loop state when a new step reaches the region.
-    fn next_chunk(&self, step: u64, region: usize, rank: usize) -> Option<(u64, u64)> {
+    fn next_chunk(
+        &self,
+        cx: &mut ThreadCx<'_>,
+        step: u64,
+        region: usize,
+        rank: usize,
+    ) -> Option<(u64, u64)> {
         let Region::ParallelFor {
             iters, schedule, ..
         } = self.program.regions()[region]
         else {
             unreachable!("next_chunk on serial region");
         };
-        let mut slot = self.loop_states[region].borrow_mut();
-        let needs_init = match &*slot {
-            Some((s, _)) => *s != step,
-            None => true,
-        };
-        if needs_init {
-            *slot = Some((step, LoopState::new(schedule, iters, self.nthreads)));
-        }
-        let (_, state) = slot.as_mut().expect("just initialized");
-        let chunk = state.next_chunk(rank);
+        let nthreads = self.nthreads;
+        let chunk = self.loop_states[region].rmw(cx, |slot| {
+            let needs_init = match &*slot {
+                Some((s, _)) => *s != step,
+                None => true,
+            };
+            if needs_init {
+                *slot = Some((step, LoopState::new(schedule, iters, nthreads)));
+            }
+            let (_, state) = slot.as_mut().expect("just initialized");
+            state.next_chunk(rank)
+        });
         if chunk.is_some() {
-            *self.chunks_total.borrow_mut() += 1;
+            self.chunks_total.rmw(cx, |c| *c += 1);
         }
         chunk
     }
@@ -98,23 +111,19 @@ impl OmpWorker {
     /// per corpse and runs only when the kernel's kill count moved.
     fn reap_dead(&self, cx: &mut ThreadCx<'_>) {
         let killed = cx.killed_count();
-        if killed == *self.shared.killed_seen.borrow() {
+        if killed == self.shared.killed_seen.load(cx, |k| *k) {
             return;
         }
-        *self.shared.killed_seen.borrow_mut() = killed;
+        self.shared.killed_seen.store(cx, |k| *k = killed);
         let tids = self.shared.tids.borrow().clone();
         for (rank, &tid) in tids.iter().enumerate() {
-            let newly_dead = {
-                let done = self.shared.done_flags.borrow();
-                let mut reaped = self.shared.reaped.borrow_mut();
-                if !done[rank] && !reaped[rank] && cx.is_finished(tid) {
-                    reaped[rank] = true;
-                    true
-                } else {
-                    false
-                }
-            };
+            let newly_dead = !self.shared.done_flags.load_at(cx, rank as u32, |d| d[rank])
+                && !self.shared.reaped.load_at(cx, rank as u32, |r| r[rank])
+                && cx.join_check(tid);
             if newly_dead {
+                self.shared
+                    .reaped
+                    .store_at(cx, rank as u32, |r| r[rank] = true);
                 self.barrier.remove_party(cx, tid);
                 self.critical.recover(cx, tid);
                 self.latch.count_down(cx);
@@ -132,7 +141,10 @@ impl ThreadBody for OmpWorker {
                 self.region = 0;
                 self.step += 1;
                 if self.step == self.shared.program.time_steps() {
-                    self.shared.done_flags.borrow_mut()[self.rank] = true;
+                    let rank = self.rank;
+                    self.shared
+                        .done_flags
+                        .store_at(cx, rank as u32, |d| d[rank] = true);
                     self.latch.count_down(cx);
                     return Step::Done;
                 }
@@ -181,7 +193,10 @@ impl ThreadBody for OmpWorker {
                     else {
                         unreachable!("loop phase in serial region");
                     };
-                    match self.shared.next_chunk(self.step, self.region, self.rank) {
+                    match self
+                        .shared
+                        .next_chunk(cx, self.step, self.region, self.rank)
+                    {
                         Some((_start, len)) => {
                             let work =
                                 Cycles::new(len * cost.get()) + self.shared.dispatch_overhead;
@@ -244,14 +259,15 @@ impl TeamHandle {
 
     /// Total loop chunks dispensed so far (overhead indicator).
     pub fn chunks_dispensed(&self) -> u64 {
-        *self.shared.chunks_total.borrow()
+        self.shared.chunks_total.peek(|c| *c)
     }
 
     /// Workers that did not finish the program normally — killed by
     /// injected faults (whether or not a survivor reaped them yet).
     pub fn lost_workers(&self) -> u64 {
-        let done = self.shared.done_flags.borrow();
-        (self.shared.nthreads - done.iter().filter(|&&d| d).count()) as u64
+        self.shared
+            .done_flags
+            .peek(|done| (self.shared.nthreads - done.iter().filter(|&&d| d).count()) as u64)
     }
 }
 
@@ -285,18 +301,18 @@ pub fn spawn_team(
     let latch = SimLatch::new(kernel, nthreads as u64);
     let critical = SimMutex::new(kernel);
     let loop_states = (0..program.regions().len())
-        .map(|_| RefCell::new(None))
+        .map(|i| SimShared::new(kernel, &format!("omp.loop_state{i}"), None))
         .collect();
     let shared = Rc::new(TeamShared {
         program,
         nthreads,
         dispatch_overhead,
         loop_states,
-        chunks_total: RefCell::new(0),
+        chunks_total: SimShared::new(kernel, "omp.chunks_total", 0),
         tids: RefCell::new(Vec::new()),
-        done_flags: RefCell::new(vec![false; nthreads]),
-        reaped: RefCell::new(vec![false; nthreads]),
-        killed_seen: RefCell::new(0),
+        done_flags: SimShared::new(kernel, "omp.done_flags", vec![false; nthreads]),
+        reaped: SimShared::new(kernel, "omp.reaped", vec![false; nthreads]),
+        killed_seen: SimShared::new(kernel, "omp.killed_seen", 0),
     });
     let threads: Vec<ThreadId> = (0..nthreads)
         .map(|rank| {

@@ -2,7 +2,7 @@
 //! primitives need, implemented by both [`Kernel`] (for setup code) and
 //! [`ThreadCx`] (for running threads).
 
-use asym_kernel::{Kernel, ThreadCx, ThreadId, WaitId};
+use asym_kernel::{Kernel, ShareId, ThreadCx, ThreadId, WaitId};
 
 /// Kernel services required by the synchronization primitives.
 ///
@@ -17,6 +17,8 @@ pub trait SyncHost: private::Sealed {
     fn notify_all(&mut self, wait: WaitId) -> usize;
     /// Number of threads blocked on `wait`.
     fn waiter_count(&self, wait: WaitId) -> usize;
+    /// Registers a shared object for access tracing.
+    fn register_shared(&mut self, label: &str) -> ShareId;
 }
 
 impl SyncHost for Kernel {
@@ -32,6 +34,9 @@ impl SyncHost for Kernel {
     fn waiter_count(&self, wait: WaitId) -> usize {
         Kernel::waiter_count(self, wait)
     }
+    fn register_shared(&mut self, label: &str) -> ShareId {
+        Kernel::register_shared(self, label)
+    }
 }
 
 impl SyncHost for ThreadCx<'_> {
@@ -46,6 +51,9 @@ impl SyncHost for ThreadCx<'_> {
     }
     fn waiter_count(&self, wait: WaitId) -> usize {
         ThreadCx::waiter_count(self, wait)
+    }
+    fn register_shared(&mut self, label: &str) -> ShareId {
+        ThreadCx::register_shared(self, label)
     }
 }
 

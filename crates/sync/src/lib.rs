@@ -63,6 +63,7 @@ mod host;
 mod latch;
 mod mutex;
 mod semaphore;
+mod shared;
 
 pub use barrier::{Arrival, SimBarrier};
 pub use channel::{SimQueue, TryPop};
@@ -71,3 +72,4 @@ pub use host::SyncHost;
 pub use latch::SimLatch;
 pub use mutex::SimMutex;
 pub use semaphore::SimSemaphore;
+pub use shared::SimShared;

@@ -1,0 +1,173 @@
+//! [`SimShared`]: an access-traced shared memory cell.
+//!
+//! Workloads wrap their genuinely shared state (work queues' side tables,
+//! result buffers, connection registries) in `SimShared<T>` so every
+//! cross-thread access lands in the kernel trace as a
+//! [`TraceEvent::SharedRead`](asym_kernel::TraceEvent) /
+//! [`SharedWrite`](asym_kernel::TraceEvent) /
+//! [`SharedAtomic`](asym_kernel::TraceEvent) record. The `asym-analysis`
+//! happens-before engine then replays those records under a vector-clock
+//! pass: plain accesses must be ordered by synchronization, while atomic
+//! accesses are exempt from race checking and instead *create*
+//! acquire/release ordering, mirroring C11 semantics.
+//!
+//! A `SimShared` addresses its contents in **words**: an analysis-level
+//! granularity tag (a slot index, a field number) letting one cell model
+//! an array of independently-owned slots. Accessors without a word
+//! parameter touch word 0.
+//!
+//! Because the whole simulation runs on one OS thread, the cell is just an
+//! `Rc<RefCell<T>>` — the tracing, not the storage, is the point.
+
+use crate::host::SyncHost;
+use asym_kernel::{AtomicOp, ShareId, ThreadCx};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared memory cell whose accesses are recorded in the kernel trace
+/// for happens-before race analysis.
+///
+/// Cloning shares the underlying storage (and identity), like an `Arc`.
+///
+/// # Examples
+///
+/// ```
+/// use asym_kernel::{FnThread, Kernel, SchedPolicy, SpawnOptions, Step};
+/// use asym_sim::{Cycles, MachineSpec, Speed};
+/// use asym_sync::SimShared;
+///
+/// let mut k = Kernel::new(
+///     MachineSpec::symmetric(2, Speed::FULL),
+///     SchedPolicy::os_default(),
+///     1,
+/// );
+/// let total: SimShared<u64> = SimShared::new(&mut k, "example.total", 0);
+///
+/// for _ in 0..2 {
+///     let total = total.clone();
+///     let mut bursts = 3u32;
+///     k.spawn(
+///         FnThread::new("adder", move |cx| {
+///             if bursts == 0 {
+///                 return Step::Done;
+///             }
+///             bursts -= 1;
+///             // A modeled atomic increment: traced, never racy.
+///             total.rmw(cx, |t| *t += 1);
+///             Step::Compute(Cycles::new(1_000))
+///         }),
+///         SpawnOptions::new(),
+///     );
+/// }
+/// assert_eq!(k.run(), asym_kernel::RunOutcome::AllDone);
+/// assert_eq!(total.peek(|t| *t), 6);
+/// ```
+pub struct SimShared<T> {
+    id: ShareId,
+    cell: Rc<RefCell<T>>,
+}
+
+impl<T> Clone for SimShared<T> {
+    fn clone(&self) -> Self {
+        SimShared {
+            id: self.id,
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+impl<T> SimShared<T> {
+    /// Creates a shared cell holding `value`, registered with the kernel
+    /// under `label` (the name diagnostics use for this object).
+    pub fn new(host: &mut impl SyncHost, label: &str, value: T) -> Self {
+        SimShared {
+            id: host.register_shared(label),
+            cell: Rc::new(RefCell::new(value)),
+        }
+    }
+
+    /// The object's trace identity.
+    pub fn id(&self) -> ShareId {
+        self.id
+    }
+
+    /// A plain read of word 0. Race-checked: must be ordered against
+    /// every write of the word by the happens-before relation.
+    pub fn read<R>(&self, cx: &mut ThreadCx<'_>, f: impl FnOnce(&T) -> R) -> R {
+        self.read_at(cx, 0, f)
+    }
+
+    /// A plain read of word `word` (see [`SimShared::read`]).
+    pub fn read_at<R>(&self, cx: &mut ThreadCx<'_>, word: u32, f: impl FnOnce(&T) -> R) -> R {
+        cx.trace_shared_read(self.id, word);
+        f(&self.cell.borrow())
+    }
+
+    /// A plain write of word 0. Race-checked against all other accesses
+    /// of the word.
+    pub fn write<R>(&self, cx: &mut ThreadCx<'_>, f: impl FnOnce(&mut T) -> R) -> R {
+        self.write_at(cx, 0, f)
+    }
+
+    /// A plain write of word `word` (see [`SimShared::write`]).
+    pub fn write_at<R>(&self, cx: &mut ThreadCx<'_>, word: u32, f: impl FnOnce(&mut T) -> R) -> R {
+        cx.trace_shared_write(self.id, word);
+        f(&mut self.cell.borrow_mut())
+    }
+
+    /// A modeled atomic acquire-load of word 0: exempt from race
+    /// checking, synchronizes-with previous atomic writes of the word.
+    pub fn load<R>(&self, cx: &mut ThreadCx<'_>, f: impl FnOnce(&T) -> R) -> R {
+        self.load_at(cx, 0, f)
+    }
+
+    /// A modeled atomic acquire-load of word `word`.
+    pub fn load_at<R>(&self, cx: &mut ThreadCx<'_>, word: u32, f: impl FnOnce(&T) -> R) -> R {
+        cx.trace_shared_atomic(self.id, word, AtomicOp::Load);
+        f(&self.cell.borrow())
+    }
+
+    /// A modeled atomic release-store of word 0.
+    pub fn store<R>(&self, cx: &mut ThreadCx<'_>, f: impl FnOnce(&mut T) -> R) -> R {
+        self.store_at(cx, 0, f)
+    }
+
+    /// A modeled atomic release-store of word `word`.
+    pub fn store_at<R>(&self, cx: &mut ThreadCx<'_>, word: u32, f: impl FnOnce(&mut T) -> R) -> R {
+        cx.trace_shared_atomic(self.id, word, AtomicOp::Store);
+        f(&mut self.cell.borrow_mut())
+    }
+
+    /// A modeled atomic read-modify-write of word 0 (acquire + release).
+    pub fn rmw<R>(&self, cx: &mut ThreadCx<'_>, f: impl FnOnce(&mut T) -> R) -> R {
+        self.rmw_at(cx, 0, f)
+    }
+
+    /// A modeled atomic read-modify-write of word `word`.
+    pub fn rmw_at<R>(&self, cx: &mut ThreadCx<'_>, word: u32, f: impl FnOnce(&mut T) -> R) -> R {
+        cx.trace_shared_atomic(self.id, word, AtomicOp::Rmw);
+        f(&mut self.cell.borrow_mut())
+    }
+
+    /// An untraced read, for setup and teardown code running outside the
+    /// simulation (no `ThreadCx` in scope). Must not be used from thread
+    /// bodies: it would hide the access from the race analysis.
+    pub fn peek<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.cell.borrow())
+    }
+
+    /// An untraced write, for setup code running outside the simulation
+    /// (see [`SimShared::peek`]).
+    pub fn peek_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.cell.borrow_mut())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SimShared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimShared")
+            .field("id", &self.id)
+            .field("value", &self.cell.borrow())
+            .finish()
+    }
+}

@@ -13,12 +13,10 @@
 //! paper's point 3, "an asymmetric chip multiprocessor is better than a
 //! chip multiprocessor where all cores are slow."
 
-use crate::common::Counter;
 use asym_core::{Direction, RunResult, RunSetup, Workload};
 use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId, WaitId};
 use asym_sim::{Cycles, Rng};
-use asym_sync::{SimQueue, TryPop};
-use std::cell::RefCell;
+use asym_sync::{SimQueue, SimShared, TryPop};
 use std::rc::Rc;
 
 /// Tuning constants for the H.264 model. Runtimes are scaled ~10× down
@@ -92,42 +90,53 @@ struct Task {
 
 struct EncShared {
     ready: SimQueue<Task>,
-    /// Per-frame count of completed tasks.
-    frame_done_tasks: RefCell<Vec<u32>>,
+    /// Per-frame count of completed tasks. Modeled atomic, one word per
+    /// window slot: encoders on different rows increment concurrently.
+    frame_done_tasks: SimShared<Vec<u32>>,
     /// Completion state of each (frame, row, segment) within the window.
-    done: RefCell<Vec<Vec<Vec<bool>>>>,
+    /// Modeled atomic (word = window slot): real wavefront encoders use
+    /// atomic dependence flags, and neighbours poll them unordered.
+    done: SimShared<Vec<Vec<Vec<bool>>>>,
     rows: u32,
     segments: u32,
     tasks_per_frame: u32,
-    frames_completed: Counter,
+    /// Modeled atomic counter.
+    frames_completed: SimShared<u64>,
     /// Per-frame completion flags (frames can finish out of order).
-    complete_flags: RefCell<Vec<bool>>,
+    /// Modeled atomic, one word per frame.
+    complete_flags: SimShared<Vec<bool>>,
     /// Frames completed *consecutively* from frame 0 — the temporal
     /// window gates on this, so a slot is never reset under a
-    /// still-incomplete older frame.
-    watermark: Counter,
+    /// still-incomplete older frame. Modeled atomic.
+    watermark: SimShared<u64>,
     main_wake: WaitId,
     /// Per-encoder in-flight task, published before each compute burst so
-    /// the main thread can requeue the work of a killed encoder.
-    serving: RefCell<Vec<Option<Task>>>,
+    /// the main thread can requeue the work of a killed encoder. Plain
+    /// per-encoder words: only the owner touches a live slot, and the
+    /// main thread reads it only after joining the dead encoder.
+    serving: SimShared<Vec<Option<Task>>>,
 }
 
 impl EncShared {
     fn frame_slot(&self, frame: u32) -> usize {
-        (frame as usize) % self.done.borrow().len()
+        (frame as usize) % self.done.peek(|d| d.len())
     }
 
-    fn reset_frame(&self, frame: u32) {
+    fn reset_frame(&self, cx: &mut ThreadCx<'_>, frame: u32) {
         let slot = self.frame_slot(frame);
-        let mut done = self.done.borrow_mut();
-        for row in done[slot].iter_mut() {
-            row.fill(false);
-        }
-        self.frame_done_tasks.borrow_mut()[slot] = 0;
+        self.done.store_at(cx, slot as u32, |done| {
+            for row in done[slot].iter_mut() {
+                row.fill(false);
+            }
+        });
+        self.frame_done_tasks
+            .store_at(cx, slot as u32, |c| c[slot] = 0);
     }
 
-    fn is_done(&self, frame: u32, row: u32, seg: u32) -> bool {
-        self.done.borrow()[self.frame_slot(frame)][row as usize][seg as usize]
+    fn is_done(&self, cx: &mut ThreadCx<'_>, frame: u32, row: u32, seg: u32) -> bool {
+        let slot = self.frame_slot(frame);
+        self.done
+            .load_at(cx, slot as u32, |d| d[slot][row as usize][seg as usize])
     }
 
     /// Marks a task done; returns newly-ready successor tasks and whether
@@ -136,21 +145,20 @@ impl EncShared {
     /// A segment `(r, s)` depends on its left neighbour `(r, s-1)` and,
     /// for the motion-estimation context, on the upper-right segment
     /// `(r-1, min(s+1, last))` — the standard macro-block wavefront.
-    fn complete(&self, t: Task) -> (Vec<Task>, bool) {
+    fn complete(&self, cx: &mut ThreadCx<'_>, t: Task) -> (Vec<Task>, bool) {
         let slot = self.frame_slot(t.frame);
-        {
-            let mut done = self.done.borrow_mut();
+        self.done.store_at(cx, slot as u32, |done| {
             assert!(
                 !done[slot][t.row as usize][t.seg as usize],
                 "task f{} r{} s{} executed twice",
                 t.frame, t.row, t.seg
             );
             done[slot][t.row as usize][t.seg as usize] = true;
-        }
+        });
         let last = self.segments - 1;
         let mut ready = Vec::new();
         // Right neighbour in the same row (we are its left predecessor).
-        if t.seg < last && self.pred_done(t.frame, t.row, t.seg + 1) {
+        if t.seg < last && self.pred_done(cx, t.frame, t.row, t.seg + 1) {
             ready.push(Task {
                 frame: t.frame,
                 row: t.row,
@@ -169,7 +177,7 @@ impl EncShared {
                 candidates.push(last);
             }
             for seg in candidates {
-                if self.pred_done(t.frame, t.row + 1, seg) {
+                if self.pred_done(cx, t.frame, t.row + 1, seg) {
                     ready.push(Task {
                         frame: t.frame,
                         row: t.row + 1,
@@ -178,18 +186,23 @@ impl EncShared {
                 }
             }
         }
-        let mut counts = self.frame_done_tasks.borrow_mut();
-        counts[slot] += 1;
-        let frame_complete = counts[slot] == self.tasks_per_frame;
+        let tasks_per_frame = self.tasks_per_frame;
+        let frame_complete = self.frame_done_tasks.rmw_at(cx, slot as u32, |c| {
+            c[slot] += 1;
+            c[slot] == tasks_per_frame
+        });
         if frame_complete {
-            drop(counts);
-            self.frames_completed.incr();
-            let mut flags = self.complete_flags.borrow_mut();
-            flags[t.frame as usize] = true;
-            let mut wm = self.watermark.get() as usize;
-            while wm < flags.len() && flags[wm] {
-                wm += 1;
-                self.watermark.incr();
+            self.frames_completed.rmw(cx, |c| *c += 1);
+            let frame = t.frame as usize;
+            self.complete_flags
+                .store_at(cx, t.frame, |f| f[frame] = true);
+            let nframes = self.complete_flags.peek(|f| f.len());
+            loop {
+                let wm = self.watermark.load(cx, |w| *w) as usize;
+                if wm >= nframes || !self.complete_flags.load_at(cx, wm as u32, |f| f[wm]) {
+                    break;
+                }
+                self.watermark.rmw(cx, |w| *w += 1);
             }
         }
         (ready, frame_complete)
@@ -197,13 +210,13 @@ impl EncShared {
 
     /// All predecessors of (frame, row, seg) are complete (and the task
     /// itself has not already run).
-    fn pred_done(&self, frame: u32, row: u32, seg: u32) -> bool {
-        if self.is_done(frame, row, seg) {
+    fn pred_done(&self, cx: &mut ThreadCx<'_>, frame: u32, row: u32, seg: u32) -> bool {
+        if self.is_done(cx, frame, row, seg) {
             return false; // already executed
         }
         let last = self.segments - 1;
-        let left_ok = seg == 0 || self.is_done(frame, row, seg - 1);
-        let up_ok = row == 0 || self.is_done(frame, row - 1, (seg + 1).min(last));
+        let left_ok = seg == 0 || self.is_done(cx, frame, row, seg - 1);
+        let up_ok = row == 0 || self.is_done(cx, frame, row - 1, (seg + 1).min(last));
         left_ok && up_ok
     }
 }
@@ -222,9 +235,13 @@ struct Encoder {
 
 impl ThreadBody for Encoder {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
-        let in_flight = self.shared.serving.borrow_mut()[self.slot].take();
+        let slot = self.slot;
+        let in_flight = self
+            .shared
+            .serving
+            .write_at(cx, slot as u32, |s| s[slot].take());
         if let Some(task) = in_flight {
-            let (ready, frame_complete) = self.shared.complete(task);
+            let (ready, frame_complete) = self.shared.complete(cx, task);
             for t in ready {
                 self.shared.ready.push(cx, t);
             }
@@ -234,7 +251,9 @@ impl ThreadBody for Encoder {
         }
         match self.shared.ready.try_pop(cx) {
             TryPop::Item(task) => {
-                self.shared.serving.borrow_mut()[self.slot] = Some(task);
+                self.shared
+                    .serving
+                    .write_at(cx, slot as u32, |s| s[slot] = Some(task));
                 let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
                 Step::Compute(Cycles::new((self.cost.get() as f64 * jitter) as u64))
             }
@@ -287,9 +306,9 @@ impl MainThread {
         }
         self.killed_seen = killed;
         for e in 0..self.encoder_tids.len() {
-            if !self.reaped[e] && cx.is_finished(self.encoder_tids[e]) {
+            if !self.reaped[e] && cx.join_check(self.encoder_tids[e]) {
                 self.reaped[e] = true;
-                let lost = self.shared.serving.borrow_mut()[e].take();
+                let lost = self.shared.serving.write_at(cx, e as u32, |s| s[e].take());
                 if let Some(task) = lost {
                     self.shared.ready.push(cx, task);
                 }
@@ -321,7 +340,7 @@ impl ThreadBody for MainThread {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
         self.reap_dead(cx);
         if let Some(task) = self.fallback.take() {
-            let (ready, _) = self.shared.complete(task);
+            let (ready, _) = self.shared.complete(cx, task);
             for t in ready {
                 self.shared.ready.push(cx, t);
             }
@@ -331,7 +350,7 @@ impl ThreadBody for MainThread {
                 MainPhase::PreProcess => {
                     // Post-processing of completed frames takes priority
                     // (it interleaves with pre-processing of later ones).
-                    if self.posted_frames < self.shared.watermark.get() as u32 {
+                    if self.posted_frames < self.shared.watermark.load(cx, |w| *w) as u32 {
                         self.posted_frames += 1;
                         return Step::Compute(self.post);
                     }
@@ -341,7 +360,9 @@ impl ThreadBody for MainThread {
                     }
                     // Respect the temporal window, gated on the oldest
                     // incomplete frame.
-                    if self.next_frame >= self.shared.watermark.get() as u32 + self.window {
+                    if self.next_frame
+                        >= self.shared.watermark.load(cx, |w| *w) as u32 + self.window
+                    {
                         self.phase = MainPhase::WaitWindow;
                         continue;
                     }
@@ -351,7 +372,7 @@ impl ThreadBody for MainThread {
                 MainPhase::Seed => {
                     let frame = self.next_frame;
                     self.next_frame += 1;
-                    self.shared.reset_frame(frame);
+                    self.shared.reset_frame(cx, frame);
                     self.shared.ready.push(
                         cx,
                         Task {
@@ -363,7 +384,8 @@ impl ThreadBody for MainThread {
                     self.phase = MainPhase::PreProcess;
                 }
                 MainPhase::WaitWindow => {
-                    if self.next_frame < self.shared.watermark.get() as u32 + self.window {
+                    if self.next_frame < self.shared.watermark.load(cx, |w| *w) as u32 + self.window
+                    {
                         self.phase = MainPhase::PreProcess;
                         continue;
                     }
@@ -375,7 +397,7 @@ impl ThreadBody for MainThread {
                 MainPhase::PostProcess => {
                     // Post-process every completed frame (serial work),
                     // then either wait for more or finish.
-                    if self.posted_frames < self.shared.watermark.get() as u32 {
+                    if self.posted_frames < self.shared.watermark.load(cx, |w| *w) as u32 {
                         self.posted_frames += 1;
                         return Step::Compute(self.post);
                     }
@@ -435,19 +457,24 @@ impl Workload for H264 {
         let window = p.frame_window.max(1) as usize;
         let shared = Rc::new(EncShared {
             ready: SimQueue::new(&mut kernel),
-            frame_done_tasks: RefCell::new(vec![0; window]),
-            done: RefCell::new(vec![
-                vec![vec![false; p.segments as usize]; p.rows as usize];
-                window
-            ]),
+            frame_done_tasks: SimShared::new(&mut kernel, "h264.frame_done_tasks", vec![0; window]),
+            done: SimShared::new(
+                &mut kernel,
+                "h264.wavefront_done",
+                vec![vec![vec![false; p.segments as usize]; p.rows as usize]; window],
+            ),
             rows: p.rows,
             segments: p.segments,
             tasks_per_frame: p.rows * p.segments,
-            frames_completed: Counter::new(),
-            complete_flags: RefCell::new(vec![false; p.frames as usize]),
-            watermark: Counter::new(),
+            frames_completed: SimShared::new(&mut kernel, "h264.frames_completed", 0),
+            complete_flags: SimShared::new(
+                &mut kernel,
+                "h264.complete_flags",
+                vec![false; p.frames as usize],
+            ),
+            watermark: SimShared::new(&mut kernel, "h264.watermark", 0),
             main_wake,
-            serving: RefCell::new(vec![None; p.encoder_threads]),
+            serving: SimShared::new(&mut kernel, "h264.serving", vec![None; p.encoder_threads]),
         });
 
         let mut encoder_tids = Vec::new();
@@ -494,9 +521,9 @@ impl Workload for H264 {
         if outcome != asym_kernel::RunOutcome::AllDone {
             eprintln!(
                 "H264 DEADLOCK: completed={} ready_len={} counts={:?}",
-                shared.frames_completed.get(),
+                shared.frames_completed.peek(|c| *c),
                 shared.ready.len(),
-                shared.frame_done_tasks.borrow()
+                shared.frame_done_tasks.peek(|c| c.clone())
             );
         }
         assert_eq!(
@@ -504,7 +531,7 @@ impl Workload for H264 {
             asym_kernel::RunOutcome::AllDone,
             "H.264 encode did not complete"
         );
-        assert_eq!(shared.frames_completed.get(), u64::from(p.frames));
+        assert_eq!(shared.frames_completed.peek(|c| *c), u64::from(p.frames));
         let lost_workers = kernel.stats().threads_killed;
         let main_stats = kernel.thread_stats(main_tid);
         let encoder_migrations: u64 = encoder_tids

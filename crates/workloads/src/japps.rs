@@ -14,12 +14,11 @@
 //! Two business domains are modelled, matching the figures: **customer**
 //! (NewOrder transactions) and **manufacturing** (work orders).
 
-use crate::common::{throughput_per_sec, Counter, DurationRecorder, Window};
+use crate::common::{throughput_per_sec, DurationRecorder, Window};
 use asym_core::{Direction, RunResult, RunSetup, Workload};
 use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId};
 use asym_sim::{Cycles, Rng, SimDuration, SimTime};
-use asym_sync::{SimQueue, TryPop};
-use std::cell::RefCell;
+use asym_sync::{SimQueue, SimShared, TryPop};
 use std::rc::Rc;
 
 /// A transaction's business domain.
@@ -110,15 +109,21 @@ impl JAppServer {
 
 struct JappsShared {
     queue: SimQueue<Order>,
-    completed_new_order: Counter,
-    completed_mfg: Counter,
+    /// Modeled atomic counter bumped by every pool worker.
+    completed_new_order: SimShared<u64>,
+    /// Modeled atomic counter bumped by every pool worker.
+    completed_mfg: SimShared<u64>,
     mfg_response: DurationRecorder,
-    all_response: RefCell<Vec<(SimTime, SimDuration)>>,
-    /// Orders injected but not yet completed.
-    in_flight: RefCell<i64>,
+    /// Recent completions, appended by workers and drained by the driver's
+    /// feedback loop. Modeled atomic (a lock-free log).
+    all_response: SimShared<Vec<(SimTime, SimDuration)>>,
+    /// Orders injected but not yet completed. Modeled atomic.
+    in_flight: SimShared<i64>,
     /// Per-worker registry of the order each pool thread is serving, so
-    /// the driver can salvage orders from workers killed by faults.
-    serving: RefCell<Vec<Option<Order>>>,
+    /// the driver can salvage orders from workers killed by faults. Plain
+    /// per-worker words: each slot has one writer, and the driver reads a
+    /// slot only after observing the owner's exit via `join_check`.
+    serving: SimShared<Vec<Option<Order>>>,
 }
 
 // ---------------------------------------------------------------------
@@ -150,11 +155,11 @@ impl Driver {
         }
         self.killed_seen = cx.killed_count();
         for w in 0..self.worker_tids.len() {
-            if self.reaped[w] || !cx.is_finished(self.worker_tids[w]) {
+            if self.reaped[w] || !cx.join_check(self.worker_tids[w]) {
                 continue;
             }
             self.reaped[w] = true;
-            if let Some(order) = self.shared.serving.borrow_mut()[w].take() {
+            if let Some(order) = self.shared.serving.write_at(cx, w as u32, |s| s[w].take()) {
                 self.shared.queue.push(cx, order);
             }
         }
@@ -169,15 +174,18 @@ impl ThreadBody for Driver {
         // specified rate when healthy.
         if cx.now() >= self.next_feedback {
             self.next_feedback = cx.now() + self.feedback_interval;
-            let mut recent = self.shared.all_response.borrow_mut();
             let cutoff = cx.now() - self.feedback_interval;
-            let late = recent
-                .iter()
-                .filter(|(t, d)| *t >= cutoff && *d > self.response_limit)
-                .count();
-            let total = recent.iter().filter(|(t, _)| *t >= cutoff).count();
-            recent.retain(|(t, _)| *t >= cutoff);
-            let backlog = *self.shared.in_flight.borrow();
+            let limit = self.response_limit;
+            let (late, total) = self.shared.all_response.rmw(cx, |recent| {
+                let late = recent
+                    .iter()
+                    .filter(|(t, d)| *t >= cutoff && *d > limit)
+                    .count();
+                let total = recent.iter().filter(|(t, _)| *t >= cutoff).count();
+                recent.retain(|(t, _)| *t >= cutoff);
+                (late, total)
+            });
+            let backlog = self.shared.in_flight.load(cx, |f| *f);
             let overloaded =
                 (total > 0 && late * 5 > total) || backlog as f64 > self.current_rate * 0.25;
             if overloaded {
@@ -196,7 +204,7 @@ impl ThreadBody for Driver {
             domain,
             injected_at: cx.now(),
         };
-        *self.shared.in_flight.borrow_mut() += 1;
+        self.shared.in_flight.rmw(cx, |f| *f += 1);
         self.shared.queue.push(cx, order);
         let gap = self.rng.exponential(1.0 / self.current_rate);
         Step::Sleep(SimDuration::from_secs_f64(gap))
@@ -235,7 +243,10 @@ impl ThreadBody for PoolWorker {
                 match self.shared.queue.try_pop(cx) {
                     TryPop::Item(order) => {
                         self.current = Some(order);
-                        self.shared.serving.borrow_mut()[self.slot] = Some(order);
+                        let slot = self.slot;
+                        self.shared
+                            .serving
+                            .write_at(cx, slot as u32, |s| s[slot] = Some(order));
                         self.stage = 0;
                         self.io_pending = false;
                         continue;
@@ -252,22 +263,27 @@ impl ThreadBody for PoolWorker {
             if self.stage == self.stages {
                 // Transaction complete.
                 let response = cx.now().duration_since(order.injected_at);
-                *self.shared.in_flight.borrow_mut() -= 1;
+                self.shared.in_flight.rmw(cx, |f| *f -= 1);
+                let now = cx.now();
                 self.shared
                     .all_response
-                    .borrow_mut()
-                    .push((cx.now(), response));
+                    .rmw(cx, |r| r.push((now, response)));
                 match order.domain {
-                    Domain::NewOrder => self.shared.completed_new_order.incr(),
+                    Domain::NewOrder => {
+                        self.shared.completed_new_order.rmw(cx, |c| *c += 1);
+                    }
                     Domain::Manufacturing => {
-                        self.shared.completed_mfg.incr();
+                        self.shared.completed_mfg.rmw(cx, |c| *c += 1);
                         if cx.now() >= self.window_start {
                             self.shared.mfg_response.record(response);
                         }
                     }
                 }
                 self.current = None;
-                self.shared.serving.borrow_mut()[self.slot] = None;
+                let slot = self.slot;
+                self.shared
+                    .serving
+                    .write_at(cx, slot as u32, |s| s[slot] = None);
                 continue;
             }
             // Execute the next compute stage; all but the final stage are
@@ -319,12 +335,12 @@ impl Workload for JAppServer {
         let shared = Rc::new(JappsShared {
             // Orders arrive over the network from the driver machine.
             queue: SimQueue::new_remote(&mut kernel),
-            completed_new_order: Counter::new(),
-            completed_mfg: Counter::new(),
+            completed_new_order: SimShared::new(&mut kernel, "japps.completed_new_order", 0),
+            completed_mfg: SimShared::new(&mut kernel, "japps.completed_mfg", 0),
             mfg_response: DurationRecorder::new(),
-            all_response: RefCell::new(Vec::new()),
-            in_flight: RefCell::new(0),
-            serving: RefCell::new(vec![None; p.pool_size]),
+            all_response: SimShared::new(&mut kernel, "japps.all_response", Vec::new()),
+            in_flight: SimShared::new(&mut kernel, "japps.in_flight", 0),
+            serving: SimShared::new(&mut kernel, "japps.serving", vec![None; p.pool_size]),
         });
 
         let mut worker_tids = Vec::with_capacity(p.pool_size);
@@ -368,12 +384,12 @@ impl Workload for JAppServer {
         );
 
         kernel.run_until(p.window.start());
-        let no_start = shared.completed_new_order.get();
-        let mfg_start = shared.completed_mfg.get();
+        let no_start = shared.completed_new_order.peek(|c| *c);
+        let mfg_start = shared.completed_mfg.peek(|c| *c);
         shared.mfg_response.clear();
         kernel.run_until(p.window.end());
-        let no_done = shared.completed_new_order.get() - no_start;
-        let mfg_done = shared.completed_mfg.get() - mfg_start;
+        let no_done = shared.completed_new_order.peek(|c| *c) - no_start;
+        let mfg_done = shared.completed_mfg.peek(|c| *c) - mfg_start;
 
         let total = throughput_per_sec(no_done + mfg_done, p.window.steady);
         RunResult::new(total)

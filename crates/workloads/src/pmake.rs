@@ -9,11 +9,10 @@
 //! therefore stable and scalable, and one fast core pays off twice: it
 //! speeds the serial head/tail and soaks up compile jobs on demand.
 
-use crate::common::Counter;
 use asym_core::{Direction, RunResult, RunSetup, Workload};
 use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId, WaitId};
 use asym_sim::{Cycles, Rng};
-use std::cell::RefCell;
+use asym_sync::SimShared;
 use std::rc::Rc;
 
 /// Tuning constants for the PMAKE model.
@@ -78,11 +77,15 @@ impl Pmake {
 }
 
 struct MakeShared {
-    finished_jobs: Counter,
+    /// Jobs retired so far; an access-traced atomic because make polls it
+    /// while compilers are still incrementing.
+    finished_jobs: SimShared<u64>,
     make_wake: WaitId,
     /// Per-file success flags, so make can tell a compiler that finished
     /// from one that was killed mid-compile (and re-fork the latter).
-    job_done: RefCell<Vec<bool>>,
+    /// Plain per-file words: make only reads a file's flag after
+    /// observing the compiler's exit, which orders the accesses.
+    job_done: SimShared<Vec<bool>>,
 }
 
 /// One compiler process: compute, report, exit.
@@ -100,8 +103,11 @@ impl ThreadBody for CompileJob {
             self.compiled = true;
             return Step::Compute(self.work);
         }
-        self.shared.job_done.borrow_mut()[self.file] = true;
-        self.shared.finished_jobs.incr();
+        let file = self.file;
+        self.shared
+            .job_done
+            .write_at(cx, file as u32, |d| d[file] = true);
+        self.shared.finished_jobs.rmw(cx, |c| *c += 1);
         cx.notify_all(self.shared.make_wake);
         Step::Done
     }
@@ -147,18 +153,18 @@ impl MakeProcess {
     /// Drops exited compilers from the in-flight list; ones that exited
     /// without marking their file done were killed and get re-queued.
     fn reap_jobs(&mut self, cx: &mut ThreadCx<'_>) {
-        let cx = &*cx;
-        let done = self.shared.job_done.borrow();
-        let retry = &mut self.retry;
-        self.active.retain(|&(file, tid)| {
-            if !cx.is_finished(tid) {
-                return true;
+        let mut i = 0;
+        while i < self.active.len() {
+            let (file, tid) = self.active[i];
+            if !cx.join_check(tid) {
+                i += 1;
+                continue;
             }
-            if !done[file] {
-                retry.push(file);
+            self.active.remove(i);
+            if !self.shared.job_done.read_at(cx, file as u32, |d| d[file]) {
+                self.retry.push(file);
             }
-            false
-        });
+        }
     }
 
     fn files_remaining(&self) -> bool {
@@ -206,7 +212,7 @@ impl ThreadBody for MakeProcess {
                     return Step::Compute(self.fork_cost);
                 }
                 MakePhase::WaitJobs => {
-                    if self.shared.finished_jobs.get() == self.costs.len() as u64 {
+                    if self.shared.finished_jobs.load(cx, |c| *c) == self.costs.len() as u64 {
                         self.phase = MakePhase::Link(0);
                         continue;
                     }
@@ -271,9 +277,9 @@ impl Workload for Pmake {
 
         let make_wake = kernel.create_wait_queue();
         let shared = Rc::new(MakeShared {
-            finished_jobs: Counter::new(),
+            finished_jobs: SimShared::new(&mut kernel, "pmake.finished_jobs", 0),
             make_wake,
-            job_done: RefCell::new(vec![false; p.files as usize]),
+            job_done: SimShared::new(&mut kernel, "pmake.job_done", vec![false; p.files as usize]),
         });
         kernel.spawn(
             MakeProcess {
@@ -299,7 +305,7 @@ impl Workload for Pmake {
             asym_kernel::RunOutcome::AllDone,
             "build did not complete"
         );
-        assert_eq!(shared.finished_jobs.get(), u64::from(p.files));
+        assert_eq!(shared.finished_jobs.peek(|c| *c), u64::from(p.files));
         RunResult::new(kernel.now().as_secs_f64())
             .with_extra("lost_workers", kernel.stats().threads_killed as f64)
     }

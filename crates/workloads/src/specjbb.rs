@@ -20,11 +20,11 @@
 //! carries a slightly higher per-transaction cost than `JRockit`,
 //! mirroring the throughput gap in Figure 1(a).
 
-use crate::common::{throughput_per_sec, Counter, Window};
+use crate::common::{throughput_per_sec, Window};
 use asym_core::{Direction, RunResult, RunSetup, Workload};
 use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId, WaitId};
 use asym_sim::{Cycles, Rng, SimDuration};
-use asym_sync::{Arrival, SimBarrier};
+use asym_sync::{Arrival, SimBarrier, SimShared};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -149,6 +149,16 @@ impl SpecJbb {
 // Shared state
 // ---------------------------------------------------------------------
 
+/// Word indices into the access-traced [`Heap`] cell: each field is an
+/// independently-tracked atomic word, like a real VM's atomic heap
+/// counters.
+const HEAP_BYTES: u32 = 0;
+const HEAP_STW: u32 = 1;
+const HEAP_GC_IDLE: u32 = 2;
+const HEAP_STALLS: u32 = 3;
+const HEAP_COLLECTIONS: u32 = 4;
+const HEAP_BACKLOG: u32 = 5;
+
 #[derive(Debug)]
 struct Heap {
     /// Parallel GC: bytes allocated since the last collection.
@@ -164,16 +174,24 @@ struct Heap {
 }
 
 struct JbbShared {
-    heap: RefCell<Heap>,
+    /// The shared heap-accounting block, modeled atomic with one word per
+    /// field (`HEAP_*`): warehouses and the collector poll and update it
+    /// without locks.
+    heap: SimShared<Heap>,
     relief: WaitId,
     gc_wake: WaitId,
-    completed: Counter,
+    /// Modeled atomic counter: every warehouse increments it.
+    completed: SimShared<u64>,
     /// Registry of warehouse threads so survivors can reap faulted peers.
+    /// Written only at setup; read-only during the run.
     warehouse_tids: RefCell<Vec<ThreadId>>,
-    reaped: RefCell<Vec<bool>>,
+    /// Modeled atomic flags, one word per warehouse: any survivor reaps.
+    reaped: SimShared<Vec<bool>>,
     collector_tid: Cell<Option<ThreadId>>,
-    collector_dead: Cell<bool>,
-    killed_seen: Cell<u64>,
+    /// Modeled atomic flag: polled by every warehouse.
+    collector_dead: SimShared<bool>,
+    /// Modeled atomic: any survivor may bump it while reaping.
+    killed_seen: SimShared<u64>,
 }
 
 impl JbbShared {
@@ -182,16 +200,17 @@ impl JbbShared {
     /// dead concurrent collector (so warehouses stop waiting for heap
     /// relief that will never come).
     fn reap_dead(&self, cx: &mut ThreadCx<'_>, stop: &SimBarrier, done: &SimBarrier) {
-        if cx.killed_count() == self.killed_seen.get() {
+        let killed = cx.killed_count();
+        if killed == self.killed_seen.load(cx, |k| *k) {
             return;
         }
-        self.killed_seen.set(cx.killed_count());
+        self.killed_seen.store(cx, |k| *k = killed);
         let tids: Vec<ThreadId> = self.warehouse_tids.borrow().clone();
         for (i, &tid) in tids.iter().enumerate() {
-            if self.reaped.borrow()[i] || !cx.is_finished(tid) {
+            if self.reaped.load_at(cx, i as u32, |r| r[i]) || !cx.join_check(tid) {
                 continue;
             }
-            self.reaped.borrow_mut()[i] = true;
+            self.reaped.store_at(cx, i as u32, |r| r[i] = true);
             stop.remove_party(cx, tid);
             done.remove_party(cx, tid);
         }
@@ -199,8 +218,8 @@ impl JbbShared {
         // already woken every blocked thread, and each woken warehouse
         // re-checks the stall condition against `collector_dead` itself.
         if let Some(ctid) = self.collector_tid.get() {
-            if !self.collector_dead.get() && cx.is_finished(ctid) {
-                self.collector_dead.set(true);
+            if !self.collector_dead.load(cx, |d| *d) && cx.join_check(ctid) {
+                self.collector_dead.store(cx, |d| *d = true);
             }
         }
     }
@@ -253,20 +272,20 @@ impl ThreadBody for Warehouse {
                 JbbPhase::StartTx => {
                     match self.gc {
                         GcKind::Parallel => {
-                            let stw = self.shared.heap.borrow().stw_requested;
+                            let stw = self.shared.heap.load_at(cx, HEAP_STW, |h| h.stw_requested);
                             if stw {
                                 self.phase = JbbPhase::StopBarrier;
                                 continue;
                             }
                         }
                         GcKind::ConcurrentGenerational => {
-                            let mut heap = self.shared.heap.borrow_mut();
-                            if heap.bytes > self.stw_threshold && !self.shared.collector_dead.get()
+                            let bytes = self.shared.heap.load_at(cx, HEAP_BYTES, |h| h.bytes);
+                            if bytes > self.stw_threshold
+                                && !self.shared.collector_dead.load(cx, |d| *d)
                             {
                                 // Allocation outran the collector: stall
                                 // until it catches up.
-                                heap.stalls += 1;
-                                drop(heap);
+                                self.shared.heap.rmw_at(cx, HEAP_STALLS, |h| h.stalls += 1);
                                 return Step::Block(self.shared.relief);
                             }
                         }
@@ -275,23 +294,30 @@ impl ThreadBody for Warehouse {
                     return Step::Compute(self.tx_work());
                 }
                 JbbPhase::TxDone => {
-                    self.shared.completed.incr();
-                    let mut heap = self.shared.heap.borrow_mut();
-                    heap.bytes += self.alloc_per_tx;
-                    heap.backlog_high_water = heap.backlog_high_water.max(heap.bytes);
+                    self.shared.completed.rmw(cx, |c| *c += 1);
+                    let alloc = self.alloc_per_tx;
+                    let bytes = self.shared.heap.rmw_at(cx, HEAP_BYTES, |h| {
+                        h.bytes += alloc;
+                        h.bytes
+                    });
+                    self.shared.heap.rmw_at(cx, HEAP_BACKLOG, |h| {
+                        h.backlog_high_water = h.backlog_high_water.max(bytes);
+                    });
                     match self.gc {
                         GcKind::Parallel => {
-                            if heap.bytes >= self.stw_threshold && !heap.stw_requested {
-                                heap.stw_requested = true;
+                            if bytes >= self.stw_threshold {
+                                self.shared
+                                    .heap
+                                    .rmw_at(cx, HEAP_STW, |h| h.stw_requested = true);
                             }
                         }
                         GcKind::ConcurrentGenerational => {
-                            if heap.gc_idle
-                                && heap.bytes >= self.cycle_trigger
-                                && !self.shared.collector_dead.get()
+                            if bytes >= self.cycle_trigger
+                                && !self.shared.collector_dead.load(cx, |d| *d)
+                                && self.shared.heap.rmw_at(cx, HEAP_GC_IDLE, |h| {
+                                    std::mem::replace(&mut h.gc_idle, false)
+                                })
                             {
-                                heap.gc_idle = false;
-                                drop(heap);
                                 cx.notify_one(self.shared.gc_wake);
                                 self.phase = JbbPhase::StartTx;
                                 continue;
@@ -323,10 +349,13 @@ impl ThreadBody for Warehouse {
                 JbbPhase::DoneBarrier => match self.done_barrier.arrive(cx) {
                     Arrival::Released => {
                         // Last collector out resets the heap.
-                        let mut heap = self.shared.heap.borrow_mut();
-                        heap.bytes = 0;
-                        heap.stw_requested = false;
-                        heap.collections += 1;
+                        self.shared.heap.rmw_at(cx, HEAP_BYTES, |h| h.bytes = 0);
+                        self.shared
+                            .heap
+                            .rmw_at(cx, HEAP_STW, |h| h.stw_requested = false);
+                        self.shared
+                            .heap
+                            .rmw_at(cx, HEAP_COLLECTIONS, |h| h.collections += 1);
                         self.phase = JbbPhase::StartTx;
                     }
                     Arrival::Wait { token, step } => {
@@ -367,27 +396,31 @@ impl ThreadBody for ConcurrentCollector {
         // Account the chunk we just finished collecting and give relief to
         // any warehouses stalled on a full heap.
         if self.pending_reclaim > 0 {
-            let mut heap = self.shared.heap.borrow_mut();
-            heap.bytes = heap.bytes.saturating_sub(self.pending_reclaim);
+            let reclaim = self.pending_reclaim;
             self.pending_reclaim = 0;
-            let below_resume = heap.bytes <= self.resume_level;
-            drop(heap);
-            if below_resume {
+            let bytes = self.shared.heap.rmw_at(cx, HEAP_BYTES, |h| {
+                h.bytes = h.bytes.saturating_sub(reclaim);
+                h.bytes
+            });
+            if bytes <= self.resume_level {
                 cx.notify_all(self.shared.relief);
             }
         }
-        let mut heap = self.shared.heap.borrow_mut();
         // A marking cycle only starts once a cycle's worth of garbage has
         // accumulated; between cycles the collector sleeps. Real
         // generational concurrent collectors work in such long cycles —
         // which is exactly what makes their core placement matter.
-        if heap.bytes < self.cycle_trigger {
-            heap.gc_idle = true;
+        let bytes = self.shared.heap.load_at(cx, HEAP_BYTES, |h| h.bytes);
+        if bytes < self.cycle_trigger {
+            self.shared
+                .heap
+                .rmw_at(cx, HEAP_GC_IDLE, |h| h.gc_idle = true);
             return Step::Block(self.shared.gc_wake);
         }
-        heap.collections += 1;
-        let chunk = heap.bytes.min(self.chunk_bytes);
-        drop(heap);
+        self.shared
+            .heap
+            .rmw_at(cx, HEAP_COLLECTIONS, |h| h.collections += 1);
+        let chunk = bytes.min(self.chunk_bytes);
         self.pending_reclaim = chunk;
         Step::Compute(Cycles::new((chunk as f64 * self.cost_per_byte) as u64))
     }
@@ -427,22 +460,26 @@ impl Workload for SpecJbb {
         let relief = kernel.create_wait_queue();
         let gc_wake = kernel.create_wait_queue();
         let shared = Rc::new(JbbShared {
-            heap: RefCell::new(Heap {
-                bytes: 0,
-                stw_requested: false,
-                gc_idle: true,
-                stalls: 0,
-                collections: 0,
-                backlog_high_water: 0,
-            }),
+            heap: SimShared::new(
+                &mut kernel,
+                "specjbb.heap",
+                Heap {
+                    bytes: 0,
+                    stw_requested: false,
+                    gc_idle: true,
+                    stalls: 0,
+                    collections: 0,
+                    backlog_high_water: 0,
+                },
+            ),
             relief,
             gc_wake,
-            completed: Counter::new(),
+            completed: SimShared::new(&mut kernel, "specjbb.completed", 0),
             warehouse_tids: RefCell::new(Vec::new()),
-            reaped: RefCell::new(vec![false; self.warehouses]),
+            reaped: SimShared::new(&mut kernel, "specjbb.reaped", vec![false; self.warehouses]),
             collector_tid: Cell::new(None),
-            collector_dead: Cell::new(false),
-            killed_seen: Cell::new(0),
+            collector_dead: SimShared::new(&mut kernel, "specjbb.collector_dead", false),
+            killed_seen: SimShared::new(&mut kernel, "specjbb.killed_seen", 0),
         });
 
         let stop_barrier = SimBarrier::new(&mut kernel, self.warehouses);
@@ -492,18 +529,20 @@ impl Workload for SpecJbb {
         }
 
         kernel.run_until(self.params.window.start());
-        let at_start = shared.completed.get();
+        let at_start = shared.completed.peek(|c| *c);
         kernel.run_until(self.params.window.end());
-        let at_end = shared.completed.get();
+        let at_end = shared.completed.peek(|c| *c);
 
-        let heap = shared.heap.borrow();
+        let (stalls, collections, backlog_hw) = shared
+            .heap
+            .peek(|h| (h.stalls, h.collections, h.backlog_high_water));
         RunResult::new(throughput_per_sec(
             at_end - at_start,
             self.params.window.steady,
         ))
-        .with_extra("stalls", heap.stalls as f64)
-        .with_extra("collections", heap.collections as f64)
-        .with_extra("backlog_hw", heap.backlog_high_water as f64)
+        .with_extra("stalls", stalls as f64)
+        .with_extra("collections", collections as f64)
+        .with_extra("backlog_hw", backlog_hw as f64)
         .with_extra("lost_workers", kernel.stats().threads_killed as f64)
     }
 }

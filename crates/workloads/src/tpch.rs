@@ -21,9 +21,7 @@
 use asym_core::{Direction, RunResult, RunSetup, Workload};
 use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId};
 use asym_sim::{CoreId, CoreMask, Cycles, Rng};
-use asym_sync::{SimLatch, SimQueue, TryPop};
-use std::cell::RefCell;
-use std::rc::Rc;
+use asym_sync::{SimLatch, SimQueue, SimShared, TryPop};
 
 /// Relative costs of the 22 TPC-H queries (q1..q22), roughly matching the
 /// spread of real power-run query times. One unit ≈ 0.4 full-speed core
@@ -170,21 +168,25 @@ struct ServerProcess {
     jobs: SimQueue<SubQuery>,
     /// Per-process registry of in-flight sub-queries: this process
     /// publishes the job it is computing so the coordinator can salvage it
-    /// if a fault kills the process mid-query.
-    serving: Rc<RefCell<Vec<Option<SubQuery>>>>,
+    /// if a fault kills the process mid-query. Plain per-slot words: each
+    /// slot has a single writer, and the coordinator reads a slot only
+    /// after observing the owner's exit via `join_check`.
+    serving: SimShared<Vec<Option<SubQuery>>>,
     slot: usize,
     name: String,
 }
 
 impl ThreadBody for ServerProcess {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
-        if let Some(job) = self.serving.borrow_mut()[self.slot].take() {
+        let slot = self.slot;
+        if let Some(job) = self.serving.write_at(cx, slot as u32, |s| s[slot].take()) {
             job.done.count_down(cx);
         }
         match self.jobs.try_pop(cx) {
             TryPop::Item(job) => {
                 let work = job.work;
-                self.serving.borrow_mut()[self.slot] = Some(job);
+                self.serving
+                    .write_at(cx, slot as u32, |s| s[slot] = Some(job));
                 Step::Compute(work)
             }
             TryPop::Empty(step) => step,
@@ -203,7 +205,7 @@ struct Coordinator {
     processes: Vec<SimQueue<SubQuery>>,
     tids: Vec<ThreadId>,
     dead: Vec<bool>,
-    serving: Rc<RefCell<Vec<Option<SubQuery>>>>,
+    serving: SimShared<Vec<Option<SubQuery>>>,
     killed_seen: u64,
     /// Sub-queries salvaged from dead server processes, awaiting a new home.
     lost: Vec<SubQuery>,
@@ -228,12 +230,12 @@ impl Coordinator {
         }
         self.killed_seen = cx.killed_count();
         for i in 0..self.tids.len() {
-            if self.dead[i] || !cx.is_finished(self.tids[i]) {
+            if self.dead[i] || !cx.join_check(self.tids[i]) {
                 continue;
             }
             self.dead[i] = true;
             self.lost.extend(self.processes[i].drain(cx));
-            if let Some(job) = self.serving.borrow_mut()[i].take() {
+            if let Some(job) = self.serving.write_at(cx, i as u32, |s| s[i].take()) {
                 self.lost.push(job);
             }
         }
@@ -342,7 +344,11 @@ impl Workload for TpcH {
         // one rotation draw per run. This is the per-run lottery the
         // kernel cannot see past.
         let rotation = seed_rng.index(ncores);
-        let serving = Rc::new(RefCell::new(vec![None; self.parallelization]));
+        let serving = SimShared::new(
+            &mut kernel,
+            "tpch.serving",
+            vec![None; self.parallelization],
+        );
         let mut process_queues = Vec::with_capacity(self.parallelization);
         let mut process_tids = Vec::with_capacity(self.parallelization);
         for i in 0..self.parallelization {

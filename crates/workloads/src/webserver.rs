@@ -20,12 +20,11 @@
 //! help: sessions stranded on the slow-core process make throughput
 //! unstable under both light and heavy load (Figure 7).
 
-use crate::common::Counter;
 use asym_core::{Direction, RunResult, RunSetup, Workload};
 use asym_kernel::{Kernel, SpawnOptions, Step, ThreadBody, ThreadCx, ThreadId};
 use asym_sim::{Cycles, Rng, SimDuration, SimTime};
-use asym_sync::{SimQueue, TryPop};
-use std::cell::{Cell, RefCell};
+use asym_sync::{SimQueue, SimShared, TryPop};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -141,52 +140,63 @@ struct HttpShared {
     /// prefork servers: the most recently idled worker usually wins the
     /// race. LIFO keeps a persistent "hot set" of workers whose core
     /// placement decides the run's fortune.
-    idle: RefCell<VecDeque<usize>>,
-    /// One-slot connection inboxes, indexed by worker slot.
-    inbox: RefCell<Vec<Option<Request>>>,
+    /// Modeled atomic: the accept mutex serializes this structure in a
+    /// real prefork server.
+    idle: SimShared<VecDeque<usize>>,
+    /// One-slot connection inboxes, indexed by worker slot. Socket
+    /// hand-offs — modeled atomic, one word per slot.
+    inbox: SimShared<Vec<Option<Request>>>,
     /// Per-worker-slot wakeups.
     worker_wait: RefCell<Vec<asym_kernel::WaitId>>,
-    /// Connections that arrived while every worker was busy.
-    overflow: RefCell<VecDeque<Request>>,
+    /// Connections that arrived while every worker was busy. Modeled
+    /// atomic like `idle` (same accept-mutex discipline).
+    overflow: SimShared<VecDeque<Request>>,
     mgmt: SimQueue<()>,
     /// Per-client completion wakeups.
     client_wait: RefCell<Vec<asym_kernel::WaitId>>,
-    served: Counter,
+    /// Modeled atomic counter: workers increment concurrently.
+    served: SimShared<u64>,
     total: u64,
-    done: RefCell<bool>,
+    /// Modeled atomic flag: polled by every thread.
+    done: SimShared<bool>,
     finished_at: RefCell<Option<SimTime>>,
     /// Per-slot registry of the request each worker is serving, so the
-    /// control process can salvage requests from faulted workers.
-    serving: RefCell<Vec<Option<Request>>>,
+    /// control process can salvage requests from faulted workers. Plain
+    /// per-slot words: only the owning worker touches a live slot, and
+    /// the control process reads it only after joining the dead owner.
+    serving: SimShared<Vec<Option<Request>>>,
     /// The kernel thread occupying each slot; cleared once reaped.
     slot_tid: RefCell<Vec<Option<ThreadId>>>,
     /// Set when a worker exits normally (recycle or shutdown), so the
-    /// control process can tell a retirement from a kill.
-    retired: RefCell<Vec<bool>>,
+    /// control process can tell a retirement from a kill. Modeled atomic
+    /// flags, one word per slot.
+    retired: SimShared<Vec<bool>>,
 }
 
 impl HttpShared {
-    fn new_slot(&self, kernel_wait: asym_kernel::WaitId) -> usize {
-        self.inbox.borrow_mut().push(None);
+    fn new_slot(&self, cx: &mut ThreadCx<'_>, kernel_wait: asym_kernel::WaitId) -> usize {
+        let slot = self.inbox.peek(|i| i.len());
+        self.inbox.store_at(cx, slot as u32, |i| i.push(None));
         self.worker_wait.borrow_mut().push(kernel_wait);
-        self.serving.borrow_mut().push(None);
+        self.serving.write_at(cx, slot as u32, |s| s.push(None));
         self.slot_tid.borrow_mut().push(None);
-        self.retired.borrow_mut().push(false);
-        self.inbox.borrow().len() - 1
+        self.retired.store_at(cx, slot as u32, |r| r.push(false));
+        slot
     }
 
     /// Delivers a connection to the most recently idled worker (the
     /// accept race), or parks it in the overflow queue when all workers
     /// are busy.
     fn deliver(&self, cx: &mut ThreadCx<'_>, request: Request) {
-        if let Some(slot) = self.idle.borrow_mut().pop_back() {
-            self.inbox.borrow_mut()[slot] = Some(request);
+        if let Some(slot) = self.idle.rmw(cx, |q| q.pop_back()) {
+            self.inbox
+                .store_at(cx, slot as u32, |i| i[slot] = Some(request));
             let wait = self.worker_wait.borrow()[slot];
             // Connections arrive over the network: no sync-wakeup
             // affinity toward the (remote) client.
             cx.notify_all_remote(wait);
         } else {
-            self.overflow.borrow_mut().push_back(request);
+            self.overflow.rmw(cx, |q| q.push_back(request));
         }
     }
 
@@ -194,10 +204,13 @@ impl HttpShared {
     /// notifies the owning client, which will reconnect after a network
     /// round trip.
     fn complete_one(&self, cx: &mut ThreadCx<'_>, request: Request) {
-        self.served.incr();
-        if self.served.get() == self.total {
+        let served = self.served.rmw(cx, |c| {
+            *c += 1;
+            *c
+        });
+        if served == self.total {
             *self.finished_at.borrow_mut() = Some(cx.now());
-            *self.done.borrow_mut() = true;
+            self.done.store(cx, |d| *d = true);
             // Wake everyone so they can observe shutdown.
             let waits: Vec<asym_kernel::WaitId> = self
                 .worker_wait
@@ -216,8 +229,8 @@ impl HttpShared {
         cx.notify_all(wait);
     }
 
-    fn is_done(&self) -> bool {
-        *self.done.borrow()
+    fn is_done(&self, cx: &mut ThreadCx<'_>) -> bool {
+        self.done.load(cx, |d| *d)
     }
 }
 
@@ -237,50 +250,60 @@ struct ApacheWorker {
 impl ApacheWorker {
     /// Marks a normal exit so the control process never mistakes a
     /// recycled or shut-down worker for a fault victim.
-    fn retire(&self) -> Step {
-        self.shared.retired.borrow_mut()[self.slot] = true;
+    fn retire(&self, cx: &mut ThreadCx<'_>) -> Step {
+        let slot = self.slot;
+        self.shared
+            .retired
+            .store_at(cx, slot as u32, |r| r[slot] = true);
         Step::Done
     }
 }
 
 impl ThreadBody for ApacheWorker {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
-        if self.shared.is_done() {
-            return self.retire();
+        let slot = self.slot;
+        if self.shared.is_done(cx) {
+            return self.retire(cx);
         }
         if let Some(request) = self.in_flight.take() {
-            self.shared.serving.borrow_mut()[self.slot] = None;
+            self.shared
+                .serving
+                .write_at(cx, slot as u32, |s| s[slot] = None);
             self.shared.complete_one(cx, request);
             self.served_here += 1;
-            if self.shared.is_done() {
-                return self.retire();
+            if self.shared.is_done(cx) {
+                return self.retire(cx);
             }
             if self.served_here >= self.recycle_limit {
                 // Recycle: tell the control process to fork a
                 // replacement, then exit.
                 self.shared.mgmt.push(cx, ());
-                return self.retire();
+                return self.retire(cx);
             }
         }
         // Serve a waiting connection if one exists; otherwise join
         // the accept queue and block.
-        let next = self.shared.inbox.borrow_mut()[self.slot]
-            .take()
-            .or_else(|| self.shared.overflow.borrow_mut().pop_front());
+        let next = self
+            .shared
+            .inbox
+            .rmw_at(cx, slot as u32, |i| i[slot].take())
+            .or_else(|| self.shared.overflow.rmw(cx, |q| q.pop_front()));
         match next {
             Some(request) => {
                 self.queued_idle = false;
                 self.in_flight = Some(request);
-                self.shared.serving.borrow_mut()[self.slot] = Some(request);
+                self.shared
+                    .serving
+                    .write_at(cx, slot as u32, |s| s[slot] = Some(request));
                 let jitter = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
                 Step::Compute(Cycles::new((self.cost.get() as f64 * jitter) as u64))
             }
             None => {
                 if !self.queued_idle {
                     self.queued_idle = true;
-                    self.shared.idle.borrow_mut().push_back(self.slot);
+                    self.shared.idle.rmw(cx, |q| q.push_back(slot));
                 }
-                return Step::Block(self.shared.worker_wait.borrow()[self.slot]);
+                return Step::Block(self.shared.worker_wait.borrow()[slot]);
             }
         }
     }
@@ -308,7 +331,7 @@ impl ApacheControl {
     fn fork_worker(&mut self, cx: &mut ThreadCx<'_>) {
         self.spawned += 1;
         let wait = cx.create_wait_queue();
-        let slot = self.shared.new_slot(wait);
+        let slot = self.shared.new_slot(cx, wait);
         let tid = cx.spawn(
             ApacheWorker {
                 shared: self.shared.clone(),
@@ -343,14 +366,20 @@ impl ApacheControl {
             let Some(tid) = self.shared.slot_tid.borrow()[slot] else {
                 continue;
             };
-            if self.shared.retired.borrow()[slot] || !cx.is_finished(tid) {
+            if self.shared.retired.load_at(cx, slot as u32, |r| r[slot]) || !cx.join_check(tid) {
                 continue;
             }
             self.shared.slot_tid.borrow_mut()[slot] = None;
             dead += 1;
-            self.shared.idle.borrow_mut().retain(|&s| s != slot);
-            let lost_inbox = self.shared.inbox.borrow_mut()[slot].take();
-            let lost_serving = self.shared.serving.borrow_mut()[slot].take();
+            self.shared.idle.rmw(cx, |q| q.retain(|&s| s != slot));
+            let lost_inbox = self
+                .shared
+                .inbox
+                .rmw_at(cx, slot as u32, |i| i[slot].take());
+            let lost_serving = self
+                .shared
+                .serving
+                .write_at(cx, slot as u32, |s| s[slot].take());
             for request in [lost_inbox, lost_serving].into_iter().flatten() {
                 self.shared.deliver(cx, request);
             }
@@ -375,7 +404,7 @@ impl ThreadBody for ApacheControl {
             self.fork_worker(cx);
         }
         let dead = self.reap_dead(cx);
-        if dead > 0 && !self.shared.is_done() {
+        if dead > 0 && !self.shared.is_done(cx) {
             for _ in 0..dead {
                 self.fork_worker(cx);
             }
@@ -417,19 +446,19 @@ impl Workload for Apache {
         let mut kernel = Kernel::new(setup.config.machine(), setup.policy, setup.seed);
         let mut seed_rng = Rng::new(setup.seed ^ 0xa9ac_0000_0000_0004);
         let shared = Rc::new(HttpShared {
-            idle: RefCell::new(VecDeque::new()),
-            inbox: RefCell::new(Vec::new()),
+            idle: SimShared::new(&mut kernel, "apache.idle", VecDeque::new()),
+            inbox: SimShared::new(&mut kernel, "apache.inbox", Vec::new()),
             worker_wait: RefCell::new(Vec::new()),
-            overflow: RefCell::new(VecDeque::new()),
+            overflow: SimShared::new(&mut kernel, "apache.overflow", VecDeque::new()),
             mgmt: SimQueue::new(&mut kernel),
             client_wait: RefCell::new(Vec::new()),
-            served: Counter::new(),
+            served: SimShared::new(&mut kernel, "apache.served", 0),
             total: self.load.total_requests,
-            done: RefCell::new(false),
+            done: SimShared::new(&mut kernel, "apache.done", false),
             finished_at: RefCell::new(None),
-            serving: RefCell::new(Vec::new()),
+            serving: SimShared::new(&mut kernel, "apache.serving", Vec::new()),
             slot_tid: RefCell::new(Vec::new()),
-            retired: RefCell::new(Vec::new()),
+            retired: SimShared::new(&mut kernel, "apache.retired", Vec::new()),
         });
         // The control process is Apache's parent: it supervises the pool
         // and re-forks children lost to faults, so it is never a victim.
@@ -459,7 +488,7 @@ impl Workload for Apache {
             let mut phase = 0u32;
             kernel.spawn(
                 asym_kernel::FnThread::new(format!("client{c}"), move |cx: &mut ThreadCx<'_>| {
-                    if shared.is_done() {
+                    if shared.is_done(cx) {
                         return Step::Done;
                     }
                     phase += 1;
@@ -575,64 +604,68 @@ struct Session {
 struct ZeusShared {
     /// Per-event-process session queues: Zeus's internal scheduling.
     queues: Vec<SimQueue<Session>>,
-    /// Whether each process currently has a session in service.
-    busy: RefCell<Vec<bool>>,
-    served: Counter,
+    /// Whether each process currently has a session in service. Modeled
+    /// atomic flags, one word per process: the accept race polls them.
+    busy: SimShared<Vec<bool>>,
+    /// Modeled atomic counter: every process increments it.
+    served: SimShared<u64>,
     total: u64,
-    done: RefCell<bool>,
+    /// Modeled atomic flag: polled by every process.
+    done: SimShared<bool>,
     finished_at: RefCell<Option<SimTime>>,
     session_length: u64,
     idle_accept_weight: f64,
-    rng: RefCell<Rng>,
+    /// The accept-race draw, serialized by the listen socket's kernel
+    /// lock — modeled as an atomic read-modify-write.
+    rng: SimShared<Rng>,
     /// Event-process threads by index; cleared once reaped.
     tids: RefCell<Vec<Option<ThreadId>>>,
     /// Processes confirmed killed by faults — weight zero in the accept
     /// race, since a dead process no longer polls the listen socket.
-    dead: RefCell<Vec<bool>>,
+    /// Modeled atomic flags, one word per process.
+    dead: SimShared<Vec<bool>>,
     /// The session each process is currently serving (with its live
-    /// remaining-request count), for salvage by surviving peers.
-    serving: RefCell<Vec<Option<Session>>>,
-    killed_seen: Cell<u64>,
+    /// remaining-request count), for salvage by surviving peers. Plain
+    /// per-process words: only the owner touches a live entry, and a
+    /// reaper reads it only after joining the dead owner.
+    serving: SimShared<Vec<Option<Session>>>,
+    /// Modeled atomic: any survivor may bump it while reaping.
+    killed_seen: SimShared<u64>,
 }
 
 impl ZeusShared {
-    fn is_done(&self) -> bool {
-        *self.done.borrow()
+    fn is_done(&self, cx: &mut ThreadCx<'_>) -> bool {
+        self.done.load(cx, |d| *d)
     }
 
     /// Runs the accept race for a new session: idle processes usually
     /// win, busy ones sometimes do. Blind to core speed — but dead
     /// processes no longer poll the listen socket at all.
     fn assign_new_session(&self, cx: &mut ThreadCx<'_>) {
-        let (idx, remaining) = {
-            let mut rng = self.rng.borrow_mut();
-            let busy = self.busy.borrow();
-            let dead = self.dead.borrow();
-            let weights: Vec<f64> = self
-                .queues
-                .iter()
-                .enumerate()
-                .map(|(i, q)| {
-                    if dead[i] {
-                        0.0
-                    } else if !busy[i] && q.is_empty() {
-                        self.idle_accept_weight
-                    } else {
-                        1.0
-                    }
-                })
-                .collect();
+        let mut weights = Vec::with_capacity(self.queues.len());
+        for (i, q) in self.queues.iter().enumerate() {
+            let is_dead = self.dead.load_at(cx, i as u32, |d| d[i]);
+            let is_busy = self.busy.load_at(cx, i as u32, |b| b[i]);
+            weights.push(if is_dead {
+                0.0
+            } else if !is_busy && q.is_empty() {
+                self.idle_accept_weight
+            } else {
+                1.0
+            });
+        }
+        let session_length = self.session_length;
+        let (idx, remaining) = self.rng.rmw(cx, |rng| {
             let idx = rng.weighted_index(&weights);
             let jitter = 0.5 + rng.next_f64();
-            let remaining = ((self.session_length as f64 * jitter) as u64).max(1);
-            (idx, remaining)
-        };
+            (idx, ((session_length as f64 * jitter) as u64).max(1))
+        });
         self.queues[idx].push(cx, Session { remaining });
     }
 
     fn finish_all(&self, cx: &mut ThreadCx<'_>) {
         *self.finished_at.borrow_mut() = Some(cx.now());
-        *self.done.borrow_mut() = true;
+        self.done.store(cx, |d| *d = true);
         for q in &self.queues {
             q.close(cx);
         }
@@ -656,10 +689,11 @@ impl EventProcess {
     /// Zeus has no supervisor, so the surviving event loops notice dead
     /// peers themselves (in reality, via the shared listen socket).
     fn reap_dead(&mut self, cx: &mut ThreadCx<'_>) {
-        if self.shared.is_done() || cx.killed_count() == self.shared.killed_seen.get() {
+        let killed = cx.killed_count();
+        if self.shared.is_done(cx) || killed == self.shared.killed_seen.load(cx, |k| *k) {
             return;
         }
-        self.shared.killed_seen.set(cx.killed_count());
+        self.shared.killed_seen.store(cx, |k| *k = killed);
         for i in 0..self.shared.queues.len() {
             if i == self.index {
                 continue;
@@ -667,13 +701,13 @@ impl EventProcess {
             let Some(tid) = self.shared.tids.borrow()[i] else {
                 continue;
             };
-            if !cx.is_finished(tid) {
+            if !cx.join_check(tid) {
                 continue;
             }
             self.shared.tids.borrow_mut()[i] = None;
-            self.shared.dead.borrow_mut()[i] = true;
+            self.shared.dead.store_at(cx, i as u32, |d| d[i] = true);
             let mut salvaged = self.shared.queues[i].drain(cx);
-            if let Some(session) = self.shared.serving.borrow_mut()[i].take() {
+            if let Some(session) = self.shared.serving.write_at(cx, i as u32, |s| s[i].take()) {
                 salvaged.push(session);
             }
             for session in salvaged {
@@ -686,11 +720,15 @@ impl EventProcess {
 impl ThreadBody for EventProcess {
     fn run(&mut self, cx: &mut ThreadCx<'_>) -> Step {
         self.reap_dead(cx);
+        let index = self.index;
         if self.in_flight {
             self.in_flight = false;
-            self.shared.served.incr();
-            if self.shared.served.get() >= self.shared.total {
-                if !self.shared.is_done() {
+            let served = self.shared.served.rmw(cx, |c| {
+                *c += 1;
+                *c
+            });
+            if served >= self.shared.total {
+                if !self.shared.is_done(cx) {
                     self.shared.finish_all(cx);
                 }
                 return Step::Done;
@@ -699,27 +737,40 @@ impl ThreadBody for EventProcess {
             session.remaining -= 1;
             if session.remaining == 0 {
                 self.current = None;
-                self.shared.serving.borrow_mut()[self.index] = None;
-                self.shared.busy.borrow_mut()[self.index] = false;
+                self.shared
+                    .serving
+                    .write_at(cx, index as u32, |s| s[index] = None);
+                self.shared
+                    .busy
+                    .store_at(cx, index as u32, |b| b[index] = false);
                 // The finished client reconnects at once; the accept
                 // race decides who gets it.
                 self.shared.assign_new_session(cx);
             } else {
-                self.shared.serving.borrow_mut()[self.index] = self.current;
+                let current = self.current;
+                self.shared
+                    .serving
+                    .write_at(cx, index as u32, |s| s[index] = current);
             }
         }
-        if self.shared.is_done() {
+        if self.shared.is_done(cx) {
             return Step::Done;
         }
         if self.current.is_none() {
             match self.shared.queues[self.index].try_pop(cx) {
                 TryPop::Item(s) => {
                     self.current = Some(s);
-                    self.shared.serving.borrow_mut()[self.index] = Some(s);
-                    self.shared.busy.borrow_mut()[self.index] = true;
+                    self.shared
+                        .serving
+                        .write_at(cx, index as u32, |v| v[index] = Some(s));
+                    self.shared
+                        .busy
+                        .store_at(cx, index as u32, |b| b[index] = true);
                 }
                 TryPop::Empty(step) => {
-                    self.shared.busy.borrow_mut()[self.index] = false;
+                    self.shared
+                        .busy
+                        .store_at(cx, index as u32, |b| b[index] = false);
                     return step;
                 }
                 TryPop::Closed => return Step::Done,
@@ -761,18 +812,18 @@ impl Workload for Zeus {
         let nprocs = self.params.event_processes;
         let shared = Rc::new(ZeusShared {
             queues,
-            busy: RefCell::new(vec![false; nprocs]),
-            served: Counter::new(),
+            busy: SimShared::new(&mut kernel, "zeus.busy", vec![false; nprocs]),
+            served: SimShared::new(&mut kernel, "zeus.served", 0),
             total: self.load.total_requests,
-            done: RefCell::new(false),
+            done: SimShared::new(&mut kernel, "zeus.done", false),
             finished_at: RefCell::new(None),
             session_length: self.params.session_length,
             idle_accept_weight: self.params.idle_accept_weight,
-            rng: RefCell::new(seed_rng.fork()),
+            rng: SimShared::new(&mut kernel, "zeus.accept_rng", seed_rng.fork()),
             tids: RefCell::new(Vec::new()),
-            dead: RefCell::new(vec![false; nprocs]),
-            serving: RefCell::new(vec![None; nprocs]),
-            killed_seen: Cell::new(0),
+            dead: SimShared::new(&mut kernel, "zeus.dead", vec![false; nprocs]),
+            serving: SimShared::new(&mut kernel, "zeus.serving", vec![None; nprocs]),
+            killed_seen: SimShared::new(&mut kernel, "zeus.killed_seen", 0),
         });
         let ncores = setup.config.num_cores() as usize;
         for i in 0..nprocs {
@@ -820,7 +871,7 @@ impl Workload for Zeus {
         // instead of panicking.
         let (elapsed, served) = match *shared.finished_at.borrow() {
             Some(t) => (t.as_secs_f64(), self.load.total_requests),
-            None => (kernel.now().as_secs_f64(), shared.served.get()),
+            None => (kernel.now().as_secs_f64(), shared.served.peek(|c| *c)),
         };
         RunResult::new(served as f64 / elapsed)
             .with_extra("elapsed_s", elapsed)

@@ -16,11 +16,14 @@ cargo test --workspace -q
 echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "==> asym-check --fixtures (detectors must fire)"
+echo "==> asym-check --fixtures (detectors must fire, incl. race/lock-set/ranking fixtures)"
 cargo run -q --release -p asym-bench --bin asym_check -- --fixtures
 
 echo "==> asym-check --quick (1f-3s/8 smoke sweep must be clean)"
 cargo run -q --release -p asym-bench --bin asym_check -- --quick
+
+echo "==> asym-check --races --quick (happens-before race/lock-set/ranking pass must be clean)"
+cargo run -q --release -p asym-bench --bin asym_check -- --races --quick
 
 echo "==> extra_fault_sweep --quick (faulted smoke sweep: classified, clean, deterministic)"
 cargo run -q --release -p asym-bench --bin extra_fault_sweep -- --quick > /dev/null
@@ -36,8 +39,8 @@ for needle in "util" "fast idle while slow runnable" "migrations" "scheduler lat
   grep -q "$needle" ASYM_profile.txt || { echo "FAIL: asym_profile report lacks '$needle'"; exit 1; }
 done
 
-echo "==> asym_sweep --quick --jobs 2 --json (unified driver smoke: mini sweep on 2 host threads)"
-cargo run -q --release -p asym-bench --bin asym_sweep -- --quick --jobs 2 --json > /dev/null
+echo "==> asym_sweep --quick --check --jobs 2 --json (unified driver smoke + per-cell concurrency check)"
+cargo run -q --release -p asym-bench --bin asym_sweep -- --quick --check --jobs 2 --json > /dev/null
 
 # The structured report must exist, be well-formed, contain no panicked
 # or deadlocked cells, and carry finite per-cell profile metrics; the
