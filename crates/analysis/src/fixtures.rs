@@ -475,6 +475,125 @@ pub fn stale_ranking_dispatch() -> KernelTrace {
     trace
 }
 
+/// Captures a minimal aware-policy run on a 1-fast/1-slow machine and
+/// returns the trace plus the worker's thread id, ready for history
+/// rewriting (the [`stale_ranking_dispatch`] idiom).
+fn forged_aware_base() -> (KernelTrace, asym_kernel::ThreadId) {
+    let trace = capture_one(|| {
+        let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+        let mut k = Kernel::new(machine, SchedPolicy::asymmetry_aware(), 10);
+        k.spawn(FnThread::new("w", |_cx| Step::Done), SpawnOptions::new());
+        k.run();
+    });
+    let tid = trace
+        .records
+        .iter()
+        .find_map(|r| match r.event {
+            TraceEvent::Spawn { tid, .. } => Some(tid),
+            _ => None,
+        })
+        .expect("captured trace has a spawn");
+    (trace, tid)
+}
+
+/// A forged trace in which a `SpeedChange` reorders the online-core
+/// speed ranking (the fast core collapses below the slow one, which
+/// thereby overtakes it) but the kernel never emits the confirming
+/// `Rerank` record — the bug class where a speed-change path skips the
+/// re-rank announcement and every downstream consumer keeps acting on a
+/// stale ranking. The run continues well past the staleness bound, so
+/// the hygiene checker must flag it.
+pub fn missing_rerank() -> KernelTrace {
+    let (mut trace, tid) = forged_aware_base();
+    let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+    trace.records = vec![
+        TraceRecord {
+            time: t(0),
+            event: TraceEvent::Spawn {
+                tid,
+                core: CoreId(0),
+                affinity: CoreMask::ALL,
+                parent: None,
+            },
+        },
+        TraceRecord {
+            time: t(1),
+            event: TraceEvent::Dispatch {
+                tid,
+                core: CoreId(0),
+            },
+        },
+        // BUG (planted): the ranking inverts — core 0 collapses below
+        // the slow core — and no Rerank record ever follows.
+        TraceRecord {
+            time: t(2),
+            event: TraceEvent::SpeedChange {
+                core: CoreId(0),
+                speed: Speed::fraction_of_full(16),
+            },
+        },
+        TraceRecord {
+            time: t(8),
+            event: TraceEvent::Done { tid },
+        },
+    ];
+    trace
+}
+
+/// A forged trace in which the speed ranking flaps: core 0 bounces
+/// between full speed and below the slow core ten times inside one
+/// millisecond, each flip dutifully announced with a `Rerank` — churn
+/// the environment hysteresis (confirmation ticks plus a per-core
+/// minimum apply interval) is supposed to make impossible. The hygiene
+/// checker must report the thrash.
+pub fn rerank_thrash() -> KernelTrace {
+    let (mut trace, tid) = forged_aware_base();
+    let mut records = vec![
+        TraceRecord {
+            time: SimTime::ZERO,
+            event: TraceEvent::Spawn {
+                tid,
+                core: CoreId(0),
+                affinity: CoreMask::ALL,
+                parent: None,
+            },
+        },
+        TraceRecord {
+            time: SimTime::ZERO + SimDuration::from_millis(1),
+            event: TraceEvent::Dispatch {
+                tid,
+                core: CoreId(0),
+            },
+        },
+    ];
+    for flip in 0..10u64 {
+        let at = SimTime::ZERO + SimDuration::from_millis(2) + SimDuration::from_micros(100 * flip);
+        let speed = if flip % 2 == 0 {
+            // Below the slow core's 1/8: the ranking inverts.
+            Speed::fraction_of_full(16)
+        } else {
+            Speed::FULL
+        };
+        records.push(TraceRecord {
+            time: at,
+            event: TraceEvent::SpeedChange {
+                core: CoreId(0),
+                speed,
+            },
+        });
+        records.push(TraceRecord {
+            time: at,
+            event: TraceEvent::Rerank { core: CoreId(0) },
+        });
+    }
+    records.push(TraceRecord {
+        time: SimTime::ZERO + SimDuration::from_millis(4),
+        event: TraceEvent::Done { tid },
+    });
+    trace.records = records;
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,6 +768,38 @@ mod tests {
     }
 
     #[test]
+    fn missing_rerank_fixture_fires_stale_rerank() {
+        let trace = missing_rerank();
+        let violations = crate::hb::check_concurrency(&trace);
+        let v = violations
+            .iter()
+            .find(|v| v.kind == crate::ViolationKind::StaleRerank)
+            .expect("unannounced re-rank must be detected");
+        // The offending SpeedChange is record #2.
+        assert_eq!(v.site, "#2", "message: {}", v.message);
+        assert!(v.object.contains("core0"), "object: {}", v.object);
+    }
+
+    #[test]
+    fn rerank_thrash_fixture_fires_thrash_and_not_staleness() {
+        let trace = rerank_thrash();
+        let violations = crate::hb::check_concurrency(&trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == crate::ViolationKind::RerankThrash),
+            "ranking churn must be detected: {violations:?}"
+        );
+        // Every flip was announced, so no staleness finding rides along.
+        assert!(
+            !violations
+                .iter()
+                .any(|v| v.kind == crate::ViolationKind::StaleRerank),
+            "announced re-ranks misread as stale: {violations:?}"
+        );
+    }
+
+    #[test]
     fn pre_existing_fixtures_are_concurrency_clean() {
         for trace in [
             lock_order_inversion(),
@@ -658,6 +809,47 @@ mod tests {
         ] {
             assert_eq!(crate::hb::check_concurrency(&trace), Vec::new());
         }
+    }
+
+    #[test]
+    fn real_dynamic_runs_pass_rerank_hygiene() {
+        use asym_sim::{EnvironmentPlan, EnvironmentProfile, FaultPlan, FaultProfile};
+        // A genuine kernel under both continuous dynamics and discrete
+        // faults announces every re-rank and is hysteresis-damped: the
+        // hygiene lint must find nothing.
+        let horizon = SimDuration::from_millis(60);
+        let env = EnvironmentPlan::generate(3, 4, &EnvironmentProfile::combined(horizon));
+        let faults = FaultPlan::generate(3, 4, &FaultProfile::hotplug_and_throttle(horizon));
+        let trace = capture_one(|| {
+            let mut k = Kernel::new(
+                MachineSpec::asymmetric(2, 2, Speed::fraction_of_full(4)),
+                SchedPolicy::asymmetry_aware(),
+                3,
+            );
+            k.set_environment(&env);
+            k.set_fault_plan(&faults);
+            for t in 0..6 {
+                let mut left = 10u32;
+                k.spawn(
+                    FnThread::new(format!("w{t}"), move |_cx| {
+                        if left == 0 {
+                            Step::Done
+                        } else {
+                            left -= 1;
+                            Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+                        }
+                    }),
+                    SpawnOptions::new(),
+                );
+            }
+            k.run();
+        });
+        assert!(trace
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Rerank { .. })));
+        let found = crate::hb::check_rerank_hygiene(&trace);
+        assert!(found.is_empty(), "unexpected: {found:?}");
     }
 
     #[test]

@@ -49,11 +49,19 @@
 //! instant* — a dispatch using a ranking stale since a `SpeedChange`
 //! re-rank is reported as [`ViolationKind::StaleRanking`] citing both the
 //! re-rank site and the offending placement.
+//!
+//! [`check_rerank_hygiene`] lints the dynamic-asymmetry trace contract
+//! itself: a `SpeedChange` that reorders the online-core speed ranking
+//! must be confirmed by a `Rerank` record within
+//! [`RERANK_STALENESS_BOUND`] ([`ViolationKind::StaleRerank`]), and more
+//! than [`RERANK_THRASH_LIMIT`] re-ranks inside one
+//! [`RERANK_THRASH_WINDOW`] is churn the environment hysteresis should
+//! have damped ([`ViolationKind::RerankThrash`]).
 
 use crate::{KernelTrace, Violation, ViolationKind};
 use asym_kernel::{AtomicOp, ShareId, ThreadId, TraceEvent, WaitId, WakeReason};
-use asym_sim::{CoreId, CoreMask, SimTime};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use asym_sim::{CoreId, CoreMask, SimDuration, SimTime};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 // ----------------------------------------------------------------------
 // Vector clocks
@@ -228,6 +236,7 @@ pub fn happens_before(trace: &KernelTrace) -> HbAnalysis {
             TraceEvent::SetAffinity { .. }
             | TraceEvent::AffinityOverride { .. }
             | TraceEvent::SpeedChange { .. }
+            | TraceEvent::Rerank { .. }
             | TraceEvent::CoreOffline { .. }
             | TraceEvent::CoreOnline { .. } => None,
         };
@@ -762,12 +771,143 @@ pub fn check_stale_ranking(trace: &KernelTrace) -> Vec<Violation> {
     violations
 }
 
+// ----------------------------------------------------------------------
+// Policy lint: re-ranking hygiene (staleness bound + thrash)
+// ----------------------------------------------------------------------
+
+/// How long a ranking-reordering `SpeedChange` may go unconfirmed by a
+/// `Rerank` record for the same core before the ranking counts as stale.
+/// The kernel's contract is to announce the re-rank in the same instant
+/// it applies the speed, so one millisecond is generous.
+pub const RERANK_STALENESS_BOUND: SimDuration = SimDuration::from_millis(1);
+
+/// The sliding window over which [`RERANK_THRASH_LIMIT`] applies.
+pub const RERANK_THRASH_WINDOW: SimDuration = SimDuration::from_millis(1);
+
+/// More `Rerank` records than this inside one
+/// [`RERANK_THRASH_WINDOW`] is churn: the environment hysteresis
+/// (confirmation ticks plus a per-core minimum apply interval) keeps
+/// legitimate traces far below it even when every core re-targets in
+/// the same tick.
+pub const RERANK_THRASH_LIMIT: usize = 8;
+
+/// Lints the re-ranking contract of a trace with dynamic speeds:
+///
+/// 1. **Staleness** — every `SpeedChange` that reorders the online-core
+///    speed ranking must be confirmed by a `Rerank` record for that core
+///    within [`RERANK_STALENESS_BOUND`]; a reorder the kernel never
+///    announced means downstream consumers (balancers, observers) kept
+///    acting on a ranking known to be stale
+///    ([`ViolationKind::StaleRerank`]).
+/// 2. **Thrash** — more than [`RERANK_THRASH_LIMIT`] `Rerank` records
+///    within any [`RERANK_THRASH_WINDOW`] is migration-churn the
+///    hysteresis was supposed to damp ([`ViolationKind::RerankThrash`]).
+///
+/// Applies to every policy: the trace contract is the kernel's, not the
+/// scheduler's. Hotplug reorders (a core leaving or joining the ranking)
+/// are not speed re-ranks and carry no confirmation obligation.
+pub fn check_rerank_hygiene(trace: &KernelTrace) -> Vec<Violation> {
+    let mut speeds = trace.machine.speeds().to_vec();
+    let mut online = vec![true; speeds.len()];
+    let ranking = |speeds: &[asym_sim::Speed], online: &[bool]| -> Vec<usize> {
+        let mut order: Vec<usize> = (0..speeds.len()).filter(|&c| online[c]).collect();
+        order.sort_by(|&a, &b| speeds[b].cmp(&speeds[a]).then(a.cmp(&b)));
+        order
+    };
+    // Unconfirmed ranking reorders: (record index, core, deadline).
+    let mut pending: Vec<(usize, CoreId, SimTime)> = Vec::new();
+    // Recent rerank sites for the thrash window: (time, record index).
+    let mut recent: VecDeque<(SimTime, usize)> = VecDeque::new();
+    let mut thrash_reported = false;
+    let mut violations = Vec::new();
+
+    let stale = |idx: usize, core: CoreId, time: SimTime| {
+        Violation::new(
+            ViolationKind::StaleRerank,
+            Some(time),
+            format!(
+                "SpeedChange at #{idx} reordered the online-core speed ranking but no \
+                 Rerank record for core{} followed within {}",
+                core.0, RERANK_STALENESS_BOUND
+            ),
+        )
+        .with_object(format!("core{}", core.0))
+        .with_site(format!("#{idx}"))
+    };
+
+    for (i, r) in trace.records.iter().enumerate() {
+        // Expire overdue confirmations before applying this record.
+        while let Some(&(idx, core, at)) = pending.first() {
+            if r.time.duration_since(at) > RERANK_STALENESS_BOUND {
+                violations.push(stale(idx, core, at));
+                pending.remove(0);
+            } else {
+                break;
+            }
+        }
+        match r.event {
+            TraceEvent::SpeedChange { core, speed } => {
+                let before = ranking(&speeds, &online);
+                speeds[core.0] = speed;
+                if ranking(&speeds, &online) != before {
+                    pending.push((i, core, r.time));
+                }
+            }
+            TraceEvent::Rerank { core } => {
+                if let Some(pos) = pending.iter().position(|&(_, c, _)| c == core) {
+                    pending.remove(pos);
+                }
+                while let Some(&(t, _)) = recent.front() {
+                    if r.time.duration_since(t) > RERANK_THRASH_WINDOW {
+                        recent.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                recent.push_back((r.time, i));
+                if recent.len() > RERANK_THRASH_LIMIT && !thrash_reported {
+                    thrash_reported = true;
+                    let (start_t, start_i) = *recent.front().expect("window not empty");
+                    violations.push(
+                        Violation::new(
+                            ViolationKind::RerankThrash,
+                            Some(r.time),
+                            format!(
+                                "{} re-ranks inside one {} window (since #{start_i} at \
+                                 {start_t}): hysteresis failed to damp the churn",
+                                recent.len(),
+                                RERANK_THRASH_WINDOW
+                            ),
+                        )
+                        .with_site(format!("#{start_i}->#{i}")),
+                    );
+                }
+            }
+            TraceEvent::CoreOffline { core } => {
+                online[core.0] = false;
+            }
+            TraceEvent::CoreOnline { core } => {
+                online[core.0] = true;
+            }
+            _ => {}
+        }
+    }
+    // A reorder the trace never confirmed is stale no matter when the
+    // run ended: the kernel announces re-ranks in the same instant.
+    for (idx, core, at) in pending {
+        violations.push(stale(idx, core, at));
+    }
+    violations
+}
+
 /// The full happens-before suite over one trace: vector-clock data
-/// races, lock-set violations, and the stale-ranking policy lint, in
-/// canonical (kind, object, site) order with duplicates removed.
+/// races, lock-set violations, and the scheduler-policy lints
+/// (stale-ranking placements plus re-ranking hygiene), in canonical
+/// (kind, object, site) order with duplicates removed.
 pub fn check_concurrency(trace: &KernelTrace) -> Vec<Violation> {
     let mut violations = check_races(trace);
     violations.extend(check_locksets(trace));
     violations.extend(check_stale_ranking(trace));
+    violations.extend(check_rerank_hygiene(trace));
     crate::normalize_violations(violations)
 }

@@ -114,6 +114,14 @@ pub enum ViolationKind {
     /// an idle, eligible, strictly faster core existed (e.g. a dispatch
     /// used a ranking stale since a fault re-rank).
     StaleRanking,
+    /// A speed change reordered the online-core speed ranking but no
+    /// `Rerank` record confirmed it within the staleness bound — the
+    /// kernel kept scheduling against a ranking it knew was stale.
+    StaleRerank,
+    /// The speed ranking reordered more often than the thrash limit
+    /// allows within one window — re-ranking churn that defeats the
+    /// hysteresis contract and migrates threads for no stable reason.
+    RerankThrash,
 }
 
 impl fmt::Display for ViolationKind {
@@ -130,6 +138,8 @@ impl fmt::Display for ViolationKind {
             ViolationKind::DataRace => "data-race",
             ViolationKind::InconsistentLockSet => "inconsistent-lock-set",
             ViolationKind::StaleRanking => "stale-ranking",
+            ViolationKind::StaleRerank => "stale-rerank",
+            ViolationKind::RerankThrash => "rerank-thrash",
         };
         f.write_str(s)
     }

@@ -22,8 +22,9 @@
 //! (1f-3s/8) — the CI smoke mode (`--races --quick` likewise).
 
 use asym_analysis::fixtures::{
-    ab_ba_deadlock, lock_order_inversion, lockset_violation, missed_signal, offline_core_dispatch,
-    stale_ranking_dispatch, stalled_run, swallowed_kill, unprotected_write_race,
+    ab_ba_deadlock, lock_order_inversion, lockset_violation, missed_signal, missing_rerank,
+    offline_core_dispatch, rerank_thrash, stale_ranking_dispatch, stalled_run, swallowed_kill,
+    unprotected_write_race,
 };
 use asym_analysis::hb::{check_concurrency, happens_before};
 use asym_analysis::{analyze_trace, check_workload, render_violations, KernelTrace, ViolationKind};
@@ -99,6 +100,16 @@ fn run_fixtures() -> ExitCode {
         "dispatch on stale speed ranking (forged re-rank)",
         &stale_ranking_dispatch(),
         ViolationKind::StaleRanking,
+    );
+    ok &= expect_fires(
+        "ranking reorder without a Rerank record (forged history)",
+        &missing_rerank(),
+        ViolationKind::StaleRerank,
+    );
+    ok &= expect_fires(
+        "ranking flapping ten times in a millisecond (forged history)",
+        &rerank_thrash(),
+        ViolationKind::RerankThrash,
     );
     if ok {
         println!("all detectors fire on their fixtures");

@@ -1,0 +1,15 @@
+//! Extension experiment (beyond the paper): the dynamic-environment
+//! differential sweep — every workload runs under DVFS, thermal, and
+//! co-tenant continuous speed trajectories, stock vs asymmetry-aware,
+//! from identical seeds and environment plans. Exits non-zero if any
+//! cell is unclassified, panics, sees no disturbance from its regime,
+//! or breaks same-seed determinism.
+//!
+//! Thin caller of the `extra_dynamic` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, `--check`, and `--quick`. See `asym_sweep --list`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    asym_bench::spec_main("extra_dynamic")
+}

@@ -35,7 +35,7 @@ use asym_kernel::{
     TraceHashFold,
 };
 use asym_obs::{metrics_of_traces, ProfileMetrics};
-use asym_sim::{FaultPlan, SimDuration};
+use asym_sim::{EnvironmentPlan, FaultPlan, SimDuration};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -165,6 +165,9 @@ pub struct Cell {
     /// The precomputed fault plan of the first attempt, if the spec has
     /// a fault planner.
     pub fault_plan: Option<FaultPlan>,
+    /// The precomputed environment plan of the first attempt, if the
+    /// spec has an environment planner.
+    pub environment: Option<EnvironmentPlan>,
 }
 
 /// A flat, deterministic expansion of one or more experiments into
@@ -208,22 +211,24 @@ impl<'w> ExperimentPlan<'w> {
         let runs = mode.runs();
         let base_seed = mode.base_seed();
         let policy = mode.cell_policy();
-        let planner = match &mode {
-            SpecMode::Clean { .. } => None,
+        let (planner, env_planner) = match &mode {
+            SpecMode::Clean { .. } => (None, None),
             SpecMode::Resilient { options, .. } | SpecMode::Differential { options } => {
-                options.planner.clone()
+                (options.planner.clone(), options.env_planner.clone())
             }
         };
         for (j, &config) in configs.iter().enumerate() {
             for i in 0..runs {
                 let setup = RunSetup::new(config, policy, base_seed + j as u64 * 1000 + i as u64);
                 let fault_plan = planner.as_ref().map(|p| p(&setup));
+                let environment = env_planner.as_ref().map(|p| p(&setup));
                 self.cells.push(Cell {
                     spec: index,
                     config_index: j,
                     rep: i,
                     setup,
                     fault_plan,
+                    environment,
                 });
             }
         }
@@ -370,21 +375,27 @@ pub(crate) fn soften_plan(plan: FaultPlan, level: u32) -> Option<FaultPlan> {
     }
 }
 
+/// The disturbances one attempt runs under: the discrete fault plan
+/// (already softened as the retry ladder demands) plus the continuous
+/// environment plan (never softened).
+struct Disturbance {
+    faults: Option<FaultPlan>,
+    environment: Option<EnvironmentPlan>,
+}
+
 /// One guarded, trace-captured, panic-contained attempt. `budget_factor`
-/// scales the configured sim-time budget (escalated retries); `plan` is
-/// the fault plan to inject, already softened as the retry ladder
-/// demands. Returns the classification, the metric (when completed),
-/// the folded trace hash (absent when the attempt panicked), the
-/// configured trace check's findings, and — when `want_metrics` is set
-/// — the merged observability metrics of every kernel the attempt
-/// created.
+/// scales the configured sim-time budget (escalated retries). Returns
+/// the classification, the metric (when completed), the folded trace
+/// hash (absent when the attempt panicked), the configured trace
+/// check's findings, and — when `want_metrics` is set — the merged
+/// observability metrics of every kernel the attempt created.
 #[allow(clippy::type_complexity)]
 fn attempt_run(
     workload: &dyn Workload,
     setup: &RunSetup,
     options: &ResilientOptions,
     budget_factor: u32,
-    plan: Option<FaultPlan>,
+    disturbance: Disturbance,
     want_metrics: bool,
     check: Option<&TraceCheck>,
 ) -> (
@@ -403,8 +414,11 @@ fn attempt_run(
             b.as_nanos().saturating_mul(u64::from(budget_factor)),
         ));
     }
-    if let Some(plan) = plan {
+    if let Some(plan) = disturbance.faults {
         guard = guard.fault_plan(plan);
+    }
+    if let Some(env) = disturbance.environment {
+        guard = guard.environment(env);
     }
     let caught = catch_unwind(AssertUnwindSafe(|| {
         capture_traces(|| with_run_guard(guard, || workload.run(setup)))
@@ -501,12 +515,23 @@ fn exec_resilient(
             options.planner.as_ref().map(|p| p(&setup))
         };
         let plan = full.and_then(|f| soften_plan(f, soften));
+        // Environment plans are never softened — a hostile environment
+        // is the condition under test, not an injected defect — but
+        // reseeded attempts re-derive them like fault plans.
+        let environment = if seed_bump == 0 {
+            cell.environment.clone()
+        } else {
+            options.env_planner.as_ref().map(|p| p(&setup))
+        };
         let (class, value, hash, metrics, violations) = attempt_run(
             workload,
             &setup,
             options,
             budget_factor,
-            plan,
+            Disturbance {
+                faults: plan,
+                environment,
+            },
             want_metrics,
             check,
         );
@@ -553,11 +578,16 @@ fn exec_differential(
 ) -> CellOutcome {
     let slot = &cell.setup;
     let plan = cell.fault_plan.as_ref();
+    let environment = cell.environment.as_ref();
     let mut fold = TraceHashFold::new();
     let mut any_hash = false;
     let mut merged = want_metrics.then(ProfileMetrics::new);
     let mut all_violations: Vec<String> = Vec::new();
-    let mut run = |leg: &str, policy: SchedPolicy, plan: Option<&FaultPlan>| -> RunRecord {
+    let mut run = |leg: &str,
+                   policy: SchedPolicy,
+                   plan: Option<&FaultPlan>,
+                   environment: Option<&EnvironmentPlan>|
+     -> RunRecord {
         let setup = RunSetup::new(slot.config, policy, slot.seed);
         let mut attempts = 0u32;
         let mut budget_factor = 1u32;
@@ -568,7 +598,10 @@ fn exec_differential(
                 &setup,
                 options,
                 budget_factor,
-                plan.cloned(),
+                Disturbance {
+                    faults: plan.cloned(),
+                    environment: environment.cloned(),
+                },
                 want_metrics,
                 check,
             );
@@ -592,12 +625,26 @@ fn exec_differential(
             budget_factor *= 2;
         }
     };
+    // Like the fault plan, the environment plan applies to the faulted
+    // legs only: the clean legs stay the undisturbed baseline, so the
+    // absorption metric quantifies how much of the *dynamic* slowdown
+    // the aware policy recovers.
     let rep = DifferentialRep {
         seed: slot.seed,
-        stock_clean: run("stock-clean", SchedPolicy::os_default(), None),
-        stock_faulted: run("stock-faulted", SchedPolicy::os_default(), plan),
-        aware_clean: run("aware-clean", SchedPolicy::asymmetry_aware(), None),
-        aware_faulted: run("aware-faulted", SchedPolicy::asymmetry_aware(), plan),
+        stock_clean: run("stock-clean", SchedPolicy::os_default(), None, None),
+        stock_faulted: run(
+            "stock-faulted",
+            SchedPolicy::os_default(),
+            plan,
+            environment,
+        ),
+        aware_clean: run("aware-clean", SchedPolicy::asymmetry_aware(), None, None),
+        aware_faulted: run(
+            "aware-faulted",
+            SchedPolicy::asymmetry_aware(),
+            plan,
+            environment,
+        ),
     };
     let class = rep
         .records()

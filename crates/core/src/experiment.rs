@@ -8,7 +8,7 @@ use crate::engine::{CellRunner, ExperimentPlan, SpecMode, SpecResult};
 use crate::metrics::{Direction, Samples, Scalability, Stability};
 use crate::workload::{RunResult, RunSetup, Workload};
 use asym_kernel::{KernelTrace, SchedPolicy};
-use asym_sim::{FaultPlan, SimDuration};
+use asym_sim::{EnvironmentPlan, FaultPlan, SimDuration};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -332,6 +332,10 @@ pub fn run_experiment(
 /// [`ResilientOptions::fault_planner`]).
 pub type FaultPlanner = Arc<dyn Fn(&RunSetup) -> FaultPlan + Send + Sync>;
 
+/// Derives a per-run [`EnvironmentPlan`] from the run's setup (see
+/// [`ResilientOptions::environment_planner`]).
+pub type EnvPlanner = Arc<dyn Fn(&RunSetup) -> EnvironmentPlan + Send + Sync>;
+
 /// How one run under [`run_experiment_resilient`] ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RunClass {
@@ -506,6 +510,12 @@ pub struct ResilientOptions {
     /// When set, derives a [`FaultPlan`] from each run's setup and
     /// injects it into every kernel the run creates.
     pub planner: Option<FaultPlanner>,
+    /// When set, derives an [`EnvironmentPlan`] from each run's setup
+    /// and drives every kernel's core speeds from it (continuous
+    /// DVFS/thermal/co-tenant dynamics, composable with the fault plan).
+    /// Unlike fault plans, environment plans are never softened by
+    /// retries — only reseeding re-derives them.
+    pub env_planner: Option<EnvPlanner>,
     /// Optional per-run observer, as in
     /// [`ExperimentOptions::observe_traces`]; it also sees the traces of
     /// failed (non-panicked) attempts.
@@ -524,6 +534,7 @@ impl ResilientOptions {
             sim_time_budget: None,
             watchdog: None,
             planner: None,
+            env_planner: None,
             observer: None,
         }
     }
@@ -569,6 +580,18 @@ impl ResilientOptions {
         self
     }
 
+    /// Installs an environment planner: each run's kernels get their
+    /// core speeds driven by the plan derived from the run's own
+    /// (config, policy, seed) setup — continuous dynamics exactly as
+    /// reproducible as the runs themselves.
+    pub fn environment_planner(
+        mut self,
+        planner: impl Fn(&RunSetup) -> EnvironmentPlan + Send + Sync + 'static,
+    ) -> Self {
+        self.env_planner = Some(Arc::new(planner));
+        self
+    }
+
     /// Installs a per-run observer (see
     /// [`ExperimentOptions::observe_traces`]).
     pub fn observe_traces(
@@ -590,6 +613,7 @@ impl fmt::Debug for ResilientOptions {
             .field("sim_time_budget", &self.sim_time_budget)
             .field("watchdog", &self.watchdog)
             .field("planner", &self.planner.as_ref().map(|_| "..."))
+            .field("env_planner", &self.env_planner.as_ref().map(|_| "..."))
             .field("observer", &self.observer.as_ref().map(|_| "..."))
             .finish()
     }
@@ -1426,5 +1450,145 @@ mod tests {
         assert_eq!(exp.count(RunClass::Completed), 8);
         assert!(exp.outcomes[0].mean_absorption(exp.direction).is_none());
         assert!(exp.outcomes[0].reps[0].absorption(exp.direction).is_none());
+    }
+
+    // ------------------------------------------------------------------
+    // Environment planner: continuous dynamics through the harness
+    // ------------------------------------------------------------------
+
+    use asym_sim::{EnvironmentPlan, EnvironmentProfile, ThermalParams};
+
+    /// 20 ms of single-core work whose metric is the completion time:
+    /// any environment-induced throttling shows up directly.
+    struct EnvSensitive;
+    impl Workload for EnvSensitive {
+        fn name(&self) -> &str {
+            "env-sensitive"
+        }
+        fn unit(&self) -> &str {
+            "seconds"
+        }
+        fn direction(&self) -> Direction {
+            Direction::LowerIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            let machine = MachineSpec::symmetric(1, Speed::FULL);
+            let mut k = Kernel::new(machine, setup.policy, setup.seed);
+            let mut left = 20u32;
+            k.spawn(
+                FnThread::new("w", move |_cx| {
+                    if left == 0 {
+                        Step::Done
+                    } else {
+                        left -= 1;
+                        Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+                    }
+                }),
+                SpawnOptions::new(),
+            );
+            k.run();
+            RunResult::new(k.now().as_secs_f64())
+        }
+    }
+
+    /// A thermal regime harsh enough to pin a busy core at 1/8 duty
+    /// within a few ticks: overheats in one tick, throttles two steps
+    /// per excess heat unit.
+    fn harsh_thermal(setup: &RunSetup) -> EnvironmentPlan {
+        let profile = EnvironmentProfile {
+            thermal: Some(ThermalParams {
+                heat_per_busy_tick: 8,
+                cool_per_idle_tick: 1,
+                throttle_at: 8,
+                steps_per_excess: 2,
+            }),
+            ..EnvironmentProfile::quiet(SimDuration::from_millis(200))
+        };
+        EnvironmentPlan::generate(setup.seed, setup.config.num_cores() as usize, &profile)
+    }
+
+    #[test]
+    fn environment_planner_reaches_inner_kernels_and_stays_deterministic() {
+        let opts = || {
+            ResilientOptions::new(2)
+                .sim_time_budget(SimDuration::from_secs(2))
+                .environment_planner(harsh_thermal)
+                .sequential()
+        };
+        let configs = [AsymConfig::new(1, 0, 8)];
+        let a =
+            run_experiment_resilient(&EnvSensitive, &configs, SchedPolicy::os_default(), &opts());
+        let b =
+            run_experiment_resilient(&EnvSensitive, &configs, SchedPolicy::os_default(), &opts());
+        assert_eq!(a, b, "environment runs must be deterministic");
+        assert_eq!(a.count(RunClass::Completed), 2);
+        // The throttle reached the inner kernel: 20 ms of work took far
+        // longer than 20 ms.
+        let s = a.outcomes[0].completed_samples().expect("samples");
+        for &v in s.values() {
+            assert!(v > 0.1, "environment never throttled: finished in {v}s");
+        }
+        // And identical whether slots run sequentially or in parallel.
+        let par = ResilientOptions::new(2)
+            .sim_time_budget(SimDuration::from_secs(2))
+            .environment_planner(harsh_thermal);
+        assert_eq!(
+            a,
+            run_experiment_resilient(&EnvSensitive, &configs, SchedPolicy::os_default(), &par)
+        );
+    }
+
+    #[test]
+    fn environment_induced_time_limits_escalate_budget_without_reseeding() {
+        // Clean, the workload finishes in 20 ms — well inside the 25 ms
+        // budget. The harsh thermal environment pins the core at 1/8
+        // duty, stretching the run ~8x, so the first attempts are cut
+        // off as TimeLimit; the harness must double the budget on the
+        // SAME seed until the run fits (~145 ms needs the 8x ladder).
+        let exp = run_experiment_resilient(
+            &EnvSensitive,
+            &[AsymConfig::new(1, 0, 8)],
+            SchedPolicy::os_default(),
+            &ResilientOptions::new(1)
+                .sim_time_budget(SimDuration::from_millis(25))
+                .environment_planner(harsh_thermal)
+                .retries(3)
+                .sequential(),
+        );
+        assert_eq!(exp.count(RunClass::Completed), 1);
+        let r = &exp.outcomes[0].records[0];
+        assert!(r.attempts >= 3, "budget never escalated: {r:?}");
+        assert!(r.seed < RETRY_SEED_STRIDE, "budget retry must not reseed");
+        assert!(r.value.unwrap() > 0.1);
+    }
+
+    #[test]
+    fn differential_applies_environment_to_faulted_legs_only() {
+        // No fault planner, only an environment planner: the "faulted"
+        // legs absorb the thermal regime while the clean legs stay the
+        // undisturbed baseline, so the stock slowdown is the ~8x
+        // throttle stretch and absorption is defined (the synthetic
+        // workload is policy-blind, so the aware kernel absorbs none of
+        // it — absorption ~0).
+        let exp = run_experiment_differential(
+            &EnvSensitive,
+            &[AsymConfig::new(1, 0, 8)],
+            &ResilientOptions::new(1)
+                .sim_time_budget(SimDuration::from_secs(2))
+                .environment_planner(harsh_thermal)
+                .sequential(),
+        );
+        assert_eq!(exp.count(RunClass::Completed), 4);
+        let rep = &exp.outcomes[0].reps[0];
+        let slow = rep.stock_slowdown(exp.direction).expect("stock slowdown");
+        assert!(
+            slow > 2.0,
+            "environment did not slow the faulted leg: {slow}"
+        );
+        let absorption = rep.absorption(exp.direction).expect("defined absorption");
+        assert!(
+            absorption.abs() < 0.2,
+            "policy-blind workload: {absorption}"
+        );
     }
 }

@@ -65,7 +65,7 @@ pub use engine::{
 };
 pub use experiment::{
     run_experiment, run_experiment_differential, run_experiment_resilient, ConfigOutcome,
-    DifferentialConfigOutcome, DifferentialExperiment, DifferentialRep, Experiment,
+    DifferentialConfigOutcome, DifferentialExperiment, DifferentialRep, EnvPlanner, Experiment,
     ExperimentOptions, FaultPlanner, ResilientConfigOutcome, ResilientExperiment, ResilientOptions,
     RunClass, RunObserver, RunRecord,
 };

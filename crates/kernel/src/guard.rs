@@ -11,12 +11,13 @@
 //! OS thread has its own stack, so guarded runs may execute on parallel
 //! worker threads.
 
-use asym_sim::{FaultPlan, SimDuration};
+use asym_sim::{EnvironmentPlan, FaultPlan, SimDuration};
 use std::cell::RefCell;
 
 /// Settings applied to every kernel created while the guard is active:
-/// an optional livelock watchdog, an optional total sim-time budget, and
-/// an optional fault plan. All default to off.
+/// an optional livelock watchdog, an optional total sim-time budget, an
+/// optional fault plan, and an optional environment plan (continuous
+/// DVFS/thermal/co-tenant speed dynamics). All default to off.
 ///
 /// # Examples
 ///
@@ -47,6 +48,7 @@ pub struct RunGuard {
     pub(crate) watchdog: Option<SimDuration>,
     pub(crate) sim_time_budget: Option<SimDuration>,
     pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) environment: Option<EnvironmentPlan>,
 }
 
 impl RunGuard {
@@ -75,6 +77,13 @@ impl RunGuard {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Drives every guarded kernel's core speeds from `plan` (see
+    /// [`Kernel::set_environment`](crate::Kernel::set_environment)).
+    pub fn environment(mut self, plan: EnvironmentPlan) -> Self {
+        self.environment = Some(plan);
+        self
+    }
 }
 
 thread_local! {
@@ -100,8 +109,8 @@ impl Drop for StackGuard {
 }
 
 /// Runs `f` with `guard` active: every kernel created on this OS thread
-/// while `f` runs receives the guard's watchdog, budget, and fault plan
-/// at construction. Returns `f`'s result.
+/// while `f` runs receives the guard's watchdog, budget, fault plan, and
+/// environment plan at construction. Returns `f`'s result.
 pub fn with_run_guard<R>(guard: RunGuard, f: impl FnOnce() -> R) -> R {
     GUARDS.with(|g| g.borrow_mut().push(guard));
     let _pop = StackGuard;

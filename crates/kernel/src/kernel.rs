@@ -5,8 +5,8 @@ use crate::policy::{PolicyKind, SchedPolicy};
 use crate::thread::{ShareId, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
 use crate::trace::{access_tracing_enabled, register_kernel, TraceRecord, TraceSink};
 use asym_sim::{
-    CoreId, CoreMask, Cycles, EventKey, EventQueue, FaultKind, FaultPlan, MachineSpec, Rng,
-    SimDuration, SimTime, Speed,
+    CoreId, CoreMask, Cycles, EnvironmentPlan, EnvironmentState, EventKey, EventQueue, FaultKind,
+    FaultPlan, MachineSpec, Rng, SimDuration, SimTime, Speed,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -26,6 +26,18 @@ pub const DEFAULT_CONTEXT_SWITCH: Cycles = Cycles::new(2_000);
 /// kernels, whose default `cache_decay_ticks` was several milliseconds).
 pub const CACHE_HOT_WINDOW: SimDuration = SimDuration::from_micros(5_000);
 
+/// How many consecutive environment ticks a changed speed target must
+/// persist before the kernel commits it (hysteresis: a target that
+/// jitters back within the window is never applied, so a noisy DVFS
+/// governor cannot cause migration thrash).
+pub const ENV_CONFIRM_TICKS: u32 = 2;
+
+/// Per-core floor on the spacing between committed environment speed
+/// changes. Together with [`ENV_CONFIRM_TICKS`] this bounds the re-rank
+/// rate: each core re-ranks at most once per interval, no matter how
+/// fast the modeled environment oscillates.
+pub const ENV_MIN_APPLY_INTERVAL: SimDuration = DEFAULT_BALANCE_PERIOD;
+
 #[derive(Debug)]
 enum Event {
     SliceEnd {
@@ -39,6 +51,9 @@ enum Event {
     Fault(FaultKind),
     /// Periodic livelock check: did anything retire work since last time?
     Watchdog,
+    /// Periodic environment evaluation: sample per-core utilization, step
+    /// the [`EnvironmentState`], and commit confirmed speed targets.
+    EnvTick,
 }
 
 /// Why a running thread was taken off its core and requeued (the
@@ -268,6 +283,16 @@ pub enum TraceEvent {
         /// Its new speed.
         speed: Speed,
     },
+    /// The speed order of the online cores changed: the immediately
+    /// preceding `SpeedChange` on `core` moved it past at least one
+    /// other online core. Placement and balancing decisions made after
+    /// this instant see the new ranking; the staleness lint in
+    /// `asym-analysis` requires every ranking-altering `SpeedChange` to
+    /// be followed by its `Rerank` without delay.
+    Rerank {
+        /// The core whose speed change reordered the ranking.
+        core: CoreId,
+    },
     /// A core went offline (hotplug remove). Threads that were running
     /// or queued on it are migrated away by the immediately following
     /// `Preempt`/`Steal` events.
@@ -437,6 +462,21 @@ impl Core {
     }
 }
 
+/// Hysteresis bookkeeping for one core's environment speed target. The
+/// evaluator reports a target once when it changes; the kernel keeps the
+/// latest here and commits it only after it survives
+/// [`ENV_CONFIRM_TICKS`] ticks and [`ENV_MIN_APPLY_INTERVAL`] since the
+/// core's previous committed change.
+#[derive(Debug, Clone, Copy, Default)]
+struct EnvPending {
+    /// The latest uncommitted target, if it differs from the live speed.
+    target: Option<Speed>,
+    /// Consecutive ticks the target has persisted unchanged.
+    streak: u32,
+    /// When this core last committed an environment speed change.
+    last_apply: Option<SimTime>,
+}
+
 /// Aggregate kernel counters, observable after a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
@@ -457,6 +497,17 @@ pub struct KernelStats {
     pub threads_killed: u64,
     /// Times the kernel widened an unschedulable affinity mask.
     pub affinity_overrides: u64,
+    /// Environment evaluation ticks processed (see
+    /// [`Kernel::set_environment`]).
+    pub env_ticks: u64,
+    /// Speed changes committed from the environment model (after
+    /// hysteresis and rate bounding; injected `SetSpeed` faults are
+    /// counted under `faults_injected` instead).
+    pub env_speed_changes: u64,
+    /// Applied speed changes (fault or environment) that reordered the
+    /// online-core speed ranking — each emitted a
+    /// [`TraceEvent::Rerank`].
+    pub reranks: u64,
     /// Per-core busy time, indexed by core.
     pub core_busy: Vec<SimDuration>,
 }
@@ -527,6 +578,11 @@ pub struct Kernel {
     /// True once a run was truncated by `budget` (as opposed to a
     /// caller-chosen `run_until` limit).
     budget_exhausted: bool,
+    /// Continuous speed dynamics from [`Kernel::set_environment`], if any.
+    environment: Option<EnvironmentState>,
+    env_scheduled: bool,
+    /// Per-core hysteresis state for environment speed targets.
+    env_pending: Vec<EnvPending>,
     /// Number of shared objects registered via [`Kernel::register_shared`].
     shared_count: usize,
     /// Whether shared-access annotation events (`SharedRead`/`SharedWrite`/
@@ -588,6 +644,9 @@ impl Kernel {
             stalled: false,
             budget: None,
             budget_exhausted: false,
+            environment: None,
+            env_scheduled: false,
+            env_pending: vec![EnvPending::default(); n],
             shared_count: 0,
             annotate: access_tracing_enabled(),
             stats: KernelStats {
@@ -604,6 +663,9 @@ impl Kernel {
             }
             if let Some(plan) = &guard.fault_plan {
                 kernel.set_fault_plan(plan);
+            }
+            if let Some(plan) = &guard.environment {
+                kernel.set_environment(plan);
             }
         }
         kernel
@@ -675,6 +737,30 @@ impl Kernel {
             if r.at >= self.time {
                 self.events.schedule(r.at, Event::Fault(r.kind));
             }
+        }
+        self
+    }
+
+    /// Drives per-core speeds from `plan` for the rest of the run: every
+    /// [`tick_period`](EnvironmentPlan::tick_period) the kernel samples
+    /// which cores are busy, steps the plan's DVFS/thermal/co-tenant
+    /// models, and commits confirmed speed targets through the same
+    /// re-modulation path injected `SetSpeed` faults use. Hysteresis
+    /// ([`ENV_CONFIRM_TICKS`]) and rate bounding
+    /// ([`ENV_MIN_APPLY_INTERVAL`]) stand between a computed target and
+    /// its commit, so jittery targets never thrash the schedule. A
+    /// static plan (no models, no bursts) is a no-op and costs nothing.
+    pub fn set_environment(&mut self, plan: &EnvironmentPlan) -> &mut Self {
+        if plan.is_static() {
+            return self;
+        }
+        let base = self.machine.speeds().to_vec();
+        self.environment = Some(EnvironmentState::new(plan.clone(), &base));
+        self.env_pending = vec![EnvPending::default(); self.cores.len()];
+        if !self.env_scheduled {
+            self.events
+                .schedule(self.time + plan.tick_period(), Event::EnvTick);
+            self.env_scheduled = true;
         }
         self
     }
@@ -933,6 +1019,13 @@ impl Kernel {
                 self.watchdog_mark = self.progress;
             }
         }
+        if let Some(state) = &self.environment {
+            if !self.env_scheduled {
+                let period = state.plan().tick_period();
+                self.events.schedule(self.time + period, Event::EnvTick);
+                self.env_scheduled = true;
+            }
+        }
         loop {
             self.drain_dispatch();
             if self.stalled {
@@ -981,6 +1074,7 @@ impl Kernel {
             }
             Event::Fault(kind) => self.handle_fault(kind),
             Event::Watchdog => self.handle_watchdog(),
+            Event::EnvTick => self.handle_env_tick(),
             Event::Balance => {
                 self.stats.balance_runs += 1;
                 for core in &mut self.cores {
@@ -1210,15 +1304,44 @@ impl Kernel {
         }
     }
 
-    /// Re-modulates `core` to `speed` mid-run. Work in flight is
-    /// re-accounted at the old rate up to this instant and re-sliced at
-    /// the new rate; the thread keeps the core (no preemption). Plans
-    /// generated for a different machine may name out-of-range cores —
-    /// those faults are no-ops.
+    /// Re-modulates `core` to `speed` mid-run (injected `SetSpeed`
+    /// fault). Plans generated for a different machine may name
+    /// out-of-range cores — those faults are no-ops.
     fn fault_set_speed(&mut self, c: usize, speed: Speed) {
-        if c >= self.cores.len() || self.cores[c].speed == speed {
+        if c >= self.cores.len() {
             return;
         }
+        self.apply_speed_change(c, speed);
+    }
+
+    /// The online cores in speed order (fastest first, index-tiebroken) —
+    /// the ranking placement and balancing respond to. Compared before
+    /// and after each applied speed change to decide whether a
+    /// [`TraceEvent::Rerank`] must follow.
+    fn speed_ranking(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.cores.len())
+            .filter(|&i| self.cores[i].online)
+            .collect();
+        order.sort_by(|&a, &b| {
+            self.cores[b]
+                .speed
+                .cmp(&self.cores[a].speed)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// The shared mid-run re-modulation path for injected faults and
+    /// committed environment targets. Work in flight is re-accounted at
+    /// the old rate up to this instant and re-sliced at the new rate; the
+    /// thread keeps the core (no preemption). If the change reorders the
+    /// online-core speed ranking, a [`TraceEvent::Rerank`] follows the
+    /// [`TraceEvent::SpeedChange`] immediately.
+    fn apply_speed_change(&mut self, c: usize, speed: Speed) {
+        if self.cores[c].speed == speed {
+            return;
+        }
+        let ranking_before = self.speed_ranking();
         let old_speed = self.cores[c].speed;
         let resume = self.cores[c].current.take().map(|running| {
             self.events.cancel(running.slice_key);
@@ -1248,6 +1371,10 @@ impl Kernel {
             core: CoreId(c),
             speed,
         });
+        if self.speed_ranking() != ranking_before {
+            self.stats.reranks += 1;
+            self.trace(TraceEvent::Rerank { core: CoreId(c) });
+        }
         if let Some(tid) = resume {
             match self.threads[tid.0].pending {
                 Pending::Compute(_) => self.start_slice(c, tid),
@@ -1397,6 +1524,69 @@ impl Kernel {
         } else {
             self.watchdog_mark = self.progress;
             self.events.schedule(self.time + window, Event::Watchdog);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Environment dynamics
+    // ------------------------------------------------------------------
+
+    /// One environment evaluation tick: sample busy cores, step the
+    /// DVFS/thermal/co-tenant models, and commit targets that survived
+    /// hysteresis and rate bounding (see [`Kernel::set_environment`]).
+    fn handle_env_tick(&mut self) {
+        if self.environment.is_none() {
+            self.env_scheduled = false;
+            return;
+        }
+        self.stats.env_ticks += 1;
+        // Binary utilization feedback: a core is busy when a thread holds
+        // it at the tick instant (mid-slice or being stepped).
+        let busy: Vec<bool> = self
+            .cores
+            .iter()
+            .map(|core| core.online && (core.current.is_some() || core.executing))
+            .collect();
+        let state = self.environment.as_mut().expect("checked above");
+        let targets = state.tick(self.time, &busy);
+        let period = state.plan().tick_period();
+        for (core, speed) in targets {
+            let p = &mut self.env_pending[core.0];
+            if p.target != Some(speed) {
+                p.target = Some(speed);
+                p.streak = 0;
+            }
+        }
+        for c in 0..self.cores.len() {
+            let Some(target) = self.env_pending[c].target else {
+                continue;
+            };
+            if target == self.cores[c].speed {
+                // The live speed caught up some other way (an injected
+                // SetSpeed fault, or the model swung back before the
+                // hysteresis window closed): nothing left to commit.
+                self.env_pending[c].target = None;
+                self.env_pending[c].streak = 0;
+                continue;
+            }
+            self.env_pending[c].streak += 1;
+            let confirmed = self.env_pending[c].streak >= ENV_CONFIRM_TICKS;
+            let spaced = match self.env_pending[c].last_apply {
+                None => true,
+                Some(at) => self.time.duration_since(at) >= ENV_MIN_APPLY_INTERVAL,
+            };
+            if confirmed && spaced {
+                self.env_pending[c].target = None;
+                self.env_pending[c].streak = 0;
+                self.env_pending[c].last_apply = Some(self.time);
+                self.stats.env_speed_changes += 1;
+                self.apply_speed_change(c, target);
+            }
+        }
+        if self.live_threads > 0 {
+            self.events.schedule(self.time + period, Event::EnvTick);
+        } else {
+            self.env_scheduled = false;
         }
     }
 

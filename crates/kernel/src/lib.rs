@@ -58,6 +58,7 @@ pub use guard::{with_run_guard, RunGuard};
 pub use kernel::{
     AtomicOp, Kernel, KernelStats, PreemptReason, RunOutcome, ThreadCx, TraceEvent, WakeReason,
     CACHE_HOT_WINDOW, DEFAULT_BALANCE_PERIOD, DEFAULT_CONTEXT_SWITCH, DEFAULT_QUANTUM,
+    ENV_CONFIRM_TICKS, ENV_MIN_APPLY_INTERVAL,
 };
 pub use policy::{PolicyKind, SchedPolicy};
 pub use thread::{

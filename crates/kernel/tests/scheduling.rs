@@ -906,3 +906,228 @@ fn same_seed_and_plan_produce_identical_trace_hashes() {
     assert_eq!(run(33), run(33));
     assert_ne!(run(33), run(34));
 }
+
+#[test]
+fn thermal_environment_throttles_sustained_work() {
+    use asym_kernel::TraceEvent;
+    use asym_sim::{EnvironmentPlan, EnvironmentProfile};
+    let plan = EnvironmentPlan::generate(
+        1,
+        1,
+        &EnvironmentProfile::thermal(SimDuration::from_millis(100)),
+    );
+    let ((), traces) = asym_kernel::capture_traces(|| {
+        let mut k = kernel_no_ctx(fast_machine(1), SchedPolicy::os_default(), 40);
+        k.set_environment(&plan);
+        k.spawn(compute_thread(30.0, 30), SpawnOptions::new());
+        assert_eq!(k.run(), RunOutcome::AllDone);
+        // Sustained busy work heats the core past the throttle cap, so
+        // the environment must have slowed it at least once.
+        assert!(k.stats().env_ticks > 0, "environment never ticked");
+        assert!(
+            k.stats().env_speed_changes >= 1,
+            "thermal model never throttled: {:?}",
+            k.stats()
+        );
+        // Throttling makes 30 ms of work take longer than 30 ms.
+        assert!(k.now() > SimTime::ZERO + SimDuration::from_millis(30));
+    });
+    assert!(traces[0]
+        .records
+        .iter()
+        .any(|r| matches!(r.event, TraceEvent::SpeedChange { .. })));
+}
+
+#[test]
+fn environment_hysteresis_bounds_apply_rate() {
+    use asym_kernel::{TraceEvent, ENV_MIN_APPLY_INTERVAL};
+    use asym_sim::{EnvironmentPlan, EnvironmentProfile};
+    // DVFS + thermal together want frequent re-targets; the kernel must
+    // space environment-driven speed changes on one core by at least the
+    // minimum apply interval.
+    let plan = EnvironmentPlan::generate(
+        2,
+        1,
+        &EnvironmentProfile::combined(SimDuration::from_millis(100)),
+    );
+    let ((), traces) = asym_kernel::capture_traces(|| {
+        let mut k = kernel_no_ctx(fast_machine(1), SchedPolicy::os_default(), 41);
+        k.set_environment(&plan);
+        // Alternate compute and sleep so DVFS and thermal both keep
+        // re-targeting in opposite directions.
+        let mut left = 40u32;
+        k.spawn(
+            FnThread::new("duty", move |_cx: &mut ThreadCx<'_>| {
+                if left == 0 {
+                    Step::Done
+                } else {
+                    left -= 1;
+                    if left.is_multiple_of(2) {
+                        Step::Compute(Cycles::from_millis_at_full_speed(1.0))
+                    } else {
+                        Step::Sleep(SimDuration::from_millis(2))
+                    }
+                }
+            }),
+            SpawnOptions::new(),
+        );
+        assert_eq!(k.run(), RunOutcome::AllDone);
+    });
+    // No fault plan: every SpeedChange in the trace is environmental.
+    let times: Vec<SimTime> = traces[0]
+        .records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::SpeedChange { .. }))
+        .map(|r| r.time)
+        .collect();
+    assert!(times.len() >= 2, "expected repeated re-targets: {times:?}");
+    for pair in times.windows(2) {
+        let gap = pair[1].duration_since(pair[0]);
+        assert!(
+            gap >= ENV_MIN_APPLY_INTERVAL,
+            "speed changes {} apart, min is {}",
+            gap,
+            ENV_MIN_APPLY_INTERVAL
+        );
+    }
+}
+
+#[test]
+fn ranking_change_emits_rerank_trace() {
+    use asym_kernel::TraceEvent;
+    use asym_sim::{FaultKind, FaultPlan};
+    let ((), traces) = asym_kernel::capture_traces(|| {
+        let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+        let mut k = kernel_no_ctx(machine, SchedPolicy::asymmetry_aware(), 42);
+        let mut plan = FaultPlan::new();
+        // Demote the fast core below the slow one: the speed ranking
+        // inverts and the kernel must announce the re-rank.
+        plan.inject(
+            SimTime::ZERO + SimDuration::from_millis(2),
+            FaultKind::SetSpeed {
+                core: CoreId(0),
+                speed: Speed::fraction_of_full(16),
+            },
+        );
+        k.set_fault_plan(&plan);
+        for _ in 0..2 {
+            k.spawn(compute_thread(8.0, 8), SpawnOptions::new());
+        }
+        assert_eq!(k.run(), RunOutcome::AllDone);
+        assert_eq!(k.stats().reranks, 1);
+    });
+    let reranks: Vec<_> = traces[0]
+        .records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Rerank { core } => Some(core),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reranks, vec![CoreId(0)]);
+}
+
+#[test]
+fn equal_speed_change_does_not_rerank() {
+    use asym_sim::{FaultKind, FaultPlan};
+    let machine = MachineSpec::asymmetric(1, 1, Speed::fraction_of_full(8));
+    let mut k = kernel_no_ctx(machine, SchedPolicy::asymmetry_aware(), 43);
+    let mut plan = FaultPlan::new();
+    // A throttle that leaves the fast core still fastest: the ranking is
+    // unchanged, so no re-rank may be announced.
+    plan.inject(
+        SimTime::ZERO + SimDuration::from_millis(2),
+        FaultKind::SetSpeed {
+            core: CoreId(0),
+            speed: Speed::fraction_of_full(2),
+        },
+    );
+    k.set_fault_plan(&plan);
+    for _ in 0..2 {
+        k.spawn(compute_thread(8.0, 8), SpawnOptions::new());
+    }
+    assert_eq!(k.run(), RunOutcome::AllDone);
+    assert_eq!(k.stats().reranks, 0);
+}
+
+#[test]
+fn static_environment_is_a_no_op() {
+    use asym_sim::{EnvironmentPlan, EnvironmentProfile};
+    let hash_of = |env: bool| {
+        let ((), traces) = asym_kernel::capture_traces(|| {
+            let mut k = kernel_no_ctx(fast_machine(2), SchedPolicy::os_default(), 44);
+            if env {
+                let plan = EnvironmentPlan::generate(
+                    9,
+                    2,
+                    &EnvironmentProfile::quiet(SimDuration::from_millis(50)),
+                );
+                k.set_environment(&plan);
+            }
+            for _ in 0..3 {
+                k.spawn(compute_thread(5.0, 5), SpawnOptions::new());
+            }
+            assert_eq!(k.run(), RunOutcome::AllDone);
+            assert_eq!(k.stats().env_ticks, 0);
+        });
+        traces[0].stable_hash()
+    };
+    // A quiet plan never schedules a tick, so the trace is bit-identical
+    // to an unguarded run.
+    assert_eq!(hash_of(true), hash_of(false));
+}
+
+#[test]
+fn environment_runs_are_deterministic() {
+    use asym_kernel::{capture_traces, with_run_guard, RunGuard};
+    use asym_sim::{EnvironmentPlan, EnvironmentProfile};
+    let run = |seed: u64| {
+        let plan = EnvironmentPlan::generate(
+            seed,
+            4,
+            &EnvironmentProfile::combined(SimDuration::from_millis(50)),
+        );
+        let ((), traces) = capture_traces(|| {
+            with_run_guard(RunGuard::new().environment(plan), || {
+                let mut k = kernel_no_ctx(fast_machine(4), SchedPolicy::asymmetry_aware(), seed);
+                for _ in 0..6 {
+                    k.spawn(compute_thread(8.0, 4), SpawnOptions::new());
+                }
+                assert_eq!(k.run(), RunOutcome::AllDone);
+            })
+        });
+        traces[0].stable_hash()
+    };
+    assert_eq!(run(33), run(33));
+    assert_ne!(run(33), run(35));
+}
+
+#[test]
+fn environment_composes_with_faults() {
+    use asym_kernel::{capture_traces, with_run_guard, RunGuard};
+    use asym_sim::{EnvironmentPlan, EnvironmentProfile, FaultPlan, FaultProfile};
+    // Continuous dynamics and discrete faults in the same run: the
+    // kernel must degrade gracefully and still finish everything.
+    let env = EnvironmentPlan::generate(
+        5,
+        4,
+        &EnvironmentProfile::combined(SimDuration::from_millis(60)),
+    );
+    let faults = FaultPlan::generate(
+        5,
+        4,
+        &FaultProfile::hotplug_and_throttle(SimDuration::from_millis(60)),
+    );
+    let ((), traces) = capture_traces(|| {
+        let guard = RunGuard::new().environment(env).fault_plan(faults);
+        with_run_guard(guard, || {
+            let mut k = kernel_no_ctx(fast_machine(4), SchedPolicy::asymmetry_aware(), 5);
+            for _ in 0..6 {
+                k.spawn(compute_thread(10.0, 5), SpawnOptions::new());
+            }
+            assert_eq!(k.run(), RunOutcome::AllDone);
+            assert!(k.stats().env_ticks > 0);
+        })
+    });
+    assert!(!traces[0].records.is_empty());
+}

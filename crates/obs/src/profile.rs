@@ -31,6 +31,12 @@ pub struct CoreProfile {
     pub offline: SimDuration,
     /// Number of slices dispatched onto the core.
     pub dispatches: u64,
+    /// Time-weighted speed integral: the sum over online time of
+    /// `nanoseconds × instantaneous speed` (speed as an integer
+    /// per-myriad of full), so `speed_weighted / (busy + idle)` is the
+    /// core's average speed over the run. Integer accumulation keeps
+    /// the profile byte-deterministic under mid-run speed changes.
+    pub speed_weighted: u64,
 }
 
 impl CoreProfile {
@@ -40,6 +46,23 @@ impl CoreProfile {
     pub fn utilization_permyriad(&self) -> u64 {
         permyriad(self.busy, self.busy + self.idle)
     }
+
+    /// The core's time-weighted average speed over its online time, as
+    /// per-myriad of full speed (10000 = never throttled). Returns 0
+    /// for a core that was never online.
+    pub fn avg_speed_permyriad(&self) -> u64 {
+        let online = (self.busy + self.idle).as_nanos();
+        if online == 0 {
+            0
+        } else {
+            ((self.speed_weighted as u128) / online as u128) as u64
+        }
+    }
+}
+
+/// A speed as an integer per-myriad of full (deterministic rounding).
+fn speed_permyriad(speed: Speed) -> u64 {
+    (speed.factor() * 10_000.0).round() as u64
 }
 
 /// Where one simulated thread's time went over a run.
@@ -234,6 +257,17 @@ pub struct RunProfile {
     /// idle while at least one online slower core had a thread running
     /// or queued — the paper's §3.1.1 scheduling inefficiency, measured.
     pub fast_idle_slow_runnable: SimDuration,
+    /// Mid-run speed changes observed (fault-injected throttles and
+    /// committed environment targets alike).
+    pub speed_changes: u64,
+    /// Speed changes that reordered the online-core speed ranking
+    /// ([`TraceEvent::Rerank`]).
+    pub reranks: u64,
+    /// Tracking lag: total thread-time spent running on a core strictly
+    /// slower than some idle online core — the schedule has not yet
+    /// caught up with the ranking the environment imposed. Thread-
+    /// weighted: two lagging threads over one millisecond count twice.
+    pub tracking_lag: SimDuration,
     /// Queued-to-dispatched latency of every completed dispatch.
     pub sched_latency: Log2Histogram,
     /// On-core duration of every completed run slice.
@@ -307,6 +341,9 @@ struct Replay {
     waits: BTreeMap<usize, WaitProfile>,
     last: SimTime,
     fast_idle_slow_runnable: SimDuration,
+    speed_changes: u64,
+    reranks: u64,
+    tracking_lag: SimDuration,
     sched_latency: Log2Histogram,
     run_quantum: Log2Histogram,
     preempt_quantum: u64,
@@ -341,6 +378,7 @@ impl Replay {
                 idle: SimDuration::ZERO,
                 offline: SimDuration::ZERO,
                 dispatches: 0,
+                speed_weighted: 0,
             })
             .collect();
         Replay {
@@ -352,6 +390,9 @@ impl Replay {
             waits: BTreeMap::new(),
             last: SimTime::ZERO,
             fast_idle_slow_runnable: SimDuration::ZERO,
+            speed_changes: 0,
+            reranks: 0,
+            tracking_lag: SimDuration::ZERO,
             sched_latency: Log2Histogram::new(),
             run_quantum: Log2Histogram::new(),
             preempt_quantum: 0,
@@ -411,6 +452,30 @@ impl Replay {
                 acc.busy += dt;
             } else {
                 acc.idle += dt;
+            }
+            if st.online {
+                acc.speed_weighted = acc
+                    .speed_weighted
+                    .saturating_add(dt.as_nanos().saturating_mul(speed_permyriad(st.speed)));
+            }
+        }
+        // Tracking lag: threads running on cores strictly slower than the
+        // fastest idle online core are on a tier the schedule should have
+        // re-ranked them out of.
+        let best_idle = self
+            .cores
+            .iter()
+            .filter(|c| c.online && c.running.is_none())
+            .map(|c| c.speed)
+            .max();
+        if let Some(best) = best_idle {
+            let lagging = self
+                .cores
+                .iter()
+                .filter(|c| c.online && c.running.is_some() && c.speed < best)
+                .count() as u64;
+            if lagging > 0 {
+                self.tracking_lag += dt * lagging;
             }
         }
         if let Some(top) = self.max_online_speed() {
@@ -690,10 +755,19 @@ impl Replay {
             TraceEvent::SpeedChange { core, speed } => {
                 self.reseat_running_segments(time);
                 self.cores[core.0].speed = speed;
+                self.speed_changes += 1;
                 self.marks.push(Mark {
                     core: core.0,
                     time,
                     name: format!("cpu{} speed {speed}", core.0),
+                });
+            }
+            TraceEvent::Rerank { core } => {
+                self.reranks += 1;
+                self.marks.push(Mark {
+                    core: core.0,
+                    time,
+                    name: format!("cpu{} rerank", core.0),
                 });
             }
             TraceEvent::CoreOffline { core } => {
@@ -788,6 +862,9 @@ impl RunProfile {
             threads: rp.thread_acc,
             waits: rp.waits.into_values().collect(),
             fast_idle_slow_runnable: rp.fast_idle_slow_runnable,
+            speed_changes: rp.speed_changes,
+            reranks: rp.reranks,
+            tracking_lag: rp.tracking_lag,
             sched_latency: rp.sched_latency,
             run_quantum: rp.run_quantum,
             preempt_quantum: rp.preempt_quantum,
@@ -820,6 +897,13 @@ impl RunProfile {
     /// Fast-idle-while-slow-runnable time as per-myriad of the run.
     pub fn fast_idle_permyriad(&self) -> u64 {
         permyriad(self.fast_idle_slow_runnable, self.duration)
+    }
+
+    /// Tracking-lag time as per-myriad of the run (may exceed 10000 when
+    /// several threads lag simultaneously — the metric is thread-
+    /// weighted).
+    pub fn tracking_lag_permyriad(&self) -> u64 {
+        permyriad(self.tracking_lag, self.duration)
     }
 }
 
@@ -855,6 +939,14 @@ impl fmt::Display for RunProfile {
             "fast idle while slow runnable: {} ({} of run)",
             self.fast_idle_slow_runnable,
             pct(self.fast_idle_permyriad())
+        )?;
+        writeln!(
+            f,
+            "speed changes {}  reranks {}  tracking lag {} ({} of run)",
+            self.speed_changes,
+            self.reranks,
+            self.tracking_lag,
+            pct(self.tracking_lag_permyriad())
         )?;
         writeln!(
             f,
@@ -941,6 +1033,13 @@ pub struct ProfileMetrics {
     pub sync_wait_ns: u64,
     /// Lock acquisitions that had previously blocked.
     pub contended_acquires: u64,
+    /// Mid-run speed changes (faults and environment commits).
+    pub speed_changes: u64,
+    /// Speed changes that reordered the online-core speed ranking.
+    pub reranks: u64,
+    /// Thread-time on a core strictly slower than an idle online core,
+    /// in nanoseconds (the schedule lagging the environment's ranking).
+    pub tracking_lag_ns: u64,
     /// Queued-to-dispatched latency histogram.
     pub sched_latency: Log2Histogram,
     /// Run-quantum histogram.
@@ -962,6 +1061,9 @@ impl ProfileMetrics {
             preemptions: 0,
             sync_wait_ns: 0,
             contended_acquires: 0,
+            speed_changes: 0,
+            reranks: 0,
+            tracking_lag_ns: 0,
             sched_latency: Log2Histogram::new(),
             run_quantum: Log2Histogram::new(),
         }
@@ -985,6 +1087,9 @@ impl ProfileMetrics {
         self.preemptions += other.preemptions;
         self.sync_wait_ns = self.sync_wait_ns.saturating_add(other.sync_wait_ns);
         self.contended_acquires += other.contended_acquires;
+        self.speed_changes += other.speed_changes;
+        self.reranks += other.reranks;
+        self.tracking_lag_ns = self.tracking_lag_ns.saturating_add(other.tracking_lag_ns);
         self.sched_latency.merge(&other.sched_latency);
         self.run_quantum.merge(&other.run_quantum);
     }
@@ -1006,7 +1111,8 @@ impl ProfileMetrics {
             "{{\"kernels\":{},\"sim_ns\":{},\"busy_ns\":{},\"idle_ns\":{},\"offline_ns\":{},\
              \"utilization_pct\":{}.{:02},\"fast_idle_slow_runnable_ns\":{},\"migrations\":{},\
              \"migration_wait_ns\":{},\"preemptions\":{},\"sync_wait_ns\":{},\
-             \"contended_acquires\":{},\"sched_latency\":{},\"run_quantum\":{}}}",
+             \"contended_acquires\":{},\"speed_changes\":{},\"reranks\":{},\
+             \"tracking_lag_ns\":{},\"sched_latency\":{},\"run_quantum\":{}}}",
             self.kernels,
             self.sim_ns,
             self.busy_ns,
@@ -1020,6 +1126,9 @@ impl ProfileMetrics {
             self.preemptions,
             self.sync_wait_ns,
             self.contended_acquires,
+            self.speed_changes,
+            self.reranks,
+            self.tracking_lag_ns,
             self.sched_latency.to_json(),
             self.run_quantum.to_json()
         )
@@ -1053,6 +1162,9 @@ impl RunProfile {
         m.preemptions = self.preemptions();
         m.sync_wait_ns = self.total_sync_wait().as_nanos();
         m.contended_acquires = self.waits.iter().map(|w| w.contended_acquires).sum();
+        m.speed_changes = self.speed_changes;
+        m.reranks = self.reranks;
+        m.tracking_lag_ns = self.tracking_lag.as_nanos();
         m.sched_latency = self.sched_latency.clone();
         m.run_quantum = self.run_quantum.clone();
         m

@@ -77,6 +77,57 @@ pub struct FaultRecord {
     pub kind: FaultKind,
 }
 
+/// Errors from [`FaultPlan::try_generate`] and [`FaultPlan::validate`] —
+/// the fault-plan analogue of
+/// [`MachineSpecError`](crate::MachineSpecError). The kernel degrades
+/// gracefully at injection time regardless; this surfaces bad plans to
+/// the caller instead of silently skipping records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// The machine has no cores to fault.
+    NoCores,
+    /// The profile's horizon was zero: no window to draw times from.
+    ZeroHorizon,
+    /// A record names a core the machine does not have.
+    CoreOutOfRange {
+        /// The offending core index.
+        core: usize,
+        /// The machine's core count.
+        num_cores: usize,
+    },
+    /// A record fires past the plan's horizon.
+    PastHorizon {
+        /// The offending injection time.
+        at: SimTime,
+    },
+    /// Replaying the plan's hotplug records would take the last online
+    /// core offline at `at`.
+    OfflinesLastCore {
+        /// When the machine would go dark.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::NoCores => write!(f, "fault plan needs at least one core"),
+            FaultPlanError::ZeroHorizon => write!(f, "fault profile horizon must be nonzero"),
+            FaultPlanError::CoreOutOfRange { core, num_cores } => {
+                write!(f, "fault names core {core} on a {num_cores}-core machine")
+            }
+            FaultPlanError::PastHorizon { at } => {
+                write!(f, "fault at {at} fires past the horizon")
+            }
+            FaultPlanError::OfflinesLastCore { at } => {
+                write!(f, "hotplug at {at} would offline the last online core")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A deterministic schedule of faults, sorted by injection time.
 ///
 /// Plans are plain data: build one by hand with [`FaultPlan::inject`], or
@@ -124,13 +175,45 @@ impl FaultPlan {
     /// laid out in disjoint time slots so at most one core is offline at
     /// any instant (machines with a single core get no hotplug). Thread
     /// kills, if requested, land in the middle half of the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate inputs (zero cores, zero horizon); use
+    /// [`FaultPlan::try_generate`] for a fallible version.
     pub fn generate(seed: u64, num_cores: usize, profile: &FaultProfile) -> FaultPlan {
+        FaultPlan::try_generate(seed, num_cores, profile)
+            .unwrap_or_else(|e| panic!("invalid fault plan request: {e}"))
+    }
+
+    /// Fallible [`FaultPlan::generate`]: validates the request, clamps
+    /// every drawn time to the horizon, and checks the finished plan
+    /// with [`FaultPlan::validate`] instead of silently skipping bad
+    /// records.
+    pub fn try_generate(
+        seed: u64,
+        num_cores: usize,
+        profile: &FaultProfile,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        if num_cores == 0 {
+            return Err(FaultPlanError::NoCores);
+        }
+        if profile.horizon.is_zero()
+            && (profile.throttle_events > 0
+                || profile.hotplug_cycles > 0
+                || profile.thread_kills > 0)
+        {
+            return Err(FaultPlanError::ZeroHorizon);
+        }
         let mut rng = Rng::new(seed ^ 0xfa17_fa17_fa17_fa17);
         let mut plan = FaultPlan::new();
         let horizon = profile.horizon.as_nanos().max(1);
+        // Every drawn time is clamped into [0, horizon): the draws below
+        // already satisfy this by construction, so the clamp is a
+        // defensive invariant, not a behavior change.
+        let clamp = |nanos: u64| nanos.min(horizon - 1);
 
         for _ in 0..profile.throttle_events {
-            let at = SimTime::ZERO + SimDuration::from_nanos(rng.below(horizon));
+            let at = SimTime::ZERO + SimDuration::from_nanos(clamp(rng.below(horizon)));
             let core = CoreId(rng.index(num_cores));
             let step = DutyCycle::new(rng.range(1, 9) as u8).expect("step in 1..=8");
             plan.inject(
@@ -154,18 +237,19 @@ impl FaultPlan {
                 let up = base + slot / 2 + rng.below((slot / 2).max(1));
                 let core = CoreId(rng.index(num_cores));
                 plan.inject(
-                    SimTime::ZERO + SimDuration::from_nanos(down),
+                    SimTime::ZERO + SimDuration::from_nanos(clamp(down)),
                     FaultKind::CoreOffline { core },
                 );
                 plan.inject(
-                    SimTime::ZERO + SimDuration::from_nanos(up),
+                    SimTime::ZERO + SimDuration::from_nanos(clamp(up)),
                     FaultKind::CoreOnline { core },
                 );
             }
         }
 
         for _ in 0..profile.thread_kills {
-            let at = SimTime::ZERO + SimDuration::from_nanos(horizon / 4 + rng.below(horizon / 2));
+            let at = SimTime::ZERO
+                + SimDuration::from_nanos(clamp(horizon / 4 + rng.below(horizon / 2)));
             plan.inject(
                 at,
                 FaultKind::KillThread {
@@ -174,7 +258,55 @@ impl FaultPlan {
             );
         }
 
-        plan
+        plan.validate(num_cores, profile.horizon)?;
+        Ok(plan)
+    }
+
+    /// Checks the plan against a `num_cores`-core machine and an
+    /// injection `horizon`: every record must fire inside the horizon,
+    /// every hotplug/throttle record must name a real core, and
+    /// replaying the hotplug records (under the kernel's refuse-to-
+    /// offline-the-last-core rule) must never need that refusal — i.e.
+    /// the plan as written never offlines the last online core.
+    ///
+    /// Hand-built plans (via [`FaultPlan::inject`]) are not validated on
+    /// construction; run this before trusting one.
+    pub fn validate(&self, num_cores: usize, horizon: SimDuration) -> Result<(), FaultPlanError> {
+        if num_cores == 0 {
+            return Err(FaultPlanError::NoCores);
+        }
+        let end = SimTime::ZERO + horizon;
+        let mut online = vec![true; num_cores];
+        for r in &self.records {
+            if r.at >= end {
+                return Err(FaultPlanError::PastHorizon { at: r.at });
+            }
+            match r.kind {
+                FaultKind::SetSpeed { core, .. } if core.0 >= num_cores => {
+                    return Err(FaultPlanError::CoreOutOfRange {
+                        core: core.0,
+                        num_cores,
+                    });
+                }
+                FaultKind::CoreOffline { core } | FaultKind::CoreOnline { core }
+                    if core.0 >= num_cores =>
+                {
+                    return Err(FaultPlanError::CoreOutOfRange {
+                        core: core.0,
+                        num_cores,
+                    });
+                }
+                FaultKind::CoreOffline { core } => {
+                    if online[core.0] && online.iter().filter(|&&o| o).count() == 1 {
+                        return Err(FaultPlanError::OfflinesLastCore { at: r.at });
+                    }
+                    online[core.0] = false;
+                }
+                FaultKind::CoreOnline { core } => online[core.0] = true,
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     /// A copy of the plan with every [`FaultKind::KillThread`] record
@@ -428,6 +560,90 @@ mod tests {
         assert_eq!(hostile.throttle_events, standard.throttle_events);
         assert_eq!(hostile.hotplug_cycles, standard.hotplug_cycles);
         assert_eq!(hostile.thread_kills, 2);
+    }
+
+    #[test]
+    fn try_generate_rejects_degenerate_requests() {
+        let profile = FaultProfile::hotplug_and_throttle(SimDuration::from_secs(1));
+        assert_eq!(
+            FaultPlan::try_generate(0, 0, &profile),
+            Err(FaultPlanError::NoCores)
+        );
+        let zero = FaultProfile::hotplug_and_throttle(SimDuration::from_nanos(0));
+        assert_eq!(
+            FaultPlan::try_generate(0, 4, &zero),
+            Err(FaultPlanError::ZeroHorizon)
+        );
+        // A zero-horizon *quiet* profile is a valid empty plan.
+        assert_eq!(
+            FaultPlan::try_generate(0, 4, &FaultProfile::quiet(SimDuration::from_nanos(0))),
+            Ok(FaultPlan::new())
+        );
+    }
+
+    #[test]
+    fn generated_plans_validate_clean_across_seeds() {
+        let profile = FaultProfile::with_kills(SimDuration::from_secs(2), 2);
+        for seed in 0..64u64 {
+            for num_cores in [1usize, 2, 4, 8] {
+                let plan = FaultPlan::generate(seed, num_cores, &profile);
+                assert_eq!(
+                    plan.validate(num_cores, profile.horizon),
+                    Ok(()),
+                    "seed {seed}, {num_cores} cores"
+                );
+                assert_eq!(
+                    FaultPlan::try_generate(seed, num_cores, &profile).as_ref(),
+                    Ok(&plan)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_reports_typed_errors_for_bad_hand_built_plans() {
+        let horizon = SimDuration::from_millis(10);
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+
+        let mut late = FaultPlan::new();
+        late.inject(t(20), FaultKind::KillThread { victim: 0 });
+        assert_eq!(
+            late.validate(4, horizon),
+            Err(FaultPlanError::PastHorizon { at: t(20) })
+        );
+
+        let mut wild = FaultPlan::new();
+        wild.inject(
+            t(1),
+            FaultKind::SetSpeed {
+                core: CoreId(9),
+                speed: Speed::FULL,
+            },
+        );
+        assert_eq!(
+            wild.validate(4, horizon),
+            Err(FaultPlanError::CoreOutOfRange {
+                core: 9,
+                num_cores: 4
+            })
+        );
+
+        // Offlining both cores of a two-core machine goes dark at the
+        // second record.
+        let mut dark = FaultPlan::new();
+        dark.inject(t(1), FaultKind::CoreOffline { core: CoreId(0) });
+        dark.inject(t(2), FaultKind::CoreOffline { core: CoreId(1) });
+        assert_eq!(
+            dark.validate(2, horizon),
+            Err(FaultPlanError::OfflinesLastCore { at: t(2) })
+        );
+        // Bringing the first back in between makes the same records legal.
+        let mut ok = FaultPlan::new();
+        ok.inject(t(1), FaultKind::CoreOffline { core: CoreId(0) });
+        ok.inject(t(2), FaultKind::CoreOnline { core: CoreId(0) });
+        ok.inject(t(3), FaultKind::CoreOffline { core: CoreId(1) });
+        assert_eq!(ok.validate(2, horizon), Ok(()));
+        assert!(format!("{}", FaultPlanError::OfflinesLastCore { at: t(2) }).contains("last"));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod environment;
 mod event;
 mod fault;
 mod hash;
@@ -50,8 +51,12 @@ mod rng;
 mod time;
 mod work;
 
+pub use environment::{
+    BurstRecord, DvfsParams, EnvironmentError, EnvironmentPlan, EnvironmentProfile,
+    EnvironmentState, ThermalParams, DEFAULT_ENV_TICK,
+};
 pub use event::{EventKey, EventQueue};
-pub use fault::{FaultKind, FaultPlan, FaultProfile, FaultRecord};
+pub use fault::{FaultKind, FaultPlan, FaultPlanError, FaultProfile, FaultRecord};
 pub use hash::StableHasher;
 pub use machine::{CoreId, CoreMask, MachineSpec, MachineSpecError};
 pub use rng::Rng;

@@ -267,6 +267,11 @@ impl DutyCycle {
         }
     }
 
+    /// The raw modulation step, in `1..=8`.
+    pub fn eighths(self) -> u8 {
+        self.eighths
+    }
+
     /// The duty cycle as a fraction in `(0, 1]`.
     pub fn fraction(self) -> f64 {
         f64::from(self.eighths) / 8.0

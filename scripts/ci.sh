@@ -39,8 +39,12 @@ for needle in "util" "fast idle while slow runnable" "migrations" "scheduler lat
   grep -q "$needle" ASYM_profile.txt || { echo "FAIL: asym_profile report lacks '$needle'"; exit 1; }
 done
 
-echo "==> asym_sweep --quick --check --jobs 2 --json (unified driver smoke + per-cell concurrency check)"
-cargo run -q --release -p asym-bench --bin asym_sweep -- --quick --check --jobs 2 --json > /dev/null
+echo "==> asym_soak --quick --json (chaos soak: randomized environment x fault campaigns)"
+cargo run -q --release -p asym-bench --bin asym_soak -- --quick --json > /dev/null
+test -s SOAK_report.json || { echo "FAIL: SOAK_report.json missing or empty"; exit 1; }
+
+echo "==> asym_sweep mini extra_dynamic --quick --check --jobs 2 --json (driver smoke + dynamic regimes + per-cell concurrency check)"
+cargo run -q --release -p asym-bench --bin asym_sweep -- mini extra_dynamic --quick --check --jobs 2 --json > /dev/null
 
 # The structured report must exist, be well-formed, contain no panicked
 # or deadlocked cells, and carry finite per-cell profile metrics; the
@@ -72,12 +76,28 @@ for c in report["cells"]:
     for field in ("kernels", "sim_ns", "busy_ns", "idle_ns", "offline_ns",
                   "utilization_pct", "fast_idle_slow_runnable_ns", "migrations",
                   "migration_wait_ns", "preemptions", "sync_wait_ns",
-                  "contended_acquires", "sched_latency", "run_quantum"):
+                  "contended_acquires", "speed_changes", "reranks",
+                  "tracking_lag_ns", "sched_latency", "run_quantum"):
         assert field in m, f"cell metrics lack {field!r}"
         v = m[field]
         if isinstance(v, (int, float)):
             assert math.isfinite(v), f"non-finite metrics field {field!r}: {v}"
 assert with_metrics, "no cell carries profile metrics despite --json"
+
+# The dynamic-environment cells must be present and actually disturbed:
+# their regimes drive mid-run speed changes the kernel re-ranks against.
+dynamic = [c for c in report["cells"] if c["spec"].startswith("dynamic/")]
+assert dynamic, "no dynamic-environment cells in the sweep report"
+env_changes = sum((c.get("metrics") or {}).get("speed_changes", 0) for c in dynamic)
+assert env_changes > 0, "dynamic regimes produced no speed changes"
+print(f"   dynamic cells OK: {len(dynamic)} cells, {env_changes} environmental speed changes")
+
+with open("SOAK_report.json") as f:
+    soak = json.load(f)
+assert soak["ok"] is True, f"soak invariants broke: {soak}"
+assert soak["panicked"] == 0 and soak["unsettled"] == 0, f"soak degraded: {soak}"
+assert soak["campaigns"], "soak report has no campaigns"
+print(f"   SOAK_report.json OK: {len(soak['campaigns'])} campaign(s), all settled")
 print(f"   BENCH_sweep.json OK: {len(report['cells'])} cells "
       f"({with_metrics} with metrics, {report['memoized_cells']} memoized), "
       f"{report['wall_ms']:.0f} ms wall, {report['cells_wall_ms']:.0f} ms "
