@@ -594,6 +594,164 @@ pub fn rerank_thrash() -> KernelTrace {
     trace
 }
 
+/// A forged trace of a work-stealing balancer bolted onto the
+/// asymmetry-aware contract: on a 2-fast/1-slow machine the stealer
+/// takes a queued thread **from a faster busy core onto the slower idle
+/// core** (the downhill steal, record #5), then keeps feeding the slow
+/// core — the next wakeup lands there while both fast cores sit idle.
+/// The stale-ranking lint must flag the placement: the steal-driven
+/// queue state does not excuse ignoring the speed ranking. The trace
+/// carries the aware policy metadata (the contract being linted); the
+/// history is rewritten by hand like [`stale_ranking_dispatch`].
+pub fn downhill_steal() -> KernelTrace {
+    let mut trace = capture_one(|| {
+        let machine = MachineSpec::asymmetric(2, 1, Speed::fraction_of_full(8));
+        let mut k = Kernel::new(machine, SchedPolicy::asymmetry_aware(), 11);
+        for name in ["w", "v"] {
+            k.spawn(FnThread::new(name, |_cx| Step::Done), SpawnOptions::new());
+        }
+        k.run();
+    });
+    let tids: Vec<_> = trace
+        .records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Spawn { tid, .. } => Some(tid),
+            _ => None,
+        })
+        .collect();
+    let (w, v) = (tids[0], tids[1]);
+    let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+    let spawn = |tid, core| TraceEvent::Spawn {
+        tid,
+        core: CoreId(core),
+        affinity: CoreMask::ALL,
+        parent: None,
+    };
+    trace.records = vec![
+        TraceRecord {
+            time: t(0),
+            event: spawn(w, 0),
+        },
+        TraceRecord {
+            time: t(1),
+            event: TraceEvent::Dispatch {
+                tid: w,
+                core: CoreId(0),
+            },
+        },
+        TraceRecord {
+            time: t(1),
+            event: spawn(v, 1),
+        },
+        TraceRecord {
+            time: t(2),
+            event: TraceEvent::Dispatch {
+                tid: v,
+                core: CoreId(1),
+            },
+        },
+        TraceRecord {
+            time: t(3),
+            event: TraceEvent::Preempt {
+                tid: v,
+                core: CoreId(1),
+                reason: asym_kernel::PreemptReason::Quantum,
+            },
+        },
+        // BUG (planted): the stealer moves v from the fast busy core 1
+        // onto the slow idle core 2.
+        TraceRecord {
+            time: t(3),
+            event: TraceEvent::Steal {
+                tid: v,
+                from: CoreId(1),
+                to: CoreId(2),
+            },
+        },
+        TraceRecord {
+            time: t(4),
+            event: TraceEvent::Sleep { tid: w },
+        },
+        // BUG (consequence): the next wakeup follows the stolen work to
+        // the slow core while fast cores 0 and 1 are idle and eligible.
+        TraceRecord {
+            time: t(5),
+            event: TraceEvent::Wakeup {
+                tid: w,
+                core: CoreId(2),
+                reason: WakeReason::Timer,
+            },
+        },
+    ];
+    trace
+}
+
+/// A forged vruntime-fair trace in which one thread starves: thread `a`
+/// is spawned runnable on core 0 and then sits queued for 220 ms while
+/// threads `b` and `c` are dispatched there 220 times between them —
+/// far past the [`STARVATION_BOUND`](crate::hb::STARVATION_BOUND) and
+/// [`STARVATION_MIN_BYPASSES`](crate::hb::STARVATION_MIN_BYPASSES)
+/// limits. A real lowest-progress-first scheduler can never do this
+/// (a waiting thread's progress never advances, so it wins the queue),
+/// so the history is rewritten by hand like [`stale_ranking_dispatch`].
+pub fn vruntime_starvation() -> KernelTrace {
+    let mut trace = capture_one(|| {
+        let machine = MachineSpec::symmetric(1, Speed::FULL);
+        let mut k = Kernel::new(machine, SchedPolicy::vruntime_fair(), 12);
+        for name in ["a", "b", "c"] {
+            k.spawn(FnThread::new(name, |_cx| Step::Done), SpawnOptions::new());
+        }
+        k.run();
+    });
+    let tids: Vec<_> = trace
+        .records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::Spawn { tid, .. } => Some(tid),
+            _ => None,
+        })
+        .collect();
+    let (a, b, c) = (tids[0], tids[1], tids[2]);
+    let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+    let spawn = |tid| TraceEvent::Spawn {
+        tid,
+        core: CoreId(0),
+        affinity: CoreMask::ALL,
+        parent: None,
+    };
+    let mut records: Vec<TraceRecord> = [a, b, c]
+        .into_iter()
+        .map(|tid| TraceRecord {
+            time: t(0),
+            event: spawn(tid),
+        })
+        .collect();
+    // BUG (planted): 110 rounds of b/c round-robin, never once picking
+    // the equally-runnable a.
+    for round in 0..110u64 {
+        for (slot, tid) in [(0, b), (1, c)] {
+            records.push(TraceRecord {
+                time: t(2 * round + slot),
+                event: TraceEvent::Dispatch {
+                    tid,
+                    core: CoreId(0),
+                },
+            });
+            records.push(TraceRecord {
+                time: t(2 * round + slot + 1),
+                event: TraceEvent::Preempt {
+                    tid,
+                    core: CoreId(0),
+                    reason: asym_kernel::PreemptReason::Quantum,
+                },
+            });
+        }
+    }
+    trace.records = records;
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -797,6 +955,52 @@ mod tests {
                 .any(|v| v.kind == crate::ViolationKind::StaleRerank),
             "announced re-ranks misread as stale: {violations:?}"
         );
+    }
+
+    #[test]
+    fn downhill_steal_fixture_fires_stale_ranking() {
+        let trace = downhill_steal();
+        // The narrative artifact is really there: a steal off a faster
+        // busy core onto the slower idle core.
+        assert!(trace.records.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Steal {
+                from: CoreId(1),
+                to: CoreId(2),
+                ..
+            }
+        )));
+        let violations = crate::hb::check_concurrency(&trace);
+        let v = violations
+            .iter()
+            .find(|v| v.kind == crate::ViolationKind::StaleRanking)
+            .expect("downhill-steal placement must be detected");
+        assert!(v.object.contains("core2"), "object: {}", v.object);
+    }
+
+    #[test]
+    fn vruntime_starvation_fixture_fires_starvation_only() {
+        let trace = vruntime_starvation();
+        let violations = crate::hb::check_concurrency(&trace);
+        let v = violations
+            .iter()
+            .find(|v| v.kind == crate::ViolationKind::Starvation)
+            .expect("starved thread must be detected");
+        assert!(v.object.contains("thread"), "object: {}", v.object);
+        assert!(v.site.ends_with("->end"), "site: {}", v.site);
+        // The vruntime policy is outside the asymmetry-aware lints'
+        // scope, so starvation is the only finding.
+        assert_eq!(violations.len(), 1, "unexpected extras: {violations:?}");
+    }
+
+    #[test]
+    fn starvation_lint_ignores_non_vruntime_policies() {
+        // The same starved history under the stock policy is out of the
+        // fairness lint's scope: FIFO queues order by arrival, and the
+        // priority policy starves by design.
+        let mut trace = vruntime_starvation();
+        trace.policy = SchedPolicy::os_default();
+        assert!(crate::hb::check_starvation(&trace).is_empty());
     }
 
     #[test]

@@ -59,7 +59,7 @@
 //! have damped ([`ViolationKind::RerankThrash`]).
 
 use crate::{KernelTrace, Violation, ViolationKind};
-use asym_kernel::{AtomicOp, ShareId, ThreadId, TraceEvent, WaitId, WakeReason};
+use asym_kernel::{AtomicOp, PolicyKind, ShareId, ThreadId, TraceEvent, WaitId, WakeReason};
 use asym_sim::{CoreId, CoreMask, SimDuration, SimTime};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
@@ -900,14 +900,124 @@ pub fn check_rerank_hygiene(trace: &KernelTrace) -> Vec<Violation> {
     violations
 }
 
+// ----------------------------------------------------------------------
+// Policy lint: fair-share schedulers must not starve a runnable thread
+// ----------------------------------------------------------------------
+
+/// How long a runnable thread may sit continuously queued before the
+/// fairness lint considers it starved (provided enough other dispatches
+/// bypassed it — see [`STARVATION_MIN_BYPASSES`]).
+pub const STARVATION_BOUND: SimDuration = SimDuration::from_millis(200);
+
+/// How many times other threads must be dispatched on the waiting
+/// thread's core, while it sits queued, before the wait counts as
+/// starvation rather than a briefly-overloaded queue.
+pub const STARVATION_MIN_BYPASSES: usize = 64;
+
+/// Lints fair-share (vruntime) traces for starvation: a thread that
+/// stays continuously queued for more than [`STARVATION_BOUND`] while
+/// the scheduler dispatches other threads on its core at least
+/// [`STARVATION_MIN_BYPASSES`] times has been starved — under a
+/// lowest-progress-first discipline a waiting thread's progress never
+/// advances, so it must win the queue long before either limit.
+/// Only applies to [`PolicyKind::VruntimeFair`] traces; priority and
+/// FIFO policies legitimately order threads by other criteria.
+pub fn check_starvation(trace: &KernelTrace) -> Vec<Violation> {
+    if trace.policy.kind() != PolicyKind::VruntimeFair {
+        return Vec::new();
+    }
+    struct Waiting {
+        core: CoreId,
+        since: SimTime,
+        since_idx: usize,
+        bypasses: usize,
+    }
+    let mut queued: HashMap<ThreadId, Waiting> = HashMap::new();
+    let mut violations = Vec::new();
+    let mut flag = |tid: ThreadId, w: &Waiting, end: SimTime, end_idx: Option<usize>| {
+        let waited = end.duration_since(w.since);
+        if waited > STARVATION_BOUND && w.bypasses >= STARVATION_MIN_BYPASSES {
+            let site = match end_idx {
+                Some(idx) => format!("#{}->#{idx}", w.since_idx),
+                None => format!("#{}->end", w.since_idx),
+            };
+            violations.push(
+                Violation::new(
+                    ViolationKind::Starvation,
+                    Some(end),
+                    format!(
+                        "thread {} sat queued on core {} for {waited} (bound \
+                         {STARVATION_BOUND}) while {} other dispatches ran there",
+                        tid.index(),
+                        w.core.0,
+                        w.bypasses,
+                    ),
+                )
+                .with_object(format!("thread{}", tid.index()))
+                .with_site(site),
+            );
+        }
+    };
+    for (i, r) in trace.records.iter().enumerate() {
+        match r.event {
+            TraceEvent::Spawn { tid, core, .. }
+            | TraceEvent::Wakeup { tid, core, .. }
+            | TraceEvent::Preempt { tid, core, .. } => {
+                queued.insert(
+                    tid,
+                    Waiting {
+                        core,
+                        since: r.time,
+                        since_idx: i,
+                        bypasses: 0,
+                    },
+                );
+            }
+            TraceEvent::Steal { tid, to, .. } => {
+                // A migration keeps the wait clock running: the thread
+                // is still runnable-and-not-running, just elsewhere.
+                if let Some(w) = queued.get_mut(&tid) {
+                    w.core = to;
+                }
+            }
+            TraceEvent::Dispatch { tid, core } => {
+                for (other, w) in queued.iter_mut() {
+                    if *other != tid && w.core == core {
+                        w.bypasses += 1;
+                    }
+                }
+                if let Some(w) = queued.remove(&tid) {
+                    flag(tid, &w, r.time, Some(i));
+                }
+            }
+            TraceEvent::Done { tid } | TraceEvent::ThreadKilled { tid } => {
+                queued.remove(&tid);
+            }
+            _ => {}
+        }
+    }
+    // Threads still queued when the trace ends starved with no
+    // terminating dispatch to cite.
+    if let Some(end) = trace.records.last().map(|r| r.time) {
+        let mut leftover: Vec<_> = queued.into_iter().collect();
+        leftover.sort_by_key(|(tid, _)| *tid);
+        for (tid, w) in leftover {
+            flag(tid, &w, end, None);
+        }
+    }
+    violations
+}
+
 /// The full happens-before suite over one trace: vector-clock data
 /// races, lock-set violations, and the scheduler-policy lints
-/// (stale-ranking placements plus re-ranking hygiene), in canonical
-/// (kind, object, site) order with duplicates removed.
+/// (stale-ranking placements, re-ranking hygiene, and fair-share
+/// starvation), in canonical (kind, object, site) order with duplicates
+/// removed.
 pub fn check_concurrency(trace: &KernelTrace) -> Vec<Violation> {
     let mut violations = check_races(trace);
     violations.extend(check_locksets(trace));
     violations.extend(check_stale_ranking(trace));
     violations.extend(check_rerank_hygiene(trace));
+    violations.extend(check_starvation(trace));
     crate::normalize_violations(violations)
 }

@@ -122,6 +122,11 @@ pub enum ViolationKind {
     /// allows within one window — re-ranking churn that defeats the
     /// hysteresis contract and migrates threads for no stable reason.
     RerankThrash,
+    /// Under a fair-share policy, a runnable thread sat continuously
+    /// queued past the starvation bound while the scheduler dispatched
+    /// other threads on its core many times over — the fairness
+    /// invariant (lowest-progress thread runs next) was not honoured.
+    Starvation,
 }
 
 impl fmt::Display for ViolationKind {
@@ -140,6 +145,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::StaleRanking => "stale-ranking",
             ViolationKind::StaleRerank => "stale-rerank",
             ViolationKind::RerankThrash => "rerank-thrash",
+            ViolationKind::Starvation => "starvation",
         };
         f.write_str(s)
     }

@@ -22,9 +22,9 @@
 //! (1f-3s/8) — the CI smoke mode (`--races --quick` likewise).
 
 use asym_analysis::fixtures::{
-    ab_ba_deadlock, lock_order_inversion, lockset_violation, missed_signal, missing_rerank,
-    offline_core_dispatch, rerank_thrash, stale_ranking_dispatch, stalled_run, swallowed_kill,
-    unprotected_write_race,
+    ab_ba_deadlock, downhill_steal, lock_order_inversion, lockset_violation, missed_signal,
+    missing_rerank, offline_core_dispatch, rerank_thrash, stale_ranking_dispatch, stalled_run,
+    swallowed_kill, unprotected_write_race, vruntime_starvation,
 };
 use asym_analysis::hb::{check_concurrency, happens_before};
 use asym_analysis::{analyze_trace, check_workload, render_violations, KernelTrace, ViolationKind};
@@ -110,6 +110,16 @@ fn run_fixtures() -> ExitCode {
         "ranking flapping ten times in a millisecond (forged history)",
         &rerank_thrash(),
         ViolationKind::RerankThrash,
+    );
+    ok &= expect_fires(
+        "work stolen downhill off a faster busy core (forged history)",
+        &downhill_steal(),
+        ViolationKind::StaleRanking,
+    );
+    ok &= expect_fires(
+        "vruntime thread starved past the bound (forged history)",
+        &vruntime_starvation(),
+        ViolationKind::Starvation,
     );
     if ok {
         println!("all detectors fire on their fixtures");

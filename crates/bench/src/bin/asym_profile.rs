@@ -22,8 +22,11 @@ use std::process::ExitCode;
 /// Default path for `--perfetto` without an explicit `=PATH`.
 const DEFAULT_PERFETTO_PATH: &str = "asym_profile_trace.json";
 
-const USAGE: &str = "usage: asym_profile --workload NAME [--config CFG] [--policy stock|aware] \
-                     [--seed N] [--perfetto[=PATH]] | --list";
+const USAGE: &str = "usage: asym_profile --workload NAME [--config CFG] [--policy NAME] \
+                     [--seed N] [--perfetto[=PATH]] | --list\n\
+       --policy takes any registered policy (stock, asym-aware, vrt-fair, \
+                     static-prio, speed-slice, steal-aware, temp-aware) or the \
+                     alias 'aware'";
 
 struct Args {
     workload: Option<String>,
@@ -63,7 +66,7 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 out.config = v.parse().map_err(|e| format!("--config: {e}"))?;
             }
             "--policy" => {
-                let v = it.next().ok_or("--policy needs stock or aware")?;
+                let v = it.next().ok_or("--policy needs a registered policy name")?;
                 out.policy = parse_policy(&v)?;
             }
             "--seed" => {
@@ -100,11 +103,13 @@ fn parse_args(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
 }
 
 fn parse_policy(v: &str) -> Result<SchedPolicy, String> {
-    match v {
-        "stock" => Ok(SchedPolicy::os_default()),
-        "aware" => Ok(SchedPolicy::asymmetry_aware()),
-        other => Err(format!("--policy is stock or aware, got '{other}'")),
-    }
+    SchedPolicy::by_name(v).ok_or_else(|| {
+        let names: Vec<&str> = SchedPolicy::registry().iter().map(|(n, _)| *n).collect();
+        format!(
+            "--policy '{v}' is not registered (one of: {})",
+            names.join(", ")
+        )
+    })
 }
 
 fn list_workloads() -> ExitCode {

@@ -1,0 +1,16 @@
+//! Extension experiment (beyond the paper): the scheduler-policy
+//! tournament. Every policy in `SchedPolicy::registry()` runs the full
+//! eight-workload roster over identical configurations and seeds under
+//! the fault-free resilient harness; the field is ranked on run-to-run
+//! stability, speedup scalability, and `fast_idle_slow_runnable_ns`.
+//! Exits non-zero if any run is unclassified, panics, trips a checker,
+//! or breaks same-seed determinism.
+//!
+//! Thin caller of the `extra_tournament` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, and `--quick`. See `asym_sweep --list`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    asym_bench::spec_main("extra_tournament")
+}

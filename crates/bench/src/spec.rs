@@ -10,12 +10,14 @@
 //! pool and lands in the same structured JSON report.
 
 use crate::{header, render_experiment, render_runs, stability_line};
-use asym_analysis::ViolationLog;
+use asym_analysis::hb::check_concurrency;
+use asym_analysis::{analyze_trace, render_violations, ViolationLog};
 use asym_core::{
     run_experiment_differential, AsymConfig, ExperimentOptions, ResilientOptions, RunClass,
     RunSetup, Scalability, SpecMode, SpecResult, SummaryRow, TextTable, Workload, WorkloadClass,
 };
 use asym_kernel::{capture_traces, with_run_guard, RunGuard, SchedPolicy};
+use asym_obs::{metrics_of_traces, ProfileMetrics};
 use asym_sim::{
     DutyCycle, EnvironmentPlan, EnvironmentProfile, FaultPlan, FaultProfile, SimDuration,
 };
@@ -232,6 +234,11 @@ pub fn registry() -> Vec<SweepSpec> {
             name: "extra_dynamic",
             caption: "Stock-vs-aware differential under continuous dynamic environments",
             build: extra_dynamic,
+        },
+        SweepSpec {
+            name: "extra_tournament",
+            caption: "Scheduler-policy tournament: every registered policy over all workloads",
+            build: extra_tournament,
         },
         SweepSpec {
             name: "mini",
@@ -1584,6 +1591,241 @@ fn extra_dynamic(ctx: &SweepContext) -> SweepDef {
         let ok = all_classified && total_panicked == 0 && deterministic && disturbed_cells > 0;
         if !ok {
             out += "FAILURE: unclassified runs, panics, undisturbed regimes, or non-determinism\n";
+        }
+        Rendered { text: out, ok }
+    });
+    SweepDef { sections, render }
+}
+
+/// One policy's accumulated tournament telemetry: profile metrics
+/// merged over every cell's traces, plus what the full analysis suite
+/// (single-trace checkers and the happens-before lints) found there.
+struct TournamentLog {
+    metrics: ProfileMetrics,
+    violations: usize,
+}
+
+/// Ranks `vals` (0 = best). `higher_better` flips the sort; NaN always
+/// ranks last; ties break to the lower index, so the order is total and
+/// deterministic.
+fn rank_of(vals: &[f64], higher_better: bool) -> Vec<usize> {
+    let keyed: Vec<f64> = vals
+        .iter()
+        .map(|&v| {
+            if v.is_nan() {
+                if higher_better {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                v
+            }
+        })
+        .collect();
+    let mut idx: Vec<usize> = (0..keyed.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let ord = keyed[a].total_cmp(&keyed[b]);
+        let ord = if higher_better { ord.reverse() } else { ord };
+        ord.then(a.cmp(&b))
+    });
+    let mut rank = vec![0; keyed.len()];
+    for (r, &i) in idx.iter().enumerate() {
+        rank[i] = r;
+    }
+    rank
+}
+
+/// The scheduler-policy tournament: every policy in
+/// [`SchedPolicy::registry`] runs the full eight-workload roster over
+/// the same configurations and seeds under the fault-free resilient
+/// harness, and the field is ranked on run-to-run stability (worst
+/// CoV), speedup scalability (mean worst-efficiency), and the paper's
+/// `fast_idle_slow_runnable_ns` counter. Every cell's traces pass
+/// through the complete analysis suite; any finding fails the spec, so
+/// the stale-ranking, rerank-hygiene, and starvation lints hold for
+/// every competitor.
+fn extra_tournament(ctx: &SweepContext) -> SweepDef {
+    let configs = if ctx.quick {
+        vec![AsymConfig::new(1, 3, 8)]
+    } else {
+        vec![
+            AsymConfig::new(1, 3, 8),
+            AsymConfig::new(2, 2, 8),
+            AsymConfig::new(4, 0, 8),
+        ]
+    };
+    let runs = if ctx.quick { 1 } else { 2 };
+    let field = SchedPolicy::registry();
+    let mut sections = Vec::new();
+    let mut logs: Vec<Arc<Mutex<TournamentLog>>> = Vec::new();
+    for (pname, policy) in &field {
+        let log = Arc::new(Mutex::new(TournamentLog {
+            metrics: ProfileMetrics::new(),
+            violations: 0,
+        }));
+        logs.push(Arc::clone(&log));
+        for w in paper_workloads() {
+            let label = format!("tourn/{pname}/{}", w.name());
+            let log = Arc::clone(&log);
+            let pname = pname.to_string();
+            let opts = ResilientOptions::new(runs)
+                .base_seed(4242)
+                .watchdog(SimDuration::from_secs(5))
+                .sim_time_budget(SimDuration::from_secs(120))
+                .retries(1)
+                .observe_traces(move |setup, _result, traces| {
+                    let mut found = Vec::new();
+                    for trace in traces {
+                        found.extend(analyze_trace(trace));
+                        found.extend(check_concurrency(trace));
+                    }
+                    let mut log = log.lock().unwrap();
+                    log.metrics.merge(&metrics_of_traces(traces));
+                    if !found.is_empty() {
+                        log.violations += found.len();
+                        eprintln!(
+                            "  [VIOLATION] {pname} seed {} @ {}: {}",
+                            setup.seed,
+                            setup.config,
+                            render_violations(&found)
+                        );
+                    }
+                });
+            sections.push(Section::resilient(label, w, &configs, *policy, opts));
+        }
+    }
+    let names: Vec<&'static str> = field.iter().map(|(n, _)| *n).collect();
+    let policies: Vec<SchedPolicy> = field.iter().map(|(_, p)| *p).collect();
+    let render = Box::new(move |results: &[SpecResult]| {
+        let mut out = String::new();
+        out += &header(
+            "Extension",
+            "scheduler-policy tournament: workload x config x policy, fault-free resilient harness",
+        );
+        let per_policy = results.len() / names.len();
+        struct Row {
+            completed: usize,
+            total: usize,
+            worst_cov: f64,
+            scal: f64,
+            fast_idle_ms: f64,
+            violations: usize,
+        }
+        let mut rows: Vec<Row> = Vec::new();
+        let mut all_classified = true;
+        let mut total_panicked = 0usize;
+        for (pi, _) in names.iter().enumerate() {
+            let slice = &results[pi * per_policy..(pi + 1) * per_policy];
+            let (mut completed, mut total) = (0usize, 0usize);
+            let mut worst_cov = f64::NAN;
+            let mut effs: Vec<f64> = Vec::new();
+            for r in slice {
+                let exp = r.resilient();
+                let t: usize = exp.outcomes.iter().map(|o| o.records.len()).sum();
+                total += t;
+                completed += exp.count(RunClass::Completed);
+                all_classified &= t == configs.len() * runs;
+                total_panicked += exp.count(RunClass::Panicked);
+                worst_cov = exp
+                    .outcomes
+                    .iter()
+                    .filter_map(|o| o.completed_samples())
+                    .filter(|s| s.len() >= 2)
+                    .map(|s| s.cov())
+                    .fold(worst_cov, f64::max);
+                let points: Vec<(f64, f64)> = exp
+                    .outcomes
+                    .iter()
+                    .filter_map(|o| {
+                        o.completed_samples().map(|s| {
+                            (
+                                o.config.compute_power(),
+                                exp.direction.performance(s.mean()),
+                            )
+                        })
+                    })
+                    .collect();
+                if points.len() >= 2 {
+                    effs.push(Scalability::from_points(&points).worst_efficiency);
+                }
+            }
+            let log = logs[pi].lock().unwrap();
+            rows.push(Row {
+                completed,
+                total,
+                worst_cov,
+                scal: mean(effs.iter().copied()).unwrap_or(f64::NAN),
+                fast_idle_ms: log.metrics.fast_idle_slow_runnable_ns as f64 / 1e6,
+                violations: log.violations,
+            });
+        }
+
+        // Tournament ranking: sum of per-criterion ranks, ties to the
+        // registry order. Stability and fast-idle want small numbers,
+        // scalability wants large ones.
+        let cov_rank = rank_of(&rows.iter().map(|r| r.worst_cov).collect::<Vec<_>>(), false);
+        let scal_rank = rank_of(&rows.iter().map(|r| r.scal).collect::<Vec<_>>(), true);
+        let idle_rank = rank_of(
+            &rows.iter().map(|r| r.fast_idle_ms).collect::<Vec<_>>(),
+            false,
+        );
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by_key(|&i| (cov_rank[i] + scal_rank[i] + idle_rank[i], i));
+
+        let mut table = TextTable::new(vec![
+            "policy",
+            "completed",
+            "worst cov%",
+            "scal eff",
+            "fast-idle ms",
+            "viol",
+            "score",
+        ]);
+        for &i in &order {
+            let r = &rows[i];
+            table.row(vec![
+                names[i].to_string(),
+                format!("{}/{}", r.completed, r.total),
+                if r.worst_cov.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", r.worst_cov * 100.0)
+                },
+                if r.scal.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}", r.scal)
+                },
+                format!("{:.3}", r.fast_idle_ms),
+                rows[i].violations.to_string(),
+                (cov_rank[i] + scal_rank[i] + idle_rank[i]).to_string(),
+            ]);
+        }
+        out += &format!("{}\n", table.render());
+        out += "score = stability rank + scalability rank + fast-idle rank (lower is better)\n";
+
+        let mut deterministic = true;
+        for (name, policy) in names.iter().zip(&policies) {
+            if !same_seed_guarded_reruns_match(*policy, configs[0]) {
+                deterministic = false;
+                out += &format!("NON-DETERMINISM: {name} same-seed reruns diverged\n");
+            }
+        }
+        let total_violations: usize = rows.iter().map(|r| r.violations).sum();
+        out += &format!(
+            "field of {} policies; checkers on all traces: {total_violations} violation(s); \
+             per-policy same-seed rerun hashes identical: {}\n",
+            names.len(),
+            if deterministic { "yes" } else { "NO" }
+        );
+        out += "Every policy completes the paper's roster deterministically; the ranking\n\
+                separates the field on the paper's three axes rather than crowning a\n\
+                single winner for all regimes.\n";
+
+        let ok = all_classified && total_panicked == 0 && total_violations == 0 && deterministic;
+        if !ok {
+            out += "FAILURE: unclassified runs, panics, violations, or non-determinism\n";
         }
         Rendered { text: out, ok }
     });

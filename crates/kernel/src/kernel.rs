@@ -1,7 +1,8 @@
 //! The simulated kernel: event loop, run queues, dispatch, and balancing.
 
 use crate::guard::current_guard;
-use crate::policy::{PolicyKind, SchedPolicy};
+use crate::placement::{placement_for, PlacementPolicy};
+use crate::policy::SchedPolicy;
 use crate::thread::{ShareId, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
 use crate::trace::{access_tracing_enabled, register_kernel, TraceRecord, TraceSink};
 use asym_sim::{
@@ -10,6 +11,7 @@ use asym_sim::{
 };
 use std::collections::VecDeque;
 use std::fmt;
+use std::rc::Rc;
 
 /// Default scheduler time slice (1 ms of wall time, as in tick-based
 /// kernels of the paper's era).
@@ -410,16 +412,16 @@ enum TState {
     Done,
 }
 
-struct Thread {
+pub(crate) struct Thread {
     name: String,
     body: Option<Box<dyn ThreadBody>>,
     state: TState,
     pending: Pending,
-    affinity: CoreMask,
+    pub(crate) affinity: CoreMask,
     /// Shielded from injected `KillThread` faults (external clients,
     /// drivers, and supervisor processes).
     kill_exempt: bool,
-    last_core: Option<usize>,
+    pub(crate) last_core: Option<usize>,
     state_since: SimTime,
     /// When the thread last executed on a core (cache-hotness clock).
     last_ran: SimTime,
@@ -437,12 +439,12 @@ struct Running {
     completes: bool,
 }
 
-struct Core {
-    speed: Speed,
+pub(crate) struct Core {
+    pub(crate) speed: Speed,
     /// False while the core is hotplugged out: it holds no work, accepts
     /// no dispatches, and is invisible to placement and balancing.
     online: bool,
-    queue: VecDeque<ThreadId>,
+    pub(crate) queue: VecDeque<ThreadId>,
     current: Option<Running>,
     /// True while a thread body is being stepped on this core (between
     /// slices, `current` is empty but the core is NOT idle — placement
@@ -457,7 +459,7 @@ struct Core {
 }
 
 impl Core {
-    fn load(&self) -> usize {
+    pub(crate) fn load(&self) -> usize {
         self.queue.len() + usize::from(self.current.is_some() || self.executing)
     }
 }
@@ -468,9 +470,9 @@ impl Core {
 /// [`ENV_CONFIRM_TICKS`] ticks and [`ENV_MIN_APPLY_INTERVAL`] since the
 /// core's previous committed change.
 #[derive(Debug, Clone, Copy, Default)]
-struct EnvPending {
+pub(crate) struct EnvPending {
     /// The latest uncommitted target, if it differs from the live speed.
-    target: Option<Speed>,
+    pub(crate) target: Option<Speed>,
     /// Consecutive ticks the target has persisted unchanged.
     streak: u32,
     /// When this core last committed an environment speed change.
@@ -544,12 +546,15 @@ pub struct KernelStats {
 pub struct Kernel {
     machine: MachineSpec,
     policy: SchedPolicy,
+    /// Strategy object resolved from `policy.kind()` at construction; the
+    /// seat of every policy-sensitive decision (see `placement.rs`).
+    placement: Rc<dyn PlacementPolicy>,
     time: SimTime,
     events: EventQueue<Event>,
-    rng: Rng,
-    threads: Vec<Thread>,
+    pub(crate) rng: Rng,
+    pub(crate) threads: Vec<Thread>,
     waits: Vec<VecDeque<ThreadId>>,
-    cores: Vec<Core>,
+    pub(crate) cores: Vec<Core>,
     pending_dispatch: VecDeque<usize>,
     pending_set: Vec<bool>,
     live_threads: usize,
@@ -582,7 +587,7 @@ pub struct Kernel {
     environment: Option<EnvironmentState>,
     env_scheduled: bool,
     /// Per-core hysteresis state for environment speed targets.
-    env_pending: Vec<EnvPending>,
+    pub(crate) env_pending: Vec<EnvPending>,
     /// Number of shared objects registered via [`Kernel::register_shared`].
     shared_count: usize,
     /// Whether shared-access annotation events (`SharedRead`/`SharedWrite`/
@@ -621,6 +626,7 @@ impl Kernel {
         let mut kernel = Kernel {
             machine,
             policy,
+            placement: placement_for(policy),
             time: SimTime::ZERO,
             events: EventQueue::new(),
             rng: Rng::new(seed),
@@ -895,15 +901,15 @@ impl Kernel {
         });
         self.live_threads += 1;
         let core = match parent_core {
-            // Fork semantics only apply under the stock policy. The
-            // asymmetry-aware scheduler must place even forked children
-            // through its speed-aware chooser: starting a child on a slow
-            // parent's core while a faster core idles would break the
-            // "fast cores never idle while slower cores hold runnable
+            // Fork semantics only apply when the policy honors them.
+            // Speed-aware schedulers must place even forked children
+            // through their speed-aware chooser: starting a child on a
+            // slow parent's core while a faster core idles would break
+            // the "fast cores never idle while slower cores hold runnable
             // work" invariant for up to a whole balance period.
             Some(c)
                 if opts.on_parent_core
-                    && !self.policy.is_asymmetry_aware()
+                    && self.placement.honors_fork_placement()
                     && opts.affinity.contains(CoreId(c)) =>
             {
                 c
@@ -1273,10 +1279,11 @@ impl Kernel {
         };
         let speed = self.cores[core].speed;
         let to_finish = remaining.duration_at(speed);
-        let (len, completes) = if to_finish <= self.quantum {
+        let quantum = self.placement.slice_for(self.quantum, speed);
+        let (len, completes) = if to_finish <= quantum {
             (to_finish, true)
         } else {
-            (self.quantum, false)
+            (quantum, false)
         };
         let key = self
             .events
@@ -1618,7 +1625,7 @@ impl Kernel {
                 if self.cores[core].current.is_some() {
                     break;
                 }
-                let Some(tid) = self.cores[core].queue.pop_front() else {
+                let Some(tid) = self.take_next(core) else {
                     if !self.idle_pull(core) {
                         if self.cores[core].idle_since.is_none() {
                             self.cores[core].idle_since = Some(self.time);
@@ -1631,6 +1638,17 @@ impl Kernel {
                 self.dispatch(core, tid);
             }
         }
+    }
+
+    /// Removes and returns the thread `core` should dispatch next, per
+    /// the policy's queue discipline (FIFO unless overridden).
+    fn take_next(&mut self, core: usize) -> Option<ThreadId> {
+        if self.cores[core].queue.is_empty() {
+            return None;
+        }
+        let placement = Rc::clone(&self.placement);
+        let idx = placement.select_next(self, core);
+        self.cores[core].queue.remove(idx)
     }
 
     fn dispatch(&mut self, core: usize, tid: ThreadId) {
@@ -1699,27 +1717,41 @@ impl Kernel {
             reason,
         });
         self.mark_dispatch(core);
+        // Policy preemption hook: e.g. static-priority interrupts a
+        // lower-priority thread running on the wakee's core.
+        let placement = Rc::clone(&self.placement);
+        placement.after_wakeup(self, tid, core);
+    }
+
+    /// The thread currently mid-slice on `core`, if any (`None` while the
+    /// core is idle or stepping a body between slices).
+    pub(crate) fn running_tid(&self, core: usize) -> Option<ThreadId> {
+        self.cores[core].current.as_ref().map(|r| r.tid)
+    }
+
+    /// Interrupts the thread running on `core` and requeues it on that
+    /// same core (policy-initiated preemption; the dispatcher then
+    /// re-selects by queue discipline).
+    pub(crate) fn preempt_current_to_queue(&mut self, core: usize) {
+        let tid = self.interrupt_running(core);
+        self.threads[tid.0].state = TState::Runnable(core);
+        self.threads[tid.0].state_since = self.time;
+        self.cores[core].queue.push_back(tid);
+        self.mark_dispatch(core);
     }
 
     // ------------------------------------------------------------------
     // Placement and balancing
     // ------------------------------------------------------------------
 
-    /// Wakeup placement: under the stock policy, a sync wakeup pulls the
-    /// wakee to the waker's core when the wakee's previous core is busy
-    /// with another thread and the waker's core has room (2.6's
-    /// wake-affine migration). Otherwise standard placement applies.
+    /// Wakeup placement: the policy may redirect a sync wakeup (e.g. the
+    /// stock wake-affine pull to the waker's core when the wakee's
+    /// previous core is busy and the waker's has room, 2.6's wake-affine
+    /// migration). Otherwise standard placement applies.
     fn place_wakeup(&mut self, tid: ThreadId, waker_core: Option<usize>) -> usize {
-        if self.policy.kind() == PolicyKind::LoadBalancing && self.policy.wake_affine() {
-            if let (Some(waker), Some(prev)) = (waker_core, self.threads[tid.0].last_core) {
-                let affinity = self.threads[tid.0].affinity;
-                let prev_busy = affinity.contains(CoreId(prev)) && self.cores[prev].load() >= 1;
-                let waker_has_room =
-                    affinity.contains(CoreId(waker)) && self.cores[waker].load() <= 1;
-                if prev_busy && waker_has_room && waker != prev {
-                    return waker;
-                }
-            }
+        let placement = Rc::clone(&self.placement);
+        if let Some(core) = placement.wake_target(self, tid, waker_core) {
+            return core;
         }
         self.place_thread(tid)
     }
@@ -1735,7 +1767,6 @@ impl Kernel {
     /// loaded).
     fn place_thread_prefer(&mut self, tid: ThreadId, prefer: Option<usize>) -> usize {
         let affinity = self.threads[tid.0].affinity;
-        let last = self.threads[tid.0].last_core;
         let mut candidates: Vec<usize> = (0..self.cores.len())
             .filter(|&i| self.cores[i].online && affinity.contains(CoreId(i)))
             .collect();
@@ -1747,72 +1778,8 @@ impl Kernel {
             candidates = self.widen_affinity(tid);
         }
         debug_assert!(!candidates.is_empty(), "one core is always online");
-        match self.policy.kind() {
-            PolicyKind::LoadBalancing => {
-                let min_load = candidates
-                    .iter()
-                    .map(|&i| self.cores[i].load())
-                    .min()
-                    .expect("non-empty candidates");
-                let ties: Vec<usize> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&i| self.cores[i].load() == min_load)
-                    .collect();
-                if self.policy.wake_affine() {
-                    // Cache-affine wakeups with the classic one-task
-                    // imbalance tolerance: a woken thread returns to the
-                    // core it last ran on — regardless of that core's
-                    // SPEED, which is precisely how a thread ends up "on a
-                    // slower core even though a faster core is available"
-                    // (§3.4.1) — unless that core is more than one task
-                    // busier than the least-loaded alternative.
-                    if let Some(prev) = last {
-                        if candidates.contains(&prev) {
-                            return prev;
-                        }
-                    }
-                }
-                if let Some(p) = prefer {
-                    if ties.contains(&p) {
-                        return p;
-                    }
-                }
-                if self.policy.random_tie_break() && ties.len() > 1 {
-                    ties[self.rng.index(ties.len())]
-                } else {
-                    ties[0]
-                }
-            }
-            PolicyKind::AsymmetryAware => {
-                // Fastest idle core first; otherwise minimize (load+1)/speed.
-                let idle: Option<usize> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&i| self.cores[i].load() == 0)
-                    .max_by(|&a, &b| {
-                        self.cores[a]
-                            .speed
-                            .cmp(&self.cores[b].speed)
-                            .then(b.cmp(&a)) // prefer lowest index on ties
-                    });
-                if let Some(i) = idle {
-                    return i;
-                }
-                candidates
-                    .iter()
-                    .copied()
-                    .min_by(|&a, &b| {
-                        let da = (self.cores[a].load() + 1) as f64 / self.cores[a].speed.factor();
-                        let db = (self.cores[b].load() + 1) as f64 / self.cores[b].speed.factor();
-                        da.partial_cmp(&db)
-                            .expect("densities are finite")
-                            .then(self.cores[b].speed.cmp(&self.cores[a].speed))
-                            .then(a.cmp(&b))
-                    })
-                    .expect("non-empty candidates")
-            }
-        }
+        let placement = Rc::clone(&self.placement);
+        placement.choose_core(self, tid, prefer, &candidates)
     }
 
     /// Widens `tid`'s affinity to all online cores, tracing the override,
@@ -1834,41 +1801,19 @@ impl Kernel {
     /// elsewhere. Returns `true` if a thread was pulled into this core's
     /// queue.
     fn idle_pull(&mut self, core: usize) -> bool {
-        match self.policy.kind() {
-            PolicyKind::LoadBalancing => {
-                // Steal one *queued* thread from the core with the longest
-                // queue (the stock kernel never moves a running thread).
-                let busiest = self.busiest_queue(core);
-                if let Some(src) = busiest {
-                    return self.steal_queued(src, core, true);
-                }
-                false
-            }
-            PolicyKind::AsymmetryAware => {
-                if let Some(src) = self.busiest_queue(core) {
-                    if self.steal_queued(src, core, true) {
-                        return true;
-                    }
-                }
-                // "Fast cores never go idle before slower cores": pull the
-                // running thread off a strictly slower core.
-                if self.policy.migrate_running() {
-                    return self.pull_running_from_slower(core);
-                }
-                false
-            }
-        }
+        let placement = Rc::clone(&self.placement);
+        placement.idle_pull(self, core)
     }
 
     /// Returns `true` when `tid` may be idle-stolen to `for_core`: it must
-    /// be affine to the target and, under the stock policy, cache-cold
-    /// (not run or enqueued within [`CACHE_HOT_WINDOW`]).
-    fn can_idle_steal(&self, tid: ThreadId, for_core: usize) -> bool {
+    /// be affine to the target and, under cache-hot-honoring policies,
+    /// cache-cold (not run or enqueued within [`CACHE_HOT_WINDOW`]).
+    pub(crate) fn can_idle_steal(&self, tid: ThreadId, for_core: usize) -> bool {
         let th = &self.threads[tid.0];
         if !th.affinity.contains(CoreId(for_core)) {
             return false;
         }
-        if self.policy.is_asymmetry_aware() {
+        if self.placement.bypasses_cache_hot() {
             return true;
         }
 
@@ -1891,7 +1836,7 @@ impl Kernel {
     /// The core (≠ `for_core`) with the longest non-empty queue holding at
     /// least one thread allowed to run on `for_core`, ties broken randomly
     /// under the stock policy.
-    fn busiest_queue(&mut self, for_core: usize) -> Option<usize> {
+    pub(crate) fn busiest_queue(&mut self, for_core: usize) -> Option<usize> {
         let mut best: Vec<usize> = Vec::new();
         let mut best_len = 0usize;
         for i in 0..self.cores.len() {
@@ -1927,7 +1872,7 @@ impl Kernel {
     /// `dst`'s queue. Idle stealing honours the cache-hot window under the
     /// stock policy; the periodic balancer overrides it (as real kernels
     /// do once imbalance persists).
-    fn steal_queued(&mut self, src: usize, dst: usize, honor_cache_hot: bool) -> bool {
+    pub(crate) fn steal_queued(&mut self, src: usize, dst: usize, honor_cache_hot: bool) -> bool {
         let pos = self.cores[src].queue.iter().rposition(|t| {
             if honor_cache_hot {
                 self.can_idle_steal(*t, dst)
@@ -1951,7 +1896,7 @@ impl Kernel {
     /// Pulls the running thread off the slowest strictly-slower busy core
     /// onto idle core `dst`. Implements the paper's "a process is
     /// explicitly migrated from a slow core to an idle fast core".
-    fn pull_running_from_slower(&mut self, dst: usize) -> bool {
+    pub(crate) fn pull_running_from_slower(&mut self, dst: usize) -> bool {
         let dst_speed = self.cores[dst].speed;
         let src = (0..self.cores.len())
             .filter(|&i| i != dst && self.cores[i].speed < dst_speed)
@@ -2025,10 +1970,8 @@ impl Kernel {
 
     /// The periodic balancer.
     fn balance(&mut self) {
-        match self.policy.kind() {
-            PolicyKind::LoadBalancing => self.balance_stock(),
-            PolicyKind::AsymmetryAware => self.balance_aware(),
-        }
+        let placement = Rc::clone(&self.placement);
+        placement.balance(self);
         // Any core that is idle with work available elsewhere re-checks.
         for i in 0..self.cores.len() {
             if self.cores[i].online && self.cores[i].current.is_none() {
@@ -2039,7 +1982,7 @@ impl Kernel {
 
     /// Equalize decayed load averages, ignoring core speeds (stock
     /// kernel). Steals respect cache hotness.
-    fn balance_stock(&mut self) {
+    pub(crate) fn balance_stock(&mut self) {
         for _ in 0..self.threads.len().max(4) {
             let (mut max_i, mut min_i) = (0usize, 0usize);
             let (mut max_l, mut min_l) = (f64::MIN, f64::MAX);
@@ -2079,7 +2022,7 @@ impl Kernel {
 
     /// Speed-weighted balancing: minimize the maximum of load/speed, and
     /// never leave a fast core idle while a slower core has queued work.
-    fn balance_aware(&mut self) {
+    pub(crate) fn balance_aware(&mut self) {
         // Phase 1: fill idle cores, fastest first. Only *surplus* threads
         // (cores with load ≥ 2) are stolen; otherwise an idle faster core
         // may pull the running thread off a strictly slower core. The

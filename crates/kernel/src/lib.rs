@@ -50,6 +50,7 @@
 
 mod guard;
 mod kernel;
+mod placement;
 mod policy;
 mod thread;
 mod trace;

@@ -14,6 +14,15 @@
 //!
 //! [`SchedPolicy`] captures both, plus the individual knobs so ablation
 //! benches can isolate which mechanism matters.
+//!
+//! Beyond the paper's two-point comparison, the policy *zoo* adds four
+//! competitors drawn from the asymmetric-scheduling literature (see
+//! DESIGN.md §11): a CFS-like speed-scaled-vruntime policy, a
+//! static-priority policy, a speed-proportional-slice policy, and a
+//! speed-aware work-stealing policy, plus a temperature-aware variant
+//! that avoids cores about to be throttled. All registered policies are
+//! enumerable via [`SchedPolicy::registry`] so tournaments and
+//! conformance suites cover the full field automatically.
 
 use std::fmt;
 
@@ -24,6 +33,23 @@ pub enum PolicyKind {
     LoadBalancing,
     /// The paper's asymmetry-aware scheduler.
     AsymmetryAware,
+    /// CFS-like fair scheduler keyed on speed-scaled virtual runtime:
+    /// the queued thread with the fewest retired cycles runs next.
+    VruntimeFair,
+    /// Fixed priority classes with FIFO order within a class and
+    /// preemption of lower-priority running threads on wakeup.
+    StaticPriority,
+    /// Stock placement, but the time slice is scaled inversely with core
+    /// speed so every slice retires roughly equal work.
+    SpeedSlice,
+    /// Speed-aware work stealing: purely local placement, no periodic
+    /// balancer; idle cores steal from the queue with the highest
+    /// per-speed density.
+    WorkStealing,
+    /// Asymmetry-aware placement that ranks cores by the *committed*
+    /// environment speed target instead of the live speed, avoiding
+    /// cores that are about to be throttled.
+    TemperatureAware,
 }
 
 impl fmt::Display for PolicyKind {
@@ -31,6 +57,11 @@ impl fmt::Display for PolicyKind {
         match self {
             PolicyKind::LoadBalancing => write!(f, "stock"),
             PolicyKind::AsymmetryAware => write!(f, "asym-aware"),
+            PolicyKind::VruntimeFair => write!(f, "vrt-fair"),
+            PolicyKind::StaticPriority => write!(f, "static-prio"),
+            PolicyKind::SpeedSlice => write!(f, "speed-slice"),
+            PolicyKind::WorkStealing => write!(f, "steal-aware"),
+            PolicyKind::TemperatureAware => write!(f, "temp-aware"),
         }
     }
 }
@@ -39,7 +70,8 @@ impl fmt::Display for PolicyKind {
 ///
 /// Use [`SchedPolicy::os_default`] for the stock speed-agnostic scheduler
 /// and [`SchedPolicy::asymmetry_aware`] for the paper's modified kernel.
-/// The remaining constructors expose ablation variants.
+/// The remaining constructors expose ablation variants and the policy-zoo
+/// competitors; [`SchedPolicy::registry`] enumerates every named policy.
 ///
 /// # Examples
 ///
@@ -50,6 +82,9 @@ impl fmt::Display for PolicyKind {
 /// assert!(stock.random_tie_break());
 /// let fixed = SchedPolicy::asymmetry_aware();
 /// assert!(fixed.migrate_running());
+/// let zoo = SchedPolicy::registry();
+/// assert!(zoo.len() >= 6);
+/// assert_eq!(SchedPolicy::by_name("vrt-fair"), Some(SchedPolicy::vruntime_fair()));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SchedPolicy {
@@ -106,6 +141,105 @@ impl SchedPolicy {
         }
     }
 
+    /// CFS-like fair scheduler: each core dispatches the queued thread
+    /// with the minimum retired cycle count (virtual runtime measured in
+    /// retired work, which is inherently speed-scaled — a thread stuck on
+    /// a slow core accrues vruntime slowly and is favored later).
+    /// Placement is deterministic least-loaded/fastest-first.
+    pub fn vruntime_fair() -> Self {
+        SchedPolicy {
+            kind: PolicyKind::VruntimeFair,
+            random_tie_break: false,
+            wake_affine: false,
+            migrate_running: false,
+        }
+    }
+
+    /// Static-priority scheduler: threads get a fixed synthetic priority
+    /// class; dispatch picks the best class FIFO, and a wakeup of a
+    /// higher-priority thread preempts a lower-priority running thread.
+    pub fn static_priority() -> Self {
+        SchedPolicy {
+            kind: PolicyKind::StaticPriority,
+            random_tie_break: false,
+            wake_affine: true,
+            migrate_running: false,
+        }
+    }
+
+    /// Speed-proportional-slice scheduler: stock deterministic placement
+    /// with the quantum scaled by the inverse of core speed so each slice
+    /// retires roughly the same number of cycles on fast and slow cores.
+    pub fn speed_slice() -> Self {
+        SchedPolicy {
+            kind: PolicyKind::SpeedSlice,
+            random_tie_break: false,
+            wake_affine: true,
+            migrate_running: false,
+        }
+    }
+
+    /// Speed-aware work-stealing scheduler: no periodic balancer; new and
+    /// woken threads stay local; idle cores steal from the queue with the
+    /// highest per-speed density and may pull a running thread off a
+    /// strictly slower core.
+    pub fn work_stealing() -> Self {
+        SchedPolicy {
+            kind: PolicyKind::WorkStealing,
+            random_tie_break: false,
+            wake_affine: false,
+            migrate_running: true,
+        }
+    }
+
+    /// Temperature-aware scheduler: asymmetry-aware placement and
+    /// balancing, but core speed is taken as the minimum of the live
+    /// speed and any pending environment speed target, so work avoids a
+    /// fast core that the thermal model is about to throttle.
+    pub fn temperature_aware() -> Self {
+        SchedPolicy {
+            kind: PolicyKind::TemperatureAware,
+            random_tie_break: false,
+            wake_affine: false,
+            migrate_running: true,
+        }
+    }
+
+    /// Every registered tournament policy, as `(name, policy)` pairs.
+    ///
+    /// The name equals the policy's `Display` rendering and is the key
+    /// used by sweep specs, golden-hash labels, and CLI `--policy`
+    /// arguments. Ablation variants (`stock(+det)`, `asym-aware(-mig)`)
+    /// are deliberately excluded: they are mechanism probes, not
+    /// competitors.
+    pub fn registry() -> Vec<(&'static str, SchedPolicy)> {
+        vec![
+            ("stock", SchedPolicy::os_default()),
+            ("asym-aware", SchedPolicy::asymmetry_aware()),
+            ("vrt-fair", SchedPolicy::vruntime_fair()),
+            ("static-prio", SchedPolicy::static_priority()),
+            ("speed-slice", SchedPolicy::speed_slice()),
+            ("steal-aware", SchedPolicy::work_stealing()),
+            ("temp-aware", SchedPolicy::temperature_aware()),
+        ]
+    }
+
+    /// Look up a registered policy by name. Accepts the registry names
+    /// plus the legacy aliases `aware` (for `asym-aware`) and the
+    /// ablation constructors' display forms.
+    pub fn by_name(name: &str) -> Option<SchedPolicy> {
+        match name {
+            "aware" => return Some(SchedPolicy::asymmetry_aware()),
+            "stock(+det)" => return Some(SchedPolicy::os_default_deterministic()),
+            "asym-aware(-mig)" => return Some(SchedPolicy::asymmetry_aware_no_migration()),
+            _ => {}
+        }
+        SchedPolicy::registry()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p)
+    }
+
     /// The algorithm family.
     pub fn kind(&self) -> PolicyKind {
         self.kind
@@ -143,10 +277,10 @@ impl fmt::Display for SchedPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.kind)?;
         if !self.random_tie_break && self.kind == PolicyKind::LoadBalancing {
-            write!(f, "+det")?;
+            write!(f, "(+det)")?;
         }
         if !self.migrate_running && self.kind == PolicyKind::AsymmetryAware {
-            write!(f, "-mig")?;
+            write!(f, "(-mig)")?;
         }
         Ok(())
     }
@@ -183,11 +317,45 @@ mod tests {
         assert_eq!(SchedPolicy::asymmetry_aware().to_string(), "asym-aware");
         assert_eq!(
             SchedPolicy::os_default_deterministic().to_string(),
-            "stock+det"
+            "stock(+det)"
         );
         assert_eq!(
             SchedPolicy::asymmetry_aware_no_migration().to_string(),
-            "asym-aware-mig"
+            "asym-aware(-mig)"
         );
+        assert_eq!(SchedPolicy::vruntime_fair().to_string(), "vrt-fair");
+        assert_eq!(SchedPolicy::static_priority().to_string(), "static-prio");
+        assert_eq!(SchedPolicy::speed_slice().to_string(), "speed-slice");
+        assert_eq!(SchedPolicy::work_stealing().to_string(), "steal-aware");
+        assert_eq!(SchedPolicy::temperature_aware().to_string(), "temp-aware");
+    }
+
+    #[test]
+    fn registry_names_match_display_and_roundtrip() {
+        let reg = SchedPolicy::registry();
+        assert!(reg.len() >= 6, "tournament needs at least six policies");
+        for (name, policy) in &reg {
+            assert_eq!(
+                &policy.to_string(),
+                name,
+                "registry name must equal Display"
+            );
+            assert_eq!(SchedPolicy::by_name(name), Some(*policy));
+        }
+        // Registry names are unique.
+        let mut names: Vec<_> = reg.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len());
+        // Legacy alias and ablation lookups.
+        assert_eq!(
+            SchedPolicy::by_name("aware"),
+            Some(SchedPolicy::asymmetry_aware())
+        );
+        assert_eq!(
+            SchedPolicy::by_name("stock(+det)"),
+            Some(SchedPolicy::os_default_deterministic())
+        );
+        assert_eq!(SchedPolicy::by_name("nope"), None);
     }
 }

@@ -54,6 +54,34 @@ fn matrix() -> Vec<(AsymConfig, SchedPolicy, &'static str)> {
             SchedPolicy::asymmetry_aware(),
             "aware",
         ),
+        // One representative config per tournament policy, keyed by its
+        // registry name, so every policy in the zoo is pinned by at
+        // least one golden cell.
+        (
+            AsymConfig::new(1, 3, 8),
+            SchedPolicy::vruntime_fair(),
+            "vrt-fair",
+        ),
+        (
+            AsymConfig::new(2, 2, 8),
+            SchedPolicy::static_priority(),
+            "static-prio",
+        ),
+        (
+            AsymConfig::new(1, 3, 8),
+            SchedPolicy::speed_slice(),
+            "speed-slice",
+        ),
+        (
+            AsymConfig::new(2, 2, 8),
+            SchedPolicy::work_stealing(),
+            "steal-aware",
+        ),
+        (
+            AsymConfig::new(1, 3, 8),
+            SchedPolicy::temperature_aware(),
+            "temp-aware",
+        ),
     ]
 }
 
@@ -171,6 +199,60 @@ fn mini_sweep(jobs: usize) -> (String, Vec<Option<u64>>) {
     }
     let hashes = outcome.report.cells.iter().map(|c| c.trace_hash).collect();
     (rendered, hashes)
+}
+
+/// Runs H264 under every registered policy on one asymmetric config
+/// through the cell engine at `jobs` host threads — the policy-zoo
+/// analogue of [`mini_sweep`].
+fn zoo_sweep(jobs: usize) -> (String, Vec<Option<u64>>) {
+    let h264 = H264::new();
+    let config = [AsymConfig::new(1, 3, 8)];
+    let mut plan = ExperimentPlan::new("golden-zoo");
+    for (name, policy) in SchedPolicy::registry() {
+        plan.push(
+            name,
+            &h264,
+            &config,
+            SpecMode::Clean {
+                policy,
+                options: ExperimentOptions::new(2),
+            },
+        );
+    }
+    let outcome = CellRunner::new(jobs).run(plan);
+    let mut rendered = String::new();
+    for r in &outcome.results {
+        writeln!(rendered, "{}", r.clean()).unwrap();
+    }
+    let hashes = outcome.report.cells.iter().map(|c| c.trace_hash).collect();
+    (rendered, hashes)
+}
+
+/// Every registered policy must be jobs-independent through the cell
+/// engine: identical per-cell trace hashes and rendered tables at
+/// `--jobs 1` and `--jobs 4`.
+#[test]
+fn policy_zoo_sweep_is_identical_across_jobs() {
+    let (serial_text, serial_hashes) = zoo_sweep(1);
+    let (parallel_text, parallel_hashes) = zoo_sweep(4);
+    // Two runs per policy (`ExperimentOptions::new(2)`) → two cells each.
+    assert_eq!(
+        serial_hashes.len(),
+        2 * SchedPolicy::registry().len(),
+        "two cells per registered policy"
+    );
+    assert!(
+        serial_hashes.iter().all(|h| h.is_some()),
+        "every clean cell must record a trace hash"
+    );
+    assert_eq!(
+        serial_hashes, parallel_hashes,
+        "per-cell trace hashes changed with host thread count"
+    );
+    assert_eq!(
+        serial_text, parallel_text,
+        "rendered output changed with host thread count"
+    );
 }
 
 /// Host parallelism must be invisible in the results: the same plan at

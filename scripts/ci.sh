@@ -43,8 +43,8 @@ echo "==> asym_soak --quick --json (chaos soak: randomized environment x fault c
 cargo run -q --release -p asym-bench --bin asym_soak -- --quick --json > /dev/null
 test -s SOAK_report.json || { echo "FAIL: SOAK_report.json missing or empty"; exit 1; }
 
-echo "==> asym_sweep mini extra_dynamic --quick --check --jobs 2 --json (driver smoke + dynamic regimes + per-cell concurrency check)"
-cargo run -q --release -p asym-bench --bin asym_sweep -- mini extra_dynamic --quick --check --jobs 2 --json > /dev/null
+echo "==> asym_sweep mini extra_dynamic extra_tournament --quick --check --jobs 2 --json (driver smoke + dynamic regimes + policy tournament + per-cell concurrency check)"
+cargo run -q --release -p asym-bench --bin asym_sweep -- mini extra_dynamic extra_tournament --quick --check --jobs 2 --json > /dev/null
 
 # The structured report must exist, be well-formed, contain no panicked
 # or deadlocked cells, and carry finite per-cell profile metrics; the
@@ -91,6 +91,26 @@ assert dynamic, "no dynamic-environment cells in the sweep report"
 env_changes = sum((c.get("metrics") or {}).get("speed_changes", 0) for c in dynamic)
 assert env_changes > 0, "dynamic regimes produced no speed changes"
 print(f"   dynamic cells OK: {len(dynamic)} cells, {env_changes} environmental speed changes")
+
+# The policy tournament must field every registered policy, with every
+# cell completed and lint-clean (the per-cell --check already failed the
+# sweep on any violation; re-assert it structurally here).
+REGISTRY = ["stock", "asym-aware", "vrt-fair", "static-prio",
+            "speed-slice", "steal-aware", "temp-aware"]
+tourn = [c for c in report["cells"] if c["spec"].startswith("tourn/")]
+assert tourn, "no tournament cells in the sweep report"
+by_policy = {}
+for c in tourn:
+    by_policy.setdefault(c["policy"], []).append(c)
+missing = [p for p in REGISTRY if p not in by_policy]
+assert not missing, f"tournament missing registered policies: {missing}"
+for p, cells in sorted(by_policy.items()):
+    incomplete = [c["spec"] for c in cells if c["class"] != "completed"]
+    assert not incomplete, f"policy {p!r} has incomplete cells: {incomplete[:3]}"
+    dirty = [c["spec"] for c in cells if c.get("violations")]
+    assert not dirty, f"policy {p!r} has analysis violations: {dirty[:3]}"
+print(f"   tournament cells OK: {len(tourn)} cells across "
+      f"{len(by_policy)} policies, all completed and violation-free")
 
 with open("SOAK_report.json") as f:
     soak = json.load(f)
