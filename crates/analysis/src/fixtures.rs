@@ -218,15 +218,14 @@ pub fn offline_core_dispatch() -> KernelTrace {
         k.run();
     });
     let tid = trace
-        .records
-        .iter()
+        .records()
         .find_map(|r| match r.event {
             TraceEvent::Spawn { tid, .. } => Some(tid),
             _ => None,
         })
         .expect("captured trace has a spawn");
     let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
-    trace.records = vec![
+    trace.set_records(vec![
         TraceRecord {
             time: t(0),
             event: TraceEvent::Spawn {
@@ -248,7 +247,7 @@ pub fn offline_core_dispatch() -> KernelTrace {
                 core: CoreId(1),
             },
         },
-    ];
+    ]);
     trace
 }
 
@@ -266,15 +265,14 @@ pub fn swallowed_kill() -> KernelTrace {
         k.run();
     });
     let tid = trace
-        .records
-        .iter()
+        .records()
         .find_map(|r| match r.event {
             TraceEvent::Spawn { tid, .. } => Some(tid),
             _ => None,
         })
         .expect("captured trace has a spawn");
     let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
-    trace.records = vec![
+    trace.set_records(vec![
         TraceRecord {
             time: t(0),
             event: TraceEvent::Spawn {
@@ -297,7 +295,7 @@ pub fn swallowed_kill() -> KernelTrace {
             time: t(2),
             event: TraceEvent::ThreadKilled { tid },
         },
-    ];
+    ]);
     trace
 }
 
@@ -416,15 +414,14 @@ pub fn stale_ranking_dispatch() -> KernelTrace {
         k.run();
     });
     let tid = trace
-        .records
-        .iter()
+        .records()
         .find_map(|r| match r.event {
             TraceEvent::Spawn { tid, .. } => Some(tid),
             _ => None,
         })
         .expect("captured trace has a spawn");
     let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
-    trace.records = vec![
+    trace.set_records(vec![
         TraceRecord {
             time: t(0),
             event: TraceEvent::Spawn {
@@ -471,7 +468,7 @@ pub fn stale_ranking_dispatch() -> KernelTrace {
                 reason: WakeReason::Timer,
             },
         },
-    ];
+    ]);
     trace
 }
 
@@ -486,8 +483,7 @@ fn forged_aware_base() -> (KernelTrace, asym_kernel::ThreadId) {
         k.run();
     });
     let tid = trace
-        .records
-        .iter()
+        .records()
         .find_map(|r| match r.event {
             TraceEvent::Spawn { tid, .. } => Some(tid),
             _ => None,
@@ -506,7 +502,7 @@ fn forged_aware_base() -> (KernelTrace, asym_kernel::ThreadId) {
 pub fn missing_rerank() -> KernelTrace {
     let (mut trace, tid) = forged_aware_base();
     let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
-    trace.records = vec![
+    trace.set_records(vec![
         TraceRecord {
             time: t(0),
             event: TraceEvent::Spawn {
@@ -536,7 +532,7 @@ pub fn missing_rerank() -> KernelTrace {
             time: t(8),
             event: TraceEvent::Done { tid },
         },
-    ];
+    ]);
     trace
 }
 
@@ -590,7 +586,7 @@ pub fn rerank_thrash() -> KernelTrace {
         time: SimTime::ZERO + SimDuration::from_millis(4),
         event: TraceEvent::Done { tid },
     });
-    trace.records = records;
+    trace.set_records(records);
     trace
 }
 
@@ -613,8 +609,7 @@ pub fn downhill_steal() -> KernelTrace {
         k.run();
     });
     let tids: Vec<_> = trace
-        .records
-        .iter()
+        .records()
         .filter_map(|r| match r.event {
             TraceEvent::Spawn { tid, .. } => Some(tid),
             _ => None,
@@ -628,7 +623,7 @@ pub fn downhill_steal() -> KernelTrace {
         affinity: CoreMask::ALL,
         parent: None,
     };
-    trace.records = vec![
+    trace.set_records(vec![
         TraceRecord {
             time: t(0),
             event: spawn(w, 0),
@@ -683,7 +678,7 @@ pub fn downhill_steal() -> KernelTrace {
                 reason: WakeReason::Timer,
             },
         },
-    ];
+    ]);
     trace
 }
 
@@ -705,8 +700,7 @@ pub fn vruntime_starvation() -> KernelTrace {
         k.run();
     });
     let tids: Vec<_> = trace
-        .records
-        .iter()
+        .records()
         .filter_map(|r| match r.event {
             TraceEvent::Spawn { tid, .. } => Some(tid),
             _ => None,
@@ -748,7 +742,7 @@ pub fn vruntime_starvation() -> KernelTrace {
             });
         }
     }
-    trace.records = records;
+    trace.set_records(records);
     trace
 }
 
@@ -774,8 +768,7 @@ mod tests {
     fn missed_signal_trace_contains_empty_signal() {
         let trace = missed_signal();
         assert!(trace
-            .records
-            .iter()
+            .records()
             .any(|r| matches!(r.event, TraceEvent::Signal { woken: 0, .. })));
     }
 
@@ -789,7 +782,7 @@ mod tests {
         use asym_kernel::{PreemptReason, WakeReason};
         // Timer wakeups: the stalled poller sleeps and is rearmed by
         // its timer, never by a signal.
-        assert!(stalled_run().records.iter().any(|r| matches!(
+        assert!(stalled_run().records().any(|r| matches!(
             r.event,
             TraceEvent::Wakeup {
                 reason: WakeReason::Timer,
@@ -817,7 +810,7 @@ mod tests {
             );
             k.run();
         });
-        assert!(contended.records.iter().any(|r| matches!(
+        assert!(contended.records().any(|r| matches!(
             r.event,
             TraceEvent::Wakeup {
                 reason: WakeReason::Signal,
@@ -848,7 +841,7 @@ mod tests {
             }
             k.run();
         });
-        assert!(trace.records.iter().any(|r| matches!(
+        assert!(trace.records().any(|r| matches!(
             r.event,
             TraceEvent::Preempt {
                 reason: PreemptReason::Quantum,
@@ -861,12 +854,10 @@ mod tests {
     fn swallowed_kill_fixture_has_a_kill_but_no_done() {
         let trace = swallowed_kill();
         assert!(trace
-            .records
-            .iter()
+            .records()
             .any(|r| matches!(r.event, TraceEvent::ThreadKilled { .. })));
         assert!(!trace
-            .records
-            .iter()
+            .records()
             .any(|r| matches!(r.event, TraceEvent::Done { .. })));
     }
 
@@ -962,7 +953,7 @@ mod tests {
         let trace = downhill_steal();
         // The narrative artifact is really there: a steal off a faster
         // busy core onto the slower idle core.
-        assert!(trace.records.iter().any(|r| matches!(
+        assert!(trace.records().any(|r| matches!(
             r.event,
             TraceEvent::Steal {
                 from: CoreId(1),
@@ -1049,8 +1040,7 @@ mod tests {
             k.run();
         });
         assert!(trace
-            .records
-            .iter()
+            .records()
             .any(|r| matches!(r.event, TraceEvent::Rerank { .. })));
         let found = crate::hb::check_rerank_hygiene(&trace);
         assert!(found.is_empty(), "unexpected: {found:?}");
@@ -1060,11 +1050,10 @@ mod tests {
     fn offline_dispatch_fixture_contains_the_planted_bug() {
         let trace = offline_core_dispatch();
         let off = trace
-            .records
-            .iter()
+            .records()
             .position(|r| matches!(r.event, TraceEvent::CoreOffline { .. }))
             .expect("fixture has a CoreOffline");
-        assert!(trace.records[off + 1..].iter().any(|r| matches!(
+        assert!(trace.records_vec()[off + 1..].iter().any(|r| matches!(
             r.event,
             TraceEvent::Dispatch {
                 core: CoreId(1),

@@ -153,6 +153,15 @@ pub struct HbAnalysis {
 
 /// Names a shared object for diagnostics: `obj3 ('apache.inbox')` when
 /// the registration label survives on the trace, bare `obj3` otherwise.
+/// Decodes the record at `idx` (diagnostics only — O(idx), used when a
+/// violation needs to cite an earlier trace site by index).
+fn record_at(trace: &KernelTrace, idx: usize) -> asym_kernel::TraceRecord {
+    trace
+        .records()
+        .nth(idx)
+        .expect("violation cites a record index inside the trace")
+}
+
 fn obj_name(trace: &KernelTrace, obj: ShareId) -> String {
     match trace.shared_label(obj) {
         Some(label) => format!("{obj} ('{label}')"),
@@ -205,7 +214,7 @@ pub fn happens_before(trace: &KernelTrace) -> HbAnalysis {
         &mut vc[t]
     }
 
-    for (i, r) in trace.records.iter().enumerate() {
+    for (i, r) in trace.records().enumerate() {
         // The thread this record belongs to (its author for publishes,
         // its subject for scheduler events); used for program-order
         // clock ticks and spawn-edge completion.
@@ -476,7 +485,7 @@ fn race_violation(
     later_kind: &str,
     time: SimTime,
 ) -> Violation {
-    let earlier_time = trace.records[earlier_idx].time;
+    let earlier_time = record_at(trace, earlier_idx).time;
     let object = obj_name(trace, obj);
     Violation::new(
         ViolationKind::DataRace,
@@ -523,7 +532,7 @@ pub fn check_locksets(trace: &KernelTrace) -> Vec<Violation> {
     let mut held: HashMap<ThreadId, BTreeSet<WaitId>> = HashMap::new();
     let mut accesses: HashMap<ShareId, Vec<Access>> = HashMap::new();
 
-    for (i, r) in trace.records.iter().enumerate() {
+    for (i, r) in trace.records().enumerate() {
         match r.event {
             TraceEvent::LockAcquire { tid, lock, .. } => {
                 held.entry(tid).or_default().insert(lock);
@@ -573,7 +582,7 @@ pub fn check_locksets(trace: &KernelTrace) -> Vec<Violation> {
             continue;
         };
         let object = obj_name(trace, obj);
-        let w = &trace.records[witness];
+        let w = record_at(trace, witness);
         let held_list = |s: &BTreeSet<WaitId>| {
             if s.is_empty() {
                 "no locks".to_string()
@@ -652,7 +661,7 @@ pub fn check_stale_ranking(trace: &KernelTrace) -> Vec<Violation> {
         }
     }
 
-    for (i, r) in trace.records.iter().enumerate() {
+    for (i, r) in trace.records().enumerate() {
         // Lint placements before applying their state effect: the
         // eligibility snapshot is the instant *before* the thread lands.
         let placement: Option<(ThreadId, CoreId, CoreMask, &str)> = match r.event {
@@ -835,7 +844,7 @@ pub fn check_rerank_hygiene(trace: &KernelTrace) -> Vec<Violation> {
         .with_site(format!("#{idx}"))
     };
 
-    for (i, r) in trace.records.iter().enumerate() {
+    for (i, r) in trace.records().enumerate() {
         // Expire overdue confirmations before applying this record.
         while let Some(&(idx, core, at)) = pending.first() {
             if r.time.duration_since(at) > RERANK_STALENESS_BOUND {
@@ -958,7 +967,7 @@ pub fn check_starvation(trace: &KernelTrace) -> Vec<Violation> {
             );
         }
     };
-    for (i, r) in trace.records.iter().enumerate() {
+    for (i, r) in trace.records().enumerate() {
         match r.event {
             TraceEvent::Spawn { tid, core, .. }
             | TraceEvent::Wakeup { tid, core, .. }
@@ -998,7 +1007,7 @@ pub fn check_starvation(trace: &KernelTrace) -> Vec<Violation> {
     }
     // Threads still queued when the trace ends starved with no
     // terminating dispatch to cite.
-    if let Some(end) = trace.records.last().map(|r| r.time) {
+    if let Some(end) = trace.records().last().map(|r| r.time) {
         let mut leftover: Vec<_> = queued.into_iter().collect();
         leftover.sort_by_key(|(tid, _)| *tid);
         for (tid, w) in leftover {

@@ -253,8 +253,7 @@ pub fn analyze_trace(trace: &KernelTrace) -> Vec<Violation> {
 /// `LockAcquire` anywhere in the trace.
 fn lock_wait_ids(trace: &KernelTrace) -> HashSet<WaitId> {
     trace
-        .records
-        .iter()
+        .records()
         .filter_map(|r| match r.event {
             TraceEvent::LockAcquire { lock, .. } => Some(lock),
             _ => None,
@@ -276,7 +275,7 @@ fn detect_deadlocks(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Violati
     let mut reported: HashSet<Vec<ThreadId>> = HashSet::new();
     let mut violations = Vec::new();
 
-    for r in &trace.records {
+    for r in trace.records() {
         match r.event {
             TraceEvent::LockAcquire { tid, lock, .. } => {
                 owner.insert(lock, tid);
@@ -395,7 +394,7 @@ fn check_lock_order(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Violati
         }
     };
 
-    for r in &trace.records {
+    for r in trace.records() {
         match r.event {
             TraceEvent::LockAcquire { tid, lock, .. } => {
                 record_attempt(&held, tid, lock, r.time, &mut violations);
@@ -430,16 +429,16 @@ fn detect_lost_wakeups(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Viol
     if !matches!(trace.outcome, Some(RunOutcome::Deadlock(_))) {
         return Vec::new();
     }
-    // Thread -> (wait queue, index of the Block record).
-    let mut blocked: BTreeMap<ThreadId, (WaitId, usize)> = BTreeMap::new();
+    // Thread -> (wait queue, index and time of the Block record).
+    let mut blocked: BTreeMap<ThreadId, (WaitId, usize, SimTime)> = BTreeMap::new();
     // Wait queue -> record indices of empty (woken == 0) / all signals.
     let mut empty_signals: HashMap<WaitId, Vec<usize>> = HashMap::new();
     let mut any_signals: HashMap<WaitId, Vec<usize>> = HashMap::new();
 
-    for (i, r) in trace.records.iter().enumerate() {
+    for (i, r) in trace.records().enumerate() {
         match r.event {
             TraceEvent::Block { tid, wait } => {
-                blocked.insert(tid, (wait, i));
+                blocked.insert(tid, (wait, i, r.time));
             }
             TraceEvent::Wakeup { tid, .. } | TraceEvent::ThreadKilled { tid } => {
                 blocked.remove(&tid);
@@ -455,7 +454,7 @@ fn detect_lost_wakeups(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Viol
     }
 
     let mut violations = Vec::new();
-    for (tid, (wait, block_idx)) in blocked {
+    for (tid, (wait, block_idx, block_time)) in blocked {
         if locks.contains(&wait) {
             continue;
         }
@@ -466,7 +465,7 @@ fn detect_lost_wakeups(trace: &KernelTrace, locks: &HashSet<WaitId>) -> Vec<Viol
             .get(&wait)
             .is_some_and(|v| v.iter().any(|&i| i < block_idx));
         if missed_before && !signalled_after {
-            let time = trace.records[block_idx].time;
+            let time = block_time;
             violations.push(Violation {
                 object: String::new(),
                 site: String::new(),
@@ -528,7 +527,7 @@ fn check_asymmetry_invariant(trace: &KernelTrace) -> Vec<Violation> {
         }
     }
 
-    for r in &trace.records {
+    for r in trace.records() {
         if r.time > cur_time {
             // The state we are leaving persisted for a nonzero interval:
             // check the invariant held across it.
@@ -671,7 +670,7 @@ fn check_core_liveness(trace: &KernelTrace) -> Vec<Violation> {
         occupants[core.0].push(tid);
     };
 
-    for r in &trace.records {
+    for r in trace.records() {
         if r.time > cur_time {
             // The kernel drains a core in the same instant it traces the
             // offline; anything still parked there once time advances
@@ -775,7 +774,7 @@ fn check_forward_progress(trace: &KernelTrace) -> Vec<Violation> {
         object: String::new(),
         site: String::new(),
         kind: ViolationKind::StalledRun,
-        time: trace.records.last().map(|r| r.time),
+        time: trace.records().last().map(|r| r.time),
         message: "the watchdog declared the run livelocked: time advanced but no \
                   work was retired for a full window"
             .to_string(),
@@ -794,11 +793,12 @@ fn check_forward_progress(trace: &KernelTrace) -> Vec<Violation> {
 /// and every downstream count is off by one.
 fn check_kill_accounting(trace: &KernelTrace) -> Vec<Violation> {
     let mut violations = Vec::new();
-    for (i, r) in trace.records.iter().enumerate() {
+    let records = trace.records_vec();
+    for (i, r) in records.iter().enumerate() {
         let TraceEvent::ThreadKilled { tid } = r.event else {
             continue;
         };
-        let retired = trace.records[i + 1..]
+        let retired = records[i + 1..]
             .iter()
             .any(|later| matches!(later.event, TraceEvent::Done { tid: t } if t == tid));
         if !retired {
@@ -852,8 +852,8 @@ pub fn compare_runs(label: &str, first: &[KernelTrace], second: &[KernelTrace]) 
                      ({} vs {} events)",
                     a.stable_hash(),
                     b.stable_hash(),
-                    a.records.len(),
-                    b.records.len()
+                    a.num_records(),
+                    b.num_records()
                 ),
             });
         }
@@ -915,7 +915,10 @@ pub fn check_workload(workload: &dyn Workload, setup: &RunSetup) -> CheckReport 
     CheckReport {
         label,
         kernels: traces.len(),
-        events: traces.iter().map(|t| t.records.len()).sum(),
+        events: traces
+            .iter()
+            .map(asym_kernel::KernelTrace::num_records)
+            .sum(),
         violations,
     }
 }
@@ -1095,13 +1098,14 @@ mod tests {
             k.run();
         });
         let mut trace = traces.into_iter().next().expect("one kernel");
-        let tid = match trace.records[0].event {
+        let first = trace.records().next().expect("trace has records");
+        let tid = match first.event {
             TraceEvent::Spawn { tid, .. } => tid,
-            ref other => panic!("first event should be Spawn, was {other:?}"),
+            other => panic!("first event should be Spawn, was {other:?}"),
         };
         // Rewrite history: the thread is parked on the slow core and
         // nobody dispatches it while the fast core idles.
-        trace.records = vec![
+        trace.set_records(vec![
             TraceRecord {
                 time: SimTime::ZERO,
                 event: TraceEvent::Spawn {
@@ -1118,7 +1122,7 @@ mod tests {
                     core: CoreId(1),
                 },
             },
-        ];
+        ]);
         let violations = analyze_trace(&trace);
         assert!(
             violations
@@ -1208,8 +1212,7 @@ mod tests {
             assert_eq!(k.stats().threads_killed, 1);
         });
         assert!(trace
-            .records
-            .iter()
+            .records()
             .any(|r| matches!(r.event, TraceEvent::ThreadKilled { .. })));
         let violations = analyze_trace(&trace);
         assert!(violations.is_empty(), "unexpected: {violations:?}");
@@ -1266,8 +1269,7 @@ mod tests {
             assert_eq!(k.run(), RunOutcome::AllDone);
         });
         assert!(trace
-            .records
-            .iter()
+            .records()
             .any(|r| matches!(r.event, TraceEvent::CoreOffline { .. })));
         let violations = analyze_trace(&trace);
         assert!(violations.is_empty(), "unexpected: {violations:?}");

@@ -198,7 +198,7 @@ fn run_races(configs: &[AsymConfig]) -> ExitCode {
                 violations.extend(check_concurrency(trace));
             }
             kernels += traces.len();
-            events += traces.iter().map(|t| t.records.len()).sum::<usize>();
+            events += traces.iter().map(|t| t.num_records()).sum::<usize>();
             edges += cell_edges;
             if violations.is_empty() {
                 println!(

@@ -1,0 +1,16 @@
+//! Extension experiment (beyond the paper): the million-cell scale
+//! sweep — the full scheduler-policy zoo crossed with five dynamic
+//! environment regimes over the micro-burst workload, 100,800 cells in
+//! full mode. Every cell streams its trace through the incremental
+//! profile fold and lands in the content-addressed cell cache, so a
+//! warm `--cache` re-run restores the whole sweep without executing.
+//!
+//! Thin caller of the `extra_scale` sweep spec; accepts `--jobs N`,
+//! `--json[=PATH]`, `--check`, `--quick`, `--cache[=DIR|=off]`, and
+//! `--max-cells N`. See `asym_sweep --list`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    asym_bench::spec_main("extra_scale")
+}

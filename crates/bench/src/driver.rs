@@ -11,13 +11,46 @@
 
 use crate::spec::{registry, SweepContext, SweepSpec};
 use asym_analysis::hb::check_concurrency;
-use asym_core::{resolve_jobs, CellRunner, ExperimentPlan, TraceCheck};
+use asym_core::{resolve_jobs, CellCache, CellRunner, ExperimentPlan, TraceCheck};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 /// Default path for `--json` without an explicit `=PATH`.
 pub const DEFAULT_JSON_PATH: &str = "BENCH_sweep.json";
+
+/// Default directory of the persistent cell cache (gitignored); used
+/// unless `--cache DIR` redirects it or `--cache=off` disables it.
+pub const DEFAULT_CACHE_DIR: &str = ".asym-cache";
+
+/// Cell cap applied when `--check` is combined with a spec selection
+/// and no explicit `--max-cells` overrides it: the full analysis suite
+/// per cell is orders of magnitude slower than execution, so a
+/// million-cell sweep under `--check` is almost certainly a mistake.
+pub const DEFAULT_CHECK_CELL_CAP: usize = 20_000;
+
+/// Where the persistent cell cache lives, if anywhere.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CacheSetting {
+    /// No flag: cache at [`DEFAULT_CACHE_DIR`].
+    #[default]
+    Default,
+    /// `--cache=off`: never read or write a cache.
+    Off,
+    /// `--cache DIR` / `--cache=DIR`: cache at an explicit directory.
+    Dir(PathBuf),
+}
+
+impl CacheSetting {
+    /// The directory to open, or `None` when caching is off.
+    pub fn dir(&self) -> Option<PathBuf> {
+        match self {
+            CacheSetting::Default => Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+            CacheSetting::Off => None,
+            CacheSetting::Dir(d) => Some(d.clone()),
+        }
+    }
+}
 
 /// Parsed command line shared by `asym_sweep` and the per-figure
 /// binaries.
@@ -38,6 +71,13 @@ pub struct SweepArgs {
     pub check: bool,
     /// `--list`: print registered specs and exit.
     pub list: bool,
+    /// `--cache DIR` / `--cache=DIR` / `--cache=off`: where the
+    /// persistent cell cache lives (default: [`DEFAULT_CACHE_DIR`]).
+    pub cache: CacheSetting,
+    /// `--max-cells N`: refuse to run a plan larger than `N` cells
+    /// (guards against accidentally huge sweeps; `--check` defaults to
+    /// [`DEFAULT_CHECK_CELL_CAP`] when this is unset).
+    pub max_cells: Option<usize>,
 }
 
 impl SweepArgs {
@@ -61,10 +101,24 @@ impl SweepArgs {
                 s if s.starts_with("--json=") => {
                     out.json = Some(PathBuf::from(&s["--json=".len()..]));
                 }
+                "--cache" => {
+                    let v = it.next().ok_or("--cache needs a directory (or 'off')")?;
+                    out.cache = parse_cache(&v);
+                }
+                s if s.starts_with("--cache=") => {
+                    out.cache = parse_cache(&s["--cache=".len()..]);
+                }
+                "--max-cells" => {
+                    let v = it.next().ok_or("--max-cells needs a value")?;
+                    out.max_cells = Some(parse_max_cells(&v)?);
+                }
+                s if s.starts_with("--max-cells=") => {
+                    out.max_cells = Some(parse_max_cells(&s["--max-cells=".len()..])?);
+                }
                 s if s.starts_with('-') => {
                     return Err(format!(
                         "unknown flag '{s}' (expected --quick, --check, --jobs N, \
-                         --json[=PATH], --list)"
+                         --json[=PATH], --cache[=DIR|=off], --max-cells N, --list)"
                     ));
                 }
                 name => out.names.push(name.to_string()),
@@ -83,6 +137,21 @@ fn parse_jobs(v: &str) -> Result<usize, String> {
     match v.parse::<usize>() {
         Ok(n) if n > 0 => Ok(n),
         _ => Err(format!("--jobs needs a positive integer, got '{v}'")),
+    }
+}
+
+fn parse_cache(v: &str) -> CacheSetting {
+    if v == "off" {
+        CacheSetting::Off
+    } else {
+        CacheSetting::Dir(PathBuf::from(v))
+    }
+}
+
+fn parse_max_cells(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("--max-cells needs a positive integer, got '{v}'")),
     }
 }
 
@@ -132,6 +201,30 @@ pub fn run_sweeps(names: &[&str], args: &SweepArgs) -> ExitCode {
         );
     }
 
+    // Fail fast on oversized plans BEFORE any cell executes: an
+    // explicit --max-cells always binds; --check alone gets a generous
+    // default cap, since per-cell analysis is far slower than execution.
+    let cap = args.max_cells.or(if args.check {
+        Some(DEFAULT_CHECK_CELL_CAP)
+    } else {
+        None
+    });
+    if let Some(cap) = cap {
+        if plan.len() > cap {
+            eprintln!(
+                "[asym-sweep] refusing to run {} cells: over the {} limit of {cap} \
+                 (raise or drop --max-cells, narrow the spec selection, or drop --check)",
+                plan.len(),
+                if args.max_cells.is_some() {
+                    "--max-cells"
+                } else {
+                    "--check default"
+                },
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
     let jobs = resolve_jobs(args.jobs);
     eprintln!(
         "[asym-sweep] {}: {} cell(s) across {} section(s) on {} host thread(s)",
@@ -151,6 +244,15 @@ pub fn run_sweeps(names: &[&str], args: &SweepArgs) -> ExitCode {
     let mut runner = CellRunner::new(jobs).with_metrics(args.json.is_some());
     if args.check {
         runner = runner.with_trace_check(concurrency_check());
+    }
+    if let Some(dir) = args.cache.dir() {
+        match CellCache::open(&dir) {
+            Ok(cache) => runner = runner.with_cache(cache),
+            Err(e) => eprintln!(
+                "[asym-sweep] cell cache at {} unavailable ({e}); running uncached",
+                dir.display()
+            ),
+        }
     }
     let outcome = runner.run(plan);
 
@@ -201,10 +303,19 @@ pub fn run_sweeps(names: &[&str], args: &SweepArgs) -> ExitCode {
             ok = false;
         }
     }
-    if report.memoized_cells() > 0 {
+    eprintln!(
+        "[asym-sweep] {} cell(s) reused from the cross-spec memo (identical workload/config/policy/seed)",
+        report.memoized_cells()
+    );
+    if let Some(stats) = &report.cache {
         eprintln!(
-            "[asym-sweep] {} cell(s) reused from the cross-spec memo (identical workload/config/policy/seed)",
-            report.memoized_cells()
+            "[asym-sweep] cache: {} hit(s), {} miss(es), {} skip(s), {} store(s), {} invalidation(s) — {} cell(s) restored without executing",
+            stats.hits,
+            stats.misses,
+            stats.skips,
+            stats.stores,
+            stats.invalidations,
+            report.cached_cells()
         );
     }
     if let Some(path) = &args.json {

@@ -24,7 +24,10 @@ use asym_workloads::webserver::{Apache, LoadLevel, Zeus};
 mod driver;
 mod spec;
 
-pub use driver::{concurrency_check, run_sweeps, spec_main, SweepArgs};
+pub use driver::{
+    concurrency_check, run_sweeps, spec_main, CacheSetting, SweepArgs, DEFAULT_CACHE_DIR,
+    DEFAULT_CHECK_CELL_CAP,
+};
 pub use spec::{
     registry, spec_names, RenderFn, Rendered, Section, SweepContext, SweepDef, SweepSpec,
 };

@@ -23,6 +23,7 @@ use asym_sim::{
 };
 use asym_workloads::h264::H264;
 use asym_workloads::japps::JAppServer;
+use asym_workloads::micro::MicroBurst;
 use asym_workloads::pmake::Pmake;
 use asym_workloads::specjbb::{GcKind, JvmKind, SpecJbb};
 use asym_workloads::specomp::{OmpVariant, SpecOmp};
@@ -239,6 +240,11 @@ pub fn registry() -> Vec<SweepSpec> {
             name: "extra_tournament",
             caption: "Scheduler-policy tournament: every registered policy over all workloads",
             build: extra_tournament,
+        },
+        SweepSpec {
+            name: "extra_scale",
+            caption: "Scale sweep: policy zoo x env regimes x micro-burst, 100k+ cacheable cells",
+            build: extra_scale,
         },
         SweepSpec {
             name: "mini",
@@ -1826,6 +1832,141 @@ fn extra_tournament(ctx: &SweepContext) -> SweepDef {
         let ok = all_classified && total_panicked == 0 && total_violations == 0 && deterministic;
         if !ok {
             out += "FAILURE: unclassified runs, panics, violations, or non-determinism\n";
+        }
+        Rendered { text: out, ok }
+    });
+    SweepDef { sections, render }
+}
+
+// ----------------------------------------------------------------------
+// Million-cell scale sweep
+// ----------------------------------------------------------------------
+
+/// The five environment regimes the scale sweep crosses with the
+/// policy zoo, in presentation order. Unlike [`dynamic_regimes`], the
+/// quiet and combined presets join the roster: the scale sweep wants
+/// breadth of cache keys, not isolated disturbances.
+fn scale_regimes() -> Vec<(&'static str, EnvironmentProfile)> {
+    vec![
+        ("quiet", EnvironmentProfile::quiet(FAULT_HORIZON)),
+        ("dvfs", EnvironmentProfile::dvfs(FAULT_HORIZON)),
+        ("thermal", EnvironmentProfile::thermal(FAULT_HORIZON)),
+        ("co-tenant", EnvironmentProfile::co_tenant(FAULT_HORIZON)),
+        ("combined", EnvironmentProfile::combined(FAULT_HORIZON)),
+    ]
+}
+
+/// The scale sweep: the full policy zoo × five environment regimes ×
+/// the [`MicroBurst`] workload over the standard nine configurations,
+/// 320 run slots per cell row — 100,800 cells in full mode (70 in
+/// `--quick`). Every cell streams its trace through the incremental
+/// fold (nothing is buffered) and is persisted in the content-addressed
+/// cell cache, so a warm re-run restores the whole sweep without
+/// executing a single cell. This is the harness for the cold-vs-warm
+/// wall-clock and peak-RSS numbers in EXPERIMENTS.md.
+fn extra_scale(ctx: &SweepContext) -> SweepDef {
+    let configs = if ctx.quick {
+        vec![AsymConfig::new(1, 3, 8)]
+    } else {
+        AsymConfig::standard_nine()
+    };
+    let runs = if ctx.quick { 2 } else { 320 };
+    let field = SchedPolicy::registry();
+    let regimes = scale_regimes();
+    let mut sections = Vec::new();
+    for (pname, policy) in &field {
+        for (rname, profile) in &regimes {
+            let profile = *profile;
+            let opts = ResilientOptions::new(runs)
+                .watchdog(SimDuration::from_secs(5))
+                .sim_time_budget(SimDuration::from_secs(120))
+                .retries(1)
+                .environment_planner(move |setup| {
+                    EnvironmentPlan::generate(
+                        setup.seed,
+                        setup.config.num_cores() as usize,
+                        &profile,
+                    )
+                });
+            sections.push(Section::resilient(
+                format!("scale/{pname}/{rname}"),
+                Box::new(MicroBurst::new()),
+                &configs,
+                *policy,
+                opts,
+            ));
+        }
+    }
+    let names: Vec<&'static str> = field.iter().map(|(n, _)| *n).collect();
+    let regime_names: Vec<&'static str> = regimes.iter().map(|(n, _)| *n).collect();
+    let expected = configs.len() * runs;
+    let render = Box::new(move |results: &[SpecResult]| {
+        let mut out = String::new();
+        out += &header(
+            "Extension",
+            "scale sweep: policy zoo x environment regimes x micro-burst, cacheable cells",
+        );
+        let mut table = TextTable::new(vec![
+            "policy",
+            "regime",
+            "cells",
+            "completed",
+            "mean bursts/s",
+            "retried",
+            "c/t/s/d/p",
+        ]);
+        let mut all_classified = true;
+        let mut total_panicked = 0usize;
+        let mut total_cells = 0usize;
+        let mut idx = 0;
+        for pname in &names {
+            for rname in &regime_names {
+                let exp = results[idx].resilient();
+                idx += 1;
+                let cells: usize = exp.outcomes.iter().map(|o| o.records.len()).sum();
+                total_cells += cells;
+                all_classified &= cells == expected;
+                total_panicked += exp.count(RunClass::Panicked);
+                let values: Vec<f64> = exp
+                    .outcomes
+                    .iter()
+                    .flat_map(|o| o.records.iter().filter_map(|r| r.value))
+                    .collect();
+                let mean_v = mean(values.iter().copied());
+                let retried: usize = exp
+                    .outcomes
+                    .iter()
+                    .flat_map(|o| o.records.iter())
+                    .filter(|r| r.attempts > 1)
+                    .count();
+                table.row(vec![
+                    pname.to_string(),
+                    rname.to_string(),
+                    cells.to_string(),
+                    exp.count(RunClass::Completed).to_string(),
+                    mean_v.map_or("-".to_string(), |m| format!("{m:.0}")),
+                    retried.to_string(),
+                    format!(
+                        "{}/{}/{}/{}/{}",
+                        exp.count(RunClass::Completed),
+                        exp.count(RunClass::TimeLimit),
+                        exp.count(RunClass::Stalled),
+                        exp.count(RunClass::Deadlock),
+                        exp.count(RunClass::Panicked)
+                    ),
+                ]);
+            }
+        }
+        out += &format!("{}\n", table.render());
+        out += &format!(
+            "total cells: {total_cells}; every cell is cacheable (resilient mode, no\n\
+             trace observers), so re-running with --cache restores all of them without\n\
+             executing. Pair a cold and a warm run to measure the cache win; peak RSS\n\
+             stays flat because traces stream through the fold instead of buffering.\n"
+        );
+        let ok = all_classified && total_panicked == 0;
+        if !ok {
+            out += "FAILURE: unclassified or panicked cells in the scale sweep\n";
         }
         Rendered { text: out, ok }
     });

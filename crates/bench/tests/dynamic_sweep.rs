@@ -119,7 +119,12 @@ fn sweep_binary_exits_nonzero_when_report_write_fails() {
     // A full mini run that only fails at the end: the JSON report path
     // is unwritable, and that failure must surface in the exit code.
     let out = Command::new(env!("CARGO_BIN_EXE_asym_sweep"))
-        .args(["mini", "--quick", "--json=/dev/null/nope/report.json"])
+        .args([
+            "mini",
+            "--quick",
+            "--cache=off",
+            "--json=/dev/null/nope/report.json",
+        ])
         .output()
         .expect("spawn asym_sweep");
     assert!(

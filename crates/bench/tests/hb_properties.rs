@@ -32,6 +32,7 @@ fn hb_relation_is_acyclic_and_time_consistent_across_matrix() {
             assert!(!traces.is_empty(), "{label}: no kernels captured");
             for trace in &traces {
                 let analysis = happens_before(trace);
+                let records = trace.records_vec();
                 assert!(
                     !analysis.edges.is_empty(),
                     "{label}: no happens-before edges at all"
@@ -46,7 +47,7 @@ fn hb_relation_is_acyclic_and_time_consistent_across_matrix() {
                         e.src,
                         e.dst
                     );
-                    let (t_src, t_dst) = (trace.records[e.src].time, trace.records[e.dst].time);
+                    let (t_src, t_dst) = (records[e.src].time, records[e.dst].time);
                     assert!(
                         t_src <= t_dst,
                         "{label}: edge {:?} #{}->#{} goes back in time ({:?} > {:?})",

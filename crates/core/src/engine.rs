@@ -22,6 +22,7 @@
 //! hand-rolled writer, no dependencies) — the repository's perf
 //! trajectory artifact (`BENCH_sweep.json`).
 
+use crate::cache::{CacheStats, CellCache, CellEntry, Lookup};
 use crate::config::AsymConfig;
 use crate::experiment::{
     ConfigOutcome, DifferentialConfigOutcome, DifferentialExperiment, DifferentialRep, Experiment,
@@ -31,11 +32,11 @@ use crate::experiment::{
 use crate::metrics::Samples;
 use crate::workload::{RunResult, RunSetup, Workload};
 use asym_kernel::{
-    capture_traces, fold_trace_hashes, with_run_guard, RunGuard, RunOutcome, SchedPolicy,
-    TraceHashFold,
+    capture_stream, capture_traces, fold_trace_hashes, with_run_guard, RunGuard, RunOutcome,
+    SchedPolicy, TraceConsumer, TraceEvent, TraceHashFold, TraceHasher,
 };
-use asym_obs::{metrics_of_traces, ProfileMetrics};
-use asym_sim::{EnvironmentPlan, FaultPlan, SimDuration};
+use asym_obs::{metrics_of_traces, ProfileFold, ProfileMetrics};
+use asym_sim::{EnvironmentPlan, FaultPlan, MachineSpec, SimDuration, SimTime, StableHasher};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -325,16 +326,73 @@ struct CellOutcome {
     violations: Vec<String>,
     wall_nanos: u64,
     memoized: bool,
+    cached: bool,
 }
 
 impl CellOutcome {
     /// The copy stored for a deduplicated cell: same results, but marked
     /// memoized and charged zero wall-clock (no host time was spent).
+    /// The `cached` flag carries over — a copy of a cache hit is itself
+    /// cache-derived.
     fn memoized_copy(&self) -> CellOutcome {
         let mut copy = self.clone();
         copy.wall_nanos = 0;
         copy.memoized = true;
         copy
+    }
+
+    /// The on-disk cache payload for this outcome.
+    fn to_entry(&self, mode: &'static str) -> CellEntry {
+        let (seed, extras) = match &self.data {
+            CellData::Clean(r) => (
+                0,
+                r.extras
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect::<Vec<_>>(),
+            ),
+            CellData::Resilient(r) => (r.seed, Vec::new()),
+            CellData::Differential(_) => unreachable!("differential cells are never cached"),
+        };
+        CellEntry {
+            mode: mode.to_string(),
+            class: self.class,
+            attempts: self.attempts,
+            seed,
+            value: self.value,
+            extras,
+            trace_hash: self.trace_hash,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Rebuilds an outcome from a cache entry — the inverse of
+    /// [`CellOutcome::to_entry`].
+    fn from_entry(e: CellEntry) -> CellOutcome {
+        let data = if e.mode == "clean" {
+            let mut result = RunResult::new(e.value.unwrap_or(f64::NAN));
+            result.extras = e.extras.into_iter().collect();
+            CellData::Clean(result)
+        } else {
+            CellData::Resilient(RunRecord {
+                seed: e.seed,
+                attempts: e.attempts,
+                class: e.class,
+                value: e.value,
+            })
+        };
+        CellOutcome {
+            data,
+            class: e.class,
+            attempts: e.attempts,
+            value: e.value,
+            trace_hash: e.trace_hash,
+            metrics: e.metrics,
+            violations: Vec::new(),
+            wall_nanos: 0,
+            memoized: false,
+            cached: true,
+        }
     }
 }
 
@@ -345,22 +403,93 @@ enum CellData {
     Differential(DifferentialRep),
 }
 
-/// The worst classification over every kernel a run created. A
-/// `TimeLimit` outcome only fails the run when the kernel's own budget
-/// (not a caller-chosen measurement window) cut it short — that is what
-/// `KernelTrace::budget_exhausted` records.
-fn classify_traces(traces: &[asym_kernel::KernelTrace]) -> RunClass {
-    let mut worst = RunClass::Completed;
-    for t in traces {
-        let class = match t.outcome {
-            Some(RunOutcome::Deadlock(_)) => RunClass::Deadlock,
-            Some(RunOutcome::Stalled) => RunClass::Stalled,
-            _ if t.budget_exhausted => RunClass::TimeLimit,
-            _ => RunClass::Completed,
-        };
-        worst = worst.max(class);
+/// Classifies one kernel's ending. A `TimeLimit` outcome only fails the
+/// run when the kernel's own budget (not a caller-chosen measurement
+/// window) cut it short — that is what `budget_exhausted` records.
+fn classify_one(outcome: Option<RunOutcome>, budget_exhausted: bool) -> RunClass {
+    match outcome {
+        Some(RunOutcome::Deadlock(_)) => RunClass::Deadlock,
+        Some(RunOutcome::Stalled) => RunClass::Stalled,
+        _ if budget_exhausted => RunClass::TimeLimit,
+        _ => RunClass::Completed,
     }
-    worst
+}
+
+/// The worst classification over every kernel a run created.
+fn classify_traces(traces: &[asym_kernel::KernelTrace]) -> RunClass {
+    traces
+        .iter()
+        .map(|t| classify_one(t.outcome, t.budget_exhausted))
+        .max()
+        .unwrap_or(RunClass::Completed)
+}
+
+/// The engine's streaming trace consumer: one per kernel, folding the
+/// stable hash and (when metrics are wanted) the run profile
+/// incrementally as events are emitted. This is what makes the
+/// no-check, no-observer sweep path O(1) in trace length — no
+/// [`KernelTrace`](asym_kernel::KernelTrace) is ever materialized.
+struct CellFold {
+    hasher: TraceHasher,
+    profile: Option<ProfileFold>,
+    outcome: Option<RunOutcome>,
+    budget_exhausted: bool,
+}
+
+impl CellFold {
+    fn new(machine: &MachineSpec, policy: SchedPolicy, want_metrics: bool) -> Self {
+        CellFold {
+            hasher: TraceHasher::new(),
+            profile: want_metrics.then(|| ProfileFold::new(machine, policy)),
+            outcome: None,
+            budget_exhausted: false,
+        }
+    }
+}
+
+impl TraceConsumer for CellFold {
+    fn on_event(&mut self, time: SimTime, event: &TraceEvent) {
+        self.hasher.on_event(time, event);
+        if let Some(p) = self.profile.as_mut() {
+            p.on_event(time, event);
+        }
+    }
+
+    fn on_close(&mut self, outcome: Option<RunOutcome>, budget_exhausted: bool) {
+        self.hasher.on_close(outcome, budget_exhausted);
+        if let Some(p) = self.profile.as_mut() {
+            p.on_close(outcome, budget_exhausted);
+        }
+        self.outcome = outcome;
+        self.budget_exhausted = budget_exhausted;
+    }
+}
+
+/// Runs `f` under streaming capture and folds every kernel's stream
+/// into the attempt-level summary: worst classification, folded trace
+/// hash, merged metrics. Byte-identical to capturing buffered traces
+/// and post-processing them (`classify_traces`, [`fold_trace_hashes`],
+/// [`metrics_of_traces`]) — the equivalence the engine's
+/// `streamed_equals_buffered` test pins.
+fn run_streamed<R>(
+    want_metrics: bool,
+    f: impl FnOnce() -> R,
+) -> (R, RunClass, u64, Option<ProfileMetrics>) {
+    let (result, folds) = capture_stream(
+        move |machine: &MachineSpec, policy| CellFold::new(machine, policy, want_metrics),
+        f,
+    );
+    let mut class = RunClass::Completed;
+    let mut hash = TraceHashFold::new();
+    let mut metrics = want_metrics.then(ProfileMetrics::new);
+    for fold in folds {
+        class = class.max(classify_one(fold.outcome, fold.budget_exhausted));
+        hash.push(fold.hasher.finish());
+        if let (Some(acc), Some(p)) = (metrics.as_mut(), fold.profile) {
+            acc.merge(&p.finish().metrics());
+        }
+    }
+    (result, class, hash.finish(), metrics)
 }
 
 /// Applies one rung of the fault-softening ladder: level 0 is the full
@@ -420,6 +549,24 @@ fn attempt_run(
     if let Some(env) = disturbance.environment {
         guard = guard.environment(env);
     }
+    // The streaming fast path: nothing downstream needs the full event
+    // stream, so fold hash/metrics incrementally and never materialize
+    // a trace. Observers and trace checks are handed real traces, so
+    // they keep the buffered path.
+    if check.is_none() && options.observer.is_none() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_streamed(want_metrics, || {
+                with_run_guard(guard, || workload.run(setup))
+            })
+        }));
+        return match caught {
+            Err(_) => (RunClass::Panicked, None, None, None, Vec::new()),
+            Ok((result, class, hash, metrics)) => {
+                let value = (class == RunClass::Completed).then_some(result.value);
+                (class, value, Some(hash), metrics, Vec::new())
+            }
+        };
+    }
     let caught = catch_unwind(AssertUnwindSafe(|| {
         capture_traces(|| with_run_guard(guard, || workload.run(setup)))
     }));
@@ -453,6 +600,26 @@ fn exec_clean(
     want_metrics: bool,
     check: Option<&TraceCheck>,
 ) -> CellOutcome {
+    if check.is_none() && options.observer.is_none() {
+        // Streaming fast path (see `run_streamed`). Clean cells are
+        // classified `Completed` unconditionally, exactly like the
+        // buffered path below.
+        let (result, _class, hash, metrics) =
+            run_streamed(want_metrics, || workload.run(&cell.setup));
+        let value = Some(result.value);
+        return CellOutcome {
+            data: CellData::Clean(result),
+            class: RunClass::Completed,
+            attempts: 1,
+            value,
+            trace_hash: Some(hash),
+            metrics,
+            violations: Vec::new(),
+            wall_nanos: 0,
+            memoized: false,
+            cached: false,
+        };
+    }
     let (result, traces) = capture_traces(|| workload.run(&cell.setup));
     if let Some(obs) = &options.observer {
         obs(&cell.setup, &result, &traces);
@@ -471,6 +638,7 @@ fn exec_clean(
         violations,
         wall_nanos: 0,
         memoized: false,
+        cached: false,
     }
 }
 
@@ -552,6 +720,7 @@ fn exec_resilient(
                 violations,
                 wall_nanos: 0,
                 memoized: false,
+                cached: false,
             };
         }
         match class {
@@ -665,7 +834,77 @@ fn exec_differential(
         violations: all_violations,
         wall_nanos: 0,
         memoized: false,
+        cached: false,
     }
+}
+
+// ----------------------------------------------------------------------
+// Cache keying
+// ----------------------------------------------------------------------
+
+/// FNV-1a digest of a plan's `Debug` rendering — the compact stand-in
+/// for the full fault/environment plan inside a cache key.
+fn debug_digest(value: &impl std::fmt::Debug) -> u64 {
+    let mut h = StableHasher::new();
+    std::hash::Hash::hash(&format!("{value:?}"), &mut h);
+    std::hash::Hasher::finish(&h)
+}
+
+/// Renders the content-addressed cache key of one cell, or `None` when
+/// the cell is not cacheable.
+///
+/// Cacheable cells are observer-free clean and resilient cells (the
+/// caller additionally requires no runner-level trace check).
+/// Differential cells are excluded: their four-leg structure re-derives
+/// plans per leg, so a single digest cannot address them. The key folds
+/// in every input that can steer execution: the workload's
+/// [`Workload::spec_key`], configuration, policy, seed, harness mode,
+/// digests of the precomputed fault/environment plans, and — for
+/// resilient cells — the retry/budget/watchdog knobs the retry ladder
+/// reads.
+fn cache_key(spec: &PlanSpec<'_>, cell: &Cell) -> Option<String> {
+    let (mode, knobs) = match &spec.mode {
+        SpecMode::Clean { options, .. } => {
+            if options.observer.is_some() {
+                return None;
+            }
+            ("clean", String::new())
+        }
+        SpecMode::Resilient { options, .. } => {
+            if options.observer.is_some() {
+                return None;
+            }
+            let budget = options
+                .sim_time_budget
+                .map_or_else(|| "none".to_string(), |d| d.as_nanos().to_string());
+            let watchdog = options
+                .watchdog
+                .map_or_else(|| "none".to_string(), |d| d.as_nanos().to_string());
+            (
+                "resilient",
+                format!(
+                    "|retries={}|budget={budget}|watchdog={watchdog}",
+                    options.retries
+                ),
+            )
+        }
+        SpecMode::Differential { .. } => return None,
+    };
+    let faults = cell.fault_plan.as_ref().map_or_else(
+        || "none".to_string(),
+        |p| format!("{:016x}", debug_digest(p)),
+    );
+    let environment = cell.environment.as_ref().map_or_else(
+        || "none".to_string(),
+        |p| format!("{:016x}", debug_digest(p)),
+    );
+    Some(format!(
+        "spec={}|config={}|policy={}|seed={}|mode={mode}|faults={faults}|env={environment}{knobs}",
+        spec.workload.spec_key(),
+        cell.setup.config,
+        cell.setup.policy,
+        cell.setup.seed,
+    ))
 }
 
 fn exec_cell(
@@ -707,6 +946,7 @@ pub struct CellRunner {
     jobs: usize,
     metrics: bool,
     check: Option<TraceCheck>,
+    cache: Option<CellCache>,
 }
 
 impl CellRunner {
@@ -716,7 +956,20 @@ impl CellRunner {
             jobs: jobs.max(1),
             metrics: false,
             check: None,
+            cache: None,
         }
+    }
+
+    /// Attaches a persistent on-disk cell cache: before executing,
+    /// every cacheable cell (observer-free clean/resilient cells, when
+    /// no trace check is installed) is looked up by its content
+    /// address, and hits are restored without running the simulation.
+    /// Misses execute normally and are stored afterwards. Hit, miss,
+    /// skip, store, and invalidation counts land in
+    /// [`SweepReport::cache`]. Off by default.
+    pub fn with_cache(mut self, cache: CellCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Installs a per-cell trace check: every executed cell's final
@@ -748,10 +1001,10 @@ impl CellRunner {
     /// the structured [`SweepReport`].
     pub fn run(&self, plan: ExperimentPlan<'_>) -> PlanOutcome {
         let start = Instant::now();
-        let outcomes = self.run_cells(&plan);
+        let (outcomes, cache) = self.run_cells(&plan);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
-        let report = build_report(&plan, &outcomes, self.jobs, wall_ms);
+        let report = build_report(&plan, &outcomes, self.jobs, wall_ms, cache);
         let results = assemble(plan, outcomes);
         PlanOutcome { results, report }
     }
@@ -762,21 +1015,94 @@ impl CellRunner {
     /// memoized, zero wall-clock). Because the primary is always the
     /// *first* occurrence in plan order, copies are filled front to back
     /// in one pass, in both the serial and the pooled path.
-    fn run_cells(&self, plan: &ExperimentPlan<'_>) -> Vec<CellOutcome> {
+    ///
+    /// When a [`CellCache`] is attached, a prepass on the calling thread
+    /// probes every cacheable cell and restores hits; only the remaining
+    /// cells execute, and a store pass afterwards persists what they
+    /// produced. Both passes stay off the pool, so cache I/O never
+    /// perturbs worker scheduling and the stats need no synchronization.
+    fn run_cells(&self, plan: &ExperimentPlan<'_>) -> (Vec<CellOutcome>, Option<CacheStats>) {
         let cells = &plan.cells;
         let dup_of = plan.memo_targets();
+        let mut stats = self.cache.as_ref().map(|_| CacheStats::default());
+        let mut preloaded: Vec<Option<CellOutcome>> = (0..cells.len()).map(|_| None).collect();
+        let mut store_keys: Vec<Option<String>> = (0..cells.len()).map(|_| None).collect();
+        if let (Some(cache), Some(st)) = (self.cache.as_ref(), stats.as_mut()) {
+            for (i, cell) in cells.iter().enumerate() {
+                if dup_of[i].is_some() {
+                    // Deduplicated copies come from their in-plan
+                    // primary, which is strictly cheaper than disk.
+                    continue;
+                }
+                let key = if self.check.is_none() {
+                    cache_key(&plan.specs[cell.spec], cell)
+                } else {
+                    None
+                };
+                let Some(key) = key else {
+                    st.skips += 1;
+                    continue;
+                };
+                match cache.load(&key, self.metrics) {
+                    Lookup::Hit(entry) => {
+                        st.hits += 1;
+                        preloaded[i] = Some(CellOutcome::from_entry(*entry));
+                    }
+                    Lookup::Stale => {
+                        st.invalidations += 1;
+                        store_keys[i] = Some(key);
+                    }
+                    Lookup::Miss => {
+                        st.misses += 1;
+                        store_keys[i] = Some(key);
+                    }
+                }
+            }
+        }
+        let outs = self.exec_cells(plan, &dup_of, preloaded);
+        if let (Some(cache), Some(st)) = (self.cache.as_ref(), stats.as_mut()) {
+            for (i, key) in store_keys.iter().enumerate() {
+                if let Some(key) = key {
+                    let mode = plan.specs[cells[i].spec].mode.name();
+                    if cache.store(key, &outs[i].to_entry(mode)).is_ok() {
+                        st.stores += 1;
+                    }
+                }
+            }
+        }
+        (outs, stats)
+    }
+
+    /// The execution pass of [`run_cells`](CellRunner::run_cells):
+    /// runs every cell that is neither preloaded from the cache nor a
+    /// memoization copy, serially or on the pool.
+    fn exec_cells(
+        &self,
+        plan: &ExperimentPlan<'_>,
+        dup_of: &[Option<usize>],
+        mut preloaded: Vec<Option<CellOutcome>>,
+    ) -> Vec<CellOutcome> {
+        let cells = &plan.cells;
         let nthreads = self.jobs.min(cells.len()).max(1);
         if nthreads == 1 {
             let mut outs: Vec<CellOutcome> = Vec::with_capacity(cells.len());
             for (i, c) in cells.iter().enumerate() {
-                let out = match dup_of[i] {
-                    Some(j) => outs[j].memoized_copy(),
-                    None => exec_cell(&plan.specs[c.spec], c, self.metrics, self.check.as_ref()),
+                let out = match preloaded[i].take() {
+                    Some(hit) => hit,
+                    None => match dup_of[i] {
+                        Some(j) => outs[j].memoized_copy(),
+                        None => {
+                            exec_cell(&plan.specs[c.spec], c, self.metrics, self.check.as_ref())
+                        }
+                    },
                 };
                 outs.push(out);
             }
             return outs;
         }
+        let skip: Vec<bool> = (0..cells.len())
+            .map(|i| dup_of[i].is_some() || preloaded[i].is_some())
+            .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let slots: Vec<std::sync::Mutex<Option<CellOutcome>>> =
             cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
@@ -787,7 +1113,7 @@ impl CellRunner {
                     if i >= cells.len() {
                         break;
                     }
-                    if dup_of[i].is_some() {
+                    if skip[i] {
                         continue;
                     }
                     let out = exec_cell(
@@ -804,6 +1130,11 @@ impl CellRunner {
             .into_iter()
             .map(|slot| slot.into_inner().expect("cell slot poisoned"))
             .collect();
+        for (i, hit) in preloaded.iter_mut().enumerate() {
+            if let Some(hit) = hit.take() {
+                outs[i] = Some(hit);
+            }
+        }
         for i in 0..outs.len() {
             if let Some(j) = dup_of[i] {
                 let copy = outs[j]
@@ -1017,6 +1348,10 @@ pub struct CellReport {
     /// `true` when the cell's outcome was reused from an earlier
     /// identical cell instead of executing.
     pub memoized: bool,
+    /// `true` when the cell's outcome was restored from the persistent
+    /// on-disk cell cache (directly, or memoized from a restored
+    /// primary) instead of executing.
+    pub cached: bool,
     /// Findings of the runner's trace check on the cell's final
     /// attempt(s), in the check's (deterministic) order. Empty when no
     /// check was installed or the cell was clean.
@@ -1037,6 +1372,9 @@ pub struct SweepReport {
     pub jobs: usize,
     /// Elapsed wall-clock of the whole plan, in milliseconds.
     pub wall_ms: f64,
+    /// Traffic counters of the persistent cell cache, when one was
+    /// attached ([`CellRunner::with_cache`]).
+    pub cache: Option<CacheStats>,
     /// Per-cell records, in plan order.
     pub cells: Vec<CellReport>,
 }
@@ -1065,6 +1403,12 @@ impl SweepReport {
     /// Number of cells deduplicated by cross-spec memoization.
     pub fn memoized_cells(&self) -> usize {
         self.cells.iter().filter(|c| c.memoized).count()
+    }
+
+    /// Number of cells whose outcome came from the persistent cell
+    /// cache instead of executing.
+    pub fn cached_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.cached).count()
     }
 
     /// Total trace-check findings across all cells.
@@ -1100,6 +1444,13 @@ impl SweepReport {
         let _ = writeln!(out, "  \"speedup\": {},", json_f64(self.speedup()));
         let _ = writeln!(out, "  \"total_retries\": {},", self.total_retries());
         let _ = writeln!(out, "  \"memoized_cells\": {},", self.memoized_cells());
+        let _ = writeln!(out, "  \"cached_cells\": {},", self.cached_cells());
+        match &self.cache {
+            Some(stats) => {
+                let _ = writeln!(out, "  \"cache\": {},", stats.to_json());
+            }
+            None => out.push_str("  \"cache\": null,\n"),
+        }
         let _ = writeln!(out, "  \"total_violations\": {},", self.total_violations());
         out.push_str("  \"classes\": {");
         let mut counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -1133,6 +1484,7 @@ impl SweepReport {
             }
             let _ = write!(out, "\"wall_ms\": {}, ", json_f64(c.wall_ms));
             let _ = write!(out, "\"memoized\": {}, ", c.memoized);
+            let _ = write!(out, "\"cached\": {}, ", c.cached);
             out.push_str("\"violations\": [");
             for (k, v) in c.violations.iter().enumerate() {
                 if k > 0 {
@@ -1199,6 +1551,7 @@ fn build_report(
     outcomes: &[CellOutcome],
     jobs: usize,
     wall_ms: f64,
+    cache: Option<CacheStats>,
 ) -> SweepReport {
     let cells = plan
         .cells
@@ -1220,6 +1573,7 @@ fn build_report(
                 wall_ms: out.wall_nanos as f64 / 1e6,
                 trace_hash: out.trace_hash,
                 memoized: out.memoized,
+                cached: out.cached,
                 violations: out.violations.clone(),
                 metrics: out.metrics.clone(),
             }
@@ -1229,6 +1583,7 @@ fn build_report(
         name: plan.name.clone(),
         jobs,
         wall_ms,
+        cache,
         cells,
     }
 }
@@ -1423,6 +1778,286 @@ mod tests {
     fn json_escaping_is_safe() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_f64(f64::NAN), "0");
+    }
+
+    /// A workload that actually spawns a kernel, so streaming capture,
+    /// metrics folding, and trace hashing all have real events to chew
+    /// on. Value and extras depend on the seed, so cache round-trips
+    /// are distinguishable per cell.
+    struct KernelBursts;
+    impl Workload for KernelBursts {
+        fn name(&self) -> &str {
+            "kernel-bursts"
+        }
+        fn unit(&self) -> &str {
+            "ops/s"
+        }
+        fn direction(&self) -> Direction {
+            Direction::HigherIsBetter
+        }
+        fn run(&self, setup: &RunSetup) -> RunResult {
+            use asym_kernel::{FnThread, Kernel, SpawnOptions, Step};
+            use asym_sim::Cycles;
+            let mut k = Kernel::new(setup.config.machine(), setup.policy, setup.seed);
+            for t in 0..3u64 {
+                let mut bursts = 2 + (setup.seed + t) % 3;
+                k.spawn(
+                    FnThread::new("w", move |_cx| {
+                        if bursts == 0 {
+                            Step::Done
+                        } else {
+                            bursts -= 1;
+                            Step::Compute(Cycles::from_millis_at_full_speed(0.05))
+                        }
+                    }),
+                    SpawnOptions::new(),
+                );
+            }
+            k.run();
+            RunResult::new(1000.0 + setup.seed as f64).with_extra("seed", setup.seed as f64)
+        }
+    }
+
+    fn kernel_plan(w: &KernelBursts) -> ExperimentPlan<'_> {
+        let mut plan = ExperimentPlan::new("kernel");
+        plan.push(
+            "clean",
+            w,
+            &[AsymConfig::new(1, 3, 8), AsymConfig::new(2, 2, 8)],
+            SpecMode::Clean {
+                policy: SchedPolicy::asymmetry_aware(),
+                options: ExperimentOptions::new(2),
+            },
+        );
+        plan.push(
+            "resilient",
+            w,
+            &[AsymConfig::new(1, 3, 8)],
+            SpecMode::Resilient {
+                policy: SchedPolicy::os_default(),
+                options: ResilientOptions::new(2),
+            },
+        );
+        plan
+    }
+
+    /// A no-op trace check: forces the buffered capture path without
+    /// changing any result.
+    fn noop_check() -> TraceCheck {
+        Arc::new(|_| Vec::new())
+    }
+
+    /// The stable per-cell fields two equivalent runs must agree on.
+    fn cell_facts(report: &SweepReport) -> Vec<(RunClass, Option<f64>, Option<u64>, String)> {
+        report
+            .cells
+            .iter()
+            .map(|c| {
+                (
+                    c.class,
+                    c.value,
+                    c.trace_hash,
+                    c.metrics
+                        .as_ref()
+                        .map(ProfileMetrics::to_json)
+                        .unwrap_or_default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_equals_buffered_byte_exactly() {
+        let w = KernelBursts;
+        // Default runner: streaming capture (no check, no observer).
+        let streamed = CellRunner::new(1).with_metrics(true).run(kernel_plan(&w));
+        // A no-op check forces the buffered path through the identical
+        // plan: every hash, class, value, and metrics record must match.
+        let buffered = CellRunner::new(1)
+            .with_metrics(true)
+            .with_trace_check(noop_check())
+            .run(kernel_plan(&w));
+        assert_eq!(cell_facts(&streamed.report), cell_facts(&buffered.report));
+        assert_eq!(streamed.results, buffered.results);
+        // The workload really produced kernels and events.
+        let m = streamed.report.cells[0]
+            .metrics
+            .as_ref()
+            .expect("metrics attached");
+        assert_eq!(m.kernels, 1);
+        assert!(m.busy_ns > 0);
+    }
+
+    #[test]
+    fn streamed_metrics_match_across_jobs() {
+        let w = KernelBursts;
+        let serial = CellRunner::new(1).with_metrics(true).run(kernel_plan(&w));
+        let pooled = CellRunner::new(4).with_metrics(true).run(kernel_plan(&w));
+        assert_eq!(cell_facts(&serial.report), cell_facts(&pooled.report));
+        assert!(serial.report.cells.iter().all(|c| c
+            .metrics
+            .as_ref()
+            .expect("metrics attached")
+            .kernels
+            > 0));
+    }
+
+    fn temp_cache(tag: &str) -> CellCache {
+        let dir =
+            std::env::temp_dir().join(format!("asym-engine-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CellCache::open(dir).expect("temp cache opens")
+    }
+
+    #[test]
+    fn cache_warm_run_executes_nothing_and_is_bit_identical() {
+        let w = KernelBursts;
+        let cache = temp_cache("warm");
+        let cold = CellRunner::new(2)
+            .with_metrics(true)
+            .with_cache(cache.clone())
+            .run(kernel_plan(&w));
+        let stats = cold.report.cache.as_ref().expect("cache stats attached");
+        let cells = cold.report.cells.len();
+        assert_eq!(stats.misses, cells as u64);
+        assert_eq!(stats.stores, cells as u64);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(cold.report.cached_cells(), 0);
+
+        let warm = CellRunner::new(2)
+            .with_metrics(true)
+            .with_cache(cache.clone())
+            .run(kernel_plan(&w));
+        let stats = warm.report.cache.as_ref().expect("cache stats attached");
+        assert_eq!(stats.hits, cells as u64);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.stores, 0);
+        assert_eq!(warm.report.cached_cells(), cells);
+        assert!(warm
+            .report
+            .cells
+            .iter()
+            .all(|c| c.cached && c.wall_ms == 0.0));
+        // Bit-identical results and reports, wall clock aside.
+        assert_eq!(cell_facts(&cold.report), cell_facts(&warm.report));
+        assert_eq!(cold.results, warm.results);
+        let json = warm.report.to_json();
+        assert!(json.contains("\"cache\": {\"hits\":"));
+        assert!(json.contains("\"cached\": true"));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn cache_entry_without_metrics_misses_when_metrics_wanted() {
+        let w = KernelBursts;
+        let cache = temp_cache("upgrade");
+        let lean = CellRunner::new(1)
+            .with_cache(cache.clone())
+            .run(kernel_plan(&w));
+        assert!(lean.report.cache.as_ref().expect("stats").stores > 0);
+        // The richer run cannot use metric-less entries…
+        let rich = CellRunner::new(1)
+            .with_metrics(true)
+            .with_cache(cache.clone())
+            .run(kernel_plan(&w));
+        let stats = rich.report.cache.as_ref().expect("stats");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, rich.report.cells.len() as u64);
+        // …but after it overwrites them, both kinds of runner hit.
+        let lean2 = CellRunner::new(1)
+            .with_cache(cache.clone())
+            .run(kernel_plan(&w));
+        assert_eq!(
+            lean2.report.cache.as_ref().expect("stats").hits,
+            lean2.report.cells.len() as u64
+        );
+        assert_eq!(lean.results, lean2.results);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_invalidates_and_overwrites() {
+        let w = KernelBursts;
+        let cache = temp_cache("fingerprint");
+        let first = CellRunner::new(1)
+            .with_cache(cache.clone())
+            .run(kernel_plan(&w));
+        assert!(first.report.cache.as_ref().expect("stats").stores > 0);
+        // A "different build" sees every entry as stale, re-executes,
+        // and overwrites.
+        let other = cache.clone().with_fingerprint("another-build");
+        let second = CellRunner::new(1)
+            .with_cache(other.clone())
+            .run(kernel_plan(&w));
+        let stats = second.report.cache.as_ref().expect("stats");
+        assert_eq!(stats.invalidations, second.report.cells.len() as u64);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.stores, second.report.cells.len() as u64);
+        // Same "build" again: all hits now.
+        let third = CellRunner::new(1).with_cache(other).run(kernel_plan(&w));
+        assert_eq!(
+            third.report.cache.as_ref().expect("stats").hits,
+            third.report.cells.len() as u64
+        );
+        assert_eq!(first.results, third.results);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn trace_check_and_differential_cells_skip_the_cache() {
+        let w = KernelBursts;
+        let cache = temp_cache("skip");
+        // An installed check disqualifies every cell (its findings are
+        // not stored, so a hit could silently drop violations).
+        let checked = CellRunner::new(1)
+            .with_trace_check(noop_check())
+            .with_cache(cache.clone())
+            .run(kernel_plan(&w));
+        let stats = checked.report.cache.as_ref().expect("stats");
+        assert_eq!(stats.skips, checked.report.cells.len() as u64);
+        assert_eq!(stats.stores + stats.hits + stats.misses, 0);
+        // Differential cells never cache either.
+        let mut plan = ExperimentPlan::new("diff");
+        plan.push(
+            "d",
+            &w,
+            &[AsymConfig::new(1, 3, 8)],
+            SpecMode::Differential {
+                options: ResilientOptions::new(1),
+            },
+        );
+        let diff = CellRunner::new(1).with_cache(cache.clone()).run(plan);
+        let stats = diff.report.cache.as_ref().expect("stats");
+        assert_eq!(stats.skips, 1);
+        assert_eq!(stats.stores + stats.hits + stats.misses, 0);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn memoized_copies_of_cached_primaries_stay_cached_in_json() {
+        let w = Proportional;
+        let cache = temp_cache("memo");
+        let mode = || SpecMode::Clean {
+            policy: SchedPolicy::os_default(),
+            options: ExperimentOptions::new(1),
+        };
+        let build = || {
+            let mut plan = ExperimentPlan::new("dup");
+            plan.push("first", &w, &[AsymConfig::new(2, 2, 8)], mode());
+            plan.push("second", &w, &[AsymConfig::new(2, 2, 8)], mode());
+            plan
+        };
+        let cold = CellRunner::new(1).with_cache(cache.clone()).run(build());
+        // Only the memo primary consulted the cache; the copy rode along.
+        assert_eq!(cold.report.cache.as_ref().expect("stats").misses, 1);
+        let warm = CellRunner::new(1).with_cache(cache.clone()).run(build());
+        assert_eq!(warm.report.cache.as_ref().expect("stats").hits, 1);
+        let memo = &warm.report.cells[1];
+        assert!(memo.memoized && memo.cached);
+        assert_eq!(memo.wall_ms, 0.0);
+        let json = warm.report.to_json();
+        assert!(json.contains("\"wall_ms\": 0, \"memoized\": true, \"cached\": true"));
+        let _ = std::fs::remove_dir_all(cache.root());
     }
 
     #[test]

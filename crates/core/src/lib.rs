@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod engine;
 mod experiment;
@@ -58,6 +59,7 @@ mod summary;
 mod table;
 mod workload;
 
+pub use cache::{CacheStats, CellCache};
 pub use config::{AsymConfig, ParseConfigError};
 pub use engine::{
     default_jobs, resolve_jobs, Cell, CellReport, CellRunner, ExperimentPlan, PlanOutcome,

@@ -4,7 +4,7 @@ use crate::guard::current_guard;
 use crate::placement::{placement_for, PlacementPolicy};
 use crate::policy::SchedPolicy;
 use crate::thread::{ShareId, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId};
-use crate::trace::{access_tracing_enabled, register_kernel, TraceRecord, TraceSink};
+use crate::trace::{access_tracing_enabled, register_kernel, TraceSink};
 use asym_sim::{
     CoreId, CoreMask, Cycles, EnvironmentPlan, EnvironmentState, EventKey, EventQueue, FaultKind,
     FaultPlan, MachineSpec, Rng, SimDuration, SimTime, Speed,
@@ -799,10 +799,7 @@ impl Kernel {
 
     fn trace(&mut self, event: TraceEvent) {
         if let Some(sink) = &self.capture {
-            sink.borrow_mut().records.push(TraceRecord {
-                time: self.time,
-                event,
-            });
+            sink.borrow_mut().push_record(self.time, &event);
         }
         if let Some(tracer) = &mut self.tracer {
             tracer(self.time, event);
@@ -857,7 +854,7 @@ impl Kernel {
         let id = ShareId(self.shared_count);
         self.shared_count += 1;
         if let Some(sink) = &self.capture {
-            sink.borrow_mut().shared_labels.push(label.to_string());
+            sink.borrow_mut().push_shared_label(label);
         }
         id
     }
@@ -1001,9 +998,8 @@ impl Kernel {
     pub fn run_until(&mut self, limit: SimTime) -> RunOutcome {
         let outcome = self.run_until_inner(limit);
         if let Some(sink) = &self.capture {
-            let mut trace = sink.borrow_mut();
-            trace.outcome = Some(outcome);
-            trace.budget_exhausted = self.budget_exhausted;
+            sink.borrow_mut()
+                .set_outcome(outcome, self.budget_exhausted);
         }
         outcome
     }

@@ -66,6 +66,6 @@ pub use thread::{
     FnThread, ShareId, SpawnOptions, Step, ThreadBody, ThreadId, ThreadStats, WaitId,
 };
 pub use trace::{
-    access_tracing_enabled, capture_traces, fold_trace_hashes, set_access_tracing, KernelTrace,
-    TraceHashFold, TraceRecord,
+    access_tracing_enabled, capture_stream, capture_traces, fold_trace_hashes, set_access_tracing,
+    KernelTrace, TraceConsumer, TraceHashFold, TraceHasher, TraceRecord, TraceRecords,
 };

@@ -694,7 +694,7 @@ fn offline_core_migrates_work_and_run_completes() {
     });
     // No dispatch lands on core 1 while it is down.
     let mut down = false;
-    for r in &traces[0].records {
+    for r in traces[0].records() {
         match r.event {
             TraceEvent::CoreOffline { core: CoreId(1) } => down = true,
             TraceEvent::CoreOnline { core: CoreId(1) } => down = false,
@@ -705,8 +705,7 @@ fn offline_core_migrates_work_and_run_completes() {
         }
     }
     assert!(traces[0]
-        .records
-        .iter()
+        .records()
         .any(|r| matches!(r.event, TraceEvent::CoreOffline { .. })));
 }
 
@@ -768,8 +767,7 @@ fn kill_fault_removes_a_thread() {
         assert!(k.now().as_secs_f64() < 0.012);
     });
     let killed = traces[0]
-        .records
-        .iter()
+        .records()
         .filter(|r| matches!(r.event, TraceEvent::ThreadKilled { .. }))
         .count();
     assert_eq!(killed, 1);
@@ -829,8 +827,7 @@ fn unschedulable_spawn_mask_is_widened_with_trace() {
         assert_eq!(k.stats().affinity_overrides, 2);
     });
     let overrides = traces[0]
-        .records
-        .iter()
+        .records()
         .filter(|r| matches!(r.event, TraceEvent::AffinityOverride { .. }))
         .count();
     assert_eq!(overrides, 2);
@@ -866,8 +863,7 @@ fn pinned_thread_survives_its_core_going_offline() {
     // The pin was widened when core 1 vanished, and the thread finished
     // on core 0.
     assert!(traces[0]
-        .records
-        .iter()
+        .records()
         .any(|r| matches!(r.event, TraceEvent::AffinityOverride { .. })));
 }
 
@@ -933,8 +929,7 @@ fn thermal_environment_throttles_sustained_work() {
         assert!(k.now() > SimTime::ZERO + SimDuration::from_millis(30));
     });
     assert!(traces[0]
-        .records
-        .iter()
+        .records()
         .any(|r| matches!(r.event, TraceEvent::SpeedChange { .. })));
 }
 
@@ -975,8 +970,7 @@ fn environment_hysteresis_bounds_apply_rate() {
     });
     // No fault plan: every SpeedChange in the trace is environmental.
     let times: Vec<SimTime> = traces[0]
-        .records
-        .iter()
+        .records()
         .filter(|r| matches!(r.event, TraceEvent::SpeedChange { .. }))
         .map(|r| r.time)
         .collect();
@@ -1017,8 +1011,7 @@ fn ranking_change_emits_rerank_trace() {
         assert_eq!(k.stats().reranks, 1);
     });
     let reranks: Vec<_> = traces[0]
-        .records
-        .iter()
+        .records()
         .filter_map(|r| match r.event {
             TraceEvent::Rerank { core } => Some(core),
             _ => None,
@@ -1129,7 +1122,7 @@ fn environment_composes_with_faults() {
             assert!(k.stats().env_ticks > 0);
         })
     });
-    assert!(!traces[0].records.is_empty());
+    assert!(traces[0].num_records() > 0);
 }
 
 // ----------------------------------------------------------------------
@@ -1246,7 +1239,7 @@ fn conformance_no_dispatch_to_offline_core() {
         let trace = run_conformance_mix(policy, 97);
         let mut online = vec![true; trace.machine.num_cores()];
         let mut saw_offline = false;
-        for r in &trace.records {
+        for r in trace.records() {
             match r.event {
                 TraceEvent::CoreOffline { core } => {
                     online[core.0] = false;
@@ -1284,7 +1277,7 @@ fn conformance_affinity_masks_respected() {
                 "{name}: {tid:?} placed on {core:?} outside affinity {mask:?}"
             );
         };
-        for r in &trace.records {
+        for r in trace.records() {
             match r.event {
                 TraceEvent::Spawn {
                     tid,
@@ -1308,14 +1301,14 @@ fn conformance_affinity_masks_respected() {
         }
         // The pinned thread (core 2 is never offlined) must additionally
         // have run only on its pinned core, with no override recorded.
-        let pinned = trace.records.iter().find_map(|r| match r.event {
+        let pinned = trace.records().find_map(|r| match r.event {
             TraceEvent::Spawn { tid, affinity, .. } if affinity == CoreMask::single(CoreId(2)) => {
                 Some(tid)
             }
             _ => None,
         });
         let pinned = pinned.expect("pinned thread spawned");
-        for r in &trace.records {
+        for r in trace.records() {
             match r.event {
                 TraceEvent::Dispatch { tid, core } if tid == pinned => {
                     assert_eq!(core, CoreId(2), "{name}: pinned thread left its core");
@@ -1339,7 +1332,7 @@ fn conformance_no_lost_runnable_threads() {
         let trace = run_conformance_mix(policy, 99);
         let mut spawned = HashSet::new();
         let mut done = Vec::new();
-        for r in &trace.records {
+        for r in trace.records() {
             match r.event {
                 TraceEvent::Spawn { tid, .. } => {
                     spawned.insert(tid);
@@ -1381,7 +1374,7 @@ fn conformance_trace_events_well_formed() {
         let trace = run_conformance_mix(policy, 100);
         let mut state: HashMap<asym_kernel::ThreadId, ReplayState> = HashMap::new();
         let mut killed: HashSet<asym_kernel::ThreadId> = HashSet::new();
-        for r in &trace.records {
+        for r in trace.records() {
             match r.event {
                 TraceEvent::Spawn { tid, core, .. } => {
                     let prev = state.insert(tid, ReplayState::Queued(core));

@@ -52,6 +52,27 @@ impl Log2Histogram {
         }
     }
 
+    /// Reassembles a histogram from raw statistics — the exact inverse
+    /// of reading [`buckets`](Log2Histogram::buckets),
+    /// [`count`](Log2Histogram::count),
+    /// [`total_nanos`](Log2Histogram::total_nanos), and
+    /// [`max_nanos`](Log2Histogram::max_nanos). Persistence layers (the
+    /// sweep engine's on-disk cell cache) use this to round-trip a
+    /// histogram bit-exactly; the parts are trusted as given.
+    pub fn from_parts(
+        buckets: [u64; HIST_BUCKETS],
+        count: u64,
+        total_nanos: u64,
+        max_nanos: u64,
+    ) -> Self {
+        Log2Histogram {
+            buckets,
+            count,
+            total_nanos,
+            max_nanos,
+        }
+    }
+
     /// The bucket index a duration of `nanos` nanoseconds falls into.
     pub fn bucket_index(nanos: u64) -> usize {
         if nanos == 0 {

@@ -62,6 +62,6 @@ mod profile;
 pub use hist::{Log2Histogram, HIST_BUCKETS};
 pub use perfetto::perfetto_trace;
 pub use profile::{
-    metrics_of_traces, profile_traces, CoreProfile, ProfileMetrics, RunProfile, ThreadProfile,
-    WaitKind, WaitProfile,
+    metrics_of_traces, profile_traces, CoreProfile, ProfileFold, ProfileMetrics, RunProfile,
+    ThreadProfile, WaitKind, WaitProfile,
 };

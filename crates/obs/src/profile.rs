@@ -10,8 +10,10 @@
 //! same seeded run are byte-identical however they are produced.
 
 use crate::hist::Log2Histogram;
-use asym_kernel::{KernelTrace, PreemptReason, RunOutcome, SchedPolicy, TraceEvent, WakeReason};
-use asym_sim::{SimDuration, SimTime, Speed};
+use asym_kernel::{
+    KernelTrace, PreemptReason, RunOutcome, SchedPolicy, TraceConsumer, TraceEvent, WakeReason,
+};
+use asym_sim::{MachineSpec, SimDuration, SimTime, Speed};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -332,7 +334,18 @@ struct CoreSt {
     queued: u64,
 }
 
-struct Replay {
+/// An *online* fold of one kernel's trace stream into a [`RunProfile`]:
+/// the streaming counterpart of [`RunProfile::from_trace`]. Feed it
+/// events in emission order (it implements
+/// [`TraceConsumer`](asym_kernel::TraceConsumer), so
+/// [`capture_stream`](asym_kernel::capture_stream) can drive it directly
+/// off the hot path), then call [`finish`](ProfileFold::finish). The
+/// resulting profile is field-for-field identical to replaying the
+/// buffered trace post hoc — per-cell trace memory stays O(1) in the
+/// event count.
+pub struct ProfileFold {
+    policy: SchedPolicy,
+    outcome: Option<RunOutcome>,
     cores: Vec<CoreSt>,
     core_acc: Vec<CoreProfile>,
     threads: Vec<ThSt>,
@@ -355,10 +368,11 @@ struct Replay {
     marks: Vec<Mark>,
 }
 
-impl Replay {
-    fn new(trace: &KernelTrace) -> Self {
-        let cores: Vec<CoreSt> = trace
-            .machine
+impl ProfileFold {
+    /// A fresh fold for one kernel on `machine` under `policy` (the two
+    /// trace-independent inputs the profile needs).
+    pub fn new(machine: &MachineSpec, policy: SchedPolicy) -> Self {
+        let cores: Vec<CoreSt> = machine
             .speeds()
             .iter()
             .map(|&speed| CoreSt {
@@ -368,8 +382,7 @@ impl Replay {
                 queued: 0,
             })
             .collect();
-        let core_acc = trace
-            .machine
+        let core_acc = machine
             .cores()
             .map(|(c, speed)| CoreProfile {
                 core: c.0,
@@ -381,7 +394,9 @@ impl Replay {
                 speed_weighted: 0,
             })
             .collect();
-        Replay {
+        ProfileFold {
+            policy,
+            outcome: None,
             cores,
             core_acc,
             threads: Vec::new(),
@@ -840,41 +855,60 @@ impl Replay {
             self.threads[tid] = ThSt::Absent;
         }
     }
+
+    /// Ends the fold: closes every open spell at the timestamp of the
+    /// last event seen and returns the finished profile.
+    pub fn finish(mut self) -> RunProfile {
+        let end = self.last;
+        self.advance(end);
+        self.close_open_spells(end);
+        RunProfile {
+            policy: self.policy,
+            outcome: self.outcome,
+            duration: end.saturating_duration_since(SimTime::ZERO),
+            cores: self.core_acc,
+            threads: self.thread_acc,
+            waits: self.waits.into_values().collect(),
+            fast_idle_slow_runnable: self.fast_idle_slow_runnable,
+            speed_changes: self.speed_changes,
+            reranks: self.reranks,
+            tracking_lag: self.tracking_lag,
+            sched_latency: self.sched_latency,
+            run_quantum: self.run_quantum,
+            preempt_quantum: self.preempt_quantum,
+            preempt_step: self.preempt_step,
+            preempt_yield: self.preempt_yield,
+            preempt_interrupt: self.preempt_interrupt,
+            steals: self.steals,
+            slices: self.slices,
+            marks: self.marks,
+        }
+    }
+}
+
+impl TraceConsumer for ProfileFold {
+    fn on_event(&mut self, time: SimTime, event: &TraceEvent) {
+        self.apply(time, event);
+    }
+
+    fn on_close(&mut self, outcome: Option<RunOutcome>, _budget_exhausted: bool) {
+        self.outcome = outcome;
+    }
 }
 
 impl RunProfile {
     /// Replays `trace` into a profile. Purely a function of the trace:
     /// equal traces produce equal profiles, whatever thread or process
-    /// performed the replay.
+    /// performed the replay. A thin wrapper over [`ProfileFold`]; the
+    /// two paths are equivalent by construction (and by regression
+    /// test).
     pub fn from_trace(trace: &KernelTrace) -> RunProfile {
-        let mut rp = Replay::new(trace);
-        for r in &trace.records {
-            rp.apply(r.time, &r.event);
+        let mut fold = ProfileFold::new(&trace.machine, trace.policy);
+        for r in trace.records() {
+            fold.on_event(r.time, &r.event);
         }
-        let end = trace.records.last().map_or(SimTime::ZERO, |r| r.time);
-        rp.advance(end);
-        rp.close_open_spells(end);
-        RunProfile {
-            policy: trace.policy,
-            outcome: trace.outcome,
-            duration: end.saturating_duration_since(SimTime::ZERO),
-            cores: rp.core_acc,
-            threads: rp.thread_acc,
-            waits: rp.waits.into_values().collect(),
-            fast_idle_slow_runnable: rp.fast_idle_slow_runnable,
-            speed_changes: rp.speed_changes,
-            reranks: rp.reranks,
-            tracking_lag: rp.tracking_lag,
-            sched_latency: rp.sched_latency,
-            run_quantum: rp.run_quantum,
-            preempt_quantum: rp.preempt_quantum,
-            preempt_step: rp.preempt_step,
-            preempt_yield: rp.preempt_yield,
-            preempt_interrupt: rp.preempt_interrupt,
-            steals: rp.steals,
-            slices: rp.slices,
-            marks: rp.marks,
-        }
+        fold.on_close(trace.outcome, trace.budget_exhausted);
+        fold.finish()
     }
 
     /// Total cross-core migrations over all threads.
@@ -1212,6 +1246,25 @@ mod tests {
             k.run();
         });
         traces.into_iter().next().expect("one kernel")
+    }
+
+    #[test]
+    fn incremental_fold_equals_post_hoc_replay() {
+        use asym_kernel::TraceConsumer as _;
+        let trace = two_thread_trace();
+        let post_hoc = RunProfile::from_trace(&trace);
+        // Feed the same stream event by event, the way the streaming
+        // capture path does: the folded profile must be byte-identical
+        // to the post-hoc replay, rendering included.
+        let mut fold = ProfileFold::new(&trace.machine, trace.policy);
+        for r in trace.records() {
+            fold.on_event(r.time, &r.event);
+        }
+        fold.on_close(trace.outcome, trace.budget_exhausted);
+        let streamed = fold.finish();
+        assert_eq!(post_hoc, streamed);
+        assert_eq!(post_hoc.metrics(), streamed.metrics());
+        assert_eq!(post_hoc.to_string(), streamed.to_string());
     }
 
     #[test]

@@ -57,6 +57,18 @@ impl CoreMask {
         CoreMask(mask)
     }
 
+    /// The raw 64-bit representation (bit *i* set ⇔ core *i* allowed).
+    /// Round-trips through [`CoreMask::from_bits`]; used by compact
+    /// trace encoders that need a stable wire form for affinity masks.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a mask from its [`bits`](CoreMask::bits) representation.
+    pub fn from_bits(bits: u64) -> Self {
+        CoreMask(bits)
+    }
+
     /// Returns `true` if `core` is in the mask.
     pub fn contains(self, core: CoreId) -> bool {
         core.0 < 64 && self.0 & (1 << core.0) != 0

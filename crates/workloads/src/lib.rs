@@ -15,6 +15,10 @@
 //! | [`h264`] | H.264 encoder | macro-block wavefront with dynamic pickup |
 //! | [`pmake`] | PMAKE | `make -j4` over a compile DAG with exec-balanced jobs |
 //!
+//! [`micro`] is not a paper workload: it is a deliberately tiny burst
+//! benchmark used by the `extra_scale` spec to drive million-cell cache
+//! and streaming-pipeline sweeps at sub-millisecond cost per cell.
+//!
 //! All time and volume scales are reduced from the paper's testbed (the
 //! table lives in EXPERIMENTS.md); the phenomena under study — stability
 //! across repeated runs, scaling across configurations, and which remedy
@@ -38,6 +42,7 @@
 pub mod common;
 pub mod h264;
 pub mod japps;
+pub mod micro;
 pub mod pmake;
 pub mod specjbb;
 pub mod specomp;

@@ -67,7 +67,7 @@ fn every_workload_survives_kills_under_both_policies() {
                     .unwrap_or_else(|| panic!("{label}: no lost_workers extra"));
                 let killed: usize = traces
                     .iter()
-                    .flat_map(|t| &t.records)
+                    .flat_map(|t| t.records())
                     .filter(|r| matches!(r.event, TraceEvent::ThreadKilled { .. }))
                     .count();
                 assert_eq!(

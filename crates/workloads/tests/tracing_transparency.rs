@@ -75,7 +75,7 @@ fn access_tracing_never_changes_scheduling() {
             );
             let mut saw_shared_access = false;
             for (t_on, t_off) in on.iter().zip(&off) {
-                saw_shared_access |= t_on.records.iter().any(|r| {
+                saw_shared_access |= t_on.records().any(|r| {
                     matches!(
                         r.event,
                         TraceEvent::SharedRead { .. }
@@ -84,17 +84,16 @@ fn access_tracing_never_changes_scheduling() {
                     )
                 });
                 assert!(
-                    !t_off.records.iter().any(|r| is_annotation(&r.event)),
+                    !t_off.records().any(|r| is_annotation(&r.event)),
                     "{label}: annotation events leaked into a tracing-off run"
                 );
                 let scheduler_stream: Vec<TraceRecord> = t_on
-                    .records
-                    .iter()
+                    .records()
                     .filter(|r| !is_annotation(&r.event))
-                    .copied()
                     .collect();
                 assert_eq!(
-                    scheduler_stream, t_off.records,
+                    scheduler_stream,
+                    t_off.records_vec(),
                     "{label}: scheduler event stream differs with tracing on vs off"
                 );
             }

@@ -131,4 +131,44 @@ else
   echo "   BENCH_sweep.json OK (grep checks)"
 fi
 
+echo "==> extra_scale --quick cache double-run (warm restore: >=90% hits, bit-identical cells)"
+CACHE_DIR="$(mktemp -d)"
+cargo run -q --release -p asym-bench --bin extra_scale -- \
+  --quick --cache "$CACHE_DIR" --json=CACHE_cold.json > /dev/null
+cargo run -q --release -p asym-bench --bin extra_scale -- \
+  --quick --cache "$CACHE_DIR" --json=CACHE_warm.json > /dev/null
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+cold = json.load(open("CACHE_cold.json"))
+warm = json.load(open("CACHE_warm.json"))
+stats = warm["cache"]
+assert stats is not None, "warm run reports no cache stats despite --cache"
+probes = stats["hits"] + stats["misses"]
+assert probes > 0, "warm run probed no cells"
+rate = stats["hits"] / probes
+assert rate >= 0.9, f"warm hit rate {rate:.2%} below 90%: {stats}"
+assert stats["invalidations"] == 0, f"warm run invalidated entries: {stats}"
+
+def stable(report):
+    cells = []
+    for c in report["cells"]:
+        c = dict(c)
+        c.pop("wall_ms", None)   # host timing is volatile
+        c.pop("cached", None)    # provenance differs cold vs warm
+        cells.append(c)
+    return cells
+
+a, b = stable(cold), stable(warm)
+assert a == b, "warm-cache cells are not bit-identical to the cold run"
+print(f"   cell cache OK: {len(a)} cells, {stats['hits']} hits "
+      f"({rate:.0%}), warm restore bit-identical")
+EOF
+else
+  grep -q '"misses":0' CACHE_warm.json || { echo "FAIL: warm cache run missed"; exit 1; }
+  grep -q '"invalidations":0' CACHE_warm.json || { echo "FAIL: warm cache run invalidated"; exit 1; }
+  echo "   cell cache OK (grep checks)"
+fi
+rm -rf "$CACHE_DIR" CACHE_cold.json CACHE_warm.json
+
 echo "CI OK"
