@@ -1383,9 +1383,31 @@ fn extra_absorption(ctx: &SweepContext) -> SweepDef {
             "stab d",
             "S stock",
             "S aware",
+            "fidle d",
+            "sync d",
+            "sched d",
             "lost wk",
             "c/t/s/d/p",
         ]);
+        // Mean per-rep attribution delta (stock-faulted - aware-faulted),
+        // integer milliseconds; "-" when no rep produced metrics.
+        let att = |o: &asym_core::DifferentialConfigOutcome,
+                   f: fn(&asym_obs::DiffAttribution) -> i64|
+         -> String {
+            let vals: Vec<i64> = o
+                .reps
+                .iter()
+                .filter_map(|r| r.diff.as_ref().map(f))
+                .collect();
+            if vals.is_empty() {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:+}",
+                    vals.iter().sum::<i64>() / vals.len() as i64 / 1_000_000
+                )
+            }
+        };
         let mut all_classified = true;
         let mut total_panicked = 0usize;
         let mut total_lost = 0.0f64;
@@ -1416,6 +1438,9 @@ fn extra_absorption(ctx: &SweepContext) -> SweepDef {
                         .map_or("-".to_string(), |d| format!("{d:+.3}")),
                     s_stock.map_or("-".to_string(), |s| format!("{s:.2}")),
                     s_aware.map_or("-".to_string(), |s| format!("{s:.2}")),
+                    att(o, |d| d.fast_idle_delta_ns),
+                    att(o, |d| d.sync_wait_delta_ns),
+                    att(o, |d| d.sched_wait_delta_ns),
                     format!("{cell_lost:.0}"),
                     format!(
                         "{}/{}/{}/{}/{}",
@@ -1432,6 +1457,9 @@ fn extra_absorption(ctx: &SweepContext) -> SweepDef {
         out += "absorb = fraction of stock fault slowdown the aware kernel recovers;\n\
                 stab d = stock CoV - aware CoV over repeat seeds under faults;\n\
                 S = clean/faulted performance; lost wk = killed workers reported;\n\
+                fidle/sync/sched d = stock-faulted minus aware-faulted fast-idle /\n\
+                sync-wait / scheduler-latency time, mean over reps, ms (positive:\n\
+                the stock kernel wasted more under the identical plan);\n\
                 classes: c = completed, t = time-limit, s = stalled, d = deadlock, p = panicked\n";
 
         let deterministic = same_seed_differential_reruns_match(configs[0]);

@@ -390,9 +390,9 @@ fn parse_hist(s: &str) -> Option<Log2Histogram> {
     }
     let mut buckets = [0u64; HIST_BUCKETS];
     buckets.copy_from_slice(&vals[3..]);
-    Some(Log2Histogram::from_parts(
-        buckets, vals[0], vals[1], vals[2],
-    ))
+    // A corrupted entry whose parts violate the histogram invariants is
+    // treated as a cache miss, not a panic.
+    Log2Histogram::from_parts(buckets, vals[0], vals[1], vals[2]).ok()
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ use asym_kernel::{
     capture_stream, capture_traces, fold_trace_hashes, with_run_guard, RunGuard, RunOutcome,
     SchedPolicy, TraceConsumer, TraceEvent, TraceHashFold, TraceHasher,
 };
-use asym_obs::{metrics_of_traces, ProfileFold, ProfileMetrics};
+use asym_obs::{metrics_of_traces, DiffAttribution, ProfileFold, ProfileMetrics};
 use asym_sim::{EnvironmentPlan, FaultPlan, MachineSpec, SimDuration, SimTime, StableHasher};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -756,12 +756,16 @@ fn exec_differential(
                    policy: SchedPolicy,
                    plan: Option<&FaultPlan>,
                    environment: Option<&EnvironmentPlan>|
-     -> RunRecord {
+     -> (RunRecord, Option<ProfileMetrics>) {
         let setup = RunSetup::new(slot.config, policy, slot.seed);
         let mut attempts = 0u32;
         let mut budget_factor = 1u32;
         loop {
             attempts += 1;
+            // Metrics are always derived for differential legs (not just
+            // under `with_metrics`): the per-cell diff attribution needs
+            // the two disturbed legs' metrics. Deriving them is a pure
+            // fold over the trace stream — it cannot perturb the run.
             let (class, value, hash, metrics, violations) = attempt_run(
                 workload,
                 &setup,
@@ -771,7 +775,7 @@ fn exec_differential(
                     faults: plan.cloned(),
                     environment: environment.cloned(),
                 },
-                want_metrics,
+                true,
                 check,
             );
             let escalatable = class == RunClass::TimeLimit && budget_factor < MAX_BUDGET_FACTOR;
@@ -784,12 +788,15 @@ fn exec_differential(
                     acc.merge(m);
                 }
                 all_violations.extend(violations.into_iter().map(|v| format!("{leg}: {v}")));
-                return RunRecord {
-                    seed: setup.seed,
-                    attempts,
-                    class,
-                    value,
-                };
+                return (
+                    RunRecord {
+                        seed: setup.seed,
+                        attempts,
+                        class,
+                        value,
+                    },
+                    metrics,
+                );
             }
             budget_factor *= 2;
         }
@@ -798,22 +805,31 @@ fn exec_differential(
     // legs only: the clean legs stay the undisturbed baseline, so the
     // absorption metric quantifies how much of the *dynamic* slowdown
     // the aware policy recovers.
+    let (stock_clean, _) = run("stock-clean", SchedPolicy::os_default(), None, None);
+    let (stock_faulted, stock_m) = run(
+        "stock-faulted",
+        SchedPolicy::os_default(),
+        plan,
+        environment,
+    );
+    let (aware_clean, _) = run("aware-clean", SchedPolicy::asymmetry_aware(), None, None);
+    let (aware_faulted, aware_m) = run(
+        "aware-faulted",
+        SchedPolicy::asymmetry_aware(),
+        plan,
+        environment,
+    );
+    let diff = match (&stock_m, &aware_m) {
+        (Some(a), Some(b)) => Some(DiffAttribution::from_metrics(a, b)),
+        _ => None,
+    };
     let rep = DifferentialRep {
         seed: slot.seed,
-        stock_clean: run("stock-clean", SchedPolicy::os_default(), None, None),
-        stock_faulted: run(
-            "stock-faulted",
-            SchedPolicy::os_default(),
-            plan,
-            environment,
-        ),
-        aware_clean: run("aware-clean", SchedPolicy::asymmetry_aware(), None, None),
-        aware_faulted: run(
-            "aware-faulted",
-            SchedPolicy::asymmetry_aware(),
-            plan,
-            environment,
-        ),
+        stock_clean,
+        stock_faulted,
+        aware_clean,
+        aware_faulted,
+        diff,
     };
     let class = rep
         .records()
@@ -1360,6 +1376,10 @@ pub struct CellReport {
     /// present when the runner ran with
     /// [`CellRunner::with_metrics`]`(true)` and the cell did not panic.
     pub metrics: Option<ProfileMetrics>,
+    /// Differential cells only: the stock-faulted − aware-faulted diff
+    /// attribution (where the stock kernel lost time under the
+    /// identical disturbance plan). `None` for non-differential cells.
+    pub diff: Option<DiffAttribution>,
 }
 
 /// The structured outcome of one plan run: per-cell records plus
@@ -1499,6 +1519,12 @@ impl SweepReport {
                 }
                 None => out.push_str("\"metrics\": null, "),
             }
+            match &c.diff {
+                Some(d) => {
+                    let _ = write!(out, "\"diff\": {}, ", d.to_json());
+                }
+                None => out.push_str("\"diff\": null, "),
+            }
             match c.trace_hash {
                 Some(h) => {
                     let _ = write!(out, "\"trace_hash\": \"{h:#018x}\"");
@@ -1576,6 +1602,10 @@ fn build_report(
                 cached: out.cached,
                 violations: out.violations.clone(),
                 metrics: out.metrics.clone(),
+                diff: match &out.data {
+                    CellData::Differential(rep) => rep.diff,
+                    _ => None,
+                },
             }
         })
         .collect();

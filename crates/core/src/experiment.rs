@@ -8,6 +8,7 @@ use crate::engine::{CellRunner, ExperimentPlan, SpecMode, SpecResult};
 use crate::metrics::{Direction, Samples, Scalability, Stability};
 use crate::workload::{RunResult, RunSetup, Workload};
 use asym_kernel::{KernelTrace, SchedPolicy};
+use asym_obs::DiffAttribution;
 use asym_sim::{EnvironmentPlan, FaultPlan, SimDuration};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -684,6 +685,11 @@ pub struct DifferentialRep {
     pub aware_clean: RunRecord,
     /// Asymmetry-aware kernel under the shared fault plan.
     pub aware_faulted: RunRecord,
+    /// Per-cell diff attribution between the two *disturbed* legs
+    /// (stock-faulted − aware-faulted): where the stock kernel lost
+    /// time relative to the aware kernel under the identical plan.
+    /// Absent when either leg panicked before producing metrics.
+    pub diff: Option<DiffAttribution>,
 }
 
 impl DifferentialRep {

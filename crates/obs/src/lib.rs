@@ -16,7 +16,15 @@
 //! * [`ProfileMetrics`] — the compact mergeable summary the sweep engine
 //!   attaches per cell in `BENCH_sweep.json`;
 //! * [`perfetto_trace`] — a Chrome/Perfetto `trace.json` exporter for
-//!   timeline inspection of any run.
+//!   timeline inspection of any run, with per-core counter tracks
+//!   (live speed, runnable-queue depth) and flow arrows linking
+//!   migration decisions to landing dispatches and contended lock
+//!   releases to the acquires they hand off to;
+//! * [`ProfileDiff`] / [`DiffAttribution`] — the differential causality
+//!   view: align two runs of the same (workload, config, seed, plan)
+//!   under different policies and attribute the wall-time delta into
+//!   exact machine-time buckets, with [`perfetto_diff_trace`] rendering
+//!   both timelines side by side from a shared origin.
 //!
 //! Everything here is a pure function of the captured trace: equal
 //! traces produce byte-identical profiles, reports, and exports,
@@ -55,12 +63,14 @@
 
 #![warn(missing_docs)]
 
+mod diff;
 mod hist;
 mod perfetto;
 mod profile;
 
-pub use hist::{Log2Histogram, HIST_BUCKETS};
-pub use perfetto::perfetto_trace;
+pub use diff::{DiffAttribution, DiffError, ProfileDiff, ThreadDelta};
+pub use hist::{HistogramPartsError, Log2Histogram, PercentileBound, HIST_BUCKETS};
+pub use perfetto::{perfetto_diff_trace, perfetto_trace};
 pub use profile::{
     metrics_of_traces, profile_traces, CoreProfile, ProfileFold, ProfileMetrics, RunProfile,
     ThreadProfile, WaitKind, WaitProfile,

@@ -199,12 +199,81 @@ pub(crate) struct Slice {
     pub(crate) end: &'static str,
 }
 
+/// What an instantaneous mark records. Structured (rather than a
+/// preformatted string) so the Perfetto exporter can intern the small
+/// set of canonical names instead of emitting one unique string per
+/// event — the details live on the counter tracks and flow events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MarkKind {
+    /// A cross-core migration decision (the flow event carries the
+    /// source/destination pairing).
+    Migrate { tid: usize },
+    /// A committed speed change (the speed counter track carries the
+    /// new value).
+    Speed,
+    /// A ranking reorder.
+    Rerank,
+    /// A core hotplugged off.
+    Offline,
+    /// A core hotplugged back on.
+    Online,
+    /// A thread killed by an injected fault.
+    Killed { tid: usize },
+}
+
 /// An instantaneous event of interest, kept for the Perfetto exporter.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Mark {
     pub(crate) core: usize,
     pub(crate) time: SimTime,
-    pub(crate) name: String,
+    pub(crate) kind: MarkKind,
+}
+
+/// Which per-core counter track a sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CounterKind {
+    /// Live core speed, as integer per-myriad of full (the applied
+    /// environment/fault target — the kernel's hysteresis latch emits a
+    /// `SpeedChange` exactly when a target commits).
+    Speed,
+    /// Runnable-queue depth: threads queued on the core, excluding the
+    /// one running.
+    Runnable,
+}
+
+/// One sample on a per-core counter track, kept for the Perfetto
+/// exporter's `"C"` events.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CounterSample {
+    pub(crate) core: usize,
+    pub(crate) time: SimTime,
+    pub(crate) kind: CounterKind,
+    pub(crate) value: u64,
+}
+
+/// What a flow arrow links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum FlowKind {
+    /// A migration decision to the dispatch that landed the thread on
+    /// its new core.
+    Migration,
+    /// A contended lock release to the acquire it handed the lock to.
+    LockHandoff,
+}
+
+/// One flow pair (`"s"` start / `"f"` finish in the Perfetto export):
+/// the causal link between two instants on (possibly) different cores.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Flow {
+    pub(crate) kind: FlowKind,
+    /// The thread migrating, or the lock index handed off.
+    pub(crate) key: usize,
+    pub(crate) src_core: usize,
+    pub(crate) src_time: SimTime,
+    pub(crate) src_tid: usize,
+    pub(crate) dst_core: usize,
+    pub(crate) dst_time: SimTime,
+    pub(crate) dst_tid: usize,
 }
 
 /// The complete observability profile of one kernel run, derived purely
@@ -286,6 +355,8 @@ pub struct RunProfile {
     pub steals: u64,
     pub(crate) slices: Vec<Slice>,
     pub(crate) marks: Vec<Mark>,
+    pub(crate) counters: Vec<CounterSample>,
+    pub(crate) flows: Vec<Flow>,
 }
 
 /// Integer per-myriad (hundredths of a percent): `part / whole * 10_000`,
@@ -366,6 +437,16 @@ pub struct ProfileFold {
     steals: u64,
     slices: Vec<Slice>,
     marks: Vec<Mark>,
+    counters: Vec<CounterSample>,
+    flows: Vec<Flow>,
+    /// Per-thread pending migration decision: `(decision time, source
+    /// core)` set by `Migrate`, consumed by the dispatch that lands the
+    /// thread (the flow arrow's two endpoints).
+    pending_migration: Vec<Option<(SimTime, usize)>>,
+    /// Per-lock pending release: `(release time, core, releasing tid)`.
+    /// A contended acquire consumes it into a lock-handoff flow; an
+    /// uncontended acquire just clears it.
+    pending_release: BTreeMap<usize, (SimTime, usize, usize)>,
 }
 
 impl ProfileFold {
@@ -394,6 +475,23 @@ impl ProfileFold {
                 speed_weighted: 0,
             })
             .collect();
+        // Seed both counter tracks at t=0 so every core exports a track
+        // even if nothing ever changes on it.
+        let mut counters = Vec::new();
+        for (c, st) in cores.iter().enumerate() {
+            counters.push(CounterSample {
+                core: c,
+                time: SimTime::ZERO,
+                kind: CounterKind::Speed,
+                value: speed_permyriad(st.speed),
+            });
+            counters.push(CounterSample {
+                core: c,
+                time: SimTime::ZERO,
+                kind: CounterKind::Runnable,
+                value: 0,
+            });
+        }
         ProfileFold {
             policy,
             outcome: None,
@@ -417,6 +515,10 @@ impl ProfileFold {
             steals: 0,
             slices: Vec::new(),
             marks: Vec::new(),
+            counters,
+            flows: Vec::new(),
+            pending_migration: Vec::new(),
+            pending_release: BTreeMap::new(),
         }
     }
 
@@ -426,7 +528,18 @@ impl ProfileFold {
             self.threads.push(ThSt::Absent);
             self.thread_acc.push(ThreadProfile::new(next));
             self.migrating.push(false);
+            self.pending_migration.push(None);
         }
+    }
+
+    /// Samples `core`'s runnable-queue-depth counter track at `time`.
+    fn sample_queue(&mut self, core: usize, time: SimTime) {
+        self.counters.push(CounterSample {
+            core,
+            time,
+            kind: CounterKind::Runnable,
+            value: self.cores[core].queued,
+        });
     }
 
     fn wait_entry(&mut self, wait: usize) -> &mut WaitProfile {
@@ -587,12 +700,14 @@ impl ProfileFold {
         self.thread_acc[tid].runnable += dur;
         self.cores[core].queued = self.cores[core].queued.saturating_sub(1);
         self.threads[tid] = ThSt::Absent;
+        self.sample_queue(core, now);
         dur
     }
 
     fn enqueue(&mut self, tid: usize, core: usize, now: SimTime) {
         self.threads[tid] = ThSt::Queued { core, start: now };
         self.cores[core].queued += 1;
+        self.sample_queue(core, now);
     }
 
     fn apply(&mut self, time: SimTime, event: &TraceEvent) {
@@ -611,6 +726,18 @@ impl ProfileFold {
                     self.migrating[t] = false;
                     self.thread_acc[t].migrations += 1;
                     self.thread_acc[t].migration_wait += waited;
+                    if let Some((src_time, src_core)) = self.pending_migration[t].take() {
+                        self.flows.push(Flow {
+                            kind: FlowKind::Migration,
+                            key: t,
+                            src_core,
+                            src_time,
+                            src_tid: t,
+                            dst_core: core.0,
+                            dst_time: time,
+                            dst_tid: t,
+                        });
+                    }
                 }
                 self.threads[t] = ThSt::Running {
                     core: core.0,
@@ -625,10 +752,11 @@ impl ProfileFold {
                 let t = tid.index();
                 self.ensure_thread(t);
                 self.migrating[t] = true;
+                self.pending_migration[t] = Some((time, from.0));
                 self.marks.push(Mark {
                     core: to.0,
                     time,
-                    name: format!("migrate tid{t} cpu{} -> cpu{}", from.0, to.0),
+                    kind: MarkKind::Migrate { tid: t },
                 });
             }
             TraceEvent::Preempt { tid, core, reason } => {
@@ -667,6 +795,8 @@ impl ProfileFold {
                     self.cores[from.0].queued = self.cores[from.0].queued.saturating_sub(1);
                     self.cores[to.0].queued += 1;
                     self.threads[t] = ThSt::Queued { core: to.0, start };
+                    self.sample_queue(from.0, time);
+                    self.sample_queue(to.0, time);
                 }
             }
             TraceEvent::Wakeup { tid, core, reason } => {
@@ -735,6 +865,7 @@ impl ProfileFold {
                 }
                 self.threads[t] = ThSt::Absent;
                 self.migrating[t] = false;
+                self.pending_migration[t] = None;
             }
             TraceEvent::Signal { wait, woken, .. } => {
                 let w = self.wait_entry(wait.index());
@@ -744,15 +875,41 @@ impl ProfileFold {
                 }
             }
             TraceEvent::LockAcquire {
-                lock, contended, ..
+                tid,
+                lock,
+                contended,
             } => {
                 self.classify(lock.index(), WaitKind::Lock);
+                // Any acquire consumes the lock's pending release; only a
+                // contended one completes a release→acquire handoff flow.
+                let pending = self.pending_release.remove(&lock.index());
                 if contended {
                     self.wait_entry(lock.index()).contended_acquires += 1;
+                    let t = tid.index();
+                    self.ensure_thread(t);
+                    if let (Some((src_time, src_core, src_tid)), ThSt::Running { core, .. }) =
+                        (pending, self.threads[t])
+                    {
+                        self.flows.push(Flow {
+                            kind: FlowKind::LockHandoff,
+                            key: lock.index(),
+                            src_core,
+                            src_time,
+                            src_tid,
+                            dst_core: core,
+                            dst_time: time,
+                            dst_tid: t,
+                        });
+                    }
                 }
             }
-            TraceEvent::LockRelease { lock, .. } => {
+            TraceEvent::LockRelease { tid, lock } => {
                 self.classify(lock.index(), WaitKind::Lock);
+                let t = tid.index();
+                self.ensure_thread(t);
+                if let ThSt::Running { core, .. } = self.threads[t] {
+                    self.pending_release.insert(lock.index(), (time, core, t));
+                }
             }
             TraceEvent::CondWait { cond, lock, .. } => {
                 self.classify(cond.index(), WaitKind::Condvar);
@@ -774,7 +931,13 @@ impl ProfileFold {
                 self.marks.push(Mark {
                     core: core.0,
                     time,
-                    name: format!("cpu{} speed {speed}", core.0),
+                    kind: MarkKind::Speed,
+                });
+                self.counters.push(CounterSample {
+                    core: core.0,
+                    time,
+                    kind: CounterKind::Speed,
+                    value: speed_permyriad(speed),
                 });
             }
             TraceEvent::Rerank { core } => {
@@ -782,7 +945,7 @@ impl ProfileFold {
                 self.marks.push(Mark {
                     core: core.0,
                     time,
-                    name: format!("cpu{} rerank", core.0),
+                    kind: MarkKind::Rerank,
                 });
             }
             TraceEvent::CoreOffline { core } => {
@@ -791,7 +954,7 @@ impl ProfileFold {
                 self.marks.push(Mark {
                     core: core.0,
                     time,
-                    name: format!("cpu{} offline", core.0),
+                    kind: MarkKind::Offline,
                 });
             }
             TraceEvent::CoreOnline { core } => {
@@ -800,7 +963,7 @@ impl ProfileFold {
                 self.marks.push(Mark {
                     core: core.0,
                     time,
-                    name: format!("cpu{} online", core.0),
+                    kind: MarkKind::Online,
                 });
             }
             TraceEvent::ThreadKilled { tid } => {
@@ -814,7 +977,7 @@ impl ProfileFold {
                 self.marks.push(Mark {
                     core,
                     time,
-                    name: format!("tid{t} killed"),
+                    kind: MarkKind::Killed { tid: t },
                 });
             }
             TraceEvent::SetAffinity { .. } | TraceEvent::AffinityOverride { .. } => {}
@@ -882,6 +1045,8 @@ impl ProfileFold {
             steals: self.steals,
             slices: self.slices,
             marks: self.marks,
+            counters: self.counters,
+            flows: self.flows,
         }
     }
 }
@@ -1126,6 +1291,15 @@ impl ProfileMetrics {
         self.tracking_lag_ns = self.tracking_lag_ns.saturating_add(other.tracking_lag_ns);
         self.sched_latency.merge(&other.sched_latency);
         self.run_quantum.merge(&other.run_quantum);
+    }
+
+    /// SLO-violation counters over the scheduler-latency histogram: how
+    /// many dispatches waited at least `threshold` before getting a
+    /// core. Returns the `(certain, possible)` bracket of
+    /// [`Log2Histogram::count_at_or_above`] — the bucket resolution
+    /// bounds the answer from both sides.
+    pub fn slo_violations(&self, threshold: SimDuration) -> (u64, u64) {
+        self.sched_latency.count_at_or_above(threshold.as_nanos())
     }
 
     /// Busy core-time as per-myriad of online core-time.

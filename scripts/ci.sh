@@ -39,6 +39,38 @@ for needle in "util" "fast idle while slow runnable" "migrations" "scheduler lat
   grep -q "$needle" ASYM_profile.txt || { echo "FAIL: asym_profile report lacks '$needle'"; exit 1; }
 done
 
+echo "==> asym_diff (differential smoke: Apache stock vs asym-aware, same seed, twice)"
+cargo run -q --release -p asym-bench --bin asym_diff -- \
+  --workload Apache --config 4f-4s/8 --seed 1 \
+  --perfetto=ASYM_diff_trace.json > ASYM_diff.txt
+cargo run -q --release -p asym-bench --bin asym_diff -- \
+  --workload Apache --config 4f-4s/8 --seed 1 > ASYM_diff_rerun.txt
+cmp ASYM_diff.txt ASYM_diff_rerun.txt || { echo "FAIL: asym_diff report not byte-identical across invocations"; exit 1; }
+grep -q "residual +0ns" ASYM_diff.txt || { echo "FAIL: asym_diff attribution does not tile the wall delta"; exit 1; }
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+with open("ASYM_diff_trace.json") as f:
+    trace = json.load(f)
+ev = trace["traceEvents"]
+assert ev, "diff Perfetto export has no traceEvents"
+assert {e["ph"] for e in ev} <= {"M", "X", "i", "C", "s", "f"}, "unexpected event phase"
+pids = {e["pid"] for e in ev if e["ph"] == "M" and e["name"] == "process_name"}
+assert len(pids) == 16, f"expected 16 core processes (two 8-core runs), got {len(pids)}"
+counters = {(e["pid"], e["name"]) for e in ev if e["ph"] == "C"}
+for pid in pids:
+    assert (pid, "speed_pmy") in counters, f"pid {pid} lacks a speed counter track"
+    assert (pid, "runnable") in counters, f"pid {pid} lacks a runnable counter track"
+starts = sorted(e["id"] for e in ev if e["ph"] == "s")
+finishes = sorted(e["id"] for e in ev if e["ph"] == "f")
+assert starts, "diff export has no flow events"
+assert starts == finishes, "flow starts and finishes do not pair up"
+print(f"   ASYM_diff_trace.json OK: {len(ev)} events, {len(pids)} core tracks, "
+      f"{len(starts)} flow pairs")
+EOF
+fi
+rm -f ASYM_diff_rerun.txt
+
 echo "==> asym_soak --quick --json (chaos soak: randomized environment x fault campaigns)"
 cargo run -q --release -p asym-bench --bin asym_soak -- --quick --json > /dev/null
 test -s SOAK_report.json || { echo "FAIL: SOAK_report.json missing or empty"; exit 1; }
@@ -56,7 +88,8 @@ import json, math, sys
 with open("ASYM_profile_trace.json") as f:
     trace = json.load(f)
 assert trace.get("traceEvents"), "Perfetto export has no traceEvents"
-assert {e["ph"] for e in trace["traceEvents"]} <= {"M", "X", "i"}, "unexpected event phase"
+assert {e["ph"] for e in trace["traceEvents"]} <= {"M", "X", "i", "C", "s", "f"}, "unexpected event phase"
+assert any(e["ph"] == "C" for e in trace["traceEvents"]), "no counter track events"
 print(f"   ASYM_profile_trace.json OK: {len(trace['traceEvents'])} trace events")
 
 with open("BENCH_sweep.json") as f:
@@ -82,6 +115,9 @@ for c in report["cells"]:
         v = m[field]
         if isinstance(v, (int, float)):
             assert math.isfinite(v), f"non-finite metrics field {field!r}: {v}"
+    for hist in ("sched_latency", "run_quantum"):
+        for field in ("count", "mean_ns", "max_ns", "p50_ns", "p99_ns", "p999_ns"):
+            assert field in m[hist], f"{hist} lacks percentile key {field!r}"
 assert with_metrics, "no cell carries profile metrics despite --json"
 
 # The dynamic-environment cells must be present and actually disturbed:
@@ -90,7 +126,16 @@ dynamic = [c for c in report["cells"] if c["spec"].startswith("dynamic/")]
 assert dynamic, "no dynamic-environment cells in the sweep report"
 env_changes = sum((c.get("metrics") or {}).get("speed_changes", 0) for c in dynamic)
 assert env_changes > 0, "dynamic regimes produced no speed changes"
-print(f"   dynamic cells OK: {len(dynamic)} cells, {env_changes} environmental speed changes")
+diffed = [c for c in dynamic if c.get("diff")]
+assert diffed, "no differential cell carries diff attribution"
+for c in diffed:
+    for field in ("wall_delta_ns", "busy_delta_ns", "idle_delta_ns", "offline_delta_ns",
+                  "fast_idle_delta_ns", "migrations_delta", "migration_wait_delta_ns",
+                  "sync_wait_delta_ns", "sched_wait_delta_ns", "sched_p99_delta_ns",
+                  "tracking_lag_delta_ns"):
+        assert field in c["diff"], f"differential cell diff lacks {field!r}"
+print(f"   dynamic cells OK: {len(dynamic)} cells ({len(diffed)} with diff attribution), "
+      f"{env_changes} environmental speed changes")
 
 # The policy tournament must field every registered policy, with every
 # cell completed and lint-clean (the per-cell --check already failed the
